@@ -1,0 +1,121 @@
+//! The mutual-recursion worked examples of §4.4 (Ex. 4.1) and §4.5 (Ex. 4.2).
+
+use chora_ir::{Cond, Expr, Procedure, Program, Stmt};
+
+fn v(name: &str) -> Expr {
+    Expr::var(name)
+}
+fn i(x: i64) -> Expr {
+    Expr::int(x)
+}
+
+/// Ex. 4.1: `P1` calls `P2` eighteen times, `P2` calls `P1` twice; each base
+/// case increments the global `g`.  CHORA's bounds are `3·6^(n-1)` and
+/// `6^(n-1)` respectively.
+pub fn example_4_1() -> Program {
+    let mut program = Program::new();
+    program.add_global("g");
+    let loop_calling = |callee: &str, times: i64| {
+        Stmt::seq(vec![
+            Stmt::assign("i", i(0)),
+            Stmt::while_loop(
+                Cond::lt(v("i"), i(times)),
+                Stmt::seq(vec![
+                    Stmt::call(callee, vec![v("n").sub(i(1))]),
+                    Stmt::assign("i", v("i").add(i(1))),
+                ]),
+            ),
+        ])
+    };
+    program.add_procedure(Procedure::new(
+        "P1",
+        &["n"],
+        &["i"],
+        Stmt::if_else(
+            Cond::le(v("n"), i(1)),
+            Stmt::assign("g", v("g").add(i(1))),
+            loop_calling("P2", 18),
+        ),
+    ));
+    program.add_procedure(Procedure::new(
+        "P2",
+        &["n"],
+        &["i"],
+        Stmt::if_else(
+            Cond::le(v("n"), i(1)),
+            Stmt::assign("g", v("g").add(i(1))),
+            loop_calling("P1", 2),
+        ),
+    ));
+    program
+}
+
+/// Ex. 4.2: a mutually recursive pair in which `P3` has no base case (every
+/// path calls `P3` or `P4`); `cost` is incremented in `P4`'s base case.
+pub fn example_4_2() -> Program {
+    let mut program = Program::new();
+    program.add_global("cost");
+    program.add_procedure(Procedure::new(
+        "P3",
+        &["n"],
+        &[],
+        Stmt::if_else(
+            Cond::le(v("n"), i(1)),
+            Stmt::seq(vec![
+                Stmt::call("P4", vec![v("n").sub(i(1))]),
+                Stmt::call("P4", vec![v("n").sub(i(1))]),
+            ]),
+            Stmt::seq(vec![
+                Stmt::call("P3", vec![v("n").sub(i(1))]),
+                Stmt::call("P4", vec![v("n").sub(i(1))]),
+            ]),
+        ),
+    ));
+    program.add_procedure(Procedure::new(
+        "P4",
+        &["n"],
+        &[],
+        Stmt::if_else(
+            Cond::le(v("n"), i(1)),
+            Stmt::assign("cost", v("cost").add(i(1))),
+            Stmt::seq(vec![
+                Stmt::call("P4", vec![v("n").sub(i(1))]),
+                Stmt::call("P3", vec![v("n").sub(i(1))]),
+            ]),
+        ),
+    ));
+    program
+}
+
+/// The `differ` procedure of §4.3 (Fig. 2), used by the two-region analysis
+/// discussion; `x` and `y` are returned through globals.
+pub fn differ() -> Program {
+    let mut program = Program::new();
+    program.add_global("x");
+    program.add_global("y");
+    program.add_procedure(Procedure::new(
+        "differ",
+        &["n"],
+        &["temp"],
+        Stmt::if_else(
+            Cond::eq(v("n"), i(0)).or(Cond::eq(v("n"), i(1))),
+            Stmt::seq(vec![Stmt::assign("x", i(0)), Stmt::assign("y", i(0))]),
+            Stmt::seq(vec![
+                Stmt::if_else(
+                    Cond::Nondet,
+                    Stmt::call("differ", vec![v("n").sub(i(1))]),
+                    Stmt::call("differ", vec![v("n").sub(i(2))]),
+                ),
+                Stmt::assign("temp", v("x")),
+                Stmt::if_else(
+                    Cond::Nondet,
+                    Stmt::call("differ", vec![v("n").sub(i(1))]),
+                    Stmt::call("differ", vec![v("n").sub(i(2))]),
+                ),
+                Stmt::assign("x", v("temp").add(i(1))),
+                Stmt::assign("y", v("y").add(i(1))),
+            ]),
+        ),
+    ));
+    program
+}

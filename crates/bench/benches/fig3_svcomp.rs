@@ -1,0 +1,55 @@
+//! Regenerates **Figure 3** (the cactus plot over the SV-COMP `recursive`
+//! suite): for each benchmark, whether CHORA-rs / the ICRA-style baseline
+//! prove the assertions and how long the analysis takes; the per-tool counts
+//! reported in the paper (CHORA 8, UA 12, UTaipan 10, VIAP 10 of 17) are
+//! printed as reference series so the plot can be redrawn.
+
+use chora_bench_suite::assertion_suite;
+use chora_core::{Analyzer, BaselineAnalyzer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+fn fig3(c: &mut Criterion) {
+    println!("\n=== Fig. 3: SV-COMP-recursive-style suite ===");
+    println!("{:<18} {:<10} {:<12} {:<10}", "benchmark", "CHORA-rs", "time (ms)", "ICRA-rs");
+    let mut proved_times: Vec<f64> = Vec::new();
+    let mut baseline_proved = 0usize;
+    let suite = assertion_suite::svcomp();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    for bench in &suite {
+        let start = Instant::now();
+        let ours = Analyzer::new().analyze(&bench.program);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        let ours_ok = !ours.assertions.is_empty() && ours.all_assertions_verified();
+        let base = BaselineAnalyzer::new().analyze(&bench.program);
+        let base_ok = !base.assertions.is_empty() && base.all_assertions_verified();
+        if ours_ok {
+            proved_times.push(elapsed);
+        }
+        if base_ok {
+            baseline_proved += 1;
+        }
+        println!(
+            "{:<18} {:<10} {:<12.2} {:<10}",
+            bench.name,
+            if ours_ok { "proved" } else { "-" },
+            elapsed,
+            if base_ok { "proved" } else { "-" }
+        );
+        group.bench_function(bench.name, |b| {
+            b.iter(|| Analyzer::new().analyze(std::hint::black_box(&bench.program)))
+        });
+    }
+    group.finish();
+    proved_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!("\ncactus series (CHORA-rs): {} proved of {}", proved_times.len(), suite.len());
+    for (i, t) in proved_times.iter().enumerate() {
+        println!("  {} benchmarks within {:.2} ms", i + 1, t);
+    }
+    println!("cactus series (ICRA-rs baseline): {} proved of {}", baseline_proved, suite.len());
+    println!("reference (paper, of 17 benchmarks): CHORA 8, UA 12, UTaipan 10, VIAP 10, all ≲100s");
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the substrate layers: exact arithmetic, polyhedral
+//! operations, and recurrence solving — the building blocks whose cost
+//! dominates the analysis time.
+
+use chora_expr::{Polynomial, Symbol};
+use chora_logic::{Atom, Polyhedron};
+use chora_numeric::{rat, BigInt, BigRational};
+use chora_recurrence::RecurrenceSystem;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn micro(c: &mut Criterion) {
+    c.bench_function("bigint/mul-256bit", |b| {
+        let x: BigInt = "123456789012345678901234567890123456789012345678901234567890123456789012345"
+            .parse()
+            .unwrap();
+        b.iter(|| std::hint::black_box(&x) * std::hint::black_box(&x))
+    });
+    c.bench_function("bigrational/sum-1000", |b| {
+        b.iter(|| {
+            let mut acc = BigRational::zero();
+            for i in 1..1000i64 {
+                acc += &BigRational::new(BigInt::from(1), BigInt::from(i));
+            }
+            acc
+        })
+    });
+    c.bench_function("polyhedron/hull-join", |b| {
+        let x = Polynomial::var(Symbol::new("x"));
+        let y = Polynomial::var(Symbol::new("y"));
+        let p1 = Polyhedron::from_atoms(vec![
+            Atom::ge(x.clone(), Polynomial::constant(rat(0))),
+            Atom::le(x.clone(), Polynomial::constant(rat(1))),
+            Atom::eq(y.clone(), x.clone()),
+        ]);
+        let p2 = Polyhedron::from_atoms(vec![
+            Atom::ge(x.clone(), Polynomial::constant(rat(5))),
+            Atom::le(x.clone(), Polynomial::constant(rat(9))),
+            Atom::le(y.clone(), Polynomial::constant(rat(2))),
+        ]);
+        b.iter(|| std::hint::black_box(&p1).join(std::hint::black_box(&p2)))
+    });
+    c.bench_function("recurrence/hanoi-solve", |b| {
+        b.iter(|| {
+            let mut sys = RecurrenceSystem::new();
+            let bh = Polynomial::var(Symbol::bound_at_h(1));
+            sys.add_equation(1, &bh.scale(&rat(2)) + &Polynomial::constant(rat(1)));
+            sys.solve().unwrap()
+        })
+    });
+    c.bench_function("recurrence/mutual-6x6", |b| {
+        b.iter(|| {
+            let mut sys = RecurrenceSystem::new();
+            let b1 = Polynomial::var(Symbol::bound_at_h(1));
+            let b2 = Polynomial::var(Symbol::bound_at_h(2));
+            sys.add_equation(1, &b2.scale(&rat(18)) + &Polynomial::constant(rat(17)));
+            sys.add_equation(2, &b1.scale(&rat(2)) + &Polynomial::constant(rat(1)));
+            sys.solve().unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Regenerates **Table 1**: for every complexity benchmark, runs the CHORA-rs
+//! analysis (and the ICRA-style baseline), prints the derived bound and
+//! asymptotic class next to the values reported in the paper, and measures
+//! the analysis time with Criterion.
+
+use chora_bench_suite::complexity_suite;
+use chora_core::{complexity, Analyzer, BaselineAnalyzer};
+use chora_expr::Symbol;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table1(c: &mut Criterion) {
+    println!("\n=== Table 1: complexity bounds (CHORA-rs vs ICRA-rs baseline vs paper) ===");
+    println!(
+        "{:<14} {:<14} {:<16} {:<10} {:<14} {:<10}",
+        "benchmark", "actual", "CHORA-rs", "ICRA-rs", "paper CHORA", "paper ICRA"
+    );
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for bench in complexity_suite::all() {
+        let cost = Symbol::new(bench.cost_var);
+        let size = Symbol::new(bench.size_param);
+        let ours = Analyzer::new().analyze(&bench.program);
+        let ours_class = ours
+            .summary(bench.procedure)
+            .map(|s| complexity::table1_row(s, &cost, &size).1.to_string())
+            .unwrap_or_else(|| "n.b.".to_string());
+        let baseline = BaselineAnalyzer::new().analyze(&bench.program);
+        let baseline_class = baseline
+            .summary(bench.procedure)
+            .map(|s| complexity::table1_row(s, &cost, &size).1.to_string())
+            .unwrap_or_else(|| "n.b.".to_string());
+        println!(
+            "{:<14} {:<14} {:<16} {:<10} {:<14} {:<10}",
+            bench.name, bench.actual, ours_class, baseline_class, bench.paper_chora, bench.paper_icra
+        );
+        group.bench_function(bench.name, |b| {
+            b.iter(|| Analyzer::new().analyze(std::hint::black_box(&bench.program)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Regenerates **Table 2**: assertion-checking verdicts and analysis times on
+//! the three hand-written non-linearly recursive benchmarks (`quad`,
+//! `pow2_overflow`, `height`), for CHORA-rs and the ICRA-style baseline, next
+//! to the five-tool verdicts reported in the paper.
+
+use chora_bench_suite::assertion_suite;
+use chora_core::{Analyzer, BaselineAnalyzer};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table2(c: &mut Criterion) {
+    println!("\n=== Table 2: assertion checking (CHORA-rs vs baseline vs paper) ===");
+    println!(
+        "{:<16} {:<10} {:<10} {:<12} {:<12} {:<8} {:<10} {:<8}",
+        "benchmark", "CHORA-rs", "ICRA-rs", "paper CHORA", "paper ICRA", "UA", "UTaipan", "VIAP"
+    );
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for bench in assertion_suite::table2() {
+        let ours = Analyzer::new().analyze(&bench.program);
+        let ours_ok = !ours.assertions.is_empty() && ours.all_assertions_verified();
+        let base = BaselineAnalyzer::new().analyze(&bench.program);
+        let base_ok = !base.assertions.is_empty() && base.all_assertions_verified();
+        let yn = |b: bool| if b { "yes" } else { "no" };
+        println!(
+            "{:<16} {:<10} {:<10} {:<12} {:<12} {:<8} {:<10} {:<8}",
+            bench.name,
+            yn(ours_ok),
+            yn(base_ok),
+            yn(bench.paper_chora),
+            yn(bench.paper_icra),
+            yn(bench.paper_ua),
+            yn(bench.paper_utaipan),
+            yn(bench.paper_viap)
+        );
+        group.bench_function(bench.name, |b| {
+            b.iter(|| Analyzer::new().analyze(std::hint::black_box(&bench.program)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

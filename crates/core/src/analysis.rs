@@ -1,0 +1,407 @@
+//! The interprocedural CHORA driver.
+//!
+//! Procedures are analysed bottom-up over the strongly connected components
+//! of the call graph (§4).  Non-recursive components are summarized directly
+//! by the intra-procedural analysis; recursive components go through
+//! height-based recurrence analysis (§4.1 / §4.4) and depth-bound analysis
+//! (§4.2), and their summaries combine the solved bounding functions with the
+//! depth bound as in Eqn. (4).  A final pass re-analyses each procedure body
+//! with the computed summaries to discharge assertions.
+
+use crate::complexity::term_to_polynomial;
+use crate::depth::{depth_bound, polynomial_to_term, DepthBound};
+use crate::height::{analyze_scc, HeightAnalysis};
+use crate::lower::lower_cond_post;
+use crate::summarize::{return_variable, Summarizer};
+use chora_expr::{ExpPoly, Polynomial, Symbol, Term};
+use chora_ir::{CallGraph, Procedure, Program, Stmt};
+use chora_logic::{Atom, Polyhedron, TransitionFormula};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Analysis configuration (used for ablation experiments).
+#[derive(Clone, Debug)]
+pub struct AnalysisConfig {
+    /// Whether depth-bound analysis (§4.2) is applied; without it the
+    /// height-indexed bounds cannot be related to the pre-state.
+    pub enable_depth_bounds: bool,
+    /// Whether polynomial closed forms are pushed back into the polyhedral
+    /// summary formula (improves assertion checking).
+    pub enable_polynomial_facts: bool,
+    /// Disjunct cap for transition formulas.
+    pub disjunct_cap: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            enable_depth_bounds: true,
+            enable_polynomial_facts: true,
+            disjunct_cap: chora_logic::DEFAULT_DISJUNCT_CAP,
+        }
+    }
+}
+
+/// A solved bound fact `τ ≤ bound` of a recursive procedure.
+#[derive(Clone, Debug)]
+pub struct BoundFact {
+    /// The relational expression `τ` over `Var ∪ Var'`.
+    pub term: Polynomial,
+    /// The closed-form bounding function `b(h)`.
+    pub closed_form: ExpPoly,
+    /// The bound with the depth bound substituted for `h` (over pre-state
+    /// variables), when a depth bound is available.
+    pub bound: Option<Term>,
+    /// Whether the closed form solves the extracted recurrence exactly.
+    pub exact: bool,
+}
+
+/// The summary computed for one procedure.
+#[derive(Clone, Debug)]
+pub struct ProcedureSummary {
+    /// Procedure name.
+    pub name: String,
+    /// Sound polyhedral transition formula over `globals ∪ params` (pre) and
+    /// `globals' ∪ ret'`.
+    pub formula: TransitionFormula,
+    /// Height-indexed bound facts (recursive procedures only).
+    pub bound_facts: Vec<BoundFact>,
+    /// Depth bound `ζ_P` (recursive procedures only).
+    pub depth: Option<DepthBound>,
+    /// Whether the procedure belongs to a recursive SCC.
+    pub recursive: bool,
+}
+
+/// The verdict for one assertion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AssertionResult {
+    /// The procedure containing the assertion.
+    pub procedure: String,
+    /// The assertion label.
+    pub label: String,
+    /// Whether the analysis proved the assertion.
+    pub verified: bool,
+}
+
+/// The result of analysing a whole program.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisResult {
+    /// Per-procedure summaries.
+    pub summaries: BTreeMap<String, ProcedureSummary>,
+    /// Assertion verdicts, in program order.
+    pub assertions: Vec<AssertionResult>,
+}
+
+impl AnalysisResult {
+    /// Convenience: whether every assertion in the program was proved.
+    pub fn all_assertions_verified(&self) -> bool {
+        self.assertions.iter().all(|a| a.verified)
+    }
+
+    /// Convenience: the summary of a procedure.
+    pub fn summary(&self, name: &str) -> Option<&ProcedureSummary> {
+        self.summaries.get(name)
+    }
+}
+
+/// The CHORA analyzer.
+#[derive(Clone, Debug, Default)]
+pub struct Analyzer {
+    /// Configuration knobs.
+    pub config: AnalysisConfig,
+}
+
+impl Analyzer {
+    /// Creates an analyzer with the default configuration.
+    pub fn new() -> Analyzer {
+        Analyzer::default()
+    }
+
+    /// Creates an analyzer with a custom configuration.
+    pub fn with_config(config: AnalysisConfig) -> Analyzer {
+        Analyzer { config }
+    }
+
+    /// Analyses a program: computes procedure summaries bottom-up and checks
+    /// every assertion.
+    pub fn analyze(&self, program: &Program) -> AnalysisResult {
+        let callgraph = CallGraph::build(program);
+        let mut summarizer = Summarizer::new(program);
+        let mut result = AnalysisResult::default();
+        for component in callgraph.components_bottom_up() {
+            if !component.recursive {
+                for name in &component.members {
+                    let Some(proc) = program.procedure(name) else { continue };
+                    let formula = summarizer.summarize_procedure(proc, &BTreeMap::new());
+                    summarizer.summaries.insert(name.clone(), formula.clone());
+                    result.summaries.insert(
+                        name.clone(),
+                        ProcedureSummary {
+                            name: name.clone(),
+                            formula,
+                            bound_facts: Vec::new(),
+                            depth: None,
+                            recursive: false,
+                        },
+                    );
+                }
+                continue;
+            }
+            let height = analyze_scc(&summarizer, &component.members);
+            for name in &component.members {
+                let Some(proc) = program.procedure(name) else { continue };
+                let depth = if self.config.enable_depth_bounds {
+                    depth_bound(&summarizer, proc, &component.members)
+                } else {
+                    None
+                };
+                let summary = self.assemble_recursive_summary(proc, &height, &depth);
+                summarizer.summaries.insert(name.clone(), summary.formula.clone());
+                result.summaries.insert(name.clone(), summary);
+            }
+        }
+        // Assertion-checking pass with the final summaries.
+        for proc in &program.procedures {
+            let vars = summarizer.proc_vars(proc);
+            let prefix = TransitionFormula::identity(&vars);
+            self.check_asserts_with(&summarizer, proc, &proc.body, &vars, prefix, &mut result.assertions);
+        }
+        result
+    }
+
+    /// Builds the final summary of a recursive procedure from the solved
+    /// bounding functions and the depth bound (Eqn. (4)).
+    fn assemble_recursive_summary(
+        &self,
+        proc: &Procedure,
+        height: &HeightAnalysis,
+        depth: &Option<DepthBound>,
+    ) -> ProcedureSummary {
+        let depth_term = depth.as_ref().map(|d| d.to_term());
+        let mut facts = Vec::new();
+        for (tau, closed_form, exact) in height.solved_terms(&proc.name) {
+            let bound = depth_term.as_ref().map(|dt| closed_form.to_term_with_param(dt));
+            facts.push(BoundFact { term: tau, closed_form, bound, exact });
+        }
+        // Polyhedral part: polynomial closed forms substituted with the depth
+        // bound, guarded on the sign of the depth argument (see DESIGN.md).
+        let formula = if self.config.enable_polynomial_facts {
+            self.polynomial_summary_formula(&facts, depth)
+        } else {
+            TransitionFormula::top()
+        };
+        ProcedureSummary {
+            name: proc.name.clone(),
+            formula,
+            bound_facts: facts,
+            depth: depth.clone(),
+            recursive: true,
+        }
+    }
+
+    /// Turns polynomial-in-`h` closed forms plus a linear depth bound into
+    /// polyhedral atoms:
+    ///
+    /// * disjunct 1: `e ≥ 1  ∧  τ_k ≤ b_k(e)` for every polynomial fact,
+    /// * disjunct 2: `e ≤ 0  ∧  τ_k ≤ 0` (only the base case is reachable),
+    ///
+    /// where `e` is the raw (un-maxed) depth expression.  Constant closed
+    /// forms are added unconditionally.
+    fn polynomial_summary_formula(
+        &self,
+        facts: &[BoundFact],
+        depth: &Option<DepthBound>,
+    ) -> TransitionFormula {
+        let mut unconditional: Vec<Atom> = Vec::new();
+        for f in facts {
+            if let Some(c) = f.closed_form.as_constant() {
+                unconditional.push(Atom::le(f.term.clone(), Polynomial::constant(c)));
+            }
+        }
+        let depth_poly = match depth {
+            Some(DepthBound::Linear(t)) => term_to_polynomial(t),
+            _ => None,
+        };
+        let Some(depth_expr) = depth_poly else {
+            return TransitionFormula::from_polyhedron(Polyhedron::from_atoms(unconditional));
+        };
+        let h = Symbol::height();
+        let mut deep_atoms = unconditional.clone();
+        deep_atoms.push(Atom::ge(depth_expr.clone(), Polynomial::one()));
+        let mut shallow_atoms = unconditional;
+        shallow_atoms.push(Atom::le(depth_expr.clone(), Polynomial::zero()));
+        for f in facts {
+            if f.closed_form.as_constant().is_some() {
+                continue;
+            }
+            if let Some(poly_in_h) = f.closed_form.as_polynomial() {
+                let substituted = poly_in_h.substitute(&h, &depth_expr);
+                deep_atoms.push(Atom::le(f.term.clone(), substituted));
+                shallow_atoms.push(Atom::le(f.term.clone(), Polynomial::zero()));
+            }
+        }
+        TransitionFormula::from_disjuncts(vec![
+            Polyhedron::from_atoms(deep_atoms),
+            Polyhedron::from_atoms(shallow_atoms),
+        ])
+    }
+
+    /// Walks a procedure body with the given summaries, checking every
+    /// assertion against the reaching transition formula.  Public so the
+    /// ICRA-style baseline can reuse the same verification pass.
+    #[allow(clippy::too_many_arguments)]
+    pub fn check_asserts_with(
+        &self,
+        summarizer: &Summarizer<'_>,
+        proc: &Procedure,
+        stmt: &Stmt,
+        vars: &[Symbol],
+        prefix: TransitionFormula,
+        out: &mut Vec<AssertionResult>,
+    ) -> TransitionFormula {
+        match stmt {
+            Stmt::Assert(cond, label) => {
+                let verified = self.prove(&prefix, cond, vars);
+                out.push(AssertionResult {
+                    procedure: proc.name.clone(),
+                    label: label.clone(),
+                    verified,
+                });
+                prefix
+            }
+            Stmt::Seq(stmts) => {
+                let mut current = prefix;
+                for s in stmts {
+                    current = self.check_asserts_with(summarizer, proc, s, vars, current, out);
+                }
+                current
+            }
+            Stmt::If(c, then_branch, else_branch) => {
+                let guard_t = summarizer.summarize_stmt(
+                    &Stmt::Assume(c.clone()),
+                    vars,
+                    &BTreeMap::new(),
+                );
+                let guard_f = summarizer.summarize_stmt(
+                    &Stmt::Assume(c.clone().negate()),
+                    vars,
+                    &BTreeMap::new(),
+                );
+                let after_then = self.check_asserts_with(
+                    summarizer,
+                    proc,
+                    then_branch,
+                    vars,
+                    prefix.sequence(&guard_t.fall_through, vars),
+                    out,
+                );
+                let after_else = self.check_asserts_with(
+                    summarizer,
+                    proc,
+                    else_branch,
+                    vars,
+                    prefix.sequence(&guard_f.fall_through, vars),
+                    out,
+                );
+                after_then.union(&after_else)
+            }
+            Stmt::While(c, body) => {
+                let body_summary = summarizer.summarize_stmt(body, vars, &BTreeMap::new());
+                let guard_t =
+                    summarizer.summarize_stmt(&Stmt::Assume(c.clone()), vars, &BTreeMap::new());
+                let guard_f = summarizer.summarize_stmt(
+                    &Stmt::Assume(c.clone().negate()),
+                    vars,
+                    &BTreeMap::new(),
+                );
+                let one_iter = guard_t.fall_through.sequence(&body_summary.fall_through, vars);
+                let iterations = summarizer.loop_summary(&one_iter, vars);
+                // Check assertions inside the body under the loop invariant
+                // approximation.
+                let in_loop =
+                    prefix.sequence(&iterations, vars).sequence(&guard_t.fall_through, vars);
+                let _ = self.check_asserts_with(summarizer, proc, body, vars, in_loop, out);
+                prefix.sequence(&iterations, vars).sequence(&guard_f.fall_through, vars)
+            }
+            Stmt::Return(_) => TransitionFormula::bottom(),
+            other => {
+                let summary = summarizer.summarize_stmt(other, vars, &BTreeMap::new());
+                prefix.sequence(&summary.fall_through, vars)
+            }
+        }
+    }
+
+    /// Proves `prefix ⊨ cond` where `cond` refers to the current (post)
+    /// values of the program variables.
+    fn prove(&self, prefix: &TransitionFormula, cond: &chora_ir::Cond, vars: &[Symbol]) -> bool {
+        let post_disjuncts = lower_cond_post(cond, vars);
+        prefix.disjuncts().iter().all(|reach| {
+            post_disjuncts
+                .iter()
+                .any(|goal| goal.atoms().iter().all(|a| reach.implies_atom(a)))
+        })
+    }
+}
+
+/// Extracts, from a recursive procedure's summary, an upper bound (as a
+/// [`Term`] over pre-state variables) on the final value of `var'` — the
+/// primary interface used for resource-bound extraction (Table 1).
+pub fn upper_bound_on_post(summary: &ProcedureSummary, var: &Symbol) -> Option<Term> {
+    let primed = var.primed();
+    let mut best: Option<Term> = None;
+    // Prefer height-indexed bound facts (they capture the recursion).
+    for fact in &summary.bound_facts {
+        let Some(bound) = &fact.bound else { continue };
+        // τ must be of the form  var' + rest  with `rest` over pre-state vars.
+        let coeff = fact.term.coefficient(&chora_expr::Monomial::var(primed.clone()));
+        if !coeff.is_one() {
+            continue;
+        }
+        let rest = &fact.term - &Polynomial::var(primed.clone());
+        if rest.symbols().iter().any(|s| s.is_post()) {
+            continue;
+        }
+        // var' ≤ bound − rest
+        let bound_term = Term::add(vec![bound.clone(), polynomial_to_term(&(-&rest))]);
+        best = Some(match best {
+            None => bound_term,
+            Some(existing) => existing.min_estimate(bound_term),
+        });
+    }
+    if best.is_some() {
+        return best;
+    }
+    // Fall back to the polyhedral summary (non-recursive procedures).
+    let mut keep: BTreeSet<Symbol> = summary
+        .formula
+        .symbols()
+        .into_iter()
+        .filter(|s| !s.is_post() || s == &primed)
+        .collect();
+    keep.insert(primed.clone());
+    let hull = summary.formula.abstract_hull(&keep);
+    hull.upper_bounds_on(&primed).first().map(polynomial_to_term)
+}
+
+/// A small helper trait to pick the "smaller-looking" of two bound terms
+/// (used only to prefer tighter bounds for reporting; soundness does not
+/// depend on the choice).
+trait MinEstimate {
+    fn min_estimate(self, other: Term) -> Term;
+}
+
+impl MinEstimate for Term {
+    fn min_estimate(self, other: Term) -> Term {
+        // Prefer the syntactically smaller term as a heuristic.
+        if format!("{other}").len() < format!("{self}").len() {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+/// Returns the symbol conventionally used for a procedure's return value in
+/// summaries (`ret`, whose primed version is `ret'`).
+pub fn return_symbol() -> Symbol {
+    return_variable()
+}

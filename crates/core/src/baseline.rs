@@ -1,0 +1,175 @@
+//! An ICRA-style baseline analyzer.
+//!
+//! ICRA [24] lifts Compositional Recurrence Analysis to linearly recursive
+//! procedures but "resorts to Kleene iteration in the case of non-linear
+//! recursion" (§5).  This baseline reproduces that behaviour over the same
+//! substrate as the CHORA analyzer: non-recursive components are summarized
+//! exactly as CHORA does; recursive components are summarized by a bounded
+//! Kleene iteration of `Summary(P, φ)` starting from ⊥, falling back to a
+//! havoc summary when the iteration has not stabilized — which is what makes
+//! it unable to bound the cost of non-linearly recursive procedures
+//! (the "n.b." column of Table 1).
+
+use crate::analysis::{AnalysisResult, AssertionResult, ProcedureSummary};
+use crate::summarize::Summarizer;
+use chora_ir::{CallGraph, Program};
+use chora_logic::TransitionFormula;
+use std::collections::BTreeMap;
+
+/// The ICRA-style baseline analyzer.
+#[derive(Clone, Debug)]
+pub struct BaselineAnalyzer {
+    /// Number of Kleene iterations attempted for recursive components before
+    /// widening to a havoc summary.
+    pub max_kleene_iterations: usize,
+}
+
+impl Default for BaselineAnalyzer {
+    fn default() -> Self {
+        BaselineAnalyzer { max_kleene_iterations: 3 }
+    }
+}
+
+impl BaselineAnalyzer {
+    /// Creates the baseline analyzer with the default iteration budget.
+    pub fn new() -> BaselineAnalyzer {
+        BaselineAnalyzer::default()
+    }
+
+    /// Analyses a program with the baseline strategy.
+    pub fn analyze(&self, program: &Program) -> AnalysisResult {
+        let callgraph = CallGraph::build(program);
+        let mut summarizer = Summarizer::new(program);
+        let mut result = AnalysisResult::default();
+        for component in callgraph.components_bottom_up() {
+            if !component.recursive {
+                for name in &component.members {
+                    let Some(proc) = program.procedure(name) else { continue };
+                    let formula = summarizer.summarize_procedure(proc, &BTreeMap::new());
+                    summarizer.summaries.insert(name.clone(), formula.clone());
+                    result.summaries.insert(
+                        name.clone(),
+                        ProcedureSummary {
+                            name: name.clone(),
+                            formula,
+                            bound_facts: Vec::new(),
+                            depth: None,
+                            recursive: false,
+                        },
+                    );
+                }
+                continue;
+            }
+            // Kleene iteration from ⊥.
+            let mut current: BTreeMap<String, TransitionFormula> = component
+                .members
+                .iter()
+                .map(|m| (m.clone(), TransitionFormula::bottom()))
+                .collect();
+            let mut stabilized = false;
+            for _ in 0..self.max_kleene_iterations {
+                let mut next = BTreeMap::new();
+                for name in &component.members {
+                    let Some(proc) = program.procedure(name) else { continue };
+                    next.insert(name.clone(), summarizer.summarize_procedure(proc, &current));
+                }
+                if component
+                    .members
+                    .iter()
+                    .all(|m| formulas_equivalent(&current[m], &next[m]))
+                {
+                    stabilized = true;
+                    current = next;
+                    break;
+                }
+                current = next;
+            }
+            for name in &component.members {
+                let formula = if stabilized {
+                    current[name].clone()
+                } else {
+                    // Widen: nothing is known about the effect of the
+                    // recursion (globals and the return value are havocked).
+                    TransitionFormula::top()
+                };
+                summarizer.summaries.insert(name.clone(), formula.clone());
+                result.summaries.insert(
+                    name.clone(),
+                    ProcedureSummary {
+                        name: name.clone(),
+                        formula,
+                        bound_facts: Vec::new(),
+                        depth: None,
+                        recursive: true,
+                    },
+                );
+            }
+        }
+        // Assertion checking with the baseline summaries reuses the same
+        // reaching-formula pass as the main analyzer.
+        let analyzer = crate::analysis::Analyzer::new();
+        let mut assertions: Vec<AssertionResult> = Vec::new();
+        for proc in &program.procedures {
+            let vars = summarizer.proc_vars(proc);
+            let prefix = TransitionFormula::identity(&vars);
+            analyzer.check_asserts_with(&summarizer, proc, &proc.body, &vars, prefix, &mut assertions);
+        }
+        result.assertions = assertions;
+        result
+    }
+}
+
+/// A cheap structural equivalence check used as the Kleene-iteration
+/// convergence test (mutual subsumption of the disjunct lists).
+fn formulas_equivalent(a: &TransitionFormula, b: &TransitionFormula) -> bool {
+    let sub = |x: &TransitionFormula, y: &TransitionFormula| {
+        x.disjuncts().iter().all(|dx| y.disjuncts().iter().any(|dy| dx.is_subset_of(dy)))
+    };
+    sub(a, b) && sub(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chora_ir::{Cond, Expr, Procedure, Stmt};
+
+    #[test]
+    fn baseline_fails_to_bound_nonlinear_recursion() {
+        let mut prog = Program::new();
+        prog.add_global("cost");
+        prog.add_procedure(Procedure::new(
+            "hanoi",
+            &["n"],
+            &[],
+            Stmt::seq(vec![
+                Stmt::assign("cost", Expr::var("cost").add(Expr::int(1))),
+                Stmt::if_then(
+                    Cond::gt(Expr::var("n"), Expr::int(0)),
+                    Stmt::seq(vec![
+                        Stmt::call("hanoi", vec![Expr::var("n").sub(Expr::int(1))]),
+                        Stmt::call("hanoi", vec![Expr::var("n").sub(Expr::int(1))]),
+                    ]),
+                ),
+            ]),
+        ));
+        let result = BaselineAnalyzer::new().analyze(&prog);
+        let summary = result.summary("hanoi").unwrap();
+        let bound =
+            crate::complexity::cost_bound(summary, &chora_expr::Symbol::new("cost"));
+        assert!(bound.is_none(), "the Kleene baseline should not find a cost bound");
+    }
+
+    #[test]
+    fn baseline_handles_non_recursive_procedures() {
+        let mut prog = Program::new();
+        prog.add_procedure(Procedure::new(
+            "id",
+            &["x"],
+            &[],
+            Stmt::Return(Some(Expr::var("x"))),
+        ));
+        let result = BaselineAnalyzer::new().analyze(&prog);
+        assert!(result.summary("id").is_some());
+        assert!(!result.summary("id").unwrap().recursive);
+    }
+}

@@ -1,0 +1,355 @@
+//! Height-based recurrence analysis (§4.1) and its mutual-recursion
+//! generalization (§4.4): Algorithm 2 (candidate recurrence-inequation
+//! extraction via hypothetical summaries) and Algorithm 3 (stratified
+//! recurrence construction), followed by recurrence solving.
+
+use crate::summarize::Summarizer;
+use chora_expr::{ExpPoly, Polynomial, Symbol};
+use chora_ir::Procedure;
+use chora_logic::{Atom, AtomKind, Polyhedron, TransitionFormula};
+use chora_numeric::BigRational;
+use chora_recurrence::RecurrenceSystem;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Maximum number of candidate bounded terms kept per procedure.
+const MAX_TERMS_PER_PROC: usize = 10;
+
+/// The result of height-based recurrence analysis on one strongly connected
+/// component of the call graph.
+#[derive(Clone, Debug, Default)]
+pub struct HeightAnalysis {
+    /// For each procedure: the candidate relational expressions `τ_k`
+    /// (indexed by the *global* bound index `k`).
+    pub terms: BTreeMap<String, Vec<(usize, Polynomial)>>,
+    /// Closed forms `b_k(h)` for every bound index that survived Alg. 3 and
+    /// recurrence solving, together with an exactness flag.
+    pub solutions: BTreeMap<usize, (ExpPoly, bool)>,
+    /// The hypothetical summaries `φ_call(P_i)` (useful for diagnostics and
+    /// for the two-region extension).
+    pub hypothetical: BTreeMap<String, TransitionFormula>,
+}
+
+impl HeightAnalysis {
+    /// The solved bound facts of one procedure: pairs `(τ_k, b_k)`.
+    pub fn solved_terms(&self, proc: &str) -> Vec<(Polynomial, ExpPoly, bool)> {
+        let mut out = Vec::new();
+        if let Some(terms) = self.terms.get(proc) {
+            for (k, tau) in terms {
+                if let Some((cf, exact)) = self.solutions.get(k) {
+                    out.push((tau.clone(), cf.clone(), *exact));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs height-based recurrence analysis on a (possibly mutually) recursive
+/// strongly connected component `members`.
+pub fn analyze_scc(summarizer: &Summarizer<'_>, members: &[String]) -> HeightAnalysis {
+    let program = summarizer.program();
+    let procs: Vec<&Procedure> = members.iter().filter_map(|m| program.procedure(m)).collect();
+    if procs.is_empty() {
+        return HeightAnalysis::default();
+    }
+    // Step 1 (Alg. 2 lines 1-6): base-case summaries and candidate terms.
+    let bottom_override: BTreeMap<String, TransitionFormula> =
+        members.iter().map(|m| (m.clone(), TransitionFormula::bottom())).collect();
+    let mut analysis = HeightAnalysis::default();
+    let mut next_index = 1usize;
+    for proc in &procs {
+        let beta = summarizer.summarize_procedure(proc, &bottom_override);
+        let vocab = summarizer.summary_vocabulary(proc);
+        let wbase = beta.abstract_hull(&vocab);
+        let mut taus: Vec<Polynomial> = Vec::new();
+        if !beta.is_bottom() {
+            for atom in wbase.atoms() {
+                match atom.kind {
+                    AtomKind::Le | AtomKind::Lt => push_tau(&mut taus, atom.poly.clone()),
+                    AtomKind::Eq => {
+                        push_tau(&mut taus, atom.poly.clone());
+                        push_tau(&mut taus, -&atom.poly);
+                    }
+                }
+            }
+        }
+        taus.truncate(MAX_TERMS_PER_PROC);
+        let indexed: Vec<(usize, Polynomial)> = taus
+            .into_iter()
+            .map(|t| {
+                let k = next_index;
+                next_index += 1;
+                (k, t)
+            })
+            .collect();
+        analysis.terms.insert(proc.name.clone(), indexed);
+    }
+    // Step 2 (Alg. 2 line 7): hypothetical summaries φ_call.
+    for proc in &procs {
+        let mut atoms = Vec::new();
+        for (k, tau) in &analysis.terms[&proc.name] {
+            let b = Polynomial::var(Symbol::bound_at_h(*k));
+            atoms.push(Atom::le(tau.clone(), b.clone()));
+            atoms.push(Atom::ge(b, Polynomial::zero()));
+        }
+        analysis
+            .hypothetical
+            .insert(proc.name.clone(), TransitionFormula::from_polyhedron(Polyhedron::from_atoms(atoms)));
+    }
+    // Steps 3-5 (Alg. 2 lines 8-14): extract candidate recurrence inequations.
+    let call_override: BTreeMap<String, TransitionFormula> = analysis.hypothetical.clone();
+    let all_bound_syms: BTreeSet<Symbol> = analysis
+        .terms
+        .values()
+        .flat_map(|v| v.iter().map(|(k, _)| Symbol::bound_at_h(*k)))
+        .collect();
+    let mut candidates: Vec<(usize, Polynomial)> = Vec::new(); // (k, rhs upper bound on b_k(h+1))
+    for proc in &procs {
+        if analysis.terms[&proc.name].is_empty() {
+            continue;
+        }
+        let phi_rec = summarizer.summarize_procedure(proc, &call_override);
+        if phi_rec.is_bottom() {
+            continue;
+        }
+        // φ_ext = φ_rec ∧ b_k(h+1) = τ_k for this procedure's terms.  The
+        // non-negativity of every hypothetical bounding function (asserted by
+        // φ_call along recursive paths) is a global assumption of the
+        // analysis, so it is conjoined here as well; without it the base-case
+        // disjunct would not entail the recurrence inequations.
+        let mut ext_atoms = Vec::new();
+        for (k, tau) in &analysis.terms[&proc.name] {
+            ext_atoms.push(Atom::eq(Polynomial::var(Symbol::bound_at_h1(*k)), tau.clone()));
+        }
+        for b in &all_bound_syms {
+            ext_atoms.push(Atom::ge(Polynomial::var(b.clone()), Polynomial::zero()));
+        }
+        let phi_ext = phi_rec.conjoin(&Polyhedron::from_atoms(ext_atoms));
+        for (k, _) in &analysis.terms[&proc.name] {
+            let mut keep: BTreeSet<Symbol> = all_bound_syms.clone();
+            keep.insert(Symbol::bound_at_h1(*k));
+            let wext = phi_ext.abstract_hull(&keep);
+            for atom in wext.atoms() {
+                let target = Symbol::bound_at_h1(*k);
+                let bound = match atom.kind {
+                    AtomKind::Le | AtomKind::Lt => atom.upper_bound_on(&target),
+                    AtomKind::Eq => Atom::le_zero(atom.poly.clone())
+                        .upper_bound_on(&target)
+                        .or_else(|| Atom::le_zero(-&atom.poly).upper_bound_on(&target)),
+                };
+                if let Some(rhs) = bound {
+                    // The RHS may only mention b_*(h) symbols.
+                    if rhs.symbols().iter().all(|s| s.as_bound_at_h().is_some()) {
+                        candidates.push((*k, rhs));
+                    }
+                }
+            }
+        }
+    }
+    // Alg. 3: drop negative coefficients, then select a stratified subset.
+    let selected = stratify(candidates);
+    // Solve the resulting stratified recurrence (maximal solution: ≤ as =).
+    let mut system = RecurrenceSystem::new();
+    for (k, rhs) in &selected {
+        system.add_equation(*k, rhs.clone());
+    }
+    if system.is_empty() {
+        return analysis;
+    }
+    if let Ok(solved) = system.solve() {
+        for s in solved {
+            analysis.solutions.insert(s.index, (s.closed_form, s.exact));
+        }
+    }
+    analysis
+}
+
+fn push_tau(taus: &mut Vec<Polynomial>, tau: Polynomial) {
+    if tau.is_constant() {
+        return;
+    }
+    if !taus.contains(&tau) {
+        taus.push(tau);
+    }
+}
+
+/// Alg. 3: builds a stratified recurrence from candidate inequations
+/// `b_k(h+1) ≤ rhs` (negative coefficients are clamped to zero, each bound
+/// gets at most one defining inequation, linear dependencies may stay within
+/// a stratum while non-linear dependencies must point strictly downwards).
+pub fn stratify(candidates: Vec<(usize, Polynomial)>) -> Vec<(usize, Polynomial)> {
+    // Clamp negative coefficients (Alg. 3 line 6) and record usage kinds.
+    struct Cand {
+        index: usize,
+        rhs: Polynomial,
+        uses: BTreeSet<usize>,
+        uses_nonlinear: BTreeSet<usize>,
+    }
+    let mut cands: Vec<Cand> = Vec::new();
+    for (k, rhs) in candidates {
+        let clamped = Polynomial::from_terms(rhs.terms().filter_map(|(m, c)| {
+            // Only powers of b_*(h) symbols are allowed in the monomial.
+            if !m.symbols().iter().all(|s| s.as_bound_at_h().is_some()) {
+                return None;
+            }
+            if c.is_negative() {
+                None
+            } else {
+                Some((c.clone(), m.clone()))
+            }
+        }));
+        let mut uses = BTreeSet::new();
+        let mut uses_nonlinear = BTreeSet::new();
+        for (m, _) in clamped.terms() {
+            for s in m.symbols() {
+                if let Some(j) = s.as_bound_at_h() {
+                    uses.insert(j);
+                    if m.degree() > 1 {
+                        uses_nonlinear.insert(j);
+                    }
+                }
+            }
+        }
+        cands.push(Cand { index: k, rhs: clamped, uses, uses_nonlinear });
+    }
+    // Prefer tighter candidates when several define the same bound: Alg. 3
+    // chooses arbitrarily, we order by (degree, coefficient mass) so the
+    // smallest right-hand side wins the "arbitrary" choice.
+    cands.sort_by(|a, b| {
+        let mass = |c: &Cand| {
+            let mut sum = BigRational::zero();
+            for (_, coeff) in c.rhs.terms() {
+                sum += &coeff.abs();
+            }
+            (c.rhs.degree(), sum)
+        };
+        (a.index, mass(a)).cmp(&(b.index, mass(b)))
+    });
+    // Iteratively build the accepted set A (Alg. 3 lines 13-25).
+    let mut accepted: Vec<usize> = Vec::new(); // indices into `cands`
+    let mut accepted_defines: BTreeSet<usize> = BTreeSet::new();
+    loop {
+        let mut v: Vec<usize> = (0..cands.len()).filter(|i| !accepted.contains(i)).collect();
+        loop {
+            let defines_in_v: BTreeSet<usize> = v.iter().map(|&i| cands[i].index).collect();
+            let before = v.len();
+            v.retain(|&i| {
+                let c = &cands[i];
+                // Every (linearly) used bound must be defined in V ∪ A ...
+                let uses_ok = c
+                    .uses
+                    .iter()
+                    .all(|j| defines_in_v.contains(j) || accepted_defines.contains(j));
+                // ... and every non-linearly used bound must already be in A
+                // (a strictly lower stratum).
+                let nonlinear_ok = c.uses_nonlinear.iter().all(|j| accepted_defines.contains(j));
+                uses_ok && nonlinear_ok
+            });
+            if v.len() == before {
+                break;
+            }
+        }
+        // At most one definition per bound index: keep the first.
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        v.retain(|&i| seen.insert(cands[i].index));
+        // Drop definitions for bounds already accepted.
+        v.retain(|&i| !accepted_defines.contains(&cands[i].index));
+        if v.is_empty() {
+            break;
+        }
+        for &i in &v {
+            accepted_defines.insert(cands[i].index);
+        }
+        accepted.extend(v);
+    }
+    accepted.sort_unstable();
+    accepted.into_iter().map(|i| (cands[i].index, cands[i].rhs.clone())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chora_ir::{Cond, Expr, Procedure, Program, Stmt};
+    use chora_numeric::rat;
+
+    fn b(k: usize) -> Polynomial {
+        Polynomial::var(Symbol::bound_at_h(k))
+    }
+    fn c(v: i64) -> Polynomial {
+        Polynomial::constant(rat(v))
+    }
+
+    #[test]
+    fn stratify_selects_consistent_subset() {
+        // b1(h+1) ≤ 2 b1(h) + 1   and a competing looser bound; only one kept.
+        let cands = vec![
+            (1, &b(1).scale(&rat(2)) + &c(1)),
+            (1, &b(1).scale(&rat(3)) + &c(5)),
+            (2, &(&b(2) + &b(1)) + &c(1)),
+        ];
+        let selected = stratify(cands);
+        assert_eq!(selected.len(), 2);
+        assert_eq!(selected.iter().filter(|(k, _)| *k == 1).count(), 1);
+    }
+
+    #[test]
+    fn stratify_rejects_undefined_uses() {
+        // b1 uses b9 which is never defined: dropped.
+        let cands = vec![(1, &b(1) + &b(9))];
+        assert!(stratify(cands).is_empty());
+    }
+
+    #[test]
+    fn stratify_clamps_negative_coefficients() {
+        let cands = vec![(1, &b(1).scale(&rat(2)) - &c(5))];
+        let selected = stratify(cands);
+        assert_eq!(selected.len(), 1);
+        // -5 clamped away
+        assert_eq!(selected[0].1, b(1).scale(&rat(2)));
+    }
+
+    #[test]
+    fn stratify_nonlinear_needs_lower_stratum() {
+        // b2 uses b1 non-linearly; fine because b1 is defined without using b2.
+        let cands = vec![(1, &b(1).scale(&rat(2)) + &c(1)), (2, &(&b(1) * &b(1)) + &b(2))];
+        let selected = stratify(cands);
+        assert_eq!(selected.len(), 2);
+        // A self non-linear use is rejected.
+        let bad = vec![(3, &b(3) * &b(3))];
+        assert!(stratify(bad).is_empty());
+    }
+
+    /// End-to-end check of Alg. 2 + Alg. 3 + solving on the Tower-of-Hanoi
+    /// cost model (the subsetSum example of §2 has the same recurrence shape).
+    #[test]
+    fn hanoi_height_analysis() {
+        let mut prog = Program::new();
+        prog.add_global("cost");
+        prog.add_procedure(Procedure::new(
+            "hanoi",
+            &["n"],
+            &[],
+            Stmt::seq(vec![
+                Stmt::assign("cost", Expr::var("cost").add(Expr::int(1))),
+                Stmt::if_then(
+                    Cond::gt(Expr::var("n"), Expr::int(0)),
+                    Stmt::seq(vec![
+                        Stmt::call("hanoi", vec![Expr::var("n").sub(Expr::int(1))]),
+                        Stmt::call("hanoi", vec![Expr::var("n").sub(Expr::int(1))]),
+                    ]),
+                ),
+            ]),
+        ));
+        let summarizer = Summarizer::new(&prog);
+        let result = analyze_scc(&summarizer, &["hanoi".to_string()]);
+        // Some bounded term of the form cost' - cost - 1 must get an
+        // exponential closed form with base 2.
+        let facts = result.solved_terms("hanoi");
+        assert!(!facts.is_empty(), "no solved terms");
+        let cost_fact = facts.iter().find(|(tau, _, _)| {
+            tau.symbols().contains(&Symbol::new("cost'")) && tau.symbols().contains(&Symbol::new("cost"))
+        });
+        let (_, cf, _) = cost_fact.expect("cost difference term solved");
+        assert_eq!(cf.dominant_base_abs(), Some(rat(2)), "closed form {cf} should be exponential base 2");
+    }
+}

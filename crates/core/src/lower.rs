@@ -1,0 +1,242 @@
+//! Lowering IR expressions and conditions into the constraint language.
+
+use chora_expr::{Polynomial, Symbol};
+use chora_ir::{CmpOp, Cond, Expr};
+use chora_logic::{Atom, Polyhedron};
+use chora_numeric::BigRational;
+
+/// The result of lowering an expression: a polynomial for its value plus
+/// side constraints (introduced by floor division) over fresh symbols.
+#[derive(Clone, Debug)]
+pub struct LoweredExpr {
+    /// Polynomial over program variables and any fresh division symbols.
+    pub value: Polynomial,
+    /// Side constraints defining the fresh symbols.
+    pub constraints: Vec<Atom>,
+    /// Fresh symbols introduced (must be existentially eliminated by the
+    /// caller once the constraints have been conjoined).
+    pub fresh: Vec<Symbol>,
+}
+
+/// Lowers an integer expression to a polynomial plus division constraints.
+///
+/// Floor division `e / c` is modelled exactly on integers by a fresh symbol
+/// `q` with `c·q ≤ e ≤ c·q + (c − 1)`.
+pub fn lower_expr(e: &Expr) -> LoweredExpr {
+    match e {
+        Expr::Const(v) => LoweredExpr {
+            value: Polynomial::constant(BigRational::from(*v)),
+            constraints: Vec::new(),
+            fresh: Vec::new(),
+        },
+        Expr::Var(s) => LoweredExpr {
+            value: Polynomial::var(s.clone()),
+            constraints: Vec::new(),
+            fresh: Vec::new(),
+        },
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+            let la = lower_expr(a);
+            let lb = lower_expr(b);
+            let value = match e {
+                Expr::Add(_, _) => &la.value + &lb.value,
+                Expr::Sub(_, _) => &la.value - &lb.value,
+                Expr::Mul(_, _) => &la.value * &lb.value,
+                _ => unreachable!(),
+            };
+            let mut constraints = la.constraints;
+            constraints.extend(lb.constraints);
+            let mut fresh = la.fresh;
+            fresh.extend(lb.fresh);
+            LoweredExpr { value, constraints, fresh }
+        }
+        Expr::DivConst(a, c) => {
+            let la = lower_expr(a);
+            let q = Symbol::fresh("div");
+            let cq = Polynomial::var(q.clone()).scale(&BigRational::from(*c));
+            let mut constraints = la.constraints;
+            // c·q ≤ e  ∧  e ≤ c·q + (c-1)
+            constraints.push(Atom::le(cq.clone(), la.value.clone()));
+            constraints.push(Atom::le(
+                la.value.clone(),
+                &cq + &Polynomial::constant(BigRational::from(*c - 1)),
+            ));
+            let mut fresh = la.fresh;
+            fresh.push(q.clone());
+            LoweredExpr { value: Polynomial::var(q), constraints, fresh }
+        }
+    }
+}
+
+/// Lowers a condition into a disjunction of conjunctions of atoms (over the
+/// *pre-state* variables).  `Nondet` lowers to the single empty conjunction
+/// (no constraint — both outcomes possible), as does its negation.
+///
+/// Integer semantics are used for strict comparisons: `a < b` becomes
+/// `a ≤ b − 1`.
+pub fn lower_cond(c: &Cond) -> Vec<Vec<Atom>> {
+    match c {
+        Cond::Nondet => vec![vec![]],
+        Cond::Cmp(a, op, b) => {
+            let la = lower_expr(a);
+            let lb = lower_expr(b);
+            // Division inside conditions is rare in the benchmarks; the side
+            // constraints are conjoined so the comparison remains sound.
+            let mut side = la.constraints.clone();
+            side.extend(lb.constraints.clone());
+            let one = Polynomial::one();
+            let mk = |atoms: Vec<Atom>| -> Vec<Atom> {
+                let mut v = side.clone();
+                v.extend(atoms);
+                v
+            };
+            match op {
+                CmpOp::Le => vec![mk(vec![Atom::le(la.value, lb.value)])],
+                CmpOp::Lt => vec![mk(vec![Atom::le(&la.value + &one, lb.value)])],
+                CmpOp::Ge => vec![mk(vec![Atom::ge(la.value, lb.value)])],
+                CmpOp::Gt => vec![mk(vec![Atom::ge(&la.value - &one, lb.value)])],
+                CmpOp::Eq => vec![mk(vec![Atom::eq(la.value, lb.value)])],
+                CmpOp::Ne => vec![
+                    mk(vec![Atom::le(&la.value + &one, lb.value.clone())]),
+                    mk(vec![Atom::ge(&la.value - &one, lb.value)]),
+                ],
+            }
+        }
+        Cond::And(a, b) => {
+            let da = lower_cond(a);
+            let db = lower_cond(b);
+            let mut out = Vec::new();
+            for x in &da {
+                for y in &db {
+                    let mut conj = x.clone();
+                    conj.extend(y.clone());
+                    out.push(conj);
+                }
+            }
+            out
+        }
+        Cond::Or(a, b) => {
+            let mut out = lower_cond(a);
+            out.extend(lower_cond(b));
+            out
+        }
+        Cond::Not(inner) => lower_cond_negated(inner),
+    }
+}
+
+/// Lowers the negation of a condition.
+pub fn lower_cond_negated(c: &Cond) -> Vec<Vec<Atom>> {
+    match c {
+        Cond::Nondet => vec![vec![]],
+        Cond::Cmp(a, op, b) => {
+            let negated_op = match op {
+                CmpOp::Le => CmpOp::Gt,
+                CmpOp::Lt => CmpOp::Ge,
+                CmpOp::Ge => CmpOp::Lt,
+                CmpOp::Gt => CmpOp::Le,
+                CmpOp::Eq => CmpOp::Ne,
+                CmpOp::Ne => CmpOp::Eq,
+            };
+            lower_cond(&Cond::Cmp(a.clone(), negated_op, b.clone()))
+        }
+        Cond::And(a, b) => {
+            // ¬(a ∧ b) = ¬a ∨ ¬b
+            let mut out = lower_cond_negated(a);
+            out.extend(lower_cond_negated(b));
+            out
+        }
+        Cond::Or(a, b) => {
+            // ¬(a ∨ b) = ¬a ∧ ¬b
+            let da = lower_cond_negated(a);
+            let db = lower_cond_negated(b);
+            let mut out = Vec::new();
+            for x in &da {
+                for y in &db {
+                    let mut conj = x.clone();
+                    conj.extend(y.clone());
+                    out.push(conj);
+                }
+            }
+            out
+        }
+        Cond::Not(inner) => lower_cond(inner),
+    }
+}
+
+/// Lowers a condition into polyhedra over the *post-state* (primed) program
+/// variables — used when checking assertions against a reaching formula.
+pub fn lower_cond_post(c: &Cond, vars: &[Symbol]) -> Vec<Polyhedron> {
+    lower_cond(c)
+        .into_iter()
+        .map(|atoms| {
+            Polyhedron::from_atoms(
+                atoms
+                    .into_iter()
+                    .map(|a| {
+                        a.rename(&mut |s| {
+                            if vars.contains(s) {
+                                s.primed()
+                            } else {
+                                s.clone()
+                            }
+                        })
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_simple_expr() {
+        let e = Expr::var("x").mul(Expr::var("x")).add(Expr::int(3));
+        let l = lower_expr(&e);
+        assert_eq!(l.value.to_string(), "x^2 + 3");
+        assert!(l.constraints.is_empty());
+    }
+
+    #[test]
+    fn lower_division_introduces_constraints() {
+        let e = Expr::var("n").div(2);
+        let l = lower_expr(&e);
+        assert_eq!(l.fresh.len(), 1);
+        assert_eq!(l.constraints.len(), 2);
+        // The value is the fresh quotient symbol.
+        assert!(l.value.symbols().contains(&l.fresh[0]));
+    }
+
+    #[test]
+    fn lower_strict_comparison_uses_integer_semantics() {
+        let c = Cond::lt(Expr::var("i"), Expr::var("n"));
+        let d = lower_cond(&c);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0][0].to_string(), "i - n + 1 ≤ 0");
+    }
+
+    #[test]
+    fn lower_disequality_splits() {
+        let c = Cond::ne(Expr::var("x"), Expr::int(0));
+        let d = lower_cond(&c);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn negation_of_and_is_disjunction() {
+        let c = Cond::ge(Expr::var("x"), Expr::int(0)).and(Cond::le(Expr::var("x"), Expr::int(5)));
+        let neg = lower_cond_negated(&c);
+        assert_eq!(neg.len(), 2);
+        let pos = lower_cond(&c);
+        assert_eq!(pos.len(), 1);
+        assert_eq!(pos[0].len(), 2);
+    }
+
+    #[test]
+    fn nondet_lowers_to_unconstrained() {
+        assert_eq!(lower_cond(&Cond::Nondet), vec![vec![]]);
+        assert_eq!(lower_cond_negated(&Cond::Nondet), vec![vec![]]);
+        assert_eq!(lower_cond(&Cond::Nondet.negate()), vec![vec![]]);
+    }
+}

@@ -1,0 +1,468 @@
+//! Exponential-polynomial closed forms in a single parameter.
+//!
+//! Every C-finite sequence — and hence every bounding function produced by
+//! the recurrence-solving step of height-based recurrence analysis — admits a
+//! closed form of the shape
+//!
+//! ```text
+//!     f(h) = p₁(h)·r₁^h + p₂(h)·r₂^h + ... + pₗ(h)·rₗ^h
+//! ```
+//!
+//! where each `pᵢ` is a polynomial and each `rᵢ` a rational constant (§3,
+//! "Recurrence relations").  [`ExpPoly`] represents exactly this class, keyed
+//! by the base `rᵢ`.
+
+use crate::polynomial::Polynomial;
+use crate::symbol::Symbol;
+use crate::term::Term;
+use chora_numeric::BigRational;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An exponential-polynomial function of one parameter (by convention the
+/// recursion height `h`).
+///
+/// ```
+/// use chora_expr::{ExpPoly, Symbol};
+/// use chora_numeric::rat;
+/// let h = Symbol::height();
+/// // f(h) = 2^h - 1   (the Tower-of-Hanoi closed form)
+/// let f = ExpPoly::exponential(rat(2), &h).add(&ExpPoly::constant(rat(-1), &h));
+/// assert_eq!(f.eval_int(10), rat(1023));
+/// assert_eq!(f.to_string(), "2^h - 1");
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct ExpPoly {
+    /// The parameter symbol (e.g. `h`).
+    param: Symbol,
+    /// Map base → polynomial coefficient (no zero polynomials, no base ≤ 0
+    /// except the conventional base 1 for the purely polynomial part).
+    terms: BTreeMap<BigRational, Polynomial>,
+}
+
+impl ExpPoly {
+    /// The zero function.
+    pub fn zero(param: &Symbol) -> ExpPoly {
+        ExpPoly { param: param.clone(), terms: BTreeMap::new() }
+    }
+
+    /// A constant function.
+    pub fn constant(c: BigRational, param: &Symbol) -> ExpPoly {
+        ExpPoly::from_poly(Polynomial::constant(c), param)
+    }
+
+    /// A purely polynomial function `p(param)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` mentions a symbol other than `param`.
+    pub fn from_poly(p: Polynomial, param: &Symbol) -> ExpPoly {
+        for s in p.symbols() {
+            assert_eq!(&s, param, "ExpPoly polynomial part mentions foreign symbol {s}");
+        }
+        let mut terms = BTreeMap::new();
+        if !p.is_zero() {
+            terms.insert(BigRational::one(), p);
+        }
+        ExpPoly { param: param.clone(), terms }
+    }
+
+    /// The function `base^param`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base == 0`.
+    pub fn exponential(base: BigRational, param: &Symbol) -> ExpPoly {
+        ExpPoly::exp_poly_term(base, Polynomial::one(), param)
+    }
+
+    /// The function `p(param)·base^param`.
+    ///
+    /// Negative bases are permitted (they arise from negative eigenvalues of
+    /// mutual-recursion systems); use [`ExpPoly::upper_envelope`] to obtain a
+    /// monotone non-negative upper bound when one is required.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base == 0` or if `p` mentions a symbol other than `param`.
+    pub fn exp_poly_term(base: BigRational, p: Polynomial, param: &Symbol) -> ExpPoly {
+        assert!(!base.is_zero(), "ExpPoly base must be non-zero");
+        for s in p.symbols() {
+            assert_eq!(&s, param, "ExpPoly polynomial part mentions foreign symbol {s}");
+        }
+        let mut terms = BTreeMap::new();
+        if !p.is_zero() {
+            terms.insert(base, p);
+        }
+        ExpPoly { param: param.clone(), terms }
+    }
+
+    /// The identity function `param`.
+    pub fn param_var(param: &Symbol) -> ExpPoly {
+        ExpPoly::from_poly(Polynomial::var(param.clone()), param)
+    }
+
+    /// The parameter symbol.
+    pub fn param(&self) -> &Symbol {
+        &self.param
+    }
+
+    /// Whether this is the zero function.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Whether the function is a constant, returning it if so.
+    pub fn as_constant(&self) -> Option<BigRational> {
+        if self.terms.is_empty() {
+            return Some(BigRational::zero());
+        }
+        if self.terms.len() == 1 {
+            let (base, p) = self.terms.iter().next().unwrap();
+            if base.is_one() {
+                return p.as_constant();
+            }
+        }
+        None
+    }
+
+    /// Whether the function is a polynomial in the parameter (no exponential
+    /// part with base ≠ 1), returning the polynomial if so.
+    pub fn as_polynomial(&self) -> Option<Polynomial> {
+        if self.terms.is_empty() {
+            return Some(Polynomial::zero());
+        }
+        if self.terms.len() == 1 {
+            let (base, p) = self.terms.iter().next().unwrap();
+            if base.is_one() {
+                return Some(p.clone());
+            }
+        }
+        None
+    }
+
+    /// Iterator over `(base, polynomial)` pairs.
+    pub fn terms(&self) -> impl Iterator<Item = (&BigRational, &Polynomial)> {
+        self.terms.iter()
+    }
+
+    fn add_term(&mut self, base: BigRational, p: Polynomial) {
+        if p.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(base.clone()).or_insert_with(Polynomial::zero);
+        *entry = &*entry + &p;
+        if entry.is_zero() {
+            self.terms.remove(&base);
+        }
+    }
+
+    /// Pointwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters differ.
+    pub fn add(&self, other: &ExpPoly) -> ExpPoly {
+        assert_eq!(self.param, other.param, "ExpPoly parameter mismatch");
+        let mut out = self.clone();
+        for (b, p) in &other.terms {
+            out.add_term(b.clone(), p.clone());
+        }
+        out
+    }
+
+    /// Pointwise scaling.
+    pub fn scale(&self, c: &BigRational) -> ExpPoly {
+        if c.is_zero() {
+            return ExpPoly::zero(&self.param);
+        }
+        ExpPoly {
+            param: self.param.clone(),
+            terms: self.terms.iter().map(|(b, p)| (b.clone(), p.scale(c))).collect(),
+        }
+    }
+
+    /// Pointwise product (bases multiply, coefficient polynomials multiply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters differ.
+    pub fn mul(&self, other: &ExpPoly) -> ExpPoly {
+        assert_eq!(self.param, other.param, "ExpPoly parameter mismatch");
+        let mut out = ExpPoly::zero(&self.param);
+        for (b1, p1) in &self.terms {
+            for (b2, p2) in &other.terms {
+                out.add_term(b1 * b2, p1 * p2);
+            }
+        }
+        out
+    }
+
+    /// Pointwise negation.
+    pub fn neg(&self) -> ExpPoly {
+        self.scale(&-BigRational::one())
+    }
+
+    /// The function `h ↦ f(h + k)` for an integer shift `k ≥ 0`.
+    pub fn shift(&self, k: i64) -> ExpPoly {
+        assert!(k >= 0, "ExpPoly::shift expects a non-negative shift");
+        let hvar = Polynomial::var(self.param.clone());
+        let shifted_param = &hvar + &Polynomial::constant(BigRational::from(k));
+        let mut out = ExpPoly::zero(&self.param);
+        for (b, p) in &self.terms {
+            let shifted_poly = p.substitute(&self.param, &shifted_param);
+            let factor = b.pow(k as i32);
+            out.add_term(b.clone(), shifted_poly.scale(&factor));
+        }
+        out
+    }
+
+    /// Evaluates at an integer point `n ≥ 0`.
+    pub fn eval_int(&self, n: i64) -> BigRational {
+        assert!(n >= 0, "ExpPoly::eval_int expects a non-negative argument");
+        let x = BigRational::from(n);
+        let mut acc = BigRational::zero();
+        for (b, p) in &self.terms {
+            let pv = p.eval_univariate(&self.param, &x);
+            acc += &(&pv * &b.pow(n as i32));
+        }
+        acc
+    }
+
+    /// Maximum exponential base appearing (1 if the function is a pure
+    /// polynomial, `None` if zero).
+    pub fn dominant_base(&self) -> Option<BigRational> {
+        self.terms.keys().max().cloned()
+    }
+
+    /// The base with the largest absolute value (drives the asymptotics).
+    pub fn dominant_base_abs(&self) -> Option<BigRational> {
+        self.terms.keys().max_by_key(|b| b.abs()).cloned()
+    }
+
+    /// A pointwise upper bound with non-negative coefficients and positive
+    /// bases: every base `r` is replaced by `|r|` and every polynomial
+    /// coefficient by its absolute value.  Sound because
+    /// `Σ qᵢ(h)·rᵢ^h ≤ Σ |qᵢ|(h)·|rᵢ|^h` for `h ≥ 0`.
+    pub fn upper_envelope(&self) -> ExpPoly {
+        let mut out = ExpPoly::zero(&self.param);
+        for (base, poly) in &self.terms {
+            let abs_poly = Polynomial::from_terms(
+                poly.terms().map(|(m, c)| (c.abs(), m.clone())),
+            );
+            out.add_term(base.abs(), abs_poly);
+        }
+        out
+    }
+
+    /// Degree of the polynomial factor attached to the dominant base.
+    pub fn dominant_degree(&self) -> u32 {
+        match self.dominant_base() {
+            None => 0,
+            Some(b) => self.terms[&b].degree(),
+        }
+    }
+
+    /// Whether the function is eventually non-decreasing and non-negative
+    /// (sufficient syntactic check: all coefficients of all polynomial parts
+    /// are non-negative).
+    pub fn is_syntactically_monotone(&self) -> bool {
+        self.terms.values().all(|p| p.terms().all(|(_, c)| !c.is_negative()))
+    }
+
+    /// Renders the closed form as a [`Term`] with the parameter replaced by
+    /// an arbitrary term (used to substitute the depth bound for `h`).
+    pub fn to_term_with_param(&self, param_term: &Term) -> Term {
+        if self.terms.is_empty() {
+            return Term::constant(BigRational::zero());
+        }
+        let mut summands = Vec::new();
+        for (base, poly) in &self.terms {
+            let poly_term = poly_to_term(poly, &self.param, param_term);
+            if base.is_one() {
+                summands.push(poly_term);
+            } else {
+                let exp = Term::pow(Term::constant(base.clone()), param_term.clone());
+                summands.push(Term::mul(vec![poly_term, exp]));
+            }
+        }
+        Term::add(summands)
+    }
+
+    /// Renders the closed form as a [`Term`] in the parameter symbol itself.
+    pub fn to_term(&self) -> Term {
+        self.to_term_with_param(&Term::var(self.param.clone()))
+    }
+}
+
+fn poly_to_term(p: &Polynomial, param: &Symbol, param_term: &Term) -> Term {
+    let mut summands = Vec::new();
+    for (m, c) in p.terms() {
+        let mut factors = vec![Term::constant(c.clone())];
+        for (s, e) in m.powers() {
+            let base = if s == param { param_term.clone() } else { Term::var(s.clone()) };
+            for _ in 0..e {
+                factors.push(base.clone());
+            }
+        }
+        summands.push(Term::mul(factors));
+    }
+    Term::add(summands)
+}
+
+impl fmt::Display for ExpPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        // Largest base first.
+        let mut first = true;
+        for (base, poly) in self.terms.iter().rev() {
+            let rendered = if base.is_one() {
+                format!("{poly}")
+            } else if poly.as_constant() == Some(BigRational::one()) {
+                format!("{base}^{}", self.param)
+            } else {
+                format!("({poly})·{base}^{}", self.param)
+            };
+            if first {
+                write!(f, "{rendered}")?;
+                first = false;
+            } else if let Some(stripped) = rendered.strip_prefix('-') {
+                write!(f, " - {stripped}")?;
+            } else {
+                write!(f, " + {rendered}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ExpPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chora_numeric::{rat, ratio};
+
+    fn h() -> Symbol {
+        Symbol::height()
+    }
+
+    #[test]
+    fn constant_and_polynomial() {
+        let c = ExpPoly::constant(rat(5), &h());
+        assert_eq!(c.as_constant(), Some(rat(5)));
+        assert_eq!(c.eval_int(17), rat(5));
+        let p = ExpPoly::param_var(&h());
+        assert_eq!(p.eval_int(4), rat(4));
+        assert!(p.as_constant().is_none());
+        assert!(p.as_polynomial().is_some());
+    }
+
+    #[test]
+    fn hanoi_closed_form() {
+        // 2^h - 1
+        let f = ExpPoly::exponential(rat(2), &h()).add(&ExpPoly::constant(rat(-1), &h()));
+        assert_eq!(f.eval_int(0), rat(0));
+        assert_eq!(f.eval_int(3), rat(7));
+        assert_eq!(f.eval_int(10), rat(1023));
+        assert_eq!(f.dominant_base(), Some(rat(2)));
+        assert_eq!(f.to_string(), "2^h - 1");
+    }
+
+    #[test]
+    fn mergesort_closed_form() {
+        // h·2^h  (cost of mergesort in terms of recursion height)
+        let f = ExpPoly::exp_poly_term(rat(2), Polynomial::var(h()), &h());
+        assert_eq!(f.eval_int(3), rat(24));
+        assert_eq!(f.dominant_base(), Some(rat(2)));
+        assert_eq!(f.dominant_degree(), 1);
+    }
+
+    #[test]
+    fn addition_merges_bases() {
+        let a = ExpPoly::exponential(rat(2), &h());
+        let b = ExpPoly::exponential(rat(2), &h()).scale(&rat(3));
+        let s = a.add(&b);
+        assert_eq!(s.eval_int(4), rat(64));
+        // 2^h and 3^h stay separate
+        let t = a.add(&ExpPoly::exponential(rat(3), &h()));
+        assert_eq!(t.terms().count(), 2);
+        // cancellation removes a base entirely
+        let z = a.add(&a.neg());
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn multiplication() {
+        // (2^h)·(2^h) = 4^h ; (h)·(2^h) = h·2^h
+        let two_h = ExpPoly::exponential(rat(2), &h());
+        let four_h = two_h.mul(&two_h);
+        assert_eq!(four_h.eval_int(3), rat(64));
+        assert_eq!(four_h.dominant_base(), Some(rat(4)));
+        let hh = ExpPoly::param_var(&h());
+        let prod = hh.mul(&two_h);
+        assert_eq!(prod.eval_int(5), rat(160));
+    }
+
+    #[test]
+    fn shift() {
+        // f(h) = 2^h - 1 ;  f(h+1) = 2·2^h - 1
+        let f = ExpPoly::exponential(rat(2), &h()).add(&ExpPoly::constant(rat(-1), &h()));
+        let g = f.shift(1);
+        assert_eq!(g.eval_int(3), f.eval_int(4));
+        // polynomial shift: (h)^2 -> (h+2)^2
+        let sq = ExpPoly::from_poly(Polynomial::var(h()).pow(2), &h());
+        assert_eq!(sq.shift(2).eval_int(3), rat(25));
+    }
+
+    #[test]
+    fn fractional_bases() {
+        let half = ExpPoly::exponential(ratio(1, 2), &h());
+        assert_eq!(half.eval_int(3), ratio(1, 8));
+        assert!(half.dominant_base().unwrap() < rat(1));
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        let good = ExpPoly::exponential(rat(2), &h());
+        assert!(good.is_syntactically_monotone());
+        let bad = good.add(&ExpPoly::constant(rat(-1), &h()));
+        assert!(!bad.is_syntactically_monotone());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_base_panics() {
+        let _ = ExpPoly::exponential(rat(0), &h());
+    }
+
+    #[test]
+    fn negative_bases_and_envelope() {
+        // f(h) = 6^h - (-6)^h : 0, 12, 0, 432, ...
+        let f = ExpPoly::exponential(rat(6), &h())
+            .add(&ExpPoly::exponential(rat(-6), &h()).neg());
+        assert_eq!(f.eval_int(1), rat(12));
+        assert_eq!(f.eval_int(2), rat(0));
+        assert_eq!(f.eval_int(3), rat(432));
+        let env = f.upper_envelope();
+        // envelope is 2·6^h
+        assert_eq!(env.eval_int(2), rat(72));
+        for k in 0..6 {
+            assert!(env.eval_int(k) >= f.eval_int(k));
+        }
+        assert_eq!(f.dominant_base_abs(), Some(rat(6)));
+    }
+
+    #[test]
+    fn to_term_rendering() {
+        let f = ExpPoly::exponential(rat(2), &h()).add(&ExpPoly::constant(rat(-1), &h()));
+        let t = f.to_term();
+        assert_eq!(t.to_string(), "2^h - 1");
+    }
+}

@@ -1,0 +1,341 @@
+//! Linear expressions `c₀ + Σ cᵢ·xᵢ` over ℚ.
+//!
+//! The polyhedra domain in `chora-logic` stores every constraint as a linear
+//! expression over *dimensions* (which may themselves denote non-linear
+//! monomials after linearization), so this type is the work-horse of the
+//! symbolic-abstraction layer.
+
+use crate::symbol::Symbol;
+use chora_numeric::{BigInt, BigRational};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// An affine expression: a rational constant plus a rational-weighted sum of
+/// symbols.
+///
+/// ```
+/// use chora_expr::{LinearExpr, Symbol};
+/// use chora_numeric::rat;
+/// let e = LinearExpr::var(Symbol::new("x")).scale(&rat(2)) + LinearExpr::constant(rat(1));
+/// assert_eq!(e.to_string(), "2·x + 1");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct LinearExpr {
+    /// Invariant: no zero coefficients stored.
+    coeffs: BTreeMap<Symbol, BigRational>,
+    constant: BigRational,
+}
+
+impl LinearExpr {
+    /// The zero expression.
+    pub fn zero() -> LinearExpr {
+        LinearExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: BigRational) -> LinearExpr {
+        LinearExpr { coeffs: BTreeMap::new(), constant: c }
+    }
+
+    /// The expression consisting of a single symbol.
+    pub fn var(s: Symbol) -> LinearExpr {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(s, BigRational::one());
+        LinearExpr { coeffs, constant: BigRational::zero() }
+    }
+
+    /// Builds an expression from coefficient pairs plus a constant.
+    pub fn from_parts(
+        coeffs: impl IntoIterator<Item = (Symbol, BigRational)>,
+        constant: BigRational,
+    ) -> LinearExpr {
+        let mut e = LinearExpr::constant(constant);
+        for (s, c) in coeffs {
+            e.add_coefficient(s, c);
+        }
+        e
+    }
+
+    /// Whether the expression is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty() && self.constant.is_zero()
+    }
+
+    /// Whether the expression is a constant.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The constant part.
+    pub fn constant_term(&self) -> &BigRational {
+        &self.constant
+    }
+
+    /// Coefficient of a symbol (zero if absent).
+    pub fn coefficient(&self, s: &Symbol) -> BigRational {
+        self.coeffs.get(s).cloned().unwrap_or_else(BigRational::zero)
+    }
+
+    /// Iterator over `(symbol, coefficient)` pairs with non-zero coefficient.
+    pub fn coefficients(&self) -> impl Iterator<Item = (&Symbol, &BigRational)> {
+        self.coeffs.iter()
+    }
+
+    /// Number of symbols with non-zero coefficient.
+    pub fn num_terms(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// The set of symbols with non-zero coefficient.
+    pub fn symbols(&self) -> BTreeSet<Symbol> {
+        self.coeffs.keys().cloned().collect()
+    }
+
+    /// Adds `c` to the coefficient of `s`.
+    pub fn add_coefficient(&mut self, s: Symbol, c: BigRational) {
+        if c.is_zero() {
+            return;
+        }
+        let entry = self.coeffs.entry(s.clone()).or_insert_with(BigRational::zero);
+        *entry += &c;
+        if entry.is_zero() {
+            self.coeffs.remove(&s);
+        }
+    }
+
+    /// Adds `c` to the constant part.
+    pub fn add_constant(&mut self, c: &BigRational) {
+        self.constant += c;
+    }
+
+    /// Scales the expression by a rational.
+    pub fn scale(&self, c: &BigRational) -> LinearExpr {
+        if c.is_zero() {
+            return LinearExpr::zero();
+        }
+        LinearExpr {
+            coeffs: self.coeffs.iter().map(|(s, k)| (s.clone(), k * c)).collect(),
+            constant: &self.constant * c,
+        }
+    }
+
+    /// Substitutes a linear expression for a symbol.
+    pub fn substitute(&self, s: &Symbol, replacement: &LinearExpr) -> LinearExpr {
+        let c = self.coefficient(s);
+        if c.is_zero() {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.coeffs.remove(s);
+        &out + &replacement.scale(&c)
+    }
+
+    /// Simultaneously renames symbols.
+    pub fn rename(&self, f: &mut impl FnMut(&Symbol) -> Symbol) -> LinearExpr {
+        let mut out = LinearExpr::constant(self.constant.clone());
+        for (s, c) in &self.coeffs {
+            out.add_coefficient(f(s), c.clone());
+        }
+        out
+    }
+
+    /// Evaluates with the given assignment (`None` if a symbol is missing).
+    pub fn eval(&self, assignment: &BTreeMap<Symbol, BigRational>) -> Option<BigRational> {
+        let mut acc = self.constant.clone();
+        for (s, c) in &self.coeffs {
+            acc += &(c * assignment.get(s)?);
+        }
+        Some(acc)
+    }
+
+    /// Multiplies through by the least common denominator, yielding an
+    /// expression with integer coefficients; returns the scale factor used.
+    pub fn clear_denominators(&self) -> (BigInt, LinearExpr) {
+        let mut lcm = self.constant.denom().clone();
+        for c in self.coeffs.values() {
+            lcm = lcm.lcm(c.denom());
+        }
+        (lcm.clone(), self.scale(&BigRational::from_integer(lcm)))
+    }
+
+    /// Divides all coefficients by their (positive) GCD to obtain a canonical
+    /// integer-coefficient representative (no-op for the zero expression).
+    pub fn normalize_gcd(&self) -> LinearExpr {
+        let (_, int_expr) = self.clear_denominators();
+        let mut g = int_expr.constant.numer().abs();
+        for c in int_expr.coeffs.values() {
+            g = g.gcd(c.numer());
+        }
+        if g.is_zero() || g.is_one() {
+            return int_expr;
+        }
+        int_expr.scale(&BigRational::new(BigInt::one(), g))
+    }
+}
+
+impl Add for &LinearExpr {
+    type Output = LinearExpr;
+    fn add(self, other: &LinearExpr) -> LinearExpr {
+        let mut out = self.clone();
+        out.constant += &other.constant;
+        for (s, c) in &other.coeffs {
+            out.add_coefficient(s.clone(), c.clone());
+        }
+        out
+    }
+}
+
+impl Add for LinearExpr {
+    type Output = LinearExpr;
+    fn add(self, other: LinearExpr) -> LinearExpr {
+        &self + &other
+    }
+}
+
+impl Sub for &LinearExpr {
+    type Output = LinearExpr;
+    fn sub(self, other: &LinearExpr) -> LinearExpr {
+        self + &(-other.clone())
+    }
+}
+
+impl Sub for LinearExpr {
+    type Output = LinearExpr;
+    fn sub(self, other: LinearExpr) -> LinearExpr {
+        &self - &other
+    }
+}
+
+impl Neg for LinearExpr {
+    type Output = LinearExpr;
+    fn neg(self) -> LinearExpr {
+        self.scale(&-BigRational::one())
+    }
+}
+
+impl Neg for &LinearExpr {
+    type Output = LinearExpr;
+    fn neg(self) -> LinearExpr {
+        self.scale(&-BigRational::one())
+    }
+}
+
+impl fmt::Display for LinearExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (s, c) in &self.coeffs {
+            let (sign, mag) = if c.is_negative() { ("-", c.abs()) } else { ("+", c.clone()) };
+            if first {
+                if sign == "-" {
+                    write!(f, "-")?;
+                }
+                first = false;
+            } else {
+                write!(f, " {sign} ")?;
+            }
+            if mag.is_one() {
+                write!(f, "{s}")?;
+            } else {
+                write!(f, "{mag}·{s}")?;
+            }
+        }
+        if !self.constant.is_zero() || first {
+            let (sign, mag) =
+                if self.constant.is_negative() { ("-", self.constant.abs()) } else { ("+", self.constant.clone()) };
+            if first {
+                if sign == "-" {
+                    write!(f, "-")?;
+                }
+            } else {
+                write!(f, " {sign} ")?;
+            }
+            write!(f, "{mag}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for LinearExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chora_numeric::{rat, ratio};
+
+    fn x() -> Symbol {
+        Symbol::new("x")
+    }
+    fn y() -> Symbol {
+        Symbol::new("y")
+    }
+
+    #[test]
+    fn construction_and_display() {
+        let e = LinearExpr::from_parts([(x(), rat(2)), (y(), rat(-1))], rat(3));
+        assert_eq!(e.to_string(), "2·x - y + 3");
+        assert_eq!(e.coefficient(&x()), rat(2));
+        assert_eq!(e.coefficient(&Symbol::new("z")), rat(0));
+        assert_eq!(LinearExpr::zero().to_string(), "0");
+        assert_eq!(LinearExpr::constant(rat(-4)).to_string(), "-4");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = LinearExpr::var(x());
+        let b = LinearExpr::var(y());
+        let s = &a + &b;
+        assert_eq!(s.num_terms(), 2);
+        let d = &s - &a;
+        assert_eq!(d, b);
+        let cancelled = &a - &a;
+        assert!(cancelled.is_zero());
+    }
+
+    #[test]
+    fn substitution() {
+        // 2x + y + 1 with x := y - 1  ->  3y - 1
+        let e = LinearExpr::from_parts([(x(), rat(2)), (y(), rat(1))], rat(1));
+        let replacement = LinearExpr::from_parts([(y(), rat(1))], rat(-1));
+        let out = e.substitute(&x(), &replacement);
+        assert_eq!(out.to_string(), "3·y - 1");
+        // substituting an absent symbol is a no-op
+        assert_eq!(e.substitute(&Symbol::new("zz"), &replacement), e);
+    }
+
+    #[test]
+    fn evaluation() {
+        let e = LinearExpr::from_parts([(x(), rat(2)), (y(), rat(-3))], rat(5));
+        let mut env = BTreeMap::new();
+        env.insert(x(), rat(1));
+        env.insert(y(), rat(2));
+        assert_eq!(e.eval(&env), Some(rat(1)));
+        env.remove(&y());
+        assert_eq!(e.eval(&env), None);
+    }
+
+    #[test]
+    fn normalize() {
+        let e = LinearExpr::from_parts([(x(), rat(4)), (y(), rat(6))], rat(-2));
+        let n = e.normalize_gcd();
+        assert_eq!(n.to_string(), "2·x + 3·y - 1");
+        let frac = LinearExpr::from_parts([(x(), ratio(1, 2))], ratio(1, 3));
+        let (k, cleared) = frac.clear_denominators();
+        assert_eq!(k, chora_numeric::int(6));
+        assert_eq!(cleared.to_string(), "3·x + 2");
+    }
+
+    #[test]
+    fn rename() {
+        let e = LinearExpr::from_parts([(x(), rat(1))], rat(0));
+        let renamed = e.rename(&mut |s| Symbol::post(s.as_str()));
+        assert_eq!(renamed.to_string(), "x'");
+    }
+}

@@ -1,0 +1,169 @@
+//! Interned-ish symbols naming program variables and auxiliary dimensions.
+//!
+//! A [`Symbol`] is a cheaply-cloneable immutable string.  The analysis uses a
+//! handful of naming conventions, all funneled through constructors here so
+//! the rest of the code never manipulates raw strings:
+//!
+//! * `x` — pre-state value of program variable `x`
+//! * `x'` — post-state value of program variable `x` ([`Symbol::post`])
+//! * `ret'` — the procedure return value
+//! * `b$k@h` / `b$k@h1` — the hypothetical bounding function `b_k(h)` /
+//!   `b_k(h+1)` of Alg. 2 ([`Symbol::bound_at_h`], [`Symbol::bound_at_h1`])
+//! * `$tmp<n>` — fresh existential temporaries
+
+use std::fmt;
+use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An immutable, cheaply cloneable identifier.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(Arc<str>);
+
+static FRESH_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl Symbol {
+    /// Creates a symbol with the given name.
+    pub fn new(name: &str) -> Symbol {
+        Symbol(Arc::from(name))
+    }
+
+    /// The post-state ("primed") version of a program variable.
+    pub fn post(name: &str) -> Symbol {
+        Symbol(Arc::from(format!("{name}'").as_str()))
+    }
+
+    /// The symbol denoting the procedure return value in post-state.
+    pub fn return_value() -> Symbol {
+        Symbol::post("ret")
+    }
+
+    /// The symbol used for the recursion-height parameter `h`.
+    pub fn height() -> Symbol {
+        Symbol::new("h")
+    }
+
+    /// The symbol used for the depth counter `D` of Alg. 4.
+    pub fn depth() -> Symbol {
+        Symbol::new("D")
+    }
+
+    /// The symbol for the bounding function `b_k` applied at height `h`.
+    pub fn bound_at_h(k: usize) -> Symbol {
+        Symbol::new(&format!("b${k}@h"))
+    }
+
+    /// The symbol for the bounding function `b_k` applied at height `h+1`.
+    pub fn bound_at_h1(k: usize) -> Symbol {
+        Symbol::new(&format!("b${k}@h1"))
+    }
+
+    /// Returns `Some(k)` if this symbol is `b_k(h)`.
+    pub fn as_bound_at_h(&self) -> Option<usize> {
+        let s = self.as_str();
+        let rest = s.strip_prefix("b$")?;
+        let idx = rest.strip_suffix("@h")?;
+        idx.parse().ok()
+    }
+
+    /// Returns `Some(k)` if this symbol is `b_k(h+1)`.
+    pub fn as_bound_at_h1(&self) -> Option<usize> {
+        let s = self.as_str();
+        let rest = s.strip_prefix("b$")?;
+        let idx = rest.strip_suffix("@h1")?;
+        idx.parse().ok()
+    }
+
+    /// A globally fresh symbol with the given prefix.
+    pub fn fresh(prefix: &str) -> Symbol {
+        let id = FRESH_COUNTER.fetch_add(1, Ordering::Relaxed);
+        Symbol::new(&format!("${prefix}{id}"))
+    }
+
+    /// Whether this is a post-state (primed) symbol.
+    pub fn is_post(&self) -> bool {
+        self.0.ends_with('\'')
+    }
+
+    /// For a post-state symbol `x'`, returns the pre-state symbol `x`.
+    pub fn unprimed(&self) -> Symbol {
+        if self.is_post() {
+            Symbol::new(&self.0[..self.0.len() - 1])
+        } else {
+            self.clone()
+        }
+    }
+
+    /// For a pre-state symbol `x`, returns the post-state symbol `x'`.
+    pub fn primed(&self) -> Symbol {
+        if self.is_post() {
+            self.clone()
+        } else {
+            Symbol::post(&self.0)
+        }
+    }
+
+    /// The symbol's name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primed_round_trip() {
+        let x = Symbol::new("x");
+        let xp = x.primed();
+        assert!(xp.is_post());
+        assert!(!x.is_post());
+        assert_eq!(xp.unprimed(), x);
+        assert_eq!(xp.to_string(), "x'");
+        assert_eq!(xp.primed(), xp);
+        assert_eq!(x.unprimed(), x);
+    }
+
+    #[test]
+    fn bound_symbols() {
+        let b3 = Symbol::bound_at_h(3);
+        assert_eq!(b3.as_bound_at_h(), Some(3));
+        assert_eq!(b3.as_bound_at_h1(), None);
+        let b3h1 = Symbol::bound_at_h1(3);
+        assert_eq!(b3h1.as_bound_at_h1(), Some(3));
+        assert_eq!(b3h1.as_bound_at_h(), None);
+        assert_eq!(Symbol::new("x").as_bound_at_h(), None);
+    }
+
+    #[test]
+    fn fresh_symbols_are_distinct() {
+        let a = Symbol::fresh("t");
+        let b = Symbol::fresh("t");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn well_known_symbols() {
+        assert_eq!(Symbol::return_value().to_string(), "ret'");
+        assert_eq!(Symbol::height().to_string(), "h");
+        assert_eq!(Symbol::depth().to_string(), "D");
+    }
+}

@@ -1,0 +1,557 @@
+//! A small symbolic term language for *bound expressions*.
+//!
+//! The final procedure summaries reported by CHORA — e.g.
+//! `cost' ≤ cost + 2^n − 1` or `cost' ≤ 3^(log2(n)+1)` — live outside pure
+//! polynomial arithmetic: they mix polynomials, exponentials with symbolic
+//! exponents, base-2 logarithms, and `max`.  [`Term`] is the common
+//! representation for such expressions, used by the depth-bound substitution
+//! step (§4.2), the assertion checker, and the complexity classifier.
+
+use crate::symbol::Symbol;
+use chora_numeric::BigRational;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A symbolic arithmetic term.
+///
+/// Construct terms through the smart constructors ([`Term::add`],
+/// [`Term::mul`], [`Term::pow`], ...) which perform light normalization
+/// (flattening, constant folding, unit elimination).
+///
+/// ```
+/// use chora_expr::{Symbol, Term};
+/// use chora_numeric::rat;
+/// let n = Term::var(Symbol::new("n"));
+/// let bound = Term::pow(Term::constant(rat(2)), n.clone());
+/// assert_eq!(bound.to_string(), "2^n");
+/// let folded = Term::add(vec![Term::constant(rat(1)), Term::constant(rat(2))]);
+/// assert_eq!(folded, Term::constant(rat(3)));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A rational constant.
+    Const(BigRational),
+    /// A symbol.
+    Var(Symbol),
+    /// Sum of terms.
+    Add(Vec<Term>),
+    /// Product of terms.
+    Mul(Vec<Term>),
+    /// `base ^ exponent`.
+    Pow(Box<Term>, Box<Term>),
+    /// Base-2 logarithm.
+    Log2(Box<Term>),
+    /// Maximum of one or more terms.
+    Max(Vec<Term>),
+    /// Minimum of one or more terms.
+    Min(Vec<Term>),
+}
+
+impl Term {
+    /// A rational constant term.
+    pub fn constant(c: BigRational) -> Term {
+        Term::Const(c)
+    }
+
+    /// The constant zero.
+    pub fn zero() -> Term {
+        Term::Const(BigRational::zero())
+    }
+
+    /// The constant one.
+    pub fn one() -> Term {
+        Term::Const(BigRational::one())
+    }
+
+    /// An integer constant term.
+    pub fn int(v: i64) -> Term {
+        Term::Const(BigRational::from(v))
+    }
+
+    /// A variable term.
+    pub fn var(s: Symbol) -> Term {
+        Term::Var(s)
+    }
+
+    /// Smart sum: flattens nested sums, folds constants, and drops zeros.
+    pub fn add(terms: Vec<Term>) -> Term {
+        let mut flat = Vec::new();
+        let mut constant = BigRational::zero();
+        for t in terms {
+            match t {
+                Term::Add(inner) => {
+                    for x in inner {
+                        match x {
+                            Term::Const(c) => constant += &c,
+                            other => flat.push(other),
+                        }
+                    }
+                }
+                Term::Const(c) => constant += &c,
+                other => flat.push(other),
+            }
+        }
+        if !constant.is_zero() {
+            flat.push(Term::Const(constant));
+        }
+        match flat.len() {
+            0 => Term::zero(),
+            1 => flat.pop().expect("len checked"),
+            _ => Term::Add(flat),
+        }
+    }
+
+    /// Smart difference `a - b`.
+    pub fn sub(a: Term, b: Term) -> Term {
+        Term::add(vec![a, Term::mul(vec![Term::int(-1), b])])
+    }
+
+    /// Smart product: flattens nested products, folds constants, and handles
+    /// the zero/one units.
+    pub fn mul(terms: Vec<Term>) -> Term {
+        let mut flat = Vec::new();
+        let mut constant = BigRational::one();
+        for t in terms {
+            match t {
+                Term::Mul(inner) => {
+                    for x in inner {
+                        match x {
+                            Term::Const(c) => constant = &constant * &c,
+                            other => flat.push(other),
+                        }
+                    }
+                }
+                Term::Const(c) => constant = &constant * &c,
+                other => flat.push(other),
+            }
+        }
+        if constant.is_zero() {
+            return Term::zero();
+        }
+        if !constant.is_one() {
+            flat.insert(0, Term::Const(constant));
+        }
+        match flat.len() {
+            0 => Term::one(),
+            1 => flat.pop().expect("len checked"),
+            _ => Term::Mul(flat),
+        }
+    }
+
+    /// Smart power: folds constant exponents 0/1 and constant integer powers.
+    pub fn pow(base: Term, exponent: Term) -> Term {
+        if let Term::Const(e) = &exponent {
+            if e.is_zero() {
+                return Term::one();
+            }
+            if e.is_one() {
+                return base;
+            }
+            if let (Term::Const(b), Some(ei)) = (&base, e.to_i64()) {
+                if (0..=64).contains(&ei) {
+                    return Term::Const(b.pow(ei as i32));
+                }
+            }
+        }
+        if let Term::Const(b) = &base {
+            if b.is_one() {
+                return Term::one();
+            }
+        }
+        Term::Pow(Box::new(base), Box::new(exponent))
+    }
+
+    /// Smart base-2 logarithm: folds exact powers of two.
+    pub fn log2(t: Term) -> Term {
+        if let Term::Const(c) = &t {
+            if c.is_positive() && c.is_integer() {
+                let mut v = c.numer().clone();
+                let mut k = 0i64;
+                let two = chora_numeric::int(2);
+                while (&v % &two).is_zero() && !v.is_one() {
+                    v = &v / &two;
+                    k += 1;
+                }
+                if v.is_one() {
+                    return Term::int(k);
+                }
+            }
+        }
+        Term::Log2(Box::new(t))
+    }
+
+    /// Smart maximum: flattens, dedups, folds constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terms` is empty.
+    pub fn max(terms: Vec<Term>) -> Term {
+        Term::minmax(terms, true)
+    }
+
+    /// Smart minimum: flattens, dedups, folds constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terms` is empty.
+    pub fn min(terms: Vec<Term>) -> Term {
+        Term::minmax(terms, false)
+    }
+
+    fn minmax(terms: Vec<Term>, is_max: bool) -> Term {
+        assert!(!terms.is_empty(), "max/min of an empty list");
+        let mut flat: Vec<Term> = Vec::new();
+        let mut best_const: Option<BigRational> = None;
+        for t in terms {
+            let inner_list = match (is_max, t) {
+                (true, Term::Max(inner)) | (false, Term::Min(inner)) => inner,
+                (_, other) => vec![other],
+            };
+            for x in inner_list {
+                if let Term::Const(c) = &x {
+                    best_const = Some(match best_const {
+                        None => c.clone(),
+                        Some(prev) => {
+                            if is_max {
+                                prev.max(c.clone())
+                            } else {
+                                prev.min(c.clone())
+                            }
+                        }
+                    });
+                } else if !flat.contains(&x) {
+                    flat.push(x);
+                }
+            }
+        }
+        if let Some(c) = best_const {
+            flat.push(Term::Const(c));
+        }
+        if flat.len() == 1 {
+            return flat.pop().expect("len checked");
+        }
+        if is_max {
+            Term::Max(flat)
+        } else {
+            Term::Min(flat)
+        }
+    }
+
+    /// Returns the constant value if the term is a constant.
+    pub fn as_constant(&self) -> Option<BigRational> {
+        match self {
+            Term::Const(c) => Some(c.clone()),
+            _ => None,
+        }
+    }
+
+    /// All symbols occurring in the term.
+    pub fn symbols(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.collect_symbols(&mut out);
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut BTreeSet<Symbol>) {
+        match self {
+            Term::Const(_) => {}
+            Term::Var(s) => {
+                out.insert(s.clone());
+            }
+            Term::Add(ts) | Term::Mul(ts) | Term::Max(ts) | Term::Min(ts) => {
+                for t in ts {
+                    t.collect_symbols(out);
+                }
+            }
+            Term::Pow(a, b) => {
+                a.collect_symbols(out);
+                b.collect_symbols(out);
+            }
+            Term::Log2(a) => a.collect_symbols(out),
+        }
+    }
+
+    /// Substitutes a term for every occurrence of a symbol.
+    pub fn substitute(&self, s: &Symbol, replacement: &Term) -> Term {
+        match self {
+            Term::Const(_) => self.clone(),
+            Term::Var(v) => {
+                if v == s {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Term::Add(ts) => Term::add(ts.iter().map(|t| t.substitute(s, replacement)).collect()),
+            Term::Mul(ts) => Term::mul(ts.iter().map(|t| t.substitute(s, replacement)).collect()),
+            Term::Max(ts) => Term::max(ts.iter().map(|t| t.substitute(s, replacement)).collect()),
+            Term::Min(ts) => Term::min(ts.iter().map(|t| t.substitute(s, replacement)).collect()),
+            Term::Pow(a, b) => Term::pow(a.substitute(s, replacement), b.substitute(s, replacement)),
+            Term::Log2(a) => Term::log2(a.substitute(s, replacement)),
+        }
+    }
+
+    /// Numeric evaluation over `f64` (used by the benchmark harness and by
+    /// differential tests against concrete program executions).
+    ///
+    /// Returns `None` if a symbol is missing from the environment or a
+    /// partial operation (log of a non-positive value) is encountered.
+    pub fn eval_f64(&self, env: &BTreeMap<Symbol, f64>) -> Option<f64> {
+        match self {
+            Term::Const(c) => Some(c.to_f64()),
+            Term::Var(s) => env.get(s).copied(),
+            Term::Add(ts) => {
+                let mut acc = 0.0;
+                for t in ts {
+                    acc += t.eval_f64(env)?;
+                }
+                Some(acc)
+            }
+            Term::Mul(ts) => {
+                let mut acc = 1.0;
+                for t in ts {
+                    acc *= t.eval_f64(env)?;
+                }
+                Some(acc)
+            }
+            Term::Pow(a, b) => {
+                let base = a.eval_f64(env)?;
+                let exp = b.eval_f64(env)?;
+                Some(base.powf(exp))
+            }
+            Term::Log2(a) => {
+                let v = a.eval_f64(env)?;
+                if v > 0.0 {
+                    Some(v.log2())
+                } else {
+                    None
+                }
+            }
+            Term::Max(ts) => {
+                let mut acc = f64::NEG_INFINITY;
+                for t in ts {
+                    acc = acc.max(t.eval_f64(env)?);
+                }
+                Some(acc)
+            }
+            Term::Min(ts) => {
+                let mut acc = f64::INFINITY;
+                for t in ts {
+                    acc = acc.min(t.eval_f64(env)?);
+                }
+                Some(acc)
+            }
+        }
+    }
+
+    fn precedence(&self) -> u8 {
+        match self {
+            Term::Add(_) => 1,
+            Term::Mul(_) => 2,
+            Term::Pow(_, _) => 3,
+            _ => 4,
+        }
+    }
+
+    fn fmt_with_parens(&self, f: &mut fmt::Formatter<'_>, parent_prec: u8) -> fmt::Result {
+        let needs_parens = self.precedence() < parent_prec;
+        if needs_parens {
+            write!(f, "(")?;
+        }
+        self.fmt_inner(f)?;
+        if needs_parens {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+
+    fn fmt_inner(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Var(s) => write!(f, "{s}"),
+            Term::Add(ts) => {
+                for (i, t) in ts.iter().enumerate() {
+                    // Render `+ (-c)·x` as `- c·x`.
+                    let (neg, abs_term) = t.split_negation();
+                    if i == 0 {
+                        if neg {
+                            write!(f, "-")?;
+                        }
+                    } else if neg {
+                        write!(f, " - ")?;
+                    } else {
+                        write!(f, " + ")?;
+                    }
+                    abs_term.fmt_with_parens(f, 2)?;
+                }
+                Ok(())
+            }
+            Term::Mul(ts) => {
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "·")?;
+                    }
+                    t.fmt_with_parens(f, 3)?;
+                }
+                Ok(())
+            }
+            Term::Pow(a, b) => {
+                a.fmt_with_parens(f, 4)?;
+                write!(f, "^")?;
+                b.fmt_with_parens(f, 4)
+            }
+            Term::Log2(a) => write!(f, "log2({a})"),
+            Term::Max(ts) => {
+                write!(f, "max(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Term::Min(ts) => {
+                write!(f, "min(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+
+    /// Splits off a leading negation for prettier `a - b` printing: returns
+    /// `(true, |t|)` when the term is a negative constant or a product with a
+    /// negative constant coefficient.
+    fn split_negation(&self) -> (bool, Term) {
+        match self {
+            Term::Const(c) if c.is_negative() => (true, Term::Const(-c.clone())),
+            Term::Mul(ts) => {
+                if let Some(Term::Const(c)) = ts.first() {
+                    if c.is_negative() {
+                        let mut rest = ts.clone();
+                        rest[0] = Term::Const(-c.clone());
+                        return (true, Term::mul(rest));
+                    }
+                }
+                (false, self.clone())
+            }
+            _ => (false, self.clone()),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_inner(f)
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chora_numeric::{rat, ratio};
+
+    fn n() -> Term {
+        Term::var(Symbol::new("n"))
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(Term::add(vec![Term::int(1), Term::int(2), Term::int(3)]), Term::int(6));
+        assert_eq!(Term::mul(vec![Term::int(2), Term::int(3)]), Term::int(6));
+        assert_eq!(Term::mul(vec![Term::int(0), n()]), Term::zero());
+        assert_eq!(Term::mul(vec![Term::int(1), n()]), n());
+        assert_eq!(Term::add(vec![Term::zero(), n()]), n());
+        assert_eq!(Term::pow(Term::int(2), Term::int(10)), Term::int(1024));
+        assert_eq!(Term::pow(n(), Term::int(1)), n());
+        assert_eq!(Term::pow(n(), Term::int(0)), Term::one());
+        assert_eq!(Term::log2(Term::int(8)), Term::int(3));
+        assert_eq!(Term::max(vec![Term::int(3), Term::int(5)]), Term::int(5));
+        assert_eq!(Term::min(vec![Term::int(3), Term::int(5)]), Term::int(3));
+    }
+
+    #[test]
+    fn flattening() {
+        let t = Term::add(vec![Term::add(vec![n(), Term::int(1)]), Term::int(2)]);
+        assert_eq!(t, Term::add(vec![n(), Term::int(3)]));
+        let m = Term::mul(vec![Term::mul(vec![n(), Term::int(2)]), Term::int(3)]);
+        assert_eq!(m.to_string(), "6·n");
+    }
+
+    #[test]
+    fn display() {
+        let two_pow_n = Term::pow(Term::int(2), n());
+        assert_eq!(two_pow_n.to_string(), "2^n");
+        let bound = Term::add(vec![two_pow_n.clone(), Term::int(-1)]);
+        assert_eq!(bound.to_string(), "2^n - 1");
+        let prod = Term::mul(vec![Term::int(3), Term::add(vec![n(), Term::int(1)])]);
+        assert_eq!(prod.to_string(), "3·(n + 1)");
+        let mx = Term::max(vec![Term::int(1), n()]);
+        assert_eq!(mx.to_string(), "max(n, 1)");
+        let lg = Term::mul(vec![n(), Term::log2(n())]);
+        assert_eq!(lg.to_string(), "n·log2(n)");
+        let neg = Term::sub(n(), Term::mul(vec![Term::int(2), n()]));
+        assert_eq!(neg.to_string(), "n - 2·n");
+    }
+
+    #[test]
+    fn substitution_and_eval() {
+        let t = Term::add(vec![Term::pow(Term::int(2), n()), Term::mul(vec![Term::int(3), n()])]);
+        let s = t.substitute(&Symbol::new("n"), &Term::int(4));
+        assert_eq!(s, Term::int(28));
+        let mut env = BTreeMap::new();
+        env.insert(Symbol::new("n"), 4.0);
+        assert_eq!(t.eval_f64(&env), Some(28.0));
+        assert_eq!(n().eval_f64(&BTreeMap::new()), None);
+    }
+
+    #[test]
+    fn eval_log_and_pow() {
+        let t = Term::mul(vec![n(), Term::log2(n())]);
+        let mut env = BTreeMap::new();
+        env.insert(Symbol::new("n"), 8.0);
+        assert_eq!(t.eval_f64(&env), Some(24.0));
+        let frac_pow = Term::pow(n(), Term::constant(ratio(1, 2)));
+        env.insert(Symbol::new("n"), 9.0);
+        assert_eq!(frac_pow.eval_f64(&env), Some(3.0));
+        // log of a non-positive value is undefined
+        env.insert(Symbol::new("n"), 0.0);
+        assert_eq!(Term::log2(n()).eval_f64(&env), None);
+    }
+
+    #[test]
+    fn max_dedup_and_flatten() {
+        let t = Term::max(vec![Term::max(vec![n(), Term::int(1)]), n(), Term::int(0)]);
+        assert_eq!(t.to_string(), "max(n, 1)");
+    }
+
+    #[test]
+    fn symbols() {
+        let t = Term::add(vec![
+            Term::pow(Term::int(2), Term::var(Symbol::new("a"))),
+            Term::log2(Term::var(Symbol::new("b"))),
+        ]);
+        let syms = t.symbols();
+        assert!(syms.contains(&Symbol::new("a")));
+        assert!(syms.contains(&Symbol::new("b")));
+        assert_eq!(syms.len(), 2);
+    }
+
+    #[test]
+    fn folding_keeps_rational_constants_exact() {
+        let t = Term::add(vec![Term::constant(ratio(1, 3)), Term::constant(ratio(1, 6))]);
+        assert_eq!(t, Term::constant(ratio(1, 2)));
+        assert_eq!(rat(5), Term::int(5).as_constant().unwrap());
+    }
+}

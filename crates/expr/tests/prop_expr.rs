@@ -1,0 +1,104 @@
+//! Property tests for the expression substrate: ring axioms for polynomials,
+//! substitution/evaluation commutation, and exp-poly evaluation laws.
+
+use chora_expr::{ExpPoly, LinearExpr, Polynomial, Symbol, Term};
+use chora_numeric::{rat, BigRational};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A small random polynomial over x, y with coefficients in [-5, 5].
+fn arb_poly() -> impl Strategy<Value = Polynomial> {
+    prop::collection::vec((0u32..3, 0u32..3, -5i64..6), 0..6).prop_map(|terms| {
+        let x = Symbol::new("x");
+        let y = Symbol::new("y");
+        let mut p = Polynomial::zero();
+        for (ex, ey, c) in terms {
+            let m = chora_expr::Monomial::from_powers([(x.clone(), ex), (y.clone(), ey)]);
+            p = &p + &Polynomial::term(rat(c), m);
+        }
+        p
+    })
+}
+
+fn env(xv: i64, yv: i64) -> BTreeMap<Symbol, BigRational> {
+    let mut e = BTreeMap::new();
+    e.insert(Symbol::new("x"), rat(xv));
+    e.insert(Symbol::new("y"), rat(yv));
+    e
+}
+
+proptest! {
+    #[test]
+    fn poly_add_commutes_with_eval(a in arb_poly(), b in arb_poly(), xv in -4i64..5, yv in -4i64..5) {
+        let sum = &a + &b;
+        let e = env(xv, yv);
+        prop_assert_eq!(sum.eval(&e).unwrap(), a.eval(&e).unwrap() + b.eval(&e).unwrap());
+    }
+
+    #[test]
+    fn poly_mul_commutes_with_eval(a in arb_poly(), b in arb_poly(), xv in -3i64..4, yv in -3i64..4) {
+        let prod = &a * &b;
+        let e = env(xv, yv);
+        prop_assert_eq!(prod.eval(&e).unwrap(), a.eval(&e).unwrap() * b.eval(&e).unwrap());
+    }
+
+    #[test]
+    fn poly_ring_axioms(a in arb_poly(), b in arb_poly(), c in arb_poly()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert!((&a - &a).is_zero());
+    }
+
+    #[test]
+    fn poly_substitution_commutes_with_eval(a in arb_poly(), b in arb_poly(), xv in -3i64..4, yv in -3i64..4) {
+        // a[x := b] evaluated == a evaluated with x := value(b)
+        let substituted = a.substitute(&Symbol::new("x"), &b);
+        let e = env(xv, yv);
+        let bv = b.eval(&e).unwrap();
+        let mut e2 = e.clone();
+        e2.insert(Symbol::new("x"), bv);
+        prop_assert_eq!(substituted.eval(&e).unwrap(), a.eval(&e2).unwrap());
+    }
+
+    #[test]
+    fn linear_expr_agrees_with_polynomial(coeffs in prop::collection::vec(-5i64..6, 3), xv in -5i64..6, yv in -5i64..6) {
+        let lin = LinearExpr::from_parts(
+            [(Symbol::new("x"), rat(coeffs[0])), (Symbol::new("y"), rat(coeffs[1]))],
+            rat(coeffs[2]),
+        );
+        let poly = Polynomial::from(&lin);
+        let e = env(xv, yv);
+        prop_assert_eq!(lin.eval(&e).unwrap(), poly.eval(&e).unwrap());
+    }
+
+    #[test]
+    fn exppoly_shift_is_evaluation_shift(c0 in -5i64..6, c1 in -5i64..6, base in 1i64..4, shift in 0i64..4, at in 0i64..8) {
+        let h = Symbol::height();
+        let poly = Polynomial::var(h.clone()).scale(&rat(c1)) + Polynomial::constant(rat(c0));
+        let f = ExpPoly::exp_poly_term(rat(base), poly, &h);
+        prop_assert_eq!(f.shift(shift).eval_int(at), f.eval_int(at + shift));
+    }
+
+    #[test]
+    fn exppoly_mul_matches_pointwise(b1 in 1i64..4, b2 in 1i64..4, at in 0i64..10) {
+        let h = Symbol::height();
+        let f = ExpPoly::exponential(rat(b1), &h);
+        let g = ExpPoly::exponential(rat(b2), &h).add(&ExpPoly::param_var(&h));
+        let prod = f.mul(&g);
+        prop_assert_eq!(prod.eval_int(at), f.eval_int(at) * g.eval_int(at));
+    }
+
+    #[test]
+    fn term_substitute_then_eval(v in 1i64..20) {
+        let n = Symbol::new("n");
+        let t = Term::add(vec![
+            Term::pow(Term::int(2), Term::var(n.clone())),
+            Term::mul(vec![Term::int(3), Term::var(n.clone())]),
+        ]);
+        let substituted = t.substitute(&n, &Term::int(v));
+        let expected = rat(2).pow(v as i32) + rat(3) * rat(v);
+        prop_assert_eq!(substituted.as_constant().unwrap(), expected);
+    }
+}

@@ -1,0 +1,427 @@
+//! Abstract syntax of the integer imperative language analysed by CHORA.
+//!
+//! The language covers the constructs exercised by the paper's benchmarks:
+//! integer globals, procedures with value parameters and an integer return
+//! value, assignments over polynomial expressions (plus floor division by a
+//! constant), `if`/`while` with possibly non-deterministic conditions,
+//! `assume`/`assert`, and (possibly non-linearly or mutually) recursive
+//! calls.
+//!
+//! The original CHORA consumes C through duet's front end; this reproduction
+//! constructs programs directly through [`ProgramBuilder`]-style constructors
+//! (the benchmark suite in `chora-bench-suite` is the "front end").
+
+use chora_expr::{Polynomial, Symbol};
+use chora_numeric::BigRational;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Integer expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Variable reference (parameter, local, or global).
+    Var(Symbol),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Floor division by a positive constant (used by divide-and-conquer
+    /// size arguments such as `n / 2`).
+    DivConst(Box<Expr>, i64),
+}
+
+impl Expr {
+    /// Convenience: variable expression.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(Symbol::new(name))
+    }
+
+    /// Convenience: integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// `self + other`.
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(other))
+    }
+
+    /// `self - other`.
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(other))
+    }
+
+    /// `self * other`.
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(other))
+    }
+
+    /// `self / c` (floor division by a positive constant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c <= 0`.
+    pub fn div(self, c: i64) -> Expr {
+        assert!(c > 0, "DivConst divisor must be positive");
+        Expr::DivConst(Box::new(self), c)
+    }
+
+    /// The exact polynomial denoted by the expression, if it contains no
+    /// floor division.
+    pub fn as_polynomial(&self) -> Option<Polynomial> {
+        match self {
+            Expr::Const(v) => Some(Polynomial::constant(BigRational::from(*v))),
+            Expr::Var(s) => Some(Polynomial::var(s.clone())),
+            Expr::Add(a, b) => Some(&a.as_polynomial()? + &b.as_polynomial()?),
+            Expr::Sub(a, b) => Some(&a.as_polynomial()? - &b.as_polynomial()?),
+            Expr::Mul(a, b) => Some(&a.as_polynomial()? * &b.as_polynomial()?),
+            Expr::DivConst(_, _) => None,
+        }
+    }
+
+    /// Variables mentioned by the expression.
+    pub fn variables(&self) -> BTreeSet<Symbol> {
+        match self {
+            Expr::Const(_) => BTreeSet::new(),
+            Expr::Var(s) => [s.clone()].into_iter().collect(),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                let mut out = a.variables();
+                out.extend(b.variables());
+                out
+            }
+            Expr::DivConst(a, _) => a.variables(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Var(s) => write!(f, "{s}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::DivConst(a, c) => write!(f, "({a} / {c})"),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Boolean conditions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Cond {
+    /// Comparison of two integer expressions.
+    Cmp(Expr, CmpOp, Expr),
+    /// Conjunction.
+    And(Box<Cond>, Box<Cond>),
+    /// Disjunction.
+    Or(Box<Cond>, Box<Cond>),
+    /// Negation.
+    Not(Box<Cond>),
+    /// Non-deterministic choice (`nondet()` / `*` in the paper's examples).
+    Nondet,
+}
+
+impl Cond {
+    /// `a op b`.
+    pub fn cmp(a: Expr, op: CmpOp, b: Expr) -> Cond {
+        Cond::Cmp(a, op, b)
+    }
+
+    /// `a <= b`.
+    pub fn le(a: Expr, b: Expr) -> Cond {
+        Cond::Cmp(a, CmpOp::Le, b)
+    }
+
+    /// `a < b`.
+    pub fn lt(a: Expr, b: Expr) -> Cond {
+        Cond::Cmp(a, CmpOp::Lt, b)
+    }
+
+    /// `a >= b`.
+    pub fn ge(a: Expr, b: Expr) -> Cond {
+        Cond::Cmp(a, CmpOp::Ge, b)
+    }
+
+    /// `a > b`.
+    pub fn gt(a: Expr, b: Expr) -> Cond {
+        Cond::Cmp(a, CmpOp::Gt, b)
+    }
+
+    /// `a == b`.
+    pub fn eq(a: Expr, b: Expr) -> Cond {
+        Cond::Cmp(a, CmpOp::Eq, b)
+    }
+
+    /// `a != b`.
+    pub fn ne(a: Expr, b: Expr) -> Cond {
+        Cond::Cmp(a, CmpOp::Ne, b)
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Cond) -> Cond {
+        Cond::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Cond) -> Cond {
+        Cond::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation.
+    pub fn negate(self) -> Cond {
+        Cond::Not(Box::new(self))
+    }
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// No-op.
+    Skip,
+    /// `var := expr`
+    Assign(Symbol, Expr),
+    /// `var := *` (non-deterministic value)
+    Havoc(Symbol),
+    /// `assume(cond)`
+    Assume(Cond),
+    /// `assert(cond)` with a label used in verification reports.
+    Assert(Cond, String),
+    /// Sequential composition.
+    Seq(Vec<Stmt>),
+    /// `if (cond) { then } else { els }`
+    If(Cond, Box<Stmt>, Box<Stmt>),
+    /// `while (cond) { body }`
+    While(Cond, Box<Stmt>),
+    /// `ret := callee(args)` (or a call ignoring the return value).
+    Call {
+        /// Callee procedure name.
+        callee: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Variable receiving the return value, if any.
+        ret: Option<Symbol>,
+    },
+    /// `return expr;` / `return;`
+    Return(Option<Expr>),
+}
+
+impl Stmt {
+    /// Sequential composition of a list of statements.
+    pub fn seq(stmts: Vec<Stmt>) -> Stmt {
+        Stmt::Seq(stmts)
+    }
+
+    /// `if (cond) { then } else { skip }`
+    pub fn if_then(cond: Cond, then: Stmt) -> Stmt {
+        Stmt::If(cond, Box::new(then), Box::new(Stmt::Skip))
+    }
+
+    /// `if (cond) { then } else { els }`
+    pub fn if_else(cond: Cond, then: Stmt, els: Stmt) -> Stmt {
+        Stmt::If(cond, Box::new(then), Box::new(els))
+    }
+
+    /// `while (cond) { body }`
+    pub fn while_loop(cond: Cond, body: Stmt) -> Stmt {
+        Stmt::While(cond, Box::new(body))
+    }
+
+    /// `var := expr`
+    pub fn assign(name: &str, e: Expr) -> Stmt {
+        Stmt::Assign(Symbol::new(name), e)
+    }
+
+    /// `ret := callee(args)`
+    pub fn call_assign(ret: &str, callee: &str, args: Vec<Expr>) -> Stmt {
+        Stmt::Call { callee: callee.to_string(), args, ret: Some(Symbol::new(ret)) }
+    }
+
+    /// `callee(args);`
+    pub fn call(callee: &str, args: Vec<Expr>) -> Stmt {
+        Stmt::Call { callee: callee.to_string(), args, ret: None }
+    }
+
+    /// Names of procedures called (transitively over the statement tree).
+    pub fn callees(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |s| {
+            if let Stmt::Call { callee, .. } = s {
+                out.insert(callee.clone());
+            }
+        });
+        out
+    }
+
+    /// Visits every statement in the tree (pre-order).
+    pub fn visit(&self, f: &mut impl FnMut(&Stmt)) {
+        f(self);
+        match self {
+            Stmt::Seq(ss) => {
+                for s in ss {
+                    s.visit(f);
+                }
+            }
+            Stmt::If(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Stmt::While(_, b) => b.visit(f),
+            _ => {}
+        }
+    }
+
+    /// All variables assigned (including havocked and call returns).
+    pub fn assigned_variables(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |s| match s {
+            Stmt::Assign(v, _) | Stmt::Havoc(v) => {
+                out.insert(v.clone());
+            }
+            Stmt::Call { ret: Some(v), .. } => {
+                out.insert(v.clone());
+            }
+            _ => {}
+        });
+        out
+    }
+}
+
+/// A procedure definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Procedure {
+    /// Procedure name.
+    pub name: String,
+    /// Value parameters.
+    pub params: Vec<Symbol>,
+    /// Local variables (in addition to parameters).
+    pub locals: Vec<Symbol>,
+    /// Body.
+    pub body: Stmt,
+}
+
+impl Procedure {
+    /// Creates a procedure.
+    pub fn new(name: &str, params: &[&str], locals: &[&str], body: Stmt) -> Procedure {
+        Procedure {
+            name: name.to_string(),
+            params: params.iter().map(|p| Symbol::new(p)).collect(),
+            locals: locals.iter().map(|l| Symbol::new(l)).collect(),
+            body,
+        }
+    }
+
+    /// Names of procedures this procedure calls.
+    pub fn callees(&self) -> BTreeSet<String> {
+        self.body.callees()
+    }
+}
+
+/// A whole program: global variables plus procedures.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Global integer variables.
+    pub globals: Vec<Symbol>,
+    /// Procedure definitions.
+    pub procedures: Vec<Procedure>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Adds a global variable.
+    pub fn add_global(&mut self, name: &str) -> &mut Self {
+        self.globals.push(Symbol::new(name));
+        self
+    }
+
+    /// Adds a procedure.
+    pub fn add_procedure(&mut self, p: Procedure) -> &mut Self {
+        self.procedures.push(p);
+        self
+    }
+
+    /// Looks up a procedure by name.
+    pub fn procedure(&self, name: &str) -> Option<&Procedure> {
+        self.procedures.iter().find(|p| p.name == name)
+    }
+
+    /// The names of all procedures, in definition order.
+    pub fn procedure_names(&self) -> Vec<String> {
+        self.procedures.iter().map(|p| p.name.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_polynomial_conversion() {
+        let e = Expr::var("x").mul(Expr::var("x")).add(Expr::int(1));
+        let p = e.as_polynomial().unwrap();
+        assert_eq!(p.to_string(), "x^2 + 1");
+        let d = Expr::var("n").div(2);
+        assert!(d.as_polynomial().is_none());
+        assert_eq!(d.variables().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn div_by_non_positive_rejected() {
+        let _ = Expr::var("n").div(0);
+    }
+
+    #[test]
+    fn callees_and_assigned() {
+        let body = Stmt::seq(vec![
+            Stmt::assign("x", Expr::int(0)),
+            Stmt::if_then(Cond::Nondet, Stmt::call_assign("r", "helper", vec![Expr::var("x")])),
+            Stmt::while_loop(Cond::lt(Expr::var("x"), Expr::int(3)), Stmt::call("tick", vec![])),
+        ]);
+        assert_eq!(body.callees(), ["helper".to_string(), "tick".to_string()].into_iter().collect());
+        let assigned = body.assigned_variables();
+        assert!(assigned.contains(&Symbol::new("x")));
+        assert!(assigned.contains(&Symbol::new("r")));
+    }
+
+    #[test]
+    fn program_lookup() {
+        let mut prog = Program::new();
+        prog.add_global("cost");
+        prog.add_procedure(Procedure::new("main", &[], &[], Stmt::Skip));
+        assert!(prog.procedure("main").is_some());
+        assert!(prog.procedure("missing").is_none());
+        assert_eq!(prog.procedure_names(), vec!["main".to_string()]);
+    }
+
+    #[test]
+    fn display_expr() {
+        let e = Expr::var("n").sub(Expr::int(1)).div(2);
+        assert_eq!(e.to_string(), "((n - 1) / 2)");
+    }
+}

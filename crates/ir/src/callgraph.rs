@@ -1,0 +1,206 @@
+//! Call graphs, strongly connected components, and the bottom-up analysis
+//! order used by CHORA (§4: "collapse the strongly connected components of
+//! the call graph ... and topologically sort the collapsed graph").
+
+use crate::ast::Program;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The call graph of a program.
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    /// procedure name -> set of callee names (only those defined in the program)
+    edges: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// One strongly connected component of the call graph, in analysis order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Component {
+    /// Procedure names in the component.
+    pub members: Vec<String>,
+    /// Whether the component is recursive (more than one member, or a single
+    /// member that calls itself).
+    pub recursive: bool,
+}
+
+impl CallGraph {
+    /// Builds the call graph of a program (calls to undefined procedures are
+    /// ignored).
+    pub fn build(program: &Program) -> CallGraph {
+        let defined: BTreeSet<String> = program.procedure_names().into_iter().collect();
+        let mut edges = BTreeMap::new();
+        for p in &program.procedures {
+            let callees: BTreeSet<String> =
+                p.callees().into_iter().filter(|c| defined.contains(c)).collect();
+            edges.insert(p.name.clone(), callees);
+        }
+        CallGraph { edges }
+    }
+
+    /// Direct callees of a procedure.
+    pub fn callees(&self, name: &str) -> BTreeSet<String> {
+        self.edges.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Whether `caller` (possibly transitively) calls `callee`.
+    pub fn calls_transitively(&self, caller: &str, callee: &str) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![caller.to_string()];
+        while let Some(p) = stack.pop() {
+            if !seen.insert(p.clone()) {
+                continue;
+            }
+            for c in self.callees(&p) {
+                if c == callee {
+                    return true;
+                }
+                stack.push(c);
+            }
+        }
+        false
+    }
+
+    /// Strongly connected components in bottom-up (reverse topological)
+    /// order: every callee component precedes its callers.
+    pub fn components_bottom_up(&self) -> Vec<Component> {
+        // Map names to indices and reuse the generic SCC routine.
+        let names: Vec<String> = self.edges.keys().cloned().collect();
+        let index_of: BTreeMap<&str, usize> =
+            names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+        let nodes: Vec<usize> = (0..names.len()).collect();
+        let deps: BTreeMap<usize, BTreeSet<usize>> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let callees =
+                    self.edges[n].iter().filter_map(|c| index_of.get(c.as_str()).copied()).collect();
+                (i, callees)
+            })
+            .collect();
+        let sccs = chora_recurrence_scc(&nodes, &deps);
+        sccs.into_iter()
+            .map(|scc| {
+                let members: Vec<String> = scc.iter().map(|&i| names[i].clone()).collect();
+                let recursive = members.len() > 1
+                    || members.iter().any(|m| self.callees(m).contains(m));
+                Component { members, recursive }
+            })
+            .collect()
+    }
+}
+
+// A small local SCC (Tarjan) so this crate does not depend on the recurrence
+// crate; identical in spirit to the solver's helper.
+fn chora_recurrence_scc(
+    nodes: &[usize],
+    deps: &BTreeMap<usize, BTreeSet<usize>>,
+) -> Vec<Vec<usize>> {
+    struct State<'a> {
+        deps: &'a BTreeMap<usize, BTreeSet<usize>>,
+        index: BTreeMap<usize, usize>,
+        lowlink: BTreeMap<usize, usize>,
+        on_stack: BTreeSet<usize>,
+        stack: Vec<usize>,
+        counter: usize,
+        output: Vec<Vec<usize>>,
+    }
+    fn visit(v: usize, st: &mut State<'_>) {
+        st.index.insert(v, st.counter);
+        st.lowlink.insert(v, st.counter);
+        st.counter += 1;
+        st.stack.push(v);
+        st.on_stack.insert(v);
+        let successors: Vec<usize> =
+            st.deps.get(&v).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        for w in successors {
+            if !st.index.contains_key(&w) {
+                visit(w, st);
+                let low = st.lowlink[&v].min(st.lowlink[&w]);
+                st.lowlink.insert(v, low);
+            } else if st.on_stack.contains(&w) {
+                let low = st.lowlink[&v].min(st.index[&w]);
+                st.lowlink.insert(v, low);
+            }
+        }
+        if st.lowlink[&v] == st.index[&v] {
+            let mut comp = Vec::new();
+            while let Some(w) = st.stack.pop() {
+                st.on_stack.remove(&w);
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            comp.sort_unstable();
+            st.output.push(comp);
+        }
+    }
+    let mut st = State {
+        deps,
+        index: BTreeMap::new(),
+        lowlink: BTreeMap::new(),
+        on_stack: BTreeSet::new(),
+        stack: Vec::new(),
+        counter: 0,
+        output: Vec::new(),
+    };
+    for &v in nodes {
+        if !st.index.contains_key(&v) {
+            visit(v, &mut st);
+        }
+    }
+    st.output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Expr, Procedure, Stmt};
+
+    fn program_with_calls(spec: &[(&str, &[&str])]) -> Program {
+        let mut prog = Program::new();
+        for (name, callees) in spec {
+            let body = Stmt::seq(callees.iter().map(|c| Stmt::call(c, vec![Expr::int(0)])).collect());
+            prog.add_procedure(Procedure::new(name, &["n"], &[], body));
+        }
+        prog
+    }
+
+    #[test]
+    fn simple_chain_is_bottom_up() {
+        let prog = program_with_calls(&[("main", &["mid"]), ("mid", &["leaf"]), ("leaf", &[])]);
+        let cg = CallGraph::build(&prog);
+        let comps = cg.components_bottom_up();
+        let order: Vec<&str> = comps.iter().map(|c| c.members[0].as_str()).collect();
+        assert_eq!(order, vec!["leaf", "mid", "main"]);
+        assert!(comps.iter().all(|c| !c.recursive));
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let prog = program_with_calls(&[("fib", &["fib"]), ("main", &["fib"])]);
+        let cg = CallGraph::build(&prog);
+        let comps = cg.components_bottom_up();
+        assert_eq!(comps[0].members, vec!["fib".to_string()]);
+        assert!(comps[0].recursive);
+        assert!(!comps[1].recursive);
+        assert!(cg.calls_transitively("main", "fib"));
+        assert!(!cg.calls_transitively("fib", "main"));
+    }
+
+    #[test]
+    fn mutual_recursion_grouped() {
+        let prog = program_with_calls(&[("p1", &["p2"]), ("p2", &["p1"]), ("main", &["p1"])]);
+        let cg = CallGraph::build(&prog);
+        let comps = cg.components_bottom_up();
+        assert_eq!(comps[0].members, vec!["p1".to_string(), "p2".to_string()]);
+        assert!(comps[0].recursive);
+        assert_eq!(comps[1].members, vec!["main".to_string()]);
+    }
+
+    #[test]
+    fn undefined_callees_ignored() {
+        let prog = program_with_calls(&[("main", &["undefined_external"])]);
+        let cg = CallGraph::build(&prog);
+        assert!(cg.callees("main").is_empty());
+    }
+}

@@ -1,0 +1,388 @@
+//! A concrete interpreter for the IR.
+//!
+//! The interpreter serves two purposes in the reproduction:
+//!
+//! 1. *differential testing* — integration tests run benchmark programs
+//!    concretely and check that the bounds synthesized by the analysis indeed
+//!    dominate the observed values;
+//! 2. *experiment harness* — the Criterion benches report measured cost
+//!    (e.g. the `cost`/`nTicks` counter) next to the closed-form bound so
+//!    that EXPERIMENTS.md can show paper-vs-measured shapes.
+
+use crate::ast::{CmpOp, Cond, Expr, Procedure, Program, Stmt};
+use chora_expr::Symbol;
+use std::collections::BTreeMap;
+
+/// Outcome of executing a statement.
+enum Flow {
+    /// Fall through to the next statement.
+    Normal,
+    /// A `return` was executed with the given value.
+    Return(i128),
+}
+
+/// An execution error (assumption violation, missing procedure, ...).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// An `assume` evaluated to false (the execution is infeasible).
+    AssumptionViolated,
+    /// An `assert` evaluated to false.
+    AssertionFailed(String),
+    /// Call to an undefined procedure.
+    UndefinedProcedure(String),
+    /// Reference to an undefined variable.
+    UndefinedVariable(String),
+    /// The step budget was exhausted (guards against accidental divergence).
+    OutOfFuel,
+}
+
+/// Result of a program execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecResult {
+    /// The value returned by the entry procedure (0 when it returns nothing).
+    pub return_value: i128,
+    /// Final values of the global variables.
+    pub globals: BTreeMap<Symbol, i128>,
+    /// Number of statements executed.
+    pub steps: u64,
+}
+
+/// A concrete interpreter with a pluggable source of non-determinism.
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    /// Resolves `Cond::Nondet` branches.
+    nondet_bool: Box<dyn FnMut() -> bool + 'p>,
+    /// Resolves `Havoc` values.
+    nondet_int: Box<dyn FnMut() -> i128 + 'p>,
+    fuel: u64,
+    steps: u64,
+    globals: BTreeMap<Symbol, i128>,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Creates an interpreter with deterministic non-determinism (alternating
+    /// booleans, zero integers) and a default fuel budget.
+    pub fn new(program: &'p Program) -> Interpreter<'p> {
+        let mut flip = false;
+        Interpreter {
+            program,
+            nondet_bool: Box::new(move || {
+                flip = !flip;
+                flip
+            }),
+            nondet_int: Box::new(|| 0),
+            fuel: 50_000_000,
+            steps: 0,
+            globals: program.globals.iter().map(|g| (g.clone(), 0)).collect(),
+        }
+    }
+
+    /// Overrides the boolean non-determinism policy.
+    pub fn with_nondet_bool(mut self, f: impl FnMut() -> bool + 'p) -> Interpreter<'p> {
+        self.nondet_bool = Box::new(f);
+        self
+    }
+
+    /// Overrides the integer non-determinism policy (used by `Havoc`).
+    pub fn with_nondet_int(mut self, f: impl FnMut() -> i128 + 'p) -> Interpreter<'p> {
+        self.nondet_int = Box::new(f);
+        self
+    }
+
+    /// Sets the execution fuel (number of statements before `OutOfFuel`).
+    pub fn with_fuel(mut self, fuel: u64) -> Interpreter<'p> {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Sets the initial value of a global variable.
+    pub fn with_global(mut self, name: &str, value: i128) -> Interpreter<'p> {
+        self.globals.insert(Symbol::new(name), value);
+        self
+    }
+
+    /// Runs the given procedure with the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on assumption/assertion violation, undefined
+    /// procedures or variables, or fuel exhaustion.
+    pub fn run(&mut self, entry: &str, args: &[i128]) -> Result<ExecResult, ExecError> {
+        let ret = self.call(entry, args)?;
+        Ok(ExecResult { return_value: ret, globals: self.globals.clone(), steps: self.steps })
+    }
+
+    fn call(&mut self, name: &str, args: &[i128]) -> Result<i128, ExecError> {
+        let proc: &Procedure = self
+            .program
+            .procedure(name)
+            .ok_or_else(|| ExecError::UndefinedProcedure(name.to_string()))?;
+        let mut locals: BTreeMap<Symbol, i128> = BTreeMap::new();
+        for (i, p) in proc.params.iter().enumerate() {
+            locals.insert(p.clone(), args.get(i).copied().unwrap_or(0));
+        }
+        for l in &proc.locals {
+            locals.entry(l.clone()).or_insert(0);
+        }
+        let body = proc.body.clone();
+        match self.exec(&body, &mut locals)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal => Ok(0),
+        }
+    }
+
+    fn read(&self, locals: &BTreeMap<Symbol, i128>, s: &Symbol) -> Result<i128, ExecError> {
+        if let Some(v) = locals.get(s) {
+            return Ok(*v);
+        }
+        if let Some(v) = self.globals.get(s) {
+            return Ok(*v);
+        }
+        Err(ExecError::UndefinedVariable(s.to_string()))
+    }
+
+    fn write(&mut self, locals: &mut BTreeMap<Symbol, i128>, s: &Symbol, v: i128) {
+        if locals.contains_key(s) {
+            locals.insert(s.clone(), v);
+        } else if self.globals.contains_key(s) {
+            self.globals.insert(s.clone(), v);
+        } else {
+            // Implicitly declared local (convenient for temporaries).
+            locals.insert(s.clone(), v);
+        }
+    }
+
+    fn eval(&self, e: &Expr, locals: &BTreeMap<Symbol, i128>) -> Result<i128, ExecError> {
+        Ok(match e {
+            Expr::Const(v) => *v as i128,
+            Expr::Var(s) => self.read(locals, s)?,
+            Expr::Add(a, b) => self.eval(a, locals)? + self.eval(b, locals)?,
+            Expr::Sub(a, b) => self.eval(a, locals)? - self.eval(b, locals)?,
+            Expr::Mul(a, b) => self.eval(a, locals)? * self.eval(b, locals)?,
+            Expr::DivConst(a, c) => self.eval(a, locals)?.div_euclid(*c as i128),
+        })
+    }
+
+    fn eval_cond(&mut self, c: &Cond, locals: &BTreeMap<Symbol, i128>) -> Result<bool, ExecError> {
+        Ok(match c {
+            Cond::Cmp(a, op, b) => {
+                let av = self.eval(a, locals)?;
+                let bv = self.eval(b, locals)?;
+                match op {
+                    CmpOp::Eq => av == bv,
+                    CmpOp::Ne => av != bv,
+                    CmpOp::Lt => av < bv,
+                    CmpOp::Le => av <= bv,
+                    CmpOp::Gt => av > bv,
+                    CmpOp::Ge => av >= bv,
+                }
+            }
+            Cond::And(a, b) => self.eval_cond(a, locals)? && self.eval_cond(b, locals)?,
+            Cond::Or(a, b) => self.eval_cond(a, locals)? || self.eval_cond(b, locals)?,
+            Cond::Not(a) => !self.eval_cond(a, locals)?,
+            Cond::Nondet => (self.nondet_bool)(),
+        })
+    }
+
+    fn exec(&mut self, s: &Stmt, locals: &mut BTreeMap<Symbol, i128>) -> Result<Flow, ExecError> {
+        if self.steps >= self.fuel {
+            return Err(ExecError::OutOfFuel);
+        }
+        self.steps += 1;
+        match s {
+            Stmt::Skip => Ok(Flow::Normal),
+            Stmt::Assign(v, e) => {
+                let val = self.eval(e, locals)?;
+                self.write(locals, v, val);
+                Ok(Flow::Normal)
+            }
+            Stmt::Havoc(v) => {
+                let val = (self.nondet_int)();
+                self.write(locals, v, val);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assume(c) => {
+                if self.eval_cond(c, locals)? {
+                    Ok(Flow::Normal)
+                } else {
+                    Err(ExecError::AssumptionViolated)
+                }
+            }
+            Stmt::Assert(c, label) => {
+                if self.eval_cond(c, locals)? {
+                    Ok(Flow::Normal)
+                } else {
+                    Err(ExecError::AssertionFailed(label.clone()))
+                }
+            }
+            Stmt::Seq(ss) => {
+                for st in ss {
+                    if let Flow::Return(v) = self.exec(st, locals)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If(c, then, els) => {
+                if self.eval_cond(c, locals)? {
+                    self.exec(then, locals)
+                } else {
+                    self.exec(els, locals)
+                }
+            }
+            Stmt::While(c, body) => {
+                while self.eval_cond(c, locals)? {
+                    if self.steps >= self.fuel {
+                        return Err(ExecError::OutOfFuel);
+                    }
+                    if let Flow::Return(v) = self.exec(body, locals)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Call { callee, args, ret } => {
+                let arg_vals: Result<Vec<i128>, ExecError> =
+                    args.iter().map(|a| self.eval(a, locals)).collect();
+                let value = self.call(callee, &arg_vals?)?;
+                if let Some(r) = ret {
+                    self.write(locals, r, value);
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(expr) => self.eval(expr, locals)?,
+                    None => 0,
+                };
+                Ok(Flow::Return(v))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Cond, Expr, Procedure, Program, Stmt};
+
+    /// hanoi(n) cost-model: cost++ per call, two recursive calls.
+    fn hanoi_program() -> Program {
+        let mut prog = Program::new();
+        prog.add_global("cost");
+        let body = Stmt::seq(vec![
+            Stmt::assign("cost", Expr::var("cost").add(Expr::int(1))),
+            Stmt::if_then(
+                Cond::gt(Expr::var("n"), Expr::int(0)),
+                Stmt::seq(vec![
+                    Stmt::call("hanoi", vec![Expr::var("n").sub(Expr::int(1))]),
+                    Stmt::call("hanoi", vec![Expr::var("n").sub(Expr::int(1))]),
+                ]),
+            ),
+            Stmt::Return(None),
+        ]);
+        prog.add_procedure(Procedure::new("hanoi", &["n"], &[], body));
+        prog
+    }
+
+    #[test]
+    fn hanoi_cost_is_exponential() {
+        let prog = hanoi_program();
+        for n in 0..10i128 {
+            let mut interp = Interpreter::new(&prog);
+            let result = interp.run("hanoi", &[n]).unwrap();
+            assert_eq!(result.globals[&Symbol::new("cost")], (1 << (n + 1)) - 1);
+        }
+    }
+
+    #[test]
+    fn loops_and_returns() {
+        let mut prog = Program::new();
+        let body = Stmt::seq(vec![
+            Stmt::assign("s", Expr::int(0)),
+            Stmt::assign("i", Expr::int(0)),
+            Stmt::while_loop(
+                Cond::lt(Expr::var("i"), Expr::var("n")),
+                Stmt::seq(vec![
+                    Stmt::assign("s", Expr::var("s").add(Expr::var("i"))),
+                    Stmt::assign("i", Expr::var("i").add(Expr::int(1))),
+                ]),
+            ),
+            Stmt::Return(Some(Expr::var("s"))),
+        ]);
+        prog.add_procedure(Procedure::new("sum", &["n"], &["s", "i"], body));
+        let mut interp = Interpreter::new(&prog);
+        assert_eq!(interp.run("sum", &[10]).unwrap().return_value, 45);
+    }
+
+    #[test]
+    fn assumptions_and_assertions() {
+        let mut prog = Program::new();
+        prog.add_procedure(Procedure::new(
+            "check",
+            &["x"],
+            &[],
+            Stmt::seq(vec![
+                Stmt::Assume(Cond::ge(Expr::var("x"), Expr::int(0))),
+                Stmt::Assert(Cond::ge(Expr::var("x"), Expr::int(1)), "x-positive".to_string()),
+                Stmt::Return(Some(Expr::var("x"))),
+            ]),
+        ));
+        let mut i1 = Interpreter::new(&prog);
+        assert_eq!(i1.run("check", &[2]).unwrap().return_value, 2);
+        let mut i2 = Interpreter::new(&prog);
+        assert_eq!(i2.run("check", &[-1]), Err(ExecError::AssumptionViolated));
+        let mut i3 = Interpreter::new(&prog);
+        assert_eq!(i3.run("check", &[0]), Err(ExecError::AssertionFailed("x-positive".to_string())));
+    }
+
+    #[test]
+    fn nondet_policies() {
+        let mut prog = Program::new();
+        prog.add_procedure(Procedure::new(
+            "pick",
+            &[],
+            &["x"],
+            Stmt::seq(vec![
+                Stmt::if_else(
+                    Cond::Nondet,
+                    Stmt::assign("x", Expr::int(1)),
+                    Stmt::assign("x", Expr::int(2)),
+                ),
+                Stmt::Return(Some(Expr::var("x"))),
+            ]),
+        ));
+        let mut always_true = Interpreter::new(&prog).with_nondet_bool(|| true);
+        assert_eq!(always_true.run("pick", &[]).unwrap().return_value, 1);
+        let mut always_false = Interpreter::new(&prog).with_nondet_bool(|| false);
+        assert_eq!(always_false.run("pick", &[]).unwrap().return_value, 2);
+    }
+
+    #[test]
+    fn fuel_guards_against_divergence() {
+        let mut prog = Program::new();
+        prog.add_procedure(Procedure::new(
+            "loop_forever",
+            &[],
+            &[],
+            Stmt::while_loop(Cond::ge(Expr::int(0), Expr::int(0)), Stmt::Skip),
+        ));
+        let mut interp = Interpreter::new(&prog).with_fuel(1000);
+        assert_eq!(interp.run("loop_forever", &[]), Err(ExecError::OutOfFuel));
+    }
+
+    #[test]
+    fn floor_division_semantics() {
+        let mut prog = Program::new();
+        prog.add_procedure(Procedure::new(
+            "half",
+            &["n"],
+            &[],
+            Stmt::Return(Some(Expr::var("n").div(2))),
+        ));
+        let mut interp = Interpreter::new(&prog);
+        assert_eq!(interp.run("half", &[7]).unwrap().return_value, 3);
+        let mut interp2 = Interpreter::new(&prog);
+        assert_eq!(interp2.run("half", &[-7]).unwrap().return_value, -4);
+    }
+}

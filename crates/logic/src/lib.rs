@@ -1,0 +1,45 @@
+//! # chora-logic
+//!
+//! The symbolic-abstraction substrate of the CHORA analysis:
+//!
+//! * [`Atom`] — polynomial (in)equations `p ◇ 0`,
+//! * [`Polyhedron`] — conjunctions of atoms with exact-rational domain
+//!   operations (satisfiability, Fourier–Motzkin projection, convex-hull
+//!   join, entailment), with non-linear monomials handled by linearization
+//!   into extra dimensions as in [25, Alg. 3],
+//! * [`TransitionFormula`] — bounded-DNF relations between pre-state and
+//!   post-state, the representation on which procedure summaries, the
+//!   hypothetical summaries of Alg. 2, and the depth-bounding model of
+//!   Alg. 4 are all built.
+//!
+//! In the original CHORA implementation these roles are played by Z3 plus the
+//! SRK/duet wedge domain; here they are built from scratch on exact rational
+//! arithmetic (see DESIGN.md for the substitution argument).
+//!
+//! ```
+//! use chora_logic::{Atom, TransitionFormula};
+//! use chora_expr::{Polynomial, Symbol};
+//! use chora_numeric::rat;
+//!
+//! // nTicks' = nTicks + 1  composed with  nTicks' = nTicks + 1
+//! let n = Symbol::new("nTicks");
+//! let vars = vec![n.clone()];
+//! let tick = TransitionFormula::assign(
+//!     &n,
+//!     &(&Polynomial::var(n.clone()) + &Polynomial::constant(rat(1))),
+//!     &vars,
+//! );
+//! let two_ticks = tick.sequence(&tick, &vars);
+//! assert!(two_ticks.implies_atom(&Atom::eq(
+//!     Polynomial::var(n.primed()),
+//!     &Polynomial::var(n.clone()) + &Polynomial::constant(rat(2)),
+//! )));
+//! ```
+
+mod atom;
+mod polyhedron;
+mod transition;
+
+pub use atom::{Atom, AtomKind};
+pub use polyhedron::Polyhedron;
+pub use transition::{TransitionFormula, DEFAULT_DISJUNCT_CAP};

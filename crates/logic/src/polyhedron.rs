@@ -1,0 +1,872 @@
+//! Conjunctions of polynomial constraints, viewed as convex polyhedra over a
+//! linearized dimension space.
+//!
+//! Following [25, Alg. 3] (and §3 of the CHORA paper), non-linear monomials
+//! are treated as *additional dimensions*: the quadratic atom `x² − y ≤ 0`
+//! becomes the linear atom `d_{x²} − y ≤ 0` over the dimension `d_{x²}`.
+//! All domain operations — satisfiability, Fourier–Motzkin projection,
+//! convex-hull join (Balas' extended formulation), entailment — are carried
+//! out on the linearized view and mapped back to polynomial atoms.
+
+use crate::atom::{Atom, AtomKind};
+use chora_expr::{LinearExpr, Monomial, Polynomial, Symbol};
+use chora_numeric::BigRational;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Safety valve: when an intermediate Fourier–Motzkin system grows beyond
+/// this many constraints the operation falls back to a sound but less precise
+/// result (dropping constraints for projection, weak join for hulls).
+const FM_CONSTRAINT_BUDGET: usize = 600;
+
+/// A conjunction of polynomial constraint [`Atom`]s.
+///
+/// ```
+/// use chora_logic::{Atom, Polyhedron};
+/// use chora_expr::{Polynomial, Symbol};
+/// use chora_numeric::rat;
+/// let x = Polynomial::var(Symbol::new("x"));
+/// let p = Polyhedron::from_atoms(vec![
+///     Atom::ge(x.clone(), Polynomial::constant(rat(0))),
+///     Atom::le(x.clone(), Polynomial::constant(rat(5))),
+/// ]);
+/// assert!(!p.is_empty_set());
+/// assert!(p.implies_atom(&Atom::le(x, Polynomial::constant(rat(7)))));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Polyhedron {
+    atoms: Vec<Atom>,
+}
+
+impl Polyhedron {
+    /// The universal polyhedron (no constraints).
+    pub fn universe() -> Polyhedron {
+        Polyhedron { atoms: Vec::new() }
+    }
+
+    /// A polyhedron from a list of constraint atoms.
+    pub fn from_atoms(atoms: Vec<Atom>) -> Polyhedron {
+        let mut p = Polyhedron::universe();
+        for a in atoms {
+            p.add_atom(a);
+        }
+        p
+    }
+
+    /// An explicitly unsatisfiable polyhedron.
+    pub fn contradiction() -> Polyhedron {
+        Polyhedron::from_atoms(vec![Atom::le_zero(Polynomial::one())])
+    }
+
+    /// Adds a constraint (drops trivially true constraints).
+    pub fn add_atom(&mut self, atom: Atom) {
+        if atom.trivial_truth() == Some(true) {
+            return;
+        }
+        if !self.atoms.contains(&atom) {
+            self.atoms.push(atom);
+        }
+    }
+
+    /// The constraint atoms.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether there are no constraints (the universal polyhedron).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// All symbols mentioned.
+    pub fn symbols(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        for a in &self.atoms {
+            out.extend(a.symbols());
+        }
+        out
+    }
+
+    /// Conjunction of two polyhedra.
+    pub fn conjoin(&self, other: &Polyhedron) -> Polyhedron {
+        let mut out = self.clone();
+        for a in &other.atoms {
+            out.add_atom(a.clone());
+        }
+        out
+    }
+
+    /// Renames symbols throughout.
+    pub fn rename(&self, f: &mut impl FnMut(&Symbol) -> Symbol) -> Polyhedron {
+        Polyhedron { atoms: self.atoms.iter().map(|a| a.rename(f)).collect() }
+    }
+
+    /// Substitutes a polynomial for a symbol throughout.
+    pub fn substitute(&self, s: &Symbol, replacement: &Polynomial) -> Polyhedron {
+        Polyhedron::from_atoms(self.atoms.iter().map(|a| a.substitute(s, replacement)).collect())
+    }
+
+    /// Whether the polyhedron is unsatisfiable over the rationals.
+    pub fn is_empty_set(&self) -> bool {
+        match Linearized::new(&self.atoms) {
+            None => true,
+            Some(sys) => sys.is_unsat(),
+        }
+    }
+
+    /// Whether every point of the polyhedron satisfies the atom.
+    pub fn implies_atom(&self, atom: &Atom) -> bool {
+        if atom.trivial_truth() == Some(true) {
+            return true;
+        }
+        // P ⊨ a  iff  P ∧ ¬a is unsatisfiable, for every disjunct of ¬a.
+        atom.negate().iter().all(|neg| {
+            let mut with_neg = self.clone();
+            with_neg.atoms.push(neg.clone());
+            with_neg.is_empty_set()
+        })
+    }
+
+    /// Whether this polyhedron is contained in `other`.
+    pub fn is_subset_of(&self, other: &Polyhedron) -> bool {
+        other.atoms.iter().all(|a| self.implies_atom(a))
+    }
+
+    /// Projects onto the given symbols: the result mentions only symbols in
+    /// `keep` (non-linear monomials are kept only if all their factors are
+    /// kept) and over-approximates the original polyhedron.
+    pub fn project_onto(&self, keep: &BTreeSet<Symbol>) -> Polyhedron {
+        let pre = self.substitute_defined_symbols(|s| !keep.contains(s));
+        match Linearized::new(&pre.atoms) {
+            None => Polyhedron::contradiction(),
+            Some(sys) => sys.project(|base_syms| base_syms.iter().all(|s| keep.contains(s))).to_polyhedron(),
+        }
+    }
+
+    /// Eliminates the given symbols (existential quantification), keeping
+    /// everything else.
+    pub fn eliminate(&self, drop: &BTreeSet<Symbol>) -> Polyhedron {
+        let pre = self.substitute_defined_symbols(|s| drop.contains(s));
+        match Linearized::new(&pre.atoms) {
+            None => Polyhedron::contradiction(),
+            Some(sys) => sys.project(|base_syms| !base_syms.iter().any(|s| drop.contains(s))).to_polyhedron(),
+        }
+    }
+
+    /// Pre-pass used by projection: a symbol scheduled for elimination that
+    /// is *defined* by a linear equality (`x = p`, `x` not in `p`) is
+    /// substituted away at the polynomial level.  Unlike Fourier–Motzkin on
+    /// the linearized view, substitution also reaches occurrences of the
+    /// symbol inside non-linear monomials, so relations such as `i·b ≤ c`
+    /// survive the elimination of `i` when `i` is fixed by an equality.
+    fn substitute_defined_symbols(&self, should_eliminate: impl Fn(&Symbol) -> bool) -> Polyhedron {
+        let mut atoms = self.atoms.clone();
+        loop {
+            let mut substitution: Option<(usize, Symbol, Polynomial)> = None;
+            'search: for (i, a) in atoms.iter().enumerate() {
+                if a.kind != AtomKind::Eq {
+                    continue;
+                }
+                for s in a.symbols() {
+                    if !should_eliminate(&s) {
+                        continue;
+                    }
+                    // Needs a linear occurrence: coefficient of the monomial
+                    // `s` with `s` absent from every other monomial non-linearly.
+                    let m = chora_expr::Monomial::var(s.clone());
+                    let coeff = a.poly.coefficient(&m);
+                    if coeff.is_zero() {
+                        continue;
+                    }
+                    let rest = &a.poly - &Polynomial::term(coeff.clone(), m);
+                    if rest.symbols().contains(&s) {
+                        continue;
+                    }
+                    let replacement = rest.scale(&(-coeff).recip());
+                    substitution = Some((i, s, replacement));
+                    break 'search;
+                }
+            }
+            match substitution {
+                None => break,
+                Some((i, s, replacement)) => {
+                    atoms.remove(i);
+                    atoms = atoms.into_iter().map(|a| a.substitute(&s, &replacement)).collect();
+                }
+            }
+        }
+        Polyhedron::from_atoms(atoms)
+    }
+
+    /// Convex-hull join (the ⊔ of Alg. 1).
+    ///
+    /// Uses Balas' extended formulation projected by Fourier–Motzkin; if the
+    /// intermediate system exceeds the constraint budget, falls back to the
+    /// sound *weak join* (mutually implied constraints).
+    pub fn join(&self, other: &Polyhedron) -> Polyhedron {
+        if self.is_empty_set() {
+            return other.clone();
+        }
+        if other.is_empty_set() {
+            return self.clone();
+        }
+        if let Some(hull) = self.try_exact_join(other) {
+            return hull;
+        }
+        self.weak_join(other)
+    }
+
+    fn try_exact_join(&self, other: &Polyhedron) -> Option<Polyhedron> {
+        let left = Linearized::new(&self.atoms)?;
+        let right = Linearized::new(&other.atoms)?;
+        // Collect the union of dimensions.
+        let mut dims: BTreeSet<Symbol> = BTreeSet::new();
+        dims.extend(left.dims());
+        dims.extend(right.dims());
+        if dims.len() > 24 {
+            return None;
+        }
+        let lambda = Symbol::fresh("lambda");
+        // Fresh copy z_d for each dimension.
+        let mut z_names: BTreeMap<Symbol, Symbol> = BTreeMap::new();
+        for d in &dims {
+            z_names.insert(d.clone(), Symbol::fresh("z"));
+        }
+        let mut constraints: Vec<(LinearExpr, AtomKind)> = Vec::new();
+        // P1 constraints on y = x - z, scaled by λ:  Σ aᵢ(xᵢ - zᵢ) + c·λ ◇ 0
+        for (expr, kind) in left.constraints() {
+            let mut e = LinearExpr::constant(BigRational::zero());
+            for (s, c) in expr.coefficients() {
+                e.add_coefficient(s.clone(), c.clone());
+                e.add_coefficient(z_names[s].clone(), -c.clone());
+            }
+            e.add_coefficient(lambda.clone(), expr.constant_term().clone());
+            constraints.push((e, *kind));
+        }
+        // P2 constraints on z, scaled by (1-λ):  Σ bᵢ zᵢ + c·(1-λ) ◇ 0
+        for (expr, kind) in right.constraints() {
+            let mut e = LinearExpr::constant(expr.constant_term().clone());
+            for (s, c) in expr.coefficients() {
+                e.add_coefficient(z_names[s].clone(), c.clone());
+            }
+            e.add_coefficient(lambda.clone(), -expr.constant_term().clone());
+            constraints.push((e, *kind));
+        }
+        // 0 ≤ λ ≤ 1
+        constraints.push((LinearExpr::var(lambda.clone()).scale(&-BigRational::one()), AtomKind::Le));
+        constraints
+            .push((LinearExpr::var(lambda.clone()) + LinearExpr::constant(-BigRational::one()), AtomKind::Le));
+        // Eliminate z's and λ.
+        let mut to_drop: Vec<Symbol> = z_names.values().cloned().collect();
+        to_drop.push(lambda);
+        let mut sys = left.with_constraints(constraints, &right);
+        for d in to_drop {
+            sys = sys.eliminate_dim(&d);
+            if sys.constraints.len() > FM_CONSTRAINT_BUDGET {
+                return None;
+            }
+        }
+        Some(sys.to_polyhedron())
+    }
+
+    /// Weak join: constraints of either operand that are implied by the other.
+    pub fn weak_join(&self, other: &Polyhedron) -> Polyhedron {
+        let mut out = Polyhedron::universe();
+        for a in &self.atoms {
+            if other.implies_atom(a) {
+                out.add_atom(a.clone());
+            } else if a.kind == AtomKind::Eq {
+                // An equality may weaken to a one-sided inequality.
+                let le = Atom::le_zero(a.poly.clone());
+                let ge = Atom::le_zero(-&a.poly);
+                if other.implies_atom(&le) {
+                    out.add_atom(le);
+                }
+                if other.implies_atom(&ge) {
+                    out.add_atom(ge);
+                }
+            }
+        }
+        for a in &other.atoms {
+            if self.implies_atom(a) {
+                out.add_atom(a.clone());
+            } else if a.kind == AtomKind::Eq {
+                let le = Atom::le_zero(a.poly.clone());
+                let ge = Atom::le_zero(-&a.poly);
+                if self.implies_atom(&le) {
+                    out.add_atom(le);
+                }
+                if self.implies_atom(&ge) {
+                    out.add_atom(ge);
+                }
+            }
+        }
+        out
+    }
+
+    /// All upper bounds the polyhedron places on the symbol `s`
+    /// (constraints of the form `s ≤ p` with `s` not occurring in `p`).
+    pub fn upper_bounds_on(&self, s: &Symbol) -> Vec<Polynomial> {
+        let mut out = Vec::new();
+        for a in &self.atoms {
+            match a.kind {
+                AtomKind::Le | AtomKind::Lt => {
+                    if let Some(b) = a.upper_bound_on(s) {
+                        out.push(b);
+                    }
+                }
+                AtomKind::Eq => {
+                    if let Some(b) = Atom::le_zero(a.poly.clone()).upper_bound_on(s) {
+                        out.push(b);
+                    } else if let Some(b) = Atom::le_zero(-&a.poly).upper_bound_on(s) {
+                        out.push(b);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Normalizes the constraint list: removes duplicates, trivially-true
+    /// atoms, and inequalities subsumed by a tighter parallel inequality.
+    pub fn simplify(&self) -> Polyhedron {
+        match Linearized::new(&self.atoms) {
+            None => Polyhedron::contradiction(),
+            Some(sys) => sys.to_polyhedron(),
+        }
+    }
+}
+
+impl fmt::Display for Polyhedron {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Polyhedron {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A linearized constraint system: polynomial atoms become linear constraints
+/// over base symbols plus one dimension symbol per non-linear monomial.
+struct Linearized {
+    /// dimension symbol -> the non-linear monomial it represents
+    mono_dims: BTreeMap<Symbol, Monomial>,
+    /// linear constraints `expr ◇ 0`
+    constraints: Vec<(LinearExpr, AtomKind)>,
+    /// marker set when a trivially-false constraint is encountered
+    unsat: bool,
+}
+
+impl Linearized {
+    /// Builds the linearized view; returns `None` if a trivially false ground
+    /// atom is present (caller should treat the system as unsatisfiable).
+    fn new(atoms: &[Atom]) -> Option<Linearized> {
+        let mut sys =
+            Linearized { mono_dims: BTreeMap::new(), constraints: Vec::new(), unsat: false };
+        for a in atoms {
+            match a.trivial_truth() {
+                Some(true) => continue,
+                Some(false) => return None,
+                None => {}
+            }
+            let expr = sys.linearize_poly(&a.poly);
+            sys.constraints.push((expr, a.kind));
+        }
+        sys.normalize();
+        if sys.unsat {
+            None
+        } else {
+            Some(sys)
+        }
+    }
+
+    fn dim_symbol_for(m: &Monomial) -> Symbol {
+        Symbol::new(&format!("$dim[{m}]"))
+    }
+
+    fn linearize_poly(&mut self, p: &Polynomial) -> LinearExpr {
+        let mut out = LinearExpr::constant(BigRational::zero());
+        for (m, c) in p.terms() {
+            if m.is_one() {
+                out.add_constant(c);
+            } else if m.degree() == 1 {
+                let (s, _) = m.powers().next().expect("degree-1 monomial has a symbol");
+                out.add_coefficient(s.clone(), c.clone());
+            } else {
+                let dim = Self::dim_symbol_for(m);
+                self.mono_dims.insert(dim.clone(), m.clone());
+                out.add_coefficient(dim, c.clone());
+            }
+        }
+        out
+    }
+
+    fn delinearize(&self, expr: &LinearExpr) -> Polynomial {
+        let mut p = Polynomial::constant(expr.constant_term().clone());
+        for (s, c) in expr.coefficients() {
+            let m = match self.mono_dims.get(s) {
+                Some(m) => m.clone(),
+                None => Monomial::var(s.clone()),
+            };
+            p = &p + &Polynomial::term(c.clone(), m);
+        }
+        p
+    }
+
+    fn dims(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        for (e, _) in &self.constraints {
+            out.extend(e.symbols());
+        }
+        out
+    }
+
+    fn constraints(&self) -> &[(LinearExpr, AtomKind)] {
+        &self.constraints
+    }
+
+    /// Builds a new system sharing the monomial-dimension tables of `self`
+    /// and `other`, with the given constraints.
+    fn with_constraints(&self, constraints: Vec<(LinearExpr, AtomKind)>, other: &Linearized) -> Linearized {
+        let mut mono_dims = self.mono_dims.clone();
+        mono_dims.extend(other.mono_dims.clone());
+        let mut sys = Linearized { mono_dims, constraints, unsat: false };
+        sys.normalize();
+        sys
+    }
+
+    /// The base (program-level) symbols a dimension depends on.
+    fn base_symbols(&self, dim: &Symbol) -> Vec<Symbol> {
+        match self.mono_dims.get(dim) {
+            Some(m) => m.symbols().into_iter().collect(),
+            None => vec![dim.clone()],
+        }
+    }
+
+    /// Removes duplicates, trivial constraints, and parallel-subsumed
+    /// inequalities; detects ground contradictions.
+    fn normalize(&mut self) {
+        // Keyed by the normalized coefficient vector (without constant).
+        let mut kept: Vec<(LinearExpr, AtomKind)> = Vec::new();
+        for (expr, kind) in std::mem::take(&mut self.constraints) {
+            if expr.is_constant() {
+                let c = expr.constant_term();
+                let holds = match kind {
+                    AtomKind::Le => !c.is_positive(),
+                    AtomKind::Lt => c.is_negative(),
+                    AtomKind::Eq => c.is_zero(),
+                };
+                if !holds {
+                    self.unsat = true;
+                    return;
+                }
+                continue;
+            }
+            kept.push((expr, kind));
+        }
+        // Subsumption between parallel inequalities with identical linear part.
+        let mut result: Vec<(LinearExpr, AtomKind)> = Vec::new();
+        'outer: for (expr, kind) in kept {
+            let mut i = 0;
+            while i < result.len() {
+                let (prev_expr, prev_kind) = &result[i];
+                if Self::same_linear_part(prev_expr, &expr) {
+                    match (prev_kind, kind) {
+                        (AtomKind::Eq, _) | (_, AtomKind::Eq) => {
+                            // Keep both unless identical; equality handling is
+                            // precision-sensitive so do not subsume.
+                            if prev_expr == &expr && *prev_kind == kind {
+                                continue 'outer;
+                            }
+                        }
+                        _ => {
+                            // expr + c ≤/< 0 : larger constant is tighter;
+                            // on ties a strict inequality is tighter than a
+                            // non-strict one.
+                            let prev_c = prev_expr.constant_term();
+                            let new_c = expr.constant_term();
+                            let prev_at_least_as_tight = prev_c > new_c
+                                || (prev_c == new_c
+                                    && (*prev_kind == AtomKind::Lt || kind == AtomKind::Le));
+                            if prev_at_least_as_tight {
+                                continue 'outer;
+                            }
+                            result.remove(i);
+                            continue;
+                        }
+                    }
+                }
+                i += 1;
+            }
+            result.push((expr, kind));
+        }
+        self.constraints = result;
+    }
+
+    fn same_linear_part(a: &LinearExpr, b: &LinearExpr) -> bool {
+        let za = a - &LinearExpr::constant(a.constant_term().clone());
+        let zb = b - &LinearExpr::constant(b.constant_term().clone());
+        za == zb
+    }
+
+    /// Fourier–Motzkin elimination of a single dimension.
+    ///
+    /// When the intermediate system would exceed the constraint budget, the
+    /// constraints involving the dimension are dropped instead (a sound
+    /// over-approximation).
+    fn eliminate_dim(mut self, d: &Symbol) -> Linearized {
+        if self.unsat {
+            return self;
+        }
+        // Prefer substitution through an equality involving d.
+        if let Some(idx) = self
+            .constraints
+            .iter()
+            .position(|(e, k)| *k == AtomKind::Eq && !e.coefficient(d).is_zero())
+        {
+            let (eq_expr, _) = self.constraints.remove(idx);
+            let coeff = eq_expr.coefficient(d);
+            // d = -(rest)/coeff
+            let mut rest = eq_expr.clone();
+            rest.add_coefficient(d.clone(), -coeff.clone());
+            let replacement = rest.scale(&(-coeff.recip()));
+            let constraints = std::mem::take(&mut self.constraints)
+                .into_iter()
+                .map(|(e, k)| (e.substitute(d, &replacement), k))
+                .collect();
+            self.constraints = constraints;
+            self.normalize();
+            return self;
+        }
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        let mut rest = Vec::new();
+        for (e, k) in std::mem::take(&mut self.constraints) {
+            let c = e.coefficient(d);
+            if c.is_zero() {
+                rest.push((e, k));
+            } else if c.is_positive() {
+                pos.push((e, k, c));
+            } else {
+                neg.push((e, k, c));
+            }
+        }
+        if pos.len() * neg.len() + rest.len() > FM_CONSTRAINT_BUDGET {
+            // Over-approximate: drop every constraint involving d.
+            self.constraints = rest;
+            self.normalize();
+            return self;
+        }
+        for (pe, pk, pc) in &pos {
+            for (ne, nk, nc) in &neg {
+                // pe: pc·d + p_rest ◇ 0  (pc > 0)   =>  d ≤ -p_rest/pc (for ◇ = ≤)
+                // ne: nc·d + n_rest ◇ 0  (nc < 0)   =>  d ≥ n_rest/(-nc)
+                // combined:  n_rest/(-nc) ≤ -p_rest/pc
+                //            pc·n_rest + (-nc)·p_rest ≤ 0
+                let p_rest = {
+                    let mut e = pe.clone();
+                    e.add_coefficient(d.clone(), -pc.clone());
+                    e
+                };
+                let n_rest = {
+                    let mut e = ne.clone();
+                    e.add_coefficient(d.clone(), -nc.clone());
+                    e
+                };
+                let combined = &n_rest.scale(pc) + &p_rest.scale(&-nc.clone());
+                let kind = match (pk, nk) {
+                    (AtomKind::Lt, _) | (_, AtomKind::Lt) => AtomKind::Lt,
+                    _ => AtomKind::Le,
+                };
+                rest.push((combined, kind));
+            }
+        }
+        self.constraints = rest;
+        self.normalize();
+        self
+    }
+
+    /// Projects onto the dimensions whose base symbols all satisfy `keep`.
+    fn project(mut self, keep: impl Fn(&[Symbol]) -> bool) -> Linearized {
+        let dims = self.dims();
+        for d in dims {
+            let bases = self.base_symbols(&d);
+            if keep(&bases) {
+                continue;
+            }
+            self = self.eliminate_dim(&d);
+            if self.unsat {
+                break;
+            }
+        }
+        self
+    }
+
+    fn is_unsat(mut self) -> bool {
+        let dims = self.dims();
+        for d in dims {
+            self = self.eliminate_dim(&d);
+            if self.unsat {
+                return true;
+            }
+        }
+        self.unsat
+    }
+
+    fn to_polyhedron(&self) -> Polyhedron {
+        if self.unsat {
+            return Polyhedron::contradiction();
+        }
+        let mut atoms = Vec::new();
+        for (e, k) in &self.constraints {
+            let poly = self.delinearize(&e.normalize_gcd());
+            atoms.push(Atom { poly, kind: *k });
+        }
+        Polyhedron::from_atoms(atoms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chora_numeric::rat;
+
+    fn var(name: &str) -> Polynomial {
+        Polynomial::var(Symbol::new(name))
+    }
+    fn c(v: i64) -> Polynomial {
+        Polynomial::constant(rat(v))
+    }
+
+    #[test]
+    fn satisfiability_basic() {
+        let p = Polyhedron::from_atoms(vec![
+            Atom::ge(var("x"), c(0)),
+            Atom::le(var("x"), c(5)),
+        ]);
+        assert!(!p.is_empty_set());
+        let q = Polyhedron::from_atoms(vec![
+            Atom::ge(var("x"), c(6)),
+            Atom::le(var("x"), c(5)),
+        ]);
+        assert!(q.is_empty_set());
+        assert!(Polyhedron::contradiction().is_empty_set());
+        assert!(!Polyhedron::universe().is_empty_set());
+    }
+
+    #[test]
+    fn satisfiability_strict() {
+        let p = Polyhedron::from_atoms(vec![
+            Atom::gt(var("x"), c(5)),
+            Atom::lt(var("x"), c(6)),
+        ]);
+        // Rational satisfiable (5 < x < 6).
+        assert!(!p.is_empty_set());
+        let q = Polyhedron::from_atoms(vec![
+            Atom::gt(var("x"), c(5)),
+            Atom::lt(var("x"), c(5)),
+        ]);
+        assert!(q.is_empty_set());
+        let r = Polyhedron::from_atoms(vec![
+            Atom::ge(var("x"), c(5)),
+            Atom::lt(var("x"), c(5)),
+        ]);
+        assert!(r.is_empty_set());
+    }
+
+    #[test]
+    fn satisfiability_chained() {
+        // x <= y, y <= z, z <= x - 1 is unsat
+        let p = Polyhedron::from_atoms(vec![
+            Atom::le(var("x"), var("y")),
+            Atom::le(var("y"), var("z")),
+            Atom::le(var("z"), &var("x") - &c(1)),
+        ]);
+        assert!(p.is_empty_set());
+        // ... but z <= x + 1 is fine
+        let q = Polyhedron::from_atoms(vec![
+            Atom::le(var("x"), var("y")),
+            Atom::le(var("y"), var("z")),
+            Atom::le(var("z"), &var("x") + &c(1)),
+        ]);
+        assert!(!q.is_empty_set());
+    }
+
+    #[test]
+    fn implication() {
+        let p = Polyhedron::from_atoms(vec![
+            Atom::ge(var("x"), c(1)),
+            Atom::le(var("x"), var("y")),
+        ]);
+        assert!(p.implies_atom(&Atom::ge(var("y"), c(1))));
+        assert!(p.implies_atom(&Atom::ge(var("y"), var("x"))));
+        assert!(!p.implies_atom(&Atom::ge(var("x"), c(2))));
+        assert!(p.implies_atom(&Atom::gt(var("y"), c(0))));
+    }
+
+    #[test]
+    fn implication_with_equalities() {
+        let p = Polyhedron::from_atoms(vec![
+            Atom::eq(var("x"), &var("y") + &c(1)),
+            Atom::eq(var("y"), c(3)),
+        ]);
+        assert!(p.implies_atom(&Atom::eq(var("x"), c(4))));
+        assert!(!p.implies_atom(&Atom::eq(var("x"), c(5))));
+    }
+
+    #[test]
+    fn projection_transitive_bound() {
+        // x <= y, y <= 5  projected onto {x}  =>  x <= 5
+        let p = Polyhedron::from_atoms(vec![
+            Atom::le(var("x"), var("y")),
+            Atom::le(var("y"), c(5)),
+        ]);
+        let keep: BTreeSet<Symbol> = [Symbol::new("x")].into_iter().collect();
+        let proj = p.project_onto(&keep);
+        assert!(proj.implies_atom(&Atom::le(var("x"), c(5))));
+        assert!(proj.symbols().iter().all(|s| s == &Symbol::new("x")));
+    }
+
+    #[test]
+    fn projection_keeps_nonlinear_dims_over_kept_symbols() {
+        // x^2 <= y, y <= 9 : the x^2 dimension survives projection because
+        // its only base symbol is x.
+        let x2 = &var("x") * &var("x");
+        let p = Polyhedron::from_atoms(vec![
+            Atom::le(x2.clone(), var("y")),
+            Atom::le(var("y"), c(9)),
+        ]);
+        let keep_xy: BTreeSet<Symbol> = [Symbol::new("x"), Symbol::new("y")].into_iter().collect();
+        let proj = p.project_onto(&keep_xy);
+        assert!(proj.implies_atom(&Atom::le(x2.clone(), c(9))));
+        let keep_x: BTreeSet<Symbol> = [Symbol::new("x")].into_iter().collect();
+        let proj_x = p.project_onto(&keep_x);
+        assert!(proj_x.implies_atom(&Atom::le(x2, c(9))));
+    }
+
+    #[test]
+    fn eliminate_single_symbol() {
+        let p = Polyhedron::from_atoms(vec![
+            Atom::eq(var("mid"), &var("x") + &c(1)),
+            Atom::eq(var("y"), &var("mid") + &c(1)),
+        ]);
+        let drop: BTreeSet<Symbol> = [Symbol::new("mid")].into_iter().collect();
+        let out = p.eliminate(&drop);
+        assert!(out.implies_atom(&Atom::eq(var("y"), &var("x") + &c(2))));
+        assert!(!out.symbols().contains(&Symbol::new("mid")));
+    }
+
+    #[test]
+    fn join_intervals() {
+        // hull of [0,1] and [3,4] is [0,4]
+        let a = Polyhedron::from_atoms(vec![Atom::ge(var("x"), c(0)), Atom::le(var("x"), c(1))]);
+        let b = Polyhedron::from_atoms(vec![Atom::ge(var("x"), c(3)), Atom::le(var("x"), c(4))]);
+        let hull = a.join(&b);
+        assert!(hull.implies_atom(&Atom::ge(var("x"), c(0))));
+        assert!(hull.implies_atom(&Atom::le(var("x"), c(4))));
+        assert!(!hull.implies_atom(&Atom::le(var("x"), c(3))));
+    }
+
+    #[test]
+    fn join_points_recovers_line() {
+        // hull of {x=0, y=0} and {x=1, y=1} implies x = y
+        let a = Polyhedron::from_atoms(vec![Atom::eq(var("x"), c(0)), Atom::eq(var("y"), c(0))]);
+        let b = Polyhedron::from_atoms(vec![Atom::eq(var("x"), c(1)), Atom::eq(var("y"), c(1))]);
+        let hull = a.join(&b);
+        assert!(hull.implies_atom(&Atom::eq(var("x"), var("y"))));
+        assert!(hull.implies_atom(&Atom::ge(var("x"), c(0))));
+        assert!(hull.implies_atom(&Atom::le(var("x"), c(1))));
+    }
+
+    #[test]
+    fn join_with_empty_operand() {
+        let a = Polyhedron::from_atoms(vec![Atom::eq(var("x"), c(7))]);
+        let empty = Polyhedron::contradiction();
+        assert_eq!(a.join(&empty).atoms().len(), a.atoms().len());
+        assert_eq!(empty.join(&a).atoms().len(), a.atoms().len());
+    }
+
+    #[test]
+    fn join_unbounded() {
+        // hull of {x >= 0} and {x >= 2, y = 0} should still imply x >= 0.
+        let a = Polyhedron::from_atoms(vec![Atom::ge(var("x"), c(0))]);
+        let b = Polyhedron::from_atoms(vec![Atom::ge(var("x"), c(2)), Atom::eq(var("y"), c(0))]);
+        let hull = a.join(&b);
+        assert!(hull.implies_atom(&Atom::ge(var("x"), c(0))));
+        assert!(!hull.implies_atom(&Atom::ge(var("x"), c(2))));
+    }
+
+    #[test]
+    fn weak_join_is_sound() {
+        let a = Polyhedron::from_atoms(vec![Atom::eq(var("x"), c(0))]);
+        let b = Polyhedron::from_atoms(vec![Atom::eq(var("x"), c(1))]);
+        let wj = a.weak_join(&b);
+        // 0 <= x <= 1 must be implied (equalities weaken to inequalities).
+        assert!(wj.implies_atom(&Atom::ge(var("x"), c(0))));
+        assert!(wj.implies_atom(&Atom::le(var("x"), c(1))));
+    }
+
+    #[test]
+    fn subset_check() {
+        let small = Polyhedron::from_atoms(vec![Atom::ge(var("x"), c(1)), Atom::le(var("x"), c(2))]);
+        let big = Polyhedron::from_atoms(vec![Atom::ge(var("x"), c(0)), Atom::le(var("x"), c(5))]);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+    }
+
+    #[test]
+    fn upper_bounds() {
+        let p = Polyhedron::from_atoms(vec![
+            Atom::le(var("x"), &var("n") + &c(1)),
+            Atom::le(var("x").scale(&rat(2)), c(10)),
+            Atom::ge(var("x"), c(0)),
+        ]);
+        let ubs = p.upper_bounds_on(&Symbol::new("x"));
+        assert_eq!(ubs.len(), 2);
+        assert!(ubs.iter().any(|b| b.to_string() == "n + 1"));
+        assert!(ubs.iter().any(|b| b.to_string() == "5"));
+    }
+
+    #[test]
+    fn simplify_removes_redundant_parallel_constraints() {
+        let p = Polyhedron::from_atoms(vec![
+            Atom::le(var("x"), c(5)),
+            Atom::le(var("x"), c(9)),
+            Atom::le(c(0), c(1)),
+        ]);
+        let s = p.simplify();
+        assert_eq!(s.len(), 1);
+        assert!(s.implies_atom(&Atom::le(var("x"), c(5))));
+    }
+
+    #[test]
+    fn substitution_detects_contradiction() {
+        let p = Polyhedron::from_atoms(vec![Atom::le(var("x"), c(3))]);
+        let q = p.substitute(&Symbol::new("x"), &c(10));
+        assert!(q.is_empty_set());
+    }
+
+    #[test]
+    fn rename_polyhedron() {
+        let p = Polyhedron::from_atoms(vec![Atom::le(var("x"), c(3))]);
+        let r = p.rename(&mut |s| s.primed());
+        assert!(r.symbols().contains(&Symbol::new("x'")));
+    }
+}

@@ -1,0 +1,802 @@
+//! Sign–magnitude arbitrary-precision integers.
+//!
+//! The magnitude is a little-endian vector of 32-bit limbs with no trailing
+//! zero limbs; zero is represented by an empty limb vector and [`Sign::Zero`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Sign of a [`BigInt`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// ```
+/// use chora_numeric::BigInt;
+/// let a: BigInt = "123456789012345678901234567890".parse().unwrap();
+/// let b = BigInt::from(3);
+/// assert_eq!((&a * &b).to_string(), "370370367037037036703703703670");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    /// Little-endian 32-bit limbs, no trailing zeros.
+    mag: Vec<u32>,
+}
+
+impl BigInt {
+    /// The integer zero.
+    pub fn zero() -> BigInt {
+        BigInt { sign: Sign::Zero, mag: Vec::new() }
+    }
+
+    /// The integer one.
+    pub fn one() -> BigInt {
+        BigInt::from(1)
+    }
+
+    /// Returns `true` iff `self == 0`.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` iff `self == 1`.
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Positive && self.mag == [1]
+    }
+
+    /// Returns the sign of the integer.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Returns `true` iff `self > 0`.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// Returns `true` iff `self < 0`.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        let mut r = self.clone();
+        if r.sign == Sign::Negative {
+            r.sign = Sign::Positive;
+        }
+        r
+    }
+
+    fn from_mag(sign: Sign, mut mag: Vec<u32>) -> BigInt {
+        while let Some(&0) = mag.last() {
+            mag.pop();
+        }
+        if mag.is_empty() {
+            BigInt::zero()
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    /// Number of significant bits in the magnitude (`0` for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.mag.last() {
+            None => 0,
+            Some(&top) => (self.mag.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    fn mag_cmp(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for i in (0..a.len()).rev() {
+            match a[i].cmp(&b[i]) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn mag_add(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry: u64 = 0;
+        for i in 0..long.len() {
+            let s = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        out
+    }
+
+    /// Requires `a >= b` (by magnitude).
+    fn mag_sub(a: &[u32], b: &[u32]) -> Vec<u32> {
+        debug_assert!(Self::mag_cmp(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow: i64 = 0;
+        for i in 0..a.len() {
+            let d = a[i] as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        while let Some(&0) = out.last() {
+            out.pop();
+        }
+        out
+    }
+
+    fn mag_mul(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry: u64 = 0;
+            for (j, &bj) in b.iter().enumerate() {
+                let cur = out[i + j] as u64 + ai as u64 * bj as u64 + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        while let Some(&0) = out.last() {
+            out.pop();
+        }
+        out
+    }
+
+    /// Shift magnitude left by `bits` bits.
+    fn mag_shl(a: &[u32], bits: usize) -> Vec<u32> {
+        if a.is_empty() {
+            return Vec::new();
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(a);
+        } else {
+            let mut carry = 0u32;
+            for &x in a {
+                out.push((x << bit_shift) | carry);
+                carry = (x >> (32 - bit_shift)) as u32;
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        while let Some(&0) = out.last() {
+            out.pop();
+        }
+        out
+    }
+
+    /// Long division of magnitudes: returns `(quotient, remainder)`.
+    ///
+    /// Uses a fast path for single-limb divisors and bit-by-bit schoolbook
+    /// division otherwise; operand sizes in the analysis are small enough
+    /// that the simpler algorithm is preferable to Knuth's Algorithm D.
+    fn mag_divmod(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        assert!(!b.is_empty(), "division by zero");
+        if Self::mag_cmp(a, b) == Ordering::Less {
+            return (Vec::new(), a.to_vec());
+        }
+        if b.len() == 1 {
+            let d = b[0] as u64;
+            let mut q = vec![0u32; a.len()];
+            let mut rem: u64 = 0;
+            for i in (0..a.len()).rev() {
+                let cur = (rem << 32) | a[i] as u64;
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            while let Some(&0) = q.last() {
+                q.pop();
+            }
+            let r = if rem == 0 { Vec::new() } else { vec![rem as u32] };
+            return (q, r);
+        }
+        // Bit-by-bit long division.
+        let a_bits = (a.len() - 1) * 32 + (32 - a.last().unwrap().leading_zeros() as usize);
+        let b_bits = (b.len() - 1) * 32 + (32 - b.last().unwrap().leading_zeros() as usize);
+        let mut rem: Vec<u32> = Vec::new();
+        let mut quot = vec![0u32; a.len()];
+        let mut shift = a_bits - b_bits;
+        let mut shifted = Self::mag_shl(b, shift);
+        // Initialize remainder to a.
+        rem.extend_from_slice(a);
+        while let Some(&0) = rem.last() {
+            rem.pop();
+        }
+        loop {
+            if Self::mag_cmp(&rem, &shifted) != Ordering::Less {
+                rem = Self::mag_sub(&rem, &shifted);
+                quot[shift / 32] |= 1 << (shift % 32);
+            }
+            if shift == 0 {
+                break;
+            }
+            shift -= 1;
+            shifted = Self::mag_shl(b, shift);
+        }
+        while let Some(&0) = quot.last() {
+            quot.pop();
+        }
+        (quot, rem)
+    }
+
+    /// Truncating division with remainder: `self = q * other + r` where
+    /// `|r| < |other|` and `r` has the sign of `self` (C-style semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other == 0`.
+    pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "division by zero");
+        let (qm, rm) = Self::mag_divmod(&self.mag, &other.mag);
+        let q_sign = if qm.is_empty() {
+            Sign::Zero
+        } else if self.sign == other.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        let r_sign = if rm.is_empty() { Sign::Zero } else { self.sign };
+        (BigInt::from_mag(q_sign, qm), BigInt::from_mag(r_sign, rm))
+    }
+
+    /// Euclidean division: floor division for the quotient.
+    pub fn div_floor(&self, other: &BigInt) -> BigInt {
+        let (q, r) = self.div_rem(other);
+        if !r.is_zero() && (r.is_negative() != other.is_negative()) {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Greatest common divisor (always non-negative).
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = a.div_rem(&b).1.abs();
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Least common multiple (always non-negative); `lcm(0, x) = 0`.
+    pub fn lcm(&self, other: &BigInt) -> BigInt {
+        if self.is_zero() || other.is_zero() {
+            return BigInt::zero();
+        }
+        let g = self.gcd(other);
+        (self.abs() / g) * other.abs()
+    }
+
+    /// Raises `self` to the power `exp`.
+    pub fn pow(&self, exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut exp = exp;
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            base = &base * &base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Converts to `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.mag.len() > 2 {
+            return None;
+        }
+        let mut v: u64 = 0;
+        for (i, &limb) in self.mag.iter().enumerate() {
+            v |= (limb as u64) << (32 * i);
+        }
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => {
+                if v <= i64::MAX as u64 {
+                    Some(v as i64)
+                } else {
+                    None
+                }
+            }
+            Sign::Negative => {
+                if v <= i64::MAX as u64 + 1 {
+                    Some((v as i128 * -1) as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Converts to `f64` (lossy; used only for reporting).
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &limb in self.mag.iter().rev() {
+            v = v * 4294967296.0 + limb as f64;
+        }
+        if self.sign == Sign::Negative {
+            -v
+        } else {
+            v
+        }
+    }
+
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        if v == 0 {
+            return BigInt::zero();
+        }
+        let sign = if v < 0 { Sign::Negative } else { Sign::Positive };
+        let mag_val = v.unsigned_abs();
+        let mut mag = vec![mag_val as u32];
+        if mag_val >> 32 != 0 {
+            mag.push((mag_val >> 32) as u32);
+        }
+        BigInt::from_mag(sign, mag)
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> Self {
+        BigInt::from(v as i64)
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            return BigInt::zero();
+        }
+        let mut mag = vec![v as u32];
+        if v >> 32 != 0 {
+            mag.push((v >> 32) as u32);
+        }
+        BigInt::from_mag(Sign::Positive, mag)
+    }
+}
+
+impl From<usize> for BigInt {
+    fn from(v: usize) -> Self {
+        BigInt::from(v as u64)
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(ParseBigIntError);
+        }
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() {
+            return Err(ParseBigIntError);
+        }
+        let mut acc = BigInt::zero();
+        let ten = BigInt::from(10);
+        for c in digits.chars() {
+            let d = c.to_digit(10).ok_or(ParseBigIntError)?;
+            acc = &acc * &ten + BigInt::from(d as i64);
+        }
+        if neg {
+            acc = -acc;
+        }
+        Ok(acc)
+    }
+}
+
+/// Error returned when parsing a [`BigInt`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError;
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid big integer syntax")
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut mag = self.mag.clone();
+        let billion: u64 = 1_000_000_000;
+        while !mag.is_empty() {
+            // Divide mag by 10^9, collecting the remainder.
+            let mut rem: u64 = 0;
+            for i in (0..mag.len()).rev() {
+                let cur = (rem << 32) | mag[i] as u64;
+                mag[i] = (cur / billion) as u32;
+                rem = cur % billion;
+            }
+            while let Some(&0) = mag.last() {
+                mag.pop();
+            }
+            digits.push(rem);
+        }
+        let mut s = String::new();
+        if self.sign == Sign::Negative {
+            s.push('-');
+        }
+        s.push_str(&digits.last().unwrap().to_string());
+        for chunk in digits.iter().rev().skip(1) {
+            s.push_str(&format!("{:09}", chunk));
+        }
+        write!(f, "{}", s)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({})", self)
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (a, b) if a != b => a.cmp(&b),
+            (Sign::Zero, Sign::Zero) => Ordering::Equal,
+            (Sign::Positive, Sign::Positive) => Self::mag_cmp(&self.mag, &other.mag),
+            (Sign::Negative, Sign::Negative) => Self::mag_cmp(&other.mag, &self.mag),
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = self.sign.flip();
+        self
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, other: &BigInt) -> BigInt {
+        match (self.sign, other.sign) {
+            (Sign::Zero, _) => other.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_mag(a, BigInt::mag_add(&self.mag, &other.mag)),
+            _ => {
+                // Opposite signs: subtract the smaller magnitude from the larger.
+                match BigInt::mag_cmp(&self.mag, &other.mag) {
+                    Ordering::Equal => BigInt::zero(),
+                    Ordering::Greater => {
+                        BigInt::from_mag(self.sign, BigInt::mag_sub(&self.mag, &other.mag))
+                    }
+                    Ordering::Less => {
+                        BigInt::from_mag(other.sign, BigInt::mag_sub(&other.mag, &self.mag))
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Add for BigInt {
+    type Output = BigInt;
+    fn add(self, other: BigInt) -> BigInt {
+        &self + &other
+    }
+}
+
+impl Add<&BigInt> for BigInt {
+    type Output = BigInt;
+    fn add(self, other: &BigInt) -> BigInt {
+        &self + other
+    }
+}
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, other: &BigInt) {
+        *self = &*self + other;
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, other: &BigInt) -> BigInt {
+        self + &(-other.clone())
+    }
+}
+
+impl Sub for BigInt {
+    type Output = BigInt;
+    fn sub(self, other: BigInt) -> BigInt {
+        &self - &other
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, other: &BigInt) {
+        *self = &*self - other;
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, other: &BigInt) -> BigInt {
+        if self.is_zero() || other.is_zero() {
+            return BigInt::zero();
+        }
+        let sign = if self.sign == other.sign { Sign::Positive } else { Sign::Negative };
+        BigInt::from_mag(sign, BigInt::mag_mul(&self.mag, &other.mag))
+    }
+}
+
+impl Mul for BigInt {
+    type Output = BigInt;
+    fn mul(self, other: BigInt) -> BigInt {
+        &self * &other
+    }
+}
+
+impl Mul<&BigInt> for BigInt {
+    type Output = BigInt;
+    fn mul(self, other: &BigInt) -> BigInt {
+        &self * other
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, other: &BigInt) {
+        *self = &*self * other;
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    fn div(self, other: &BigInt) -> BigInt {
+        self.div_rem(other).0
+    }
+}
+
+impl Div for BigInt {
+    type Output = BigInt;
+    fn div(self, other: BigInt) -> BigInt {
+        &self / &other
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, other: &BigInt) -> BigInt {
+        self.div_rem(other).1
+    }
+}
+
+impl Rem for BigInt {
+    type Output = BigInt;
+    fn rem(self, other: BigInt) -> BigInt {
+        &self % &other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigInt::zero().is_zero());
+        assert!(BigInt::one().is_one());
+        assert_eq!(BigInt::zero().to_string(), "0");
+        assert_eq!(BigInt::default(), BigInt::zero());
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(b(2) + b(3), b(5));
+        assert_eq!(b(2) - b(3), b(-1));
+        assert_eq!(b(-2) * b(3), b(-6));
+        assert_eq!(b(-2) + b(2), b(0));
+        assert_eq!(b(7) / b(2), b(3));
+        assert_eq!(b(7) % b(2), b(1));
+        assert_eq!(b(-7) / b(2), b(-3));
+        assert_eq!(b(-7) % b(2), b(-1));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for s in ["0", "1", "-1", "4294967296", "-123456789012345678901234567890"] {
+            let v: BigInt = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("abc".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+        assert!("12x".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn large_multiplication() {
+        let a: BigInt = "123456789012345678901234567890".parse().unwrap();
+        let sq = &a * &a;
+        assert_eq!(
+            sq.to_string(),
+            "15241578753238836750495351562536198787501905199875019052100"
+        );
+    }
+
+    #[test]
+    fn large_division() {
+        let a: BigInt = "15241578753238836750495351562536198787501905199875019052100"
+            .parse()
+            .unwrap();
+        let b_: BigInt = "123456789012345678901234567890".parse().unwrap();
+        let (q, r) = a.div_rem(&b_);
+        assert_eq!(q, b_);
+        assert!(r.is_zero());
+        let (q2, r2) = (&a + &BigInt::from(7)).div_rem(&b_);
+        assert_eq!(q2, b_);
+        assert_eq!(r2, BigInt::from(7));
+    }
+
+    #[test]
+    fn division_signs() {
+        // Truncating division semantics.
+        assert_eq!(b(7).div_rem(&b(-2)), (b(-3), b(1)));
+        assert_eq!(b(-7).div_rem(&b(-2)), (b(3), b(-1)));
+        assert_eq!(b(-7).div_floor(&b(2)), b(-4));
+        assert_eq!(b(7).div_floor(&b(2)), b(3));
+        assert_eq!(b(-8).div_floor(&b(2)), b(-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = b(5).div_rem(&b(0));
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(b(12).gcd(&b(18)), b(6));
+        assert_eq!(b(-12).gcd(&b(18)), b(6));
+        assert_eq!(b(0).gcd(&b(5)), b(5));
+        assert_eq!(b(12).lcm(&b(18)), b(36));
+        assert_eq!(b(0).lcm(&b(5)), b(0));
+    }
+
+    #[test]
+    fn pow() {
+        assert_eq!(b(2).pow(10), b(1024));
+        assert_eq!(b(3).pow(0), b(1));
+        assert_eq!(b(-2).pow(3), b(-8));
+        assert_eq!(b(10).pow(20).to_string(), "100000000000000000000");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(b(-5) < b(3));
+        assert!(b(3) < b(5));
+        assert!(b(-3) > b(-5));
+        let big: BigInt = "99999999999999999999".parse().unwrap();
+        assert!(big > b(i64::MAX));
+        assert!(-&big < b(i64::MIN));
+    }
+
+    #[test]
+    fn to_i64_conversion() {
+        assert_eq!(b(42).to_i64(), Some(42));
+        assert_eq!(b(-42).to_i64(), Some(-42));
+        assert_eq!(b(i64::MAX).to_i64(), Some(i64::MAX));
+        assert_eq!(b(i64::MIN).to_i64(), Some(i64::MIN));
+        let big: BigInt = "99999999999999999999".parse().unwrap();
+        assert_eq!(big.to_i64(), None);
+    }
+
+    #[test]
+    fn to_f64_conversion() {
+        assert_eq!(b(1024).to_f64(), 1024.0);
+        assert_eq!(b(-3).to_f64(), -3.0);
+        let big = b(2).pow(64);
+        assert_eq!(big.to_f64(), 18446744073709551616.0);
+    }
+
+    #[test]
+    fn bit_len() {
+        assert_eq!(b(0).bit_len(), 0);
+        assert_eq!(b(1).bit_len(), 1);
+        assert_eq!(b(255).bit_len(), 8);
+        assert_eq!(b(256).bit_len(), 9);
+        assert_eq!(b(2).pow(100).bit_len(), 101);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(b(3).max(b(5)), b(5));
+        assert_eq!(b(3).min(b(-5)), b(-5));
+    }
+}

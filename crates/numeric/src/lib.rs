@@ -1,0 +1,60 @@
+//! # chora-numeric
+//!
+//! Exact arbitrary-precision arithmetic used throughout the CHORA analysis
+//! stack: [`BigInt`] (sign–magnitude big integers) and [`BigRational`]
+//! (always-normalized rationals).
+//!
+//! The original CHORA implementation relies on OCaml's `Zarith`; the paper's
+//! polyhedra, recurrence solving, and abstraction algorithms all assume exact
+//! rational arithmetic.  The Rust symbolic-math ecosystem is thin, and the
+//! allowed dependency set does not include a bignum crate, so this crate
+//! provides the substrate from scratch.
+//!
+//! ```
+//! use chora_numeric::{BigInt, BigRational};
+//!
+//! let a = BigInt::from(1u64 << 40) * BigInt::from(1u64 << 40);
+//! assert_eq!(a.to_string(), "1208925819614629174706176");
+//!
+//! let half = BigRational::new(BigInt::from(1), BigInt::from(2));
+//! let third = BigRational::new(BigInt::from(1), BigInt::from(3));
+//! assert_eq!((half + third).to_string(), "5/6");
+//! ```
+
+mod bigint;
+pub mod linalg;
+mod rational;
+
+pub use bigint::{BigInt, ParseBigIntError, Sign};
+pub use rational::BigRational;
+
+/// Convenience constructor: the rational `n/1`.
+pub fn rat(n: i64) -> BigRational {
+    BigRational::from_integer(BigInt::from(n))
+}
+
+/// Convenience constructor: the rational `n/d`.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+pub fn ratio(n: i64, d: i64) -> BigRational {
+    BigRational::new(BigInt::from(n), BigInt::from(d))
+}
+
+/// Convenience constructor: the big integer `n`.
+pub fn int(n: i64) -> BigInt {
+    BigInt::from(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helper_constructors() {
+        assert_eq!(rat(3).to_string(), "3");
+        assert_eq!(ratio(6, 4).to_string(), "3/2");
+        assert_eq!(int(-7).to_string(), "-7");
+    }
+}

@@ -1,0 +1,519 @@
+//! Exact linear algebra over [`BigRational`]: dense matrices, Gaussian
+//! elimination, linear-system solving, and reduced row-echelon form.
+//!
+//! This is used by the polyhedra domain (equality elimination), by the
+//! recurrence solver (fitting exponential-polynomial ansätze, characteristic
+//! polynomials via Faddeev–LeVerrier), and by the two-region analysis.
+
+use crate::{BigInt, BigRational};
+use std::fmt;
+
+/// A dense matrix of exact rationals.
+///
+/// ```
+/// use chora_numeric::linalg::Matrix;
+/// use chora_numeric::rat;
+/// let m = Matrix::from_i64(&[&[1, 1], &[0, 2]]);
+/// let b = vec![rat(3), rat(4)];
+/// let x = m.solve(&b).unwrap();
+/// assert_eq!(x, vec![rat(1), rat(2)]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<BigRational>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![BigRational::zero(); rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m[(i, i)] = BigRational::one();
+        }
+        m
+    }
+
+    /// Creates a matrix from rows of rationals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: Vec<Vec<BigRational>>) -> Matrix {
+        let r = rows.len();
+        let c = rows.first().map(|x| x.len()).unwrap_or(0);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged matrix rows");
+        Matrix { rows: r, cols: c, data: rows.into_iter().flatten().collect() }
+    }
+
+    /// Creates a matrix from rows of machine integers (convenient in tests).
+    pub fn from_i64(rows: &[&[i64]]) -> Matrix {
+        Matrix::from_rows(
+            rows.iter().map(|r| r.iter().map(|&v| BigRational::from(v)).collect()).collect(),
+        )
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matrix dimension mismatch");
+        let mut out = Matrix::zero(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                if self[(i, k)].is_zero() {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let prod = &self[(i, k)] * &other[(k, j)];
+                    out[(i, j)] += &prod;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_vec(&self, v: &[BigRational]) -> Vec<BigRational> {
+        assert_eq!(self.cols, v.len(), "matrix/vector dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let mut acc = BigRational::zero();
+                for j in 0..self.cols {
+                    acc += &(&self[(i, j)] * &v[j]);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Trace of a square matrix.
+    pub fn trace(&self) -> BigRational {
+        assert_eq!(self.rows, self.cols, "trace of a non-square matrix");
+        let mut t = BigRational::zero();
+        for i in 0..self.rows {
+            t += &self[(i, i)];
+        }
+        t
+    }
+
+    /// Reduced row-echelon form together with the list of pivot columns.
+    pub fn rref(&self) -> (Matrix, Vec<usize>) {
+        let mut m = self.clone();
+        let mut pivots = Vec::new();
+        let mut row = 0;
+        for col in 0..m.cols {
+            if row >= m.rows {
+                break;
+            }
+            // Find a pivot in this column at or below `row`.
+            let pivot_row = (row..m.rows).find(|&r| !m[(r, col)].is_zero());
+            let Some(p) = pivot_row else { continue };
+            m.swap_rows(row, p);
+            let inv = m[(row, col)].recip();
+            for j in col..m.cols {
+                let v = &m[(row, j)] * &inv;
+                m[(row, j)] = v;
+            }
+            for r in 0..m.rows {
+                if r != row && !m[(r, col)].is_zero() {
+                    let factor = m[(r, col)].clone();
+                    for j in col..m.cols {
+                        let v = &m[(r, j)] - &(&factor * &m[(row, j)]);
+                        m[(r, j)] = v;
+                    }
+                }
+            }
+            pivots.push(col);
+            row += 1;
+        }
+        (m, pivots)
+    }
+
+    /// Rank of the matrix.
+    pub fn rank(&self) -> usize {
+        self.rref().1.len()
+    }
+
+    /// Solves `self * x = b` for one solution, if any exists.
+    ///
+    /// Free variables are set to zero. Returns `None` if the system is
+    /// inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.rows()`.
+    pub fn solve(&self, b: &[BigRational]) -> Option<Vec<BigRational>> {
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        // Build the augmented matrix.
+        let mut aug = Matrix::zero(self.rows, self.cols + 1);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                aug[(i, j)] = self[(i, j)].clone();
+            }
+            aug[(i, self.cols)] = b[i].clone();
+        }
+        let (r, pivots) = aug.rref();
+        // Inconsistent iff a pivot lands in the augmented column.
+        if pivots.contains(&self.cols) {
+            return None;
+        }
+        let mut x = vec![BigRational::zero(); self.cols];
+        for (row, &col) in pivots.iter().enumerate() {
+            x[col] = r[(row, self.cols)].clone();
+        }
+        Some(x)
+    }
+
+    /// Determinant of a square matrix (fraction-free Gaussian elimination).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn determinant(&self) -> BigRational {
+        assert_eq!(self.rows, self.cols, "determinant of a non-square matrix");
+        let n = self.rows;
+        let mut m = self.clone();
+        let mut det = BigRational::one();
+        for col in 0..n {
+            let pivot = (col..n).find(|&r| !m[(r, col)].is_zero());
+            let Some(p) = pivot else { return BigRational::zero() };
+            if p != col {
+                m.swap_rows(p, col);
+                det = -det;
+            }
+            det = &det * &m[(col, col)];
+            let inv = m[(col, col)].recip();
+            for r in col + 1..n {
+                if m[(r, col)].is_zero() {
+                    continue;
+                }
+                let factor = &m[(r, col)] * &inv;
+                for j in col..n {
+                    let v = &m[(r, j)] - &(&factor * &m[(col, j)]);
+                    m[(r, j)] = v;
+                }
+            }
+        }
+        det
+    }
+
+    /// Coefficients `c_0 + c_1 λ + ... + c_n λ^n` of the characteristic
+    /// polynomial `det(λI - M)`, computed by the Faddeev–LeVerrier recursion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn char_poly(&self) -> Vec<BigRational> {
+        assert_eq!(self.rows, self.cols, "char_poly of a non-square matrix");
+        let n = self.rows;
+        // c[n] = 1; M_1 = M; c_{n-k} = -tr(M_k)/k; M_{k+1} = M (M_k + c_{n-k} I)
+        let mut coeffs = vec![BigRational::zero(); n + 1];
+        coeffs[n] = BigRational::one();
+        let mut mk = self.clone();
+        for k in 1..=n {
+            let c = -(&mk.trace() / &BigRational::from(k as i64));
+            coeffs[n - k] = c.clone();
+            if k < n {
+                let mut adjusted = mk.clone();
+                for i in 0..n {
+                    adjusted[(i, i)] = &adjusted[(i, i)] + &c;
+                }
+                mk = self.mul(&adjusted);
+            }
+        }
+        coeffs
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(a * self.cols + j, b * self.cols + j);
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = BigRational;
+    fn index(&self, (i, j): (usize, usize)) -> &BigRational {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut BigRational {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Finds all rational roots (with multiplicity) of the polynomial with the
+/// given coefficients `c_0 + c_1 x + ... + c_n x^n`, using the rational-root
+/// theorem followed by repeated deflation.
+///
+/// Returns `(roots, fully_factored)` where `fully_factored` is true iff the
+/// polynomial splits completely over ℚ (up to a constant).
+pub fn rational_roots(coeffs: &[BigRational]) -> (Vec<BigRational>, bool) {
+    // Strip leading zeros (highest degree) and trailing zero coefficients
+    // (roots at zero).
+    let mut c: Vec<BigRational> = coeffs.to_vec();
+    while c.last().map(|v| v.is_zero()).unwrap_or(false) {
+        c.pop();
+    }
+    if c.len() <= 1 {
+        return (Vec::new(), true);
+    }
+    let mut roots = Vec::new();
+    // Roots at zero.
+    while c.first().map(|v| v.is_zero()).unwrap_or(false) {
+        roots.push(BigRational::zero());
+        c.remove(0);
+    }
+    // Scale to integer coefficients.
+    loop {
+        if c.len() <= 1 {
+            return (roots, true);
+        }
+        let mut lcm = BigInt::one();
+        for v in &c {
+            lcm = lcm.lcm(v.denom());
+        }
+        let int_coeffs: Vec<BigInt> =
+            c.iter().map(|v| (v * &BigRational::from_integer(lcm.clone())).numer().clone()).collect();
+        let a0 = int_coeffs.first().unwrap().abs();
+        let an = int_coeffs.last().unwrap().abs();
+        if a0.is_zero() {
+            // Shouldn't happen (zero roots removed), but guard anyway.
+            roots.push(BigRational::zero());
+            c.remove(0);
+            continue;
+        }
+        let p_divs = divisors(&a0);
+        let q_divs = divisors(&an);
+        let mut found = None;
+        'search: for p in &p_divs {
+            for q in &q_divs {
+                for sign in [1i64, -1] {
+                    let cand = BigRational::new(p * &BigInt::from(sign), q.clone());
+                    if eval_poly(&c, &cand).is_zero() {
+                        found = Some(cand);
+                        break 'search;
+                    }
+                }
+            }
+        }
+        match found {
+            Some(root) => {
+                c = deflate(&c, &root);
+                roots.push(root);
+            }
+            None => return (roots, c.len() <= 1),
+        }
+    }
+}
+
+/// Evaluates the polynomial `c_0 + c_1 x + ...` at `x`.
+pub fn eval_poly(coeffs: &[BigRational], x: &BigRational) -> BigRational {
+    let mut acc = BigRational::zero();
+    for c in coeffs.iter().rev() {
+        acc = &(&acc * x) + c;
+    }
+    acc
+}
+
+/// Synthetic division of the polynomial by `(x - root)`; assumes `root` is a
+/// root, discarding the (zero) remainder.
+fn deflate(coeffs: &[BigRational], root: &BigRational) -> Vec<BigRational> {
+    let n = coeffs.len();
+    let mut out = vec![BigRational::zero(); n - 1];
+    let mut carry = BigRational::zero();
+    for i in (1..n).rev() {
+        let v = &coeffs[i] + &carry;
+        out[i - 1] = v.clone();
+        carry = &v * root;
+    }
+    out
+}
+
+/// Positive divisors of `|n|` (small-factor enumeration; values in the
+/// analysis are small).
+fn divisors(n: &BigInt) -> Vec<BigInt> {
+    let n = n.abs();
+    if n.is_zero() {
+        return vec![BigInt::one()];
+    }
+    // Enumerate divisors up to sqrt(n) by trial division with BigInt step.
+    let mut out = Vec::new();
+    let mut i = BigInt::one();
+    loop {
+        let sq = &i * &i;
+        if sq > n {
+            break;
+        }
+        let (q, r) = n.div_rem(&i);
+        if r.is_zero() {
+            out.push(i.clone());
+            if q != i {
+                out.push(q);
+            }
+        }
+        i = i + BigInt::one();
+        // Guard: don't loop forever on astronomically large constants.
+        if out.len() > 4096 || i > BigInt::from(1_000_000i64) {
+            break;
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rat, ratio};
+
+    #[test]
+    fn identity_and_mul() {
+        let i3 = Matrix::identity(3);
+        let m = Matrix::from_i64(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]]);
+        assert_eq!(i3.mul(&m), m);
+        assert_eq!(m.mul(&i3), m);
+        let sq = m.mul(&m);
+        assert_eq!(sq[(0, 0)], rat(30));
+        assert_eq!(sq[(2, 2)], rat(150));
+    }
+
+    #[test]
+    fn mul_vec_works() {
+        let m = Matrix::from_i64(&[&[2, 0], &[1, 3]]);
+        let v = vec![rat(5), rat(7)];
+        assert_eq!(m.mul_vec(&v), vec![rat(10), rat(26)]);
+    }
+
+    #[test]
+    fn solve_unique() {
+        let m = Matrix::from_i64(&[&[2, 1], &[1, -1]]);
+        let x = m.solve(&[rat(5), rat(1)]).unwrap();
+        assert_eq!(x, vec![rat(2), rat(1)]);
+    }
+
+    #[test]
+    fn solve_underdetermined_and_inconsistent() {
+        let m = Matrix::from_i64(&[&[1, 1]]);
+        let x = m.solve(&[rat(4)]).unwrap();
+        // One valid solution with free variable zeroed.
+        assert_eq!(x, vec![rat(4), rat(0)]);
+
+        let m2 = Matrix::from_i64(&[&[1, 1], &[2, 2]]);
+        assert!(m2.solve(&[rat(1), rat(3)]).is_none());
+    }
+
+    #[test]
+    fn determinant_and_rank() {
+        let m = Matrix::from_i64(&[&[1, 2], &[3, 4]]);
+        assert_eq!(m.determinant(), rat(-2));
+        assert_eq!(m.rank(), 2);
+        let s = Matrix::from_i64(&[&[1, 2], &[2, 4]]);
+        assert_eq!(s.determinant(), rat(0));
+        assert_eq!(s.rank(), 1);
+    }
+
+    #[test]
+    fn char_poly_2x2() {
+        // M = [[0, 18], [2, 0]]  =>  λ^2 - 36
+        let m = Matrix::from_i64(&[&[0, 18], &[2, 0]]);
+        let cp = m.char_poly();
+        assert_eq!(cp, vec![rat(-36), rat(0), rat(1)]);
+        let (roots, full) = rational_roots(&cp);
+        assert!(full);
+        let mut r = roots.clone();
+        r.sort();
+        assert_eq!(r, vec![rat(-6), rat(6)]);
+    }
+
+    #[test]
+    fn char_poly_3x3() {
+        // Diagonal matrix: roots are the diagonal entries.
+        let m = Matrix::from_i64(&[&[2, 0, 0], &[0, 3, 0], &[0, 0, 3]]);
+        let cp = m.char_poly();
+        let (mut roots, full) = rational_roots(&cp);
+        roots.sort();
+        assert!(full);
+        assert_eq!(roots, vec![rat(2), rat(3), rat(3)]);
+    }
+
+    #[test]
+    fn rational_roots_with_fractions() {
+        // (2x - 1)(x + 3) = 2x^2 + 5x - 3
+        let coeffs = vec![rat(-3), rat(5), rat(2)];
+        let (mut roots, full) = rational_roots(&coeffs);
+        roots.sort();
+        assert!(full);
+        assert_eq!(roots, vec![rat(-3), ratio(1, 2)]);
+    }
+
+    #[test]
+    fn rational_roots_irreducible() {
+        // x^2 - 2 has no rational roots.
+        let coeffs = vec![rat(-2), rat(0), rat(1)];
+        let (roots, full) = rational_roots(&coeffs);
+        assert!(roots.is_empty());
+        assert!(!full);
+    }
+
+    #[test]
+    fn rational_roots_zero_roots() {
+        // x^2(x - 5)
+        let coeffs = vec![rat(0), rat(0), rat(-5), rat(1)];
+        let (mut roots, full) = rational_roots(&coeffs);
+        roots.sort();
+        assert!(full);
+        assert_eq!(roots, vec![rat(0), rat(0), rat(5)]);
+    }
+
+    #[test]
+    fn eval_poly_works() {
+        // 1 + 2x + 3x^2 at x = 2 -> 17
+        assert_eq!(eval_poly(&[rat(1), rat(2), rat(3)], &rat(2)), rat(17));
+    }
+}

@@ -1,0 +1,415 @@
+//! Always-normalized arbitrary-precision rationals.
+
+use crate::bigint::{BigInt, Sign};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number `num / den` with `den > 0` and `gcd(num, den) = 1`.
+///
+/// ```
+/// use chora_numeric::{BigInt, BigRational};
+/// let r = BigRational::new(BigInt::from(4), BigInt::from(-6));
+/// assert_eq!(r.to_string(), "-2/3");
+/// assert!(r < BigRational::zero());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigRational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl BigRational {
+    /// Creates the rational `num / den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: BigInt, den: BigInt) -> BigRational {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let mut num = num;
+        let mut den = den;
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        if num.is_zero() {
+            return BigRational { num: BigInt::zero(), den: BigInt::one() };
+        }
+        let g = num.gcd(&den);
+        if !g.is_one() {
+            num = &num / &g;
+            den = &den / &g;
+        }
+        BigRational { num, den }
+    }
+
+    /// The rational zero.
+    pub fn zero() -> BigRational {
+        BigRational { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The rational one.
+    pub fn one() -> BigRational {
+        BigRational { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Creates a rational from an integer.
+    pub fn from_integer(n: BigInt) -> BigRational {
+        BigRational { num: n, den: BigInt::one() }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Returns `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` iff the value is one.
+    pub fn is_one(&self) -> bool {
+        self.num.is_one() && self.den.is_one()
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.num.sign()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigRational {
+        BigRational { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> BigRational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        BigRational::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> BigInt {
+        self.num.div_floor(&self.den)
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> BigInt {
+        -((-self.clone()).floor())
+    }
+
+    /// Raises the value to an integer power (negative exponents invert).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero and `exp < 0`.
+    pub fn pow(&self, exp: i32) -> BigRational {
+        if exp >= 0 {
+            BigRational::new(self.num.pow(exp as u32), self.den.pow(exp as u32))
+        } else {
+            self.recip().pow(-exp)
+        }
+    }
+
+    /// Lossy conversion to `f64` (reporting only).
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+
+    /// Converts to an `i64` if the value is an integer that fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.is_integer() {
+            self.num.to_i64()
+        } else {
+            None
+        }
+    }
+
+}
+
+impl Default for BigRational {
+    fn default() -> Self {
+        BigRational::zero()
+    }
+}
+
+impl From<i64> for BigRational {
+    fn from(v: i64) -> Self {
+        BigRational::from_integer(BigInt::from(v))
+    }
+}
+
+impl From<i32> for BigRational {
+    fn from(v: i32) -> Self {
+        BigRational::from_integer(BigInt::from(v))
+    }
+}
+
+impl From<BigInt> for BigRational {
+    fn from(v: BigInt) -> Self {
+        BigRational::from_integer(v)
+    }
+}
+
+impl FromStr for BigRational {
+    type Err = crate::bigint::ParseBigIntError;
+
+    /// Parses `"a"` or `"a/b"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            None => Ok(BigRational::from_integer(s.parse()?)),
+            Some((n, d)) => {
+                let num: BigInt = n.parse()?;
+                let den: BigInt = d.parse()?;
+                if den.is_zero() {
+                    return Err(crate::bigint::ParseBigIntError);
+                }
+                Ok(BigRational::new(num, den))
+            }
+        }
+    }
+}
+
+impl fmt::Display for BigRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for BigRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigRational({})", self)
+    }
+}
+
+impl PartialOrd for BigRational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigRational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b cmp c/d  <=>  a*d cmp c*b   (b, d > 0)
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Neg for BigRational {
+    type Output = BigRational;
+    fn neg(self) -> BigRational {
+        BigRational { num: -self.num, den: self.den }
+    }
+}
+
+impl Neg for &BigRational {
+    type Output = BigRational;
+    fn neg(self) -> BigRational {
+        -self.clone()
+    }
+}
+
+impl Add for &BigRational {
+    type Output = BigRational;
+    fn add(self, other: &BigRational) -> BigRational {
+        BigRational::new(
+            &(&self.num * &other.den) + &(&other.num * &self.den),
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Add for BigRational {
+    type Output = BigRational;
+    fn add(self, other: BigRational) -> BigRational {
+        &self + &other
+    }
+}
+
+impl AddAssign<&BigRational> for BigRational {
+    fn add_assign(&mut self, other: &BigRational) {
+        *self = &*self + other;
+    }
+}
+
+impl Sub for &BigRational {
+    type Output = BigRational;
+    fn sub(self, other: &BigRational) -> BigRational {
+        self + &(-other.clone())
+    }
+}
+
+impl Sub for BigRational {
+    type Output = BigRational;
+    fn sub(self, other: BigRational) -> BigRational {
+        &self - &other
+    }
+}
+
+impl SubAssign<&BigRational> for BigRational {
+    fn sub_assign(&mut self, other: &BigRational) {
+        *self = &*self - other;
+    }
+}
+
+impl Mul for &BigRational {
+    type Output = BigRational;
+    fn mul(self, other: &BigRational) -> BigRational {
+        BigRational::new(&self.num * &other.num, &self.den * &other.den)
+    }
+}
+
+impl Mul for BigRational {
+    type Output = BigRational;
+    fn mul(self, other: BigRational) -> BigRational {
+        &self * &other
+    }
+}
+
+impl MulAssign<&BigRational> for BigRational {
+    fn mul_assign(&mut self, other: &BigRational) {
+        *self = &*self * other;
+    }
+}
+
+impl Div for &BigRational {
+    type Output = BigRational;
+    fn div(self, other: &BigRational) -> BigRational {
+        assert!(!other.is_zero(), "division by zero");
+        BigRational::new(&self.num * &other.den, &self.den * &other.num)
+    }
+}
+
+impl Div for BigRational {
+    type Output = BigRational;
+    fn div(self, other: BigRational) -> BigRational {
+        &self / &other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> BigRational {
+        BigRational::new(BigInt::from(n), BigInt::from(d))
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(4, 6), r(2, 3));
+        assert_eq!(r(4, -6).to_string(), "-2/3");
+        assert_eq!(r(0, 5), BigRational::zero());
+        assert_eq!(r(0, 5).denom(), &BigInt::one());
+        assert_eq!(r(-4, -6), r(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(2, 3) / r(4, 3), r(1, 2));
+        assert_eq!(-r(1, 2), r(-1, 2));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = r(1, 2);
+        x += &r(1, 3);
+        assert_eq!(x, r(5, 6));
+        x -= &r(1, 6);
+        assert_eq!(x, r(2, 3));
+        x *= &r(3, 2);
+        assert_eq!(x, r(1, 1));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 1) > r(13, 2));
+        assert_eq!(r(2, 4).cmp(&r(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor(), BigInt::from(3));
+        assert_eq!(r(7, 2).ceil(), BigInt::from(4));
+        assert_eq!(r(-7, 2).floor(), BigInt::from(-4));
+        assert_eq!(r(-7, 2).ceil(), BigInt::from(-3));
+        assert_eq!(r(6, 2).floor(), BigInt::from(3));
+        assert_eq!(r(6, 2).ceil(), BigInt::from(3));
+    }
+
+    #[test]
+    fn pow_and_recip() {
+        assert_eq!(r(2, 3).pow(2), r(4, 9));
+        assert_eq!(r(2, 3).pow(-1), r(3, 2));
+        assert_eq!(r(2, 3).pow(0), BigRational::one());
+        assert_eq!(r(-1, 2).pow(3), r(-1, 8));
+        assert_eq!(r(5, 7).recip(), r(7, 5));
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let v: BigRational = "22/7".parse().unwrap();
+        assert_eq!(v, r(22, 7));
+        let w: BigRational = "-5".parse().unwrap();
+        assert_eq!(w, r(-5, 1));
+        assert!("1/0".parse::<BigRational>().is_err());
+        assert!("x/2".parse::<BigRational>().is_err());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(r(6, 2).to_i64(), Some(3));
+        assert_eq!(r(1, 2).to_i64(), None);
+        assert!((r(1, 2).to_f64() - 0.5).abs() < 1e-12);
+        assert_eq!(BigRational::from(7i64), r(7, 1));
+        assert_eq!(BigRational::from(BigInt::from(9)), r(9, 1));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(r(1, 2).max(r(2, 3)), r(2, 3));
+        assert_eq!(r(1, 2).min(r(-2, 3)), r(-2, 3));
+    }
+}

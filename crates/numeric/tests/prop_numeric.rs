@@ -1,0 +1,121 @@
+//! Property-based tests for the exact-arithmetic substrate.
+//!
+//! These check ring/field axioms and agreement with native `i128` arithmetic
+//! on values small enough to compare.
+
+use chora_numeric::{BigInt, BigRational};
+use proptest::prelude::*;
+
+fn big(v: i64) -> BigInt {
+    BigInt::from(v)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let r = big(a) + big(b);
+        prop_assert_eq!(r.to_string(), (a as i128 + b as i128).to_string());
+    }
+
+    #[test]
+    fn mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let r = big(a) * big(b);
+        prop_assert_eq!(r.to_string(), (a as i128 * b as i128).to_string());
+    }
+
+    #[test]
+    fn sub_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let r = big(a) - big(b);
+        prop_assert_eq!(r.to_string(), (a as i128 - b as i128).to_string());
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |v| *v != 0)) {
+        let (q, r) = big(a).div_rem(&big(b));
+        prop_assert_eq!(&q * &big(b) + r.clone(), big(a));
+        // |r| < |b|
+        prop_assert!(r.abs() < big(b).abs());
+    }
+
+    #[test]
+    fn parse_display_round_trip(a in any::<i64>()) {
+        let v = big(a);
+        let parsed: BigInt = v.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in any::<i32>(), b in any::<i32>()) {
+        let g = big(a as i64).gcd(&big(b as i64));
+        if !g.is_zero() {
+            prop_assert!((big(a as i64) % g.clone()).is_zero());
+            prop_assert!((big(b as i64) % g.clone()).is_zero());
+        } else {
+            prop_assert_eq!(a, 0);
+            prop_assert_eq!(b, 0);
+        }
+    }
+
+    #[test]
+    fn mul_associative_large(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+        let (x, y, z) = (big(a), big(b), big(c));
+        prop_assert_eq!((&x * &y) * z.clone(), x * (&y * &z));
+    }
+
+    #[test]
+    fn rational_field_axioms(
+        an in -1000i64..1000, ad in 1i64..50,
+        bn in -1000i64..1000, bd in 1i64..50,
+        cn in -1000i64..1000, cd in 1i64..50,
+    ) {
+        let a = BigRational::new(BigInt::from(an), BigInt::from(ad));
+        let b = BigRational::new(BigInt::from(bn), BigInt::from(bd));
+        let c = BigRational::new(BigInt::from(cn), BigInt::from(cd));
+        // commutativity
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        // associativity
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        // distributivity
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        // additive inverse
+        prop_assert!((&a + &(-a.clone())).is_zero());
+        // multiplicative inverse
+        if !b.is_zero() {
+            prop_assert!((&b * &b.recip()).is_one());
+        }
+    }
+
+    #[test]
+    fn rational_order_consistent_with_f64(
+        an in -10_000i64..10_000, ad in 1i64..1000,
+        bn in -10_000i64..10_000, bd in 1i64..1000,
+    ) {
+        let a = BigRational::new(BigInt::from(an), BigInt::from(ad));
+        let b = BigRational::new(BigInt::from(bn), BigInt::from(bd));
+        let fa = an as f64 / ad as f64;
+        let fb = bn as f64 / bd as f64;
+        if (fa - fb).abs() > 1e-9 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn floor_ceil_bracket(an in -100_000i64..100_000, ad in 1i64..500) {
+        let a = BigRational::new(BigInt::from(an), BigInt::from(ad));
+        let fl = BigRational::from_integer(a.floor());
+        let ce = BigRational::from_integer(a.ceil());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!(&ce - &fl <= BigRational::one());
+    }
+
+    #[test]
+    fn pow_agrees_with_repeated_mul(n in -9i64..9, d in 1i64..5, e in 0i32..6) {
+        let a = BigRational::new(BigInt::from(n), BigInt::from(d));
+        let mut expect = BigRational::one();
+        for _ in 0..e {
+            expect = &expect * &a;
+        }
+        prop_assert_eq!(a.pow(e), expect);
+    }
+}

@@ -1,0 +1,139 @@
+//! Closed forms with a *symbolic* initial condition.
+//!
+//! Two-region analysis (§4.3) solves the upper-region recurrences with a
+//! symbolic initial-condition parameter `c^U_k` that is later instantiated
+//! with the lower-region bounding function evaluated at height `H − M`.
+//!
+//! Because the recurrences are linear, the solution depends affinely on the
+//! initial value: `b(h, c) = base(h) + c · sensitivity(h)`.  This module
+//! recovers that affine decomposition by solving the same system twice (with
+//! initial values 0 and 1) and taking the difference.
+
+use crate::solver::{RecurrenceSystem, SolveError};
+use chora_expr::{ExpPoly, Symbol, Term};
+use chora_numeric::BigRational;
+use std::collections::BTreeMap;
+
+/// An affine-in-the-initial-condition closed form
+/// `b(h, c) = base(h) + c·sensitivity(h)`.
+#[derive(Clone, Debug)]
+pub struct SymbolicInitialSolution {
+    /// The index of the bounding function.
+    pub index: usize,
+    /// The closed form with initial value 0.
+    pub base: ExpPoly,
+    /// The coefficient of the (symbolic) initial value.
+    pub sensitivity: ExpPoly,
+    /// Whether both underlying solves were exact.
+    pub exact: bool,
+}
+
+impl SymbolicInitialSolution {
+    /// Evaluates the closed form at integer height `h` with a concrete
+    /// initial value.
+    pub fn eval_int(&self, h: i64, initial: &BigRational) -> BigRational {
+        let b = self.base.eval_int(h);
+        let s = self.sensitivity.eval_int(h);
+        &b + &(&s * initial)
+    }
+
+    /// Renders the closed form as a [`Term`], substituting `height_term` for
+    /// the height parameter and `initial_term` for the symbolic initial
+    /// value.
+    pub fn to_term(&self, height_term: &Term, initial_term: &Term) -> Term {
+        let base = self.base.to_term_with_param(height_term);
+        let sens = self.sensitivity.to_term_with_param(height_term);
+        Term::add(vec![base, Term::mul(vec![sens, initial_term.clone()])])
+    }
+
+    /// Solves the system once per bounding function with symbolic initial
+    /// conditions for *all* of its functions: the `k`-th returned solution is
+    /// affine in the initial value of `b_k` (other initial values are as set
+    /// in the system).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SolveError`] from the underlying solver.
+    pub fn solve_affine(system: &RecurrenceSystem) -> Result<Vec<SymbolicInitialSolution>, SolveError> {
+        let indices: Vec<usize> = system.equations().iter().map(|e| e.index).collect();
+        let zero_solution = system.solve()?;
+        let by_index: BTreeMap<usize, _> =
+            zero_solution.iter().map(|s| (s.index, s.clone())).collect();
+        let mut out = Vec::new();
+        for &k in &indices {
+            // Re-solve with b_k(1) = 1.
+            let mut bumped = system.clone();
+            bumped.set_initial(k, BigRational::one());
+            let one_solution = bumped.solve()?;
+            let one_k = one_solution.iter().find(|s| s.index == k).expect("index solved");
+            let zero_k = &by_index[&k];
+            let sensitivity = one_k.closed_form.add(&zero_k.closed_form.neg());
+            out.push(SymbolicInitialSolution {
+                index: k,
+                base: zero_k.closed_form.clone(),
+                sensitivity,
+                exact: zero_k.exact && one_k.exact,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Convenience: the height symbol used by all closed forms in this crate.
+pub fn height_symbol() -> Symbol {
+    Symbol::height()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chora_expr::Polynomial;
+    use chora_numeric::rat;
+
+    fn b_at_h(k: usize) -> Polynomial {
+        Polynomial::var(Symbol::bound_at_h(k))
+    }
+    fn c(v: i64) -> Polynomial {
+        Polynomial::constant(rat(v))
+    }
+
+    #[test]
+    fn affine_decomposition_of_differ_upper_region() {
+        // §4.3: upper-region recurrences for `differ`:
+        //   b1(h'+1) = b1(h') - 1   and   b2(h'+1) = b2(h') + 1
+        let mut sys = RecurrenceSystem::new();
+        sys.add_equation(1, &b_at_h(1) - &c(1));
+        sys.add_equation(2, &b_at_h(2) + &c(1));
+        let affine = SymbolicInitialSolution::solve_affine(&sys).unwrap();
+        let b1 = affine.iter().find(|s| s.index == 1).unwrap();
+        let b2 = affine.iter().find(|s| s.index == 2).unwrap();
+        // b1(h, c) = c - (h - 1),  b2(h, c) = c + (h - 1)
+        assert_eq!(b1.eval_int(4, &rat(10)), rat(7));
+        assert_eq!(b2.eval_int(4, &rat(10)), rat(13));
+        assert_eq!(b1.eval_int(1, &rat(3)), rat(3));
+        assert!(b1.exact && b2.exact);
+    }
+
+    #[test]
+    fn affine_decomposition_of_geometric() {
+        // b(h+1) = 2 b(h) + 1  with symbolic initial value c:
+        // b(h, c) = (c + 1)·2^(h-1) - 1
+        let mut sys = RecurrenceSystem::new();
+        sys.add_equation(1, &b_at_h(1).scale(&rat(2)) + &c(1));
+        let affine = SymbolicInitialSolution::solve_affine(&sys).unwrap();
+        let b = &affine[0];
+        assert_eq!(b.eval_int(1, &rat(5)), rat(5));
+        assert_eq!(b.eval_int(3, &rat(5)), rat(23));
+        assert_eq!(b.eval_int(4, &rat(0)), rat(7));
+    }
+
+    #[test]
+    fn to_term_substitutes_both_parameters() {
+        let mut sys = RecurrenceSystem::new();
+        sys.add_equation(1, &b_at_h(1) + &c(1));
+        let affine = SymbolicInitialSolution::solve_affine(&sys).unwrap();
+        let t = affine[0].to_term(&Term::int(6), &Term::int(10));
+        // b(6, 10) = 10 + 5
+        assert_eq!(t.as_constant(), Some(rat(15)));
+    }
+}

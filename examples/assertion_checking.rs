@@ -1,0 +1,43 @@
+//! Regenerates the assertion-checking experiments (Table 2 and the CHORA/ICRA
+//! columns of Fig. 3): which assertions each analyzer proves.
+//!
+//! Run with `cargo run --release --example assertion_checking`.
+
+use chora::bench_suite::assertion_suite;
+use chora::core::{Analyzer, BaselineAnalyzer};
+
+fn main() {
+    for (title, benches) in [
+        ("Table 2 (hand-written non-linear benchmarks)", assertion_suite::table2()),
+        ("Fig. 3 suite (SV-COMP recursive style)", assertion_suite::svcomp()),
+    ] {
+        println!("== {title} ==");
+        println!(
+            "{:<18} {:<10} {:<10} {:<12} {:<12}",
+            "benchmark", "CHORA-rs", "ICRA-rs", "paper CHORA", "paper ICRA"
+        );
+        let mut ours_count = 0;
+        let mut paper_count = 0;
+        for bench in &benches {
+            let ours = Analyzer::new().analyze(&bench.program);
+            let ours_ok = !ours.assertions.is_empty() && ours.all_assertions_verified();
+            let baseline = BaselineAnalyzer::new().analyze(&bench.program);
+            let baseline_ok = !baseline.assertions.is_empty() && baseline.all_assertions_verified();
+            if ours_ok {
+                ours_count += 1;
+            }
+            if bench.paper_chora {
+                paper_count += 1;
+            }
+            println!(
+                "{:<18} {:<10} {:<10} {:<12} {:<12}",
+                bench.name,
+                if ours_ok { "proved" } else { "not proved" },
+                if baseline_ok { "proved" } else { "not proved" },
+                if bench.paper_chora { "proved" } else { "not proved" },
+                if bench.paper_icra { "proved" } else { "not proved" },
+            );
+        }
+        println!("proved by CHORA-rs: {ours_count}/{}   (paper CHORA: {paper_count}/{})\n", benches.len(), benches.len());
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates Table 1 of the paper: the asymptotic complexity bounds found
+//! by CHORA-rs and by the ICRA-style baseline on the twelve non-linearly
+//! recursive benchmarks, next to the bounds the paper reports.
+//!
+//! Run with `cargo run --release --example complexity_bounds`.
+
+use chora::bench_suite::complexity_suite;
+use chora::core::{complexity, Analyzer, BaselineAnalyzer};
+use chora::expr::Symbol;
+
+fn main() {
+    println!(
+        "{:<14} {:<14} {:<16} {:<12} {:<14} {:<12}",
+        "benchmark", "actual", "CHORA-rs", "ICRA-rs", "paper CHORA", "paper ICRA"
+    );
+    println!("{}", "-".repeat(86));
+    for bench in complexity_suite::all() {
+        let cost = Symbol::new(bench.cost_var);
+        let size = Symbol::new(bench.size_param);
+        let ours = Analyzer::new().analyze(&bench.program);
+        let ours_class = ours
+            .summary(bench.procedure)
+            .map(|s| complexity::table1_row(s, &cost, &size).1.to_string())
+            .unwrap_or_else(|| "n.b.".to_string());
+        let baseline = BaselineAnalyzer::new().analyze(&bench.program);
+        let baseline_class = baseline
+            .summary(bench.procedure)
+            .map(|s| complexity::table1_row(s, &cost, &size).1.to_string())
+            .unwrap_or_else(|| "n.b.".to_string());
+        println!(
+            "{:<14} {:<14} {:<16} {:<12} {:<14} {:<12}",
+            bench.name, bench.actual, ours_class, baseline_class, bench.paper_chora, bench.paper_icra
+        );
+    }
+}

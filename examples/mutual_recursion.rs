@@ -1,0 +1,48 @@
+//! Walk-through of the mutual-recursion examples of §4.4 and §4.5: the
+//! interdependent bounding functions of Ex. 4.1 and the missing-base-case
+//! system of Ex. 4.2.
+//!
+//! Run with `cargo run --release --example mutual_recursion`.
+
+use chora::bench_suite::mutual_suite;
+use chora::core::{complexity, Analyzer};
+use chora::expr::Symbol;
+
+fn main() {
+    // Ex. 4.1: P1 calls P2 eighteen times, P2 calls P1 twice.
+    let program = mutual_suite::example_4_1();
+    let result = Analyzer::new().analyze(&program);
+    println!("== Ex. 4.1 (mutually recursive P1/P2) ==");
+    for name in ["P1", "P2"] {
+        let summary = result.summary(name).expect("summary");
+        println!("procedure {name}: depth bound {:?}", summary.depth);
+        match complexity::cost_bound(summary, &Symbol::new("g")) {
+            Some(bound) => println!("  g' ≤ {bound}"),
+            None => println!("  (no bound on g)"),
+        }
+        for fact in &summary.bound_facts {
+            println!("    τ = {}   b(h) = {}", fact.term, fact.closed_form);
+        }
+    }
+
+    // Ex. 4.2: P3 has no base case of its own.
+    let program = mutual_suite::example_4_2();
+    let result = Analyzer::new().analyze(&program);
+    println!("\n== Ex. 4.2 (P3 has no base case) ==");
+    for name in ["P3", "P4"] {
+        let summary = result.summary(name).expect("summary");
+        println!("procedure {name}: {} bound facts, depth {:?}", summary.bound_facts.len(), summary.depth);
+    }
+
+    // differ (§4.3): the two-region example.
+    let program = mutual_suite::differ();
+    let result = Analyzer::new().analyze(&program);
+    let summary = result.summary("differ").expect("summary");
+    println!("\n== differ (§4.3) ==");
+    println!("depth bound: {:?}", summary.depth);
+    for fact in &summary.bound_facts {
+        if let Some(bound) = &fact.bound {
+            println!("  {} ≤ {}", fact.term, bound);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build a small recursive program with the IR builder, analyse
+//! it, and print the synthesized procedure summary and cost bound.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use chora::core::{complexity, Analyzer};
+use chora::expr::Symbol;
+use chora::ir::{Cond, Expr, Interpreter, Procedure, Program, Stmt};
+
+fn main() {
+    // The subsetSum-style program of §2: two recursive calls per element.
+    let mut program = Program::new();
+    program.add_global("nTicks");
+    program.add_procedure(Procedure::new(
+        "subsetSumAux",
+        &["i", "n"],
+        &[],
+        Stmt::seq(vec![
+            Stmt::assign("nTicks", Expr::var("nTicks").add(Expr::int(1))),
+            Stmt::if_then(
+                Cond::lt(Expr::var("i"), Expr::var("n")),
+                Stmt::seq(vec![
+                    Stmt::call("subsetSumAux", vec![Expr::var("i").add(Expr::int(1)), Expr::var("n")]),
+                    Stmt::call("subsetSumAux", vec![Expr::var("i").add(Expr::int(1)), Expr::var("n")]),
+                ]),
+            ),
+        ]),
+    ));
+
+    // 1. Analyse.
+    let result = Analyzer::new().analyze(&program);
+    let summary = result.summary("subsetSumAux").expect("summary");
+    println!("== synthesized summary for subsetSumAux ==");
+    println!("depth bound : {:?}", summary.depth);
+    for fact in &summary.bound_facts {
+        if let Some(bound) = &fact.bound {
+            println!("  {}  ≤  {}", fact.term, bound);
+        } else {
+            println!("  {}  ≤  {}   (height-indexed)", fact.term, fact.closed_form);
+        }
+    }
+
+    // 2. Extract the cost bound and compare against concrete executions.
+    let bound = complexity::cost_bound(summary, &Symbol::new("nTicks")).expect("cost bound");
+    println!("\ncost bound: nTicks' ≤ {bound}");
+    println!("\n  n   measured nTicks   bound");
+    for n in 1..=10i128 {
+        let mut interp = Interpreter::new(&program);
+        let run = interp.run("subsetSumAux", &[0, n]).unwrap();
+        let measured = run.globals[&Symbol::new("nTicks")];
+        let predicted = complexity::eval_bound_at(&bound, &Symbol::new("n"), n as i64).unwrap();
+        println!("  {n:<3} {measured:<17} {predicted:.0}");
+        assert!(predicted + 1e-6 >= measured as f64, "bound must dominate the measurement");
+    }
+}

@@ -1,0 +1,28 @@
+//! # chora
+//!
+//! Facade crate re-exporting the full CHORA analysis stack: a from-scratch
+//! Rust reproduction of *"Templates and Recurrences: Better Together"*
+//! (Breck, Cyphert, Kincaid, Reps — PLDI 2020).
+//!
+//! The primary entry point is [`chora_core::Analyzer`]; benchmark programs
+//! from the paper's evaluation live in [`chora_bench_suite`].
+//!
+//! ```
+//! use chora::core::{Analyzer, complexity};
+//! use chora::bench_suite::complexity_suite;
+//! use chora::expr::Symbol;
+//!
+//! let bench = complexity_suite::hanoi();
+//! let result = Analyzer::new().analyze(&bench.program);
+//! let summary = result.summary("hanoi").unwrap();
+//! let (_, class) = complexity::table1_row(summary, &Symbol::new("cost"), &Symbol::new("n"));
+//! assert_eq!(class.to_string(), "O(2^n)");
+//! ```
+
+pub use chora_bench_suite as bench_suite;
+pub use chora_core as core;
+pub use chora_expr as expr;
+pub use chora_ir as ir;
+pub use chora_logic as logic;
+pub use chora_numeric as numeric;
+pub use chora_recurrence as recurrence;
