@@ -270,7 +270,10 @@ pub fn addition01() -> AssertionBenchmark {
         Stmt::seq(vec![
             Stmt::Assume(Cond::ge(v("n"), i(0))),
             Stmt::call_assign("r", "add", vec![v("m"), v("n")]),
-            Stmt::Assert(Cond::eq(v("r"), v("m").add(v("n"))), "addition-correct".to_string()),
+            Stmt::Assert(
+                Cond::eq(v("r"), v("m").add(v("n"))),
+                "addition-correct".to_string(),
+            ),
         ]),
     ));
     AssertionBenchmark {
@@ -472,7 +475,8 @@ pub fn mccarthy91() -> AssertionBenchmark {
         Stmt::seq(vec![
             Stmt::call_assign("r", "f91", vec![v("x")]),
             Stmt::Assert(
-                Cond::eq(v("r"), i(91)).or(Cond::gt(v("x"), i(101)).and(Cond::eq(v("r"), v("x").sub(i(10))))),
+                Cond::eq(v("r"), i(91))
+                    .or(Cond::gt(v("x"), i(101)).and(Cond::eq(v("r"), v("x").sub(i(10))))),
                 "mccarthy-spec".to_string(),
             ),
         ]),
@@ -569,7 +573,10 @@ pub fn rec_hanoi01() -> AssertionBenchmark {
             Stmt::assign("counter", i(0)),
             Stmt::call("apply_hanoi", vec![v("n")]),
             Stmt::call_assign("r", "hanoi_closed", vec![v("n")]),
-            Stmt::Assert(Cond::eq(v("r"), v("counter")), "hanoi-equivalence".to_string()),
+            Stmt::Assert(
+                Cond::eq(v("r"), v("counter")),
+                "hanoi-equivalence".to_string(),
+            ),
         ]),
     ));
     AssertionBenchmark {

@@ -347,8 +347,9 @@ pub fn strassen() -> ComplexityBenchmark {
             ]),
         ),
     ]);
-    let calls: Vec<Stmt> =
-        (0..7).map(|_| Stmt::call("strassen", vec![v("n").div(2)])).collect();
+    let calls: Vec<Stmt> = (0..7)
+        .map(|_| Stmt::call("strassen", vec![v("n").div(2)]))
+        .collect();
     let mut body = vec![combine];
     body.extend(calls);
     program.add_procedure(Procedure::new(

@@ -13,16 +13,23 @@ fn class_with(config: AnalysisConfig, bench: &chora_bench_suite::ComplexityBench
     result
         .summary(bench.procedure)
         .map(|s| {
-            complexity::table1_row(s, &Symbol::new(bench.cost_var), &Symbol::new(bench.size_param))
-                .1
-                .to_string()
+            complexity::table1_row(
+                s,
+                &Symbol::new(bench.cost_var),
+                &Symbol::new(bench.size_param),
+            )
+            .1
+            .to_string()
         })
         .unwrap_or_else(|| "n.b.".to_string())
 }
 
 fn ablations(c: &mut Criterion) {
     println!("\n=== Ablations: effect of disabling analysis ingredients ===");
-    println!("{:<14} {:<16} {:<18} {:<18}", "benchmark", "full", "no depth bounds", "no poly facts");
+    println!(
+        "{:<14} {:<16} {:<18} {:<18}",
+        "benchmark", "full", "no depth bounds", "no poly facts"
+    );
     let subset = ["hanoi", "subset_sum", "mergesort", "karatsuba"];
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
@@ -30,11 +37,17 @@ fn ablations(c: &mut Criterion) {
         let bench = complexity_suite::by_name(name).unwrap();
         let full = class_with(AnalysisConfig::default(), &bench);
         let no_depth = class_with(
-            AnalysisConfig { enable_depth_bounds: false, ..AnalysisConfig::default() },
+            AnalysisConfig {
+                enable_depth_bounds: false,
+                ..AnalysisConfig::default()
+            },
             &bench,
         );
         let no_poly = class_with(
-            AnalysisConfig { enable_polynomial_facts: false, ..AnalysisConfig::default() },
+            AnalysisConfig {
+                enable_polynomial_facts: false,
+                ..AnalysisConfig::default()
+            },
             &bench,
         );
         println!("{:<14} {:<16} {:<18} {:<18}", name, full, no_depth, no_poly);

@@ -11,7 +11,10 @@ use std::time::Instant;
 
 fn fig3(c: &mut Criterion) {
     println!("\n=== Fig. 3: SV-COMP-recursive-style suite ===");
-    println!("{:<18} {:<10} {:<12} {:<10}", "benchmark", "CHORA-rs", "time (ms)", "ICRA-rs");
+    println!(
+        "{:<18} {:<10} {:<12} {:<10}",
+        "benchmark", "CHORA-rs", "time (ms)", "ICRA-rs"
+    );
     let mut proved_times: Vec<f64> = Vec::new();
     let mut baseline_proved = 0usize;
     let suite = assertion_suite::svcomp();
@@ -43,11 +46,19 @@ fn fig3(c: &mut Criterion) {
     }
     group.finish();
     proved_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    println!("\ncactus series (CHORA-rs): {} proved of {}", proved_times.len(), suite.len());
+    println!(
+        "\ncactus series (CHORA-rs): {} proved of {}",
+        proved_times.len(),
+        suite.len()
+    );
     for (i, t) in proved_times.iter().enumerate() {
         println!("  {} benchmarks within {:.2} ms", i + 1, t);
     }
-    println!("cactus series (ICRA-rs baseline): {} proved of {}", baseline_proved, suite.len());
+    println!(
+        "cactus series (ICRA-rs baseline): {} proved of {}",
+        baseline_proved,
+        suite.len()
+    );
     println!("reference (paper, of 17 benchmarks): CHORA 8, UA 12, UTaipan 10, VIAP 10, all ≲100s");
 }
 

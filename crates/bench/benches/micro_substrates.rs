@@ -10,9 +10,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn micro(c: &mut Criterion) {
     c.bench_function("bigint/mul-256bit", |b| {
-        let x: BigInt = "123456789012345678901234567890123456789012345678901234567890123456789012345"
-            .parse()
-            .unwrap();
+        let x: BigInt =
+            "123456789012345678901234567890123456789012345678901234567890123456789012345"
+                .parse()
+                .unwrap();
         b.iter(|| std::hint::black_box(&x) * std::hint::black_box(&x))
     });
     c.bench_function("bigrational/sum-1000", |b| {

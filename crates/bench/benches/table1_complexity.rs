@@ -31,7 +31,12 @@ fn table1(c: &mut Criterion) {
             .unwrap_or_else(|| "n.b.".to_string());
         println!(
             "{:<14} {:<14} {:<16} {:<10} {:<14} {:<10}",
-            bench.name, bench.actual, ours_class, baseline_class, bench.paper_chora, bench.paper_icra
+            bench.name,
+            bench.actual,
+            ours_class,
+            baseline_class,
+            bench.paper_chora,
+            bench.paper_icra
         );
         group.bench_function(bench.name, |b| {
             b.iter(|| Analyzer::new().analyze(std::hint::black_box(&bench.program)))

@@ -1,0 +1,398 @@
+//! Implementations of the `analyze`, `complexity`, and `bench` subcommands.
+//!
+//! Each command is a pure function from parsed options to an output string
+//! (plus an exit code), so integration tests can call them without spawning
+//! the binary.
+
+use crate::json::Json;
+use crate::parser::parse_program;
+use chora_core::{complexity, Analyzer, ComplexityClass};
+use chora_expr::Symbol;
+use chora_ir::Program;
+use std::fmt;
+use std::time::Instant;
+
+/// A command failure rendered to stderr by `main`.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn read_and_parse(path: &str) -> Result<Program, CliError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+    parse_program(&src).map_err(|e| CliError(format!("{path}:{e}")))
+}
+
+/// Options shared by the file-driven subcommands.
+#[derive(Clone, Debug, Default)]
+pub struct FileOptions {
+    pub path: String,
+    pub json: bool,
+    /// Procedure to report on (default: sole procedure, else `main`).
+    pub procedure: Option<String>,
+    /// Cost counter variable (default: global named `cost`, else sole global).
+    pub cost_var: Option<String>,
+    /// Size parameter (default: first parameter of the chosen procedure).
+    pub size_param: Option<String>,
+}
+
+/// Picks the procedure the report focuses on.
+fn resolve_procedure(program: &Program, requested: Option<&str>) -> Result<String, CliError> {
+    if let Some(name) = requested {
+        if program.procedure(name).is_none() {
+            return Err(CliError(format!(
+                "no procedure named `{name}` (available: {})",
+                program.procedure_names().join(", ")
+            )));
+        }
+        return Ok(name.to_string());
+    }
+    let names = program.procedure_names();
+    match names.as_slice() {
+        [] => Err(CliError("program has no procedures".to_string())),
+        [only] => Ok(only.clone()),
+        _ if names.iter().any(|n| n == "main") => Ok("main".to_string()),
+        _ => Err(CliError(format!(
+            "program has several procedures; pick one with --proc (available: {})",
+            names.join(", ")
+        ))),
+    }
+}
+
+fn resolve_cost_var(program: &Program, requested: Option<&str>) -> Result<Symbol, CliError> {
+    if let Some(name) = requested {
+        return Ok(Symbol::new(name));
+    }
+    if program.globals.iter().any(|g| g.to_string() == "cost") {
+        return Ok(Symbol::new("cost"));
+    }
+    match program.globals.as_slice() {
+        [only] => Ok(only.clone()),
+        _ => Err(CliError(
+            "cannot infer the cost counter; pass --cost VAR".to_string(),
+        )),
+    }
+}
+
+fn resolve_size_param(
+    program: &Program,
+    proc_name: &str,
+    requested: Option<&str>,
+) -> Result<Symbol, CliError> {
+    if let Some(name) = requested {
+        return Ok(Symbol::new(name));
+    }
+    let proc = program
+        .procedure(proc_name)
+        .expect("procedure resolved earlier");
+    match proc.params.first() {
+        Some(p) => Ok(p.clone()),
+        None => Err(CliError(format!(
+            "procedure `{proc_name}` has no parameters; pass --size PARAM"
+        ))),
+    }
+}
+
+/// `chora analyze FILE`: full analysis report — per-procedure summaries,
+/// solved bound facts, depth bounds, and assertion verdicts.
+pub fn analyze(opts: &FileOptions) -> Result<(String, i32), CliError> {
+    let program = read_and_parse(&opts.path)?;
+    // With --proc the report is restricted to that procedure (and its
+    // assertions); the analysis itself is always whole-program.
+    let focus = match opts.procedure.as_deref() {
+        Some(requested) => Some(resolve_procedure(&program, Some(requested))?),
+        None => None,
+    };
+    let started = Instant::now();
+    let result = Analyzer::new().analyze(&program);
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let report_names: Vec<String> = match &focus {
+        Some(name) => vec![name.clone()],
+        None => program.procedure_names(),
+    };
+    let assertions: Vec<_> = result
+        .assertions
+        .iter()
+        .filter(|a| focus.as_deref().is_none_or(|f| a.procedure == f))
+        .collect();
+    let all_verified = assertions.iter().all(|a| a.verified);
+    // Exit 1 when an assertion fails to verify, so scripts can gate on it.
+    let exit = if all_verified { 0 } else { 1 };
+
+    if opts.json {
+        let mut procedures = Vec::new();
+        for name in &report_names {
+            let Some(summary) = result.summary(name) else {
+                continue;
+            };
+            let mut facts = Vec::new();
+            for fact in &summary.bound_facts {
+                facts.push(
+                    Json::object()
+                        .field("term", Json::str(fact.term.to_string()))
+                        .field("closed_form", Json::str(fact.closed_form.to_string()))
+                        .field(
+                            "bound",
+                            match &fact.bound {
+                                Some(b) => Json::str(b.to_string()),
+                                None => Json::Null,
+                            },
+                        )
+                        .field("exact", Json::Bool(fact.exact)),
+                );
+            }
+            procedures.push(
+                Json::object()
+                    .field("name", Json::str(name.as_str()))
+                    .field("recursive", Json::Bool(summary.recursive))
+                    .field(
+                        "depth_bound",
+                        match &summary.depth {
+                            Some(d) => Json::str(d.to_term().to_string()),
+                            None => Json::Null,
+                        },
+                    )
+                    .field("bound_facts", Json::Array(facts)),
+            );
+        }
+        let assertions: Vec<Json> = assertions
+            .iter()
+            .map(|a| {
+                Json::object()
+                    .field("procedure", Json::str(&a.procedure))
+                    .field("label", Json::str(&a.label))
+                    .field("verified", Json::Bool(a.verified))
+            })
+            .collect();
+        let doc = Json::object()
+            .field("file", Json::str(&opts.path))
+            .field("procedures", Json::Array(procedures))
+            .field("assertions", Json::Array(assertions))
+            .field("all_assertions_verified", Json::Bool(all_verified))
+            .field("analysis_ms", Json::Float(elapsed_ms));
+        return Ok((doc.pretty(), exit));
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("analyzed {} in {elapsed_ms:.1} ms\n\n", opts.path));
+    for name in &report_names {
+        let Some(summary) = result.summary(name) else {
+            continue;
+        };
+        let kind = if summary.recursive {
+            "recursive"
+        } else {
+            "non-recursive"
+        };
+        out.push_str(&format!("procedure {name} ({kind})\n"));
+        if let Some(depth) = &summary.depth {
+            out.push_str(&format!("  depth bound: {}\n", depth.to_term()));
+        }
+        for fact in &summary.bound_facts {
+            let exact = if fact.exact { "exact" } else { "over-approx" };
+            out.push_str(&format!(
+                "  bound fact ({exact}): {} <= {}\n",
+                fact.term, fact.closed_form
+            ));
+            if let Some(bound) = &fact.bound {
+                out.push_str(&format!("    at depth bound: {bound}\n"));
+            }
+        }
+        out.push('\n');
+    }
+    if assertions.is_empty() {
+        out.push_str("no assertions\n");
+    } else {
+        for a in &assertions {
+            let verdict = if a.verified { "verified" } else { "NOT PROVED" };
+            out.push_str(&format!(
+                "assert [{}] {}: {verdict}\n",
+                a.procedure, a.label
+            ));
+        }
+        out.push_str(&format!(
+            "\n{}\n",
+            if all_verified {
+                "all assertions verified"
+            } else {
+                "some assertions were not proved"
+            }
+        ));
+    }
+    Ok((out, exit))
+}
+
+/// `chora complexity FILE`: resource-bound extraction — the Table 1 view of
+/// one procedure.
+pub fn complexity_cmd(opts: &FileOptions) -> Result<(String, i32), CliError> {
+    let program = read_and_parse(&opts.path)?;
+    let proc_name = resolve_procedure(&program, opts.procedure.as_deref())?;
+    let cost = resolve_cost_var(&program, opts.cost_var.as_deref())?;
+    let size = resolve_size_param(&program, &proc_name, opts.size_param.as_deref())?;
+
+    let started = Instant::now();
+    let result = Analyzer::new().analyze(&program);
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let summary = result
+        .summary(&proc_name)
+        .ok_or_else(|| CliError(format!("no summary computed for `{proc_name}`")))?;
+    let (bound, class) = complexity::table1_row(summary, &cost, &size);
+    let exit = if matches!(class, ComplexityClass::NoBound) {
+        1
+    } else {
+        0
+    };
+
+    if opts.json {
+        let doc = Json::object()
+            .field("file", Json::str(&opts.path))
+            .field("procedure", Json::str(&proc_name))
+            .field("cost_var", Json::str(cost.to_string()))
+            .field("size_param", Json::str(size.to_string()))
+            .field(
+                "bound",
+                match &bound {
+                    Some(b) => Json::str(b.to_string()),
+                    None => Json::Null,
+                },
+            )
+            .field("class", Json::str(class.to_string()))
+            .field("analysis_ms", Json::Float(elapsed_ms));
+        return Ok((doc.pretty(), exit));
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{}: procedure {proc_name}, cost {cost}, size {size}\n",
+        opts.path
+    ));
+    match &bound {
+        Some(b) => out.push_str(&format!("  bound: {cost}' <= {b}\n")),
+        None => out.push_str("  bound: none found\n"),
+    }
+    out.push_str(&format!("  class: {class}\n"));
+    out.push_str(&format!("  analysis time: {elapsed_ms:.1} ms\n"));
+    Ok((out, exit))
+}
+
+/// Options for `chora bench`.
+#[derive(Clone, Debug, Default)]
+pub struct BenchOptions {
+    pub json: bool,
+    /// Substring filter on benchmark names.
+    pub filter: Option<String>,
+}
+
+/// `chora bench`: reruns the paper's built-in benchmark suites (Table 1
+/// complexity rows and the assertion benchmarks) with wall-clock timings.
+pub fn bench(opts: &BenchOptions) -> Result<(String, i32), CliError> {
+    let keep = |name: &str| match &opts.filter {
+        Some(f) => name.contains(f.as_str()),
+        None => true,
+    };
+
+    let mut rows = Vec::new();
+    for b in chora_bench_suite::complexity_suite::all() {
+        if !keep(b.name) {
+            continue;
+        }
+        let started = Instant::now();
+        let (_bound, class) = chora_bench::table1_row_for(&b);
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        rows.push((b.name, b.actual, class, b.paper_chora, elapsed_ms));
+    }
+
+    let mut assertion_rows = Vec::new();
+    for b in chora_bench_suite::assertion_suite::all() {
+        if !keep(b.name) {
+            continue;
+        }
+        let started = Instant::now();
+        let result = Analyzer::new().analyze(&b.program);
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        assertion_rows.push((
+            b.name,
+            result.all_assertions_verified(),
+            b.paper_chora,
+            elapsed_ms,
+        ));
+    }
+
+    if rows.is_empty() && assertion_rows.is_empty() {
+        return Err(CliError(format!(
+            "no benchmark matches filter `{}`",
+            opts.filter.as_deref().unwrap_or("")
+        )));
+    }
+
+    if opts.json {
+        let complexity_json: Vec<Json> = rows
+            .iter()
+            .map(|(name, actual, class, paper, ms)| {
+                Json::object()
+                    .field("name", Json::str(*name))
+                    .field("actual", Json::str(*actual))
+                    .field("class", Json::str(class.clone()))
+                    .field("paper_chora", Json::str(*paper))
+                    .field("analysis_ms", Json::Float(*ms))
+            })
+            .collect();
+        let assertion_json: Vec<Json> = assertion_rows
+            .iter()
+            .map(|(name, verified, paper, ms)| {
+                Json::object()
+                    .field("name", Json::str(*name))
+                    .field("verified", Json::Bool(*verified))
+                    .field("paper_chora", Json::Bool(*paper))
+                    .field("analysis_ms", Json::Float(*ms))
+            })
+            .collect();
+        let doc = Json::object()
+            .field("complexity", Json::Array(complexity_json))
+            .field("assertions", Json::Array(assertion_json));
+        return Ok((doc.pretty(), 0));
+    }
+
+    let mut out = String::new();
+    if !rows.is_empty() {
+        out.push_str(&format!(
+            "{:<14} {:<14} {:<16} {:<14} {:>10}\n",
+            "benchmark", "actual", "CHORA-rs", "paper CHORA", "time"
+        ));
+        for (name, actual, class, paper, ms) in &rows {
+            out.push_str(&format!(
+                "{name:<14} {actual:<14} {class:<16} {paper:<14} {ms:>8.1}ms\n"
+            ));
+        }
+    }
+    if !assertion_rows.is_empty() {
+        if !rows.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:<18} {:<10} {:<12} {:>10}\n",
+            "assertion bench", "CHORA-rs", "paper CHORA", "time"
+        ));
+        for (name, verified, paper, ms) in &assertion_rows {
+            let v = if *verified { "proved" } else { "n.p." };
+            let p = if *paper { "proved" } else { "n.p." };
+            out.push_str(&format!("{name:<18} {v:<10} {p:<12} {ms:>8.1}ms\n"));
+        }
+    }
+    Ok((out, 0))
+}
+
+/// `chora print FILE`: parse and pretty-print back (the round-trip surface).
+pub fn print_cmd(path: &str) -> Result<(String, i32), CliError> {
+    let program = read_and_parse(path)?;
+    Ok((crate::printer::print_program(&program), 0))
+}

@@ -1,0 +1,378 @@
+//! Tokenizer for the `.imp` surface language.
+
+use std::fmt;
+
+/// A token with its source position (1-based line/column) for diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+    pub col: usize,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Kw(Keyword),
+    // punctuation / operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Assign, // :=
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+    Eof,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Keyword {
+    Global,
+    Proc,
+    Locals,
+    If,
+    Else,
+    While,
+    Assume,
+    Assert,
+    Return,
+    Skip,
+    Havoc,
+    Nondet,
+}
+
+impl Keyword {
+    fn from_ident(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "global" => Keyword::Global,
+            "proc" => Keyword::Proc,
+            "locals" => Keyword::Locals,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "assume" => Keyword::Assume,
+            "assert" => Keyword::Assert,
+            "return" => Keyword::Return,
+            "skip" => Keyword::Skip,
+            "havoc" => Keyword::Havoc,
+            "nondet" => Keyword::Nondet,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Kw(k) => write!(f, "keyword `{k:?}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Assign => write!(f, "`:=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::NotEq => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::OrOr => write!(f, "`||`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexer/parser error with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub col: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! err {
+        ($($arg:tt)*) => {
+            return Err(ParseError { line, col, message: format!($($arg)*) })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let (tline, tcol) = (line, col);
+        let mut push = |kind: TokenKind| {
+            tokens.push(Token {
+                kind,
+                line: tline,
+                col: tcol,
+            })
+        };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        err!("unterminated block comment");
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                    col += 1;
+                }
+                let word = &src[start..i];
+                match Keyword::from_ident(word) {
+                    Some(kw) => push(TokenKind::Kw(kw)),
+                    None => push(TokenKind::Ident(word.to_string())),
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                let text = &src[start..i];
+                match text.parse::<i64>() {
+                    Ok(v) => push(TokenKind::Int(v)),
+                    Err(_) => err!("integer literal `{text}` out of range"),
+                }
+            }
+            '"' => {
+                i += 1;
+                col += 1;
+                let mut out = String::new();
+                loop {
+                    if i >= bytes.len() || bytes[i] == b'\n' {
+                        err!("unterminated string literal");
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            col += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            let esc = bytes.get(i + 1).copied();
+                            match esc {
+                                Some(b'"') => out.push('"'),
+                                Some(b'\\') => out.push('\\'),
+                                Some(b'n') => out.push('\n'),
+                                _ => err!("unsupported string escape"),
+                            }
+                            i += 2;
+                            col += 2;
+                        }
+                        _ => {
+                            // Multi-byte UTF-8 must be decoded from the
+                            // source str, not pushed byte-by-byte.
+                            let ch = src[i..].chars().next().expect("in-bounds char");
+                            out.push(ch);
+                            i += ch.len_utf8();
+                            col += 1;
+                        }
+                    }
+                }
+                push(TokenKind::Str(out));
+            }
+            '(' => {
+                push(TokenKind::LParen);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push(TokenKind::RParen);
+                i += 1;
+                col += 1;
+            }
+            '{' => {
+                push(TokenKind::LBrace);
+                i += 1;
+                col += 1;
+            }
+            '}' => {
+                push(TokenKind::RBrace);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push(TokenKind::Comma);
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                push(TokenKind::Semi);
+                i += 1;
+                col += 1;
+            }
+            '+' => {
+                push(TokenKind::Plus);
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                push(TokenKind::Minus);
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                push(TokenKind::Star);
+                i += 1;
+                col += 1;
+            }
+            '/' => {
+                push(TokenKind::Slash);
+                i += 1;
+                col += 1;
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(TokenKind::Assign);
+                    i += 2;
+                    col += 2;
+                } else {
+                    err!("expected `:=` after `:`");
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(TokenKind::EqEq);
+                    i += 2;
+                    col += 2;
+                } else {
+                    err!("expected `==` (assignment is spelled `:=`)");
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(TokenKind::NotEq);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(TokenKind::Bang);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(TokenKind::Le);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(TokenKind::Lt);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(TokenKind::Ge);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(TokenKind::Gt);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    push(TokenKind::AndAnd);
+                    i += 2;
+                    col += 2;
+                } else {
+                    err!("expected `&&`");
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    push(TokenKind::OrOr);
+                    i += 2;
+                    col += 2;
+                } else {
+                    err!("expected `||`");
+                }
+            }
+            _ => {
+                let other = src[i..].chars().next().expect("in-bounds char");
+                err!("unexpected character `{other}`");
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}

@@ -1,0 +1,41 @@
+//! # chora-cli
+//!
+//! File-driven front-end for the CHORA analyzer: a small textual imperative
+//! language (`.imp`) with procedures, integer globals, `if`/`while`,
+//! (recursive) calls, `assume`/`assert`, and non-determinism, lowered to
+//! [`chora_ir::Program`] and analyzed by [`chora_core::Analyzer`].
+//!
+//! ```text
+//! // examples/programs/hanoi.imp
+//! global cost;
+//!
+//! proc hanoi(n) {
+//!     cost := cost + 1;
+//!     if (n > 0) {
+//!         hanoi(n - 1);
+//!         hanoi(n - 1);
+//!     }
+//! }
+//! ```
+//!
+//! Subcommands (see `chora --help`):
+//!
+//! * `analyze FILE` — full report: summaries, bound facts, depth bounds, and
+//!   assertion verdicts,
+//! * `complexity FILE` — the Table 1 view: a closed-form cost bound and its
+//!   asymptotic class,
+//! * `bench` — rerun the built-in paper benchmark suites with timings,
+//! * `print FILE` — parse and pretty-print (the round-trip surface).
+//!
+//! All file-driven subcommands accept `--json` for machine-readable output.
+
+pub mod driver;
+pub mod json;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use driver::{analyze, bench, complexity_cmd, print_cmd, BenchOptions, CliError, FileOptions};
+pub use lexer::ParseError;
+pub use parser::parse_program;
+pub use printer::{print_cond, print_expr, print_program};

@@ -1,0 +1,124 @@
+//! The `chora` binary: argument parsing and dispatch.
+
+use chora_cli::{analyze, bench, complexity_cmd, print_cmd, BenchOptions, FileOptions};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+chora — CHORA resource-bound analyzer (PLDI 2020 reproduction)
+
+USAGE:
+    chora <SUBCOMMAND> [OPTIONS]
+
+SUBCOMMANDS:
+    analyze FILE      Analyze a .imp program: procedure summaries, bound
+                      facts, depth bounds, and assertion verdicts
+    complexity FILE   Extract a closed-form cost bound and asymptotic class
+    bench             Rerun the built-in paper benchmark suites
+    print FILE        Parse a .imp program and pretty-print it back
+
+OPTIONS (analyze / complexity):
+    --json            Emit machine-readable JSON
+    --proc NAME       Procedure to report on (default: all for analyze;
+                      sole procedure or main for complexity)
+
+OPTIONS (complexity only):
+    --cost VAR        Cost counter variable (default: global `cost`)
+    --size PARAM      Size parameter (default: first parameter of the proc)
+
+OPTIONS (bench):
+    --json            Emit machine-readable JSON
+    --filter SUBSTR   Only run benchmarks whose name contains SUBSTR
+
+EXAMPLES:
+    chora complexity examples/programs/hanoi.imp --json
+    chora analyze examples/programs/fib.imp
+    chora bench --filter hanoi
+";
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} requires a value"));
+        }
+        let value = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn run() -> Result<(String, i32), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help" {
+        return Ok((USAGE.to_string(), 0));
+    }
+    let subcommand = args.remove(0);
+    match subcommand.as_str() {
+        "analyze" | "complexity" => {
+            let json = take_flag(&mut args, "--json");
+            let procedure = take_value(&mut args, "--proc")?;
+            let cost_var = take_value(&mut args, "--cost")?;
+            let size_param = take_value(&mut args, "--size")?;
+            if subcommand == "analyze" && (cost_var.is_some() || size_param.is_some()) {
+                return Err("--cost and --size only apply to `chora complexity`".to_string());
+            }
+            let [path] = args.as_slice() else {
+                return Err(format!(
+                    "`chora {subcommand}` expects exactly one FILE argument; \
+                     run `chora --help`"
+                ));
+            };
+            let opts = FileOptions {
+                path: path.clone(),
+                json,
+                procedure,
+                cost_var,
+                size_param,
+            };
+            let result = if subcommand == "analyze" {
+                analyze(&opts)
+            } else {
+                complexity_cmd(&opts)
+            };
+            result.map_err(|e| e.to_string())
+        }
+        "bench" => {
+            let json = take_flag(&mut args, "--json");
+            let filter = take_value(&mut args, "--filter")?;
+            if !args.is_empty() {
+                return Err(format!("unexpected arguments: {}", args.join(" ")));
+            }
+            bench(&BenchOptions { json, filter }).map_err(|e| e.to_string())
+        }
+        "print" => {
+            let [path] = args.as_slice() else {
+                return Err("`chora print` expects exactly one FILE argument".to_string());
+            };
+            print_cmd(path).map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown subcommand `{other}`; run `chora --help`")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok((output, code)) => {
+            print!("{output}");
+            ExitCode::from(code as u8)
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

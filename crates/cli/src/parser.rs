@@ -1,0 +1,462 @@
+//! Recursive-descent parser lowering `.imp` source to [`chora_ir::Program`].
+//!
+//! Grammar (comments are `//` and `/* */`):
+//!
+//! ```text
+//! program   := item*
+//! item      := "global" ident ("," ident)* ";"
+//!            | "proc" ident "(" [ident ("," ident)*] ")"
+//!              ["locals" ident ("," ident)*] block
+//! block     := "{" stmt* "}"
+//! stmt      := "skip" ";"
+//!            | "havoc" ident ";"
+//!            | "assume" "(" cond ")" ";"
+//!            | "assert" "(" cond ["," string] ")" ";"
+//!            | "return" [expr] ";"
+//!            | "if" "(" cond ")" block ["else" block]
+//!            | "while" "(" cond ")" block
+//!            | ident "(" [expr ("," expr)*] ")" ";"          // call
+//!            | ident ":=" ident "(" [expr ("," expr)*] ")" ";" // call w/ return
+//!            | ident ":=" expr ";"
+//! cond      := and_cond ("||" and_cond)*
+//! and_cond  := not_cond ("&&" not_cond)*
+//! not_cond  := "!" "(" cond ")" | primary_cond
+//! primary   := "nondet" | expr cmp expr | "(" cond ")"
+//! cmp       := "==" | "!=" | "<" | "<=" | ">" | ">="
+//! expr      := mul (("+" | "-") mul)*
+//! mul       := unary (("*" unary) | ("/" int))*   // `/` only by a positive constant
+//! unary     := "-" int | int | ident | "(" expr ")"
+//! ```
+//!
+//! Undeclared variables assigned in a procedure body become locals
+//! automatically; an explicit `locals` clause fixes their order (useful for
+//! exact round-tripping).
+
+use crate::lexer::{tokenize, Keyword, ParseError, Token, TokenKind};
+use chora_expr::Symbol;
+use chora_ir::{CmpOp, Cond, Expr, Procedure, Program, Stmt};
+use std::collections::BTreeSet;
+
+/// Parses a full `.imp` program.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        assert_counter: 0,
+    };
+    parser.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    assert_counter: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let t = &self.tokens[self.pos];
+        ParseError {
+            line: t.line,
+            col: t.col,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if *self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut out = vec![self.expect_ident()?];
+        while *self.peek() == TokenKind::Comma {
+            self.bump();
+            out.push(self.expect_ident()?);
+        }
+        Ok(out)
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut program = Program::new();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Kw(Keyword::Global) => {
+                    self.bump();
+                    for g in self.ident_list()? {
+                        program.add_global(&g);
+                    }
+                    self.expect(TokenKind::Semi)?;
+                }
+                TokenKind::Kw(Keyword::Proc) => {
+                    let p = self.procedure(&program)?;
+                    program.add_procedure(p);
+                }
+                other => {
+                    return Err(self.error(format!("expected `global` or `proc`, found {other}")))
+                }
+            }
+        }
+        Ok(program)
+    }
+
+    fn procedure(&mut self, program: &Program) -> Result<Procedure, ParseError> {
+        self.expect(TokenKind::Kw(Keyword::Proc))?;
+        let name = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        let params = if *self.peek() == TokenKind::RParen {
+            Vec::new()
+        } else {
+            self.ident_list()?
+        };
+        self.expect(TokenKind::RParen)?;
+        let mut locals = if *self.peek() == TokenKind::Kw(Keyword::Locals) {
+            self.bump();
+            self.ident_list()?
+        } else {
+            Vec::new()
+        };
+        let body = self.block()?;
+
+        // Any assigned variable that is neither a global, a parameter, nor a
+        // declared local becomes a local (in symbol order, appended after the
+        // declared ones).
+        let known: BTreeSet<Symbol> = program
+            .globals
+            .iter()
+            .cloned()
+            .chain(params.iter().map(|p| Symbol::new(p)))
+            .chain(locals.iter().map(|l| Symbol::new(l)))
+            .collect();
+        for assigned in body.assigned_variables() {
+            if !known.contains(&assigned) {
+                locals.push(assigned.to_string());
+            }
+        }
+
+        let param_refs: Vec<&str> = params.iter().map(|s| s.as_str()).collect();
+        let local_refs: Vec<&str> = locals.iter().map(|s| s.as_str()).collect();
+        Ok(Procedure::new(&name, &param_refs, &local_refs, body))
+    }
+
+    fn block(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != TokenKind::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(Stmt::Seq(stmts))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Kw(Keyword::Skip) => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Skip)
+            }
+            TokenKind::Kw(Keyword::Havoc) => {
+                self.bump();
+                let v = self.expect_ident()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Havoc(Symbol::new(&v)))
+            }
+            TokenKind::Kw(Keyword::Assume) => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let c = self.cond()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Assume(c))
+            }
+            TokenKind::Kw(Keyword::Assert) => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let c = self.cond()?;
+                let label = if *self.peek() == TokenKind::Comma {
+                    self.bump();
+                    match self.bump() {
+                        TokenKind::Str(s) => s,
+                        other => {
+                            return Err(self.error(format!("expected string label, found {other}")))
+                        }
+                    }
+                } else {
+                    self.assert_counter += 1;
+                    format!("assert_{}", self.assert_counter)
+                };
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Assert(c, label))
+            }
+            TokenKind::Kw(Keyword::Return) => {
+                self.bump();
+                if *self.peek() == TokenKind::Semi {
+                    self.bump();
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(TokenKind::Semi)?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            TokenKind::Kw(Keyword::If) => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let c = self.cond()?;
+                self.expect(TokenKind::RParen)?;
+                let then = self.block()?;
+                if *self.peek() == TokenKind::Kw(Keyword::Else) {
+                    self.bump();
+                    let els = self.block()?;
+                    Ok(Stmt::If(c, Box::new(then), Box::new(els)))
+                } else {
+                    Ok(Stmt::If(c, Box::new(then), Box::new(Stmt::Skip)))
+                }
+            }
+            TokenKind::Kw(Keyword::While) => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let c = self.cond()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While(c, Box::new(body)))
+            }
+            TokenKind::Ident(name) => {
+                if *self.peek2() == TokenKind::LParen {
+                    self.bump();
+                    let args = self.call_args()?;
+                    self.expect(TokenKind::Semi)?;
+                    Ok(Stmt::Call {
+                        callee: name,
+                        args,
+                        ret: None,
+                    })
+                } else {
+                    self.bump();
+                    self.expect(TokenKind::Assign)?;
+                    if let TokenKind::Ident(callee) = self.peek().clone() {
+                        if *self.peek2() == TokenKind::LParen {
+                            self.bump();
+                            let args = self.call_args()?;
+                            self.expect(TokenKind::Semi)?;
+                            return Ok(Stmt::Call {
+                                callee,
+                                args,
+                                ret: Some(Symbol::new(&name)),
+                            });
+                        }
+                    }
+                    let e = self.expr()?;
+                    self.expect(TokenKind::Semi)?;
+                    Ok(Stmt::Assign(Symbol::new(&name), e))
+                }
+            }
+            other => Err(self.error(format!("expected statement, found {other}"))),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            args.push(self.expr()?);
+            while *self.peek() == TokenKind::Comma {
+                self.bump();
+                args.push(self.expr()?);
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    // ---- conditions ----
+
+    fn cond(&mut self) -> Result<Cond, ParseError> {
+        let mut left = self.and_cond()?;
+        while *self.peek() == TokenKind::OrOr {
+            self.bump();
+            let right = self.and_cond()?;
+            left = Cond::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_cond(&mut self) -> Result<Cond, ParseError> {
+        let mut left = self.not_cond()?;
+        while *self.peek() == TokenKind::AndAnd {
+            self.bump();
+            let right = self.not_cond()?;
+            left = Cond::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_cond(&mut self) -> Result<Cond, ParseError> {
+        if *self.peek() == TokenKind::Bang {
+            self.bump();
+            self.expect(TokenKind::LParen)?;
+            let inner = self.cond()?;
+            self.expect(TokenKind::RParen)?;
+            Ok(Cond::Not(Box::new(inner)))
+        } else {
+            self.primary_cond()
+        }
+    }
+
+    fn primary_cond(&mut self) -> Result<Cond, ParseError> {
+        if *self.peek() == TokenKind::Kw(Keyword::Nondet) {
+            self.bump();
+            return Ok(Cond::Nondet);
+        }
+        // Both a parenthesized condition and the left-hand expression of a
+        // comparison may start with `(`; try the comparison first and
+        // backtrack if it does not parse.
+        let saved = self.pos;
+        match self.comparison() {
+            Ok(c) => Ok(c),
+            Err(cmp_err) => {
+                self.pos = saved;
+                if *self.peek() == TokenKind::LParen {
+                    self.bump();
+                    let inner = self.cond()?;
+                    self.expect(TokenKind::RParen)?;
+                    Ok(inner)
+                } else {
+                    Err(cmp_err)
+                }
+            }
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Cond, ParseError> {
+        let a = self.expr()?;
+        let op = match self.peek() {
+            TokenKind::EqEq => CmpOp::Eq,
+            TokenKind::NotEq => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            other => return Err(self.error(format!("expected comparison operator, found {other}"))),
+        };
+        self.bump();
+        let b = self.expr()?;
+        Ok(Cond::Cmp(a, op, b))
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            match self.peek() {
+                TokenKind::Plus => {
+                    self.bump();
+                    let right = self.mul_expr()?;
+                    left = Expr::Add(Box::new(left), Box::new(right));
+                }
+                TokenKind::Minus => {
+                    self.bump();
+                    let right = self.mul_expr()?;
+                    left = Expr::Sub(Box::new(left), Box::new(right));
+                }
+                _ => return Ok(left),
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary_expr()?;
+        loop {
+            match self.peek() {
+                TokenKind::Star => {
+                    self.bump();
+                    let right = self.unary_expr()?;
+                    left = Expr::Mul(Box::new(left), Box::new(right));
+                }
+                TokenKind::Slash => {
+                    self.bump();
+                    match self.peek().clone() {
+                        TokenKind::Int(v) if v > 0 => {
+                            self.bump();
+                            left = Expr::DivConst(Box::new(left), v);
+                        }
+                        other => {
+                            return Err(self.error(format!(
+                                "`/` requires a positive integer divisor, found {other}"
+                            )))
+                        }
+                    }
+                }
+                _ => return Ok(left),
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Minus => {
+                self.bump();
+                match self.peek().clone() {
+                    TokenKind::Int(v) => {
+                        self.bump();
+                        Ok(Expr::Const(-v))
+                    }
+                    other => Err(self.error(format!(
+                        "unary minus applies only to integer literals, found {other} \
+                         (write `0 - e` for general negation)"
+                    ))),
+                }
+            }
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Const(v))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Var(Symbol::new(&name)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.error(format!("expected expression, found {other}"))),
+        }
+    }
+}

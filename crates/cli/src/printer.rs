@@ -1,0 +1,209 @@
+//! Pretty-printer emitting canonical `.imp` text from [`chora_ir::Program`].
+//!
+//! The printer and [`crate::parser`] are inverse up to statement-sequence
+//! flattening: for any program `p` produced by the parser,
+//! `parse(print(p)) == p` exactly, and for an arbitrary IR program the
+//! round-trip is semantics-preserving (nested `Seq`s are flattened into
+//! blocks, `if`s without an `else` drop the empty branch).
+
+use chora_ir::{CmpOp, Cond, Expr, Procedure, Program, Stmt};
+use std::fmt::Write;
+
+/// Renders a whole program.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for g in &program.globals {
+        let _ = writeln!(out, "global {g};");
+    }
+    for (i, p) in program.procedures.iter().enumerate() {
+        if i > 0 || !program.globals.is_empty() {
+            out.push('\n');
+        }
+        print_procedure(&mut out, p);
+    }
+    out
+}
+
+fn print_procedure(out: &mut String, p: &Procedure) {
+    let params: Vec<String> = p.params.iter().map(|s| s.to_string()).collect();
+    let _ = write!(out, "proc {}({})", p.name, params.join(", "));
+    if !p.locals.is_empty() {
+        let locals: Vec<String> = p.locals.iter().map(|s| s.to_string()).collect();
+        let _ = write!(out, " locals {}", locals.join(", "));
+    }
+    out.push_str(" {\n");
+    print_stmt_list(out, &p.body, 1);
+    out.push_str("}\n");
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+/// Prints a statement as the contents of a block, flattening `Seq` nesting.
+fn print_stmt_list(out: &mut String, stmt: &Stmt, depth: usize) {
+    match stmt {
+        Stmt::Seq(ss) => {
+            for s in ss {
+                print_stmt_list(out, s, depth);
+            }
+        }
+        s => print_stmt(out, s, depth),
+    }
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
+    match stmt {
+        Stmt::Seq(_) => print_stmt_list(out, stmt, depth),
+        Stmt::Skip => {
+            indent(out, depth);
+            out.push_str("skip;\n");
+        }
+        Stmt::Assign(v, e) => {
+            indent(out, depth);
+            let _ = writeln!(out, "{v} := {};", print_expr(e));
+        }
+        Stmt::Havoc(v) => {
+            indent(out, depth);
+            let _ = writeln!(out, "havoc {v};");
+        }
+        Stmt::Assume(c) => {
+            indent(out, depth);
+            let _ = writeln!(out, "assume({});", print_cond(c));
+        }
+        Stmt::Assert(c, label) => {
+            indent(out, depth);
+            let escaped = label
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n");
+            let _ = writeln!(out, "assert({}, \"{escaped}\");", print_cond(c));
+        }
+        Stmt::If(c, then, els) => {
+            indent(out, depth);
+            let _ = writeln!(out, "if ({}) {{", print_cond(c));
+            print_stmt_list(out, then, depth + 1);
+            indent(out, depth);
+            if **els == Stmt::Skip {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                print_stmt_list(out, els, depth + 1);
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::While(c, body) => {
+            indent(out, depth);
+            let _ = writeln!(out, "while ({}) {{", print_cond(c));
+            print_stmt_list(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Call { callee, args, ret } => {
+            indent(out, depth);
+            let rendered: Vec<String> = args.iter().map(print_expr).collect();
+            match ret {
+                Some(r) => {
+                    let _ = writeln!(out, "{r} := {callee}({});", rendered.join(", "));
+                }
+                None => {
+                    let _ = writeln!(out, "{callee}({});", rendered.join(", "));
+                }
+            }
+        }
+        Stmt::Return(e) => {
+            indent(out, depth);
+            match e {
+                Some(e) => {
+                    let _ = writeln!(out, "return {};", print_expr(e));
+                }
+                None => out.push_str("return;\n"),
+            }
+        }
+    }
+}
+
+/// Renders an expression with minimal parentheses.
+pub fn print_expr(e: &Expr) -> String {
+    print_expr_prec(e, 1)
+}
+
+/// Precedence levels: additive = 1, multiplicative = 2, atoms = 3.  The
+/// parser is left-associative, so right operands require strictly higher
+/// precedence to round-trip without parentheses.
+fn expr_prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Add(..) | Expr::Sub(..) => 1,
+        Expr::Mul(..) | Expr::DivConst(..) => 2,
+        Expr::Const(_) | Expr::Var(_) => 3,
+    }
+}
+
+fn print_expr_prec(e: &Expr, min_prec: u8) -> String {
+    let rendered = match e {
+        Expr::Const(v) => v.to_string(),
+        Expr::Var(s) => s.to_string(),
+        Expr::Add(a, b) => {
+            format!("{} + {}", print_expr_prec(a, 1), print_expr_prec(b, 2))
+        }
+        Expr::Sub(a, b) => {
+            format!("{} - {}", print_expr_prec(a, 1), print_expr_prec(b, 2))
+        }
+        Expr::Mul(a, b) => {
+            format!("{} * {}", print_expr_prec(a, 2), print_expr_prec(b, 3))
+        }
+        Expr::DivConst(a, c) => format!("{} / {c}", print_expr_prec(a, 2)),
+    };
+    if expr_prec(e) < min_prec {
+        format!("({rendered})")
+    } else {
+        rendered
+    }
+}
+
+/// Renders a condition with minimal parentheses.
+pub fn print_cond(c: &Cond) -> String {
+    print_cond_prec(c, 1)
+}
+
+/// Precedence levels: `||` = 1, `&&` = 2, atoms (`!`, comparisons,
+/// `nondet`) = 3.
+fn cond_prec(c: &Cond) -> u8 {
+    match c {
+        Cond::Or(..) => 1,
+        Cond::And(..) => 2,
+        Cond::Not(..) | Cond::Cmp(..) | Cond::Nondet => 3,
+    }
+}
+
+fn print_cond_prec(c: &Cond, min_prec: u8) -> String {
+    let rendered = match c {
+        Cond::Nondet => "nondet".to_string(),
+        Cond::Cmp(a, op, b) => {
+            let op = match op {
+                CmpOp::Eq => "==",
+                CmpOp::Ne => "!=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            format!("{} {op} {}", print_expr(a), print_expr(b))
+        }
+        Cond::Not(inner) => format!("!({})", print_cond(inner)),
+        Cond::And(a, b) => {
+            format!("{} && {}", print_cond_prec(a, 2), print_cond_prec(b, 3))
+        }
+        Cond::Or(a, b) => {
+            format!("{} || {}", print_cond_prec(a, 1), print_cond_prec(b, 2))
+        }
+    };
+    if cond_prec(c) < min_prec {
+        format!("({rendered})")
+    } else {
+        rendered
+    }
+}

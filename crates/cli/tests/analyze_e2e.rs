@@ -1,0 +1,82 @@
+//! End-to-end CLI tests: file in, analysis verdict out.
+
+use chora_cli::{analyze, bench, complexity_cmd, BenchOptions, FileOptions};
+use std::path::PathBuf;
+
+fn example(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/programs")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+fn file_opts(name: &str, json: bool) -> FileOptions {
+    FileOptions {
+        path: example(name),
+        json,
+        ..FileOptions::default()
+    }
+}
+
+#[test]
+fn complexity_hanoi_reports_exponential_in_json() {
+    let (output, exit) = complexity_cmd(&file_opts("hanoi.imp", true)).expect("analysis runs");
+    assert_eq!(exit, 0, "output: {output}");
+    assert!(
+        output.contains("\"class\": \"O(2^n)\""),
+        "expected the O(2^n) verdict in JSON output, got:\n{output}"
+    );
+    assert!(
+        output.contains("\"procedure\": \"hanoi\""),
+        "got:\n{output}"
+    );
+    assert!(output.contains("\"bound\": "), "got:\n{output}");
+}
+
+#[test]
+fn analyze_hanoi_emits_recursive_summary_json() {
+    let (output, exit) = analyze(&file_opts("hanoi.imp", true)).expect("analysis runs");
+    assert_eq!(exit, 0, "output: {output}");
+    assert!(output.contains("\"name\": \"hanoi\""), "got:\n{output}");
+    assert!(output.contains("\"recursive\": true"), "got:\n{output}");
+    assert!(output.contains("\"depth_bound\": "), "got:\n{output}");
+}
+
+#[test]
+fn complexity_merge_sort_reports_n_log_n() {
+    let (output, exit) =
+        complexity_cmd(&file_opts("merge-sort.imp", false)).expect("analysis runs");
+    assert_eq!(exit, 0, "output: {output}");
+    assert!(output.contains("O(n log n)"), "got:\n{output}");
+}
+
+#[test]
+fn analyze_height_proves_the_assertion() {
+    let (output, exit) = analyze(&file_opts("height.imp", true)).expect("analysis runs");
+    assert_eq!(exit, 0, "unverified assertions, output:\n{output}");
+    assert!(
+        output.contains("\"all_assertions_verified\": true"),
+        "got:\n{output}"
+    );
+}
+
+#[test]
+fn bench_filter_runs_single_benchmark() {
+    let (output, exit) = bench(&BenchOptions {
+        json: true,
+        filter: Some("hanoi".to_string()),
+    })
+    .expect("bench runs");
+    assert_eq!(exit, 0);
+    assert!(output.contains("\"name\": \"hanoi\""), "got:\n{output}");
+    assert!(output.contains("\"class\": \"O(2^n)\""), "got:\n{output}");
+    // The filter is case-sensitive: the recHanoi assertion benchmarks stay out.
+    assert!(!output.contains("recHanoi01"), "got:\n{output}");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let err = analyze(&file_opts("no-such-file.imp", false)).unwrap_err();
+    assert!(err.to_string().contains("cannot read"), "got: {err}");
+}

@@ -1,0 +1,145 @@
+//! Parser/pretty-printer round-trip tests.
+//!
+//! The contract: for any program `p` the parser produced,
+//! `parse(print(p)) == p` exactly; and for arbitrary IR programs (here: the
+//! whole built-in benchmark suite), one print→parse normalization step is a
+//! fixed point.
+
+use chora_cli::{parse_program, print_program};
+use chora_ir::Program;
+use std::path::PathBuf;
+
+fn examples_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/programs")
+}
+
+fn assert_roundtrips(program: &Program, context: &str) {
+    let printed = print_program(program);
+    let reparsed = parse_program(&printed)
+        .unwrap_or_else(|e| panic!("{context}: printed program does not reparse: {e}\n{printed}"));
+    assert_eq!(
+        &reparsed, program,
+        "{context}: parse(print(p)) != p\nprinted:\n{printed}"
+    );
+}
+
+#[test]
+fn example_files_round_trip() {
+    let dir = examples_dir();
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/programs exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("imp") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let program =
+            parse_program(&src).unwrap_or_else(|e| panic!("{}: parse error: {e}", path.display()));
+        assert_roundtrips(&program, &path.display().to_string());
+        checked += 1;
+    }
+    assert!(
+        checked >= 4,
+        "expected at least 4 example programs, found {checked}"
+    );
+}
+
+#[test]
+fn builtin_benchmark_suites_round_trip() {
+    for bench in chora_bench_suite::complexity_suite::all() {
+        // Arbitrary IR: one normalization step (Seq flattening, else-skip
+        // dropping) must reach the parser's canonical form…
+        let normalized = parse_program(&print_program(&bench.program))
+            .unwrap_or_else(|e| panic!("{}: printed program does not reparse: {e}", bench.name));
+        // …which then round-trips exactly.
+        assert_roundtrips(&normalized, bench.name);
+    }
+    for bench in chora_bench_suite::assertion_suite::all() {
+        let normalized = parse_program(&print_program(&bench.program))
+            .unwrap_or_else(|e| panic!("{}: printed program does not reparse: {e}", bench.name));
+        assert_roundtrips(&normalized, bench.name);
+    }
+}
+
+#[test]
+fn syntax_edge_cases_round_trip() {
+    let src = r#"
+global cost, depth;
+
+proc edge(a, b) locals t, r {
+    skip;
+    havoc t;
+    assume(a >= 0 && (b > 1 || nondet));
+    t := a * (b + 1) - 2 * a / 3;
+    t := -5 + a - -3;
+    t := a - (b - 1);
+    t := a * (b / 2);
+    if (!(a == b) && a != 0) {
+        r := edge(a - 1, b);
+    } else {
+        while (t < 10) {
+            t := t + 1;
+        }
+    }
+    assert(t >= 0, "edge label \"quoted\"");
+    return t;
+}
+
+proc caller() {
+    edge(1, 2);
+}
+"#;
+    let program = parse_program(src).expect("edge-case program parses");
+    assert_roundtrips(&program, "syntax edge cases");
+
+    // Left-associativity must survive: a - b - c == (a - b) - c.
+    let printed = print_program(&program);
+    assert!(
+        printed.contains("a * (b + 1) - 2 * a / 3"),
+        "precedence-preserving rendering expected, got:\n{printed}"
+    );
+}
+
+#[test]
+fn assert_labels_with_escapes_and_unicode_round_trip() {
+    let src = "proc f(n) { assert(n >= 0, \"line\\nbreak \\\"q\\\" café\"); }";
+    let program = parse_program(src).unwrap();
+    assert_roundtrips(&program, "escaped/unicode assert label");
+    let printed = print_program(&program);
+    assert!(printed.contains("caf\u{e9}"), "UTF-8 garbled:\n{printed}");
+    assert!(
+        printed.contains("\\n"),
+        "newline not re-escaped:\n{printed}"
+    );
+}
+
+#[test]
+fn locals_are_inferred_for_undeclared_assignments() {
+    let src = "proc f(n) { x := n + 1; return x; }";
+    let program = parse_program(src).unwrap();
+    let proc = program.procedure("f").unwrap();
+    assert_eq!(proc.locals.len(), 1);
+    assert_eq!(proc.locals[0].to_string(), "x");
+    assert_roundtrips(&program, "inferred locals");
+}
+
+#[test]
+fn parse_errors_carry_positions() {
+    let err = parse_program("proc f( { }").unwrap_err();
+    assert_eq!(err.line, 1);
+    assert!(err.message.contains("identifier"), "got: {}", err.message);
+
+    let err = parse_program("global x;\nproc f() {\n  y := ;\n}").unwrap_err();
+    assert_eq!(err.line, 3, "got: {err}");
+
+    // `=` instead of `:=` is the classic typo; the lexer explains it.
+    let err = parse_program("proc f() { x = 1; }").unwrap_err();
+    assert!(err.message.contains(":="), "got: {}", err.message);
+}
+
+#[test]
+fn division_requires_positive_constant() {
+    assert!(parse_program("proc f(n) { x := n / 0; }").is_err());
+    assert!(parse_program("proc f(n) { x := n / m; }").is_err());
+    assert!(parse_program("proc f(n) { x := n / 2; }").is_ok());
+}

@@ -130,7 +130,9 @@ impl Analyzer {
         for component in callgraph.components_bottom_up() {
             if !component.recursive {
                 for name in &component.members {
-                    let Some(proc) = program.procedure(name) else { continue };
+                    let Some(proc) = program.procedure(name) else {
+                        continue;
+                    };
                     let formula = summarizer.summarize_procedure(proc, &BTreeMap::new());
                     summarizer.summaries.insert(name.clone(), formula.clone());
                     result.summaries.insert(
@@ -148,14 +150,18 @@ impl Analyzer {
             }
             let height = analyze_scc(&summarizer, &component.members);
             for name in &component.members {
-                let Some(proc) = program.procedure(name) else { continue };
+                let Some(proc) = program.procedure(name) else {
+                    continue;
+                };
                 let depth = if self.config.enable_depth_bounds {
                     depth_bound(&summarizer, proc, &component.members)
                 } else {
                     None
                 };
                 let summary = self.assemble_recursive_summary(proc, &height, &depth);
-                summarizer.summaries.insert(name.clone(), summary.formula.clone());
+                summarizer
+                    .summaries
+                    .insert(name.clone(), summary.formula.clone());
                 result.summaries.insert(name.clone(), summary);
             }
         }
@@ -163,7 +169,14 @@ impl Analyzer {
         for proc in &program.procedures {
             let vars = summarizer.proc_vars(proc);
             let prefix = TransitionFormula::identity(&vars);
-            self.check_asserts_with(&summarizer, proc, &proc.body, &vars, prefix, &mut result.assertions);
+            self.check_asserts_with(
+                &summarizer,
+                proc,
+                &proc.body,
+                &vars,
+                prefix,
+                &mut result.assertions,
+            );
         }
         result
     }
@@ -179,8 +192,15 @@ impl Analyzer {
         let depth_term = depth.as_ref().map(|d| d.to_term());
         let mut facts = Vec::new();
         for (tau, closed_form, exact) in height.solved_terms(&proc.name) {
-            let bound = depth_term.as_ref().map(|dt| closed_form.to_term_with_param(dt));
-            facts.push(BoundFact { term: tau, closed_form, bound, exact });
+            let bound = depth_term
+                .as_ref()
+                .map(|dt| closed_form.to_term_with_param(dt));
+            facts.push(BoundFact {
+                term: tau,
+                closed_form,
+                bound,
+                exact,
+            });
         }
         // Polyhedral part: polynomial closed forms substituted with the depth
         // bound, guarded on the sign of the depth argument (see DESIGN.md).
@@ -276,11 +296,8 @@ impl Analyzer {
                 current
             }
             Stmt::If(c, then_branch, else_branch) => {
-                let guard_t = summarizer.summarize_stmt(
-                    &Stmt::Assume(c.clone()),
-                    vars,
-                    &BTreeMap::new(),
-                );
+                let guard_t =
+                    summarizer.summarize_stmt(&Stmt::Assume(c.clone()), vars, &BTreeMap::new());
                 let guard_f = summarizer.summarize_stmt(
                     &Stmt::Assume(c.clone().negate()),
                     vars,
@@ -313,14 +330,19 @@ impl Analyzer {
                     vars,
                     &BTreeMap::new(),
                 );
-                let one_iter = guard_t.fall_through.sequence(&body_summary.fall_through, vars);
+                let one_iter = guard_t
+                    .fall_through
+                    .sequence(&body_summary.fall_through, vars);
                 let iterations = summarizer.loop_summary(&one_iter, vars);
                 // Check assertions inside the body under the loop invariant
                 // approximation.
-                let in_loop =
-                    prefix.sequence(&iterations, vars).sequence(&guard_t.fall_through, vars);
+                let in_loop = prefix
+                    .sequence(&iterations, vars)
+                    .sequence(&guard_t.fall_through, vars);
                 let _ = self.check_asserts_with(summarizer, proc, body, vars, in_loop, out);
-                prefix.sequence(&iterations, vars).sequence(&guard_f.fall_through, vars)
+                prefix
+                    .sequence(&iterations, vars)
+                    .sequence(&guard_f.fall_through, vars)
             }
             Stmt::Return(_) => TransitionFormula::bottom(),
             other => {
@@ -352,7 +374,9 @@ pub fn upper_bound_on_post(summary: &ProcedureSummary, var: &Symbol) -> Option<T
     for fact in &summary.bound_facts {
         let Some(bound) = &fact.bound else { continue };
         // τ must be of the form  var' + rest  with `rest` over pre-state vars.
-        let coeff = fact.term.coefficient(&chora_expr::Monomial::var(primed.clone()));
+        let coeff = fact
+            .term
+            .coefficient(&chora_expr::Monomial::var(primed.clone()));
         if !coeff.is_one() {
             continue;
         }
@@ -379,7 +403,9 @@ pub fn upper_bound_on_post(summary: &ProcedureSummary, var: &Symbol) -> Option<T
         .collect();
     keep.insert(primed.clone());
     let hull = summary.formula.abstract_hull(&keep);
-    hull.upper_bounds_on(&primed).first().map(polynomial_to_term)
+    hull.upper_bounds_on(&primed)
+        .first()
+        .map(polynomial_to_term)
 }
 
 /// A small helper trait to pick the "smaller-looking" of two bound terms

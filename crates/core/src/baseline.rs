@@ -26,7 +26,9 @@ pub struct BaselineAnalyzer {
 
 impl Default for BaselineAnalyzer {
     fn default() -> Self {
-        BaselineAnalyzer { max_kleene_iterations: 3 }
+        BaselineAnalyzer {
+            max_kleene_iterations: 3,
+        }
     }
 }
 
@@ -44,7 +46,9 @@ impl BaselineAnalyzer {
         for component in callgraph.components_bottom_up() {
             if !component.recursive {
                 for name in &component.members {
-                    let Some(proc) = program.procedure(name) else { continue };
+                    let Some(proc) = program.procedure(name) else {
+                        continue;
+                    };
                     let formula = summarizer.summarize_procedure(proc, &BTreeMap::new());
                     summarizer.summaries.insert(name.clone(), formula.clone());
                     result.summaries.insert(
@@ -70,7 +74,9 @@ impl BaselineAnalyzer {
             for _ in 0..self.max_kleene_iterations {
                 let mut next = BTreeMap::new();
                 for name in &component.members {
-                    let Some(proc) = program.procedure(name) else { continue };
+                    let Some(proc) = program.procedure(name) else {
+                        continue;
+                    };
                     next.insert(name.clone(), summarizer.summarize_procedure(proc, &current));
                 }
                 if component
@@ -112,7 +118,14 @@ impl BaselineAnalyzer {
         for proc in &program.procedures {
             let vars = summarizer.proc_vars(proc);
             let prefix = TransitionFormula::identity(&vars);
-            analyzer.check_asserts_with(&summarizer, proc, &proc.body, &vars, prefix, &mut assertions);
+            analyzer.check_asserts_with(
+                &summarizer,
+                proc,
+                &proc.body,
+                &vars,
+                prefix,
+                &mut assertions,
+            );
         }
         result.assertions = assertions;
         result
@@ -123,7 +136,9 @@ impl BaselineAnalyzer {
 /// convergence test (mutual subsumption of the disjunct lists).
 fn formulas_equivalent(a: &TransitionFormula, b: &TransitionFormula) -> bool {
     let sub = |x: &TransitionFormula, y: &TransitionFormula| {
-        x.disjuncts().iter().all(|dx| y.disjuncts().iter().any(|dy| dx.is_subset_of(dy)))
+        x.disjuncts()
+            .iter()
+            .all(|dx| y.disjuncts().iter().any(|dy| dx.is_subset_of(dy)))
     };
     sub(a, b) && sub(b, a)
 }
@@ -154,9 +169,11 @@ mod tests {
         ));
         let result = BaselineAnalyzer::new().analyze(&prog);
         let summary = result.summary("hanoi").unwrap();
-        let bound =
-            crate::complexity::cost_bound(summary, &chora_expr::Symbol::new("cost"));
-        assert!(bound.is_none(), "the Kleene baseline should not find a cost bound");
+        let bound = crate::complexity::cost_bound(summary, &chora_expr::Symbol::new("cost"));
+        assert!(
+            bound.is_none(),
+            "the Kleene baseline should not find a cost bound"
+        );
     }
 
     #[test]

@@ -223,7 +223,10 @@ mod tests {
     fn classify_standard_shapes() {
         let nv = Term::var(n());
         assert_eq!(classify(&Term::int(5), &n()), ComplexityClass::Constant);
-        assert_eq!(classify(&Term::log2(nv.clone()), &n()), ComplexityClass::Logarithmic);
+        assert_eq!(
+            classify(&Term::log2(nv.clone()), &n()),
+            ComplexityClass::Logarithmic
+        );
         assert_eq!(classify(&nv, &n()), ComplexityClass::Linear);
         assert_eq!(
             classify(&Term::mul(vec![nv.clone(), Term::log2(nv.clone())]), &n()),

@@ -46,9 +46,10 @@ impl DepthBound {
     pub fn raw_term(&self) -> Term {
         match self {
             DepthBound::Linear(t) => t.clone(),
-            DepthBound::Logarithmic(t) => {
-                Term::add(vec![Term::log2(Term::max(vec![Term::one(), t.clone()])), Term::int(2)])
-            }
+            DepthBound::Logarithmic(t) => Term::add(vec![
+                Term::log2(Term::max(vec![Term::one(), t.clone()])),
+                Term::int(2),
+            ]),
         }
     }
 
@@ -91,7 +92,13 @@ pub fn depth_bound(
         }
     }
     let prime = |poly: &Polynomial| {
-        poly.rename(&mut |s| if params.contains(s) { s.primed() } else { s.clone() })
+        poly.rename(&mut |s| {
+            if params.contains(s) {
+                s.primed()
+            } else {
+                s.clone()
+            }
+        })
     };
     // Division-by-constant descent first (tighter bound).
     for r in &candidates {
@@ -105,8 +112,7 @@ pub fn depth_bound(
     // Decrement-by-constant descent.
     for r in &candidates {
         let r_post = prime(r);
-        let decreases =
-            hull.implies_atom(&Atom::le(r_post, r - &Polynomial::one()));
+        let decreases = hull.implies_atom(&Atom::le(r_post, r - &Polynomial::one()));
         if !decreases {
             continue;
         }
@@ -205,8 +211,15 @@ fn collect_descents(
         Stmt::Seq(stmts) => {
             let mut current = prefix;
             for s in stmts {
-                current =
-                    collect_descents(summarizer, s, vars, members, skip_override, current, reached);
+                current = collect_descents(
+                    summarizer,
+                    s,
+                    vars,
+                    members,
+                    skip_override,
+                    current,
+                    reached,
+                );
             }
             current
         }
@@ -270,7 +283,11 @@ fn assume_all(
     vars: &[Symbol],
     negated: bool,
 ) -> TransitionFormula {
-    let disjuncts = if negated { lower_cond_negated(c) } else { lower_cond(c) };
+    let disjuncts = if negated {
+        lower_cond_negated(c)
+    } else {
+        lower_cond(c)
+    };
     let mut out = TransitionFormula::bottom();
     for conj in disjuncts {
         out = out.union(&TransitionFormula::assume(conj, vars));
@@ -317,8 +334,14 @@ mod tests {
                 Stmt::if_then(
                     Cond::lt(Expr::var("i"), Expr::var("n")),
                     Stmt::seq(vec![
-                        Stmt::call("aux", vec![Expr::var("i").add(Expr::int(1)), Expr::var("n")]),
-                        Stmt::call("aux", vec![Expr::var("i").add(Expr::int(1)), Expr::var("n")]),
+                        Stmt::call(
+                            "aux",
+                            vec![Expr::var("i").add(Expr::int(1)), Expr::var("n")],
+                        ),
+                        Stmt::call(
+                            "aux",
+                            vec![Expr::var("i").add(Expr::int(1)), Expr::var("n")],
+                        ),
                     ]),
                 ),
             ]),
@@ -330,7 +353,10 @@ mod tests {
             DepthBound::Linear(t) => {
                 // H ≤ (n - i) + 1
                 let rendered = t.to_string();
-                assert!(rendered.contains('n') && rendered.contains('i'), "bound {rendered}");
+                assert!(
+                    rendered.contains('n') && rendered.contains('i'),
+                    "bound {rendered}"
+                );
             }
             other => panic!("expected linear bound, got {other:?}"),
         }
@@ -358,7 +384,10 @@ mod tests {
         let s = summarizer_for(&prog);
         let proc = prog.procedure("msort").unwrap();
         let bound = depth_bound(&s, proc, &["msort".to_string()]).expect("depth bound");
-        assert!(bound.is_logarithmic(), "expected logarithmic bound, got {bound:?}");
+        assert!(
+            bound.is_logarithmic(),
+            "expected logarithmic bound, got {bound:?}"
+        );
     }
 
     #[test]
@@ -391,8 +420,16 @@ mod tests {
                         vec![Expr::var("m").sub(Expr::int(1)), Expr::int(1)],
                     )]),
                     Stmt::seq(vec![
-                        Stmt::call_assign("t", "ack", vec![Expr::var("m"), Expr::var("n").sub(Expr::int(1))]),
-                        Stmt::call_assign("t", "ack", vec![Expr::var("m").sub(Expr::int(1)), Expr::var("t")]),
+                        Stmt::call_assign(
+                            "t",
+                            "ack",
+                            vec![Expr::var("m"), Expr::var("n").sub(Expr::int(1))],
+                        ),
+                        Stmt::call_assign(
+                            "t",
+                            "ack",
+                            vec![Expr::var("m").sub(Expr::int(1)), Expr::var("t")],
+                        ),
                     ]),
                 ),
             ),

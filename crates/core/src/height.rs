@@ -48,13 +48,18 @@ impl HeightAnalysis {
 /// strongly connected component `members`.
 pub fn analyze_scc(summarizer: &Summarizer<'_>, members: &[String]) -> HeightAnalysis {
     let program = summarizer.program();
-    let procs: Vec<&Procedure> = members.iter().filter_map(|m| program.procedure(m)).collect();
+    let procs: Vec<&Procedure> = members
+        .iter()
+        .filter_map(|m| program.procedure(m))
+        .collect();
     if procs.is_empty() {
         return HeightAnalysis::default();
     }
     // Step 1 (Alg. 2 lines 1-6): base-case summaries and candidate terms.
-    let bottom_override: BTreeMap<String, TransitionFormula> =
-        members.iter().map(|m| (m.clone(), TransitionFormula::bottom())).collect();
+    let bottom_override: BTreeMap<String, TransitionFormula> = members
+        .iter()
+        .map(|m| (m.clone(), TransitionFormula::bottom()))
+        .collect();
     let mut analysis = HeightAnalysis::default();
     let mut next_index = 1usize;
     for proc in &procs {
@@ -92,9 +97,10 @@ pub fn analyze_scc(summarizer: &Summarizer<'_>, members: &[String]) -> HeightAna
             atoms.push(Atom::le(tau.clone(), b.clone()));
             atoms.push(Atom::ge(b, Polynomial::zero()));
         }
-        analysis
-            .hypothetical
-            .insert(proc.name.clone(), TransitionFormula::from_polyhedron(Polyhedron::from_atoms(atoms)));
+        analysis.hypothetical.insert(
+            proc.name.clone(),
+            TransitionFormula::from_polyhedron(Polyhedron::from_atoms(atoms)),
+        );
     }
     // Steps 3-5 (Alg. 2 lines 8-14): extract candidate recurrence inequations.
     let call_override: BTreeMap<String, TransitionFormula> = analysis.hypothetical.clone();
@@ -119,7 +125,10 @@ pub fn analyze_scc(summarizer: &Summarizer<'_>, members: &[String]) -> HeightAna
         // disjunct would not entail the recurrence inequations.
         let mut ext_atoms = Vec::new();
         for (k, tau) in &analysis.terms[&proc.name] {
-            ext_atoms.push(Atom::eq(Polynomial::var(Symbol::bound_at_h1(*k)), tau.clone()));
+            ext_atoms.push(Atom::eq(
+                Polynomial::var(Symbol::bound_at_h1(*k)),
+                tau.clone(),
+            ));
         }
         for b in &all_bound_syms {
             ext_atoms.push(Atom::ge(Polynomial::var(b.clone()), Polynomial::zero()));
@@ -210,7 +219,12 @@ pub fn stratify(candidates: Vec<(usize, Polynomial)>) -> Vec<(usize, Polynomial)
                 }
             }
         }
-        cands.push(Cand { index: k, rhs: clamped, uses, uses_nonlinear });
+        cands.push(Cand {
+            index: k,
+            rhs: clamped,
+            uses,
+            uses_nonlinear,
+        });
     }
     // Prefer tighter candidates when several define the same bound: Alg. 3
     // chooses arbitrarily, we order by (degree, coefficient mass) so the
@@ -242,7 +256,10 @@ pub fn stratify(candidates: Vec<(usize, Polynomial)>) -> Vec<(usize, Polynomial)
                     .all(|j| defines_in_v.contains(j) || accepted_defines.contains(j));
                 // ... and every non-linearly used bound must already be in A
                 // (a strictly lower stratum).
-                let nonlinear_ok = c.uses_nonlinear.iter().all(|j| accepted_defines.contains(j));
+                let nonlinear_ok = c
+                    .uses_nonlinear
+                    .iter()
+                    .all(|j| accepted_defines.contains(j));
                 uses_ok && nonlinear_ok
             });
             if v.len() == before {
@@ -263,7 +280,10 @@ pub fn stratify(candidates: Vec<(usize, Polynomial)>) -> Vec<(usize, Polynomial)
         accepted.extend(v);
     }
     accepted.sort_unstable();
-    accepted.into_iter().map(|i| (cands[i].index, cands[i].rhs.clone())).collect()
+    accepted
+        .into_iter()
+        .map(|i| (cands[i].index, cands[i].rhs.clone()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -311,7 +331,10 @@ mod tests {
     #[test]
     fn stratify_nonlinear_needs_lower_stratum() {
         // b2 uses b1 non-linearly; fine because b1 is defined without using b2.
-        let cands = vec![(1, &b(1).scale(&rat(2)) + &c(1)), (2, &(&b(1) * &b(1)) + &b(2))];
+        let cands = vec![
+            (1, &b(1).scale(&rat(2)) + &c(1)),
+            (2, &(&b(1) * &b(1)) + &b(2)),
+        ];
         let selected = stratify(cands);
         assert_eq!(selected.len(), 2);
         // A self non-linear use is rejected.
@@ -347,9 +370,14 @@ mod tests {
         let facts = result.solved_terms("hanoi");
         assert!(!facts.is_empty(), "no solved terms");
         let cost_fact = facts.iter().find(|(tau, _, _)| {
-            tau.symbols().contains(&Symbol::new("cost'")) && tau.symbols().contains(&Symbol::new("cost"))
+            tau.symbols().contains(&Symbol::new("cost'"))
+                && tau.symbols().contains(&Symbol::new("cost"))
         });
         let (_, cf, _) = cost_fact.expect("cost difference term solved");
-        assert_eq!(cf.dominant_base_abs(), Some(rat(2)), "closed form {cf} should be exponential base 2");
+        assert_eq!(
+            cf.dominant_base_abs(),
+            Some(rat(2)),
+            "closed form {cf} should be exponential base 2"
+        );
     }
 }

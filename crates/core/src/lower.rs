@@ -47,7 +47,11 @@ pub fn lower_expr(e: &Expr) -> LoweredExpr {
             constraints.extend(lb.constraints);
             let mut fresh = la.fresh;
             fresh.extend(lb.fresh);
-            LoweredExpr { value, constraints, fresh }
+            LoweredExpr {
+                value,
+                constraints,
+                fresh,
+            }
         }
         Expr::DivConst(a, c) => {
             let la = lower_expr(a);
@@ -62,7 +66,11 @@ pub fn lower_expr(e: &Expr) -> LoweredExpr {
             ));
             let mut fresh = la.fresh;
             fresh.push(q.clone());
-            LoweredExpr { value: Polynomial::var(q), constraints, fresh }
+            LoweredExpr {
+                value: Polynomial::var(q),
+                constraints,
+                fresh,
+            }
         }
     }
 }

@@ -43,7 +43,10 @@ pub struct Summarizer<'a> {
 impl<'a> Summarizer<'a> {
     /// Creates a summarizer for a program.
     pub fn new(program: &'a Program) -> Summarizer<'a> {
-        Summarizer { program, summaries: BTreeMap::new() }
+        Summarizer {
+            program,
+            summaries: BTreeMap::new(),
+        }
     }
 
     /// The program being analysed.
@@ -135,12 +138,14 @@ impl<'a> Summarizer<'a> {
             },
             Stmt::Assign(v, e) => {
                 let lowered = lower_expr(e);
-                let mut atoms =
-                    vec![Atom::eq(Polynomial::var(v.primed()), lowered.value.clone())];
+                let mut atoms = vec![Atom::eq(Polynomial::var(v.primed()), lowered.value.clone())];
                 atoms.extend(lowered.constraints.clone());
                 for w in vars {
                     if w != v {
-                        atoms.push(Atom::eq(Polynomial::var(w.primed()), Polynomial::var(w.clone())));
+                        atoms.push(Atom::eq(
+                            Polynomial::var(w.primed()),
+                            Polynomial::var(w.clone()),
+                        ));
                     }
                 }
                 let mut tf = TransitionFormula::from_polyhedron(Polyhedron::from_atoms(atoms));
@@ -148,7 +153,10 @@ impl<'a> Summarizer<'a> {
                     let drop: BTreeSet<Symbol> = lowered.fresh.into_iter().collect();
                     tf = tf.eliminate(&drop);
                 }
-                StmtSummary { fall_through: tf, returned: TransitionFormula::bottom() }
+                StmtSummary {
+                    fall_through: tf,
+                    returned: TransitionFormula::bottom(),
+                }
             }
             Stmt::Havoc(v) => StmtSummary {
                 fall_through: TransitionFormula::havoc(std::slice::from_ref(v), vars),
@@ -169,7 +177,10 @@ impl<'a> Summarizer<'a> {
                         break;
                     }
                 }
-                StmtSummary { fall_through: fall, returned }
+                StmtSummary {
+                    fall_through: fall,
+                    returned,
+                }
             }
             Stmt::If(c, then_branch, else_branch) => {
                 let then_sum = self.summarize_stmt(then_branch, vars, scc_override);
@@ -210,7 +221,10 @@ impl<'a> Summarizer<'a> {
                         sub.fall_through
                     }
                 };
-                StmtSummary { fall_through: TransitionFormula::bottom(), returned: assign }
+                StmtSummary {
+                    fall_through: TransitionFormula::bottom(),
+                    returned: assign,
+                }
             }
             Stmt::Call { callee, args, ret } => {
                 let callee_summary = match scc_override.get(callee) {
@@ -221,7 +235,10 @@ impl<'a> Summarizer<'a> {
                     },
                 };
                 let tf = self.apply_call(&callee_summary, callee, args, ret.as_ref(), vars);
-                StmtSummary { fall_through: tf, returned: TransitionFormula::bottom() }
+                StmtSummary {
+                    fall_through: tf,
+                    returned: TransitionFormula::bottom(),
+                }
             }
         }
     }
@@ -263,8 +280,10 @@ impl<'a> Summarizer<'a> {
             .map(|p| p.params.clone())
             .unwrap_or_default();
         // Fresh names for formals and for the callee's return value.
-        let arg_syms: Vec<Symbol> =
-            formals.iter().map(|f| Symbol::fresh(&format!("arg_{}", f.as_str()))).collect();
+        let arg_syms: Vec<Symbol> = formals
+            .iter()
+            .map(|f| Symbol::fresh(&format!("arg_{}", f.as_str())))
+            .collect();
         let rv = Symbol::fresh("rv");
         let renamed = callee_summary.rename(&mut |s| {
             if let Some(pos) = formals.iter().position(|f| f == s) {
@@ -284,18 +303,27 @@ impl<'a> Summarizer<'a> {
                 break;
             }
             let lowered = lower_expr(a);
-            atoms.push(Atom::eq(Polynomial::var(arg_syms[i].clone()), lowered.value.clone()));
+            atoms.push(Atom::eq(
+                Polynomial::var(arg_syms[i].clone()),
+                lowered.value.clone(),
+            ));
             atoms.extend(lowered.constraints);
             fresh.extend(lowered.fresh);
         }
         if let Some(r) = ret {
-            atoms.push(Atom::eq(Polynomial::var(r.primed()), Polynomial::var(rv.clone())));
+            atoms.push(Atom::eq(
+                Polynomial::var(r.primed()),
+                Polynomial::var(rv.clone()),
+            ));
         }
         let globals: BTreeSet<Symbol> = self.program.globals.iter().cloned().collect();
         for v in vars {
             let is_written = globals.contains(v) || Some(v) == ret;
             if !is_written {
-                atoms.push(Atom::eq(Polynomial::var(v.primed()), Polynomial::var(v.clone())));
+                atoms.push(Atom::eq(
+                    Polynomial::var(v.primed()),
+                    Polynomial::var(v.clone()),
+                ));
             }
         }
         let bindings = Polyhedron::from_atoms(atoms);
@@ -377,7 +405,10 @@ impl<'a> Summarizer<'a> {
                         atoms.push(Atom::le(vp.clone(), &v0 + &(&delta * &kp)));
                         if let Some(bound) = &k_bound {
                             if hull.implies_atom(&Atom::ge(delta.clone(), Polynomial::zero()))
-                                || delta.as_constant().map(|c| !c.is_negative()).unwrap_or(false)
+                                || delta
+                                    .as_constant()
+                                    .map(|c| !c.is_negative())
+                                    .unwrap_or(false)
                             {
                                 // e ≥ 0 and k ≤ bound  ⇒  v' ≤ v + e·bound.
                                 atoms.push(Atom::le(vp.clone(), &v0 + &(&delta * bound)));
@@ -413,7 +444,10 @@ impl<'a> Summarizer<'a> {
             disjunct_atom_sets = expanded;
         }
         let closure = TransitionFormula::from_disjuncts(
-            disjunct_atom_sets.into_iter().map(Polyhedron::from_atoms).collect(),
+            disjunct_atom_sets
+                .into_iter()
+                .map(Polyhedron::from_atoms)
+                .collect(),
         );
         let drop: BTreeSet<Symbol> = [k].into_iter().collect();
         let closure = closure.eliminate(&drop);
@@ -447,9 +481,14 @@ impl<'a> Summarizer<'a> {
             }
         }
         for r in candidates {
-            let r_post = r.rename(&mut |s| if vars.contains(s) { s.primed() } else { s.clone() });
-            let decreases =
-                hull.implies_atom(&Atom::le(r_post.clone(), &r - &Polynomial::one()));
+            let r_post = r.rename(&mut |s| {
+                if vars.contains(s) {
+                    s.primed()
+                } else {
+                    s.clone()
+                }
+            });
+            let decreases = hull.implies_atom(&Atom::le(r_post.clone(), &r - &Polynomial::one()));
             if !decreases {
                 continue;
             }
@@ -588,14 +627,18 @@ mod tests {
         let mut summarizer = Summarizer::new(&prog);
         let callee_summary =
             summarizer.summarize_procedure(prog.procedure("callee").unwrap(), &BTreeMap::new());
-        summarizer.summaries.insert("callee".to_string(), callee_summary);
+        summarizer
+            .summaries
+            .insert("callee".to_string(), callee_summary);
         let caller_summary =
             summarizer.summarize_procedure(prog.procedure("caller").unwrap(), &BTreeMap::new());
         // ret' = 2n + 6, g' = g + n + 3
-        assert!(caller_summary
-            .implies_atom(&Atom::eq(pvar("ret'"), &pvar("n").scale(&rat(2)) + &c(6))));
-        assert!(caller_summary
-            .implies_atom(&Atom::eq(pvar("g'"), &(&pvar("g") + &pvar("n")) + &c(3))));
+        assert!(
+            caller_summary.implies_atom(&Atom::eq(pvar("ret'"), &pvar("n").scale(&rat(2)) + &c(6)))
+        );
+        assert!(
+            caller_summary.implies_atom(&Atom::eq(pvar("g'"), &(&pvar("g") + &pvar("n")) + &c(3)))
+        );
     }
 
     #[test]
@@ -636,7 +679,10 @@ mod tests {
             &["x"],
             &[],
             Stmt::seq(vec![
-                Stmt::if_then(Cond::le(Expr::var("x"), Expr::int(0)), Stmt::Return(Some(Expr::int(0)))),
+                Stmt::if_then(
+                    Cond::le(Expr::var("x"), Expr::int(0)),
+                    Stmt::Return(Some(Expr::int(0))),
+                ),
                 Stmt::Return(Some(Expr::int(1))),
             ]),
         ));

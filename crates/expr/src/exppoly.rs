@@ -43,7 +43,10 @@ pub struct ExpPoly {
 impl ExpPoly {
     /// The zero function.
     pub fn zero(param: &Symbol) -> ExpPoly {
-        ExpPoly { param: param.clone(), terms: BTreeMap::new() }
+        ExpPoly {
+            param: param.clone(),
+            terms: BTreeMap::new(),
+        }
     }
 
     /// A constant function.
@@ -58,13 +61,19 @@ impl ExpPoly {
     /// Panics if `p` mentions a symbol other than `param`.
     pub fn from_poly(p: Polynomial, param: &Symbol) -> ExpPoly {
         for s in p.symbols() {
-            assert_eq!(&s, param, "ExpPoly polynomial part mentions foreign symbol {s}");
+            assert_eq!(
+                &s, param,
+                "ExpPoly polynomial part mentions foreign symbol {s}"
+            );
         }
         let mut terms = BTreeMap::new();
         if !p.is_zero() {
             terms.insert(BigRational::one(), p);
         }
-        ExpPoly { param: param.clone(), terms }
+        ExpPoly {
+            param: param.clone(),
+            terms,
+        }
     }
 
     /// The function `base^param`.
@@ -88,13 +97,19 @@ impl ExpPoly {
     pub fn exp_poly_term(base: BigRational, p: Polynomial, param: &Symbol) -> ExpPoly {
         assert!(!base.is_zero(), "ExpPoly base must be non-zero");
         for s in p.symbols() {
-            assert_eq!(&s, param, "ExpPoly polynomial part mentions foreign symbol {s}");
+            assert_eq!(
+                &s, param,
+                "ExpPoly polynomial part mentions foreign symbol {s}"
+            );
         }
         let mut terms = BTreeMap::new();
         if !p.is_zero() {
             terms.insert(base, p);
         }
-        ExpPoly { param: param.clone(), terms }
+        ExpPoly {
+            param: param.clone(),
+            terms,
+        }
     }
 
     /// The identity function `param`.
@@ -150,7 +165,10 @@ impl ExpPoly {
         if p.is_zero() {
             return;
         }
-        let entry = self.terms.entry(base.clone()).or_insert_with(Polynomial::zero);
+        let entry = self
+            .terms
+            .entry(base.clone())
+            .or_insert_with(Polynomial::zero);
         *entry = &*entry + &p;
         if entry.is_zero() {
             self.terms.remove(&base);
@@ -178,7 +196,11 @@ impl ExpPoly {
         }
         ExpPoly {
             param: self.param.clone(),
-            terms: self.terms.iter().map(|(b, p)| (b.clone(), p.scale(c))).collect(),
+            terms: self
+                .terms
+                .iter()
+                .map(|(b, p)| (b.clone(), p.scale(c)))
+                .collect(),
         }
     }
 
@@ -247,9 +269,7 @@ impl ExpPoly {
     pub fn upper_envelope(&self) -> ExpPoly {
         let mut out = ExpPoly::zero(&self.param);
         for (base, poly) in &self.terms {
-            let abs_poly = Polynomial::from_terms(
-                poly.terms().map(|(m, c)| (c.abs(), m.clone())),
-            );
+            let abs_poly = Polynomial::from_terms(poly.terms().map(|(m, c)| (c.abs(), m.clone())));
             out.add_term(base.abs(), abs_poly);
         }
         out
@@ -267,7 +287,9 @@ impl ExpPoly {
     /// (sufficient syntactic check: all coefficients of all polynomial parts
     /// are non-negative).
     pub fn is_syntactically_monotone(&self) -> bool {
-        self.terms.values().all(|p| p.terms().all(|(_, c)| !c.is_negative()))
+        self.terms
+            .values()
+            .all(|p| p.terms().all(|(_, c)| !c.is_negative()))
     }
 
     /// Renders the closed form as a [`Term`] with the parameter replaced by
@@ -300,7 +322,11 @@ fn poly_to_term(p: &Polynomial, param: &Symbol, param_term: &Term) -> Term {
     for (m, c) in p.terms() {
         let mut factors = vec![Term::constant(c.clone())];
         for (s, e) in m.powers() {
-            let base = if s == param { param_term.clone() } else { Term::var(s.clone()) };
+            let base = if s == param {
+                param_term.clone()
+            } else {
+                Term::var(s.clone())
+            };
             for _ in 0..e {
                 factors.push(base.clone());
             }
@@ -445,8 +471,7 @@ mod tests {
     #[test]
     fn negative_bases_and_envelope() {
         // f(h) = 6^h - (-6)^h : 0, 12, 0, 432, ...
-        let f = ExpPoly::exponential(rat(6), &h())
-            .add(&ExpPoly::exponential(rat(-6), &h()).neg());
+        let f = ExpPoly::exponential(rat(6), &h()).add(&ExpPoly::exponential(rat(-6), &h()).neg());
         assert_eq!(f.eval_int(1), rat(12));
         assert_eq!(f.eval_int(2), rat(0));
         assert_eq!(f.eval_int(3), rat(432));

@@ -35,14 +35,20 @@ impl LinearExpr {
 
     /// A constant expression.
     pub fn constant(c: BigRational) -> LinearExpr {
-        LinearExpr { coeffs: BTreeMap::new(), constant: c }
+        LinearExpr {
+            coeffs: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     /// The expression consisting of a single symbol.
     pub fn var(s: Symbol) -> LinearExpr {
         let mut coeffs = BTreeMap::new();
         coeffs.insert(s, BigRational::one());
-        LinearExpr { coeffs, constant: BigRational::zero() }
+        LinearExpr {
+            coeffs,
+            constant: BigRational::zero(),
+        }
     }
 
     /// Builds an expression from coefficient pairs plus a constant.
@@ -74,7 +80,10 @@ impl LinearExpr {
 
     /// Coefficient of a symbol (zero if absent).
     pub fn coefficient(&self, s: &Symbol) -> BigRational {
-        self.coeffs.get(s).cloned().unwrap_or_else(BigRational::zero)
+        self.coeffs
+            .get(s)
+            .cloned()
+            .unwrap_or_else(BigRational::zero)
     }
 
     /// Iterator over `(symbol, coefficient)` pairs with non-zero coefficient.
@@ -97,7 +106,10 @@ impl LinearExpr {
         if c.is_zero() {
             return;
         }
-        let entry = self.coeffs.entry(s.clone()).or_insert_with(BigRational::zero);
+        let entry = self
+            .coeffs
+            .entry(s.clone())
+            .or_insert_with(BigRational::zero);
         *entry += &c;
         if entry.is_zero() {
             self.coeffs.remove(&s);
@@ -115,7 +127,11 @@ impl LinearExpr {
             return LinearExpr::zero();
         }
         LinearExpr {
-            coeffs: self.coeffs.iter().map(|(s, k)| (s.clone(), k * c)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|(s, k)| (s.clone(), k * c))
+                .collect(),
             constant: &self.constant * c,
         }
     }
@@ -228,7 +244,11 @@ impl fmt::Display for LinearExpr {
         }
         let mut first = true;
         for (s, c) in &self.coeffs {
-            let (sign, mag) = if c.is_negative() { ("-", c.abs()) } else { ("+", c.clone()) };
+            let (sign, mag) = if c.is_negative() {
+                ("-", c.abs())
+            } else {
+                ("+", c.clone())
+            };
             if first {
                 if sign == "-" {
                     write!(f, "-")?;
@@ -244,8 +264,11 @@ impl fmt::Display for LinearExpr {
             }
         }
         if !self.constant.is_zero() || first {
-            let (sign, mag) =
-                if self.constant.is_negative() { ("-", self.constant.abs()) } else { ("+", self.constant.clone()) };
+            let (sign, mag) = if self.constant.is_negative() {
+                ("-", self.constant.abs())
+            } else {
+                ("+", self.constant.clone())
+            };
             if first {
                 if sign == "-" {
                     write!(f, "-")?;

@@ -128,7 +128,9 @@ pub struct Polynomial {
 impl Polynomial {
     /// The zero polynomial.
     pub fn zero() -> Polynomial {
-        Polynomial { terms: BTreeMap::new() }
+        Polynomial {
+            terms: BTreeMap::new(),
+        }
     }
 
     /// The constant polynomial `1`.
@@ -191,7 +193,10 @@ impl Polynomial {
 
     /// The coefficient of the unit monomial.
     pub fn constant_term(&self) -> BigRational {
-        self.terms.get(&Monomial::one()).cloned().unwrap_or_else(BigRational::zero)
+        self.terms
+            .get(&Monomial::one())
+            .cloned()
+            .unwrap_or_else(BigRational::zero)
     }
 
     /// The coefficient of an arbitrary monomial.
@@ -258,7 +263,10 @@ impl Polynomial {
         if c.is_zero() {
             return;
         }
-        let entry = self.terms.entry(m.clone()).or_insert_with(BigRational::zero);
+        let entry = self
+            .terms
+            .entry(m.clone())
+            .or_insert_with(BigRational::zero);
         *entry += c;
         if entry.is_zero() {
             self.terms.remove(m);
@@ -270,7 +278,9 @@ impl Polynomial {
         if c.is_zero() {
             return Polynomial::zero();
         }
-        Polynomial { terms: self.terms.iter().map(|(m, k)| (m.clone(), k * c)).collect() }
+        Polynomial {
+            terms: self.terms.iter().map(|(m, k)| (m.clone(), k * c)).collect(),
+        }
     }
 
     /// Raises the polynomial to a non-negative integer power.
@@ -291,8 +301,11 @@ impl Polynomial {
                 out.add_term(c, m);
                 continue;
             }
-            let rest =
-                Monomial::from_powers(m.powers().filter(|(sym, _)| *sym != s).map(|(sym, k)| (sym.clone(), k)));
+            let rest = Monomial::from_powers(
+                m.powers()
+                    .filter(|(sym, _)| *sym != s)
+                    .map(|(sym, k)| (sym.clone(), k)),
+            );
             let expanded = replacement.pow(e);
             for (m2, c2) in &expanded.terms {
                 out.add_term(&(c * c2), &rest.mul(m2));
@@ -338,7 +351,8 @@ impl Polynomial {
         for sym in self.symbols() {
             assert_eq!(&sym, s, "eval_univariate: unexpected symbol {sym}");
         }
-        self.eval(&assignment).expect("assignment covers the only symbol")
+        self.eval(&assignment)
+            .expect("assignment covers the only symbol")
     }
 
     /// Clears denominators: returns `(k, p)` with `k > 0` integer such that
@@ -433,7 +447,11 @@ impl fmt::Display for Polynomial {
         terms.sort_by(|a, b| b.0.degree().cmp(&a.0.degree()).then_with(|| a.0.cmp(b.0)));
         let mut first = true;
         for (m, c) in terms {
-            let (sign, mag) = if c.is_negative() { ("-", c.abs()) } else { ("+", c.clone()) };
+            let (sign, mag) = if c.is_negative() {
+                ("-", c.abs())
+            } else {
+                ("+", c.clone())
+            };
             if first {
                 if sign == "-" {
                     write!(f, "-")?;
@@ -571,7 +589,8 @@ mod tests {
 
     #[test]
     fn clear_denominators() {
-        let p = x().scale(&chora_numeric::ratio(2, 3)) + Polynomial::constant(chora_numeric::ratio(1, 2));
+        let p = x().scale(&chora_numeric::ratio(2, 3))
+            + Polynomial::constant(chora_numeric::ratio(1, 2));
         let (k, q) = p.clear_denominators();
         assert_eq!(k, chora_numeric::int(6));
         assert_eq!(q.to_string(), "4·x + 3");

@@ -12,8 +12,8 @@
 //! * `$tmp<n>` — fresh existential temporaries
 
 use std::fmt;
-use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// An immutable, cheaply cloneable identifier.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]

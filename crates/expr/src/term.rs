@@ -102,6 +102,7 @@ impl Term {
     }
 
     /// Smart difference `a - b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(a: Term, b: Term) -> Term {
         Term::add(vec![a, Term::mul(vec![Term::int(-1), b])])
     }
@@ -286,7 +287,9 @@ impl Term {
             Term::Mul(ts) => Term::mul(ts.iter().map(|t| t.substitute(s, replacement)).collect()),
             Term::Max(ts) => Term::max(ts.iter().map(|t| t.substitute(s, replacement)).collect()),
             Term::Min(ts) => Term::min(ts.iter().map(|t| t.substitute(s, replacement)).collect()),
-            Term::Pow(a, b) => Term::pow(a.substitute(s, replacement), b.substitute(s, replacement)),
+            Term::Pow(a, b) => {
+                Term::pow(a.substitute(s, replacement), b.substitute(s, replacement))
+            }
             Term::Log2(a) => Term::log2(a.substitute(s, replacement)),
         }
     }
@@ -468,7 +471,10 @@ mod tests {
 
     #[test]
     fn constant_folding() {
-        assert_eq!(Term::add(vec![Term::int(1), Term::int(2), Term::int(3)]), Term::int(6));
+        assert_eq!(
+            Term::add(vec![Term::int(1), Term::int(2), Term::int(3)]),
+            Term::int(6)
+        );
         assert_eq!(Term::mul(vec![Term::int(2), Term::int(3)]), Term::int(6));
         assert_eq!(Term::mul(vec![Term::int(0), n()]), Term::zero());
         assert_eq!(Term::mul(vec![Term::int(1), n()]), n());
@@ -507,7 +513,10 @@ mod tests {
 
     #[test]
     fn substitution_and_eval() {
-        let t = Term::add(vec![Term::pow(Term::int(2), n()), Term::mul(vec![Term::int(3), n()])]);
+        let t = Term::add(vec![
+            Term::pow(Term::int(2), n()),
+            Term::mul(vec![Term::int(3), n()]),
+        ]);
         let s = t.substitute(&Symbol::new("n"), &Term::int(4));
         assert_eq!(s, Term::int(28));
         let mut env = BTreeMap::new();
@@ -550,7 +559,10 @@ mod tests {
 
     #[test]
     fn folding_keeps_rational_constants_exact() {
-        let t = Term::add(vec![Term::constant(ratio(1, 3)), Term::constant(ratio(1, 6))]);
+        let t = Term::add(vec![
+            Term::constant(ratio(1, 3)),
+            Term::constant(ratio(1, 6)),
+        ]);
         assert_eq!(t, Term::constant(ratio(1, 2)));
         assert_eq!(rat(5), Term::int(5).as_constant().unwrap());
     }

@@ -34,6 +34,9 @@ pub enum Expr {
     DivConst(Box<Expr>, i64),
 }
 
+// Builder methods deliberately shadow the operator-trait names: `Expr` is a
+// plain AST, and `a.add(b)` reads as construction, not arithmetic.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Convenience: variable expression.
     pub fn var(name: &str) -> Expr {
@@ -255,12 +258,20 @@ impl Stmt {
 
     /// `ret := callee(args)`
     pub fn call_assign(ret: &str, callee: &str, args: Vec<Expr>) -> Stmt {
-        Stmt::Call { callee: callee.to_string(), args, ret: Some(Symbol::new(ret)) }
+        Stmt::Call {
+            callee: callee.to_string(),
+            args,
+            ret: Some(Symbol::new(ret)),
+        }
     }
 
     /// `callee(args);`
     pub fn call(callee: &str, args: Vec<Expr>) -> Stmt {
-        Stmt::Call { callee: callee.to_string(), args, ret: None }
+        Stmt::Call {
+            callee: callee.to_string(),
+            args,
+            ret: None,
+        }
     }
 
     /// Names of procedures called (transitively over the statement tree).
@@ -400,10 +411,21 @@ mod tests {
     fn callees_and_assigned() {
         let body = Stmt::seq(vec![
             Stmt::assign("x", Expr::int(0)),
-            Stmt::if_then(Cond::Nondet, Stmt::call_assign("r", "helper", vec![Expr::var("x")])),
-            Stmt::while_loop(Cond::lt(Expr::var("x"), Expr::int(3)), Stmt::call("tick", vec![])),
+            Stmt::if_then(
+                Cond::Nondet,
+                Stmt::call_assign("r", "helper", vec![Expr::var("x")]),
+            ),
+            Stmt::while_loop(
+                Cond::lt(Expr::var("x"), Expr::int(3)),
+                Stmt::call("tick", vec![]),
+            ),
         ]);
-        assert_eq!(body.callees(), ["helper".to_string(), "tick".to_string()].into_iter().collect());
+        assert_eq!(
+            body.callees(),
+            ["helper".to_string(), "tick".to_string()]
+                .into_iter()
+                .collect()
+        );
         let assigned = body.assigned_variables();
         assert!(assigned.contains(&Symbol::new("x")));
         assert!(assigned.contains(&Symbol::new("r")));

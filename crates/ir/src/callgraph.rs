@@ -29,8 +29,11 @@ impl CallGraph {
         let defined: BTreeSet<String> = program.procedure_names().into_iter().collect();
         let mut edges = BTreeMap::new();
         for p in &program.procedures {
-            let callees: BTreeSet<String> =
-                p.callees().into_iter().filter(|c| defined.contains(c)).collect();
+            let callees: BTreeSet<String> = p
+                .callees()
+                .into_iter()
+                .filter(|c| defined.contains(c))
+                .collect();
             edges.insert(p.name.clone(), callees);
         }
         CallGraph { edges }
@@ -64,15 +67,20 @@ impl CallGraph {
     pub fn components_bottom_up(&self) -> Vec<Component> {
         // Map names to indices and reuse the generic SCC routine.
         let names: Vec<String> = self.edges.keys().cloned().collect();
-        let index_of: BTreeMap<&str, usize> =
-            names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+        let index_of: BTreeMap<&str, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
         let nodes: Vec<usize> = (0..names.len()).collect();
         let deps: BTreeMap<usize, BTreeSet<usize>> = names
             .iter()
             .enumerate()
             .map(|(i, n)| {
-                let callees =
-                    self.edges[n].iter().filter_map(|c| index_of.get(c.as_str()).copied()).collect();
+                let callees = self.edges[n]
+                    .iter()
+                    .filter_map(|c| index_of.get(c.as_str()).copied())
+                    .collect();
                 (i, callees)
             })
             .collect();
@@ -80,8 +88,8 @@ impl CallGraph {
         sccs.into_iter()
             .map(|scc| {
                 let members: Vec<String> = scc.iter().map(|&i| names[i].clone()).collect();
-                let recursive = members.len() > 1
-                    || members.iter().any(|m| self.callees(m).contains(m));
+                let recursive =
+                    members.len() > 1 || members.iter().any(|m| self.callees(m).contains(m));
                 Component { members, recursive }
             })
             .collect()
@@ -109,8 +117,11 @@ fn chora_recurrence_scc(
         st.counter += 1;
         st.stack.push(v);
         st.on_stack.insert(v);
-        let successors: Vec<usize> =
-            st.deps.get(&v).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        let successors: Vec<usize> = st
+            .deps
+            .get(&v)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
         for w in successors {
             if !st.index.contains_key(&w) {
                 visit(w, st);
@@ -159,7 +170,12 @@ mod tests {
     fn program_with_calls(spec: &[(&str, &[&str])]) -> Program {
         let mut prog = Program::new();
         for (name, callees) in spec {
-            let body = Stmt::seq(callees.iter().map(|c| Stmt::call(c, vec![Expr::int(0)])).collect());
+            let body = Stmt::seq(
+                callees
+                    .iter()
+                    .map(|c| Stmt::call(c, vec![Expr::int(0)]))
+                    .collect(),
+            );
             prog.add_procedure(Procedure::new(name, &["n"], &[], body));
         }
         prog

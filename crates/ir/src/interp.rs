@@ -109,7 +109,11 @@ impl<'p> Interpreter<'p> {
     /// procedures or variables, or fuel exhaustion.
     pub fn run(&mut self, entry: &str, args: &[i128]) -> Result<ExecResult, ExecError> {
         let ret = self.call(entry, args)?;
-        Ok(ExecResult { return_value: ret, globals: self.globals.clone(), steps: self.steps })
+        Ok(ExecResult {
+            return_value: ret,
+            globals: self.globals.clone(),
+            steps: self.steps,
+        })
     }
 
     fn call(&mut self, name: &str, args: &[i128]) -> Result<i128, ExecError> {
@@ -324,7 +328,10 @@ mod tests {
             &[],
             Stmt::seq(vec![
                 Stmt::Assume(Cond::ge(Expr::var("x"), Expr::int(0))),
-                Stmt::Assert(Cond::ge(Expr::var("x"), Expr::int(1)), "x-positive".to_string()),
+                Stmt::Assert(
+                    Cond::ge(Expr::var("x"), Expr::int(1)),
+                    "x-positive".to_string(),
+                ),
                 Stmt::Return(Some(Expr::var("x"))),
             ]),
         ));
@@ -333,7 +340,10 @@ mod tests {
         let mut i2 = Interpreter::new(&prog);
         assert_eq!(i2.run("check", &[-1]), Err(ExecError::AssumptionViolated));
         let mut i3 = Interpreter::new(&prog);
-        assert_eq!(i3.run("check", &[0]), Err(ExecError::AssertionFailed("x-positive".to_string())));
+        assert_eq!(
+            i3.run("check", &[0]),
+            Err(ExecError::AssertionFailed("x-positive".to_string()))
+        );
     }
 
     #[test]

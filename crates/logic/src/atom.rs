@@ -42,17 +42,26 @@ pub struct Atom {
 impl Atom {
     /// The atom `p ≤ 0`.
     pub fn le_zero(p: Polynomial) -> Atom {
-        Atom { poly: p, kind: AtomKind::Le }
+        Atom {
+            poly: p,
+            kind: AtomKind::Le,
+        }
     }
 
     /// The atom `p < 0`.
     pub fn lt_zero(p: Polynomial) -> Atom {
-        Atom { poly: p, kind: AtomKind::Lt }
+        Atom {
+            poly: p,
+            kind: AtomKind::Lt,
+        }
     }
 
     /// The atom `p = 0`.
     pub fn eq_zero(p: Polynomial) -> Atom {
-        Atom { poly: p, kind: AtomKind::Eq }
+        Atom {
+            poly: p,
+            kind: AtomKind::Eq,
+        }
     }
 
     /// The atom `lhs ≤ rhs`.
@@ -109,12 +118,18 @@ impl Atom {
 
     /// Renames symbols throughout the atom.
     pub fn rename(&self, f: &mut impl FnMut(&Symbol) -> Symbol) -> Atom {
-        Atom { poly: self.poly.rename(f), kind: self.kind }
+        Atom {
+            poly: self.poly.rename(f),
+            kind: self.kind,
+        }
     }
 
     /// Substitutes a polynomial for a symbol.
     pub fn substitute(&self, s: &Symbol, replacement: &Polynomial) -> Atom {
-        Atom { poly: self.poly.substitute(s, replacement), kind: self.kind }
+        Atom {
+            poly: self.poly.substitute(s, replacement),
+            kind: self.kind,
+        }
     }
 
     /// If the atom is linear, returns its linear expression.
@@ -241,7 +256,9 @@ mod tests {
         let ub = a.upper_bound_on(&Symbol::new("x")).unwrap();
         assert_eq!(ub.to_string(), "1/2·y + 2");
         // No upper bound when coefficient is negative.
-        assert!(Atom::le_zero(&-&x() + &c(1)).upper_bound_on(&Symbol::new("x")).is_none());
+        assert!(Atom::le_zero(&-&x() + &c(1))
+            .upper_bound_on(&Symbol::new("x"))
+            .is_none());
         // Nonlinear occurrence is rejected.
         let nl = Atom::le_zero(&(&x() * &x()) - &c(1));
         assert!(nl.upper_bound_on(&Symbol::new("x")).is_none());

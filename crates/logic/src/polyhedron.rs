@@ -103,12 +103,19 @@ impl Polyhedron {
 
     /// Renames symbols throughout.
     pub fn rename(&self, f: &mut impl FnMut(&Symbol) -> Symbol) -> Polyhedron {
-        Polyhedron { atoms: self.atoms.iter().map(|a| a.rename(f)).collect() }
+        Polyhedron {
+            atoms: self.atoms.iter().map(|a| a.rename(f)).collect(),
+        }
     }
 
     /// Substitutes a polynomial for a symbol throughout.
     pub fn substitute(&self, s: &Symbol, replacement: &Polynomial) -> Polyhedron {
-        Polyhedron::from_atoms(self.atoms.iter().map(|a| a.substitute(s, replacement)).collect())
+        Polyhedron::from_atoms(
+            self.atoms
+                .iter()
+                .map(|a| a.substitute(s, replacement))
+                .collect(),
+        )
     }
 
     /// Whether the polyhedron is unsatisfiable over the rationals.
@@ -144,7 +151,9 @@ impl Polyhedron {
         let pre = self.substitute_defined_symbols(|s| !keep.contains(s));
         match Linearized::new(&pre.atoms) {
             None => Polyhedron::contradiction(),
-            Some(sys) => sys.project(|base_syms| base_syms.iter().all(|s| keep.contains(s))).to_polyhedron(),
+            Some(sys) => sys
+                .project(|base_syms| base_syms.iter().all(|s| keep.contains(s)))
+                .to_polyhedron(),
         }
     }
 
@@ -154,7 +163,9 @@ impl Polyhedron {
         let pre = self.substitute_defined_symbols(|s| drop.contains(s));
         match Linearized::new(&pre.atoms) {
             None => Polyhedron::contradiction(),
-            Some(sys) => sys.project(|base_syms| !base_syms.iter().any(|s| drop.contains(s))).to_polyhedron(),
+            Some(sys) => sys
+                .project(|base_syms| !base_syms.iter().any(|s| drop.contains(s)))
+                .to_polyhedron(),
         }
     }
 
@@ -196,7 +207,10 @@ impl Polyhedron {
                 None => break,
                 Some((i, s, replacement)) => {
                     atoms.remove(i);
-                    atoms = atoms.into_iter().map(|a| a.substitute(&s, &replacement)).collect();
+                    atoms = atoms
+                        .into_iter()
+                        .map(|a| a.substitute(&s, &replacement))
+                        .collect();
                 }
             }
         }
@@ -258,9 +272,14 @@ impl Polyhedron {
             constraints.push((e, *kind));
         }
         // 0 ≤ λ ≤ 1
-        constraints.push((LinearExpr::var(lambda.clone()).scale(&-BigRational::one()), AtomKind::Le));
-        constraints
-            .push((LinearExpr::var(lambda.clone()) + LinearExpr::constant(-BigRational::one()), AtomKind::Le));
+        constraints.push((
+            LinearExpr::var(lambda.clone()).scale(&-BigRational::one()),
+            AtomKind::Le,
+        ));
+        constraints.push((
+            LinearExpr::var(lambda.clone()) + LinearExpr::constant(-BigRational::one()),
+            AtomKind::Le,
+        ));
         // Eliminate z's and λ.
         let mut to_drop: Vec<Symbol> = z_names.values().cloned().collect();
         to_drop.push(lambda);
@@ -378,8 +397,11 @@ impl Linearized {
     /// Builds the linearized view; returns `None` if a trivially false ground
     /// atom is present (caller should treat the system as unsatisfiable).
     fn new(atoms: &[Atom]) -> Option<Linearized> {
-        let mut sys =
-            Linearized { mono_dims: BTreeMap::new(), constraints: Vec::new(), unsat: false };
+        let mut sys = Linearized {
+            mono_dims: BTreeMap::new(),
+            constraints: Vec::new(),
+            unsat: false,
+        };
         for a in atoms {
             match a.trivial_truth() {
                 Some(true) => continue,
@@ -444,10 +466,18 @@ impl Linearized {
 
     /// Builds a new system sharing the monomial-dimension tables of `self`
     /// and `other`, with the given constraints.
-    fn with_constraints(&self, constraints: Vec<(LinearExpr, AtomKind)>, other: &Linearized) -> Linearized {
+    fn with_constraints(
+        &self,
+        constraints: Vec<(LinearExpr, AtomKind)>,
+        other: &Linearized,
+    ) -> Linearized {
         let mut mono_dims = self.mono_dims.clone();
         mono_dims.extend(other.mono_dims.clone());
-        let mut sys = Linearized { mono_dims, constraints, unsat: false };
+        let mut sys = Linearized {
+            mono_dims,
+            constraints,
+            unsat: false,
+        };
         sys.normalize();
         sys
     }
@@ -619,6 +649,7 @@ impl Linearized {
         self
     }
 
+    #[allow(clippy::wrong_self_convention)] // consumes self: elimination destroys the system
     fn is_unsat(mut self) -> bool {
         let dims = self.dims();
         for d in dims {
@@ -657,15 +688,9 @@ mod tests {
 
     #[test]
     fn satisfiability_basic() {
-        let p = Polyhedron::from_atoms(vec![
-            Atom::ge(var("x"), c(0)),
-            Atom::le(var("x"), c(5)),
-        ]);
+        let p = Polyhedron::from_atoms(vec![Atom::ge(var("x"), c(0)), Atom::le(var("x"), c(5))]);
         assert!(!p.is_empty_set());
-        let q = Polyhedron::from_atoms(vec![
-            Atom::ge(var("x"), c(6)),
-            Atom::le(var("x"), c(5)),
-        ]);
+        let q = Polyhedron::from_atoms(vec![Atom::ge(var("x"), c(6)), Atom::le(var("x"), c(5))]);
         assert!(q.is_empty_set());
         assert!(Polyhedron::contradiction().is_empty_set());
         assert!(!Polyhedron::universe().is_empty_set());
@@ -673,21 +698,12 @@ mod tests {
 
     #[test]
     fn satisfiability_strict() {
-        let p = Polyhedron::from_atoms(vec![
-            Atom::gt(var("x"), c(5)),
-            Atom::lt(var("x"), c(6)),
-        ]);
+        let p = Polyhedron::from_atoms(vec![Atom::gt(var("x"), c(5)), Atom::lt(var("x"), c(6))]);
         // Rational satisfiable (5 < x < 6).
         assert!(!p.is_empty_set());
-        let q = Polyhedron::from_atoms(vec![
-            Atom::gt(var("x"), c(5)),
-            Atom::lt(var("x"), c(5)),
-        ]);
+        let q = Polyhedron::from_atoms(vec![Atom::gt(var("x"), c(5)), Atom::lt(var("x"), c(5))]);
         assert!(q.is_empty_set());
-        let r = Polyhedron::from_atoms(vec![
-            Atom::ge(var("x"), c(5)),
-            Atom::lt(var("x"), c(5)),
-        ]);
+        let r = Polyhedron::from_atoms(vec![Atom::ge(var("x"), c(5)), Atom::lt(var("x"), c(5))]);
         assert!(r.is_empty_set());
     }
 
@@ -711,10 +727,8 @@ mod tests {
 
     #[test]
     fn implication() {
-        let p = Polyhedron::from_atoms(vec![
-            Atom::ge(var("x"), c(1)),
-            Atom::le(var("x"), var("y")),
-        ]);
+        let p =
+            Polyhedron::from_atoms(vec![Atom::ge(var("x"), c(1)), Atom::le(var("x"), var("y"))]);
         assert!(p.implies_atom(&Atom::ge(var("y"), c(1))));
         assert!(p.implies_atom(&Atom::ge(var("y"), var("x"))));
         assert!(!p.implies_atom(&Atom::ge(var("x"), c(2))));
@@ -734,10 +748,8 @@ mod tests {
     #[test]
     fn projection_transitive_bound() {
         // x <= y, y <= 5  projected onto {x}  =>  x <= 5
-        let p = Polyhedron::from_atoms(vec![
-            Atom::le(var("x"), var("y")),
-            Atom::le(var("y"), c(5)),
-        ]);
+        let p =
+            Polyhedron::from_atoms(vec![Atom::le(var("x"), var("y")), Atom::le(var("y"), c(5))]);
         let keep: BTreeSet<Symbol> = [Symbol::new("x")].into_iter().collect();
         let proj = p.project_onto(&keep);
         assert!(proj.implies_atom(&Atom::le(var("x"), c(5))));
@@ -825,7 +837,8 @@ mod tests {
 
     #[test]
     fn subset_check() {
-        let small = Polyhedron::from_atoms(vec![Atom::ge(var("x"), c(1)), Atom::le(var("x"), c(2))]);
+        let small =
+            Polyhedron::from_atoms(vec![Atom::ge(var("x"), c(1)), Atom::le(var("x"), c(2))]);
         let big = Polyhedron::from_atoms(vec![Atom::ge(var("x"), c(0)), Atom::le(var("x"), c(5))]);
         assert!(small.is_subset_of(&big));
         assert!(!big.is_subset_of(&small));

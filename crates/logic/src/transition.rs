@@ -47,7 +47,10 @@ pub struct TransitionFormula {
 impl TransitionFormula {
     /// The unsatisfiable transition formula `false` (no behaviours).
     pub fn bottom() -> TransitionFormula {
-        TransitionFormula { disjuncts: Vec::new(), cap: DEFAULT_DISJUNCT_CAP }
+        TransitionFormula {
+            disjuncts: Vec::new(),
+            cap: DEFAULT_DISJUNCT_CAP,
+        }
     }
 
     /// The single-disjunct formula `true` — everything (including all primed
@@ -58,7 +61,10 @@ impl TransitionFormula {
 
     /// A formula with a single disjunct.
     pub fn from_polyhedron(p: Polyhedron) -> TransitionFormula {
-        TransitionFormula { disjuncts: vec![p], cap: DEFAULT_DISJUNCT_CAP }
+        TransitionFormula {
+            disjuncts: vec![p],
+            cap: DEFAULT_DISJUNCT_CAP,
+        }
     }
 
     /// A formula from explicit disjuncts.
@@ -85,7 +91,10 @@ impl TransitionFormula {
         let mut atoms = vec![Atom::eq(Polynomial::var(var.primed()), rhs.clone())];
         for v in vars {
             if v != var {
-                atoms.push(Atom::eq(Polynomial::var(v.primed()), Polynomial::var(v.clone())));
+                atoms.push(Atom::eq(
+                    Polynomial::var(v.primed()),
+                    Polynomial::var(v.clone()),
+                ));
             }
         }
         TransitionFormula::from_polyhedron(Polyhedron::from_atoms(atoms))
@@ -107,7 +116,10 @@ impl TransitionFormula {
     pub fn assume(guards: Vec<Atom>, vars: &[Symbol]) -> TransitionFormula {
         let mut atoms = guards;
         for v in vars {
-            atoms.push(Atom::eq(Polynomial::var(v.primed()), Polynomial::var(v.clone())));
+            atoms.push(Atom::eq(
+                Polynomial::var(v.primed()),
+                Polynomial::var(v.clone()),
+            ));
         }
         TransitionFormula::from_polyhedron(Polyhedron::from_atoms(atoms))
     }
@@ -166,8 +178,16 @@ impl TransitionFormula {
 
     /// Conjoins a polyhedron onto every disjunct.
     pub fn conjoin(&self, p: &Polyhedron) -> TransitionFormula {
-        let disjuncts = self.disjuncts.iter().map(|d| d.conjoin(p)).filter(|d| !d.is_empty_set()).collect();
-        TransitionFormula { disjuncts, cap: self.cap }
+        let disjuncts = self
+            .disjuncts
+            .iter()
+            .map(|d| d.conjoin(p))
+            .filter(|d| !d.is_empty_set())
+            .collect();
+        TransitionFormula {
+            disjuncts,
+            cap: self.cap,
+        }
     }
 
     /// Conjoins a single atom onto every disjunct.
@@ -188,7 +208,13 @@ impl TransitionFormula {
         // Fresh intermediate names for each variable.
         let mids: Vec<(Symbol, Symbol, Symbol)> = vars
             .iter()
-            .map(|v| (v.clone(), v.primed(), Symbol::fresh(&format!("mid_{}", v.as_str()))))
+            .map(|v| {
+                (
+                    v.clone(),
+                    v.primed(),
+                    Symbol::fresh(&format!("mid_{}", v.as_str())),
+                )
+            })
             .collect();
         let drop: BTreeSet<Symbol> = mids.iter().map(|(_, _, m)| m.clone()).collect();
         for left in &self.disjuncts {
@@ -223,14 +249,24 @@ impl TransitionFormula {
     /// Projects every disjunct onto the given symbols (dropping constraints
     /// that mention anything else).
     pub fn project_onto(&self, keep: &BTreeSet<Symbol>) -> TransitionFormula {
-        let disjuncts = self.disjuncts.iter().map(|d| d.project_onto(keep)).collect();
-        TransitionFormula { disjuncts, cap: self.cap }
+        let disjuncts = self
+            .disjuncts
+            .iter()
+            .map(|d| d.project_onto(keep))
+            .collect();
+        TransitionFormula {
+            disjuncts,
+            cap: self.cap,
+        }
     }
 
     /// Eliminates the given symbols from every disjunct.
     pub fn eliminate(&self, drop: &BTreeSet<Symbol>) -> TransitionFormula {
         let disjuncts = self.disjuncts.iter().map(|d| d.eliminate(drop)).collect();
-        TransitionFormula { disjuncts, cap: self.cap }
+        TransitionFormula {
+            disjuncts,
+            cap: self.cap,
+        }
     }
 
     /// `Abstract(φ, V)` (Alg. 1 / [25, Alg. 3]): the convex hull of the
@@ -267,7 +303,11 @@ impl TransitionFormula {
     /// Substitutes a polynomial for a symbol throughout.
     pub fn substitute(&self, s: &Symbol, replacement: &Polynomial) -> TransitionFormula {
         TransitionFormula {
-            disjuncts: self.disjuncts.iter().map(|d| d.substitute(s, replacement)).collect(),
+            disjuncts: self
+                .disjuncts
+                .iter()
+                .map(|d| d.substitute(s, replacement))
+                .collect(),
             cap: self.cap,
         }
     }
@@ -280,7 +320,10 @@ impl TransitionFormula {
             .filter(|d| !d.is_empty_set())
             .map(|d| d.simplify())
             .collect();
-        TransitionFormula { disjuncts, cap: self.cap }
+        TransitionFormula {
+            disjuncts,
+            cap: self.cap,
+        }
     }
 }
 
@@ -432,9 +475,10 @@ mod tests {
         // A symbolic constant (not in vars) must not be renamed or projected.
         let vars = vec![x()];
         let b = Symbol::bound_at_h(1);
-        let call = TransitionFormula::from_polyhedron(Polyhedron::from_atoms(vec![
-            Atom::le(pvar(&x().primed()), &pvar(&x()) + &pvar(&b)),
-        ]));
+        let call = TransitionFormula::from_polyhedron(Polyhedron::from_atoms(vec![Atom::le(
+            pvar(&x().primed()),
+            &pvar(&x()) + &pvar(&b),
+        )]));
         let inc = TransitionFormula::assign(&x(), &(&pvar(&x()) + &c(1)), &vars);
         let seq = inc.sequence(&call, &vars);
         // x' <= x + 1 + b1(h)

@@ -47,7 +47,10 @@ pub struct BigInt {
 impl BigInt {
     /// The integer zero.
     pub fn zero() -> BigInt {
-        BigInt { sign: Sign::Zero, mag: Vec::new() }
+        BigInt {
+            sign: Sign::Zero,
+            mag: Vec::new(),
+        }
     }
 
     /// The integer one.
@@ -125,8 +128,8 @@ impl BigInt {
         let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry: u64 = 0;
-        for i in 0..long.len() {
-            let s = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+        for (i, &digit) in long.iter().enumerate() {
+            let s = digit as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
             out.push(s as u32);
             carry = s >> 32;
         }
@@ -141,8 +144,8 @@ impl BigInt {
         debug_assert!(Self::mag_cmp(a, b) != Ordering::Less);
         let mut out = Vec::with_capacity(a.len());
         let mut borrow: i64 = 0;
-        for i in 0..a.len() {
-            let d = a[i] as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+        for (i, &digit) in a.iter().enumerate() {
+            let d = digit as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
             if d < 0 {
                 out.push((d + (1i64 << 32)) as u32);
                 borrow = 1;
@@ -201,7 +204,7 @@ impl BigInt {
             let mut carry = 0u32;
             for &x in a {
                 out.push((x << bit_shift) | carry);
-                carry = (x >> (32 - bit_shift)) as u32;
+                carry = x >> (32 - bit_shift);
             }
             if carry != 0 {
                 out.push(carry);
@@ -235,7 +238,11 @@ impl BigInt {
             while let Some(&0) = q.last() {
                 q.pop();
             }
-            let r = if rem == 0 { Vec::new() } else { vec![rem as u32] };
+            let r = if rem == 0 {
+                Vec::new()
+            } else {
+                vec![rem as u32]
+            };
             return (q, r);
         }
         // Bit-by-bit long division.
@@ -353,7 +360,7 @@ impl BigInt {
             }
             Sign::Negative => {
                 if v <= i64::MAX as u64 + 1 {
-                    Some((v as i128 * -1) as i64)
+                    Some((-(v as i128)) as i64)
                 } else {
                     None
                 }
@@ -373,7 +380,6 @@ impl BigInt {
             v
         }
     }
-
 }
 
 impl Default for BigInt {
@@ -387,7 +393,11 @@ impl From<i64> for BigInt {
         if v == 0 {
             return BigInt::zero();
         }
-        let sign = if v < 0 { Sign::Negative } else { Sign::Positive };
+        let sign = if v < 0 {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
         let mag_val = v.unsigned_abs();
         let mut mag = vec![mag_val as u32];
         if mag_val >> 32 != 0 {
@@ -603,7 +613,11 @@ impl Mul for &BigInt {
         if self.is_zero() || other.is_zero() {
             return BigInt::zero();
         }
-        let sign = if self.sign == other.sign { Sign::Positive } else { Sign::Negative };
+        let sign = if self.sign == other.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
         BigInt::from_mag(sign, BigInt::mag_mul(&self.mag, &other.mag))
     }
 }
@@ -686,7 +700,13 @@ mod tests {
 
     #[test]
     fn display_round_trip() {
-        for s in ["0", "1", "-1", "4294967296", "-123456789012345678901234567890"] {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "4294967296",
+            "-123456789012345678901234567890",
+        ] {
             let v: BigInt = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }

@@ -28,7 +28,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` zero matrix.
     pub fn zero(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![BigRational::zero(); rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![BigRational::zero(); rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -49,13 +53,19 @@ impl Matrix {
         let r = rows.len();
         let c = rows.first().map(|x| x.len()).unwrap_or(0);
         assert!(rows.iter().all(|row| row.len() == c), "ragged matrix rows");
-        Matrix { rows: r, cols: c, data: rows.into_iter().flatten().collect() }
+        Matrix {
+            rows: r,
+            cols: c,
+            data: rows.into_iter().flatten().collect(),
+        }
     }
 
     /// Creates a matrix from rows of machine integers (convenient in tests).
     pub fn from_i64(rows: &[&[i64]]) -> Matrix {
         Matrix::from_rows(
-            rows.iter().map(|r| r.iter().map(|&v| BigRational::from(v)).collect()).collect(),
+            rows.iter()
+                .map(|r| r.iter().map(|&v| BigRational::from(v)).collect())
+                .collect(),
         )
     }
 
@@ -199,7 +209,9 @@ impl Matrix {
         let mut det = BigRational::one();
         for col in 0..n {
             let pivot = (col..n).find(|&r| !m[(r, col)].is_zero());
-            let Some(p) = pivot else { return BigRational::zero() };
+            let Some(p) = pivot else {
+                return BigRational::zero();
+            };
             if p != col {
                 m.swap_rows(p, col);
                 det = -det;
@@ -318,8 +330,14 @@ pub fn rational_roots(coeffs: &[BigRational]) -> (Vec<BigRational>, bool) {
         for v in &c {
             lcm = lcm.lcm(v.denom());
         }
-        let int_coeffs: Vec<BigInt> =
-            c.iter().map(|v| (v * &BigRational::from_integer(lcm.clone())).numer().clone()).collect();
+        let int_coeffs: Vec<BigInt> = c
+            .iter()
+            .map(|v| {
+                (v * &BigRational::from_integer(lcm.clone()))
+                    .numer()
+                    .clone()
+            })
+            .collect();
         let a0 = int_coeffs.first().unwrap().abs();
         let an = int_coeffs.last().unwrap().abs();
         if a0.is_zero() {

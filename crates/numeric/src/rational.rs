@@ -35,7 +35,10 @@ impl BigRational {
             den = -den;
         }
         if num.is_zero() {
-            return BigRational { num: BigInt::zero(), den: BigInt::one() };
+            return BigRational {
+                num: BigInt::zero(),
+                den: BigInt::one(),
+            };
         }
         let g = num.gcd(&den);
         if !g.is_one() {
@@ -47,17 +50,26 @@ impl BigRational {
 
     /// The rational zero.
     pub fn zero() -> BigRational {
-        BigRational { num: BigInt::zero(), den: BigInt::one() }
+        BigRational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
     }
 
     /// The rational one.
     pub fn one() -> BigRational {
-        BigRational { num: BigInt::one(), den: BigInt::one() }
+        BigRational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
     }
 
     /// Creates a rational from an integer.
     pub fn from_integer(n: BigInt) -> BigRational {
-        BigRational { num: n, den: BigInt::one() }
+        BigRational {
+            num: n,
+            den: BigInt::one(),
+        }
     }
 
     /// Numerator (sign-carrying).
@@ -102,7 +114,10 @@ impl BigRational {
 
     /// Absolute value.
     pub fn abs(&self) -> BigRational {
-        BigRational { num: self.num.abs(), den: self.den.clone() }
+        BigRational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse.
@@ -151,7 +166,6 @@ impl BigRational {
             None
         }
     }
-
 }
 
 impl Default for BigRational {
@@ -229,7 +243,10 @@ impl Ord for BigRational {
 impl Neg for BigRational {
     type Output = BigRational;
     fn neg(self) -> BigRational {
-        BigRational { num: -self.num, den: self.den }
+        BigRational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

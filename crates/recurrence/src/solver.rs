@@ -84,8 +84,12 @@ pub enum SolveError {
 impl fmt::Display for SolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SolveError::UndefinedBound(k) => write!(f, "bounding function b_{k} is used but never defined"),
-            SolveError::DuplicateDefinition(k) => write!(f, "bounding function b_{k} is defined twice"),
+            SolveError::UndefinedBound(k) => {
+                write!(f, "bounding function b_{k} is used but never defined")
+            }
+            SolveError::DuplicateDefinition(k) => {
+                write!(f, "bounding function b_{k} is defined twice")
+            }
             SolveError::NonStratified(k) => {
                 write!(f, "non-linear dependency on b_{k} within its own stratum")
             }
@@ -129,7 +133,10 @@ impl RecurrenceSystem {
     }
 
     fn initial_value(&self, k: usize) -> BigRational {
-        self.initial.get(&k).cloned().unwrap_or_else(BigRational::zero)
+        self.initial
+            .get(&k)
+            .cloned()
+            .unwrap_or_else(BigRational::zero)
     }
 
     /// Solves the system, producing a closed form for every defined bounding
@@ -241,7 +248,11 @@ impl RecurrenceSystem {
         Ok(scc
             .iter()
             .zip(closed)
-            .map(|(&k, (cf, exact))| SolvedBound { index: k, closed_form: cf, exact })
+            .map(|(&k, (cf, exact))| SolvedBound {
+                index: k,
+                closed_form: cf,
+                exact,
+            })
             .collect())
     }
 }
@@ -259,7 +270,10 @@ fn substitute_closed_forms(
         let mut factor = ExpPoly::constant(c.clone(), h);
         for (s, e) in m.powers() {
             let base = if let Some(j) = s.as_bound_at_h() {
-                solved.get(&j).cloned().ok_or(SolveError::UndefinedBound(j))?
+                solved
+                    .get(&j)
+                    .cloned()
+                    .ok_or(SolveError::UndefinedBound(j))?
             } else if s == h {
                 ExpPoly::param_var(h)
             } else {
@@ -293,7 +307,7 @@ fn solve_linear_system(
     }
     // base -> maximum polynomial degree needed
     let mut degrees: BTreeMap<BigRational, u32> = BTreeMap::new();
-    let mut bump = |map: &mut BTreeMap<BigRational, u32>, base: &BigRational, deg: u32| {
+    let bump = |map: &mut BTreeMap<BigRational, u32>, base: &BigRational, deg: u32| {
         let e = map.entry(base.clone()).or_insert(0);
         *e = (*e).max(deg);
     };
@@ -339,6 +353,7 @@ fn solve_linear_system(
         &hp * &base.pow(at as i32)
     };
     let mut out = Vec::with_capacity(n);
+    #[allow(clippy::needless_range_loop)] // `comp` indexes the inner dimension of `samples`
     for comp in 0..n {
         // Build the fit system.
         let rows: Vec<Vec<BigRational>> = (0..b_len)
@@ -347,8 +362,9 @@ fn solve_linear_system(
                 basis.iter().map(|(b, p)| eval_basis(b, *p, at)).collect()
             })
             .collect();
-        let rhs: Vec<BigRational> =
-            (0..b_len).map(|i| samples[(fit_start + i as i64 - 1) as usize][comp].clone()).collect();
+        let rhs: Vec<BigRational> = (0..b_len)
+            .map(|i| samples[(fit_start + i as i64 - 1) as usize][comp].clone())
+            .collect();
         let coeffs = Matrix::from_rows(rows).solve(&rhs)?;
         let mut cf = ExpPoly::zero(h);
         for ((base, pow), c) in basis.iter().zip(&coeffs) {
@@ -414,7 +430,10 @@ fn solve_by_majorant(
     for gi in g {
         g_env = g_env.add(&gi.upper_envelope());
     }
-    let init_max = initial.iter().map(|v| v.abs()).fold(BigRational::zero(), |a, b| a.max(b));
+    let init_max = initial
+        .iter()
+        .map(|v| v.abs())
+        .fold(BigRational::zero(), |a, b| a.max(b));
     if norm.is_zero() {
         // s(h+1) = ĝ(h): bound by ĝ(h) + ĝ(h-1)-style shift; the envelope is
         // non-decreasing in its syntactic form, so ĝ(h) + init is sound.
@@ -423,8 +442,7 @@ fn solve_by_majorant(
     }
     // Solve the scalar majorant exactly (1x1 system with rational eigenvalue).
     let scalar_m = Matrix::from_rows(vec![vec![norm]]);
-    let scalar =
-        solve_linear_system(&scalar_m, std::slice::from_ref(&g_env), &[init_max], h)?;
+    let scalar = solve_linear_system(&scalar_m, std::slice::from_ref(&g_env), &[init_max], h)?;
     let (cf, _) = scalar.into_iter().next()?;
     Some(vec![(cf, false); n])
 }
@@ -473,7 +491,11 @@ pub fn strongly_connected_components(
         st.counter += 1;
         st.stack.push(v);
         st.on_stack.insert(v);
-        let successors: Vec<usize> = st.deps.get(&v).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        let successors: Vec<usize> = st
+            .deps
+            .get(&v)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
         for w in successors {
             if !st.deps.contains_key(&w) {
                 continue;
@@ -536,12 +558,22 @@ mod tests {
         let mut values: BTreeMap<usize, Vec<BigRational>> = BTreeMap::new();
         let indices: Vec<usize> = sys.equations().iter().map(|e| e.index).collect();
         for &k in &indices {
-            values.insert(k, vec![sys.initial.get(&k).cloned().unwrap_or_else(BigRational::zero)]);
+            values.insert(
+                k,
+                vec![sys
+                    .initial
+                    .get(&k)
+                    .cloned()
+                    .unwrap_or_else(BigRational::zero)],
+            );
         }
         for step in 1..upto {
             let mut env = BTreeMap::new();
             for &k in &indices {
-                env.insert(Symbol::bound_at_h(k), values[&k][(step - 1) as usize].clone());
+                env.insert(
+                    Symbol::bound_at_h(k),
+                    values[&k][(step - 1) as usize].clone(),
+                );
             }
             for eq in sys.equations() {
                 let next = eq.rhs.eval(&env).expect("all bound symbols in env");
@@ -561,7 +593,14 @@ mod tests {
                 if s.exact {
                     assert_eq!(&predicted, actual, "b_{} at h={} (exact)", s.index, h);
                 } else {
-                    assert!(&predicted >= actual, "b_{} at h={}: {} < {}", s.index, h, predicted, actual);
+                    assert!(
+                        &predicted >= actual,
+                        "b_{} at h={}: {} < {}",
+                        s.index,
+                        h,
+                        predicted,
+                        actual
+                    );
                 }
             }
         }
@@ -666,7 +705,10 @@ mod tests {
         assert_eq!(solved.len(), 2);
         for s in &solved {
             // Eigenvalues ±6: dominant base magnitude 6.
-            assert_eq!(s.closed_form.dominant_base_abs().map(|b| b.abs()), Some(rat(6)));
+            assert_eq!(
+                s.closed_form.dominant_base_abs().map(|b| b.abs()),
+                Some(rat(6))
+            );
         }
         check_against_iteration(&sys, 10);
     }

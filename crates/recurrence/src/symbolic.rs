@@ -54,7 +54,9 @@ impl SymbolicInitialSolution {
     /// # Errors
     ///
     /// Propagates any [`SolveError`] from the underlying solver.
-    pub fn solve_affine(system: &RecurrenceSystem) -> Result<Vec<SymbolicInitialSolution>, SolveError> {
+    pub fn solve_affine(
+        system: &RecurrenceSystem,
+    ) -> Result<Vec<SymbolicInitialSolution>, SolveError> {
         let indices: Vec<usize> = system.equations().iter().map(|e| e.index).collect();
         let zero_solution = system.solve()?;
         let by_index: BTreeMap<usize, _> =
@@ -65,7 +67,10 @@ impl SymbolicInitialSolution {
             let mut bumped = system.clone();
             bumped.set_initial(k, BigRational::one());
             let one_solution = bumped.solve()?;
-            let one_k = one_solution.iter().find(|s| s.index == k).expect("index solved");
+            let one_k = one_solution
+                .iter()
+                .find(|s| s.index == k)
+                .expect("index solved");
             let zero_k = &by_index[&k];
             let sensitivity = one_k.closed_form.add(&zero_k.closed_form.neg());
             out.push(SymbolicInitialSolution {

@@ -8,8 +8,14 @@ use chora::core::{Analyzer, BaselineAnalyzer};
 
 fn main() {
     for (title, benches) in [
-        ("Table 2 (hand-written non-linear benchmarks)", assertion_suite::table2()),
-        ("Fig. 3 suite (SV-COMP recursive style)", assertion_suite::svcomp()),
+        (
+            "Table 2 (hand-written non-linear benchmarks)",
+            assertion_suite::table2(),
+        ),
+        (
+            "Fig. 3 suite (SV-COMP recursive style)",
+            assertion_suite::svcomp(),
+        ),
     ] {
         println!("== {title} ==");
         println!(
@@ -34,10 +40,22 @@ fn main() {
                 bench.name,
                 if ours_ok { "proved" } else { "not proved" },
                 if baseline_ok { "proved" } else { "not proved" },
-                if bench.paper_chora { "proved" } else { "not proved" },
-                if bench.paper_icra { "proved" } else { "not proved" },
+                if bench.paper_chora {
+                    "proved"
+                } else {
+                    "not proved"
+                },
+                if bench.paper_icra {
+                    "proved"
+                } else {
+                    "not proved"
+                },
             );
         }
-        println!("proved by CHORA-rs: {ours_count}/{}   (paper CHORA: {paper_count}/{})\n", benches.len(), benches.len());
+        println!(
+            "proved by CHORA-rs: {ours_count}/{}   (paper CHORA: {paper_count}/{})\n",
+            benches.len(),
+            benches.len()
+        );
     }
 }

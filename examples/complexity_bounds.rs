@@ -29,7 +29,12 @@ fn main() {
             .unwrap_or_else(|| "n.b.".to_string());
         println!(
             "{:<14} {:<14} {:<16} {:<12} {:<14} {:<12}",
-            bench.name, bench.actual, ours_class, baseline_class, bench.paper_chora, bench.paper_icra
+            bench.name,
+            bench.actual,
+            ours_class,
+            baseline_class,
+            bench.paper_chora,
+            bench.paper_icra
         );
     }
 }

@@ -31,7 +31,11 @@ fn main() {
     println!("\n== Ex. 4.2 (P3 has no base case) ==");
     for name in ["P3", "P4"] {
         let summary = result.summary(name).expect("summary");
-        println!("procedure {name}: {} bound facts, depth {:?}", summary.bound_facts.len(), summary.depth);
+        println!(
+            "procedure {name}: {} bound facts, depth {:?}",
+            summary.bound_facts.len(),
+            summary.depth
+        );
     }
 
     // differ (§4.3): the two-region example.

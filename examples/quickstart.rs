@@ -20,8 +20,14 @@ fn main() {
             Stmt::if_then(
                 Cond::lt(Expr::var("i"), Expr::var("n")),
                 Stmt::seq(vec![
-                    Stmt::call("subsetSumAux", vec![Expr::var("i").add(Expr::int(1)), Expr::var("n")]),
-                    Stmt::call("subsetSumAux", vec![Expr::var("i").add(Expr::int(1)), Expr::var("n")]),
+                    Stmt::call(
+                        "subsetSumAux",
+                        vec![Expr::var("i").add(Expr::int(1)), Expr::var("n")],
+                    ),
+                    Stmt::call(
+                        "subsetSumAux",
+                        vec![Expr::var("i").add(Expr::int(1)), Expr::var("n")],
+                    ),
                 ]),
             ),
         ]),
@@ -36,7 +42,10 @@ fn main() {
         if let Some(bound) = &fact.bound {
             println!("  {}  ≤  {}", fact.term, bound);
         } else {
-            println!("  {}  ≤  {}   (height-indexed)", fact.term, fact.closed_form);
+            println!(
+                "  {}  ≤  {}   (height-indexed)",
+                fact.term, fact.closed_form
+            );
         }
     }
 
@@ -50,6 +59,9 @@ fn main() {
         let measured = run.globals[&Symbol::new("nTicks")];
         let predicted = complexity::eval_bound_at(&bound, &Symbol::new("n"), n as i64).unwrap();
         println!("  {n:<3} {measured:<17} {predicted:.0}");
-        assert!(predicted + 1e-6 >= measured as f64, "bound must dominate the measurement");
+        assert!(
+            predicted + 1e-6 >= measured as f64,
+            "bound must dominate the measurement"
+        );
     }
 }

@@ -12,7 +12,10 @@ fn table2_height_proved_by_chora_but_not_baseline() {
     let bench = assertion_suite::height();
     let ours = Analyzer::new().analyze(&bench.program);
     assert!(!ours.assertions.is_empty());
-    assert!(ours.all_assertions_verified(), "CHORA-rs should prove height ≤ size");
+    assert!(
+        ours.all_assertions_verified(),
+        "CHORA-rs should prove height ≤ size"
+    );
     let baseline = BaselineAnalyzer::new().analyze(&bench.program);
     assert!(
         !baseline.all_assertions_verified(),
@@ -60,7 +63,12 @@ fn assertion_verdicts_never_claim_unsound_proofs() {
                 count
             })
             .sum();
-        assert_eq!(result.assertions.len(), expected, "verdict count for {}", bench.name);
+        assert_eq!(
+            result.assertions.len(),
+            expected,
+            "verdict count for {}",
+            bench.name
+        );
     }
 }
 
@@ -74,7 +82,10 @@ fn subset_sum_summary_matches_section_2() {
     match summary.depth.as_ref().expect("depth bound") {
         DepthBound::Linear(t) => {
             let rendered = t.to_string();
-            assert!(rendered.contains('n') && rendered.contains('i'), "depth {rendered}");
+            assert!(
+                rendered.contains('n') && rendered.contains('i'),
+                "depth {rendered}"
+            );
         }
         other => panic!("expected a linear depth bound, got {other:?}"),
     }
@@ -87,7 +98,12 @@ fn subset_sum_summary_matches_section_2() {
                 && f.term.symbols().contains(&Symbol::new("nTicks"))
         })
         .expect("nTicks bound fact");
-    assert_eq!(fact.closed_form.dominant_base_abs(), Some(rat(2)), "closed form {}", fact.closed_form);
+    assert_eq!(
+        fact.closed_form.dominant_base_abs(),
+        Some(rat(2)),
+        "closed form {}",
+        fact.closed_form
+    );
 }
 
 #[test]
@@ -101,7 +117,11 @@ fn mutual_recursion_example_4_1_has_base_6_growth() {
             .iter()
             .find(|f| f.term.symbols().contains(&Symbol::new("g'")))
             .unwrap_or_else(|| panic!("no g bound fact for {name}"));
-        let base = fact.closed_form.dominant_base_abs().expect("exponential closed form").abs();
+        let base = fact
+            .closed_form
+            .dominant_base_abs()
+            .expect("exponential closed form")
+            .abs();
         assert_eq!(base, rat(6), "{name}: closed form {}", fact.closed_form);
     }
     // Differential check: the bound dominates the measured number of
@@ -113,7 +133,10 @@ fn mutual_recursion_example_4_1_has_base_6_growth() {
         let run = interp.run("P1", &[n as i128]).unwrap();
         let measured = run.globals[&Symbol::new("g")] as f64;
         let predicted = complexity::eval_bound_at(&bound, &Symbol::new("n"), n).unwrap();
-        assert!(predicted + 1e-6 >= measured, "P1 bound {predicted} < measured {measured} at n={n}");
+        assert!(
+            predicted + 1e-6 >= measured,
+            "P1 bound {predicted} < measured {measured} at n={n}"
+        );
     }
 }
 

@@ -80,8 +80,14 @@ fn baseline_finds_no_bounds_on_nonlinear_recursion() {
             }
         }
     }
-    assert_eq!(baseline_bounds, 0, "the Kleene baseline should find no cost bounds");
-    assert!(chora_bounds >= 9, "CHORA-rs should bound most benchmarks, got {chora_bounds}");
+    assert_eq!(
+        baseline_bounds, 0,
+        "the Kleene baseline should find no cost bounds"
+    );
+    assert!(
+        chora_bounds >= 9,
+        "CHORA-rs should bound most benchmarks, got {chora_bounds}"
+    );
 }
 
 #[test]
@@ -127,5 +133,8 @@ fn mergesort_bound_tracks_n_log_n_shape() {
     let b1 = complexity::eval_bound_at(&bound, &Symbol::new("n"), 1 << 14).unwrap();
     let b2 = complexity::eval_bound_at(&bound, &Symbol::new("n"), 1 << 15).unwrap();
     let ratio = b2 / b1;
-    assert!(ratio > 1.9 && ratio < 2.5, "doubling ratio {ratio} not n·log(n)-like");
+    assert!(
+        ratio > 1.9 && ratio < 2.5,
+        "doubling ratio {ratio} not n·log(n)-like"
+    );
 }
