@@ -1,14 +1,231 @@
 //! Micro-benchmarks of the substrate layers: exact arithmetic, polyhedral
-//! operations, and recurrence solving — the building blocks whose cost
-//! dominates the analysis time.
+//! operations, recurrence solving — and the two headline deltas of the
+//! interned-symbol refactor:
+//!
+//! * **string-vs-interned**: the same polynomial workload over the legacy
+//!   `Arc<str>`-keyed `BTreeMap` representation (re-implemented locally as
+//!   the baseline) and over the interned sorted-`Vec` representation,
+//! * **sequential-vs-parallel**: a whole-program analysis with many
+//!   independent recursive components, run with `jobs = 1` and `jobs = N`.
+//!
+//! Both deltas are measured in wall-clock time and recorded in
+//! `target/micro_substrates.json` so CI (the `bench-smoke` job) and humans
+//! can track regressions.  Passing `--smoke` runs a single iteration of
+//! everything — fast enough to gate every push.
 
-use chora_expr::{Polynomial, Symbol};
+use chora_core::{AnalysisConfig, Analyzer};
+use chora_expr::{Monomial, Polynomial, Symbol};
+use chora_ir::{Cond, Expr, Procedure, Program, Stmt};
 use chora_logic::{Atom, Polyhedron};
 use chora_numeric::{rat, BigInt, BigRational};
 use chora_recurrence::RecurrenceSystem;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// The legacy representation, reconstructed as a baseline: symbols are shared
+// strings compared lexicographically, monomials and polynomials are B-trees
+// keyed by them (this is exactly what `chora_expr` looked like before the
+// interner).
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct StrSymbol(Arc<str>);
+
+type StrMonomial = BTreeMap<StrSymbol, u32>;
+type StrPolynomial = BTreeMap<StrMonomial, BigRational>;
+
+fn str_add_term(p: &mut StrPolynomial, c: &BigRational, m: &StrMonomial) {
+    if c.is_zero() {
+        return;
+    }
+    let entry = p.entry(m.clone()).or_insert_with(BigRational::zero);
+    *entry += c;
+    if entry.is_zero() {
+        p.remove(m);
+    }
+}
+
+fn str_mul(a: &StrPolynomial, b: &StrPolynomial) -> StrPolynomial {
+    let mut out = StrPolynomial::new();
+    for (m1, c1) in a {
+        for (m2, c2) in b {
+            let mut m = m1.clone();
+            for (s, e) in m2 {
+                *m.entry(s.clone()).or_insert(0) += e;
+            }
+            str_add_term(&mut out, &(c1 * c2), &m);
+        }
+    }
+    out
+}
+
+/// The shared workload shape: two dense-ish polynomials over `n` variables,
+/// multiplied, then folded into a running sum.  Returns a term count so the
+/// optimizer cannot discard the work.
+fn string_poly_workload(syms: &[StrSymbol]) -> usize {
+    let mut p = StrPolynomial::new();
+    let mut q = StrPolynomial::new();
+    for (i, s) in syms.iter().enumerate() {
+        let mut lin = StrMonomial::new();
+        lin.insert(s.clone(), 1);
+        str_add_term(&mut p, &rat(i as i64 + 1), &lin);
+        let mut quad = StrMonomial::new();
+        quad.insert(s.clone(), 1);
+        quad.insert(syms[(i + 1) % syms.len()].clone(), 1);
+        str_add_term(&mut q, &rat(i as i64 - 3), &quad);
+    }
+    let prod = str_mul(&p, &q);
+    let mut acc = StrPolynomial::new();
+    for _ in 0..4 {
+        for (m, c) in &prod {
+            str_add_term(&mut acc, c, m);
+        }
+    }
+    acc.len()
+}
+
+/// The identical workload over the interned sorted-`Vec` representation.
+fn interned_poly_workload(syms: &[Symbol]) -> usize {
+    let mut p = Polynomial::zero();
+    let mut q = Polynomial::zero();
+    for (i, s) in syms.iter().enumerate() {
+        p = &p + &Polynomial::term(rat(i as i64 + 1), Monomial::var(*s));
+        q = &q
+            + &Polynomial::term(
+                rat(i as i64 - 3),
+                Monomial::from_powers([(*s, 1), (syms[(i + 1) % syms.len()], 1)]),
+            );
+    }
+    let prod = &p * &q;
+    let mut acc = Polynomial::zero();
+    for _ in 0..4 {
+        acc = &acc + &prod;
+    }
+    acc.len()
+}
+
+// ---------------------------------------------------------------------------
+// Sequential vs. level-parallel driver: many independent recursive SCCs.
+// ---------------------------------------------------------------------------
+
+/// A program with `k` independent hanoi-shaped procedures plus a `main`
+/// calling all of them: one call-graph level with `k` mutually independent
+/// recursive components — the best case for the level scheduler.
+fn independent_sccs_program(k: usize) -> Program {
+    let mut prog = Program::new();
+    prog.add_global("cost");
+    let mut main_body = Vec::new();
+    for i in 0..k {
+        let name = format!("work{i}");
+        prog.add_procedure(Procedure::new(
+            &name,
+            &["n"],
+            &[],
+            Stmt::seq(vec![
+                Stmt::assign("cost", Expr::var("cost").add(Expr::int(1))),
+                Stmt::if_then(
+                    Cond::gt(Expr::var("n"), Expr::int(0)),
+                    Stmt::seq(vec![
+                        Stmt::call(&name, vec![Expr::var("n").sub(Expr::int(1))]),
+                        Stmt::call(&name, vec![Expr::var("n").sub(Expr::int(1))]),
+                    ]),
+                ),
+            ]),
+        ));
+        main_body.push(Stmt::call(&name, vec![Expr::var("n")]));
+    }
+    prog.add_procedure(Procedure::new("main", &["n"], &[], Stmt::seq(main_body)));
+    prog
+}
+
+fn analyze_with_jobs(program: &Program, jobs: usize) -> usize {
+    let analyzer = Analyzer::with_config(AnalysisConfig {
+        jobs,
+        ..AnalysisConfig::default()
+    });
+    analyzer.analyze(program).summaries.len()
+}
+
+// ---------------------------------------------------------------------------
+// Timing + JSON recording
+// ---------------------------------------------------------------------------
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// Mean wall-clock seconds of `iters` runs of `f` (after one warm-up).
+fn time_secs<O>(iters: usize, mut f: impl FnMut() -> O) -> f64 {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+fn representation_and_parallelism_deltas() {
+    let smoke = smoke();
+    let poly_iters = if smoke { 1 } else { 200 };
+    let analysis_iters = if smoke { 1 } else { 5 };
+
+    // String vs. interned representation.  Symbols for both sides are built
+    // *outside* the timed region, so only the representations themselves are
+    // compared (not one-off Arc/interner construction cost).
+    let names: Vec<String> = (0..24).map(|i| format!("var_sym_{i}")).collect();
+    let str_syms: Vec<StrSymbol> = names
+        .iter()
+        .map(|n| StrSymbol(Arc::from(n.as_str())))
+        .collect();
+    let syms: Vec<Symbol> = names.iter().map(|n| Symbol::new(n)).collect();
+    let expected = string_poly_workload(&str_syms);
+    assert_eq!(
+        expected,
+        interned_poly_workload(&syms),
+        "both representations must compute the same polynomial"
+    );
+    let string_ns = time_secs(poly_iters, || string_poly_workload(&str_syms)) * 1e9;
+    let interned_ns = time_secs(poly_iters, || interned_poly_workload(&syms)) * 1e9;
+
+    // Sequential vs. level-parallel analysis.  On a single-core machine the
+    // honest measurement is jobs = 1 (the scheduler then takes the
+    // zero-overhead sequential path, and the recorded speedup is ~1.0).
+    let jobs = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(1);
+    let program = independent_sccs_program(8);
+    let seq_ms = time_secs(analysis_iters, || analyze_with_jobs(&program, 1)) * 1e3;
+    let par_ms = time_secs(analysis_iters, || analyze_with_jobs(&program, jobs)) * 1e3;
+
+    let report = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"poly_workload\": {{\n    \"string_ns\": {string_ns:.0},\n    \"interned_ns\": {interned_ns:.0},\n    \"interned_speedup\": {:.3}\n  }},\n  \"level_parallel\": {{\n    \"jobs\": {jobs},\n    \"seq_ms\": {seq_ms:.3},\n    \"par_ms\": {par_ms:.3},\n    \"parallel_speedup\": {:.3}\n  }}\n}}\n",
+        string_ns / interned_ns,
+        seq_ms / par_ms
+    );
+    println!("substrate-deltas\n{report}");
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .unwrap_or_else(|_| format!("{}/../../target", env!("CARGO_MANIFEST_DIR")));
+    let path = std::path::Path::new(&target).join("micro_substrates.json");
+    if let Err(e) = std::fs::write(&path, &report) {
+        eprintln!(
+            "warning: could not record bench JSON at {}: {e}",
+            path.display()
+        );
+    } else {
+        println!("recorded {}", path.display());
+    }
+}
 
 fn micro(c: &mut Criterion) {
+    representation_and_parallelism_deltas();
+    if smoke() {
+        // --smoke: the deltas above already ran one iteration of everything;
+        // skip the repeated-sample criterion cases.
+        return;
+    }
     c.bench_function("bigint/mul-256bit", |b| {
         let x: BigInt =
             "123456789012345678901234567890123456789012345678901234567890123456789012345"

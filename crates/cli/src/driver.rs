@@ -6,7 +6,7 @@
 
 use crate::json::Json;
 use crate::parser::parse_program;
-use chora_core::{complexity, Analyzer, ComplexityClass};
+use chora_core::{complexity, AnalysisConfig, Analyzer, ComplexityClass};
 use chora_expr::Symbol;
 use chora_ir::Program;
 use std::fmt;
@@ -27,11 +27,19 @@ impl std::error::Error for CliError {}
 fn read_and_parse(path: &str) -> Result<Program, CliError> {
     let src = std::fs::read_to_string(path)
         .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
-    parse_program(&src).map_err(|e| CliError(format!("{path}:{e}")))
+    parse_program(&src).map_err(|e| CliError(format!("{path}:{}", e.render(&src))))
+}
+
+/// An analyzer configured with the requested worker count.
+fn analyzer_with_jobs(jobs: usize) -> Analyzer {
+    Analyzer::with_config(AnalysisConfig {
+        jobs,
+        ..AnalysisConfig::default()
+    })
 }
 
 /// Options shared by the file-driven subcommands.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct FileOptions {
     pub path: String,
     pub json: bool,
@@ -41,6 +49,24 @@ pub struct FileOptions {
     pub cost_var: Option<String>,
     /// Size parameter (default: first parameter of the chosen procedure).
     pub size_param: Option<String>,
+    /// Worker threads for the level-parallel driver (1 = sequential,
+    /// 0 = one per core).
+    pub jobs: usize,
+}
+
+impl Default for FileOptions {
+    /// Matches the CLI defaults — in particular `jobs: 1` (sequential), the
+    /// same default as `AnalysisConfig` and the `--jobs` flag.
+    fn default() -> Self {
+        FileOptions {
+            path: String::new(),
+            json: false,
+            procedure: None,
+            cost_var: None,
+            size_param: None,
+            jobs: 1,
+        }
+    }
 }
 
 /// Picks the procedure the report focuses on.
@@ -74,7 +100,7 @@ fn resolve_cost_var(program: &Program, requested: Option<&str>) -> Result<Symbol
         return Ok(Symbol::new("cost"));
     }
     match program.globals.as_slice() {
-        [only] => Ok(only.clone()),
+        [only] => Ok(*only),
         _ => Err(CliError(
             "cannot infer the cost counter; pass --cost VAR".to_string(),
         )),
@@ -93,7 +119,7 @@ fn resolve_size_param(
         .procedure(proc_name)
         .expect("procedure resolved earlier");
     match proc.params.first() {
-        Some(p) => Ok(p.clone()),
+        Some(p) => Ok(*p),
         None => Err(CliError(format!(
             "procedure `{proc_name}` has no parameters; pass --size PARAM"
         ))),
@@ -111,7 +137,7 @@ pub fn analyze(opts: &FileOptions) -> Result<(String, i32), CliError> {
         None => None,
     };
     let started = Instant::now();
-    let result = Analyzer::new().analyze(&program);
+    let result = analyzer_with_jobs(opts.jobs).analyze(&program);
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
 
     let report_names: Vec<String> = match &focus {
@@ -239,7 +265,7 @@ pub fn complexity_cmd(opts: &FileOptions) -> Result<(String, i32), CliError> {
     let size = resolve_size_param(&program, &proc_name, opts.size_param.as_deref())?;
 
     let started = Instant::now();
-    let result = Analyzer::new().analyze(&program);
+    let result = analyzer_with_jobs(opts.jobs).analyze(&program);
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
 
     let summary = result
@@ -285,11 +311,28 @@ pub fn complexity_cmd(opts: &FileOptions) -> Result<(String, i32), CliError> {
 }
 
 /// Options for `chora bench`.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct BenchOptions {
     pub json: bool,
     /// Substring filter on benchmark names.
     pub filter: Option<String>,
+    /// Worker threads per analysis (1 = sequential, 0 = one per core).
+    pub jobs: usize,
+    /// Optional directory of `.imp` programs to analyze and time in
+    /// addition to the built-in suites.
+    pub programs_dir: Option<String>,
+}
+
+impl Default for BenchOptions {
+    /// Matches the CLI defaults — in particular `jobs: 1` (sequential).
+    fn default() -> Self {
+        BenchOptions {
+            json: false,
+            filter: None,
+            jobs: 1,
+            programs_dir: None,
+        }
+    }
 }
 
 /// `chora bench`: reruns the paper's built-in benchmark suites (Table 1
@@ -317,7 +360,7 @@ pub fn bench(opts: &BenchOptions) -> Result<(String, i32), CliError> {
             continue;
         }
         let started = Instant::now();
-        let result = Analyzer::new().analyze(&b.program);
+        let result = analyzer_with_jobs(opts.jobs).analyze(&b.program);
         let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
         assertion_rows.push((
             b.name,
@@ -327,7 +370,39 @@ pub fn bench(opts: &BenchOptions) -> Result<(String, i32), CliError> {
         ));
     }
 
-    if rows.is_empty() && assertion_rows.is_empty() {
+    // Optional directory of .imp programs: parse + analyze each, with
+    // wall-clock timings — the on-disk counterpart of the built-in suites.
+    let mut program_rows: Vec<(String, usize, bool, f64)> = Vec::new();
+    if let Some(dir) = &opts.programs_dir {
+        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| CliError(format!("cannot read directory `{dir}`: {e}")))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "imp"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let display = path.display().to_string();
+            let name = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| display.clone());
+            if !keep(&name) {
+                continue;
+            }
+            let program = read_and_parse(&display)?;
+            let started = Instant::now();
+            let result = analyzer_with_jobs(opts.jobs).analyze(&program);
+            let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+            program_rows.push((
+                name,
+                result.summaries.len(),
+                result.all_assertions_verified(),
+                elapsed_ms,
+            ));
+        }
+    }
+
+    if rows.is_empty() && assertion_rows.is_empty() && program_rows.is_empty() {
         return Err(CliError(format!(
             "no benchmark matches filter `{}`",
             opts.filter.as_deref().unwrap_or("")
@@ -356,9 +431,20 @@ pub fn bench(opts: &BenchOptions) -> Result<(String, i32), CliError> {
                     .field("analysis_ms", Json::Float(*ms))
             })
             .collect();
+        let program_json: Vec<Json> = program_rows
+            .iter()
+            .map(|(name, procedures, verified, ms)| {
+                Json::object()
+                    .field("name", Json::str(name))
+                    .field("procedures", Json::Int(*procedures as i64))
+                    .field("all_assertions_verified", Json::Bool(*verified))
+                    .field("analysis_ms", Json::Float(*ms))
+            })
+            .collect();
         let doc = Json::object()
             .field("complexity", Json::Array(complexity_json))
-            .field("assertions", Json::Array(assertion_json));
+            .field("assertions", Json::Array(assertion_json))
+            .field("programs", Json::Array(program_json));
         return Ok((doc.pretty(), 0));
     }
 
@@ -386,6 +472,21 @@ pub fn bench(opts: &BenchOptions) -> Result<(String, i32), CliError> {
             let v = if *verified { "proved" } else { "n.p." };
             let p = if *paper { "proved" } else { "n.p." };
             out.push_str(&format!("{name:<18} {v:<10} {p:<12} {ms:>8.1}ms\n"));
+        }
+    }
+    if !program_rows.is_empty() {
+        if !rows.is_empty() || !assertion_rows.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:<18} {:<12} {:<12} {:>10}\n",
+            "program", "procedures", "assertions", "time"
+        ));
+        for (name, procedures, verified, ms) in &program_rows {
+            let v = if *verified { "verified" } else { "n.p." };
+            out.push_str(&format!(
+                "{name:<18} {procedures:<12} {v:<12} {ms:>8.1}ms\n"
+            ));
         }
     }
     Ok((out, 0))

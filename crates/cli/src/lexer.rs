@@ -124,6 +124,38 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+impl ParseError {
+    /// Renders the error with the offending source line and a caret marking
+    /// the column, e.g.:
+    ///
+    /// ```text
+    /// 3:15: expected statement, found `)`
+    ///   3 | while (i < n) )
+    ///     |               ^
+    /// ```
+    ///
+    /// Falls back to the plain `line:col: message` form when the position
+    /// lies outside `src` (e.g. an end-of-input error after the last line).
+    pub fn render(&self, src: &str) -> String {
+        let mut out = self.to_string();
+        let Some(line_text) = src.lines().nth(self.line.saturating_sub(1)) else {
+            return out;
+        };
+        let gutter = self.line.to_string();
+        out.push_str(&format!("\n  {gutter} | {line_text}"));
+        // The caret column counts characters, matching the lexer's `col`.
+        let caret_offset = self.col.saturating_sub(1).min(line_text.chars().count());
+        out.push_str(&format!(
+            "\n  {:width$} | {:>offset$}^",
+            "",
+            "",
+            width = gutter.len(),
+            offset = caret_offset
+        ));
+        out
+    }
+}
+
 pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
     let bytes = src.as_bytes();
     let mut tokens = Vec::new();
@@ -177,10 +209,14 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
                     if bytes[i] == b'\n' {
                         line += 1;
                         col = 1;
+                        i += 1;
                     } else {
+                        // Columns count characters, so multi-byte UTF-8 in a
+                        // comment must advance `col` once, not per byte.
+                        let ch = src[i..].chars().next().expect("in-bounds char");
                         col += 1;
+                        i += ch.len_utf8();
                     }
-                    i += 1;
                 }
             }
             'a'..='z' | 'A'..='Z' | '_' => {

@@ -13,11 +13,15 @@ SUBCOMMANDS:
     analyze FILE      Analyze a .imp program: procedure summaries, bound
                       facts, depth bounds, and assertion verdicts
     complexity FILE   Extract a closed-form cost bound and asymptotic class
-    bench             Rerun the built-in paper benchmark suites
+    bench [DIR]       Rerun the built-in paper benchmark suites (and time
+                      every .imp program under DIR, when given)
     print FILE        Parse a .imp program and pretty-print it back
 
-OPTIONS (analyze / complexity):
+OPTIONS (analyze / complexity / bench):
     --json            Emit machine-readable JSON
+    --jobs N          Summarize independent call-graph components on N
+                      worker threads (default 1; 0 = one per core).  The
+                      output is identical for every N
     --proc NAME       Procedure to report on (default: all for analyze;
                       sole procedure or main for complexity)
 
@@ -26,13 +30,13 @@ OPTIONS (complexity only):
     --size PARAM      Size parameter (default: first parameter of the proc)
 
 OPTIONS (bench):
-    --json            Emit machine-readable JSON
     --filter SUBSTR   Only run benchmarks whose name contains SUBSTR
 
 EXAMPLES:
     chora complexity examples/programs/hanoi.imp --json
-    chora analyze examples/programs/fib.imp
+    chora analyze examples/programs/merge-sort.imp --jobs 4
     chora bench --filter hanoi
+    chora bench --json examples/programs
 ";
 
 fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
@@ -45,6 +49,15 @@ fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, Stri
         Ok(Some(value))
     } else {
         Ok(None)
+    }
+}
+
+fn take_jobs(args: &mut Vec<String>) -> Result<usize, String> {
+    match take_value(args, "--jobs")? {
+        None => Ok(1),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--jobs expects a non-negative integer, got `{v}`")),
     }
 }
 
@@ -66,6 +79,7 @@ fn run() -> Result<(String, i32), String> {
     match subcommand.as_str() {
         "analyze" | "complexity" => {
             let json = take_flag(&mut args, "--json");
+            let jobs = take_jobs(&mut args)?;
             let procedure = take_value(&mut args, "--proc")?;
             let cost_var = take_value(&mut args, "--cost")?;
             let size_param = take_value(&mut args, "--size")?;
@@ -84,6 +98,7 @@ fn run() -> Result<(String, i32), String> {
                 procedure,
                 cost_var,
                 size_param,
+                jobs,
             };
             let result = if subcommand == "analyze" {
                 analyze(&opts)
@@ -94,11 +109,20 @@ fn run() -> Result<(String, i32), String> {
         }
         "bench" => {
             let json = take_flag(&mut args, "--json");
+            let jobs = take_jobs(&mut args)?;
             let filter = take_value(&mut args, "--filter")?;
-            if !args.is_empty() {
-                return Err(format!("unexpected arguments: {}", args.join(" ")));
-            }
-            bench(&BenchOptions { json, filter }).map_err(|e| e.to_string())
+            let programs_dir = match args.as_slice() {
+                [] => None,
+                [dir] => Some(dir.clone()),
+                _ => return Err(format!("unexpected arguments: {}", args.join(" "))),
+            };
+            bench(&BenchOptions {
+                json,
+                filter,
+                jobs,
+                programs_dir,
+            })
+            .map_err(|e| e.to_string())
         }
         "print" => {
             let [path] = args.as_slice() else {

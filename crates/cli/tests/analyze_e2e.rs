@@ -1,6 +1,6 @@
 //! End-to-end CLI tests: file in, analysis verdict out.
 
-use chora_cli::{analyze, bench, complexity_cmd, BenchOptions, FileOptions};
+use chora_cli::{analyze, bench, complexity_cmd, print_cmd, BenchOptions, FileOptions};
 use std::path::PathBuf;
 
 fn example(name: &str) -> String {
@@ -9,6 +9,15 @@ fn example(name: &str) -> String {
         .join(name)
         .display()
         .to_string()
+}
+
+/// Drops the wall-clock field so reproducibility checks compare only the
+/// analysis content.
+fn strip_timing(out: String) -> String {
+    out.lines()
+        .filter(|l| !l.contains("analysis_ms"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn file_opts(name: &str, json: bool) -> FileOptions {
@@ -66,6 +75,7 @@ fn bench_filter_runs_single_benchmark() {
     let (output, exit) = bench(&BenchOptions {
         json: true,
         filter: Some("hanoi".to_string()),
+        ..BenchOptions::default()
     })
     .expect("bench runs");
     assert_eq!(exit, 0);
@@ -79,4 +89,72 @@ fn bench_filter_runs_single_benchmark() {
 fn missing_file_is_a_clean_error() {
     let err = analyze(&file_opts("no-such-file.imp", false)).unwrap_err();
     assert!(err.to_string().contains("cannot read"), "got: {err}");
+}
+
+#[test]
+fn analyze_json_is_byte_identical_across_runs() {
+    // The per-analysis FreshSource (and the structural symbol encoding) make
+    // repeated analyses of the same file reproducible down to the byte; only
+    // the timing field varies, so it is stripped before comparing.
+    let (first, _) = analyze(&file_opts("merge-sort.imp", true)).expect("analysis runs");
+    let (second, _) = analyze(&file_opts("merge-sort.imp", true)).expect("analysis runs");
+    assert_eq!(
+        strip_timing(first),
+        strip_timing(second),
+        "repeated runs must be byte-identical"
+    );
+}
+
+#[test]
+fn analyze_output_is_independent_of_jobs() {
+    let sequential = FileOptions {
+        jobs: 1,
+        ..file_opts("merge-sort.imp", true)
+    };
+    let parallel = FileOptions {
+        jobs: 4,
+        ..file_opts("merge-sort.imp", true)
+    };
+    let (seq_out, seq_exit) = analyze(&sequential).expect("sequential analysis runs");
+    let (par_out, par_exit) = analyze(&parallel).expect("parallel analysis runs");
+    assert_eq!(seq_exit, par_exit);
+    assert_eq!(
+        strip_timing(seq_out),
+        strip_timing(par_out),
+        "--jobs 4 must produce output identical to --jobs 1"
+    );
+}
+
+#[test]
+fn bench_times_programs_directory() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/programs")
+        .display()
+        .to_string();
+    let (output, exit) = bench(&BenchOptions {
+        json: true,
+        filter: Some("hanoi".to_string()),
+        jobs: 2,
+        programs_dir: Some(dir),
+    })
+    .expect("bench runs");
+    assert_eq!(exit, 0);
+    assert!(output.contains("\"programs\""), "got:\n{output}");
+    assert!(output.contains("\"procedures\": 1"), "got:\n{output}");
+}
+
+#[test]
+fn parse_errors_carry_position_and_caret() {
+    let dir = std::env::temp_dir().join("chora-parse-error-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bad.imp");
+    std::fs::write(&path, "proc main(n) {\n  x := ;\n}\n").expect("write temp program");
+    let err = print_cmd(&path.display().to_string()).unwrap_err();
+    let message = err.to_string();
+    assert!(message.contains("2:8"), "expected line:col, got: {message}");
+    assert!(
+        message.contains("x := ;"),
+        "expected source line in error, got: {message}"
+    );
+    assert!(message.contains('^'), "expected caret, got: {message}");
 }

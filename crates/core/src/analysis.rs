@@ -13,8 +13,8 @@ use crate::depth::{depth_bound, polynomial_to_term, DepthBound};
 use crate::height::{analyze_scc, HeightAnalysis};
 use crate::lower::lower_cond_post;
 use crate::summarize::{return_variable, Summarizer};
-use chora_expr::{ExpPoly, Polynomial, Symbol, Term};
-use chora_ir::{CallGraph, Procedure, Program, Stmt};
+use chora_expr::{ExpPoly, FreshSource, Polynomial, Symbol, Term};
+use chora_ir::{CallGraph, Component, Procedure, Program, Stmt};
 use chora_logic::{Atom, Polyhedron, TransitionFormula};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -29,6 +29,12 @@ pub struct AnalysisConfig {
     pub enable_polynomial_facts: bool,
     /// Disjunct cap for transition formulas.
     pub disjunct_cap: usize,
+    /// Number of worker threads used to summarize independent call-graph
+    /// components within one topological level (and to check assertions of
+    /// distinct procedures).  `1` means fully sequential; `0` means one
+    /// worker per available core.  The analysis result is identical for
+    /// every value — scheduling only affects wall-clock time.
+    pub jobs: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -37,6 +43,7 @@ impl Default for AnalysisConfig {
             enable_depth_bounds: true,
             enable_polynomial_facts: true,
             disjunct_cap: chora_logic::DEFAULT_DISJUNCT_CAP,
+            jobs: 1,
         }
     }
 }
@@ -121,64 +128,115 @@ impl Analyzer {
         Analyzer { config }
     }
 
-    /// Analyses a program: computes procedure summaries bottom-up and checks
-    /// every assertion.
+    /// The number of worker threads the configuration resolves to.
+    pub fn effective_jobs(&self) -> usize {
+        if self.config.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.config.jobs
+        }
+    }
+
+    /// Analyses a program: computes procedure summaries bottom-up over the
+    /// call graph's strongly connected components and checks every assertion.
+    ///
+    /// Components are scheduled in topological *levels*: all components of a
+    /// level only call into lower levels, so they are summarized concurrently
+    /// (bounded by [`AnalysisConfig::jobs`] scoped threads) with the shared
+    /// summary table behind the summarizer's `RwLock`.  Every task draws its
+    /// existential symbols from an own deterministic [`FreshSource`], so the
+    /// result — down to the byte — is independent of the schedule.
     pub fn analyze(&self, program: &Program) -> AnalysisResult {
         let callgraph = CallGraph::build(program);
-        let mut summarizer = Summarizer::new(program);
+        let levels = callgraph.component_levels();
+        let summarizer = Summarizer::new(program);
         let mut result = AnalysisResult::default();
-        for component in callgraph.components_bottom_up() {
-            if !component.recursive {
-                for name in &component.members {
-                    let Some(proc) = program.procedure(name) else {
-                        continue;
-                    };
-                    let formula = summarizer.summarize_procedure(proc, &BTreeMap::new());
-                    summarizer.summaries.insert(name.clone(), formula.clone());
-                    result.summaries.insert(
-                        name.clone(),
-                        ProcedureSummary {
-                            name: name.clone(),
-                            formula,
-                            bound_facts: Vec::new(),
-                            depth: None,
-                            recursive: false,
-                        },
-                    );
+        let jobs = self.effective_jobs();
+        // Scopes are assigned by bottom-up component order (then by
+        // procedure order for the assertion pass), identically for every
+        // schedule.
+        let mut next_scope: u32 = 0;
+        for level in &levels {
+            let scopes: Vec<u32> = (0..level.len() as u32).map(|i| next_scope + i).collect();
+            next_scope += level.len() as u32;
+            let outputs = parallel_map(jobs, level.len(), |i| {
+                self.summarize_component(program, &summarizer, &level[i], scopes[i])
+            });
+            for summaries in outputs {
+                for summary in summaries {
+                    summarizer.insert_summary(summary.name.clone(), summary.formula.clone());
+                    result.summaries.insert(summary.name.clone(), summary);
                 }
-                continue;
-            }
-            let height = analyze_scc(&summarizer, &component.members);
-            for name in &component.members {
-                let Some(proc) = program.procedure(name) else {
-                    continue;
-                };
-                let depth = if self.config.enable_depth_bounds {
-                    depth_bound(&summarizer, proc, &component.members)
-                } else {
-                    None
-                };
-                let summary = self.assemble_recursive_summary(proc, &height, &depth);
-                summarizer
-                    .summaries
-                    .insert(name.clone(), summary.formula.clone());
-                result.summaries.insert(name.clone(), summary);
             }
         }
-        // Assertion-checking pass with the final summaries.
-        for proc in &program.procedures {
+        // Assertion-checking pass with the final summaries, one task per
+        // procedure.
+        let assert_scope_base = next_scope;
+        let checks = parallel_map(jobs, program.procedures.len(), |i| {
+            let proc = &program.procedures[i];
+            let fresh = FreshSource::new(assert_scope_base + i as u32);
             let vars = summarizer.proc_vars(proc);
             let prefix = TransitionFormula::identity(&vars);
+            let mut asserts = Vec::new();
             self.check_asserts_with(
                 &summarizer,
                 proc,
                 &proc.body,
                 &vars,
                 prefix,
-                &mut result.assertions,
+                &mut asserts,
+                &fresh,
             );
+            asserts
+        });
+        for asserts in checks {
+            result.assertions.extend(asserts);
         }
         result
+    }
+
+    /// Summarizes one strongly connected component (the per-task body of the
+    /// level scheduler); returns the finished summaries in member order.
+    fn summarize_component(
+        &self,
+        program: &Program,
+        summarizer: &Summarizer<'_>,
+        component: &Component,
+        scope: u32,
+    ) -> Vec<ProcedureSummary> {
+        let fresh = FreshSource::new(scope);
+        let mut out = Vec::new();
+        if !component.recursive {
+            for name in &component.members {
+                let Some(proc) = program.procedure(name) else {
+                    continue;
+                };
+                let formula = summarizer.summarize_procedure(proc, &BTreeMap::new(), &fresh);
+                out.push(ProcedureSummary {
+                    name: name.clone(),
+                    formula,
+                    bound_facts: Vec::new(),
+                    depth: None,
+                    recursive: false,
+                });
+            }
+            return out;
+        }
+        let height = analyze_scc(summarizer, &component.members, &fresh);
+        for name in &component.members {
+            let Some(proc) = program.procedure(name) else {
+                continue;
+            };
+            let depth = if self.config.enable_depth_bounds {
+                depth_bound(summarizer, proc, &component.members, &fresh)
+            } else {
+                None
+            };
+            out.push(self.assemble_recursive_summary(proc, &height, &depth));
+        }
+        out
     }
 
     /// Builds the final summary of a recursive procedure from the solved
@@ -277,10 +335,11 @@ impl Analyzer {
         vars: &[Symbol],
         prefix: TransitionFormula,
         out: &mut Vec<AssertionResult>,
+        fresh: &FreshSource,
     ) -> TransitionFormula {
         match stmt {
             Stmt::Assert(cond, label) => {
-                let verified = self.prove(&prefix, cond, vars);
+                let verified = self.prove(&prefix, cond, vars, fresh);
                 out.push(AssertionResult {
                     procedure: proc.name.clone(),
                     label: label.clone(),
@@ -291,17 +350,23 @@ impl Analyzer {
             Stmt::Seq(stmts) => {
                 let mut current = prefix;
                 for s in stmts {
-                    current = self.check_asserts_with(summarizer, proc, s, vars, current, out);
+                    current =
+                        self.check_asserts_with(summarizer, proc, s, vars, current, out, fresh);
                 }
                 current
             }
             Stmt::If(c, then_branch, else_branch) => {
-                let guard_t =
-                    summarizer.summarize_stmt(&Stmt::Assume(c.clone()), vars, &BTreeMap::new());
+                let guard_t = summarizer.summarize_stmt(
+                    &Stmt::Assume(c.clone()),
+                    vars,
+                    &BTreeMap::new(),
+                    fresh,
+                );
                 let guard_f = summarizer.summarize_stmt(
                     &Stmt::Assume(c.clone().negate()),
                     vars,
                     &BTreeMap::new(),
+                    fresh,
                 );
                 let after_then = self.check_asserts_with(
                     summarizer,
@@ -310,6 +375,7 @@ impl Analyzer {
                     vars,
                     prefix.sequence(&guard_t.fall_through, vars),
                     out,
+                    fresh,
                 );
                 let after_else = self.check_asserts_with(
                     summarizer,
@@ -318,35 +384,41 @@ impl Analyzer {
                     vars,
                     prefix.sequence(&guard_f.fall_through, vars),
                     out,
+                    fresh,
                 );
                 after_then.union(&after_else)
             }
             Stmt::While(c, body) => {
-                let body_summary = summarizer.summarize_stmt(body, vars, &BTreeMap::new());
-                let guard_t =
-                    summarizer.summarize_stmt(&Stmt::Assume(c.clone()), vars, &BTreeMap::new());
+                let body_summary = summarizer.summarize_stmt(body, vars, &BTreeMap::new(), fresh);
+                let guard_t = summarizer.summarize_stmt(
+                    &Stmt::Assume(c.clone()),
+                    vars,
+                    &BTreeMap::new(),
+                    fresh,
+                );
                 let guard_f = summarizer.summarize_stmt(
                     &Stmt::Assume(c.clone().negate()),
                     vars,
                     &BTreeMap::new(),
+                    fresh,
                 );
                 let one_iter = guard_t
                     .fall_through
                     .sequence(&body_summary.fall_through, vars);
-                let iterations = summarizer.loop_summary(&one_iter, vars);
+                let iterations = summarizer.loop_summary(&one_iter, vars, fresh);
                 // Check assertions inside the body under the loop invariant
                 // approximation.
                 let in_loop = prefix
                     .sequence(&iterations, vars)
                     .sequence(&guard_t.fall_through, vars);
-                let _ = self.check_asserts_with(summarizer, proc, body, vars, in_loop, out);
+                let _ = self.check_asserts_with(summarizer, proc, body, vars, in_loop, out, fresh);
                 prefix
                     .sequence(&iterations, vars)
                     .sequence(&guard_f.fall_through, vars)
             }
             Stmt::Return(_) => TransitionFormula::bottom(),
             other => {
-                let summary = summarizer.summarize_stmt(other, vars, &BTreeMap::new());
+                let summary = summarizer.summarize_stmt(other, vars, &BTreeMap::new(), fresh);
                 prefix.sequence(&summary.fall_through, vars)
             }
         }
@@ -354,14 +426,59 @@ impl Analyzer {
 
     /// Proves `prefix ⊨ cond` where `cond` refers to the current (post)
     /// values of the program variables.
-    fn prove(&self, prefix: &TransitionFormula, cond: &chora_ir::Cond, vars: &[Symbol]) -> bool {
-        let post_disjuncts = lower_cond_post(cond, vars);
+    fn prove(
+        &self,
+        prefix: &TransitionFormula,
+        cond: &chora_ir::Cond,
+        vars: &[Symbol],
+        fresh: &FreshSource,
+    ) -> bool {
+        let post_disjuncts = lower_cond_post(cond, vars, fresh);
         prefix.disjuncts().iter().all(|reach| {
             post_disjuncts
                 .iter()
                 .any(|goal| goal.atoms().iter().all(|a| reach.implies_atom(a)))
         })
     }
+}
+
+/// Runs `f(0..n)` on up to `jobs` scoped worker threads and returns the
+/// results in index order.  Indices are dealt round-robin, each worker
+/// processes its share sequentially, and the caller re-assembles by index —
+/// so the output is independent of scheduling.  `jobs <= 1` (or a single
+/// item) degrades to a plain sequential loop with no thread overhead.
+fn parallel_map<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = jobs.min(n);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    (w..n)
+                        .step_by(workers)
+                        .map(|i| (i, f(i)))
+                        .collect::<Vec<(usize, T)>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("analysis worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index computed"))
+        .collect()
 }
 
 /// Extracts, from a recursive procedure's summary, an upper bound (as a
@@ -374,13 +491,11 @@ pub fn upper_bound_on_post(summary: &ProcedureSummary, var: &Symbol) -> Option<T
     for fact in &summary.bound_facts {
         let Some(bound) = &fact.bound else { continue };
         // τ must be of the form  var' + rest  with `rest` over pre-state vars.
-        let coeff = fact
-            .term
-            .coefficient(&chora_expr::Monomial::var(primed.clone()));
+        let coeff = fact.term.coefficient(&chora_expr::Monomial::var(primed));
         if !coeff.is_one() {
             continue;
         }
-        let rest = &fact.term - &Polynomial::var(primed.clone());
+        let rest = &fact.term - &Polynomial::var(primed);
         if rest.symbols().iter().any(|s| s.is_post()) {
             continue;
         }
@@ -401,7 +516,7 @@ pub fn upper_bound_on_post(summary: &ProcedureSummary, var: &Symbol) -> Option<T
         .into_iter()
         .filter(|s| !s.is_post() || s == &primed)
         .collect();
-    keep.insert(primed.clone());
+    keep.insert(primed);
     let hull = summary.formula.abstract_hull(&keep);
     hull.upper_bounds_on(&primed)
         .first()

@@ -1,6 +1,6 @@
 //! An ICRA-style baseline analyzer.
 //!
-//! ICRA [24] lifts Compositional Recurrence Analysis to linearly recursive
+//! ICRA \[24\] lifts Compositional Recurrence Analysis to linearly recursive
 //! procedures but "resorts to Kleene iteration in the case of non-linear
 //! recursion" (§5).  This baseline reproduces that behaviour over the same
 //! substrate as the CHORA analyzer: non-recursive components are summarized
@@ -12,6 +12,7 @@
 
 use crate::analysis::{AnalysisResult, AssertionResult, ProcedureSummary};
 use crate::summarize::Summarizer;
+use chora_expr::FreshSource;
 use chora_ir::{CallGraph, Program};
 use chora_logic::TransitionFormula;
 use std::collections::BTreeMap;
@@ -41,16 +42,19 @@ impl BaselineAnalyzer {
     /// Analyses a program with the baseline strategy.
     pub fn analyze(&self, program: &Program) -> AnalysisResult {
         let callgraph = CallGraph::build(program);
-        let mut summarizer = Summarizer::new(program);
+        let summarizer = Summarizer::new(program);
         let mut result = AnalysisResult::default();
+        let mut next_scope: u32 = 0;
         for component in callgraph.components_bottom_up() {
+            let fresh = FreshSource::new(next_scope);
+            next_scope += 1;
             if !component.recursive {
                 for name in &component.members {
                     let Some(proc) = program.procedure(name) else {
                         continue;
                     };
-                    let formula = summarizer.summarize_procedure(proc, &BTreeMap::new());
-                    summarizer.summaries.insert(name.clone(), formula.clone());
+                    let formula = summarizer.summarize_procedure(proc, &BTreeMap::new(), &fresh);
+                    summarizer.insert_summary(name.clone(), formula.clone());
                     result.summaries.insert(
                         name.clone(),
                         ProcedureSummary {
@@ -77,7 +81,10 @@ impl BaselineAnalyzer {
                     let Some(proc) = program.procedure(name) else {
                         continue;
                     };
-                    next.insert(name.clone(), summarizer.summarize_procedure(proc, &current));
+                    next.insert(
+                        name.clone(),
+                        summarizer.summarize_procedure(proc, &current, &fresh),
+                    );
                 }
                 if component
                     .members
@@ -98,7 +105,7 @@ impl BaselineAnalyzer {
                     // recursion (globals and the return value are havocked).
                     TransitionFormula::top()
                 };
-                summarizer.summaries.insert(name.clone(), formula.clone());
+                summarizer.insert_summary(name.clone(), formula.clone());
                 result.summaries.insert(
                     name.clone(),
                     ProcedureSummary {
@@ -116,6 +123,8 @@ impl BaselineAnalyzer {
         let analyzer = crate::analysis::Analyzer::new();
         let mut assertions: Vec<AssertionResult> = Vec::new();
         for proc in &program.procedures {
+            let fresh = FreshSource::new(next_scope);
+            next_scope += 1;
             let vars = summarizer.proc_vars(proc);
             let prefix = TransitionFormula::identity(&vars);
             analyzer.check_asserts_with(
@@ -125,6 +134,7 @@ impl BaselineAnalyzer {
                 &vars,
                 prefix,
                 &mut assertions,
+                &fresh,
             );
         }
         result.assertions = assertions;

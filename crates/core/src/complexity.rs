@@ -85,7 +85,7 @@ pub fn classify(bound: &Term, size_param: &Symbol) -> ComplexityClass {
         for s in bound.symbols() {
             env.insert(s, 0.0);
         }
-        env.insert(size_param.clone(), n);
+        env.insert(*size_param, n);
         bound.eval_f64(&env)
     };
     // Detect exponential growth on small arguments first.
@@ -143,7 +143,7 @@ fn classify_from_slope(slope: f64, p1: f64, p2: f64) -> ComplexityClass {
 pub fn term_to_polynomial(t: &Term) -> Option<Polynomial> {
     match t {
         Term::Const(c) => Some(Polynomial::constant(c.clone())),
-        Term::Var(s) => Some(Polynomial::var(s.clone())),
+        Term::Var(s) => Some(Polynomial::var(*s)),
         Term::Add(ts) => {
             let mut acc = Polynomial::zero();
             for x in ts {
@@ -207,7 +207,7 @@ pub fn eval_bound_at(bound: &Term, size_param: &Symbol, n: i64) -> Option<f64> {
     for s in bound.symbols() {
         env.insert(s, 0.0);
     }
-    env.insert(size_param.clone(), n as f64);
+    env.insert(*size_param, n as f64);
     bound.eval_f64(&env)
 }
 

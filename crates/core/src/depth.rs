@@ -13,7 +13,7 @@
 
 use crate::lower::{lower_cond, lower_cond_negated, lower_expr};
 use crate::summarize::Summarizer;
-use chora_expr::{Polynomial, Symbol, Term};
+use chora_expr::{FreshSource, Polynomial, Symbol, Term};
 use chora_ir::{Procedure, Stmt};
 use chora_logic::{Atom, Polyhedron, TransitionFormula};
 use chora_numeric::BigRational;
@@ -68,8 +68,9 @@ pub fn depth_bound(
     summarizer: &Summarizer<'_>,
     proc: &Procedure,
     members: &[String],
+    fresh: &FreshSource,
 ) -> Option<DepthBound> {
-    let descent = descent_relation(summarizer, proc, members);
+    let descent = descent_relation(summarizer, proc, members, fresh);
     if descent.is_bottom() {
         // No recursive call is reachable: depth 1.
         return Some(DepthBound::Linear(Term::one()));
@@ -77,17 +78,17 @@ pub fn depth_bound(
     let params: Vec<Symbol> = proc.params.clone();
     let mut keep: BTreeSet<Symbol> = BTreeSet::new();
     for p in &params {
-        keep.insert(p.clone());
+        keep.insert(*p);
         keep.insert(p.primed());
     }
     let hull = descent.abstract_hull(&keep);
     // Ranking candidates: parameters and pairwise differences.
     let mut candidates: Vec<Polynomial> = Vec::new();
     for p in &params {
-        candidates.push(Polynomial::var(p.clone()));
+        candidates.push(Polynomial::var(*p));
         for q in &params {
             if p != q {
-                candidates.push(&Polynomial::var(p.clone()) - &Polynomial::var(q.clone()));
+                candidates.push(&Polynomial::var(*p) - &Polynomial::var(*q));
             }
         }
     }
@@ -96,7 +97,7 @@ pub fn depth_bound(
             if params.contains(s) {
                 s.primed()
             } else {
-                s.clone()
+                *s
             }
         })
     };
@@ -138,6 +139,7 @@ pub fn descent_relation(
     summarizer: &Summarizer<'_>,
     proc: &Procedure,
     members: &[String],
+    fresh: &FreshSource,
 ) -> TransitionFormula {
     let vars = summarizer.proc_vars(proc);
     // Override SCC calls with a skip summary (havoc globals and return).
@@ -154,17 +156,18 @@ pub fn descent_relation(
         &skip_override,
         prefix,
         &mut reached,
+        fresh,
     );
     // Project onto the procedure parameters (pre) and the callee parameter
     // names (post).  For self/mutual recursion in the benchmark suite the
     // callee parameter names coincide positionally with the caller's.
     let mut keep: BTreeSet<Symbol> = BTreeSet::new();
     for p in &proc.params {
-        keep.insert(p.clone());
+        keep.insert(*p);
         keep.insert(p.primed());
     }
     for g in &summarizer.program().globals {
-        keep.insert(g.clone());
+        keep.insert(*g);
         keep.insert(g.primed());
     }
     reached.project_onto(&keep).simplify()
@@ -173,6 +176,7 @@ pub fn descent_relation(
 /// Walks the body, accumulating `prefix ; (arguments bound to callee formals)`
 /// for every call to an SCC member, and returns the prefix after the
 /// statement (with SCC calls skipped).
+#[allow(clippy::too_many_arguments)]
 fn collect_descents(
     summarizer: &Summarizer<'_>,
     stmt: &Stmt,
@@ -181,23 +185,24 @@ fn collect_descents(
     skip_override: &BTreeMap<String, TransitionFormula>,
     prefix: TransitionFormula,
     reached: &mut TransitionFormula,
+    fresh: &FreshSource,
 ) -> TransitionFormula {
     match stmt {
         Stmt::Call { callee, args, .. } if members.contains(callee) => {
             // Bind the callee's formals (as post-state) to the actuals.
             if let Some(callee_proc) = summarizer.program().procedure(callee) {
                 let mut atoms = Vec::new();
-                let mut fresh: BTreeSet<Symbol> = BTreeSet::new();
+                let mut to_drop: BTreeSet<Symbol> = BTreeSet::new();
                 for (i, formal) in callee_proc.params.iter().enumerate() {
                     if let Some(arg) = args.get(i) {
-                        let lowered = lower_expr(arg);
+                        let lowered = lower_expr(arg, fresh);
                         atoms.push(Atom::eq(Polynomial::var(formal.primed()), lowered.value));
                         atoms.extend(lowered.constraints);
-                        fresh.extend(lowered.fresh);
+                        to_drop.extend(lowered.fresh);
                     }
                 }
                 let binding = TransitionFormula::from_polyhedron(Polyhedron::from_atoms(atoms))
-                    .eliminate(&fresh);
+                    .eliminate(&to_drop);
                 // `binding` constrains post-state formals in terms of the
                 // *pre-state at the call site*; compose the prefix with an
                 // identity-extended binding over the caller's vars.
@@ -205,7 +210,7 @@ fn collect_descents(
                 *reached = reached.union(&descent);
             }
             // Continue past the call with skip semantics.
-            let skipped = summarizer.summarize_stmt(stmt, vars, skip_override);
+            let skipped = summarizer.summarize_stmt(stmt, vars, skip_override, fresh);
             prefix.sequence(&skipped.fall_through, vars)
         }
         Stmt::Seq(stmts) => {
@@ -219,13 +224,14 @@ fn collect_descents(
                     skip_override,
                     current,
                     reached,
+                    fresh,
                 );
             }
             current
         }
         Stmt::If(c, then_branch, else_branch) => {
-            let guard_t = assume_all(summarizer, c, vars, false);
-            let guard_f = assume_all(summarizer, c, vars, true);
+            let guard_t = assume_all(summarizer, c, vars, false, fresh);
+            let guard_f = assume_all(summarizer, c, vars, true, fresh);
             let after_then = collect_descents(
                 summarizer,
                 then_branch,
@@ -234,6 +240,7 @@ fn collect_descents(
                 skip_override,
                 prefix.sequence(&guard_t, vars),
                 reached,
+                fresh,
             );
             let after_else = collect_descents(
                 summarizer,
@@ -243,15 +250,16 @@ fn collect_descents(
                 skip_override,
                 prefix.sequence(&guard_f, vars),
                 reached,
+                fresh,
             );
             after_then.union(&after_else)
         }
         Stmt::While(c, body) => {
-            let guard_t = assume_all(summarizer, c, vars, false);
-            let guard_f = assume_all(summarizer, c, vars, true);
-            let body_skip = summarizer.summarize_stmt(body, vars, skip_override);
+            let guard_t = assume_all(summarizer, c, vars, false, fresh);
+            let guard_f = assume_all(summarizer, c, vars, true, fresh);
+            let body_skip = summarizer.summarize_stmt(body, vars, skip_override, fresh);
             let one_iter = guard_t.sequence(&body_skip.fall_through, vars);
-            let iterations = summarizer.loop_summary(&one_iter, vars);
+            let iterations = summarizer.loop_summary(&one_iter, vars, fresh);
             // Calls inside the body are reachable after any number of
             // iterations plus the guard.
             let in_loop_prefix = prefix.sequence(&iterations, vars).sequence(&guard_t, vars);
@@ -263,6 +271,7 @@ fn collect_descents(
                 skip_override,
                 in_loop_prefix,
                 reached,
+                fresh,
             );
             prefix.sequence(&iterations, vars).sequence(&guard_f, vars)
         }
@@ -271,7 +280,7 @@ fn collect_descents(
             TransitionFormula::bottom()
         }
         other => {
-            let summary = summarizer.summarize_stmt(other, vars, skip_override);
+            let summary = summarizer.summarize_stmt(other, vars, skip_override, fresh);
             prefix.sequence(&summary.fall_through, vars)
         }
     }
@@ -282,11 +291,12 @@ fn assume_all(
     c: &chora_ir::Cond,
     vars: &[Symbol],
     negated: bool,
+    fresh: &FreshSource,
 ) -> TransitionFormula {
     let disjuncts = if negated {
-        lower_cond_negated(c)
+        lower_cond_negated(c, fresh)
     } else {
-        lower_cond(c)
+        lower_cond(c, fresh)
     };
     let mut out = TransitionFormula::bottom();
     for conj in disjuncts {
@@ -303,7 +313,7 @@ pub fn polynomial_to_term(p: &Polynomial) -> Term {
         let mut factors = vec![Term::constant(c.clone())];
         for (s, e) in m.powers() {
             for _ in 0..e {
-                factors.push(Term::var(s.clone()));
+                factors.push(Term::var(*s));
             }
         }
         summands.push(Term::mul(factors));
@@ -348,7 +358,8 @@ mod tests {
         ));
         let s = summarizer_for(&prog);
         let proc = prog.procedure("aux").unwrap();
-        let bound = depth_bound(&s, proc, &["aux".to_string()]).expect("depth bound");
+        let bound =
+            depth_bound(&s, proc, &["aux".to_string()], &FreshSource::new(0)).expect("depth bound");
         match &bound {
             DepthBound::Linear(t) => {
                 // H ≤ (n - i) + 1
@@ -383,7 +394,8 @@ mod tests {
         ));
         let s = summarizer_for(&prog);
         let proc = prog.procedure("msort").unwrap();
-        let bound = depth_bound(&s, proc, &["msort".to_string()]).expect("depth bound");
+        let bound = depth_bound(&s, proc, &["msort".to_string()], &FreshSource::new(0))
+            .expect("depth bound");
         assert!(
             bound.is_logarithmic(),
             "expected logarithmic bound, got {bound:?}"
@@ -396,7 +408,7 @@ mod tests {
         prog.add_procedure(Procedure::new("leaf", &["n"], &[], Stmt::Skip));
         let s = summarizer_for(&prog);
         let proc = prog.procedure("leaf").unwrap();
-        let bound = depth_bound(&s, proc, &["leaf".to_string()]).unwrap();
+        let bound = depth_bound(&s, proc, &["leaf".to_string()], &FreshSource::new(0)).unwrap();
         assert_eq!(bound, DepthBound::Linear(Term::one()));
     }
 
@@ -436,6 +448,9 @@ mod tests {
         ));
         let s = summarizer_for(&prog);
         let proc = prog.procedure("ack").unwrap();
-        assert_eq!(depth_bound(&s, proc, &["ack".to_string()]), None);
+        assert_eq!(
+            depth_bound(&s, proc, &["ack".to_string()], &FreshSource::new(0)),
+            None
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! recurrence construction), followed by recurrence solving.
 
 use crate::summarize::Summarizer;
-use chora_expr::{ExpPoly, Polynomial, Symbol};
+use chora_expr::{ExpPoly, FreshSource, Polynomial, Symbol};
 use chora_ir::Procedure;
 use chora_logic::{Atom, AtomKind, Polyhedron, TransitionFormula};
 use chora_numeric::BigRational;
@@ -46,7 +46,11 @@ impl HeightAnalysis {
 
 /// Runs height-based recurrence analysis on a (possibly mutually) recursive
 /// strongly connected component `members`.
-pub fn analyze_scc(summarizer: &Summarizer<'_>, members: &[String]) -> HeightAnalysis {
+pub fn analyze_scc(
+    summarizer: &Summarizer<'_>,
+    members: &[String],
+    fresh: &FreshSource,
+) -> HeightAnalysis {
     let program = summarizer.program();
     let procs: Vec<&Procedure> = members
         .iter()
@@ -63,7 +67,7 @@ pub fn analyze_scc(summarizer: &Summarizer<'_>, members: &[String]) -> HeightAna
     let mut analysis = HeightAnalysis::default();
     let mut next_index = 1usize;
     for proc in &procs {
-        let beta = summarizer.summarize_procedure(proc, &bottom_override);
+        let beta = summarizer.summarize_procedure(proc, &bottom_override, fresh);
         let vocab = summarizer.summary_vocabulary(proc);
         let wbase = beta.abstract_hull(&vocab);
         let mut taus: Vec<Polynomial> = Vec::new();
@@ -114,7 +118,7 @@ pub fn analyze_scc(summarizer: &Summarizer<'_>, members: &[String]) -> HeightAna
         if analysis.terms[&proc.name].is_empty() {
             continue;
         }
-        let phi_rec = summarizer.summarize_procedure(proc, &call_override);
+        let phi_rec = summarizer.summarize_procedure(proc, &call_override, fresh);
         if phi_rec.is_bottom() {
             continue;
         }
@@ -131,7 +135,7 @@ pub fn analyze_scc(summarizer: &Summarizer<'_>, members: &[String]) -> HeightAna
             ));
         }
         for b in &all_bound_syms {
-            ext_atoms.push(Atom::ge(Polynomial::var(b.clone()), Polynomial::zero()));
+            ext_atoms.push(Atom::ge(Polynomial::var(*b), Polynomial::zero()));
         }
         let phi_ext = phi_rec.conjoin(&Polyhedron::from_atoms(ext_atoms));
         for (k, _) in &analysis.terms[&proc.name] {
@@ -364,7 +368,7 @@ mod tests {
             ]),
         ));
         let summarizer = Summarizer::new(&prog);
-        let result = analyze_scc(&summarizer, &["hanoi".to_string()]);
+        let result = analyze_scc(&summarizer, &["hanoi".to_string()], &FreshSource::new(0));
         // Some bounded term of the form cost' - cost - 1 must get an
         // exponential closed form with base 2.
         let facts = result.solved_terms("hanoi");

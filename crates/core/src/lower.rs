@@ -1,6 +1,6 @@
 //! Lowering IR expressions and conditions into the constraint language.
 
-use chora_expr::{Polynomial, Symbol};
+use chora_expr::{FreshSource, Polynomial, Symbol};
 use chora_ir::{CmpOp, Cond, Expr};
 use chora_logic::{Atom, Polyhedron};
 use chora_numeric::BigRational;
@@ -21,8 +21,9 @@ pub struct LoweredExpr {
 /// Lowers an integer expression to a polynomial plus division constraints.
 ///
 /// Floor division `e / c` is modelled exactly on integers by a fresh symbol
-/// `q` with `c·q ≤ e ≤ c·q + (c − 1)`.
-pub fn lower_expr(e: &Expr) -> LoweredExpr {
+/// `q` (drawn from the analysis task's [`FreshSource`]) with
+/// `c·q ≤ e ≤ c·q + (c − 1)`.
+pub fn lower_expr(e: &Expr, fresh: &FreshSource) -> LoweredExpr {
     match e {
         Expr::Const(v) => LoweredExpr {
             value: Polynomial::constant(BigRational::from(*v)),
@@ -30,13 +31,13 @@ pub fn lower_expr(e: &Expr) -> LoweredExpr {
             fresh: Vec::new(),
         },
         Expr::Var(s) => LoweredExpr {
-            value: Polynomial::var(s.clone()),
+            value: Polynomial::var(*s),
             constraints: Vec::new(),
             fresh: Vec::new(),
         },
         Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
-            let la = lower_expr(a);
-            let lb = lower_expr(b);
+            let la = lower_expr(a, fresh);
+            let lb = lower_expr(b, fresh);
             let value = match e {
                 Expr::Add(_, _) => &la.value + &lb.value,
                 Expr::Sub(_, _) => &la.value - &lb.value,
@@ -54,9 +55,9 @@ pub fn lower_expr(e: &Expr) -> LoweredExpr {
             }
         }
         Expr::DivConst(a, c) => {
-            let la = lower_expr(a);
-            let q = Symbol::fresh("div");
-            let cq = Polynomial::var(q.clone()).scale(&BigRational::from(*c));
+            let la = lower_expr(a, fresh);
+            let q = fresh.fresh();
+            let cq = Polynomial::var(q).scale(&BigRational::from(*c));
             let mut constraints = la.constraints;
             // c·q ≤ e  ∧  e ≤ c·q + (c-1)
             constraints.push(Atom::le(cq.clone(), la.value.clone()));
@@ -65,7 +66,7 @@ pub fn lower_expr(e: &Expr) -> LoweredExpr {
                 &cq + &Polynomial::constant(BigRational::from(*c - 1)),
             ));
             let mut fresh = la.fresh;
-            fresh.push(q.clone());
+            fresh.push(q);
             LoweredExpr {
                 value: Polynomial::var(q),
                 constraints,
@@ -81,12 +82,12 @@ pub fn lower_expr(e: &Expr) -> LoweredExpr {
 ///
 /// Integer semantics are used for strict comparisons: `a < b` becomes
 /// `a ≤ b − 1`.
-pub fn lower_cond(c: &Cond) -> Vec<Vec<Atom>> {
+pub fn lower_cond(c: &Cond, fresh: &FreshSource) -> Vec<Vec<Atom>> {
     match c {
         Cond::Nondet => vec![vec![]],
         Cond::Cmp(a, op, b) => {
-            let la = lower_expr(a);
-            let lb = lower_expr(b);
+            let la = lower_expr(a, fresh);
+            let lb = lower_expr(b, fresh);
             // Division inside conditions is rare in the benchmarks; the side
             // constraints are conjoined so the comparison remains sound.
             let mut side = la.constraints.clone();
@@ -110,8 +111,8 @@ pub fn lower_cond(c: &Cond) -> Vec<Vec<Atom>> {
             }
         }
         Cond::And(a, b) => {
-            let da = lower_cond(a);
-            let db = lower_cond(b);
+            let da = lower_cond(a, fresh);
+            let db = lower_cond(b, fresh);
             let mut out = Vec::new();
             for x in &da {
                 for y in &db {
@@ -123,16 +124,16 @@ pub fn lower_cond(c: &Cond) -> Vec<Vec<Atom>> {
             out
         }
         Cond::Or(a, b) => {
-            let mut out = lower_cond(a);
-            out.extend(lower_cond(b));
+            let mut out = lower_cond(a, fresh);
+            out.extend(lower_cond(b, fresh));
             out
         }
-        Cond::Not(inner) => lower_cond_negated(inner),
+        Cond::Not(inner) => lower_cond_negated(inner, fresh),
     }
 }
 
 /// Lowers the negation of a condition.
-pub fn lower_cond_negated(c: &Cond) -> Vec<Vec<Atom>> {
+pub fn lower_cond_negated(c: &Cond, fresh: &FreshSource) -> Vec<Vec<Atom>> {
     match c {
         Cond::Nondet => vec![vec![]],
         Cond::Cmp(a, op, b) => {
@@ -144,18 +145,18 @@ pub fn lower_cond_negated(c: &Cond) -> Vec<Vec<Atom>> {
                 CmpOp::Eq => CmpOp::Ne,
                 CmpOp::Ne => CmpOp::Eq,
             };
-            lower_cond(&Cond::Cmp(a.clone(), negated_op, b.clone()))
+            lower_cond(&Cond::Cmp(a.clone(), negated_op, b.clone()), fresh)
         }
         Cond::And(a, b) => {
             // ¬(a ∧ b) = ¬a ∨ ¬b
-            let mut out = lower_cond_negated(a);
-            out.extend(lower_cond_negated(b));
+            let mut out = lower_cond_negated(a, fresh);
+            out.extend(lower_cond_negated(b, fresh));
             out
         }
         Cond::Or(a, b) => {
             // ¬(a ∨ b) = ¬a ∧ ¬b
-            let da = lower_cond_negated(a);
-            let db = lower_cond_negated(b);
+            let da = lower_cond_negated(a, fresh);
+            let db = lower_cond_negated(b, fresh);
             let mut out = Vec::new();
             for x in &da {
                 for y in &db {
@@ -166,14 +167,14 @@ pub fn lower_cond_negated(c: &Cond) -> Vec<Vec<Atom>> {
             }
             out
         }
-        Cond::Not(inner) => lower_cond(inner),
+        Cond::Not(inner) => lower_cond(inner, fresh),
     }
 }
 
 /// Lowers a condition into polyhedra over the *post-state* (primed) program
 /// variables — used when checking assertions against a reaching formula.
-pub fn lower_cond_post(c: &Cond, vars: &[Symbol]) -> Vec<Polyhedron> {
-    lower_cond(c)
+pub fn lower_cond_post(c: &Cond, vars: &[Symbol], fresh: &FreshSource) -> Vec<Polyhedron> {
+    lower_cond(c, fresh)
         .into_iter()
         .map(|atoms| {
             Polyhedron::from_atoms(
@@ -184,7 +185,7 @@ pub fn lower_cond_post(c: &Cond, vars: &[Symbol]) -> Vec<Polyhedron> {
                             if vars.contains(s) {
                                 s.primed()
                             } else {
-                                s.clone()
+                                *s
                             }
                         })
                     })
@@ -198,10 +199,14 @@ pub fn lower_cond_post(c: &Cond, vars: &[Symbol]) -> Vec<Polyhedron> {
 mod tests {
     use super::*;
 
+    fn fs() -> FreshSource {
+        FreshSource::new(0)
+    }
+
     #[test]
     fn lower_simple_expr() {
         let e = Expr::var("x").mul(Expr::var("x")).add(Expr::int(3));
-        let l = lower_expr(&e);
+        let l = lower_expr(&e, &fs());
         assert_eq!(l.value.to_string(), "x^2 + 3");
         assert!(l.constraints.is_empty());
     }
@@ -209,7 +214,7 @@ mod tests {
     #[test]
     fn lower_division_introduces_constraints() {
         let e = Expr::var("n").div(2);
-        let l = lower_expr(&e);
+        let l = lower_expr(&e, &fs());
         assert_eq!(l.fresh.len(), 1);
         assert_eq!(l.constraints.len(), 2);
         // The value is the fresh quotient symbol.
@@ -219,7 +224,7 @@ mod tests {
     #[test]
     fn lower_strict_comparison_uses_integer_semantics() {
         let c = Cond::lt(Expr::var("i"), Expr::var("n"));
-        let d = lower_cond(&c);
+        let d = lower_cond(&c, &fs());
         assert_eq!(d.len(), 1);
         assert_eq!(d[0][0].to_string(), "i - n + 1 ≤ 0");
     }
@@ -227,24 +232,24 @@ mod tests {
     #[test]
     fn lower_disequality_splits() {
         let c = Cond::ne(Expr::var("x"), Expr::int(0));
-        let d = lower_cond(&c);
+        let d = lower_cond(&c, &fs());
         assert_eq!(d.len(), 2);
     }
 
     #[test]
     fn negation_of_and_is_disjunction() {
         let c = Cond::ge(Expr::var("x"), Expr::int(0)).and(Cond::le(Expr::var("x"), Expr::int(5)));
-        let neg = lower_cond_negated(&c);
+        let neg = lower_cond_negated(&c, &fs());
         assert_eq!(neg.len(), 2);
-        let pos = lower_cond(&c);
+        let pos = lower_cond(&c, &fs());
         assert_eq!(pos.len(), 1);
         assert_eq!(pos[0].len(), 2);
     }
 
     #[test]
     fn nondet_lowers_to_unconstrained() {
-        assert_eq!(lower_cond(&Cond::Nondet), vec![vec![]]);
-        assert_eq!(lower_cond_negated(&Cond::Nondet), vec![vec![]]);
-        assert_eq!(lower_cond(&Cond::Nondet.negate()), vec![vec![]]);
+        assert_eq!(lower_cond(&Cond::Nondet, &fs()), vec![vec![]]);
+        assert_eq!(lower_cond_negated(&Cond::Nondet, &fs()), vec![vec![]]);
+        assert_eq!(lower_cond(&Cond::Nondet.negate(), &fs()), vec![vec![]]);
     }
 }

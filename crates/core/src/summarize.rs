@@ -10,11 +10,12 @@
 //! under analysis, the already-computed summary otherwise).
 
 use crate::lower::{lower_cond, lower_cond_negated, lower_expr};
-use chora_expr::{Polynomial, Symbol};
+use chora_expr::{FreshSource, Polynomial, Symbol};
 use chora_ir::{Cond, Procedure, Program, Stmt};
 use chora_logic::{Atom, Polyhedron, TransitionFormula};
 use chora_numeric::BigRational;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::RwLock;
 
 /// The summary of a statement: behaviours that fall through plus behaviours
 /// that exit the enclosing procedure through a `return`.
@@ -33,11 +34,18 @@ pub fn return_variable() -> Symbol {
 }
 
 /// Intra-procedural summarizer.
+///
+/// The summary table sits behind an [`RwLock`] so that a single `Summarizer`
+/// can be shared by reference across the concurrently-summarized components
+/// of one call-graph level (reads vastly outnumber the one write per
+/// component); every summarization method takes the analysis task's
+/// [`FreshSource`] so that fresh existential symbols are deterministic per
+/// task rather than drawn from global mutable state.
 pub struct Summarizer<'a> {
     program: &'a Program,
     /// Summaries of procedures outside the SCC currently being analysed,
     /// expressed over `globals ∪ params (pre)` and `globals' ∪ ret'`.
-    pub summaries: BTreeMap<String, TransitionFormula>,
+    summaries: RwLock<BTreeMap<String, TransitionFormula>>,
 }
 
 impl<'a> Summarizer<'a> {
@@ -45,7 +53,7 @@ impl<'a> Summarizer<'a> {
     pub fn new(program: &'a Program) -> Summarizer<'a> {
         Summarizer {
             program,
-            summaries: BTreeMap::new(),
+            summaries: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -54,23 +62,40 @@ impl<'a> Summarizer<'a> {
         self.program
     }
 
+    /// Records the finished summary of a procedure.
+    pub fn insert_summary(&self, name: impl Into<String>, formula: TransitionFormula) {
+        self.summaries
+            .write()
+            .expect("summary table lock")
+            .insert(name.into(), formula);
+    }
+
+    /// The already-computed summary of a procedure, if any.
+    pub fn summary_of(&self, name: &str) -> Option<TransitionFormula> {
+        self.summaries
+            .read()
+            .expect("summary table lock")
+            .get(name)
+            .cloned()
+    }
+
     /// The full variable vocabulary of a procedure: globals, parameters,
     /// locals, every assigned temporary, and the return carrier.
     pub fn proc_vars(&self, proc: &Procedure) -> Vec<Symbol> {
         let mut vars: Vec<Symbol> = self.program.globals.clone();
         for p in &proc.params {
             if !vars.contains(p) {
-                vars.push(p.clone());
+                vars.push(*p);
             }
         }
         for l in &proc.locals {
             if !vars.contains(l) {
-                vars.push(l.clone());
+                vars.push(*l);
             }
         }
         for v in proc.body.assigned_variables() {
             if !vars.contains(&v) {
-                vars.push(v.clone());
+                vars.push(v);
             }
         }
         let ret = return_variable();
@@ -85,11 +110,11 @@ impl<'a> Summarizer<'a> {
     pub fn summary_vocabulary(&self, proc: &Procedure) -> BTreeSet<Symbol> {
         let mut keep: BTreeSet<Symbol> = BTreeSet::new();
         for g in &self.program.globals {
-            keep.insert(g.clone());
+            keep.insert(*g);
             keep.insert(g.primed());
         }
         for p in &proc.params {
-            keep.insert(p.clone());
+            keep.insert(*p);
         }
         keep.insert(return_variable().primed());
         keep
@@ -107,9 +132,10 @@ impl<'a> Summarizer<'a> {
         &self,
         proc: &Procedure,
         scc_override: &BTreeMap<String, TransitionFormula>,
+        fresh: &FreshSource,
     ) -> TransitionFormula {
         let vars = self.proc_vars(proc);
-        let body = self.summarize_stmt(&proc.body, &vars, scc_override);
+        let body = self.summarize_stmt(&proc.body, &vars, scc_override, fresh);
         let total = body.fall_through.union(&body.returned);
         let keep = self.summary_vocabulary(proc);
         // Keep rigid symbols (anything that is not a program variable of this
@@ -130,6 +156,7 @@ impl<'a> Summarizer<'a> {
         stmt: &Stmt,
         vars: &[Symbol],
         scc_override: &BTreeMap<String, TransitionFormula>,
+        fresh: &FreshSource,
     ) -> StmtSummary {
         match stmt {
             Stmt::Skip | Stmt::Assert(_, _) => StmtSummary {
@@ -137,15 +164,12 @@ impl<'a> Summarizer<'a> {
                 returned: TransitionFormula::bottom(),
             },
             Stmt::Assign(v, e) => {
-                let lowered = lower_expr(e);
+                let lowered = lower_expr(e, fresh);
                 let mut atoms = vec![Atom::eq(Polynomial::var(v.primed()), lowered.value.clone())];
                 atoms.extend(lowered.constraints.clone());
                 for w in vars {
                     if w != v {
-                        atoms.push(Atom::eq(
-                            Polynomial::var(w.primed()),
-                            Polynomial::var(w.clone()),
-                        ));
+                        atoms.push(Atom::eq(Polynomial::var(w.primed()), Polynomial::var(*w)));
                     }
                 }
                 let mut tf = TransitionFormula::from_polyhedron(Polyhedron::from_atoms(atoms));
@@ -163,14 +187,14 @@ impl<'a> Summarizer<'a> {
                 returned: TransitionFormula::bottom(),
             },
             Stmt::Assume(c) => StmtSummary {
-                fall_through: self.assume_formula(c, vars),
+                fall_through: self.assume_formula(c, vars, fresh),
                 returned: TransitionFormula::bottom(),
             },
             Stmt::Seq(stmts) => {
                 let mut fall = TransitionFormula::identity(vars);
                 let mut returned = TransitionFormula::bottom();
                 for s in stmts {
-                    let sub = self.summarize_stmt(s, vars, scc_override);
+                    let sub = self.summarize_stmt(s, vars, scc_override, fresh);
                     returned = returned.union(&fall.sequence(&sub.returned, vars));
                     fall = fall.sequence(&sub.fall_through, vars);
                     if fall.is_bottom() && returned.is_bottom() {
@@ -183,10 +207,10 @@ impl<'a> Summarizer<'a> {
                 }
             }
             Stmt::If(c, then_branch, else_branch) => {
-                let then_sum = self.summarize_stmt(then_branch, vars, scc_override);
-                let else_sum = self.summarize_stmt(else_branch, vars, scc_override);
-                let guard_t = self.assume_formula(c, vars);
-                let guard_f = self.assume_negation(c, vars);
+                let then_sum = self.summarize_stmt(then_branch, vars, scc_override, fresh);
+                let else_sum = self.summarize_stmt(else_branch, vars, scc_override, fresh);
+                let guard_t = self.assume_formula(c, vars, fresh);
+                let guard_f = self.assume_negation(c, vars, fresh);
                 StmtSummary {
                     fall_through: guard_t
                         .sequence(&then_sum.fall_through, vars)
@@ -197,11 +221,11 @@ impl<'a> Summarizer<'a> {
                 }
             }
             Stmt::While(c, body) => {
-                let body_sum = self.summarize_stmt(body, vars, scc_override);
-                let guard_t = self.assume_formula(c, vars);
-                let guard_f = self.assume_negation(c, vars);
+                let body_sum = self.summarize_stmt(body, vars, scc_override, fresh);
+                let guard_t = self.assume_formula(c, vars, fresh);
+                let guard_f = self.assume_negation(c, vars, fresh);
                 let one_iteration = guard_t.sequence(&body_sum.fall_through, vars);
-                let iterations = self.loop_summary(&one_iteration, vars);
+                let iterations = self.loop_summary(&one_iteration, vars, fresh);
                 StmtSummary {
                     fall_through: iterations.sequence(&guard_f, vars),
                     returned: iterations
@@ -217,6 +241,7 @@ impl<'a> Summarizer<'a> {
                             &Stmt::Assign(return_variable(), expr.clone()),
                             vars,
                             scc_override,
+                            fresh,
                         );
                         sub.fall_through
                     }
@@ -229,12 +254,11 @@ impl<'a> Summarizer<'a> {
             Stmt::Call { callee, args, ret } => {
                 let callee_summary = match scc_override.get(callee) {
                     Some(f) => f.clone(),
-                    None => match self.summaries.get(callee) {
-                        Some(f) => f.clone(),
-                        None => self.unknown_call_summary(),
-                    },
+                    None => self
+                        .summary_of(callee)
+                        .unwrap_or_else(|| self.unknown_call_summary()),
                 };
-                let tf = self.apply_call(&callee_summary, callee, args, ret.as_ref(), vars);
+                let tf = self.apply_call(&callee_summary, callee, args, ret.as_ref(), vars, fresh);
                 StmtSummary {
                     fall_through: tf,
                     returned: TransitionFormula::bottom(),
@@ -249,17 +273,17 @@ impl<'a> Summarizer<'a> {
         TransitionFormula::top()
     }
 
-    fn assume_formula(&self, c: &Cond, vars: &[Symbol]) -> TransitionFormula {
+    fn assume_formula(&self, c: &Cond, vars: &[Symbol], fresh: &FreshSource) -> TransitionFormula {
         let mut out = TransitionFormula::bottom();
-        for conj in lower_cond(c) {
+        for conj in lower_cond(c, fresh) {
             out = out.union(&TransitionFormula::assume(conj, vars));
         }
         out
     }
 
-    fn assume_negation(&self, c: &Cond, vars: &[Symbol]) -> TransitionFormula {
+    fn assume_negation(&self, c: &Cond, vars: &[Symbol], fresh: &FreshSource) -> TransitionFormula {
         let mut out = TransitionFormula::bottom();
-        for conj in lower_cond_negated(c) {
+        for conj in lower_cond_negated(c, fresh) {
             out = out.union(&TransitionFormula::assume(conj, vars));
         }
         out
@@ -273,6 +297,7 @@ impl<'a> Summarizer<'a> {
         args: &[chora_ir::Expr],
         ret: Option<&Symbol>,
         vars: &[Symbol],
+        fresh: &FreshSource,
     ) -> TransitionFormula {
         let formals: Vec<Symbol> = self
             .program
@@ -280,66 +305,62 @@ impl<'a> Summarizer<'a> {
             .map(|p| p.params.clone())
             .unwrap_or_default();
         // Fresh names for formals and for the callee's return value.
-        let arg_syms: Vec<Symbol> = formals
-            .iter()
-            .map(|f| Symbol::fresh(&format!("arg_{}", f.as_str())))
-            .collect();
-        let rv = Symbol::fresh("rv");
+        let arg_syms: Vec<Symbol> = formals.iter().map(|_| fresh.fresh()).collect();
+        let rv = fresh.fresh();
         let renamed = callee_summary.rename(&mut |s| {
             if let Some(pos) = formals.iter().position(|f| f == s) {
-                return arg_syms[pos].clone();
+                return arg_syms[pos];
             }
             if *s == return_variable().primed() {
-                return rv.clone();
+                return rv;
             }
-            s.clone()
+            *s
         });
         // Argument bindings and the caller-side frame.
         let mut atoms: Vec<Atom> = Vec::new();
-        let mut fresh: BTreeSet<Symbol> = arg_syms.iter().cloned().collect();
-        fresh.insert(rv.clone());
+        let mut to_drop: BTreeSet<Symbol> = arg_syms.iter().cloned().collect();
+        to_drop.insert(rv);
         for (i, a) in args.iter().enumerate() {
             if i >= arg_syms.len() {
                 break;
             }
-            let lowered = lower_expr(a);
+            let lowered = lower_expr(a, fresh);
             atoms.push(Atom::eq(
-                Polynomial::var(arg_syms[i].clone()),
+                Polynomial::var(arg_syms[i]),
                 lowered.value.clone(),
             ));
             atoms.extend(lowered.constraints);
-            fresh.extend(lowered.fresh);
+            to_drop.extend(lowered.fresh);
         }
         if let Some(r) = ret {
-            atoms.push(Atom::eq(
-                Polynomial::var(r.primed()),
-                Polynomial::var(rv.clone()),
-            ));
+            atoms.push(Atom::eq(Polynomial::var(r.primed()), Polynomial::var(rv)));
         }
         let globals: BTreeSet<Symbol> = self.program.globals.iter().cloned().collect();
         for v in vars {
             let is_written = globals.contains(v) || Some(v) == ret;
             if !is_written {
-                atoms.push(Atom::eq(
-                    Polynomial::var(v.primed()),
-                    Polynomial::var(v.clone()),
-                ));
+                atoms.push(Atom::eq(Polynomial::var(v.primed()), Polynomial::var(*v)));
             }
         }
         let bindings = Polyhedron::from_atoms(atoms);
-        renamed.conjoin(&bindings).eliminate(&fresh)
+        renamed.conjoin(&bindings).eliminate(&to_drop)
     }
 
     /// Summarizes `body^k` for `k ≥ 0`: the reflexive-transitive closure of a
     /// loop body, via difference-recurrence extraction plus a ranking-based
     /// bound on the number of iterations.
-    pub fn loop_summary(&self, body: &TransitionFormula, vars: &[Symbol]) -> TransitionFormula {
+    pub fn loop_summary(
+        &self,
+        body: &TransitionFormula,
+        vars: &[Symbol],
+        fresh: &FreshSource,
+    ) -> TransitionFormula {
         if body.is_bottom() {
             return TransitionFormula::identity(vars);
         }
         let mut keep: BTreeSet<Symbol> = BTreeSet::new();
         for v in vars {
-            keep.insert(v.clone());
+            keep.insert(*v);
             keep.insert(v.primed());
         }
         for s in body.symbols() {
@@ -349,8 +370,8 @@ impl<'a> Summarizer<'a> {
             }
         }
         let hull = body.abstract_hull(&keep);
-        let k = Symbol::fresh("iter");
-        let kp = Polynomial::var(k.clone());
+        let k = fresh.fresh();
+        let kp = Polynomial::var(k);
         let mut atoms: Vec<Atom> = vec![Atom::ge(kp.clone(), Polynomial::zero())];
         // Invariant pre-state symbols (unchanged program variables plus rigid
         // symbols).
@@ -362,9 +383,9 @@ impl<'a> Summarizer<'a> {
                 .cloned()
                 .collect();
             for v in vars {
-                let eq = Atom::eq(Polynomial::var(v.primed()), Polynomial::var(v.clone()));
+                let eq = Atom::eq(Polynomial::var(v.primed()), Polynomial::var(*v));
                 if hull.implies_atom(&eq) {
-                    inv.insert(v.clone());
+                    inv.insert(*v);
                 }
             }
             inv
@@ -382,7 +403,7 @@ impl<'a> Summarizer<'a> {
         let mut splits: Vec<(Polynomial, Polynomial, Symbol)> = Vec::new();
         for v in vars {
             let vp = Polynomial::var(v.primed());
-            let v0 = Polynomial::var(v.clone());
+            let v0 = Polynomial::var(*v);
             if hull.implies_atom(&Atom::eq(vp.clone(), v0.clone())) {
                 atoms.push(Atom::eq(vp, v0));
                 continue;
@@ -413,7 +434,7 @@ impl<'a> Summarizer<'a> {
                                 // e ≥ 0 and k ≤ bound  ⇒  v' ≤ v + e·bound.
                                 atoms.push(Atom::le(vp.clone(), &v0 + &(&delta * bound)));
                             } else if !delta.is_constant() && splits.len() < 2 {
-                                splits.push((delta.clone(), bound.clone(), v.clone()));
+                                splits.push((delta.clone(), bound.clone(), *v));
                             }
                         }
                     }
@@ -431,7 +452,7 @@ impl<'a> Summarizer<'a> {
             let mut expanded = Vec::new();
             for base in &disjunct_atom_sets {
                 let vp = Polynomial::var(v.primed());
-                let v0 = Polynomial::var(v.clone());
+                let v0 = Polynomial::var(*v);
                 let mut pos = base.clone();
                 pos.push(Atom::ge(delta.clone(), Polynomial::zero()));
                 pos.push(Atom::le(vp.clone(), &v0 + &(delta * bound)));
@@ -464,10 +485,10 @@ impl<'a> Summarizer<'a> {
     fn iteration_bound(&self, hull: &Polyhedron, vars: &[Symbol]) -> Option<Polynomial> {
         let mut candidates: Vec<Polynomial> = Vec::new();
         for v in vars {
-            candidates.push(Polynomial::var(v.clone()));
+            candidates.push(Polynomial::var(*v));
             for w in vars {
                 if v != w {
-                    candidates.push(&Polynomial::var(v.clone()) - &Polynomial::var(w.clone()));
+                    candidates.push(&Polynomial::var(*v) - &Polynomial::var(*w));
                 }
             }
             // Constant-bounded counters (`for (i = ..; i < 18; i++)`): the
@@ -475,7 +496,7 @@ impl<'a> Summarizer<'a> {
             for atom in hull.atoms() {
                 if let Some(ub) = atom.upper_bound_on(v) {
                     if ub.is_constant() {
-                        candidates.push(&ub - &Polynomial::var(v.clone()));
+                        candidates.push(&ub - &Polynomial::var(*v));
                     }
                 }
             }
@@ -485,7 +506,7 @@ impl<'a> Summarizer<'a> {
                 if vars.contains(s) {
                     s.primed()
                 } else {
-                    s.clone()
+                    *s
                 }
             });
             let decreases = hull.implies_atom(&Atom::le(r_post.clone(), &r - &Polynomial::one()));
@@ -528,6 +549,9 @@ mod tests {
     fn pvar(name: &str) -> Polynomial {
         Polynomial::var(Symbol::new(name))
     }
+    fn fs() -> FreshSource {
+        FreshSource::new(0)
+    }
     fn c(v: i64) -> Polynomial {
         Polynomial::constant(rat(v))
     }
@@ -547,7 +571,7 @@ mod tests {
         ));
         let summarizer = Summarizer::new(&prog);
         let proc = prog.procedure("bump").unwrap();
-        let summary = summarizer.summarize_procedure(proc, &BTreeMap::new());
+        let summary = summarizer.summarize_procedure(proc, &BTreeMap::new(), &fs());
         assert!(summary.implies_atom(&Atom::eq(pvar("g'"), &pvar("g") + &pvar("x"))));
         assert!(summary.implies_atom(&Atom::eq(pvar("ret'"), &pvar("x") + &c(1))));
     }
@@ -567,7 +591,7 @@ mod tests {
         ));
         let summarizer = Summarizer::new(&prog);
         let proc = prog.procedure("absolute").unwrap();
-        let summary = summarizer.summarize_procedure(proc, &BTreeMap::new());
+        let summary = summarizer.summarize_procedure(proc, &BTreeMap::new(), &fs());
         assert!(summary.implies_atom(&Atom::ge(pvar("ret'"), Polynomial::zero())));
         assert!(summary.implies_atom(&Atom::ge(pvar("ret'"), pvar("x"))));
     }
@@ -596,7 +620,7 @@ mod tests {
         ));
         let summarizer = Summarizer::new(&prog);
         let proc = prog.procedure("count").unwrap();
-        let summary = summarizer.summarize_procedure(proc, &BTreeMap::new());
+        let summary = summarizer.summarize_procedure(proc, &BTreeMap::new(), &fs());
         // cost' ≤ n  (and cost' ≤ n + 1 certainly)
         assert!(summary.implies_atom(&Atom::le(pvar("cost'"), &pvar("n") + &c(1))));
         assert!(summary.implies_atom(&Atom::ge(pvar("cost'"), Polynomial::zero())));
@@ -624,14 +648,18 @@ mod tests {
                 Stmt::Return(Some(Expr::var("r"))),
             ]),
         ));
-        let mut summarizer = Summarizer::new(&prog);
-        let callee_summary =
-            summarizer.summarize_procedure(prog.procedure("callee").unwrap(), &BTreeMap::new());
-        summarizer
-            .summaries
-            .insert("callee".to_string(), callee_summary);
-        let caller_summary =
-            summarizer.summarize_procedure(prog.procedure("caller").unwrap(), &BTreeMap::new());
+        let summarizer = Summarizer::new(&prog);
+        let callee_summary = summarizer.summarize_procedure(
+            prog.procedure("callee").unwrap(),
+            &BTreeMap::new(),
+            &fs(),
+        );
+        summarizer.insert_summary("callee", callee_summary);
+        let caller_summary = summarizer.summarize_procedure(
+            prog.procedure("caller").unwrap(),
+            &BTreeMap::new(),
+            &fs(),
+        );
         // ret' = 2n + 6, g' = g + n + 3
         assert!(
             caller_summary.implies_atom(&Atom::eq(pvar("ret'"), &pvar("n").scale(&rat(2)) + &c(6)))
@@ -665,7 +693,7 @@ mod tests {
         ));
         let summarizer = Summarizer::new(&prog);
         let proc = prog.procedure("rep").unwrap();
-        let summary = summarizer.summarize_procedure(proc, &BTreeMap::new());
+        let summary = summarizer.summarize_procedure(proc, &BTreeMap::new(), &fs());
         // g' ≤ g + 19·w  (the ranking bound k ≤ 18 − i + 1 instantiated at i = 0).
         let bound = &pvar("g") + &pvar("w").scale(&rat(19));
         assert!(summary.implies_atom(&Atom::le(pvar("g'"), bound)));
@@ -687,8 +715,11 @@ mod tests {
             ]),
         ));
         let summarizer = Summarizer::new(&prog);
-        let summary =
-            summarizer.summarize_procedure(prog.procedure("early").unwrap(), &BTreeMap::new());
+        let summary = summarizer.summarize_procedure(
+            prog.procedure("early").unwrap(),
+            &BTreeMap::new(),
+            &fs(),
+        );
         assert!(summary.implies_atom(&Atom::ge(pvar("ret'"), Polynomial::zero())));
         assert!(summary.implies_atom(&Atom::le(pvar("ret'"), Polynomial::one())));
     }

@@ -44,7 +44,7 @@ impl ExpPoly {
     /// The zero function.
     pub fn zero(param: &Symbol) -> ExpPoly {
         ExpPoly {
-            param: param.clone(),
+            param: *param,
             terms: BTreeMap::new(),
         }
     }
@@ -71,7 +71,7 @@ impl ExpPoly {
             terms.insert(BigRational::one(), p);
         }
         ExpPoly {
-            param: param.clone(),
+            param: *param,
             terms,
         }
     }
@@ -107,14 +107,14 @@ impl ExpPoly {
             terms.insert(base, p);
         }
         ExpPoly {
-            param: param.clone(),
+            param: *param,
             terms,
         }
     }
 
     /// The identity function `param`.
     pub fn param_var(param: &Symbol) -> ExpPoly {
-        ExpPoly::from_poly(Polynomial::var(param.clone()), param)
+        ExpPoly::from_poly(Polynomial::var(*param), param)
     }
 
     /// The parameter symbol.
@@ -195,7 +195,7 @@ impl ExpPoly {
             return ExpPoly::zero(&self.param);
         }
         ExpPoly {
-            param: self.param.clone(),
+            param: self.param,
             terms: self
                 .terms
                 .iter()
@@ -228,7 +228,7 @@ impl ExpPoly {
     /// The function `h ↦ f(h + k)` for an integer shift `k ≥ 0`.
     pub fn shift(&self, k: i64) -> ExpPoly {
         assert!(k >= 0, "ExpPoly::shift expects a non-negative shift");
-        let hvar = Polynomial::var(self.param.clone());
+        let hvar = Polynomial::var(self.param);
         let shifted_param = &hvar + &Polynomial::constant(BigRational::from(k));
         let mut out = ExpPoly::zero(&self.param);
         for (b, p) in &self.terms {
@@ -313,7 +313,7 @@ impl ExpPoly {
 
     /// Renders the closed form as a [`Term`] in the parameter symbol itself.
     pub fn to_term(&self) -> Term {
-        self.to_term_with_param(&Term::var(self.param.clone()))
+        self.to_term_with_param(&Term::var(self.param))
     }
 }
 
@@ -325,7 +325,7 @@ fn poly_to_term(p: &Polynomial, param: &Symbol, param_term: &Term) -> Term {
             let base = if s == param {
                 param_term.clone()
             } else {
-                Term::var(s.clone())
+                Term::var(*s)
             };
             for _ in 0..e {
                 factors.push(base.clone());

@@ -2,8 +2,10 @@
 //!
 //! Symbolic expression substrate for the CHORA analysis stack:
 //!
-//! * [`Symbol`] — interned identifiers with the pre/post-state and
-//!   bounding-function naming conventions used by the analysis,
+//! * [`Symbol`] — interned `u32` identifiers with the pre/post-state and
+//!   bounding-function conventions encoded structurally in the id space
+//!   (see [`SymbolKind`]); fresh temporaries come from a per-analysis
+//!   [`FreshSource`],
 //! * [`LinearExpr`] — affine expressions over ℚ (the constraint language of
 //!   the polyhedra domain),
 //! * [`Polynomial`] / [`Monomial`] — multivariate polynomials over ℚ (the
@@ -27,6 +29,7 @@
 
 mod exppoly;
 mod linear;
+mod merge;
 mod polynomial;
 mod symbol;
 mod term;
@@ -34,5 +37,5 @@ mod term;
 pub use exppoly::ExpPoly;
 pub use linear::LinearExpr;
 pub use polynomial::{Monomial, Polynomial};
-pub use symbol::Symbol;
+pub use symbol::{FreshSource, Symbol, SymbolKind};
 pub use term::Term;

@@ -3,8 +3,12 @@
 //! The polyhedra domain in `chora-logic` stores every constraint as a linear
 //! expression over *dimensions* (which may themselves denote non-linear
 //! monomials after linearization), so this type is the work-horse of the
-//! symbolic-abstraction layer.
+//! symbolic-abstraction layer.  Coefficients live in a vector kept sorted by
+//! interned-symbol id: lookups are a binary search over integer keys and
+//! addition is a linear merge, both considerably cheaper than the string
+//! compares the former `BTreeMap<Symbol, _>` representation paid per node.
 
+use crate::merge::merge_sorted;
 use crate::symbol::Symbol;
 use chora_numeric::{BigInt, BigRational};
 use std::collections::{BTreeMap, BTreeSet};
@@ -22,8 +26,8 @@ use std::ops::{Add, Neg, Sub};
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct LinearExpr {
-    /// Invariant: no zero coefficients stored.
-    coeffs: BTreeMap<Symbol, BigRational>,
+    /// Invariant: sorted by symbol, no zero coefficients stored.
+    coeffs: Vec<(Symbol, BigRational)>,
     constant: BigRational,
 }
 
@@ -36,17 +40,15 @@ impl LinearExpr {
     /// A constant expression.
     pub fn constant(c: BigRational) -> LinearExpr {
         LinearExpr {
-            coeffs: BTreeMap::new(),
+            coeffs: Vec::new(),
             constant: c,
         }
     }
 
     /// The expression consisting of a single symbol.
     pub fn var(s: Symbol) -> LinearExpr {
-        let mut coeffs = BTreeMap::new();
-        coeffs.insert(s, BigRational::one());
         LinearExpr {
-            coeffs,
+            coeffs: vec![(s, BigRational::one())],
             constant: BigRational::zero(),
         }
     }
@@ -80,15 +82,15 @@ impl LinearExpr {
 
     /// Coefficient of a symbol (zero if absent).
     pub fn coefficient(&self, s: &Symbol) -> BigRational {
-        self.coeffs
-            .get(s)
-            .cloned()
-            .unwrap_or_else(BigRational::zero)
+        match self.coeffs.binary_search_by_key(s, |(sym, _)| *sym) {
+            Ok(i) => self.coeffs[i].1.clone(),
+            Err(_) => BigRational::zero(),
+        }
     }
 
     /// Iterator over `(symbol, coefficient)` pairs with non-zero coefficient.
     pub fn coefficients(&self) -> impl Iterator<Item = (&Symbol, &BigRational)> {
-        self.coeffs.iter()
+        self.coeffs.iter().map(|(s, c)| (s, c))
     }
 
     /// Number of symbols with non-zero coefficient.
@@ -98,7 +100,7 @@ impl LinearExpr {
 
     /// The set of symbols with non-zero coefficient.
     pub fn symbols(&self) -> BTreeSet<Symbol> {
-        self.coeffs.keys().cloned().collect()
+        self.coeffs.iter().map(|(s, _)| *s).collect()
     }
 
     /// Adds `c` to the coefficient of `s`.
@@ -106,13 +108,14 @@ impl LinearExpr {
         if c.is_zero() {
             return;
         }
-        let entry = self
-            .coeffs
-            .entry(s.clone())
-            .or_insert_with(BigRational::zero);
-        *entry += &c;
-        if entry.is_zero() {
-            self.coeffs.remove(&s);
+        match self.coeffs.binary_search_by_key(&s, |(sym, _)| *sym) {
+            Ok(i) => {
+                self.coeffs[i].1 += &c;
+                if self.coeffs[i].1.is_zero() {
+                    self.coeffs.remove(i);
+                }
+            }
+            Err(i) => self.coeffs.insert(i, (s, c)),
         }
     }
 
@@ -127,11 +130,7 @@ impl LinearExpr {
             return LinearExpr::zero();
         }
         LinearExpr {
-            coeffs: self
-                .coeffs
-                .iter()
-                .map(|(s, k)| (s.clone(), k * c))
-                .collect(),
+            coeffs: self.coeffs.iter().map(|(s, k)| (*s, k * c)).collect(),
             constant: &self.constant * c,
         }
     }
@@ -143,7 +142,7 @@ impl LinearExpr {
             return self.clone();
         }
         let mut out = self.clone();
-        out.coeffs.remove(s);
+        out.coeffs.retain(|(sym, _)| sym != s);
         &out + &replacement.scale(&c)
     }
 
@@ -169,7 +168,7 @@ impl LinearExpr {
     /// expression with integer coefficients; returns the scale factor used.
     pub fn clear_denominators(&self) -> (BigInt, LinearExpr) {
         let mut lcm = self.constant.denom().clone();
-        for c in self.coeffs.values() {
+        for (_, c) in &self.coeffs {
             lcm = lcm.lcm(c.denom());
         }
         (lcm.clone(), self.scale(&BigRational::from_integer(lcm)))
@@ -180,7 +179,7 @@ impl LinearExpr {
     pub fn normalize_gcd(&self) -> LinearExpr {
         let (_, int_expr) = self.clear_denominators();
         let mut g = int_expr.constant.numer().abs();
-        for c in int_expr.coeffs.values() {
+        for (_, c) in &int_expr.coeffs {
             g = g.gcd(c.numer());
         }
         if g.is_zero() || g.is_one() {
@@ -193,12 +192,14 @@ impl LinearExpr {
 impl Add for &LinearExpr {
     type Output = LinearExpr;
     fn add(self, other: &LinearExpr) -> LinearExpr {
-        let mut out = self.clone();
-        out.constant += &other.constant;
-        for (s, c) in &other.coeffs {
-            out.add_coefficient(s.clone(), c.clone());
+        // Linear merge of the two sorted coefficient lists.
+        LinearExpr {
+            coeffs: merge_sorted(&self.coeffs, &other.coeffs, Clone::clone, |x, y| {
+                let sum = x + y;
+                (!sum.is_zero()).then_some(sum)
+            }),
+            constant: &self.constant + &other.constant,
         }
-        out
     }
 }
 
@@ -242,8 +243,15 @@ impl fmt::Display for LinearExpr {
         if self.is_zero() {
             return write!(f, "0");
         }
+        // Name order, independent of interner assignment order.
+        let mut named: Vec<(String, &BigRational)> = self
+            .coeffs
+            .iter()
+            .map(|(s, c)| (s.to_string(), c))
+            .collect();
+        named.sort_by(|a, b| a.0.cmp(&b.0));
         let mut first = true;
-        for (s, c) in &self.coeffs {
+        for (s, c) in named {
             let (sign, mag) = if c.is_negative() {
                 ("-", c.abs())
             } else {
@@ -358,7 +366,7 @@ mod tests {
     #[test]
     fn rename() {
         let e = LinearExpr::from_parts([(x(), rat(1))], rat(0));
-        let renamed = e.rename(&mut |s| Symbol::post(s.as_str()));
+        let renamed = e.rename(&mut |s| s.primed());
         assert_eq!(renamed.to_string(), "x'");
     }
 }

@@ -1,0 +1,52 @@
+//! The one sorted-merge loop behind every flat-map representation in this
+//! crate ([`crate::Monomial`], [`crate::Polynomial`], [`crate::LinearExpr`]).
+//!
+//! Keeping the two-pointer walk in a single place means the sorted-key /
+//! no-dropped-entry invariants that the binary-search lookups rely on are
+//! maintained by exactly one piece of code.
+
+use std::cmp::Ordering;
+
+/// Merges two key-sorted slices into a new key-sorted vector.
+///
+/// Entries only in `a` are cloned; entries only in `b` go through
+/// `map_right` (e.g. negation for subtraction); equal keys are fused with
+/// `combine`, which may return `None` to drop the entry (e.g. coefficients
+/// cancelling to zero).
+pub(crate) fn merge_sorted<K, V>(
+    a: &[(K, V)],
+    b: &[(K, V)],
+    map_right: impl Fn(&V) -> V,
+    combine: impl Fn(&V, &V) -> Option<V>,
+) -> Vec<(K, V)>
+where
+    K: Ord + Clone,
+    V: Clone,
+{
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            Ordering::Greater => {
+                out.push((b[j].0.clone(), map_right(&b[j].1)));
+                j += 1;
+            }
+            Ordering::Equal => {
+                if let Some(v) = combine(&a[i].1, &b[j].1) {
+                    out.push((a[i].0.clone(), v));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    for (k, v) in &b[j..] {
+        out.push((k.clone(), map_right(v)));
+    }
+    out
+}

@@ -4,8 +4,16 @@
 //! program variables `Var ∪ Var'`; candidate bounded terms, recurrence
 //! right-hand sides, and closed forms are all represented with
 //! [`Polynomial`].
+//!
+//! Both [`Monomial`] and [`Polynomial`] store their entries as vectors kept
+//! sorted by the interned-[`Symbol`] order: with integer symbol ids the
+//! comparisons behind every merge and lookup are single integer compares, and
+//! the flat layout keeps term traversal cache-friendly (the previous
+//! `BTreeMap<Symbol, _>` representation paid a pointer chase and a string
+//! compare per node).
 
 use crate::linear::LinearExpr;
+use crate::merge::merge_sorted;
 use crate::symbol::Symbol;
 use chora_numeric::{BigInt, BigRational};
 use std::collections::{BTreeMap, BTreeSet};
@@ -13,32 +21,35 @@ use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
 
 /// A power product of symbols, e.g. `x^2·y` (the empty monomial is `1`).
+///
+/// Invariant: entries are sorted by symbol and exponents are positive.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct Monomial(BTreeMap<Symbol, u32>);
+pub struct Monomial(Vec<(Symbol, u32)>);
 
 impl Monomial {
     /// The unit monomial `1`.
     pub fn one() -> Monomial {
-        Monomial(BTreeMap::new())
+        Monomial(Vec::new())
     }
 
     /// The monomial consisting of a single variable.
     pub fn var(s: Symbol) -> Monomial {
-        let mut m = BTreeMap::new();
-        m.insert(s, 1);
-        Monomial(m)
+        Monomial(vec![(s, 1)])
     }
 
     /// Builds a monomial from `(symbol, exponent)` pairs; zero exponents are
     /// dropped.
     pub fn from_powers(powers: impl IntoIterator<Item = (Symbol, u32)>) -> Monomial {
-        let mut m = BTreeMap::new();
-        for (s, e) in powers {
-            if e > 0 {
-                *m.entry(s).or_insert(0) += e;
+        let mut entries: Vec<(Symbol, u32)> = powers.into_iter().filter(|(_, e)| *e > 0).collect();
+        entries.sort_by_key(|(s, _)| *s);
+        let mut merged: Vec<(Symbol, u32)> = Vec::with_capacity(entries.len());
+        for (s, e) in entries {
+            match merged.last_mut() {
+                Some((prev, acc)) if *prev == s => *acc += e,
+                _ => merged.push((s, e)),
             }
         }
-        Monomial(m)
+        Monomial(merged)
     }
 
     /// Whether this is the unit monomial.
@@ -48,37 +59,46 @@ impl Monomial {
 
     /// Total degree.
     pub fn degree(&self) -> u32 {
-        self.0.values().sum()
+        self.0.iter().map(|(_, e)| e).sum()
     }
 
     /// Exponent of `s` in this monomial.
     pub fn exponent(&self, s: &Symbol) -> u32 {
-        self.0.get(s).copied().unwrap_or(0)
+        match self.0.binary_search_by_key(s, |(sym, _)| *sym) {
+            Ok(i) => self.0[i].1,
+            Err(_) => 0,
+        }
     }
 
     /// Iterator over `(symbol, exponent)` pairs.
     pub fn powers(&self) -> impl Iterator<Item = (&Symbol, u32)> {
-        self.0.iter().map(|(s, &e)| (s, e))
+        self.0.iter().map(|(s, e)| (s, *e))
     }
 
     /// The set of symbols occurring in the monomial.
     pub fn symbols(&self) -> BTreeSet<Symbol> {
-        self.0.keys().cloned().collect()
+        self.0.iter().map(|(s, _)| *s).collect()
     }
 
-    /// Product of two monomials.
+    /// Product of two monomials (a sorted merge; exponents add, and never
+    /// cancel since both sides are positive).
     pub fn mul(&self, other: &Monomial) -> Monomial {
-        let mut m = self.0.clone();
-        for (s, e) in &other.0 {
-            *m.entry(s.clone()).or_insert(0) += e;
-        }
-        Monomial(m)
+        Monomial(merge_sorted(&self.0, &other.0, |e| *e, |x, y| Some(x + y)))
     }
 
     /// Whether the monomial is linear (a single variable to the first power)
     /// or constant.
     pub fn is_linear(&self) -> bool {
         self.degree() <= 1
+    }
+
+    /// The powers with resolved names, in name order — the canonical key used
+    /// wherever output must not depend on interner assignment order.
+    fn named_powers(&self) -> Vec<(String, u32)> {
+        let mut named: Vec<(String, u32)> =
+            self.0.iter().map(|(s, e)| (s.to_string(), *e)).collect();
+        named.sort();
+        named
     }
 }
 
@@ -87,16 +107,14 @@ impl fmt::Display for Monomial {
         if self.is_one() {
             return write!(f, "1");
         }
-        let mut first = true;
-        for (s, e) in &self.0 {
-            if !first {
+        for (i, (name, e)) in self.named_powers().iter().enumerate() {
+            if i > 0 {
                 write!(f, "·")?;
             }
-            first = false;
             if *e == 1 {
-                write!(f, "{s}")?;
+                write!(f, "{name}")?;
             } else {
-                write!(f, "{s}^{e}")?;
+                write!(f, "{name}^{e}")?;
             }
         }
         Ok(())
@@ -121,16 +139,14 @@ impl fmt::Debug for Monomial {
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct Polynomial {
-    /// Invariant: no zero coefficients are stored.
-    terms: BTreeMap<Monomial, BigRational>,
+    /// Invariant: sorted by monomial, no zero coefficients stored.
+    terms: Vec<(Monomial, BigRational)>,
 }
 
 impl Polynomial {
     /// The zero polynomial.
     pub fn zero() -> Polynomial {
-        Polynomial {
-            terms: BTreeMap::new(),
-        }
+        Polynomial { terms: Vec::new() }
     }
 
     /// The constant polynomial `1`.
@@ -140,25 +156,25 @@ impl Polynomial {
 
     /// A constant polynomial.
     pub fn constant(c: BigRational) -> Polynomial {
-        let mut terms = BTreeMap::new();
+        let mut terms = Vec::new();
         if !c.is_zero() {
-            terms.insert(Monomial::one(), c);
+            terms.push((Monomial::one(), c));
         }
         Polynomial { terms }
     }
 
     /// The polynomial consisting of a single variable.
     pub fn var(s: Symbol) -> Polynomial {
-        let mut terms = BTreeMap::new();
-        terms.insert(Monomial::var(s), BigRational::one());
-        Polynomial { terms }
+        Polynomial {
+            terms: vec![(Monomial::var(s), BigRational::one())],
+        }
     }
 
     /// A single term `c·m`.
     pub fn term(c: BigRational, m: Monomial) -> Polynomial {
-        let mut terms = BTreeMap::new();
+        let mut terms = Vec::new();
         if !c.is_zero() {
-            terms.insert(m, c);
+            terms.push((m, c));
         }
         Polynomial { terms }
     }
@@ -179,7 +195,7 @@ impl Polynomial {
 
     /// Whether the polynomial is a constant (possibly zero).
     pub fn is_constant(&self) -> bool {
-        self.terms.keys().all(|m| m.is_one())
+        self.terms.iter().all(|(m, _)| m.is_one())
     }
 
     /// Returns the constant value if the polynomial is constant.
@@ -193,20 +209,20 @@ impl Polynomial {
 
     /// The coefficient of the unit monomial.
     pub fn constant_term(&self) -> BigRational {
-        self.terms
-            .get(&Monomial::one())
-            .cloned()
-            .unwrap_or_else(BigRational::zero)
+        self.coefficient(&Monomial::one())
     }
 
     /// The coefficient of an arbitrary monomial.
     pub fn coefficient(&self, m: &Monomial) -> BigRational {
-        self.terms.get(m).cloned().unwrap_or_else(BigRational::zero)
+        match self.terms.binary_search_by(|(tm, _)| tm.cmp(m)) {
+            Ok(i) => self.terms[i].1.clone(),
+            Err(_) => BigRational::zero(),
+        }
     }
 
     /// Iterator over `(monomial, coefficient)` pairs.
     pub fn terms(&self) -> impl Iterator<Item = (&Monomial, &BigRational)> {
-        self.terms.iter()
+        self.terms.iter().map(|(m, c)| (m, c))
     }
 
     /// Number of terms.
@@ -221,18 +237,26 @@ impl Polynomial {
 
     /// Total degree (0 for constants and for the zero polynomial).
     pub fn degree(&self) -> u32 {
-        self.terms.keys().map(|m| m.degree()).max().unwrap_or(0)
+        self.terms
+            .iter()
+            .map(|(m, _)| m.degree())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Degree in a specific symbol.
     pub fn degree_in(&self, s: &Symbol) -> u32 {
-        self.terms.keys().map(|m| m.exponent(s)).max().unwrap_or(0)
+        self.terms
+            .iter()
+            .map(|(m, _)| m.exponent(s))
+            .max()
+            .unwrap_or(0)
     }
 
     /// All symbols occurring in the polynomial.
     pub fn symbols(&self) -> BTreeSet<Symbol> {
         let mut set = BTreeSet::new();
-        for m in self.terms.keys() {
+        for (m, _) in &self.terms {
             set.extend(m.symbols());
         }
         set
@@ -240,7 +264,7 @@ impl Polynomial {
 
     /// Whether every monomial has degree ≤ 1.
     pub fn is_linear(&self) -> bool {
-        self.terms.keys().all(|m| m.is_linear())
+        self.terms.iter().all(|(m, _)| m.is_linear())
     }
 
     /// Converts to a linear expression if the polynomial is linear.
@@ -254,7 +278,7 @@ impl Polynomial {
                 continue;
             }
             let (sym, _) = m.powers().next().expect("non-unit monomial has a symbol");
-            lin.add_coefficient(sym.clone(), c.clone());
+            lin.add_coefficient(*sym, c.clone());
         }
         Some(lin)
     }
@@ -263,13 +287,14 @@ impl Polynomial {
         if c.is_zero() {
             return;
         }
-        let entry = self
-            .terms
-            .entry(m.clone())
-            .or_insert_with(BigRational::zero);
-        *entry += c;
-        if entry.is_zero() {
-            self.terms.remove(m);
+        match self.terms.binary_search_by(|(tm, _)| tm.cmp(m)) {
+            Ok(i) => {
+                self.terms[i].1 += c;
+                if self.terms[i].1.is_zero() {
+                    self.terms.remove(i);
+                }
+            }
+            Err(i) => self.terms.insert(i, (m.clone(), c.clone())),
         }
     }
 
@@ -304,7 +329,7 @@ impl Polynomial {
             let rest = Monomial::from_powers(
                 m.powers()
                     .filter(|(sym, _)| *sym != s)
-                    .map(|(sym, k)| (sym.clone(), k)),
+                    .map(|(sym, k)| (*sym, k)),
             );
             let expanded = replacement.pow(e);
             for (m2, c2) in &expanded.terms {
@@ -347,7 +372,7 @@ impl Polynomial {
     /// Panics if the polynomial mentions a symbol other than `s`.
     pub fn eval_univariate(&self, s: &Symbol, x: &BigRational) -> BigRational {
         let mut assignment = BTreeMap::new();
-        assignment.insert(s.clone(), x.clone());
+        assignment.insert(*s, x.clone());
         for sym in self.symbols() {
             assert_eq!(&sym, s, "eval_univariate: unexpected symbol {sym}");
         }
@@ -359,7 +384,7 @@ impl Polynomial {
     /// `k·self = p` and `p` has integer coefficients.
     pub fn clear_denominators(&self) -> (BigInt, Polynomial) {
         let mut lcm = BigInt::one();
-        for c in self.terms.values() {
+        for (_, c) in &self.terms {
             lcm = lcm.lcm(c.denom());
         }
         let k = BigRational::from_integer(lcm.clone());
@@ -367,14 +392,28 @@ impl Polynomial {
     }
 }
 
+/// Linear merge of two sorted term lists; `negate_right` turns the merge
+/// into a subtraction.  (Inserting term-by-term through `add_term` would
+/// cost a mid-`Vec` memmove per term.)
+fn merge_terms(a: &Polynomial, b: &Polynomial, negate_right: bool) -> Polynomial {
+    let signed = |c: &BigRational| if negate_right { -c.clone() } else { c.clone() };
+    Polynomial {
+        terms: merge_sorted(
+            &a.terms,
+            &b.terms,
+            |c| signed(c),
+            |x, y| {
+                let sum = x + &signed(y);
+                (!sum.is_zero()).then_some(sum)
+            },
+        ),
+    }
+}
+
 impl Add for &Polynomial {
     type Output = Polynomial;
     fn add(self, other: &Polynomial) -> Polynomial {
-        let mut out = self.clone();
-        for (m, c) in &other.terms {
-            out.add_term(c, m);
-        }
-        out
+        merge_terms(self, other, false)
     }
 }
 
@@ -388,11 +427,7 @@ impl Add for Polynomial {
 impl Sub for &Polynomial {
     type Output = Polynomial;
     fn sub(self, other: &Polynomial) -> Polynomial {
-        let mut out = self.clone();
-        for (m, c) in &other.terms {
-            out.add_term(&-c.clone(), m);
-        }
-        out
+        merge_terms(self, other, true)
     }
 }
 
@@ -442,9 +477,10 @@ impl fmt::Display for Polynomial {
         if self.is_zero() {
             return write!(f, "0");
         }
-        // Display highest-degree terms first for readability.
-        let mut terms: Vec<(&Monomial, &BigRational)> = self.terms.iter().collect();
-        terms.sort_by(|a, b| b.0.degree().cmp(&a.0.degree()).then_with(|| a.0.cmp(b.0)));
+        // Display highest-degree terms first, then in name order — stable no
+        // matter in which order the process happened to intern the symbols.
+        let mut terms: Vec<(&Monomial, &BigRational)> = self.terms().collect();
+        terms.sort_by_cached_key(|(m, _)| (std::cmp::Reverse(m.degree()), m.named_powers()));
         let mut first = true;
         for (m, c) in terms {
             let (sign, mag) = if c.is_negative() {
@@ -482,7 +518,7 @@ impl From<LinearExpr> for Polynomial {
     fn from(lin: LinearExpr) -> Polynomial {
         let mut p = Polynomial::constant(lin.constant_term().clone());
         for (s, c) in lin.coefficients() {
-            p.add_term(c, &Monomial::var(s.clone()));
+            p.add_term(c, &Monomial::var(*s));
         }
         p
     }
@@ -546,7 +582,7 @@ mod tests {
     #[test]
     fn rename_symbols() {
         let p = &x() + &y();
-        let renamed = p.rename(&mut |s| Symbol::new(&format!("{}_r", s.as_str())));
+        let renamed = p.rename(&mut |s| Symbol::new(&format!("{s}_r")));
         assert_eq!(renamed.to_string(), "x_r + y_r");
     }
 
@@ -564,7 +600,7 @@ mod tests {
     #[test]
     fn eval_univariate() {
         let h = Symbol::new("h");
-        let p = Polynomial::var(h.clone()).pow(2);
+        let p = Polynomial::var(h).pow(2);
         assert_eq!(p.eval_univariate(&h, &rat(4)), rat(16));
     }
 
@@ -601,5 +637,23 @@ mod tests {
         let p = &x() + &Polynomial::one();
         assert_eq!(p.pow(0), Polynomial::one());
         assert_eq!(p.pow(2).to_string(), "x^2 + 2·x + 1");
+    }
+
+    #[test]
+    fn monomial_merge_and_lookup() {
+        let m = Monomial::from_powers([
+            (Symbol::new("y"), 1),
+            (Symbol::new("x"), 1),
+            (Symbol::new("x"), 1),
+            (Symbol::new("z"), 0),
+        ]);
+        assert_eq!(m.degree(), 3);
+        assert_eq!(m.exponent(&Symbol::new("x")), 2);
+        assert_eq!(m.exponent(&Symbol::new("z")), 0);
+        assert_eq!(m.to_string(), "x^2·y");
+        assert_eq!(
+            m.mul(&Monomial::var(Symbol::new("y"))).to_string(),
+            "x^2·y^2"
+        );
     }
 }

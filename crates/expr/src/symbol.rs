@@ -1,35 +1,203 @@
-//! Interned-ish symbols naming program variables and auxiliary dimensions.
+//! Interned symbols naming program variables and auxiliary dimensions.
 //!
-//! A [`Symbol`] is a cheaply-cloneable immutable string.  The analysis uses a
-//! handful of naming conventions, all funneled through constructors here so
-//! the rest of the code never manipulates raw strings:
+//! A [`Symbol`] is a packed 32-bit identifier.  The analysis uses a handful
+//! of naming conventions, all encoded *structurally* in the id space so that
+//! classification (`is_post`, `as_bound_at_h`, ...) is a bit operation rather
+//! than string parsing, and comparison/hashing is a single integer operation:
 //!
-//! * `x` — pre-state value of program variable `x`
-//! * `x'` — post-state value of program variable `x` ([`Symbol::post`])
-//! * `ret'` — the procedure return value
+//! * `x` — pre-state value of a named program variable ([`Symbol::new`]);
+//!   the name itself lives in a process-wide interner,
+//! * `x'` — post-state value of a program variable ([`Symbol::post`]),
+//! * `ret'` — the procedure return value,
+//! * `h` / `D` — the recursion-height parameter and the depth counter of
+//!   Alg. 4 ([`Symbol::height`], [`Symbol::depth`]),
 //! * `b$k@h` / `b$k@h1` — the hypothetical bounding function `b_k(h)` /
-//!   `b_k(h+1)` of Alg. 2 ([`Symbol::bound_at_h`], [`Symbol::bound_at_h1`])
-//! * `$tmp<n>` — fresh existential temporaries
+//!   `b_k(h+1)` of Alg. 2 ([`Symbol::bound_at_h`], [`Symbol::bound_at_h1`]),
+//! * `$t<scope>_<n>` — fresh existential temporaries drawn from a
+//!   per-analysis [`FreshSource`] (never a global counter, so repeated
+//!   analyses of the same program are byte-identical),
+//! * `$dim<i>` / `$aux<i>` — operation-local dimensions and scratch symbols
+//!   used by the polyhedra layer; they are always eliminated before an
+//!   operation returns.
+//!
+//! # Id encoding
+//!
+//! The three high bits of the `u32` select the [`SymbolKind`]; the remaining
+//! 29 bits are the payload (an interner index, a bound index `k`, or a
+//! `(scope, serial)` pair for fresh symbols).  The derived integer order is
+//! therefore kind-major: named < post < `b_k(h)` < `b_k(h+1)` < `h`/`D` <
+//! fresh < dim < aux, with payload order inside each kind.  Because the
+//! interner assigns indices in first-interning order, the order of two named
+//! symbols is *not* lexicographic; display code that needs name order sorts
+//! by resolved names explicitly.
 
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
-/// An immutable, cheaply cloneable identifier.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Symbol(Arc<str>);
+const TAG_SHIFT: u32 = 29;
+const PAYLOAD_MASK: u32 = (1 << TAG_SHIFT) - 1;
+const MAX_PAYLOAD: u32 = PAYLOAD_MASK;
 
-static FRESH_COUNTER: AtomicU64 = AtomicU64::new(0);
+const TAG_NAMED: u32 = 0;
+const TAG_POST: u32 = 1;
+const TAG_BOUND_H: u32 = 2;
+const TAG_BOUND_H1: u32 = 3;
+const TAG_SPECIAL: u32 = 4;
+const TAG_FRESH: u32 = 5;
+const TAG_DIM: u32 = 6;
+const TAG_AUX: u32 = 7;
+
+/// Payloads of `TAG_SPECIAL`; chosen to coincide with the pre-interned
+/// indices of `"h"` and `"D"` so that priming a special symbol is still a
+/// pure bit operation.
+const SPECIAL_HEIGHT: u32 = 0;
+const SPECIAL_DEPTH: u32 = 1;
+
+/// Fresh symbols carry a 14-bit scope and a 15-bit serial.
+const FRESH_SERIAL_BITS: u32 = 15;
+const FRESH_SERIAL_MASK: u32 = (1 << FRESH_SERIAL_BITS) - 1;
+const MAX_FRESH_SCOPE: u32 = (1 << (TAG_SHIFT - FRESH_SERIAL_BITS)) - 1;
+
+/// The structural classification of a [`Symbol`], decoded from its id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SymbolKind {
+    /// A named pre-state symbol (program variable, global, `ret`, ...).
+    Named,
+    /// The post-state (primed) copy of a named symbol.
+    Post,
+    /// The bounding function `b_k(h)` of Alg. 2.
+    BoundAtH(usize),
+    /// The bounding function `b_k(h+1)` of Alg. 2.
+    BoundAtH1(usize),
+    /// The recursion-height parameter `h`.
+    Height,
+    /// The depth counter `D` of Alg. 4.
+    Depth,
+    /// A fresh existential temporary from a [`FreshSource`].
+    Fresh {
+        /// The scope (analysis task) the symbol was created in.
+        scope: u32,
+        /// The serial number within the scope.
+        serial: u32,
+    },
+    /// An operation-local linearization dimension (polyhedra layer).
+    Dimension(u32),
+    /// An operation-local scratch symbol (intermediate states, join copies).
+    Scratch(u32),
+}
+
+/// The process-wide string interner backing named symbols.
+///
+/// One `RwLock` guards both directions of the mapping, so they can never
+/// disagree; reads (the hot path: lookups of known names and `resolve`) all
+/// take the shared read lock, and the write lock is only touched when a
+/// genuinely new name appears.
+struct Interner {
+    inner: RwLock<InternerInner>,
+}
+
+#[derive(Default)]
+struct InternerInner {
+    /// index -> name.
+    names: Vec<Arc<str>>,
+    /// name -> index.
+    ids: HashMap<Arc<str>, u32>,
+}
+
+impl Interner {
+    fn intern(&self, name: &str) -> u32 {
+        if let Some(&id) = self.inner.read().expect("interner lock").ids.get(name) {
+            return id;
+        }
+        let mut inner = self.inner.write().expect("interner lock");
+        if let Some(&id) = inner.ids.get(name) {
+            return id;
+        }
+        let id = u32::try_from(inner.names.len()).expect("interner overflow");
+        assert!(
+            id <= MAX_PAYLOAD,
+            "interner overflow: too many symbol names"
+        );
+        let shared: Arc<str> = Arc::from(name);
+        inner.names.push(shared.clone());
+        inner.ids.insert(shared, id);
+        id
+    }
+
+    fn resolve(&self, id: u32) -> Arc<str> {
+        self.inner.read().expect("interner lock").names[id as usize].clone()
+    }
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        let interner = Interner {
+            inner: RwLock::new(InternerInner::default()),
+        };
+        // Pre-intern the well-known names so that (a) `h`/`D` land on the
+        // payload values of `TAG_SPECIAL` and (b) no interning happens on the
+        // analysis hot paths (important for determinism under `--jobs N`:
+        // interner indices are fully assigned before any parallel phase).
+        assert_eq!(interner.intern("h"), SPECIAL_HEIGHT);
+        assert_eq!(interner.intern("D"), SPECIAL_DEPTH);
+        interner.intern("ret");
+        interner
+    })
+}
+
+/// An interned, `Copy`-cheap identifier with a structural [`SymbolKind`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
 
 impl Symbol {
-    /// Creates a symbol with the given name.
+    const fn pack(tag: u32, payload: u32) -> Symbol {
+        Symbol((tag << TAG_SHIFT) | payload)
+    }
+
+    fn tag(self) -> u32 {
+        self.0 >> TAG_SHIFT
+    }
+
+    fn payload(self) -> u32 {
+        self.0 & PAYLOAD_MASK
+    }
+
+    /// A named symbol with an interner index (mapping `h`/`D` to their
+    /// structural kinds).
+    fn from_name_id(id: u32) -> Symbol {
+        match id {
+            SPECIAL_HEIGHT | SPECIAL_DEPTH => Symbol::pack(TAG_SPECIAL, id),
+            _ => Symbol::pack(TAG_NAMED, id),
+        }
+    }
+
+    /// Creates (or re-finds) a symbol with the given name.
+    ///
+    /// The conventional renderings are folded back into their structural
+    /// kinds: `"h"`/`"D"` produce [`Symbol::height`]/[`Symbol::depth`], a
+    /// trailing `'` produces a post-state symbol, and `"b$k@h"`/`"b$k@h1"`
+    /// produce bounding-function symbols.
     pub fn new(name: &str) -> Symbol {
-        Symbol(Arc::from(name))
+        if let Some(base) = name.strip_suffix('\'') {
+            return Symbol::new(base).primed();
+        }
+        if let Some(rest) = name.strip_prefix("b$") {
+            if let Some(k) = rest.strip_suffix("@h1").and_then(|s| s.parse().ok()) {
+                return Symbol::bound_at_h1(k);
+            }
+            if let Some(k) = rest.strip_suffix("@h").and_then(|s| s.parse().ok()) {
+                return Symbol::bound_at_h(k);
+            }
+        }
+        Symbol::from_name_id(interner().intern(name))
     }
 
     /// The post-state ("primed") version of a program variable.
     pub fn post(name: &str) -> Symbol {
-        Symbol(Arc::from(format!("{name}'").as_str()))
+        Symbol::new(name).primed()
     }
 
     /// The symbol denoting the procedure return value in post-state.
@@ -39,90 +207,177 @@ impl Symbol {
 
     /// The symbol used for the recursion-height parameter `h`.
     pub fn height() -> Symbol {
-        Symbol::new("h")
+        Symbol::pack(TAG_SPECIAL, SPECIAL_HEIGHT)
     }
 
     /// The symbol used for the depth counter `D` of Alg. 4.
     pub fn depth() -> Symbol {
-        Symbol::new("D")
+        Symbol::pack(TAG_SPECIAL, SPECIAL_DEPTH)
     }
 
     /// The symbol for the bounding function `b_k` applied at height `h`.
     pub fn bound_at_h(k: usize) -> Symbol {
-        Symbol::new(&format!("b${k}@h"))
+        let k = u32::try_from(k).expect("bound index overflow");
+        assert!(k <= MAX_PAYLOAD, "bound index overflow");
+        Symbol::pack(TAG_BOUND_H, k)
     }
 
     /// The symbol for the bounding function `b_k` applied at height `h+1`.
     pub fn bound_at_h1(k: usize) -> Symbol {
-        Symbol::new(&format!("b${k}@h1"))
+        let k = u32::try_from(k).expect("bound index overflow");
+        assert!(k <= MAX_PAYLOAD, "bound index overflow");
+        Symbol::pack(TAG_BOUND_H1, k)
+    }
+
+    /// An operation-local linearization dimension (for the polyhedra layer).
+    ///
+    /// Dimension symbols must never escape the operation that allocated them;
+    /// callers are responsible for eliminating them before returning.
+    pub fn dimension(i: u32) -> Symbol {
+        assert!(i <= MAX_PAYLOAD, "dimension index overflow");
+        Symbol::pack(TAG_DIM, i)
+    }
+
+    /// An operation-local scratch symbol (intermediate-state copies in
+    /// relational composition, the `λ`/`z` variables of Balas joins).
+    ///
+    /// Like dimensions, scratch symbols must be eliminated before the
+    /// allocating operation returns.
+    pub fn scratch(i: u32) -> Symbol {
+        assert!(i <= MAX_PAYLOAD, "scratch index overflow");
+        Symbol::pack(TAG_AUX, i)
+    }
+
+    /// The structural kind of this symbol.
+    pub fn kind(self) -> SymbolKind {
+        let payload = self.payload();
+        match self.tag() {
+            TAG_NAMED => SymbolKind::Named,
+            TAG_POST => SymbolKind::Post,
+            TAG_BOUND_H => SymbolKind::BoundAtH(payload as usize),
+            TAG_BOUND_H1 => SymbolKind::BoundAtH1(payload as usize),
+            TAG_SPECIAL if payload == SPECIAL_HEIGHT => SymbolKind::Height,
+            TAG_SPECIAL => SymbolKind::Depth,
+            TAG_FRESH => SymbolKind::Fresh {
+                scope: payload >> FRESH_SERIAL_BITS,
+                serial: payload & FRESH_SERIAL_MASK,
+            },
+            TAG_DIM => SymbolKind::Dimension(payload),
+            _ => SymbolKind::Scratch(payload),
+        }
     }
 
     /// Returns `Some(k)` if this symbol is `b_k(h)`.
     pub fn as_bound_at_h(&self) -> Option<usize> {
-        let s = self.as_str();
-        let rest = s.strip_prefix("b$")?;
-        let idx = rest.strip_suffix("@h")?;
-        idx.parse().ok()
+        (self.tag() == TAG_BOUND_H).then(|| self.payload() as usize)
     }
 
     /// Returns `Some(k)` if this symbol is `b_k(h+1)`.
     pub fn as_bound_at_h1(&self) -> Option<usize> {
-        let s = self.as_str();
-        let rest = s.strip_prefix("b$")?;
-        let idx = rest.strip_suffix("@h1")?;
-        idx.parse().ok()
-    }
-
-    /// A globally fresh symbol with the given prefix.
-    pub fn fresh(prefix: &str) -> Symbol {
-        let id = FRESH_COUNTER.fetch_add(1, Ordering::Relaxed);
-        Symbol::new(&format!("${prefix}{id}"))
+        (self.tag() == TAG_BOUND_H1).then(|| self.payload() as usize)
     }
 
     /// Whether this is a post-state (primed) symbol.
     pub fn is_post(&self) -> bool {
-        self.0.ends_with('\'')
+        self.tag() == TAG_POST
     }
 
     /// For a post-state symbol `x'`, returns the pre-state symbol `x`.
     pub fn unprimed(&self) -> Symbol {
         if self.is_post() {
-            Symbol::new(&self.0[..self.0.len() - 1])
+            Symbol::from_name_id(self.payload())
         } else {
-            self.clone()
+            *self
         }
     }
 
     /// For a pre-state symbol `x`, returns the post-state symbol `x'`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on structural symbols that have no post-state (bounding
+    /// functions, fresh temporaries, dimensions, scratch symbols).
     pub fn primed(&self) -> Symbol {
-        if self.is_post() {
-            self.clone()
-        } else {
-            Symbol::post(&self.0)
+        match self.tag() {
+            TAG_NAMED | TAG_SPECIAL => Symbol::pack(TAG_POST, self.payload()),
+            TAG_POST => *self,
+            _ => panic!("symbol {self} has no post-state version"),
         }
-    }
-
-    /// The symbol's name.
-    pub fn as_str(&self) -> &str {
-        &self.0
     }
 }
 
 impl fmt::Display for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        let payload = self.payload();
+        match self.tag() {
+            TAG_NAMED => write!(f, "{}", interner().resolve(payload)),
+            TAG_POST => write!(f, "{}'", interner().resolve(payload)),
+            TAG_BOUND_H => write!(f, "b${payload}@h"),
+            TAG_BOUND_H1 => write!(f, "b${payload}@h1"),
+            TAG_SPECIAL if payload == SPECIAL_HEIGHT => write!(f, "h"),
+            TAG_SPECIAL => write!(f, "D"),
+            TAG_FRESH => write!(
+                f,
+                "$t{}_{}",
+                payload >> FRESH_SERIAL_BITS,
+                payload & FRESH_SERIAL_MASK
+            ),
+            TAG_DIM => write!(f, "$dim{payload}"),
+            _ => write!(f, "$aux{payload}"),
+        }
     }
 }
 
 impl fmt::Debug for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{self}")
     }
 }
 
 impl From<&str> for Symbol {
     fn from(s: &str) -> Symbol {
         Symbol::new(s)
+    }
+}
+
+/// A deterministic source of fresh existential symbols.
+///
+/// Every analysis task (one SCC summarization, one assertion-checking pass)
+/// owns a `FreshSource` with a distinct `scope`; serials restart at zero per
+/// source.  Fresh symbols from different scopes can therefore never collide,
+/// while repeated runs of the same analysis — sequential or parallel —
+/// produce bit-identical symbols (the old implementation drew from a global
+/// `AtomicU64`, which made output depend on process history).
+#[derive(Debug, Default)]
+pub struct FreshSource {
+    scope: u32,
+    next: AtomicU32,
+}
+
+impl FreshSource {
+    /// A fresh-symbol source for the given scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scope` exceeds the 14-bit scope space.
+    pub fn new(scope: u32) -> FreshSource {
+        assert!(scope <= MAX_FRESH_SCOPE, "fresh scope overflow");
+        FreshSource {
+            scope,
+            next: AtomicU32::new(0),
+        }
+    }
+
+    /// The scope identifier of this source.
+    pub fn scope(&self) -> u32 {
+        self.scope
+    }
+
+    /// The next fresh symbol of this source.
+    pub fn fresh(&self) -> Symbol {
+        let serial = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!(serial <= FRESH_SERIAL_MASK, "fresh serial overflow");
+        Symbol::pack(TAG_FRESH, (self.scope << FRESH_SERIAL_BITS) | serial)
     }
 }
 
@@ -140,6 +395,7 @@ mod tests {
         assert_eq!(xp.to_string(), "x'");
         assert_eq!(xp.primed(), xp);
         assert_eq!(x.unprimed(), x);
+        assert_eq!(Symbol::new("x'"), xp);
     }
 
     #[test]
@@ -147,17 +403,41 @@ mod tests {
         let b3 = Symbol::bound_at_h(3);
         assert_eq!(b3.as_bound_at_h(), Some(3));
         assert_eq!(b3.as_bound_at_h1(), None);
+        assert_eq!(b3.to_string(), "b$3@h");
         let b3h1 = Symbol::bound_at_h1(3);
         assert_eq!(b3h1.as_bound_at_h1(), Some(3));
         assert_eq!(b3h1.as_bound_at_h(), None);
+        assert_eq!(b3h1.to_string(), "b$3@h1");
         assert_eq!(Symbol::new("x").as_bound_at_h(), None);
+        assert_eq!(Symbol::new("b$3@h"), b3);
+        assert_eq!(Symbol::new("b$3@h1"), b3h1);
     }
 
     #[test]
-    fn fresh_symbols_are_distinct() {
-        let a = Symbol::fresh("t");
-        let b = Symbol::fresh("t");
+    fn fresh_symbols_are_scoped_and_deterministic() {
+        let src = FreshSource::new(7);
+        let a = src.fresh();
+        let b = src.fresh();
         assert_ne!(a, b);
+        assert_eq!(
+            a.kind(),
+            SymbolKind::Fresh {
+                scope: 7,
+                serial: 0
+            }
+        );
+        assert_eq!(
+            b.kind(),
+            SymbolKind::Fresh {
+                scope: 7,
+                serial: 1
+            }
+        );
+        // Same scope, fresh source: identical symbols (determinism).
+        let again = FreshSource::new(7);
+        assert_eq!(again.fresh(), a);
+        // Different scope: disjoint symbols.
+        assert_ne!(FreshSource::new(8).fresh(), a);
     }
 
     #[test]
@@ -165,5 +445,40 @@ mod tests {
         assert_eq!(Symbol::return_value().to_string(), "ret'");
         assert_eq!(Symbol::height().to_string(), "h");
         assert_eq!(Symbol::depth().to_string(), "D");
+        assert_eq!(Symbol::new("h"), Symbol::height());
+        assert_eq!(Symbol::new("D"), Symbol::depth());
+        assert_eq!(Symbol::new("h'").unprimed(), Symbol::height());
+    }
+
+    #[test]
+    fn kinds_are_structural() {
+        assert_eq!(Symbol::new("x").kind(), SymbolKind::Named);
+        assert_eq!(Symbol::post("x").kind(), SymbolKind::Post);
+        assert_eq!(Symbol::bound_at_h(2).kind(), SymbolKind::BoundAtH(2));
+        assert_eq!(Symbol::bound_at_h1(2).kind(), SymbolKind::BoundAtH1(2));
+        assert_eq!(Symbol::height().kind(), SymbolKind::Height);
+        assert_eq!(Symbol::depth().kind(), SymbolKind::Depth);
+        assert_eq!(Symbol::dimension(4).kind(), SymbolKind::Dimension(4));
+        assert_eq!(Symbol::scratch(9).kind(), SymbolKind::Scratch(9));
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        assert_eq!(Symbol::new("some_var"), Symbol::new("some_var"));
+        assert_ne!(Symbol::new("some_var"), Symbol::new("some_var2"));
+        assert_eq!(Symbol::new("some_var").to_string(), "some_var");
+    }
+
+    #[test]
+    fn order_is_kind_major() {
+        assert!(Symbol::new("zz") < Symbol::post("aa"));
+        assert!(Symbol::post("zz") < Symbol::bound_at_h(0));
+        assert!(Symbol::bound_at_h(5) < Symbol::bound_at_h1(0));
+        assert!(Symbol::bound_at_h(1) < Symbol::bound_at_h(2));
+        assert!(Symbol::bound_at_h1(9) < Symbol::height());
+        assert!(Symbol::height() < Symbol::depth());
+        assert!(Symbol::depth() < FreshSource::new(0).fresh());
+        assert!(FreshSource::new(0).fresh() < Symbol::dimension(0));
+        assert!(Symbol::dimension(7) < Symbol::scratch(0));
     }
 }

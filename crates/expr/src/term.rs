@@ -257,7 +257,7 @@ impl Term {
         match self {
             Term::Const(_) => {}
             Term::Var(s) => {
-                out.insert(s.clone());
+                out.insert(*s);
             }
             Term::Add(ts) | Term::Mul(ts) | Term::Max(ts) | Term::Min(ts) => {
                 for t in ts {

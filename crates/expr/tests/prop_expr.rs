@@ -13,7 +13,7 @@ fn arb_poly() -> impl Strategy<Value = Polynomial> {
         let y = Symbol::new("y");
         let mut p = Polynomial::zero();
         for (ex, ey, c) in terms {
-            let m = chora_expr::Monomial::from_powers([(x.clone(), ex), (y.clone(), ey)]);
+            let m = chora_expr::Monomial::from_powers([(x, ex), (y, ey)]);
             p = &p + &Polynomial::term(rat(c), m);
         }
         p
@@ -76,7 +76,7 @@ proptest! {
     #[test]
     fn exppoly_shift_is_evaluation_shift(c0 in -5i64..6, c1 in -5i64..6, base in 1i64..4, shift in 0i64..4, at in 0i64..8) {
         let h = Symbol::height();
-        let poly = Polynomial::var(h.clone()).scale(&rat(c1)) + Polynomial::constant(rat(c0));
+        let poly = Polynomial::var(h).scale(&rat(c1)) + Polynomial::constant(rat(c0));
         let f = ExpPoly::exp_poly_term(rat(base), poly, &h);
         prop_assert_eq!(f.shift(shift).eval_int(at), f.eval_int(at + shift));
     }
@@ -94,8 +94,8 @@ proptest! {
     fn term_substitute_then_eval(v in 1i64..20) {
         let n = Symbol::new("n");
         let t = Term::add(vec![
-            Term::pow(Term::int(2), Term::var(n.clone())),
-            Term::mul(vec![Term::int(3), Term::var(n.clone())]),
+            Term::pow(Term::int(2), Term::var(n)),
+            Term::mul(vec![Term::int(3), Term::var(n)]),
         ]);
         let substituted = t.substitute(&n, &Term::int(v));
         let expected = rat(2).pow(v as i32) + rat(3) * rat(v);

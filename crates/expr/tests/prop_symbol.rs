@@ -1,0 +1,130 @@
+//! Property tests for the symbol interner and the structural id encoding:
+//! intern/resolve round-trips, post/bound payload round-trips, and the
+//! consistency of the `Symbol` total order.
+
+use chora_expr::{FreshSource, Symbol, SymbolKind};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Random identifier-ish names (a bounded pool so that collisions — i.e.
+/// re-interning — are exercised too).
+fn arb_names() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec((0u32..400, 0u32..3), 1..24).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(n, style)| match style {
+                0 => format!("v{n}"),
+                1 => format!("var_{n}"),
+                _ => format!("x{n}y"),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn intern_resolve_round_trip(names in arb_names()) {
+        for name in &names {
+            let sym = Symbol::new(name);
+            // Resolving renders the exact name back...
+            prop_assert_eq!(&sym.to_string(), name);
+            // ... and re-interning finds the same id.
+            prop_assert_eq!(Symbol::new(name), sym);
+            prop_assert_eq!(sym.kind(), SymbolKind::Named);
+        }
+    }
+
+    #[test]
+    fn post_base_round_trip(names in arb_names()) {
+        for name in &names {
+            let base = Symbol::new(name);
+            let post = base.primed();
+            prop_assert!(post.is_post());
+            prop_assert_eq!(post.unprimed(), base);
+            prop_assert_eq!(post.primed(), post);
+            // The rendered convention parses back to the same id.
+            prop_assert_eq!(Symbol::new(&format!("{name}'")), post);
+            prop_assert_eq!(&post.to_string(), &format!("{name}'"));
+        }
+    }
+
+    #[test]
+    fn bound_payload_round_trip(k in 0usize..100_000, j in 0usize..100_000) {
+        let bh = Symbol::bound_at_h(k);
+        prop_assert_eq!(bh.as_bound_at_h(), Some(k));
+        prop_assert_eq!(bh.as_bound_at_h1(), None);
+        prop_assert_eq!(bh.kind(), SymbolKind::BoundAtH(k));
+        let bh1 = Symbol::bound_at_h1(j);
+        prop_assert_eq!(bh1.as_bound_at_h1(), Some(j));
+        prop_assert_eq!(bh1.as_bound_at_h(), None);
+        prop_assert_eq!(bh1.kind(), SymbolKind::BoundAtH1(j));
+        prop_assert_ne!(bh, bh1);
+        // Payload order is preserved by the symbol order.
+        prop_assert_eq!(
+            Symbol::bound_at_h(k).cmp(&Symbol::bound_at_h(j)),
+            k.cmp(&j)
+        );
+        // Round-trip through the rendered convention.
+        prop_assert_eq!(Symbol::new(&bh.to_string()), bh);
+        prop_assert_eq!(Symbol::new(&bh1.to_string()), bh1);
+    }
+
+    /// Sorting symbols is a lawful total order whose result depends only on
+    /// the set of symbols — not on the order they were created (and hence
+    /// interned) in, and not on how often sorting is repeated.
+    #[test]
+    fn sort_is_consistent_before_and_after_interning(names in arb_names()) {
+        // "Before interning": pin the expected set down as plain strings.
+        let unique: BTreeSet<String> = names.iter().cloned().collect();
+        // Create the symbols in input order (first run interns them)...
+        let mut forward: Vec<Symbol> = names.iter().map(|n| Symbol::new(n)).collect();
+        // ... and again in reversed order ("after interning").
+        let mut backward: Vec<Symbol> = names.iter().rev().map(|n| Symbol::new(n)).collect();
+        forward.sort();
+        forward.dedup();
+        backward.sort();
+        backward.dedup();
+        prop_assert_eq!(&forward, &backward, "sort must not depend on creation order");
+        // The sorted sequence enumerates exactly the expected names.
+        let sorted_names: BTreeSet<String> = forward.iter().map(|s| s.to_string()).collect();
+        prop_assert_eq!(sorted_names, unique);
+        // Lawful total order: comparison agrees with equality and is
+        // antisymmetric over the sorted run.
+        for pair in forward.windows(2) {
+            prop_assert!(pair[0] < pair[1]);
+            prop_assert!(pair[1] > pair[0]);
+            prop_assert_ne!(pair[0], pair[1]);
+        }
+    }
+
+    /// The order is kind-major: every named symbol precedes every post-state
+    /// symbol, which precedes every bound symbol, etc.
+    #[test]
+    fn sort_groups_kinds(names in arb_names(), k in 0usize..1000) {
+        let fresh_source = FreshSource::new(3);
+        let mut symbols: Vec<Symbol> = Vec::new();
+        for name in &names {
+            symbols.push(Symbol::new(name));
+            symbols.push(Symbol::post(name));
+        }
+        symbols.push(Symbol::bound_at_h(k));
+        symbols.push(Symbol::bound_at_h1(k));
+        symbols.push(Symbol::height());
+        symbols.push(Symbol::depth());
+        symbols.push(fresh_source.fresh());
+        symbols.sort();
+        let rank = |s: &Symbol| match s.kind() {
+            SymbolKind::Named => 0,
+            SymbolKind::Post => 1,
+            SymbolKind::BoundAtH(_) => 2,
+            SymbolKind::BoundAtH1(_) => 3,
+            SymbolKind::Height | SymbolKind::Depth => 4,
+            SymbolKind::Fresh { .. } => 5,
+            SymbolKind::Dimension(_) => 6,
+            SymbolKind::Scratch(_) => 7,
+        };
+        for pair in symbols.windows(2) {
+            prop_assert!(rank(&pair[0]) <= rank(&pair[1]));
+        }
+    }
+}

@@ -78,7 +78,7 @@ impl Expr {
     pub fn as_polynomial(&self) -> Option<Polynomial> {
         match self {
             Expr::Const(v) => Some(Polynomial::constant(BigRational::from(*v))),
-            Expr::Var(s) => Some(Polynomial::var(s.clone())),
+            Expr::Var(s) => Some(Polynomial::var(*s)),
             Expr::Add(a, b) => Some(&a.as_polynomial()? + &b.as_polynomial()?),
             Expr::Sub(a, b) => Some(&a.as_polynomial()? - &b.as_polynomial()?),
             Expr::Mul(a, b) => Some(&a.as_polynomial()? * &b.as_polynomial()?),
@@ -90,7 +90,7 @@ impl Expr {
     pub fn variables(&self) -> BTreeSet<Symbol> {
         match self {
             Expr::Const(_) => BTreeSet::new(),
-            Expr::Var(s) => [s.clone()].into_iter().collect(),
+            Expr::Var(s) => [*s].into_iter().collect(),
             Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
                 let mut out = a.variables();
                 out.extend(b.variables());
@@ -308,10 +308,10 @@ impl Stmt {
         let mut out = BTreeSet::new();
         self.visit(&mut |s| match s {
             Stmt::Assign(v, _) | Stmt::Havoc(v) => {
-                out.insert(v.clone());
+                out.insert(*v);
             }
             Stmt::Call { ret: Some(v), .. } => {
-                out.insert(v.clone());
+                out.insert(*v);
             }
             _ => {}
         });

@@ -94,6 +94,52 @@ impl CallGraph {
             })
             .collect()
     }
+
+    /// Strongly connected components grouped into topological *levels*:
+    /// every component in level `L` only calls components in levels `< L`.
+    /// Components within one level are mutually independent and can be
+    /// summarized concurrently; iterating levels in order is a valid
+    /// bottom-up analysis schedule (every callee component is visited
+    /// before its callers).
+    ///
+    /// Within each level, components keep their relative
+    /// [`CallGraph::components_bottom_up`] order, making the level
+    /// decomposition — and hence any scope numbering derived from it —
+    /// deterministic.  The *flattened* sequence is generally not identical
+    /// to `components_bottom_up()` (a call-free component may be pulled
+    /// down to level 0 past earlier-listed dependent chains); it is only
+    /// guaranteed to be *some* valid bottom-up order.
+    pub fn component_levels(&self) -> Vec<Vec<Component>> {
+        let comps = self.components_bottom_up();
+        // Procedure -> index of its component.
+        let comp_of: BTreeMap<&str, usize> = comps
+            .iter()
+            .enumerate()
+            .flat_map(|(i, c)| c.members.iter().map(move |m| (m.as_str(), i)))
+            .collect();
+        // Bottom-up order guarantees callees come first, so one pass suffices.
+        let mut level_of: Vec<usize> = vec![0; comps.len()];
+        for (i, comp) in comps.iter().enumerate() {
+            let mut level = 0;
+            for member in &comp.members {
+                for callee in self.callees(member) {
+                    let Some(&j) = comp_of.get(callee.as_str()) else {
+                        continue;
+                    };
+                    if j != i {
+                        level = level.max(level_of[j] + 1);
+                    }
+                }
+            }
+            level_of[i] = level;
+        }
+        let depth = level_of.iter().max().map_or(0, |m| m + 1);
+        let mut levels: Vec<Vec<Component>> = vec![Vec::new(); depth];
+        for (comp, &level) in comps.into_iter().zip(level_of.iter()) {
+            levels[level].push(comp);
+        }
+        levels
+    }
 }
 
 // A small local SCC (Tarjan) so this crate does not depend on the recurrence
@@ -211,6 +257,71 @@ mod tests {
         assert_eq!(comps[0].members, vec!["p1".to_string(), "p2".to_string()]);
         assert!(comps[0].recursive);
         assert_eq!(comps[1].members, vec!["main".to_string()]);
+    }
+
+    #[test]
+    fn levels_group_independent_components() {
+        // main -> {a, b}; a -> leaf; b -> leaf.  Levels: [leaf], [a, b], [main].
+        let prog = program_with_calls(&[
+            ("main", &["a", "b"]),
+            ("a", &["leaf"]),
+            ("b", &["leaf"]),
+            ("leaf", &[]),
+        ]);
+        let cg = CallGraph::build(&prog);
+        let levels = cg.component_levels();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0].len(), 1);
+        assert_eq!(levels[0][0].members, vec!["leaf".to_string()]);
+        let mid: Vec<&str> = levels[1].iter().map(|c| c.members[0].as_str()).collect();
+        assert_eq!(mid, vec!["a", "b"]);
+        assert_eq!(levels[2][0].members, vec!["main".to_string()]);
+        // The flattened level order is a valid bottom-up schedule: every
+        // callee appears before its callers.
+        let flat: Vec<String> = levels
+            .iter()
+            .flat_map(|l| l.iter().map(|c| c.members[0].clone()))
+            .collect();
+        for (i, name) in flat.iter().enumerate() {
+            for callee in cg.callees(name) {
+                let callee_pos = flat.iter().position(|n| n == &callee).unwrap();
+                assert!(callee_pos < i, "{callee} must precede {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn levels_pull_call_free_components_to_level_zero() {
+        // `b` has no callees, so it lands in level 0 even though the
+        // bottom-up enumeration lists it after the leaf/a chain.
+        let prog = program_with_calls(&[
+            ("main", &["a", "b"]),
+            ("a", &["leaf"]),
+            ("b", &[]),
+            ("leaf", &[]),
+        ]);
+        let cg = CallGraph::build(&prog);
+        let levels = cg.component_levels();
+        assert_eq!(levels.len(), 3);
+        // Within a level, components keep their relative bottom-up order
+        // (`leaf` is enumerated before `b` by the Tarjan pass).
+        let ground: Vec<&str> = levels[0].iter().map(|c| c.members[0].as_str()).collect();
+        assert_eq!(ground, vec!["leaf", "b"]);
+        assert_eq!(levels[1][0].members, vec!["a".to_string()]);
+        assert_eq!(levels[2][0].members, vec!["main".to_string()]);
+    }
+
+    #[test]
+    fn levels_keep_mutual_recursion_together() {
+        let prog = program_with_calls(&[("p1", &["p2"]), ("p2", &["p1"]), ("main", &["p1"])]);
+        let cg = CallGraph::build(&prog);
+        let levels = cg.component_levels();
+        assert_eq!(levels.len(), 2);
+        assert_eq!(
+            levels[0][0].members,
+            vec!["p1".to_string(), "p2".to_string()]
+        );
+        assert!(levels[0][0].recursive);
     }
 
     #[test]

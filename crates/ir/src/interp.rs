@@ -73,7 +73,7 @@ impl<'p> Interpreter<'p> {
             nondet_int: Box::new(|| 0),
             fuel: 50_000_000,
             steps: 0,
-            globals: program.globals.iter().map(|g| (g.clone(), 0)).collect(),
+            globals: program.globals.iter().map(|g| (*g, 0)).collect(),
         }
     }
 
@@ -123,10 +123,10 @@ impl<'p> Interpreter<'p> {
             .ok_or_else(|| ExecError::UndefinedProcedure(name.to_string()))?;
         let mut locals: BTreeMap<Symbol, i128> = BTreeMap::new();
         for (i, p) in proc.params.iter().enumerate() {
-            locals.insert(p.clone(), args.get(i).copied().unwrap_or(0));
+            locals.insert(*p, args.get(i).copied().unwrap_or(0));
         }
         for l in &proc.locals {
-            locals.entry(l.clone()).or_insert(0);
+            locals.entry(*l).or_insert(0);
         }
         let body = proc.body.clone();
         match self.exec(&body, &mut locals)? {
@@ -147,12 +147,12 @@ impl<'p> Interpreter<'p> {
 
     fn write(&mut self, locals: &mut BTreeMap<Symbol, i128>, s: &Symbol, v: i128) {
         if locals.contains_key(s) {
-            locals.insert(s.clone(), v);
+            locals.insert(*s, v);
         } else if self.globals.contains_key(s) {
-            self.globals.insert(s.clone(), v);
+            self.globals.insert(*s, v);
         } else {
             // Implicitly declared local (convenient for temporaries).
-            locals.insert(s.clone(), v);
+            locals.insert(*s, v);
         }
     }
 

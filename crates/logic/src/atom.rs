@@ -150,7 +150,7 @@ impl Atom {
         if !lin_coeff.is_positive() {
             return None;
         }
-        let var_part = Polynomial::var(s.clone()).scale(&lin_coeff);
+        let var_part = Polynomial::var(*s).scale(&lin_coeff);
         let rest = &self.poly - &var_part;
         if rest.symbols().contains(s) {
             return None;
@@ -166,7 +166,7 @@ impl Atom {
         if !lin_coeff.is_negative() {
             return None;
         }
-        let var_part = Polynomial::var(s.clone()).scale(&lin_coeff);
+        let var_part = Polynomial::var(*s).scale(&lin_coeff);
         let rest = &self.poly - &var_part;
         if rest.symbols().contains(s) {
             return None;

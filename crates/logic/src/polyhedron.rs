@@ -189,7 +189,7 @@ impl Polyhedron {
                     }
                     // Needs a linear occurrence: coefficient of the monomial
                     // `s` with `s` absent from every other monomial non-linearly.
-                    let m = chora_expr::Monomial::var(s.clone());
+                    let m = chora_expr::Monomial::var(s);
                     let coeff = a.poly.coefficient(&m);
                     if coeff.is_zero() {
                         continue;
@@ -236,8 +236,11 @@ impl Polyhedron {
     }
 
     fn try_exact_join(&self, other: &Polyhedron) -> Option<Polyhedron> {
-        let left = Linearized::new(&self.atoms)?;
-        let right = Linearized::new(&other.atoms)?;
+        // Both operands must agree on the dimension symbol of every shared
+        // non-linear monomial, so a joint dimension table is built up front.
+        let dim_table = Linearized::dim_table(self.atoms.iter().chain(other.atoms.iter()));
+        let left = Linearized::new_with_dims(&self.atoms, dim_table.clone())?;
+        let right = Linearized::new_with_dims(&other.atoms, dim_table)?;
         // Collect the union of dimensions.
         let mut dims: BTreeSet<Symbol> = BTreeSet::new();
         dims.extend(left.dims());
@@ -245,39 +248,43 @@ impl Polyhedron {
         if dims.len() > 24 {
             return None;
         }
-        let lambda = Symbol::fresh("lambda");
-        // Fresh copy z_d for each dimension.
+        // Operation-local scratch symbols: `λ` and one copy `z_d` per
+        // dimension, all eliminated before this function returns.  Scratch
+        // ids are assigned in dimension order, so the construction is fully
+        // deterministic (the former implementation drew from the global
+        // fresh-symbol counter).
+        let lambda = Symbol::scratch(0);
         let mut z_names: BTreeMap<Symbol, Symbol> = BTreeMap::new();
-        for d in &dims {
-            z_names.insert(d.clone(), Symbol::fresh("z"));
+        for (i, d) in dims.iter().enumerate() {
+            z_names.insert(*d, Symbol::scratch(1 + i as u32));
         }
         let mut constraints: Vec<(LinearExpr, AtomKind)> = Vec::new();
         // P1 constraints on y = x - z, scaled by λ:  Σ aᵢ(xᵢ - zᵢ) + c·λ ◇ 0
         for (expr, kind) in left.constraints() {
             let mut e = LinearExpr::constant(BigRational::zero());
             for (s, c) in expr.coefficients() {
-                e.add_coefficient(s.clone(), c.clone());
-                e.add_coefficient(z_names[s].clone(), -c.clone());
+                e.add_coefficient(*s, c.clone());
+                e.add_coefficient(z_names[s], -c.clone());
             }
-            e.add_coefficient(lambda.clone(), expr.constant_term().clone());
+            e.add_coefficient(lambda, expr.constant_term().clone());
             constraints.push((e, *kind));
         }
         // P2 constraints on z, scaled by (1-λ):  Σ bᵢ zᵢ + c·(1-λ) ◇ 0
         for (expr, kind) in right.constraints() {
             let mut e = LinearExpr::constant(expr.constant_term().clone());
             for (s, c) in expr.coefficients() {
-                e.add_coefficient(z_names[s].clone(), c.clone());
+                e.add_coefficient(z_names[s], c.clone());
             }
-            e.add_coefficient(lambda.clone(), -expr.constant_term().clone());
+            e.add_coefficient(lambda, -expr.constant_term().clone());
             constraints.push((e, *kind));
         }
         // 0 ≤ λ ≤ 1
         constraints.push((
-            LinearExpr::var(lambda.clone()).scale(&-BigRational::one()),
+            LinearExpr::var(lambda).scale(&-BigRational::one()),
             AtomKind::Le,
         ));
         constraints.push((
-            LinearExpr::var(lambda.clone()) + LinearExpr::constant(-BigRational::one()),
+            LinearExpr::var(lambda) + LinearExpr::constant(-BigRational::one()),
             AtomKind::Le,
         ));
         // Eliminate z's and λ.
@@ -384,9 +391,18 @@ impl fmt::Debug for Polyhedron {
 
 /// A linearized constraint system: polynomial atoms become linear constraints
 /// over base symbols plus one dimension symbol per non-linear monomial.
+///
+/// Dimension symbols are *operation-local*: every entry point collects the
+/// non-linear monomials of its input atoms and assigns [`Symbol::dimension`]
+/// ids in monomial order, so the mapping is a deterministic function of the
+/// inputs (the former implementation interned a rendered `$dim[m]` name per
+/// monomial, paying a string allocation and a global interner lookup per
+/// non-linear term).
 struct Linearized {
     /// dimension symbol -> the non-linear monomial it represents
     mono_dims: BTreeMap<Symbol, Monomial>,
+    /// the non-linear monomial -> its dimension symbol
+    dim_of: BTreeMap<Monomial, Symbol>,
     /// linear constraints `expr ◇ 0`
     constraints: Vec<(LinearExpr, AtomKind)>,
     /// marker set when a trivially-false constraint is encountered
@@ -394,11 +410,36 @@ struct Linearized {
 }
 
 impl Linearized {
+    /// Assigns a dimension symbol to every non-linear monomial occurring in
+    /// the atoms, in monomial order.
+    fn dim_table<'a>(atoms: impl Iterator<Item = &'a Atom>) -> BTreeMap<Monomial, Symbol> {
+        let mut monomials: BTreeSet<Monomial> = BTreeSet::new();
+        for a in atoms {
+            for (m, _) in a.poly.terms() {
+                if m.degree() > 1 {
+                    monomials.insert(m.clone());
+                }
+            }
+        }
+        monomials
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| (m, Symbol::dimension(i as u32)))
+            .collect()
+    }
+
     /// Builds the linearized view; returns `None` if a trivially false ground
     /// atom is present (caller should treat the system as unsatisfiable).
     fn new(atoms: &[Atom]) -> Option<Linearized> {
+        Linearized::new_with_dims(atoms, Linearized::dim_table(atoms.iter()))
+    }
+
+    /// Builds the linearized view with a pre-assigned dimension table (used
+    /// by joins, where both operands must share dimension symbols).
+    fn new_with_dims(atoms: &[Atom], dim_of: BTreeMap<Monomial, Symbol>) -> Option<Linearized> {
         let mut sys = Linearized {
-            mono_dims: BTreeMap::new(),
+            mono_dims: dim_of.iter().map(|(m, d)| (*d, m.clone())).collect(),
+            dim_of,
             constraints: Vec::new(),
             unsat: false,
         };
@@ -419,10 +460,6 @@ impl Linearized {
         }
     }
 
-    fn dim_symbol_for(m: &Monomial) -> Symbol {
-        Symbol::new(&format!("$dim[{m}]"))
-    }
-
     fn linearize_poly(&mut self, p: &Polynomial) -> LinearExpr {
         let mut out = LinearExpr::constant(BigRational::zero());
         for (m, c) in p.terms() {
@@ -430,10 +467,12 @@ impl Linearized {
                 out.add_constant(c);
             } else if m.degree() == 1 {
                 let (s, _) = m.powers().next().expect("degree-1 monomial has a symbol");
-                out.add_coefficient(s.clone(), c.clone());
+                out.add_coefficient(*s, c.clone());
             } else {
-                let dim = Self::dim_symbol_for(m);
-                self.mono_dims.insert(dim.clone(), m.clone());
+                let dim = *self
+                    .dim_of
+                    .get(m)
+                    .expect("dimension table covers every non-linear monomial");
                 out.add_coefficient(dim, c.clone());
             }
         }
@@ -445,7 +484,7 @@ impl Linearized {
         for (s, c) in expr.coefficients() {
             let m = match self.mono_dims.get(s) {
                 Some(m) => m.clone(),
-                None => Monomial::var(s.clone()),
+                None => Monomial::var(*s),
             };
             p = &p + &Polynomial::term(c.clone(), m);
         }
@@ -473,8 +512,11 @@ impl Linearized {
     ) -> Linearized {
         let mut mono_dims = self.mono_dims.clone();
         mono_dims.extend(other.mono_dims.clone());
+        let mut dim_of = self.dim_of.clone();
+        dim_of.extend(other.dim_of.clone());
         let mut sys = Linearized {
             mono_dims,
+            dim_of,
             constraints,
             unsat: false,
         };
@@ -486,7 +528,7 @@ impl Linearized {
     fn base_symbols(&self, dim: &Symbol) -> Vec<Symbol> {
         match self.mono_dims.get(dim) {
             Some(m) => m.symbols().into_iter().collect(),
-            None => vec![dim.clone()],
+            None => vec![*dim],
         }
     }
 
@@ -575,7 +617,7 @@ impl Linearized {
             let coeff = eq_expr.coefficient(d);
             // d = -(rest)/coeff
             let mut rest = eq_expr.clone();
-            rest.add_coefficient(d.clone(), -coeff.clone());
+            rest.add_coefficient(*d, -coeff.clone());
             let replacement = rest.scale(&(-coeff.recip()));
             let constraints = std::mem::take(&mut self.constraints)
                 .into_iter()
@@ -612,12 +654,12 @@ impl Linearized {
                 //            pc·n_rest + (-nc)·p_rest ≤ 0
                 let p_rest = {
                     let mut e = pe.clone();
-                    e.add_coefficient(d.clone(), -pc.clone());
+                    e.add_coefficient(*d, -pc.clone());
                     e
                 };
                 let n_rest = {
                     let mut e = ne.clone();
-                    e.add_coefficient(d.clone(), -nc.clone());
+                    e.add_coefficient(*d, -nc.clone());
                     e
                 };
                 let combined = &n_rest.scale(pc) + &p_rest.scale(&-nc.clone());

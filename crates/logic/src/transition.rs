@@ -80,7 +80,7 @@ impl TransitionFormula {
     pub fn identity(vars: &[Symbol]) -> TransitionFormula {
         let atoms = vars
             .iter()
-            .map(|v| Atom::eq(Polynomial::var(v.primed()), Polynomial::var(v.clone())))
+            .map(|v| Atom::eq(Polynomial::var(v.primed()), Polynomial::var(*v)))
             .collect();
         TransitionFormula::from_polyhedron(Polyhedron::from_atoms(atoms))
     }
@@ -91,10 +91,7 @@ impl TransitionFormula {
         let mut atoms = vec![Atom::eq(Polynomial::var(var.primed()), rhs.clone())];
         for v in vars {
             if v != var {
-                atoms.push(Atom::eq(
-                    Polynomial::var(v.primed()),
-                    Polynomial::var(v.clone()),
-                ));
+                atoms.push(Atom::eq(Polynomial::var(v.primed()), Polynomial::var(*v)));
             }
         }
         TransitionFormula::from_polyhedron(Polyhedron::from_atoms(atoms))
@@ -106,7 +103,7 @@ impl TransitionFormula {
         let atoms = vars
             .iter()
             .filter(|v| !havocked.contains(v))
-            .map(|v| Atom::eq(Polynomial::var(v.primed()), Polynomial::var(v.clone())))
+            .map(|v| Atom::eq(Polynomial::var(v.primed()), Polynomial::var(*v)))
             .collect();
         TransitionFormula::from_polyhedron(Polyhedron::from_atoms(atoms))
     }
@@ -116,10 +113,7 @@ impl TransitionFormula {
     pub fn assume(guards: Vec<Atom>, vars: &[Symbol]) -> TransitionFormula {
         let mut atoms = guards;
         for v in vars {
-            atoms.push(Atom::eq(
-                Polynomial::var(v.primed()),
-                Polynomial::var(v.clone()),
-            ));
+            atoms.push(Atom::eq(Polynomial::var(v.primed()), Polynomial::var(*v)));
         }
         TransitionFormula::from_polyhedron(Polyhedron::from_atoms(atoms))
     }
@@ -205,35 +199,33 @@ impl TransitionFormula {
         if self.disjuncts.is_empty() || other.disjuncts.is_empty() {
             return out;
         }
-        // Fresh intermediate names for each variable.
+        // Scratch intermediate names, one per variable.  Scratch symbols are
+        // operation-local (neither operand can contain one — every polyhedral
+        // operation eliminates its scratch symbols before returning), so
+        // indexing by variable position is collision-free and deterministic.
         let mids: Vec<(Symbol, Symbol, Symbol)> = vars
             .iter()
-            .map(|v| {
-                (
-                    v.clone(),
-                    v.primed(),
-                    Symbol::fresh(&format!("mid_{}", v.as_str())),
-                )
-            })
+            .enumerate()
+            .map(|(i, v)| (*v, v.primed(), Symbol::scratch(i as u32)))
             .collect();
-        let drop: BTreeSet<Symbol> = mids.iter().map(|(_, _, m)| m.clone()).collect();
+        let drop: BTreeSet<Symbol> = mids.iter().map(|(_, _, m)| *m).collect();
         for left in &self.disjuncts {
             let left_renamed = left.rename(&mut |s| {
                 for (_, post, mid) in &mids {
                     if s == post {
-                        return mid.clone();
+                        return *mid;
                     }
                 }
-                s.clone()
+                *s
             });
             for right in &other.disjuncts {
                 let right_renamed = right.rename(&mut |s| {
                     for (pre, _, mid) in &mids {
                         if s == pre {
-                            return mid.clone();
+                            return *mid;
                         }
                     }
-                    s.clone()
+                    *s
                 });
                 let combined = left_renamed.conjoin(&right_renamed);
                 if combined.is_empty_set() {
@@ -360,7 +352,7 @@ mod tests {
         Symbol::new("y")
     }
     fn pvar(s: &Symbol) -> Polynomial {
-        Polynomial::var(s.clone())
+        Polynomial::var(*s)
     }
     fn c(v: i64) -> Polynomial {
         Polynomial::constant(rat(v))

@@ -371,7 +371,7 @@ fn solve_linear_system(
             if c.is_zero() {
                 continue;
             }
-            let poly = Polynomial::term(c.clone(), Monomial::from_powers([(h.clone(), *pow)]));
+            let poly = Polynomial::term(c.clone(), Monomial::from_powers([(*h, *pow)]));
             cf = cf.add(&ExpPoly::exp_poly_term(base.clone(), poly, h));
         }
         // Verify on later samples.

@@ -108,7 +108,13 @@ fn bounds_dominate_measured_cost() {
                 .unwrap()
                 .params
                 .iter()
-                .map(|p| if p.as_str() == "n" { n as i128 } else { 0 })
+                .map(|p| {
+                    if *p == chora::expr::Symbol::new("n") {
+                        n as i128
+                    } else {
+                        0
+                    }
+                })
                 .collect();
             let run = interp.run(bench.procedure, &args).unwrap();
             let measured = run.globals[&Symbol::new(bench.cost_var)] as f64;
