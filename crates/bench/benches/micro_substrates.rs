@@ -200,10 +200,36 @@ fn representation_and_parallelism_deltas() {
     let seq_ms = time_secs(analysis_iters, || analyze_with_jobs(&program, 1)) * 1e3;
     let par_ms = time_secs(analysis_iters, || analyze_with_jobs(&program, jobs)) * 1e3;
 
+    // Per-phase breakdown (summarize / solve / check) of one sequential run,
+    // and the summary-cache cold-vs-warm delta: the cold run populates a
+    // fresh store, the warm runs are then pure cache hits — the headline
+    // number of the content-addressed cache.
+    let analyzer = Analyzer::with_config(AnalysisConfig {
+        jobs: 1,
+        ..AnalysisConfig::default()
+    });
+    let store = chora_core::MemoryStore::new();
+    let cold_started = Instant::now();
+    let cold_result = analyzer.analyze_with_store(&program, Some(&store));
+    let cache_cold_ms = cold_started.elapsed().as_secs_f64() * 1e3;
+    let phases = cold_result.timings;
+    // The hit counter is captured inside the timed closure (identical for
+    // every warm iteration) instead of paying one more full analysis.
+    let mut warm_hits = 0;
+    let warm_ms = time_secs(analysis_iters, || {
+        let result = analyzer.analyze_with_store(&program, Some(&store));
+        warm_hits = result.cache.hits;
+        result.summaries.len()
+    }) * 1e3;
+
     let report = format!(
-        "{{\n  \"smoke\": {smoke},\n  \"poly_workload\": {{\n    \"string_ns\": {string_ns:.0},\n    \"interned_ns\": {interned_ns:.0},\n    \"interned_speedup\": {:.3}\n  }},\n  \"level_parallel\": {{\n    \"jobs\": {jobs},\n    \"seq_ms\": {seq_ms:.3},\n    \"par_ms\": {par_ms:.3},\n    \"parallel_speedup\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"smoke\": {smoke},\n  \"poly_workload\": {{\n    \"string_ns\": {string_ns:.0},\n    \"interned_ns\": {interned_ns:.0},\n    \"interned_speedup\": {:.3}\n  }},\n  \"level_parallel\": {{\n    \"jobs\": {jobs},\n    \"seq_ms\": {seq_ms:.3},\n    \"par_ms\": {par_ms:.3},\n    \"parallel_speedup\": {:.3}\n  }},\n  \"phases\": {{\n    \"summarize_ms\": {:.3},\n    \"solve_ms\": {:.3},\n    \"check_ms\": {:.3}\n  }},\n  \"summary_cache\": {{\n    \"cold_ms\": {cache_cold_ms:.3},\n    \"warm_ms\": {warm_ms:.3},\n    \"warm_speedup\": {:.3},\n    \"warm_hits\": {warm_hits}\n  }}\n}}\n",
         string_ns / interned_ns,
-        seq_ms / par_ms
+        seq_ms / par_ms,
+        phases.summarize_ms,
+        phases.solve_ms,
+        phases.check_ms,
+        cache_cold_ms / warm_ms
     );
     println!("substrate-deltas\n{report}");
     let target = std::env::var("CARGO_TARGET_DIR")

@@ -6,7 +6,10 @@
 
 use crate::json::Json;
 use crate::parser::parse_program;
-use chora_core::{complexity, AnalysisConfig, Analyzer, ComplexityClass};
+use chora_core::{
+    complexity, AnalysisConfig, AnalysisResult, Analyzer, CacheStats, ComplexityClass, DiskStore,
+    SummaryStore,
+};
 use chora_expr::Symbol;
 use chora_ir::Program;
 use std::fmt;
@@ -52,11 +55,17 @@ pub struct FileOptions {
     /// Worker threads for the level-parallel driver (1 = sequential,
     /// 0 = one per core).
     pub jobs: usize,
+    /// Persistent summary-cache directory (`--cache-dir`); `None` disables
+    /// caching.
+    pub cache_dir: Option<String>,
+    /// Ignore `cache_dir` even when set (`--no-cache`).
+    pub no_cache: bool,
 }
 
 impl Default for FileOptions {
     /// Matches the CLI defaults — in particular `jobs: 1` (sequential), the
-    /// same default as `AnalysisConfig` and the `--jobs` flag.
+    /// same default as `AnalysisConfig` and the `--jobs` flag, and no
+    /// summary cache.
     fn default() -> Self {
         FileOptions {
             path: String::new(),
@@ -65,7 +74,45 @@ impl Default for FileOptions {
             cost_var: None,
             size_param: None,
             jobs: 1,
+            cache_dir: None,
+            no_cache: false,
         }
+    }
+}
+
+/// Opens the summary cache requested by the options (if any).
+fn open_store(cache_dir: &Option<String>, no_cache: bool) -> Result<Option<DiskStore>, CliError> {
+    match cache_dir {
+        Some(dir) if !no_cache => DiskStore::open(dir)
+            .map(Some)
+            .map_err(|e| CliError(format!("cannot open cache directory `{dir}`: {e}"))),
+        _ => Ok(None),
+    }
+}
+
+/// Runs the analysis, through the store when one is configured.
+fn run_analysis(
+    analyzer: &Analyzer,
+    program: &Program,
+    store: Option<&DiskStore>,
+) -> AnalysisResult {
+    analyzer.analyze_with_store(program, store.map(|s| s as &dyn SummaryStore))
+}
+
+/// Reports cache counters on **stderr** — never stdout, so cached and
+/// uncached runs of the same program stay byte-identical on stdout (which
+/// is what the cache-determinism CI job diffs).
+fn report_cache_stats(json: bool, stats: Option<&CacheStats>) {
+    let Some(stats) = stats else {
+        return;
+    };
+    if json {
+        eprintln!(
+            "{{\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}}}}",
+            stats.hits, stats.misses, stats.evictions
+        );
+    } else {
+        eprintln!("summary cache: {stats}");
     }
 }
 
@@ -128,7 +175,21 @@ fn resolve_size_param(
 
 /// `chora analyze FILE`: full analysis report — per-procedure summaries,
 /// solved bound facts, depth bounds, and assertion verdicts.
+///
+/// With `--cache-dir`, summary-cache counters go to stderr (see
+/// [`analyze_with_stats`] for programmatic access); stdout stays
+/// byte-identical with and without the cache.
 pub fn analyze(opts: &FileOptions) -> Result<(String, i32), CliError> {
+    let (output, exit, stats) = analyze_with_stats(opts)?;
+    report_cache_stats(opts.json, stats.as_ref());
+    Ok((output, exit))
+}
+
+/// [`analyze`], additionally returning the cache counters (when a cache
+/// directory was configured) instead of printing them.
+pub fn analyze_with_stats(
+    opts: &FileOptions,
+) -> Result<(String, i32, Option<CacheStats>), CliError> {
     let program = read_and_parse(&opts.path)?;
     // With --proc the report is restricted to that procedure (and its
     // assertions); the analysis itself is always whole-program.
@@ -136,9 +197,11 @@ pub fn analyze(opts: &FileOptions) -> Result<(String, i32), CliError> {
         Some(requested) => Some(resolve_procedure(&program, Some(requested))?),
         None => None,
     };
+    let store = open_store(&opts.cache_dir, opts.no_cache)?;
     let started = Instant::now();
-    let result = analyzer_with_jobs(opts.jobs).analyze(&program);
+    let result = run_analysis(&analyzer_with_jobs(opts.jobs), &program, store.as_ref());
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let stats = store.is_some().then_some(result.cache);
 
     let report_names: Vec<String> = match &focus {
         Some(name) => vec![name.clone()],
@@ -204,7 +267,7 @@ pub fn analyze(opts: &FileOptions) -> Result<(String, i32), CliError> {
             .field("assertions", Json::Array(assertions))
             .field("all_assertions_verified", Json::Bool(all_verified))
             .field("analysis_ms", Json::Float(elapsed_ms));
-        return Ok((doc.pretty(), exit));
+        return Ok((doc.pretty(), exit, stats));
     }
 
     let mut out = String::new();
@@ -253,7 +316,7 @@ pub fn analyze(opts: &FileOptions) -> Result<(String, i32), CliError> {
             }
         ));
     }
-    Ok((out, exit))
+    Ok((out, exit, stats))
 }
 
 /// `chora complexity FILE`: resource-bound extraction — the Table 1 view of
@@ -264,9 +327,11 @@ pub fn complexity_cmd(opts: &FileOptions) -> Result<(String, i32), CliError> {
     let cost = resolve_cost_var(&program, opts.cost_var.as_deref())?;
     let size = resolve_size_param(&program, &proc_name, opts.size_param.as_deref())?;
 
+    let store = open_store(&opts.cache_dir, opts.no_cache)?;
     let started = Instant::now();
-    let result = analyzer_with_jobs(opts.jobs).analyze(&program);
+    let result = run_analysis(&analyzer_with_jobs(opts.jobs), &program, store.as_ref());
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    report_cache_stats(opts.json, store.is_some().then_some(result.cache).as_ref());
 
     let summary = result
         .summary(&proc_name)
@@ -321,6 +386,11 @@ pub struct BenchOptions {
     /// Optional directory of `.imp` programs to analyze and time in
     /// addition to the built-in suites.
     pub programs_dir: Option<String>,
+    /// Summary-cache directory: programs are analyzed twice (cold, then
+    /// warm) and both wall-clocks are reported.
+    pub cache_dir: Option<String>,
+    /// Ignore `cache_dir` even when set.
+    pub no_cache: bool,
 }
 
 impl Default for BenchOptions {
@@ -331,8 +401,23 @@ impl Default for BenchOptions {
             filter: None,
             jobs: 1,
             programs_dir: None,
+            cache_dir: None,
+            no_cache: false,
         }
     }
+}
+
+/// One timed program row of `chora bench [DIR]`.
+struct ProgramRow {
+    name: String,
+    procedures: usize,
+    verified: bool,
+    parse_ms: f64,
+    analysis_ms: f64,
+    timings: chora_core::PhaseTimings,
+    /// `(warm wall-clock, warm cache counters)` when a cache directory is
+    /// configured; `analysis_ms` is then the *cold* run.
+    warm: Option<(f64, CacheStats)>,
 }
 
 /// `chora bench`: reruns the paper's built-in benchmark suites (Table 1
@@ -367,12 +452,16 @@ pub fn bench(opts: &BenchOptions) -> Result<(String, i32), CliError> {
             result.all_assertions_verified(),
             b.paper_chora,
             elapsed_ms,
+            result.timings,
         ));
     }
 
     // Optional directory of .imp programs: parse + analyze each, with
-    // wall-clock timings — the on-disk counterpart of the built-in suites.
-    let mut program_rows: Vec<(String, usize, bool, f64)> = Vec::new();
+    // per-phase wall-clock timings — the on-disk counterpart of the
+    // built-in suites.  With --cache-dir every program is analyzed twice
+    // (cold, then warm) so the cache win is directly visible.
+    let store = open_store(&opts.cache_dir, opts.no_cache)?;
+    let mut program_rows: Vec<ProgramRow> = Vec::new();
     if let Some(dir) = &opts.programs_dir {
         let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
             .map_err(|e| CliError(format!("cannot read directory `{dir}`: {e}")))?
@@ -389,16 +478,30 @@ pub fn bench(opts: &BenchOptions) -> Result<(String, i32), CliError> {
             if !keep(&name) {
                 continue;
             }
+            let parse_started = Instant::now();
             let program = read_and_parse(&display)?;
+            let parse_ms = parse_started.elapsed().as_secs_f64() * 1e3;
+            let analyzer = analyzer_with_jobs(opts.jobs);
             let started = Instant::now();
-            let result = analyzer_with_jobs(opts.jobs).analyze(&program);
-            let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
-            program_rows.push((
+            let result = run_analysis(&analyzer, &program, store.as_ref());
+            let analysis_ms = started.elapsed().as_secs_f64() * 1e3;
+            let warm = store.as_ref().map(|s| {
+                let warm_started = Instant::now();
+                let warm_result = run_analysis(&analyzer, &program, Some(s));
+                (
+                    warm_started.elapsed().as_secs_f64() * 1e3,
+                    warm_result.cache,
+                )
+            });
+            program_rows.push(ProgramRow {
                 name,
-                result.summaries.len(),
-                result.all_assertions_verified(),
-                elapsed_ms,
-            ));
+                procedures: result.summaries.len(),
+                verified: result.all_assertions_verified(),
+                parse_ms,
+                analysis_ms,
+                timings: result.timings,
+                warm,
+            });
         }
     }
 
@@ -423,22 +526,37 @@ pub fn bench(opts: &BenchOptions) -> Result<(String, i32), CliError> {
             .collect();
         let assertion_json: Vec<Json> = assertion_rows
             .iter()
-            .map(|(name, verified, paper, ms)| {
+            .map(|(name, verified, paper, ms, timings)| {
                 Json::object()
                     .field("name", Json::str(*name))
                     .field("verified", Json::Bool(*verified))
                     .field("paper_chora", Json::Bool(*paper))
                     .field("analysis_ms", Json::Float(*ms))
+                    .field("phases", phases_json(None, timings))
             })
             .collect();
         let program_json: Vec<Json> = program_rows
             .iter()
-            .map(|(name, procedures, verified, ms)| {
-                Json::object()
-                    .field("name", Json::str(name))
-                    .field("procedures", Json::Int(*procedures as i64))
-                    .field("all_assertions_verified", Json::Bool(*verified))
-                    .field("analysis_ms", Json::Float(*ms))
+            .map(|row| {
+                let mut doc = Json::object()
+                    .field("name", Json::str(&row.name))
+                    .field("procedures", Json::Int(row.procedures as i64))
+                    .field("all_assertions_verified", Json::Bool(row.verified))
+                    .field("analysis_ms", Json::Float(row.analysis_ms))
+                    .field("phases", phases_json(Some(row.parse_ms), &row.timings));
+                if let Some((warm_ms, cache)) = &row.warm {
+                    doc = doc
+                        .field("cold_ms", Json::Float(row.analysis_ms))
+                        .field("warm_ms", Json::Float(*warm_ms))
+                        .field(
+                            "warm_cache",
+                            Json::object()
+                                .field("hits", Json::Int(cache.hits as i64))
+                                .field("misses", Json::Int(cache.misses as i64))
+                                .field("evictions", Json::Int(cache.evictions as i64)),
+                        );
+                }
+                doc
             })
             .collect();
         let doc = Json::object()
@@ -465,31 +583,61 @@ pub fn bench(opts: &BenchOptions) -> Result<(String, i32), CliError> {
             out.push('\n');
         }
         out.push_str(&format!(
-            "{:<18} {:<10} {:<12} {:>10}\n",
-            "assertion bench", "CHORA-rs", "paper CHORA", "time"
+            "{:<18} {:<10} {:<12} {:>10}  {}\n",
+            "assertion bench", "CHORA-rs", "paper CHORA", "time", "phases (summ/solve/check)"
         ));
-        for (name, verified, paper, ms) in &assertion_rows {
+        for (name, verified, paper, ms, t) in &assertion_rows {
             let v = if *verified { "proved" } else { "n.p." };
             let p = if *paper { "proved" } else { "n.p." };
-            out.push_str(&format!("{name:<18} {v:<10} {p:<12} {ms:>8.1}ms\n"));
+            out.push_str(&format!(
+                "{name:<18} {v:<10} {p:<12} {ms:>8.1}ms  {:.1}/{:.1}/{:.1}ms\n",
+                t.summarize_ms, t.solve_ms, t.check_ms
+            ));
         }
     }
     if !program_rows.is_empty() {
         if !rows.is_empty() || !assertion_rows.is_empty() {
             out.push('\n');
         }
+        let cached = program_rows.iter().any(|r| r.warm.is_some());
+        let time_heading = if cached { "cold" } else { "time" };
         out.push_str(&format!(
-            "{:<18} {:<12} {:<12} {:>10}\n",
-            "program", "procedures", "assertions", "time"
+            "{:<18} {:<12} {:<12} {:>10}  {}\n",
+            "program", "procedures", "assertions", time_heading, "phases (parse/summ/solve/check)"
         ));
-        for (name, procedures, verified, ms) in &program_rows {
-            let v = if *verified { "verified" } else { "n.p." };
+        for row in &program_rows {
+            let v = if row.verified { "verified" } else { "n.p." };
             out.push_str(&format!(
-                "{name:<18} {procedures:<12} {v:<12} {ms:>8.1}ms\n"
+                "{:<18} {:<12} {v:<12} {:>8.1}ms  {:.1}/{:.1}/{:.1}/{:.1}ms",
+                row.name,
+                row.procedures,
+                row.analysis_ms,
+                row.parse_ms,
+                row.timings.summarize_ms,
+                row.timings.solve_ms,
+                row.timings.check_ms
             ));
+            if let Some((warm_ms, cache)) = &row.warm {
+                out.push_str(&format!(
+                    "  warm {warm_ms:.1}ms ({} hits, {} misses)",
+                    cache.hits, cache.misses
+                ));
+            }
+            out.push('\n');
         }
     }
     Ok((out, 0))
+}
+
+/// The per-phase timing object of one bench row.
+fn phases_json(parse_ms: Option<f64>, t: &chora_core::PhaseTimings) -> Json {
+    let mut doc = Json::object();
+    if let Some(parse_ms) = parse_ms {
+        doc = doc.field("parse_ms", Json::Float(parse_ms));
+    }
+    doc.field("summarize_ms", Json::Float(t.summarize_ms))
+        .field("solve_ms", Json::Float(t.solve_ms))
+        .field("check_ms", Json::Float(t.check_ms))
 }
 
 /// `chora print FILE`: parse and pretty-print back (the round-trip surface).

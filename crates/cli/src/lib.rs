@@ -35,7 +35,10 @@ pub mod lexer;
 pub mod parser;
 pub mod printer;
 
-pub use driver::{analyze, bench, complexity_cmd, print_cmd, BenchOptions, CliError, FileOptions};
+pub use driver::{
+    analyze, analyze_with_stats, bench, complexity_cmd, print_cmd, BenchOptions, CliError,
+    FileOptions,
+};
 pub use lexer::ParseError;
 pub use parser::parse_program;
 pub use printer::{print_cond, print_expr, print_program};

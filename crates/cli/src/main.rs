@@ -22,6 +22,14 @@ OPTIONS (analyze / complexity / bench):
     --jobs N          Summarize independent call-graph components on N
                       worker threads (default 1; 0 = one per core).  The
                       output is identical for every N
+    --cache-dir PATH  Persistent summary cache: procedure summaries are
+                      stored content-addressed by a structural hash of the
+                      procedure and its callee cone, so re-analyses of a
+                      lightly-edited program only re-summarize the changed
+                      cone.  Cache counters (hits/misses/evictions) print
+                      on stderr; stdout is byte-identical with and without
+                      the cache.  `bench` runs each program cold and warm
+    --no-cache        Ignore --cache-dir (force a full analysis)
     --proc NAME       Procedure to report on (default: all for analyze;
                       sole procedure or main for complexity)
 
@@ -35,8 +43,9 @@ OPTIONS (bench):
 EXAMPLES:
     chora complexity examples/programs/hanoi.imp --json
     chora analyze examples/programs/merge-sort.imp --jobs 4
+    chora analyze examples/programs/height.imp --cache-dir ~/.cache/chora
     chora bench --filter hanoi
-    chora bench --json examples/programs
+    chora bench --json --cache-dir /tmp/chora-cache examples/programs
 ";
 
 fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
@@ -83,6 +92,8 @@ fn run() -> Result<(String, i32), String> {
             let procedure = take_value(&mut args, "--proc")?;
             let cost_var = take_value(&mut args, "--cost")?;
             let size_param = take_value(&mut args, "--size")?;
+            let cache_dir = take_value(&mut args, "--cache-dir")?;
+            let no_cache = take_flag(&mut args, "--no-cache");
             if subcommand == "analyze" && (cost_var.is_some() || size_param.is_some()) {
                 return Err("--cost and --size only apply to `chora complexity`".to_string());
             }
@@ -99,6 +110,8 @@ fn run() -> Result<(String, i32), String> {
                 cost_var,
                 size_param,
                 jobs,
+                cache_dir,
+                no_cache,
             };
             let result = if subcommand == "analyze" {
                 analyze(&opts)
@@ -111,6 +124,8 @@ fn run() -> Result<(String, i32), String> {
             let json = take_flag(&mut args, "--json");
             let jobs = take_jobs(&mut args)?;
             let filter = take_value(&mut args, "--filter")?;
+            let cache_dir = take_value(&mut args, "--cache-dir")?;
+            let no_cache = take_flag(&mut args, "--no-cache");
             let programs_dir = match args.as_slice() {
                 [] => None,
                 [dir] => Some(dir.clone()),
@@ -121,6 +136,8 @@ fn run() -> Result<(String, i32), String> {
                 filter,
                 jobs,
                 programs_dir,
+                cache_dir,
+                no_cache,
             })
             .map_err(|e| e.to_string())
         }

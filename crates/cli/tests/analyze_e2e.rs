@@ -136,6 +136,7 @@ fn bench_times_programs_directory() {
         filter: Some("hanoi".to_string()),
         jobs: 2,
         programs_dir: Some(dir),
+        ..BenchOptions::default()
     })
     .expect("bench runs");
     assert_eq!(exit, 0);

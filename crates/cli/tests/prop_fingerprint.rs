@@ -1,0 +1,271 @@
+//! Property tests for the structural fingerprints behind the summary cache:
+//!
+//! * the fingerprint of every procedure is invariant under a
+//!   pretty-print→re-parse round trip (the cache must keep hitting when a
+//!   program is regenerated from source),
+//! * the fingerprint is invariant under variable-order-preserving renames
+//!   of fresh symbols (alpha-invariance of anonymous temporaries),
+//! * a single-statement edit changes exactly the keys of the edited
+//!   procedure and its transitive callers — the dirty cone — and nothing
+//!   else.
+//!
+//! Programs are generated from a `u64` seed with a local splitmix RNG (the
+//! vendored proptest shim provides seeds and deterministic replay; the
+//! recursive AST generator lives here).
+
+use chora_cli::{parse_program, print_program};
+use chora_ir::fingerprint::{procedure_fingerprint, procedure_keys, Fingerprint};
+use chora_ir::{CallGraph, Cond, Expr, Procedure, Program, Stmt};
+use proptest::prelude::*;
+
+/// Deterministic splitmix64, same construction as the proptest shim.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+const VARS: &[&str] = &["a", "b", "n", "t"];
+
+fn gen_var(g: &mut Gen) -> &'static str {
+    VARS[g.below(VARS.len() as u64) as usize]
+}
+
+fn gen_expr(g: &mut Gen, depth: u32) -> Expr {
+    if depth == 0 {
+        return match g.below(2) {
+            0 => Expr::var(gen_var(g)),
+            _ => Expr::int(g.below(21) as i64 - 10),
+        };
+    }
+    match g.below(6) {
+        0 => Expr::var(gen_var(g)),
+        1 => Expr::int(g.below(21) as i64 - 10),
+        2 => gen_expr(g, depth - 1).add(gen_expr(g, depth - 1)),
+        3 => gen_expr(g, depth - 1).sub(gen_expr(g, depth - 1)),
+        4 => gen_expr(g, depth - 1).mul(gen_expr(g, depth - 1)),
+        _ => gen_expr(g, depth - 1).div(1 + g.below(4) as i64),
+    }
+}
+
+fn gen_cond(g: &mut Gen, depth: u32) -> Cond {
+    if depth == 0 || g.below(3) == 0 {
+        return match g.below(7) {
+            0 => Cond::Nondet,
+            1 => Cond::le(gen_expr(g, 1), gen_expr(g, 1)),
+            2 => Cond::lt(gen_expr(g, 1), gen_expr(g, 1)),
+            3 => Cond::ge(gen_expr(g, 1), gen_expr(g, 1)),
+            4 => Cond::gt(gen_expr(g, 1), gen_expr(g, 1)),
+            5 => Cond::eq(gen_expr(g, 1), gen_expr(g, 1)),
+            _ => Cond::ne(gen_expr(g, 1), gen_expr(g, 1)),
+        };
+    }
+    match g.below(3) {
+        0 => gen_cond(g, depth - 1).and(gen_cond(g, depth - 1)),
+        1 => gen_cond(g, depth - 1).or(gen_cond(g, depth - 1)),
+        _ => gen_cond(g, depth - 1).negate(),
+    }
+}
+
+fn gen_stmt(g: &mut Gen, depth: u32, callees: &[String]) -> Stmt {
+    let choices = if depth == 0 { 5 } else { 9 };
+    match g.below(choices) {
+        0 => Stmt::Skip,
+        1 => Stmt::assign(gen_var(g), gen_expr(g, 2)),
+        2 => Stmt::Havoc(chora_expr::Symbol::new(gen_var(g))),
+        3 => Stmt::Assume(gen_cond(g, 1)),
+        4 => Stmt::Assert(gen_cond(g, 1), format!("l{}", g.below(100))),
+        5 => Stmt::if_else(
+            gen_cond(g, 1),
+            gen_stmt(g, depth - 1, callees),
+            gen_stmt(g, depth - 1, callees),
+        ),
+        6 => Stmt::while_loop(gen_cond(g, 1), gen_stmt(g, depth - 1, callees)),
+        7 if !callees.is_empty() => {
+            let callee = &callees[g.below(callees.len() as u64) as usize];
+            if g.below(2) == 0 {
+                Stmt::call(callee, vec![gen_expr(g, 1)])
+            } else {
+                Stmt::call_assign(gen_var(g), callee, vec![gen_expr(g, 1)])
+            }
+        }
+        _ => Stmt::seq(
+            (0..1 + g.below(3))
+                .map(|_| gen_stmt(g, depth.saturating_sub(1), callees))
+                .collect(),
+        ),
+    }
+}
+
+/// A random program: a layered DAG of procedures (each may call any earlier
+/// one) plus random bodies over a fixed variable pool.
+fn gen_program(seed: u64) -> Program {
+    let mut g = Gen::new(seed);
+    let mut prog = Program::new();
+    prog.add_global("cost");
+    let count = 2 + g.below(5);
+    let mut names: Vec<String> = Vec::new();
+    for i in 0..count {
+        let name = format!("p{i}");
+        // Call targets: a random subset of the already-defined procedures
+        // (keeps the call graph acyclic, so the dirty cone is exactly the
+        // set of transitive callers).
+        let callees: Vec<String> = names.iter().filter(|_| g.below(2) == 0).cloned().collect();
+        let mut body = vec![gen_stmt(&mut g, 2, &callees)];
+        for callee in &callees {
+            body.push(Stmt::call(callee, vec![gen_expr(&mut g, 1)]));
+        }
+        if g.below(2) == 0 {
+            body.push(Stmt::Return(Some(gen_expr(&mut g, 1))));
+        }
+        prog.add_procedure(Procedure::new(&name, &["n"], &[], Stmt::seq(body)));
+        names.push(name);
+    }
+    prog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// print → parse is fingerprint-preserving on parser-canonical programs
+    /// (one normalization step reaches the canonical form, exactly like the
+    /// CLI sees after reading a file).
+    #[test]
+    fn fingerprint_survives_print_parse_round_trip(seed in any::<u64>()) {
+        let generated = gen_program(seed);
+        let printed = print_program(&generated);
+        let canonical = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("printed program must reparse: {e}\n{printed}"));
+        let reprinted = print_program(&canonical);
+        let round_tripped = parse_program(&reprinted)
+            .unwrap_or_else(|e| panic!("re-printed program must reparse: {e}\n{reprinted}"));
+        for proc in &canonical.procedures {
+            let again = round_tripped
+                .procedure(&proc.name)
+                .expect("procedure survives round trip");
+            prop_assert_eq!(
+                procedure_fingerprint(proc),
+                procedure_fingerprint(again),
+                "fingerprint of `{}` changed across print→parse",
+                proc.name
+            );
+        }
+        // The transitive keys agree as well (same call graph, same bodies).
+        let salt = Fingerprint(7);
+        prop_assert_eq!(
+            procedure_keys(&canonical, salt),
+            procedure_keys(&round_tripped, salt)
+        );
+    }
+
+    /// Renaming fresh temporaries (order-preserving) never changes the
+    /// fingerprint; permuting their first-occurrence order does.
+    #[test]
+    fn fingerprint_is_alpha_invariant_in_fresh_symbols(seed in any::<u64>(), scope_a in 0u32..100, scope_b in 100u32..200) {
+        let mut g = Gen::new(seed);
+        let src_a = chora_expr::FreshSource::new(scope_a);
+        let src_b = chora_expr::FreshSource::new(scope_b);
+        // Skip a random number of serials in b so the serial offsets differ.
+        for _ in 0..g.below(5) {
+            let _ = src_b.fresh();
+        }
+        let temps_a: Vec<_> = (0..3).map(|_| src_a.fresh()).collect();
+        let temps_b: Vec<_> = (0..3).map(|_| src_b.fresh()).collect();
+        let body = |t: &[chora_expr::Symbol]| {
+            Stmt::seq(vec![
+                Stmt::Assign(t[0], Expr::var("n")),
+                Stmt::Assign(t[1], Expr::Var(t[0]).mul(Expr::int(2))),
+                Stmt::If(
+                    Cond::ge(Expr::Var(t[1]), Expr::int(0)),
+                    Box::new(Stmt::Assign(t[2], Expr::Var(t[1]))),
+                    Box::new(Stmt::Havoc(t[2])),
+                ),
+            ])
+        };
+        let make = |t: &[chora_expr::Symbol]| Procedure {
+            name: "p".to_string(),
+            params: vec![chora_expr::Symbol::new("n")],
+            locals: vec![],
+            body: body(t),
+        };
+        prop_assert_eq!(
+            procedure_fingerprint(&make(&temps_a)),
+            procedure_fingerprint(&make(&temps_b))
+        );
+        // Swapping the roles of the first two temporaries changes the
+        // de-Bruijn structure only if their occurrence pattern changes; a
+        // procedure using them in a genuinely different order must differ.
+        let swapped = Procedure {
+            name: "p".to_string(),
+            params: vec![chora_expr::Symbol::new("n")],
+            locals: vec![],
+            body: Stmt::seq(vec![
+                Stmt::Assign(temps_a[1], Expr::var("n")),
+                Stmt::Assign(temps_a[0], Expr::Var(temps_a[0]).mul(Expr::int(2))),
+                Stmt::If(
+                    Cond::ge(Expr::Var(temps_a[1]), Expr::int(0)),
+                    Box::new(Stmt::Assign(temps_a[2], Expr::Var(temps_a[1]))),
+                    Box::new(Stmt::Havoc(temps_a[2])),
+                ),
+            ]),
+        };
+        prop_assert_ne!(
+            procedure_fingerprint(&make(&temps_a)),
+            procedure_fingerprint(&swapped)
+        );
+    }
+
+    /// Editing one procedure dirties exactly that procedure and its
+    /// transitive callers.
+    #[test]
+    fn single_edit_dirties_exactly_the_caller_cone(seed in any::<u64>()) {
+        let mut g = Gen::new(seed.wrapping_add(1));
+        let program = gen_program(seed);
+        let victim_index = g.below(program.procedures.len() as u64) as usize;
+        let victim = program.procedures[victim_index].name.clone();
+        // The edit: append one extra statement to the victim's body.
+        let mut edited = program.clone();
+        let proc = &mut edited.procedures[victim_index];
+        proc.body = Stmt::seq(vec![
+            proc.body.clone(),
+            Stmt::assign("t", Expr::var("t").add(Expr::int(941))),
+        ]);
+        let salt = Fingerprint(3);
+        let before = procedure_keys(&program, salt);
+        let after = procedure_keys(&edited, salt);
+        let callgraph = CallGraph::build(&program);
+        for proc in &program.procedures {
+            let dirty = proc.name == victim
+                || callgraph.calls_transitively(&proc.name, &victim);
+            if dirty {
+                prop_assert_ne!(
+                    before[&proc.name], after[&proc.name],
+                    "`{}` is in the dirty cone of `{}` but kept its key",
+                    proc.name, victim
+                );
+            } else {
+                prop_assert_eq!(
+                    before[&proc.name], after[&proc.name],
+                    "`{}` is outside the dirty cone of `{}` but changed key",
+                    proc.name, victim
+                );
+            }
+        }
+    }
+}

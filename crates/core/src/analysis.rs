@@ -12,11 +12,16 @@ use crate::complexity::term_to_polynomial;
 use crate::depth::{depth_bound, polynomial_to_term, DepthBound};
 use crate::height::{analyze_scc, HeightAnalysis};
 use crate::lower::lower_cond_post;
+use crate::store::{CacheStats, SummaryStore};
 use crate::summarize::{return_variable, Summarizer};
 use chora_expr::{ExpPoly, FreshSource, Polynomial, Symbol, Term};
-use chora_ir::{CallGraph, Component, Procedure, Program, Stmt};
+use chora_ir::{
+    fingerprint::level_keys, CallGraph, Component, Fingerprint, FingerprintBuilder, Procedure,
+    Program, Stmt,
+};
 use chora_logic::{Atom, Polyhedron, TransitionFormula};
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
 
 /// Analysis configuration (used for ablation experiments).
 #[derive(Clone, Debug)]
@@ -49,7 +54,7 @@ impl Default for AnalysisConfig {
 }
 
 /// A solved bound fact `τ ≤ bound` of a recursive procedure.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BoundFact {
     /// The relational expression `τ` over `Var ∪ Var'`.
     pub term: Polynomial,
@@ -63,7 +68,7 @@ pub struct BoundFact {
 }
 
 /// The summary computed for one procedure.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ProcedureSummary {
     /// Procedure name.
     pub name: String,
@@ -89,6 +94,22 @@ pub struct AssertionResult {
     pub verified: bool,
 }
 
+/// Cumulative per-phase wall-clock of one analysis run.
+///
+/// Durations are summed across worker tasks (so with `--jobs N` they read
+/// as CPU time, not elapsed time); `parse` is not included because parsing
+/// happens in the front end, before the analyzer runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Intra-procedural summarization (formula construction, loop closure).
+    pub summarize_ms: f64,
+    /// Height-based recurrence extraction/solving plus depth-bound analysis
+    /// (recursive components only) — the phase a cache hit skips entirely.
+    pub solve_ms: f64,
+    /// The assertion-checking pass.
+    pub check_ms: f64,
+}
+
 /// The result of analysing a whole program.
 #[derive(Clone, Debug, Default)]
 pub struct AnalysisResult {
@@ -96,6 +117,10 @@ pub struct AnalysisResult {
     pub summaries: BTreeMap<String, ProcedureSummary>,
     /// Assertion verdicts, in program order.
     pub assertions: Vec<AssertionResult>,
+    /// Summary-cache counters (all zero when no store was supplied).
+    pub cache: CacheStats,
+    /// Per-phase timings.
+    pub timings: PhaseTimings,
 }
 
 impl AnalysisResult {
@@ -149,23 +174,82 @@ impl Analyzer {
     /// existential symbols from an own deterministic [`FreshSource`], so the
     /// result — down to the byte — is independent of the schedule.
     pub fn analyze(&self, program: &Program) -> AnalysisResult {
+        self.analyze_with_store(program, None)
+    }
+
+    /// [`Analyzer::analyze`] backed by a summary cache.
+    ///
+    /// Before summarizing, each component's transitive fingerprint (see
+    /// [`chora_ir::fingerprint`]) is looked up in `store`: a hit restores
+    /// the cached summaries — skipping intra-procedural summarization and
+    /// height/depth/recurrence solving for the component entirely — while
+    /// assertion checking still runs against the restored summaries.  Only
+    /// the dirty cone (components whose own body, callee cone, analysis
+    /// configuration, or deterministic symbol scope changed) is
+    /// re-summarized and re-stored.  The analysis result, including every
+    /// byte of the derived reports, is identical with and without a store.
+    pub fn analyze_with_store(
+        &self,
+        program: &Program,
+        store: Option<&dyn SummaryStore>,
+    ) -> AnalysisResult {
         let callgraph = CallGraph::build(program);
         let levels = callgraph.component_levels();
+        let keys =
+            store.map(|_| level_keys(program, &callgraph, &levels, self.cache_salt(program)));
+        // `SummaryStore::evictions` counts over the store's lifetime; report
+        // only this run's delta (stores are reused across bench runs).
+        let evictions_before = store.map_or(0, |s| s.evictions());
         let summarizer = Summarizer::new(program);
         let mut result = AnalysisResult::default();
         let jobs = self.effective_jobs();
         // Scopes are assigned by bottom-up component order (then by
         // procedure order for the assertion pass), identically for every
-        // schedule.
+        // schedule — and independently of cache hits, so restored summaries
+        // mention exactly the symbols a cold run would have created.
         let mut next_scope: u32 = 0;
-        for level in &levels {
+        for (level_index, level) in levels.iter().enumerate() {
             let scopes: Vec<u32> = (0..level.len() as u32).map(|i| next_scope + i).collect();
             next_scope += level.len() as u32;
+            // One task per component: probe the store (loads — disk read,
+            // decode, re-intern — run concurrently too), summarize on a
+            // miss.  Same-level components never call each other, so a
+            // task never needs a sibling's restored summary.
             let outputs = parallel_map(jobs, level.len(), |i| {
+                if let (Some(store), Some(keys)) = (store, &keys) {
+                    let component = &level[i];
+                    let hit = store.load(&keys[level_index][i]).filter(|summaries| {
+                        summaries.len() == component.members.len()
+                            && summaries
+                                .iter()
+                                .zip(&component.members)
+                                .all(|(s, m)| &s.name == m)
+                    });
+                    if let Some(summaries) = hit {
+                        return ComponentOutput {
+                            summaries,
+                            summarize_ms: 0.0,
+                            solve_ms: 0.0,
+                            cache_hit: true,
+                        };
+                    }
+                }
                 self.summarize_component(program, &summarizer, &level[i], scopes[i])
             });
-            for summaries in outputs {
-                for summary in summaries {
+            // Fold the outputs back in component order, so the summary
+            // table fills deterministically.
+            for (i, output) in outputs.into_iter().enumerate() {
+                if output.cache_hit {
+                    result.cache.hits += 1;
+                } else {
+                    result.cache.misses += store.is_some() as u64;
+                    result.timings.summarize_ms += output.summarize_ms;
+                    result.timings.solve_ms += output.solve_ms;
+                    if let (Some(store), Some(keys)) = (store, &keys) {
+                        store.store(&keys[level_index][i], &output.summaries);
+                    }
+                }
+                for summary in output.summaries {
                     summarizer.insert_summary(summary.name.clone(), summary.formula.clone());
                     result.summaries.insert(summary.name.clone(), summary);
                 }
@@ -175,6 +259,7 @@ impl Analyzer {
         // procedure.
         let assert_scope_base = next_scope;
         let checks = parallel_map(jobs, program.procedures.len(), |i| {
+            let started = Instant::now();
             let proc = &program.procedures[i];
             let fresh = FreshSource::new(assert_scope_base + i as u32);
             let vars = summarizer.proc_vars(proc);
@@ -189,23 +274,47 @@ impl Analyzer {
                 &mut asserts,
                 &fresh,
             );
-            asserts
+            (asserts, started.elapsed().as_secs_f64() * 1e3)
         });
-        for asserts in checks {
+        for (asserts, elapsed_ms) in checks {
             result.assertions.extend(asserts);
+            result.timings.check_ms += elapsed_ms;
+        }
+        if let Some(store) = store {
+            result.cache.evictions = store.evictions().saturating_sub(evictions_before);
         }
         result
     }
 
+    /// The fingerprint salt capturing everything outside the procedure
+    /// bodies that a summary depends on: the cache-format generation, the
+    /// analysis knobs (except `jobs`, which never changes the result), and
+    /// the global-variable vocabulary in declaration order (it fixes the
+    /// summarizer's variable order).
+    fn cache_salt(&self, program: &Program) -> Fingerprint {
+        let mut b = FingerprintBuilder::new();
+        b.write_str("chora-analysis-salt-v1");
+        b.write_bool(self.config.enable_depth_bounds);
+        b.write_bool(self.config.enable_polynomial_facts);
+        b.write_u64(self.config.disjunct_cap as u64);
+        b.write_u64(program.globals.len() as u64);
+        for g in &program.globals {
+            b.write_str(&g.to_string());
+        }
+        b.finish()
+    }
+
     /// Summarizes one strongly connected component (the per-task body of the
-    /// level scheduler); returns the finished summaries in member order.
+    /// level scheduler); returns the finished summaries in member order,
+    /// with the time spent split into the summarize and solve phases.
     fn summarize_component(
         &self,
         program: &Program,
         summarizer: &Summarizer<'_>,
         component: &Component,
         scope: u32,
-    ) -> Vec<ProcedureSummary> {
+    ) -> ComponentOutput {
+        let started = Instant::now();
         let fresh = FreshSource::new(scope);
         let mut out = Vec::new();
         if !component.recursive {
@@ -222,21 +331,36 @@ impl Analyzer {
                     recursive: false,
                 });
             }
-            return out;
+            return ComponentOutput {
+                summaries: out,
+                summarize_ms: started.elapsed().as_secs_f64() * 1e3,
+                solve_ms: 0.0,
+                cache_hit: false,
+            };
         }
+        let solve_started = Instant::now();
         let height = analyze_scc(summarizer, &component.members, &fresh);
+        let mut solve_ms = solve_started.elapsed().as_secs_f64() * 1e3;
         for name in &component.members {
             let Some(proc) = program.procedure(name) else {
                 continue;
             };
+            let depth_started = Instant::now();
             let depth = if self.config.enable_depth_bounds {
                 depth_bound(summarizer, proc, &component.members, &fresh)
             } else {
                 None
             };
+            solve_ms += depth_started.elapsed().as_secs_f64() * 1e3;
             out.push(self.assemble_recursive_summary(proc, &height, &depth));
         }
-        out
+        let total_ms = started.elapsed().as_secs_f64() * 1e3;
+        ComponentOutput {
+            summaries: out,
+            summarize_ms: (total_ms - solve_ms).max(0.0),
+            solve_ms,
+            cache_hit: false,
+        }
     }
 
     /// Builds the final summary of a recursive procedure from the solved
@@ -426,6 +550,11 @@ impl Analyzer {
 
     /// Proves `prefix ⊨ cond` where `cond` refers to the current (post)
     /// values of the program variables.
+    ///
+    /// The atoms of each goal disjunct are checked with one batched
+    /// [`Polyhedron::implies_all`] entailment (a single shared
+    /// linearization/elimination pass) instead of one Fourier–Motzkin run
+    /// per atom.
     fn prove(
         &self,
         prefix: &TransitionFormula,
@@ -437,9 +566,18 @@ impl Analyzer {
         prefix.disjuncts().iter().all(|reach| {
             post_disjuncts
                 .iter()
-                .any(|goal| goal.atoms().iter().all(|a| reach.implies_atom(a)))
+                .any(|goal| reach.implies_all(goal.atoms()))
         })
     }
+}
+
+/// The output of one component task: summaries restored from the cache
+/// (`cache_hit`, zero phase time) or freshly computed.
+struct ComponentOutput {
+    summaries: Vec<ProcedureSummary>,
+    summarize_ms: f64,
+    solve_ms: f64,
+    cache_hit: bool,
 }
 
 /// Runs `f(0..n)` on up to `jobs` scoped worker threads and returns the
@@ -545,4 +683,112 @@ impl MinEstimate for Term {
 /// summaries (`ret`, whose primed version is `ret'`).
 pub fn return_symbol() -> Symbol {
     return_variable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemoryStore;
+    use chora_ir::{Cond, Expr};
+
+    /// hanoi-shaped recursive cost model plus a non-recursive helper chain.
+    fn cached_program(leaf_increment: i64) -> Program {
+        let mut prog = Program::new();
+        prog.add_global("cost");
+        prog.add_procedure(Procedure::new(
+            "leaf",
+            &["n"],
+            &[],
+            Stmt::assign("cost", Expr::var("cost").add(Expr::int(leaf_increment))),
+        ));
+        prog.add_procedure(Procedure::new(
+            "hanoi",
+            &["n"],
+            &[],
+            Stmt::seq(vec![
+                Stmt::assign("cost", Expr::var("cost").add(Expr::int(1))),
+                Stmt::if_then(
+                    Cond::gt(Expr::var("n"), Expr::int(0)),
+                    Stmt::seq(vec![
+                        Stmt::call("hanoi", vec![Expr::var("n").sub(Expr::int(1))]),
+                        Stmt::call("hanoi", vec![Expr::var("n").sub(Expr::int(1))]),
+                    ]),
+                ),
+            ]),
+        ));
+        prog.add_procedure(Procedure::new(
+            "main",
+            &["n"],
+            &[],
+            Stmt::seq(vec![
+                Stmt::call("leaf", vec![Expr::var("n")]),
+                Stmt::call("hanoi", vec![Expr::var("n")]),
+                Stmt::Assert(
+                    Cond::ge(Expr::var("cost"), Expr::int(0)).or(Cond::Nondet),
+                    "trivial".to_string(),
+                ),
+            ]),
+        ));
+        prog
+    }
+
+    fn same_analysis(a: &AnalysisResult, b: &AnalysisResult) {
+        assert_eq!(a.summaries, b.summaries);
+        assert_eq!(a.assertions, b.assertions);
+    }
+
+    #[test]
+    fn warm_run_hits_every_component_and_matches_cold() {
+        let program = cached_program(1);
+        let analyzer = Analyzer::new();
+        let plain = analyzer.analyze(&program);
+        let store = MemoryStore::new();
+        let cold = analyzer.analyze_with_store(&program, Some(&store));
+        assert_eq!(cold.cache.hits, 0);
+        assert_eq!(cold.cache.misses, 3);
+        same_analysis(&plain, &cold);
+        let warm = analyzer.analyze_with_store(&program, Some(&store));
+        assert_eq!(warm.cache.hits, 3, "second run must be 100% hits");
+        assert_eq!(warm.cache.misses, 0);
+        assert_eq!(warm.cache.evictions, 0);
+        same_analysis(&plain, &warm);
+        // A cache hit skips the summarize and solve phases entirely.
+        assert_eq!(warm.timings.summarize_ms, 0.0);
+        assert_eq!(warm.timings.solve_ms, 0.0);
+    }
+
+    #[test]
+    fn editing_a_leaf_resummarizes_only_the_dirty_cone() {
+        let analyzer = Analyzer::new();
+        let store = MemoryStore::new();
+        let _ = analyzer.analyze_with_store(&cached_program(1), Some(&store));
+        // Edit `leaf` (a single constant): `leaf` and its caller `main` are
+        // dirty, the independent `hanoi` component stays cached.
+        let edited = cached_program(2);
+        let warm = analyzer.analyze_with_store(&edited, Some(&store));
+        assert_eq!(warm.cache.hits, 1, "hanoi must be restored from cache");
+        assert_eq!(warm.cache.misses, 2, "leaf and main must be re-summarized");
+        same_analysis(&warm, &analyzer.analyze(&edited));
+    }
+
+    #[test]
+    fn config_change_invalidates_the_cache() {
+        let program = cached_program(1);
+        let store = MemoryStore::new();
+        let _ = Analyzer::new().analyze_with_store(&program, Some(&store));
+        let ablated = Analyzer::with_config(AnalysisConfig {
+            enable_depth_bounds: false,
+            ..AnalysisConfig::default()
+        });
+        let run = ablated.analyze_with_store(&program, Some(&store));
+        assert_eq!(run.cache.hits, 0, "different knobs must never hit");
+        // ... while a jobs-only change hits fully (jobs does not affect
+        // the result).
+        let parallel = Analyzer::with_config(AnalysisConfig {
+            jobs: 4,
+            ..AnalysisConfig::default()
+        });
+        let par = parallel.analyze_with_store(&program, Some(&store));
+        assert_eq!(par.cache.hits, 3);
+    }
 }

@@ -1,0 +1,844 @@
+//! Stable (de)serialization of procedure summaries for the persistent
+//! summary cache.
+//!
+//! The encoding is a hand-rolled compact JSON document (the build
+//! environment is offline — no serde), designed for *exact* round-trips:
+//! decoding an encoded [`ProcedureSummary`] reproduces the original value
+//! bit-for-bit, including the internal order of polyhedron atoms and
+//! transition-formula disjuncts, so a cache hit leaves no observable trace
+//! in the analysis output.
+//!
+//! Symbols are serialized **by name and kind**, never by interner index
+//! (indices depend on process history); on load they are re-interned
+//! through [`Symbol::new`] and friends.  Rationals are serialized as
+//! `"num"` / `"num/den"` strings so no precision is lost.  Every decoder is
+//! fallible: a corrupted or version-mismatched document yields `None` and
+//! the caller discards the cache entry — corruption is never fatal.
+
+use crate::analysis::{BoundFact, ProcedureSummary};
+use crate::depth::DepthBound;
+use chora_expr::{ExpPoly, Monomial, Polynomial, Symbol, SymbolKind, Term};
+use chora_ir::Fingerprint;
+use chora_logic::{Atom, AtomKind, Polyhedron, TransitionFormula};
+use chora_numeric::BigRational;
+use std::fmt::Write as _;
+
+/// Format tag and version of the cache entry layout.  Bump the version on
+/// any change to the encoding; readers ignore entries from other versions.
+pub const CACHE_FORMAT: &str = "chora-summary-cache";
+/// Current version of the on-disk encoding.
+pub const CACHE_VERSION: i64 = 1;
+
+// ---------------------------------------------------------------------------
+// A minimal JSON value, writer, and parser.
+// ---------------------------------------------------------------------------
+
+/// A JSON value (only the subset the cache encoding uses).
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn obj(fields: Vec<(&str, Value)>) -> Value {
+        Value::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    fn field<'a>(&'a self, key: &str) -> Option<&'a Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Value::Str(key.clone()).write(out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+}
+
+/// A tiny recursive-descent JSON parser.  Returns `None` on any malformed
+/// input (including trailing garbage).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Option<Value> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        (p.pos == p.bytes.len()).then_some(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Option<Value> {
+        self.skip_ws();
+        match *self.bytes.get(self.pos)? {
+            b'n' => self.eat_literal("null").then_some(Value::Null),
+            b't' => self.eat_literal("true").then_some(Value::Bool(true)),
+            b'f' => self.eat_literal("false").then_some(Value::Bool(false)),
+            b'"' => self.string().map(Value::Str),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    return Some(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bytes.get(self.pos)? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Some(Value::Arr(items));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b'}') {
+                    self.pos += 1;
+                    return Some(Value::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.eat(b':')?;
+                    fields.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.bytes.get(self.pos)? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Some(Value::Obj(fields));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => None,
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return None;
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match *self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match *self.bytes.get(self.pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                b => {
+                    // Re-decode UTF-8 starting here (multi-byte sequences).
+                    if b < 0x80 {
+                        out.push(b as char);
+                        self.pos += 1;
+                    } else {
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..]).ok()?;
+                        let c = rest.chars().next()?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<Value> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+            .map(Value::Int)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Symbol / rational / polynomial codecs.
+// ---------------------------------------------------------------------------
+
+/// Bit-field ceilings re-exported from `chora_expr` so the decode guards
+/// track the real `Symbol` layout (a widened layout widens these with it).
+const MAX_PAYLOAD: u64 = chora_expr::MAX_SYMBOL_PAYLOAD as u64;
+const MAX_FRESH_SCOPE: u64 = chora_expr::MAX_FRESH_SCOPE as u64;
+const MAX_FRESH_SERIAL: u64 = chora_expr::MAX_FRESH_SERIAL as u64;
+
+fn encode_symbol(s: &Symbol) -> Value {
+    let text = match s.kind() {
+        SymbolKind::Named => format!("n:{s}"),
+        SymbolKind::Post => format!("p:{}", s.unprimed()),
+        SymbolKind::BoundAtH(k) => format!("b:{k}"),
+        SymbolKind::BoundAtH1(k) => format!("B:{k}"),
+        SymbolKind::Height => "h".to_string(),
+        SymbolKind::Depth => "D".to_string(),
+        SymbolKind::Fresh { scope, serial } => format!("f:{scope}:{serial}"),
+        SymbolKind::Dimension(i) => format!("d:{i}"),
+        SymbolKind::Scratch(i) => format!("a:{i}"),
+    };
+    Value::Str(text)
+}
+
+fn decode_symbol(v: &Value) -> Option<Symbol> {
+    let text = v.as_str()?;
+    match text {
+        "h" => return Some(Symbol::height()),
+        "D" => return Some(Symbol::depth()),
+        _ => {}
+    }
+    let (tag, rest) = text.split_once(':')?;
+    match tag {
+        "n" => Some(Symbol::new(rest)),
+        "p" => Some(Symbol::new(rest).primed()),
+        "b" => {
+            let k: u64 = rest.parse().ok()?;
+            (k <= MAX_PAYLOAD).then(|| Symbol::bound_at_h(k as usize))
+        }
+        "B" => {
+            let k: u64 = rest.parse().ok()?;
+            (k <= MAX_PAYLOAD).then(|| Symbol::bound_at_h1(k as usize))
+        }
+        "f" => {
+            let (scope, serial) = rest.split_once(':')?;
+            let scope: u64 = scope.parse().ok()?;
+            let serial: u64 = serial.parse().ok()?;
+            (scope <= MAX_FRESH_SCOPE && serial <= MAX_FRESH_SERIAL)
+                .then(|| Symbol::fresh_at(scope as u32, serial as u32))
+        }
+        "d" => {
+            let i: u64 = rest.parse().ok()?;
+            (i <= MAX_PAYLOAD).then(|| Symbol::dimension(i as u32))
+        }
+        "a" => {
+            let i: u64 = rest.parse().ok()?;
+            (i <= MAX_PAYLOAD).then(|| Symbol::scratch(i as u32))
+        }
+        _ => None,
+    }
+}
+
+fn encode_rational(r: &BigRational) -> Value {
+    Value::Str(r.to_string())
+}
+
+fn decode_rational(v: &Value) -> Option<BigRational> {
+    v.as_str()?.parse().ok()
+}
+
+fn encode_monomial(m: &Monomial) -> Value {
+    Value::Arr(
+        m.powers()
+            .map(|(s, e)| Value::Arr(vec![encode_symbol(s), Value::Int(i64::from(e))]))
+            .collect(),
+    )
+}
+
+fn decode_monomial(v: &Value) -> Option<Monomial> {
+    let mut powers = Vec::new();
+    for item in v.as_arr()? {
+        let [sym, exp] = item.as_arr()? else {
+            return None;
+        };
+        let e = exp.as_int()?;
+        if !(0..=i64::from(u32::MAX)).contains(&e) {
+            return None;
+        }
+        powers.push((decode_symbol(sym)?, e as u32));
+    }
+    Some(Monomial::from_powers(powers))
+}
+
+fn encode_polynomial(p: &Polynomial) -> Value {
+    Value::Arr(
+        p.terms()
+            .map(|(m, c)| Value::Arr(vec![encode_rational(c), encode_monomial(m)]))
+            .collect(),
+    )
+}
+
+fn decode_polynomial(v: &Value) -> Option<Polynomial> {
+    let mut terms = Vec::new();
+    for item in v.as_arr()? {
+        let [coeff, mono] = item.as_arr()? else {
+            return None;
+        };
+        terms.push((decode_rational(coeff)?, decode_monomial(mono)?));
+    }
+    Some(Polynomial::from_terms(terms))
+}
+
+fn encode_exppoly(e: &ExpPoly) -> Value {
+    Value::obj(vec![
+        ("param", encode_symbol(e.param())),
+        (
+            "terms",
+            Value::Arr(
+                e.terms()
+                    .map(|(base, poly)| {
+                        Value::Arr(vec![encode_rational(base), encode_polynomial(poly)])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_exppoly(v: &Value) -> Option<ExpPoly> {
+    let param = decode_symbol(v.field("param")?)?;
+    let mut out = ExpPoly::zero(&param);
+    for item in v.field("terms")?.as_arr()? {
+        let [base, poly] = item.as_arr()? else {
+            return None;
+        };
+        let base = decode_rational(base)?;
+        let poly = decode_polynomial(poly)?;
+        // Guard the constructor invariants (they panic on violation).
+        if base.is_zero() || poly.symbols().iter().any(|s| s != &param) {
+            return None;
+        }
+        out = out.add(&ExpPoly::exp_poly_term(base, poly, &param));
+    }
+    Some(out)
+}
+
+fn encode_term(t: &Term) -> Value {
+    match t {
+        Term::Const(c) => Value::Arr(vec![Value::Str("c".into()), encode_rational(c)]),
+        Term::Var(s) => Value::Arr(vec![Value::Str("v".into()), encode_symbol(s)]),
+        Term::Add(ts) => encode_term_list("+", ts),
+        Term::Mul(ts) => encode_term_list("*", ts),
+        Term::Pow(b, e) => Value::Arr(vec![Value::Str("^".into()), encode_term(b), encode_term(e)]),
+        Term::Log2(x) => Value::Arr(vec![Value::Str("log2".into()), encode_term(x)]),
+        Term::Max(ts) => encode_term_list("max", ts),
+        Term::Min(ts) => encode_term_list("min", ts),
+    }
+}
+
+fn encode_term_list(tag: &str, ts: &[Term]) -> Value {
+    let mut items = vec![Value::Str(tag.into())];
+    items.extend(ts.iter().map(encode_term));
+    Value::Arr(items)
+}
+
+fn decode_term(v: &Value) -> Option<Term> {
+    let items = v.as_arr()?;
+    let (tag, rest) = items.split_first()?;
+    let tag = tag.as_str()?;
+    let list = |rest: &[Value]| -> Option<Vec<Term>> { rest.iter().map(decode_term).collect() };
+    match (tag, rest) {
+        ("c", [c]) => Some(Term::Const(decode_rational(c)?)),
+        ("v", [s]) => Some(Term::Var(decode_symbol(s)?)),
+        ("+", _) => Some(Term::Add(list(rest)?)),
+        ("*", _) => Some(Term::Mul(list(rest)?)),
+        ("^", [b, e]) => Some(Term::Pow(
+            Box::new(decode_term(b)?),
+            Box::new(decode_term(e)?),
+        )),
+        ("log2", [x]) => Some(Term::Log2(Box::new(decode_term(x)?))),
+        ("max", _) => Some(Term::Max(list(rest)?)),
+        ("min", _) => Some(Term::Min(list(rest)?)),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Logic codecs.
+// ---------------------------------------------------------------------------
+
+fn encode_atom(a: &Atom) -> Value {
+    let kind = match a.kind {
+        AtomKind::Le => 0,
+        AtomKind::Lt => 1,
+        AtomKind::Eq => 2,
+    };
+    Value::Arr(vec![Value::Int(kind), encode_polynomial(&a.poly)])
+}
+
+fn decode_atom(v: &Value) -> Option<Atom> {
+    let [kind, poly] = v.as_arr()? else {
+        return None;
+    };
+    let poly = decode_polynomial(poly)?;
+    Some(match kind.as_int()? {
+        0 => Atom::le_zero(poly),
+        1 => Atom::lt_zero(poly),
+        2 => Atom::eq_zero(poly),
+        _ => return None,
+    })
+}
+
+fn encode_polyhedron(p: &Polyhedron) -> Value {
+    Value::Arr(p.atoms().iter().map(encode_atom).collect())
+}
+
+fn decode_polyhedron(v: &Value) -> Option<Polyhedron> {
+    let atoms: Option<Vec<Atom>> = v.as_arr()?.iter().map(decode_atom).collect();
+    Some(Polyhedron::from_parts(atoms?))
+}
+
+fn encode_formula(f: &TransitionFormula) -> Value {
+    Value::obj(vec![
+        ("cap", Value::Int(f.cap() as i64)),
+        (
+            "disjuncts",
+            Value::Arr(f.disjuncts().iter().map(encode_polyhedron).collect()),
+        ),
+    ])
+}
+
+fn decode_formula(v: &Value) -> Option<TransitionFormula> {
+    let cap = v.field("cap")?.as_int()?;
+    if !(1..=1_000_000).contains(&cap) {
+        return None;
+    }
+    let disjuncts: Option<Vec<Polyhedron>> = v
+        .field("disjuncts")?
+        .as_arr()?
+        .iter()
+        .map(decode_polyhedron)
+        .collect();
+    Some(TransitionFormula::from_parts(disjuncts?, cap as usize))
+}
+
+// ---------------------------------------------------------------------------
+// Summary codecs.
+// ---------------------------------------------------------------------------
+
+fn encode_depth(d: &DepthBound) -> Value {
+    let (tag, t) = match d {
+        DepthBound::Linear(t) => ("lin", t),
+        DepthBound::Logarithmic(t) => ("log", t),
+    };
+    Value::Arr(vec![Value::Str(tag.into()), encode_term(t)])
+}
+
+fn decode_depth(v: &Value) -> Option<DepthBound> {
+    let [tag, t] = v.as_arr()? else {
+        return None;
+    };
+    let t = decode_term(t)?;
+    match tag.as_str()? {
+        "lin" => Some(DepthBound::Linear(t)),
+        "log" => Some(DepthBound::Logarithmic(t)),
+        _ => None,
+    }
+}
+
+fn encode_bound_fact(f: &BoundFact) -> Value {
+    Value::obj(vec![
+        ("term", encode_polynomial(&f.term)),
+        ("closed_form", encode_exppoly(&f.closed_form)),
+        (
+            "bound",
+            match &f.bound {
+                Some(b) => encode_term(b),
+                None => Value::Null,
+            },
+        ),
+        ("exact", Value::Bool(f.exact)),
+    ])
+}
+
+fn decode_bound_fact(v: &Value) -> Option<BoundFact> {
+    Some(BoundFact {
+        term: decode_polynomial(v.field("term")?)?,
+        closed_form: decode_exppoly(v.field("closed_form")?)?,
+        bound: match v.field("bound")? {
+            Value::Null => None,
+            b => Some(decode_term(b)?),
+        },
+        exact: v.field("exact")?.as_bool()?,
+    })
+}
+
+fn encode_summary(s: &ProcedureSummary) -> Value {
+    Value::obj(vec![
+        ("name", Value::Str(s.name.clone())),
+        ("recursive", Value::Bool(s.recursive)),
+        ("formula", encode_formula(&s.formula)),
+        (
+            "bound_facts",
+            Value::Arr(s.bound_facts.iter().map(encode_bound_fact).collect()),
+        ),
+        (
+            "depth",
+            match &s.depth {
+                Some(d) => encode_depth(d),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+fn decode_summary(v: &Value) -> Option<ProcedureSummary> {
+    let bound_facts: Option<Vec<BoundFact>> = v
+        .field("bound_facts")?
+        .as_arr()?
+        .iter()
+        .map(decode_bound_fact)
+        .collect();
+    Some(ProcedureSummary {
+        name: v.field("name")?.as_str()?.to_string(),
+        formula: decode_formula(v.field("formula")?)?,
+        bound_facts: bound_facts?,
+        depth: match v.field("depth")? {
+            Value::Null => None,
+            d => Some(decode_depth(d)?),
+        },
+        recursive: v.field("recursive")?.as_bool()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Cache-entry envelope.
+// ---------------------------------------------------------------------------
+
+/// Encodes the summaries of one call-graph component under its transitive
+/// key as a single-line JSON document.
+pub fn encode_entry(key: &Fingerprint, summaries: &[ProcedureSummary]) -> String {
+    let doc = Value::obj(vec![
+        ("format", Value::Str(CACHE_FORMAT.into())),
+        ("version", Value::Int(CACHE_VERSION)),
+        ("key", Value::Str(key.to_hex())),
+        (
+            "summaries",
+            Value::Arr(summaries.iter().map(encode_summary).collect()),
+        ),
+    ]);
+    doc.to_json()
+}
+
+/// Decodes a cache entry, verifying the format tag, version, and key.
+/// Returns `None` (never panics) on any mismatch or corruption.
+pub fn decode_entry(text: &str, expected_key: &Fingerprint) -> Option<Vec<ProcedureSummary>> {
+    let doc = Parser::parse(text)?;
+    if doc.field("format")?.as_str()? != CACHE_FORMAT {
+        return None;
+    }
+    if doc.field("version")?.as_int()? != CACHE_VERSION {
+        return None;
+    }
+    if Fingerprint::from_hex(doc.field("key")?.as_str()?)? != *expected_key {
+        return None;
+    }
+    doc.field("summaries")?
+        .as_arr()?
+        .iter()
+        .map(decode_summary)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chora_expr::FreshSource;
+    use chora_numeric::{rat, ratio};
+
+    fn pvar(name: &str) -> Polynomial {
+        Polynomial::var(Symbol::new(name))
+    }
+
+    fn sample_summary() -> ProcedureSummary {
+        let h = Symbol::height();
+        let fresh = FreshSource::new(6);
+        let t0 = fresh.fresh();
+        let formula = TransitionFormula::from_disjuncts(vec![
+            Polyhedron::from_atoms(vec![
+                Atom::le(pvar("cost'"), &pvar("cost") + &pvar("n")),
+                Atom::eq(&pvar("x") * &pvar("x"), pvar("y")),
+                Atom::ge(Polynomial::var(t0), Polynomial::constant(ratio(-7, 3))),
+            ]),
+            Polyhedron::from_atoms(vec![Atom::lt(pvar("n"), Polynomial::zero())]),
+        ])
+        .with_cap(9);
+        let closed_form = ExpPoly::exponential(rat(2), &h).add(&ExpPoly::constant(rat(-1), &h));
+        let bound = Term::add(vec![
+            Term::pow(Term::int(2), Term::var(Symbol::new("n"))),
+            Term::log2(Term::max(vec![Term::one(), Term::var(Symbol::new("n"))])),
+            Term::Min(vec![Term::var(Symbol::new("n")), Term::int(5)]),
+        ]);
+        ProcedureSummary {
+            name: "p".to_string(),
+            formula,
+            bound_facts: vec![BoundFact {
+                term: &pvar("cost'") - &pvar("cost"),
+                closed_form,
+                bound: Some(bound),
+                exact: true,
+            }],
+            depth: Some(DepthBound::Logarithmic(Term::var(Symbol::new("n")))),
+            recursive: true,
+        }
+    }
+
+    #[test]
+    fn entry_round_trip_is_exact() {
+        let key = Fingerprint(0x1234_5678_9abc_def0_1111_2222_3333_4444);
+        let summary = sample_summary();
+        let encoded = encode_entry(&key, std::slice::from_ref(&summary));
+        let decoded = decode_entry(&encoded, &key).expect("decodes");
+        assert_eq!(decoded.len(), 1);
+        let d = &decoded[0];
+        assert_eq!(d.name, summary.name);
+        assert_eq!(d.recursive, summary.recursive);
+        assert_eq!(d.formula, summary.formula);
+        assert_eq!(d.formula.cap(), 9);
+        assert_eq!(d.depth, summary.depth);
+        assert_eq!(d.bound_facts.len(), 1);
+        assert_eq!(d.bound_facts[0].term, summary.bound_facts[0].term);
+        assert_eq!(
+            d.bound_facts[0].closed_form,
+            summary.bound_facts[0].closed_form
+        );
+        assert_eq!(d.bound_facts[0].bound, summary.bound_facts[0].bound);
+        assert_eq!(d.bound_facts[0].exact, summary.bound_facts[0].exact);
+        // Encoding the decoded value reproduces the exact document.
+        assert_eq!(encode_entry(&key, &decoded), encoded);
+    }
+
+    #[test]
+    fn subsumed_disjuncts_survive_the_round_trip() {
+        // Live formulas can carry semantically subsumed disjuncts (conjoin,
+        // project_onto, and simplify bypass push_disjunct's filter); the
+        // restore path must reproduce them verbatim, not re-filter.
+        let wide = Polyhedron::from_atoms(vec![
+            Atom::ge(pvar("x"), Polynomial::zero()),
+            Atom::le(pvar("x"), Polynomial::constant(rat(5))),
+        ]);
+        let narrow =
+            Polyhedron::from_atoms(vec![Atom::eq(pvar("x"), Polynomial::constant(rat(2)))]);
+        let formula = TransitionFormula::from_parts(vec![wide, narrow], 12);
+        assert_eq!(formula.disjuncts().len(), 2);
+        let summary = ProcedureSummary {
+            name: "p".to_string(),
+            formula: formula.clone(),
+            bound_facts: Vec::new(),
+            depth: None,
+            recursive: false,
+        };
+        let key = Fingerprint(5);
+        let decoded = decode_entry(&encode_entry(&key, &[summary]), &key).expect("decodes");
+        assert_eq!(decoded[0].formula, formula);
+        assert_eq!(decoded[0].formula.disjuncts().len(), 2);
+    }
+
+    #[test]
+    fn corrupted_entries_are_rejected_not_fatal() {
+        let key = Fingerprint(42);
+        let good = encode_entry(&key, &[sample_summary()]);
+        assert!(decode_entry(&good, &key).is_some());
+        // Wrong key.
+        assert!(decode_entry(&good, &Fingerprint(43)).is_none());
+        // Truncation, garbage, wrong version.
+        assert!(decode_entry(&good[..good.len() / 2], &key).is_none());
+        assert!(decode_entry("not json at all", &key).is_none());
+        assert!(decode_entry("", &key).is_none());
+        let versioned = good.replace("\"version\":1", "\"version\":999");
+        assert!(decode_entry(&versioned, &key).is_none());
+        let wrong_format = good.replace(CACHE_FORMAT, "other-format");
+        assert!(decode_entry(&wrong_format, &key).is_none());
+        // Structurally valid JSON with a malformed symbol.
+        let bad_sym = good.replace("n:cost", "zz:cost");
+        assert!(decode_entry(&bad_sym, &key).is_none());
+    }
+
+    #[test]
+    fn symbol_codec_covers_every_kind() {
+        let fresh = FreshSource::new(11);
+        let syms = vec![
+            Symbol::new("x"),
+            Symbol::post("x"),
+            Symbol::new("ret").primed(),
+            Symbol::bound_at_h(3),
+            Symbol::bound_at_h1(4),
+            Symbol::height(),
+            Symbol::depth(),
+            fresh.fresh(),
+            fresh.fresh(),
+            Symbol::dimension(7),
+            Symbol::scratch(8),
+        ];
+        for s in syms {
+            let decoded = decode_symbol(&encode_symbol(&s)).expect("round-trips");
+            assert_eq!(decoded, s, "symbol {s} must round-trip");
+        }
+    }
+
+    #[test]
+    fn out_of_range_symbols_are_rejected() {
+        for text in [
+            "f:99999:0",   // scope beyond 14 bits
+            "f:0:99999",   // serial beyond 15 bits
+            "b:536870912", // beyond 29-bit payload
+            "d:536870912",
+            "q:1",
+            "f:1",
+        ] {
+            assert!(
+                decode_symbol(&Value::Str(text.into())).is_none(),
+                "{text} must be rejected"
+            );
+        }
+    }
+}

@@ -49,15 +49,19 @@
 
 pub mod analysis;
 pub mod baseline;
+pub mod cache;
 pub mod complexity;
 pub mod depth;
 pub mod height;
 pub mod lower;
+pub mod store;
 pub mod summarize;
 
 pub use analysis::{
-    AnalysisConfig, AnalysisResult, Analyzer, AssertionResult, BoundFact, ProcedureSummary,
+    AnalysisConfig, AnalysisResult, Analyzer, AssertionResult, BoundFact, PhaseTimings,
+    ProcedureSummary,
 };
 pub use baseline::BaselineAnalyzer;
 pub use complexity::ComplexityClass;
 pub use depth::DepthBound;
+pub use store::{CacheStats, DiskStore, MemoryStore, SummaryStore};

@@ -1,0 +1,268 @@
+//! Pluggable summary stores: where the analyzer keeps procedure summaries
+//! between runs.
+//!
+//! The driver looks components up by their transitive fingerprint
+//! ([`chora_ir::fingerprint`]) before summarizing: a hit restores the
+//! component's summaries exactly (skipping height/depth/recurrence solving
+//! entirely), a miss summarizes and stores.  Two backends are provided:
+//!
+//! * [`MemoryStore`] — an in-process map, useful for repeated analyses in
+//!   one process (e.g. `chora bench` warm runs) and for tests.  Entries are
+//!   kept in the *serialized* form so the memory and disk backends exercise
+//!   the identical codec path.
+//! * [`DiskStore`] — one file per component key under a versioned cache
+//!   directory.  Corrupted, truncated, or version-mismatched files are
+//!   discarded and counted as evictions, never fatal; writes go through a
+//!   temporary file plus rename so concurrent readers see whole entries.
+
+use crate::analysis::ProcedureSummary;
+use crate::cache::{decode_entry, encode_entry, CACHE_VERSION};
+use chora_ir::Fingerprint;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counters reported by a cache-backed analysis run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Components restored from the store.
+    pub hits: u64,
+    /// Components summarized from scratch.
+    pub misses: u64,
+    /// Store entries discarded as corrupted or version-mismatched.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total number of lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits, {} misses, {} evictions",
+            self.hits, self.misses, self.evictions
+        )
+    }
+}
+
+/// A keyed store of per-component summary lists.
+///
+/// Implementations must be best-effort: `load` returns `None` for anything
+/// it cannot produce intact, and `store` may silently drop entries (the
+/// analysis is correct with an empty store; the store only buys speed).
+/// `Sync` is required because the driver probes the store from its worker
+/// threads (one load per component, concurrently within a level).
+pub trait SummaryStore: Sync {
+    /// The summaries cached under `key`, if present and intact.
+    fn load(&self, key: &Fingerprint) -> Option<Vec<ProcedureSummary>>;
+
+    /// Caches the summaries of one component under its key.
+    fn store(&self, key: &Fingerprint, summaries: &[ProcedureSummary]);
+
+    /// How many entries this store has discarded as invalid.
+    fn evictions(&self) -> u64 {
+        0
+    }
+}
+
+/// An in-memory store keyed by fingerprint, holding serialized entries.
+#[derive(Default)]
+pub struct MemoryStore {
+    entries: Mutex<HashMap<Fingerprint, String>>,
+    evicted: AtomicU64,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    pub fn new() -> MemoryStore {
+        MemoryStore::default()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("memory store lock").len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SummaryStore for MemoryStore {
+    fn load(&self, key: &Fingerprint) -> Option<Vec<ProcedureSummary>> {
+        let text = self
+            .entries
+            .lock()
+            .expect("memory store lock")
+            .get(key)
+            .cloned()?;
+        match decode_entry(&text, key) {
+            Some(summaries) => Some(summaries),
+            None => {
+                self.entries.lock().expect("memory store lock").remove(key);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: &Fingerprint, summaries: &[ProcedureSummary]) {
+        let encoded = encode_entry(key, summaries);
+        self.entries
+            .lock()
+            .expect("memory store lock")
+            .insert(*key, encoded);
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+}
+
+/// A persistent on-disk store: one JSON file per component key under
+/// `<root>/v<CACHE_VERSION>/`.
+///
+/// The version directory means a future encoding bump simply starts a fresh
+/// namespace; stray files from other versions are never read.  Within the
+/// directory, any file that fails to decode (truncated write, manual edit,
+/// hash collision on `key`) is deleted and counted as an eviction.
+pub struct DiskStore {
+    dir: PathBuf,
+    evicted: AtomicU64,
+}
+
+impl DiskStore {
+    /// Opens (creating if necessary) a cache rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> std::io::Result<DiskStore> {
+        let dir = root.as_ref().join(format!("v{CACHE_VERSION}"));
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskStore {
+            dir,
+            evicted: AtomicU64::new(0),
+        })
+    }
+
+    /// The versioned directory entries live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: &Fingerprint) -> PathBuf {
+        self.dir.join(format!("{}.json", key.to_hex()))
+    }
+}
+
+impl SummaryStore for DiskStore {
+    fn load(&self, key: &Fingerprint) -> Option<Vec<ProcedureSummary>> {
+        let path = self.entry_path(key);
+        let text = std::fs::read_to_string(&path).ok()?;
+        match decode_entry(&text, key) {
+            Some(summaries) => Some(summaries),
+            None => {
+                // Corrupt or stale: evict, never fail.
+                let _ = std::fs::remove_file(&path);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: &Fingerprint, summaries: &[ProcedureSummary]) {
+        let path = self.entry_path(key);
+        let tmp = self
+            .dir
+            .join(format!("{}.tmp.{}", key.to_hex(), std::process::id()));
+        let encoded = encode_entry(key, summaries);
+        // Best-effort: a failed write leaves the cache without this entry,
+        // and never leaves a partial temp file behind (disk-full writes
+        // would otherwise leak one per attempt).
+        match std::fs::write(&tmp, encoded) {
+            Ok(()) => {
+                if std::fs::rename(&tmp, &path).is_err() {
+                    let _ = std::fs::remove_file(&tmp);
+                }
+            }
+            Err(_) => {
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ProcedureSummary;
+    use chora_logic::TransitionFormula;
+
+    fn summary(name: &str) -> ProcedureSummary {
+        ProcedureSummary {
+            name: name.to_string(),
+            formula: TransitionFormula::top(),
+            bound_facts: Vec::new(),
+            depth: None,
+            recursive: false,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("chora-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_store_round_trips() {
+        let store = MemoryStore::new();
+        let key = Fingerprint(7);
+        assert!(store.load(&key).is_none());
+        store.store(&key, &[summary("f"), summary("g")]);
+        let loaded = store.load(&key).expect("hit");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].name, "f");
+        assert_eq!(loaded[1].name, "g");
+        assert_eq!(store.evictions(), 0);
+    }
+
+    #[test]
+    fn disk_store_round_trips_and_evicts_corruption() {
+        let root = temp_dir("roundtrip");
+        let store = DiskStore::open(&root).expect("open");
+        let key = Fingerprint(9);
+        assert!(store.load(&key).is_none());
+        store.store(&key, &[summary("f")]);
+        assert_eq!(store.load(&key).expect("hit")[0].name, "f");
+
+        // Corrupt the entry on disk: next load evicts it instead of failing.
+        let path = store.dir().join(format!("{}.json", key.to_hex()));
+        std::fs::write(&path, "{ definitely not a cache entry").expect("corrupt");
+        assert!(store.load(&key).is_none());
+        assert_eq!(store.evictions(), 1);
+        assert!(!path.exists(), "corrupt entry must be deleted");
+        // And the slot is usable again.
+        store.store(&key, &[summary("f")]);
+        assert!(store.load(&key).is_some());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn disk_store_namespaces_by_version() {
+        let root = temp_dir("version");
+        let store = DiskStore::open(&root).expect("open");
+        assert!(store.dir().ends_with(format!("v{CACHE_VERSION}")));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

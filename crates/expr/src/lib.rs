@@ -37,5 +37,7 @@ mod term;
 pub use exppoly::ExpPoly;
 pub use linear::LinearExpr;
 pub use polynomial::{Monomial, Polynomial};
-pub use symbol::{FreshSource, Symbol, SymbolKind};
+pub use symbol::{
+    FreshSource, Symbol, SymbolKind, MAX_FRESH_SCOPE, MAX_FRESH_SERIAL, MAX_SYMBOL_PAYLOAD,
+};
 pub use term::Term;

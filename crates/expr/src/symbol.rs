@@ -58,7 +58,16 @@ const SPECIAL_DEPTH: u32 = 1;
 /// Fresh symbols carry a 14-bit scope and a 15-bit serial.
 const FRESH_SERIAL_BITS: u32 = 15;
 const FRESH_SERIAL_MASK: u32 = (1 << FRESH_SERIAL_BITS) - 1;
-const MAX_FRESH_SCOPE: u32 = (1 << (TAG_SHIFT - FRESH_SERIAL_BITS)) - 1;
+
+/// Largest payload index of bound/dimension/scratch symbols (29 bits).
+///
+/// Exported so code that validates serialized symbols (the summary cache)
+/// checks against the real bit layout instead of duplicating it.
+pub const MAX_SYMBOL_PAYLOAD: u32 = MAX_PAYLOAD;
+/// Largest scope a [`FreshSource`] (or [`Symbol::fresh_at`]) accepts.
+pub const MAX_FRESH_SCOPE: u32 = (1 << (TAG_SHIFT - FRESH_SERIAL_BITS)) - 1;
+/// Largest serial a fresh symbol can carry.
+pub const MAX_FRESH_SERIAL: u32 = FRESH_SERIAL_MASK;
 
 /// The structural classification of a [`Symbol`], decoded from its id.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -227,6 +236,21 @@ impl Symbol {
         let k = u32::try_from(k).expect("bound index overflow");
         assert!(k <= MAX_PAYLOAD, "bound index overflow");
         Symbol::pack(TAG_BOUND_H1, k)
+    }
+
+    /// The fresh existential symbol with an explicit `(scope, serial)` pair.
+    ///
+    /// Normal analysis code draws fresh symbols from a [`FreshSource`]; this
+    /// constructor exists so persisted summaries (which serialize fresh
+    /// symbols by their scope and serial) can be re-materialized exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scope` or `serial` exceed their bit-field ranges.
+    pub fn fresh_at(scope: u32, serial: u32) -> Symbol {
+        assert!(scope <= MAX_FRESH_SCOPE, "fresh scope overflow");
+        assert!(serial <= FRESH_SERIAL_MASK, "fresh serial overflow");
+        Symbol::pack(TAG_FRESH, (scope << FRESH_SERIAL_BITS) | serial)
     }
 
     /// An operation-local linearization dimension (for the polyhedra layer).

@@ -38,8 +38,12 @@
 
 mod ast;
 mod callgraph;
+pub mod fingerprint;
 mod interp;
 
 pub use ast::{CmpOp, Cond, Expr, Procedure, Program, Stmt};
 pub use callgraph::{CallGraph, Component};
+pub use fingerprint::{
+    level_keys, procedure_fingerprint, procedure_keys, Fingerprint, FingerprintBuilder,
+};
 pub use interp::{ExecError, ExecResult, Interpreter};

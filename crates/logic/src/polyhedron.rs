@@ -53,6 +53,15 @@ impl Polyhedron {
         p
     }
 
+    /// Restores a polyhedron from a previously-observed `atoms()` list
+    /// **verbatim** — no dedup or trivial-truth filtering, so the result is
+    /// bit-identical to the polyhedron the list was read from (the
+    /// summary-cache deserialization constructor; see
+    /// [`crate::TransitionFormula::from_parts`]).
+    pub fn from_parts(atoms: Vec<Atom>) -> Polyhedron {
+        Polyhedron { atoms }
+    }
+
     /// An explicitly unsatisfiable polyhedron.
     pub fn contradiction() -> Polyhedron {
         Polyhedron::from_atoms(vec![Atom::le_zero(Polynomial::one())])
@@ -142,6 +151,88 @@ impl Polyhedron {
     /// Whether this polyhedron is contained in `other`.
     pub fn is_subset_of(&self, other: &Polyhedron) -> bool {
         other.atoms.iter().all(|a| self.implies_atom(a))
+    }
+
+    /// Whether every point of the polyhedron satisfies *all* of the atoms —
+    /// a batched `goals.iter().all(|a| self.implies_atom(a))`: the
+    /// polyhedron is linearized once and the dimensions that no goal
+    /// mentions are eliminated by a single shared Fourier–Motzkin pass,
+    /// after which each goal is checked against the much smaller residual
+    /// system (one FM run per atom over the full system was the dominant
+    /// cost of assertion checking on conjunction-heavy assertions).
+    ///
+    /// In the exact (budget-free) case the batched check decides the same
+    /// linear relaxation as the per-atom checks.  When an elimination falls
+    /// back to the `FM_CONSTRAINT_BUDGET` over-approximation, the shared
+    /// pass may drop constraints the per-atom order would have kept, so any
+    /// goal the residual system cannot prove is re-checked individually
+    /// before being reported unprovable — the batched result is therefore
+    /// never less precise than the per-atom one.
+    pub fn implies_all(&self, goals: &[Atom]) -> bool {
+        let mut pending: Vec<&Atom> = Vec::new();
+        for g in goals {
+            match g.trivial_truth() {
+                Some(true) => continue,
+                // A ground-false goal is implied only by an empty polyhedron.
+                Some(false) => {
+                    if !self.is_empty_set() {
+                        return false;
+                    }
+                }
+                None => pending.push(g),
+            }
+        }
+        if pending.is_empty() {
+            return true;
+        }
+        // A dimension table covering the polyhedron and every goal, so both
+        // sides agree on the symbol of each non-linear monomial.
+        let table = Linearized::dim_table(self.atoms.iter().chain(pending.iter().copied()));
+        let Some(sys) = Linearized::new_with_dims(&self.atoms, table.clone()) else {
+            return true; // unsatisfiable implies everything
+        };
+        // Linear-space symbols (base symbols and dimension symbols) the goals
+        // mention; everything else is projected away once, up front.
+        let mut goal_syms: BTreeSet<Symbol> = BTreeSet::new();
+        for g in &pending {
+            for (m, _) in g.poly.terms() {
+                if m.is_one() {
+                    continue;
+                }
+                if m.degree() == 1 {
+                    let (s, _) = m.powers().next().expect("degree-1 monomial has a symbol");
+                    goal_syms.insert(*s);
+                } else {
+                    goal_syms.insert(table[m]);
+                }
+            }
+        }
+        let mut reduced = sys;
+        for d in reduced.dims() {
+            if goal_syms.contains(&d) {
+                continue;
+            }
+            reduced = reduced.eliminate_dim(&d);
+            if reduced.unsat {
+                return true;
+            }
+        }
+        for g in pending {
+            let implied = g.negate().iter().all(|neg| {
+                let Some(neg_sys) =
+                    Linearized::new_with_dims(std::slice::from_ref(neg), table.clone())
+                else {
+                    return true; // ¬g ground-false: g trivially holds
+                };
+                let mut constraints = reduced.constraints.clone();
+                constraints.extend(neg_sys.constraints.iter().cloned());
+                reduced.with_constraints(constraints, &neg_sys).is_unsat()
+            });
+            if !implied && !self.implies_atom(g) {
+                return false;
+            }
+        }
+        true
     }
 
     /// Projects onto the given symbols: the result mentions only symbols in
@@ -909,6 +1000,37 @@ mod tests {
         let s = p.simplify();
         assert_eq!(s.len(), 1);
         assert!(s.implies_atom(&Atom::le(var("x"), c(5))));
+    }
+
+    #[test]
+    fn implies_all_matches_per_atom_checks() {
+        let x2 = &var("x") * &var("x");
+        let p = Polyhedron::from_atoms(vec![
+            Atom::ge(var("x"), c(1)),
+            Atom::le(var("x"), var("y")),
+            Atom::le(x2.clone(), c(9)),
+            Atom::eq(var("z"), &var("y") + &c(1)),
+        ]);
+        let goal_sets: Vec<Vec<Atom>> = vec![
+            vec![Atom::ge(var("y"), c(1)), Atom::gt(var("z"), var("y"))],
+            vec![Atom::le(x2.clone(), c(10)), Atom::ge(var("x"), c(1))],
+            vec![Atom::ge(var("y"), c(1)), Atom::ge(var("x"), c(2))], // second fails
+            vec![Atom::le(c(0), c(1))],                               // trivially true
+            vec![Atom::le(c(1), c(0))],                               // trivially false
+            vec![Atom::eq(var("z"), &var("y") + &c(1))],
+        ];
+        for goals in &goal_sets {
+            let expected = goals.iter().all(|a| p.implies_atom(a));
+            assert_eq!(
+                p.implies_all(goals),
+                expected,
+                "batched and per-atom entailment disagree on {goals:?}"
+            );
+        }
+        // An unsatisfiable polyhedron implies everything, including false.
+        let empty = Polyhedron::contradiction();
+        assert!(empty.implies_all(&[Atom::le(c(1), c(0))]));
+        assert!(empty.implies_all(&[Atom::ge(var("q"), c(5))]));
     }
 
     #[test]

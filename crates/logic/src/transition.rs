@@ -76,6 +76,24 @@ impl TransitionFormula {
         f
     }
 
+    /// Restores a formula from a previously-observed `(disjuncts(), cap())`
+    /// pair **verbatim** — no empty/subsumption filtering and no cap
+    /// enforcement is applied, so the result is bit-identical to the
+    /// formula the pair was read from.
+    ///
+    /// This is the summary-cache deserialization constructor: live formulas
+    /// reach their final shape through operations that bypass
+    /// `push_disjunct` (`conjoin`, `project_onto`, `simplify`, ...), so
+    /// re-filtering on restore could drop semantically subsumed disjuncts
+    /// the original value still carried and make a warm run diverge from a
+    /// cold one.  Only feed this pairs obtained from an actual formula.
+    pub fn from_parts(disjuncts: Vec<Polyhedron>, cap: usize) -> TransitionFormula {
+        TransitionFormula {
+            disjuncts,
+            cap: cap.max(1),
+        }
+    }
+
     /// The identity (skip) transition over the given variables: `v' = v`.
     pub fn identity(vars: &[Symbol]) -> TransitionFormula {
         let atoms = vars
@@ -127,6 +145,11 @@ impl TransitionFormula {
     /// The disjuncts.
     pub fn disjuncts(&self) -> &[Polyhedron] {
         &self.disjuncts
+    }
+
+    /// The disjunct cap (see [`TransitionFormula::with_cap`]).
+    pub fn cap(&self) -> usize {
+        self.cap
     }
 
     /// Whether the formula has no satisfiable disjunct.
