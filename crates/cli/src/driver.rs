@@ -27,10 +27,28 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+/// Reads the program text behind a FILE argument; `-` reads stdin (so the
+/// CLI accepts in-memory sources the same way the server's request path
+/// does).
+pub fn read_source(path: &str) -> Result<String, CliError> {
+    if path == "-" {
+        let mut src = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut src)
+            .map_err(|e| CliError(format!("cannot read stdin: {e}")))?;
+        Ok(src)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read `{path}`: {e}")))
+    }
+}
+
+/// Parses program text, rendering errors against `name` (a path or a
+/// request-supplied display name).
+fn parse_source(name: &str, src: &str) -> Result<Program, CliError> {
+    parse_program(src).map_err(|e| CliError(format!("{name}:{}", e.render(src))))
+}
+
 fn read_and_parse(path: &str) -> Result<Program, CliError> {
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
-    parse_program(&src).map_err(|e| CliError(format!("{path}:{}", e.render(&src))))
+    parse_source(path, &read_source(path)?)
 }
 
 /// An analyzer configured with the requested worker count.
@@ -60,6 +78,9 @@ pub struct FileOptions {
     pub cache_dir: Option<String>,
     /// Ignore `cache_dir` even when set (`--no-cache`).
     pub no_cache: bool,
+    /// Suppress the stderr cache/timing chatter (`--quiet`); stdout is
+    /// unaffected (it never carried the chatter in the first place).
+    pub quiet: bool,
 }
 
 impl Default for FileOptions {
@@ -76,6 +97,7 @@ impl Default for FileOptions {
             jobs: 1,
             cache_dir: None,
             no_cache: false,
+            quiet: false,
         }
     }
 }
@@ -94,9 +116,9 @@ fn open_store(cache_dir: &Option<String>, no_cache: bool) -> Result<Option<DiskS
 fn run_analysis(
     analyzer: &Analyzer,
     program: &Program,
-    store: Option<&DiskStore>,
+    store: Option<&dyn SummaryStore>,
 ) -> AnalysisResult {
-    analyzer.analyze_with_store(program, store.map(|s| s as &dyn SummaryStore))
+    analyzer.analyze_with_store(program, store)
 }
 
 /// Reports cache counters on **stderr** — never stdout, so cached and
@@ -108,8 +130,8 @@ fn report_cache_stats(json: bool, stats: Option<&CacheStats>) {
     };
     if json {
         eprintln!(
-            "{{\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}}}}",
-            stats.hits, stats.misses, stats.evictions
+            "{{\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"gc_evictions\":{}}}}}",
+            stats.hits, stats.misses, stats.evictions, stats.gc_evictions
         );
     } else {
         eprintln!("summary cache: {stats}");
@@ -181,7 +203,9 @@ fn resolve_size_param(
 /// byte-identical with and without the cache.
 pub fn analyze(opts: &FileOptions) -> Result<(String, i32), CliError> {
     let (output, exit, stats) = analyze_with_stats(opts)?;
-    report_cache_stats(opts.json, stats.as_ref());
+    if !opts.quiet {
+        report_cache_stats(opts.json, stats.as_ref());
+    }
     Ok((output, exit))
 }
 
@@ -190,16 +214,39 @@ pub fn analyze(opts: &FileOptions) -> Result<(String, i32), CliError> {
 pub fn analyze_with_stats(
     opts: &FileOptions,
 ) -> Result<(String, i32, Option<CacheStats>), CliError> {
-    let program = read_and_parse(&opts.path)?;
+    let src = read_source(&opts.path)?;
+    let store = open_store(&opts.cache_dir, opts.no_cache)?;
+    analyze_source(
+        &opts.path,
+        &src,
+        opts,
+        store.as_ref().map(|s| s as &dyn SummaryStore),
+    )
+}
+
+/// The in-memory core of `chora analyze`: program text in, report out.
+///
+/// `name` is the display name used for the `"file"` field and error
+/// rendering (a path for the CLI, the request-supplied name for the
+/// server); `store` is any [`SummaryStore`] — the CLI passes a per-run
+/// [`DiskStore`], `chora serve` its resident
+/// [`TieredStore`](chora_core::TieredStore).  This is the function the
+/// server calls directly, so the daemon never shells out.
+pub fn analyze_source(
+    name: &str,
+    src: &str,
+    opts: &FileOptions,
+    store: Option<&dyn SummaryStore>,
+) -> Result<(String, i32, Option<CacheStats>), CliError> {
+    let program = parse_source(name, src)?;
     // With --proc the report is restricted to that procedure (and its
     // assertions); the analysis itself is always whole-program.
     let focus = match opts.procedure.as_deref() {
         Some(requested) => Some(resolve_procedure(&program, Some(requested))?),
         None => None,
     };
-    let store = open_store(&opts.cache_dir, opts.no_cache)?;
     let started = Instant::now();
-    let result = run_analysis(&analyzer_with_jobs(opts.jobs), &program, store.as_ref());
+    let result = run_analysis(&analyzer_with_jobs(opts.jobs), &program, store);
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
     let stats = store.is_some().then_some(result.cache);
 
@@ -262,7 +309,7 @@ pub fn analyze_with_stats(
             })
             .collect();
         let doc = Json::object()
-            .field("file", Json::str(&opts.path))
+            .field("file", Json::str(name))
             .field("procedures", Json::Array(procedures))
             .field("assertions", Json::Array(assertions))
             .field("all_assertions_verified", Json::Bool(all_verified))
@@ -271,7 +318,7 @@ pub fn analyze_with_stats(
     }
 
     let mut out = String::new();
-    out.push_str(&format!("analyzed {} in {elapsed_ms:.1} ms\n\n", opts.path));
+    out.push_str(&format!("analyzed {name} in {elapsed_ms:.1} ms\n\n"));
     for name in &report_names {
         let Some(summary) = result.summary(name) else {
             continue;
@@ -322,16 +369,37 @@ pub fn analyze_with_stats(
 /// `chora complexity FILE`: resource-bound extraction — the Table 1 view of
 /// one procedure.
 pub fn complexity_cmd(opts: &FileOptions) -> Result<(String, i32), CliError> {
-    let program = read_and_parse(&opts.path)?;
+    let src = read_source(&opts.path)?;
+    let store = open_store(&opts.cache_dir, opts.no_cache)?;
+    let (output, exit, stats) = complexity_source(
+        &opts.path,
+        &src,
+        opts,
+        store.as_ref().map(|s| s as &dyn SummaryStore),
+    )?;
+    if !opts.quiet {
+        report_cache_stats(opts.json, stats.as_ref());
+    }
+    Ok((output, exit))
+}
+
+/// The in-memory core of `chora complexity` — see [`analyze_source`] for
+/// the `name`/`store` contract.
+pub fn complexity_source(
+    name: &str,
+    src: &str,
+    opts: &FileOptions,
+    store: Option<&dyn SummaryStore>,
+) -> Result<(String, i32, Option<CacheStats>), CliError> {
+    let program = parse_source(name, src)?;
     let proc_name = resolve_procedure(&program, opts.procedure.as_deref())?;
     let cost = resolve_cost_var(&program, opts.cost_var.as_deref())?;
     let size = resolve_size_param(&program, &proc_name, opts.size_param.as_deref())?;
 
-    let store = open_store(&opts.cache_dir, opts.no_cache)?;
     let started = Instant::now();
-    let result = run_analysis(&analyzer_with_jobs(opts.jobs), &program, store.as_ref());
+    let result = run_analysis(&analyzer_with_jobs(opts.jobs), &program, store);
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
-    report_cache_stats(opts.json, store.is_some().then_some(result.cache).as_ref());
+    let stats = store.is_some().then_some(result.cache);
 
     let summary = result
         .summary(&proc_name)
@@ -345,7 +413,7 @@ pub fn complexity_cmd(opts: &FileOptions) -> Result<(String, i32), CliError> {
 
     if opts.json {
         let doc = Json::object()
-            .field("file", Json::str(&opts.path))
+            .field("file", Json::str(name))
             .field("procedure", Json::str(&proc_name))
             .field("cost_var", Json::str(cost.to_string()))
             .field("size_param", Json::str(size.to_string()))
@@ -358,13 +426,12 @@ pub fn complexity_cmd(opts: &FileOptions) -> Result<(String, i32), CliError> {
             )
             .field("class", Json::str(class.to_string()))
             .field("analysis_ms", Json::Float(elapsed_ms));
-        return Ok((doc.pretty(), exit));
+        return Ok((doc.pretty(), exit, stats));
     }
 
     let mut out = String::new();
     out.push_str(&format!(
-        "{}: procedure {proc_name}, cost {cost}, size {size}\n",
-        opts.path
+        "{name}: procedure {proc_name}, cost {cost}, size {size}\n"
     ));
     match &bound {
         Some(b) => out.push_str(&format!("  bound: {cost}' <= {b}\n")),
@@ -372,7 +439,7 @@ pub fn complexity_cmd(opts: &FileOptions) -> Result<(String, i32), CliError> {
     }
     out.push_str(&format!("  class: {class}\n"));
     out.push_str(&format!("  analysis time: {elapsed_ms:.1} ms\n"));
-    Ok((out, exit))
+    Ok((out, exit, stats))
 }
 
 /// Options for `chora bench`.
@@ -391,6 +458,10 @@ pub struct BenchOptions {
     pub cache_dir: Option<String>,
     /// Ignore `cache_dir` even when set.
     pub no_cache: bool,
+    /// Benchmark through a live in-process `chora serve` daemon instead of
+    /// calling the library: requests/sec cold vs warm over real HTTP
+    /// (`bench --server DIR`).
+    pub server: bool,
 }
 
 impl Default for BenchOptions {
@@ -403,6 +474,7 @@ impl Default for BenchOptions {
             programs_dir: None,
             cache_dir: None,
             no_cache: false,
+            server: false,
         }
     }
 }
@@ -423,6 +495,9 @@ struct ProgramRow {
 /// `chora bench`: reruns the paper's built-in benchmark suites (Table 1
 /// complexity rows and the assertion benchmarks) with wall-clock timings.
 pub fn bench(opts: &BenchOptions) -> Result<(String, i32), CliError> {
+    if opts.server {
+        return crate::serve::bench_server(opts);
+    }
     let keep = |name: &str| match &opts.filter {
         Some(f) => name.contains(f.as_str()),
         None => true,
@@ -483,11 +558,15 @@ pub fn bench(opts: &BenchOptions) -> Result<(String, i32), CliError> {
             let parse_ms = parse_started.elapsed().as_secs_f64() * 1e3;
             let analyzer = analyzer_with_jobs(opts.jobs);
             let started = Instant::now();
-            let result = run_analysis(&analyzer, &program, store.as_ref());
+            let result = run_analysis(
+                &analyzer,
+                &program,
+                store.as_ref().map(|s| s as &dyn SummaryStore),
+            );
             let analysis_ms = started.elapsed().as_secs_f64() * 1e3;
             let warm = store.as_ref().map(|s| {
                 let warm_started = Instant::now();
-                let warm_result = run_analysis(&analyzer, &program, Some(s));
+                let warm_result = run_analysis(&analyzer, &program, Some(s as &dyn SummaryStore));
                 (
                     warm_started.elapsed().as_secs_f64() * 1e3,
                     warm_result.cache,

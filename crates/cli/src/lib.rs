@@ -24,21 +24,30 @@
 //!   assertion verdicts,
 //! * `complexity FILE` — the Table 1 view: a closed-form cost bound and its
 //!   asymptotic class,
-//! * `bench` — rerun the built-in paper benchmark suites with timings,
-//! * `print FILE` — parse and pretty-print (the round-trip surface).
+//! * `bench` — rerun the built-in paper benchmark suites with timings
+//!   (`--server` replays programs through a live daemon instead),
+//! * `print FILE` — parse and pretty-print (the round-trip surface),
+//! * `serve` — a long-running analysis daemon over HTTP with a resident
+//!   tiered summary store (see the [`serve`] module),
+//! * `request ENDPOINT [FILE]` — one HTTP round-trip against `chora serve`.
 //!
-//! All file-driven subcommands accept `--json` for machine-readable output.
+//! All file-driven subcommands accept `--json` for machine-readable output
+//! and `-` as FILE to read the program from stdin.
 
 pub mod driver;
 pub mod json;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
+pub mod serve;
 
 pub use driver::{
-    analyze, analyze_with_stats, bench, complexity_cmd, print_cmd, BenchOptions, CliError,
-    FileOptions,
+    analyze, analyze_source, analyze_with_stats, bench, complexity_cmd, complexity_source,
+    print_cmd, read_source, BenchOptions, CliError, FileOptions,
 };
 pub use lexer::ParseError;
 pub use parser::parse_program;
 pub use printer::{print_cond, print_expr, print_program};
+pub use serve::{
+    request, serve as serve_cmd, spawn_server, AnalysisService, RequestOptions, ServeOptions,
+};

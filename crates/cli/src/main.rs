@@ -1,6 +1,9 @@
 //! The `chora` binary: argument parsing and dispatch.
 
-use chora_cli::{analyze, bench, complexity_cmd, print_cmd, BenchOptions, FileOptions};
+use chora_cli::{
+    analyze, bench, complexity_cmd, print_cmd, request, serve_cmd, BenchOptions, FileOptions,
+    RequestOptions, ServeOptions,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -16,6 +19,17 @@ SUBCOMMANDS:
     bench [DIR]       Rerun the built-in paper benchmark suites (and time
                       every .imp program under DIR, when given)
     print FILE        Parse a .imp program and pretty-print it back
+    serve             Long-running analysis daemon: POST .imp sources to
+                      /v1/analyze and /v1/complexity over HTTP and get the
+                      exact --json documents back, served from a resident
+                      tiered (memory + disk) summary store
+    request ENDPOINT [FILE]
+                      One round-trip against a running `chora serve`:
+                      analyze, complexity (send FILE), healthz, stats,
+                      shutdown (no FILE)
+
+FILE may be `-` to read the program from stdin (analyze/complexity/print/
+request).
 
 OPTIONS (analyze / complexity / bench):
     --json            Emit machine-readable JSON
@@ -30,6 +44,7 @@ OPTIONS (analyze / complexity / bench):
                       on stderr; stdout is byte-identical with and without
                       the cache.  `bench` runs each program cold and warm
     --no-cache        Ignore --cache-dir (force a full analysis)
+    --quiet           Suppress the stderr cache/timing chatter
     --proc NAME       Procedure to report on (default: all for analyze;
                       sole procedure or main for complexity)
 
@@ -39,13 +54,34 @@ OPTIONS (complexity only):
 
 OPTIONS (bench):
     --filter SUBSTR   Only run benchmarks whose name contains SUBSTR
+    --server          Replay DIR's programs through a live in-process
+                      daemon over HTTP and report req/s cold vs warm
+
+OPTIONS (serve):
+    --addr HOST:PORT  Bind address (default 127.0.0.1:7557)
+    --jobs N          Request worker threads (default 0 = one per core)
+    --cache-dir PATH  Disk tier of the summary store (memory-only without)
+    --cache-cap-bytes BYTES[K|M|G]
+                      Store byte budget (default 64M; 0 = unbounded)
+    --cache-max-age SECS[s|m|h]
+                      Evict entries older than this (default: never)
+    --quiet           Suppress per-request logging
+
+OPTIONS (request):
+    --addr HOST:PORT  Daemon to contact (default 127.0.0.1:7557)
+    --jobs/--proc/--cost/--size
+                      Forwarded to the endpoint as query parameters
+    --quiet           Accepted for scripting symmetry (request has no
+                      stderr chatter of its own)
 
 EXAMPLES:
     chora complexity examples/programs/hanoi.imp --json
     chora analyze examples/programs/merge-sort.imp --jobs 4
-    chora analyze examples/programs/height.imp --cache-dir ~/.cache/chora
-    chora bench --filter hanoi
+    chora analyze - < examples/programs/height.imp
     chora bench --json --cache-dir /tmp/chora-cache examples/programs
+    chora serve --addr 127.0.0.1:7557 --jobs 8 --cache-dir /tmp/chora-cache
+    chora request analyze examples/programs/hanoi.imp
+    chora bench --server --json examples/programs
 ";
 
 fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
@@ -94,6 +130,7 @@ fn run() -> Result<(String, i32), String> {
             let size_param = take_value(&mut args, "--size")?;
             let cache_dir = take_value(&mut args, "--cache-dir")?;
             let no_cache = take_flag(&mut args, "--no-cache");
+            let quiet = take_flag(&mut args, "--quiet");
             if subcommand == "analyze" && (cost_var.is_some() || size_param.is_some()) {
                 return Err("--cost and --size only apply to `chora complexity`".to_string());
             }
@@ -112,6 +149,7 @@ fn run() -> Result<(String, i32), String> {
                 jobs,
                 cache_dir,
                 no_cache,
+                quiet,
             };
             let result = if subcommand == "analyze" {
                 analyze(&opts)
@@ -126,6 +164,7 @@ fn run() -> Result<(String, i32), String> {
             let filter = take_value(&mut args, "--filter")?;
             let cache_dir = take_value(&mut args, "--cache-dir")?;
             let no_cache = take_flag(&mut args, "--no-cache");
+            let server = take_flag(&mut args, "--server");
             let programs_dir = match args.as_slice() {
                 [] => None,
                 [dir] => Some(dir.clone()),
@@ -138,6 +177,7 @@ fn run() -> Result<(String, i32), String> {
                 programs_dir,
                 cache_dir,
                 no_cache,
+                server,
             })
             .map_err(|e| e.to_string())
         }
@@ -146,6 +186,74 @@ fn run() -> Result<(String, i32), String> {
                 return Err("`chora print` expects exactly one FILE argument".to_string());
             };
             print_cmd(path).map_err(|e| e.to_string())
+        }
+        "serve" => {
+            let addr =
+                take_value(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7557".to_string());
+            let jobs = match take_value(&mut args, "--jobs")? {
+                None => 0,
+                Some(v) => v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--jobs expects a non-negative integer, got `{v}`"))?,
+            };
+            let cache_dir = take_value(&mut args, "--cache-dir")?;
+            let cache_cap_bytes = match take_value(&mut args, "--cache-cap-bytes")? {
+                None => None,
+                Some(v) => Some(chora_cli::serve::parse_cap_bytes(&v)?),
+            };
+            let cache_max_age = match take_value(&mut args, "--cache-max-age")? {
+                None => None,
+                Some(v) => Some(chora_cli::serve::parse_max_age(&v)?),
+            };
+            let quiet = take_flag(&mut args, "--quiet");
+            if !args.is_empty() {
+                return Err(format!("unexpected arguments: {}", args.join(" ")));
+            }
+            serve_cmd(&ServeOptions {
+                addr,
+                jobs,
+                cache_dir,
+                cache_cap_bytes,
+                cache_max_age,
+                quiet,
+            })
+            .map_err(|e| e.to_string())
+        }
+        "request" => {
+            let addr =
+                take_value(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7557".to_string());
+            let jobs = match take_value(&mut args, "--jobs")? {
+                None => None,
+                Some(v) => Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--jobs expects a non-negative integer, got `{v}`"))?,
+                ),
+            };
+            let procedure = take_value(&mut args, "--proc")?;
+            let cost_var = take_value(&mut args, "--cost")?;
+            let size_param = take_value(&mut args, "--size")?;
+            // Accepted for scripting symmetry with the other subcommands;
+            // `request` has no stderr chatter of its own to silence.
+            let _ = take_flag(&mut args, "--quiet");
+            let (endpoint, file) = match args.as_slice() {
+                [endpoint] => (endpoint.clone(), None),
+                [endpoint, file] => (endpoint.clone(), Some(file.clone())),
+                _ => {
+                    return Err(
+                        "`chora request` expects ENDPOINT [FILE]; run `chora --help`".to_string(),
+                    )
+                }
+            };
+            request(&RequestOptions {
+                endpoint,
+                file,
+                addr,
+                jobs,
+                procedure,
+                cost_var,
+                size_param,
+            })
+            .map_err(|e| e.to_string())
         }
         other => Err(format!("unknown subcommand `{other}`; run `chora --help`")),
     }

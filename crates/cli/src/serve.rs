@@ -1,0 +1,566 @@
+//! `chora serve` and `chora request`: the analysis-as-a-service wiring.
+//!
+//! [`AnalysisService`] implements [`chora_server::AnalysisBackend`] on top
+//! of the factored driver ([`analyze_source`]/[`complexity_source`]) and a
+//! resident [`TieredStore`] — so a request body goes straight from socket
+//! to parser to analyzer, no subprocess, and the hot set of component
+//! summaries is served from memory without touching the disk tier.
+//! Response payloads are the *identical* JSON documents the `analyze
+//! --json`/`complexity --json` subcommands print (the CI `server-smoke`
+//! job diffs them byte-for-byte, timing fields aside).
+
+use crate::driver::{
+    analyze_source, complexity_source, read_source, BenchOptions, CliError, FileOptions,
+};
+use crate::json::Json;
+use chora_core::{DiskStore, SummaryStore, TierCounters, TieredConfig, TieredStore};
+use chora_server::client::http_request;
+use chora_server::http::encode_query_component;
+use chora_server::router::Endpoint;
+use chora_server::{AnalysisBackend, ServerConfig, ServerHandle};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Options of `chora serve`.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Bind address (`--addr`, port 0 = ephemeral).
+    pub addr: String,
+    /// Worker threads of the request pool (`--jobs`, 0 = one per core).
+    /// Each request is analyzed sequentially; concurrency comes from
+    /// serving requests in parallel (a `?jobs=N` query parameter can still
+    /// parallelize a single analysis).
+    pub jobs: usize,
+    /// Disk tier of the summary store (`--cache-dir`); without it the
+    /// store is memory-only (still warm across requests, gone on exit).
+    pub cache_dir: Option<String>,
+    /// Byte cap of the store (`--cache-cap-bytes`); `None` = flag absent
+    /// (the 64 MiB default applies), `Some(0)` = explicitly unbounded.
+    pub cache_cap_bytes: Option<u64>,
+    /// Entry expiry (`--cache-max-age`); `None` = entries never expire.
+    pub cache_max_age: Option<Duration>,
+    /// Suppress per-request logging (`--quiet`).
+    pub quiet: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7557".to_string(),
+            jobs: 0,
+            cache_dir: None,
+            cache_cap_bytes: None,
+            cache_max_age: None,
+            quiet: false,
+        }
+    }
+}
+
+/// Parses `--cache-cap-bytes`: a byte count with an optional K/M/G suffix
+/// (`0` is legal and means unbounded — see [`ServeOptions`]).
+pub fn parse_cap_bytes(value: &str) -> Result<u64, String> {
+    let (digits, unit) = match value.trim().to_ascii_uppercase() {
+        v if v.ends_with('K') => (v[..v.len() - 1].to_string(), 1u64 << 10),
+        v if v.ends_with('M') => (v[..v.len() - 1].to_string(), 1 << 20),
+        v if v.ends_with('G') => (v[..v.len() - 1].to_string(), 1 << 30),
+        v => (v, 1),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("--cache-cap-bytes expects BYTES[K|M|G], got `{value}`"))?;
+    n.checked_mul(unit)
+        .ok_or_else(|| format!("--cache-cap-bytes `{value}` overflows"))
+}
+
+/// Parses `--cache-max-age`: seconds, with an optional s/m/h suffix.
+pub fn parse_max_age(value: &str) -> Result<Duration, String> {
+    let v = value.trim().to_ascii_lowercase();
+    let (digits, unit_secs) = match v {
+        v if v.ends_with('h') => (v[..v.len() - 1].to_string(), 3600u64),
+        v if v.ends_with('m') => (v[..v.len() - 1].to_string(), 60),
+        v if v.ends_with('s') => (v[..v.len() - 1].to_string(), 1),
+        v => (v, 1),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("--cache-max-age expects SECONDS[s|m|h], got `{value}`"))?;
+    Ok(Duration::from_secs(n.saturating_mul(unit_secs)))
+}
+
+/// The resident analysis service: a [`TieredStore`] shared by every
+/// request plus the default per-request options.
+pub struct AnalysisService {
+    store: TieredStore,
+    /// Default worker count of one *analysis* (overridable per request via
+    /// `?jobs=N`); distinct from the request pool size.
+    analysis_jobs: usize,
+    maintenance: Option<Duration>,
+}
+
+impl AnalysisService {
+    /// Opens the tiered store described by the options.
+    pub fn new(opts: &ServeOptions) -> Result<AnalysisService, CliError> {
+        let disk = match &opts.cache_dir {
+            Some(dir) => Some(
+                DiskStore::open(dir)
+                    .map_err(|e| CliError(format!("cannot open cache directory `{dir}`: {e}")))?,
+            ),
+            None => None,
+        };
+        let config = TieredConfig {
+            // Flag absent → the default cap; an explicit 0 → unbounded.
+            cap_bytes: match opts.cache_cap_bytes {
+                None => TieredConfig::default().cap_bytes,
+                Some(0) => None,
+                Some(bytes) => Some(bytes),
+            },
+            max_age: opts.cache_max_age,
+            ..TieredConfig::default()
+        };
+        // GC cadence: often enough that expiry is visible at half the age
+        // granularity, but never a busy loop; byte pressure alone is
+        // handled lazily by LRU in memory and hourly on disk.
+        let maintenance = match (opts.cache_max_age, disk.is_some()) {
+            (Some(age), _) => {
+                Some((age / 2).clamp(Duration::from_millis(250), Duration::from_secs(60)))
+            }
+            (None, true) => Some(Duration::from_secs(3600)),
+            (None, false) => None,
+        };
+        Ok(AnalysisService {
+            store: TieredStore::new(disk, config),
+            analysis_jobs: 1,
+            maintenance,
+        })
+    }
+
+    /// The shared store (tests and `bench --server` read its counters).
+    pub fn store(&self) -> &TieredStore {
+        &self.store
+    }
+
+    /// The name/value pairs `/v1/stats` renders under `"cache"`.
+    fn counter_pairs(c: &TierCounters) -> Vec<(&'static str, u64)> {
+        vec![
+            ("mem_hits", c.mem_hits),
+            ("disk_hits", c.disk_hits),
+            ("misses", c.misses),
+            ("stores", c.stores),
+            ("disk_probes", c.disk_probes),
+            ("lru_evictions", c.lru_evictions),
+            ("age_evictions", c.age_evictions),
+            ("corrupt_evictions", c.corrupt_evictions),
+            ("disk_gc_removed", c.disk_gc_removed),
+            ("mem_entries", c.mem_entries),
+            ("mem_bytes", c.mem_bytes),
+        ]
+    }
+}
+
+/// Builds the per-request [`FileOptions`] from the query string.  Unknown
+/// parameters are a 400, like unknown flags are a CLI error.
+fn file_options_from_query(
+    query: &[(String, String)],
+    default_jobs: usize,
+    complexity: bool,
+) -> Result<(String, FileOptions), String> {
+    let mut name = "<request>".to_string();
+    let mut opts = FileOptions {
+        json: true,
+        jobs: default_jobs,
+        quiet: true,
+        ..FileOptions::default()
+    };
+    for (key, value) in query {
+        match key.as_str() {
+            "file" => name = value.clone(),
+            "jobs" => {
+                opts.jobs = value
+                    .parse()
+                    .map_err(|_| format!("`jobs` expects a non-negative integer, got `{value}`"))?
+            }
+            "proc" => opts.procedure = Some(value.clone()),
+            "cost" if complexity => opts.cost_var = Some(value.clone()),
+            "size" if complexity => opts.size_param = Some(value.clone()),
+            other => {
+                return Err(format!(
+                    "unknown query parameter `{other}` (expected file, jobs, proc{})",
+                    if complexity { ", cost, size" } else { "" }
+                ))
+            }
+        }
+    }
+    Ok((name, opts))
+}
+
+impl AnalysisBackend for AnalysisService {
+    fn analyze(&self, query: &[(String, String)], source: &str) -> Result<String, String> {
+        let (name, opts) = file_options_from_query(query, self.analysis_jobs, false)?;
+        analyze_source(&name, source, &opts, Some(&self.store as &dyn SummaryStore))
+            .map(|(out, _exit, _stats)| out)
+            .map_err(|e| e.to_string())
+    }
+
+    fn complexity(&self, query: &[(String, String)], source: &str) -> Result<String, String> {
+        let (name, opts) = file_options_from_query(query, self.analysis_jobs, true)?;
+        complexity_source(&name, source, &opts, Some(&self.store as &dyn SummaryStore))
+            .map(|(out, _exit, _stats)| out)
+            .map_err(|e| e.to_string())
+    }
+
+    fn cache_counters(&self) -> Vec<(&'static str, u64)> {
+        AnalysisService::counter_pairs(&self.store.counters())
+    }
+
+    fn maintain(&self) {
+        self.store.gc();
+    }
+
+    fn maintenance_interval(&self) -> Option<Duration> {
+        self.maintenance
+    }
+}
+
+fn effective_workers(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// `chora serve`: blocks until SIGINT/SIGTERM or `POST /v1/shutdown`,
+/// then drains in-flight requests and returns.
+pub fn serve(opts: &ServeOptions) -> Result<(String, i32), CliError> {
+    let service = Arc::new(AnalysisService::new(opts)?);
+    let config = ServerConfig {
+        addr: opts.addr.clone(),
+        workers: effective_workers(opts.jobs),
+        quiet: opts.quiet,
+        handle_signals: true,
+    };
+    chora_server::run(config, service)
+        .map_err(|e| CliError(format!("cannot serve on `{}`: {e}", opts.addr)))?;
+    Ok((String::new(), 0))
+}
+
+/// Starts the daemon on a background thread (tests, `bench --server`);
+/// the returned service handle exposes the live store counters.
+pub fn spawn_server(opts: &ServeOptions) -> Result<(ServerHandle, Arc<AnalysisService>), CliError> {
+    let service = Arc::new(AnalysisService::new(opts)?);
+    let config = ServerConfig {
+        addr: opts.addr.clone(),
+        workers: effective_workers(opts.jobs),
+        quiet: opts.quiet,
+        handle_signals: false,
+    };
+    let handle = chora_server::spawn(config, Arc::clone(&service) as Arc<dyn AnalysisBackend>)
+        .map_err(|e| CliError(format!("cannot serve on `{}`: {e}", opts.addr)))?;
+    Ok((handle, service))
+}
+
+/// Options of `chora request`.
+#[derive(Clone, Debug)]
+pub struct RequestOptions {
+    /// Endpoint name: `analyze`, `complexity`, `healthz`, `stats`, or
+    /// `shutdown`.
+    pub endpoint: String,
+    /// The `.imp` program to send (`-` = stdin); only the analysis
+    /// endpoints take one.
+    pub file: Option<String>,
+    /// The daemon to talk to (`--addr`).
+    pub addr: String,
+    /// Forwarded query parameters (match the CLI flags of the same name).
+    pub jobs: Option<usize>,
+    pub procedure: Option<String>,
+    pub cost_var: Option<String>,
+    pub size_param: Option<String>,
+}
+
+impl Default for RequestOptions {
+    fn default() -> Self {
+        RequestOptions {
+            endpoint: String::new(),
+            file: None,
+            addr: "127.0.0.1:7557".to_string(),
+            jobs: None,
+            procedure: None,
+            cost_var: None,
+            size_param: None,
+        }
+    }
+}
+
+/// `chora request`: one HTTP round-trip against a running `chora serve`,
+/// response body on stdout.  For `analyze`, the exit code mirrors the CLI
+/// (1 when an assertion was not proved).
+pub fn request(opts: &RequestOptions) -> Result<(String, i32), CliError> {
+    let endpoint = Endpoint::from_name(&opts.endpoint).ok_or_else(|| {
+        CliError(format!(
+            "unknown endpoint `{}`; available: analyze, complexity, healthz, stats, shutdown",
+            opts.endpoint
+        ))
+    })?;
+    let needs_body = matches!(endpoint, Endpoint::Analyze | Endpoint::Complexity);
+    let body = match (&opts.file, needs_body) {
+        (Some(path), true) => Some(read_source(path)?),
+        (None, true) => {
+            return Err(CliError(format!(
+                "`chora request {}` expects a FILE argument (`-` reads stdin)",
+                opts.endpoint
+            )))
+        }
+        (Some(_), false) => {
+            return Err(CliError(format!(
+                "`chora request {}` takes no FILE argument",
+                opts.endpoint
+            )))
+        }
+        (None, false) => None,
+    };
+
+    let mut query: Vec<(&str, String)> = Vec::new();
+    if needs_body {
+        query.push(("file", opts.file.clone().expect("checked above")));
+        if let Some(jobs) = opts.jobs {
+            query.push(("jobs", jobs.to_string()));
+        }
+        if let Some(proc) = &opts.procedure {
+            query.push(("proc", proc.clone()));
+        }
+        if let Some(cost) = &opts.cost_var {
+            query.push(("cost", cost.clone()));
+        }
+        if let Some(size) = &opts.size_param {
+            query.push(("size", size.clone()));
+        }
+    }
+    let path = if query.is_empty() {
+        endpoint.path().to_string()
+    } else {
+        let encoded: Vec<String> = query
+            .iter()
+            .map(|(k, v)| format!("{k}={}", encode_query_component(v)))
+            .collect();
+        format!("{}?{}", endpoint.path(), encoded.join("&"))
+    };
+
+    let (status, response) = http_request(&opts.addr, endpoint.method(), &path, body.as_deref())
+        .map_err(|e| {
+            CliError(format!(
+                "cannot reach chora serve at `{}`: {e} (is the daemon running?)",
+                opts.addr
+            ))
+        })?;
+    if status != 200 {
+        return Err(CliError(format!(
+            "server returned {status}: {}",
+            response.trim()
+        )));
+    }
+    let exit = if endpoint == Endpoint::Analyze
+        && response.contains("\"all_assertions_verified\": false")
+    {
+        1
+    } else {
+        0
+    };
+    Ok((response, exit))
+}
+
+/// `chora bench --server DIR`: replays every `.imp` program under `DIR`
+/// through a live in-process daemon over real HTTP — one cold pass, then
+/// warm rounds — and reports per-program latency plus cold/warm
+/// requests-per-second and the store counters.
+pub fn bench_server(opts: &BenchOptions) -> Result<(String, i32), CliError> {
+    let dir = opts.programs_dir.as_ref().ok_or_else(|| {
+        CliError("`chora bench --server` needs a DIR of .imp programs".to_string())
+    })?;
+    let keep = |name: &str| match &opts.filter {
+        Some(f) => name.contains(f.as_str()),
+        None => true,
+    };
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| CliError(format!("cannot read directory `{dir}`: {e}")))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "imp"))
+        .collect();
+    paths.sort();
+    let mut programs: Vec<(String, String, String)> = Vec::new(); // (name, file, source)
+    for path in paths {
+        let display = path.display().to_string();
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| display.clone());
+        if !keep(&name) {
+            continue;
+        }
+        programs.push((name, display.clone(), read_source(&display)?));
+    }
+    if programs.is_empty() {
+        return Err(CliError(format!("no .imp programs under `{dir}` match")));
+    }
+
+    let serve_opts = ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: opts.jobs,
+        cache_dir: opts.cache_dir.clone().filter(|_| !opts.no_cache),
+        quiet: true,
+        ..ServeOptions::default()
+    };
+    let workers = effective_workers(serve_opts.jobs);
+    let (handle, service) = spawn_server(&serve_opts)?;
+    let addr = handle.addr().to_string();
+
+    let send = |file: &str, source: &str| -> Result<f64, CliError> {
+        let path = format!("/v1/analyze?file={}", encode_query_component(file));
+        let started = Instant::now();
+        let (status, body) = http_request(&addr, "POST", &path, Some(source))
+            .map_err(|e| CliError(format!("request to the bench server failed: {e}")))?;
+        if status != 200 {
+            return Err(CliError(format!(
+                "bench server returned {status} for `{file}`: {}",
+                body.trim()
+            )));
+        }
+        Ok(started.elapsed().as_secs_f64() * 1e3)
+    };
+
+    // Cold pass: every program once, sequentially, into an empty store.
+    let cold_started = Instant::now();
+    let mut cold_ms: Vec<f64> = Vec::new();
+    for (_, file, source) in &programs {
+        cold_ms.push(send(file, source)?);
+    }
+    let cold_total_s = cold_started.elapsed().as_secs_f64();
+
+    // Warm rounds: enough repeats for a stable requests/sec figure.
+    let rounds = (24 / programs.len()).max(3);
+    let probes_before_warm = service.store().counters().disk_probes;
+    let warm_started = Instant::now();
+    let mut warm_total_ms = vec![0.0f64; programs.len()];
+    for _ in 0..rounds {
+        for (i, (_, file, source)) in programs.iter().enumerate() {
+            warm_total_ms[i] += send(file, source)?;
+        }
+    }
+    let warm_total_s = warm_started.elapsed().as_secs_f64();
+    let warm_requests = rounds * programs.len();
+    let counters = service.store().counters();
+    let warm_disk_probes = counters.disk_probes - probes_before_warm;
+    handle.shutdown();
+
+    let cold_rps = programs.len() as f64 / cold_total_s.max(1e-9);
+    let warm_rps = warm_requests as f64 / warm_total_s.max(1e-9);
+
+    if opts.json {
+        let rows: Vec<Json> = programs
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _, _))| {
+                Json::object()
+                    .field("name", Json::str(name.as_str()))
+                    .field("cold_ms", Json::Float(cold_ms[i]))
+                    .field(
+                        "warm_mean_ms",
+                        Json::Float(warm_total_ms[i] / rounds as f64),
+                    )
+            })
+            .collect();
+        let doc = Json::object().field(
+            "server_bench",
+            Json::object()
+                .field("workers", Json::Int(workers as i64))
+                .field("programs", Json::Array(rows))
+                .field("cold_rps", Json::Float(cold_rps))
+                .field("warm_rps", Json::Float(warm_rps))
+                .field("warm_requests", Json::Int(warm_requests as i64))
+                .field("warm_mem_hits", Json::Int(counters.mem_hits as i64))
+                .field("warm_disk_probes", Json::Int(warm_disk_probes as i64)),
+        );
+        return Ok((doc.pretty(), 0));
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "server bench: {} programs through http://{addr} ({workers} workers)\n\n",
+        programs.len()
+    ));
+    out.push_str(&format!(
+        "{:<18} {:>10} {:>12}\n",
+        "program", "cold", "warm (mean)"
+    ));
+    for (i, (name, _, _)) in programs.iter().enumerate() {
+        out.push_str(&format!(
+            "{name:<18} {:>8.1}ms {:>10.1}ms\n",
+            cold_ms[i],
+            warm_total_ms[i] / rounds as f64
+        ));
+    }
+    out.push_str(&format!(
+        "\ncold: {cold_rps:.1} req/s    warm: {warm_rps:.1} req/s ({warm_requests} requests, \
+         {} mem hits, {warm_disk_probes} disk probes during warm rounds)\n",
+        counters.mem_hits
+    ));
+    Ok((out, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_bytes_parses_suffixes_and_zero() {
+        assert_eq!(parse_cap_bytes("1024"), Ok(1024));
+        assert_eq!(parse_cap_bytes("4K"), Ok(4096));
+        assert_eq!(parse_cap_bytes("2M"), Ok(2 << 20));
+        assert_eq!(parse_cap_bytes("1G"), Ok(1 << 30));
+        assert_eq!(parse_cap_bytes("0"), Ok(0), "0 is legal (unbounded)");
+        assert!(parse_cap_bytes("lots").is_err());
+    }
+
+    #[test]
+    fn explicit_zero_cap_means_an_unbounded_store() {
+        let unbounded = AnalysisService::new(&ServeOptions {
+            cache_cap_bytes: Some(0),
+            ..ServeOptions::default()
+        })
+        .expect("service");
+        assert_eq!(unbounded.store().config().cap_bytes, None);
+        let defaulted = AnalysisService::new(&ServeOptions::default()).expect("service");
+        assert_eq!(defaulted.store().config().cap_bytes, Some(64 << 20));
+    }
+
+    #[test]
+    fn max_age_parses_suffixes() {
+        assert_eq!(parse_max_age("90"), Ok(Duration::from_secs(90)));
+        assert_eq!(parse_max_age("30s"), Ok(Duration::from_secs(30)));
+        assert_eq!(parse_max_age("5m"), Ok(Duration::from_secs(300)));
+        assert_eq!(parse_max_age("2h"), Ok(Duration::from_secs(7200)));
+        assert!(parse_max_age("never").is_err());
+    }
+
+    #[test]
+    fn query_options_reject_unknown_and_misplaced_parameters() {
+        let q = |pairs: &[(&str, &str)]| {
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect::<Vec<_>>()
+        };
+        let (name, opts) =
+            file_options_from_query(&q(&[("file", "x.imp"), ("jobs", "4")]), 1, false)
+                .expect("valid");
+        assert_eq!(name, "x.imp");
+        assert_eq!(opts.jobs, 4);
+        assert!(opts.json);
+        assert!(file_options_from_query(&q(&[("bogus", "1")]), 1, false).is_err());
+        // cost/size only exist on the complexity endpoint.
+        assert!(file_options_from_query(&q(&[("cost", "c")]), 1, false).is_err());
+        assert!(file_options_from_query(&q(&[("cost", "c")]), 1, true).is_ok());
+        assert!(file_options_from_query(&q(&[("jobs", "many")]), 1, false).is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! End-to-end tests of `chora serve`: byte-identity of daemon responses
+//! against the CLI documents, the in-memory warm path, error envelopes,
+//! concurrent clients, graceful shutdown draining, and eviction under a
+//! byte cap never corrupting a response.
+//!
+//! Every test runs its own daemon on an ephemeral port via
+//! [`chora_cli::spawn_server`] and talks real HTTP through the bundled
+//! client.
+
+use chora_cli::{analyze_with_stats, spawn_server, FileOptions, ServeOptions};
+use chora_server::client::http_request;
+use chora_server::http::encode_query_component;
+use std::path::PathBuf;
+
+fn example(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/programs")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chora-server-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Drops wall-clock fields so byte-identity checks compare analysis
+/// content only.
+fn strip_timing(out: &str) -> String {
+    out.lines()
+        .filter(|l| !l.contains("analysis_ms"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The `chora analyze --json` reference document for a program.
+fn cli_reference(path: &str, jobs: usize) -> String {
+    let (out, _, _) = analyze_with_stats(&FileOptions {
+        path: path.to_string(),
+        json: true,
+        jobs,
+        quiet: true,
+        ..FileOptions::default()
+    })
+    .expect("CLI analyze");
+    out
+}
+
+/// Ephemeral-port daemon with the given store options.
+fn daemon(
+    opts: ServeOptions,
+) -> (
+    chora_server::ServerHandle,
+    std::sync::Arc<chora_cli::AnalysisService>,
+) {
+    spawn_server(&ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        quiet: true,
+        ..opts
+    })
+    .expect("spawn daemon")
+}
+
+fn post_analyze(addr: &str, file: &str, extra_query: &str) -> (u16, String) {
+    let source = std::fs::read_to_string(file).expect("read example");
+    let path = format!(
+        "/v1/analyze?file={}{extra_query}",
+        encode_query_component(file)
+    );
+    http_request(addr, "POST", &path, Some(&source)).expect("request")
+}
+
+/// Pulls one integer counter out of the `/v1/stats` JSON.
+fn stat(addr: &str, name: &str) -> u64 {
+    let (status, body) = http_request(addr, "GET", "/v1/stats", None).expect("stats");
+    assert_eq!(status, 200, "{body}");
+    let needle = format!("\"{name}\": ");
+    let at = body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {name} in:\n{body}"));
+    body[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("counter value")
+}
+
+#[test]
+fn analyze_responses_are_byte_identical_to_the_cli_cold_and_warm() {
+    let dir = scratch("identity");
+    let (handle, _service) = daemon(ServeOptions {
+        cache_dir: Some(dir.join("cache").display().to_string()),
+        ..ServeOptions::default()
+    });
+    let addr = handle.addr().to_string();
+    for name in ["fib.imp", "hanoi.imp", "merge-sort.imp", "height.imp"] {
+        let file = example(name);
+        for jobs in [1usize, 4] {
+            let reference = strip_timing(&cli_reference(&file, jobs));
+            let query = format!("&jobs={jobs}");
+            let (status, cold) = post_analyze(&addr, &file, &query);
+            assert_eq!(status, 200, "{cold}");
+            let (status, warm) = post_analyze(&addr, &file, &query);
+            assert_eq!(status, 200, "{warm}");
+            assert_eq!(
+                strip_timing(&cold),
+                reference,
+                "cold {name} (jobs={jobs}) must match the CLI document"
+            );
+            assert_eq!(
+                strip_timing(&warm),
+                reference,
+                "warm {name} (jobs={jobs}) must match the CLI document"
+            );
+        }
+    }
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_requests_are_served_from_the_memory_tier() {
+    let dir = scratch("warmpath");
+    let (handle, _service) = daemon(ServeOptions {
+        cache_dir: Some(dir.join("cache").display().to_string()),
+        ..ServeOptions::default()
+    });
+    let addr = handle.addr().to_string();
+    let file = example("fib.imp");
+    let (status, _) = post_analyze(&addr, &file, "");
+    assert_eq!(status, 200);
+    let probes_after_cold = stat(&addr, "disk_probes");
+    let hits_after_cold = stat(&addr, "mem_hits");
+    for _ in 0..3 {
+        let (status, _) = post_analyze(&addr, &file, "");
+        assert_eq!(status, 200);
+    }
+    assert_eq!(
+        stat(&addr, "disk_probes"),
+        probes_after_cold,
+        "warm repeats must perform 0 disk reads"
+    );
+    assert!(
+        stat(&addr, "mem_hits") > hits_after_cold,
+        "warm repeats must hit the memory tier"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_requests_get_json_error_envelopes() {
+    let (handle, _service) = daemon(ServeOptions::default());
+    let addr = handle.addr().to_string();
+
+    // Unparseable source: 400 with the parser's rendering in the envelope.
+    let (status, body) =
+        http_request(&addr, "POST", "/v1/analyze", Some("definitely not imp")).expect("request");
+    assert_eq!(status, 400);
+    assert!(body.starts_with("{\"error\": "), "{body}");
+
+    // Unknown query parameter: 400.
+    let (status, body) =
+        http_request(&addr, "POST", "/v1/analyze?wibble=1", Some("global cost;")).expect("request");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("unknown query parameter"), "{body}");
+
+    // Unknown endpoint: 404; wrong method: 405 — all JSON envelopes.
+    let (status, body) = http_request(&addr, "GET", "/v2/nope", None).expect("request");
+    assert_eq!(status, 404);
+    assert!(body.contains("\"error\""), "{body}");
+    let (status, body) = http_request(&addr, "GET", "/v1/analyze", None).expect("request");
+    assert_eq!(status, 405);
+    assert!(body.contains("\"error\""), "{body}");
+
+    // Raw protocol garbage: still an orderly 400, never a hung socket.
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream.write_all(b"NONSENSE\r\n\r\n").expect("write");
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_all_get_correct_responses() {
+    let dir = scratch("concurrent");
+    let (handle, _service) = daemon(ServeOptions {
+        jobs: 4,
+        cache_dir: Some(dir.join("cache").display().to_string()),
+        ..ServeOptions::default()
+    });
+    let addr = handle.addr().to_string();
+    let names = ["fib.imp", "hanoi.imp", "merge-sort.imp"];
+    let references: Vec<String> = names
+        .iter()
+        .map(|n| strip_timing(&cli_reference(&example(n), 1)))
+        .collect();
+
+    let results: Vec<(usize, u16, String)> = std::thread::scope(|scope| {
+        let addr = &addr;
+        (0..9)
+            .map(|i| {
+                scope.spawn(move || {
+                    let (status, body) = post_analyze(addr, &example(names[i % 3]), "");
+                    (i % 3, status, body)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().expect("client thread"))
+            .collect()
+    });
+    for (which, status, body) in results {
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(
+            strip_timing(&body),
+            references[which],
+            "concurrent response for {} diverged",
+            names[which]
+        );
+    }
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let (handle, _service) = daemon(ServeOptions {
+        jobs: 2,
+        ..ServeOptions::default()
+    });
+    let addr = handle.addr().to_string();
+    let file = example("merge-sort.imp");
+    let reference = strip_timing(&cli_reference(&file, 1));
+
+    let responses: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let addr = &addr;
+        let file = &file;
+        let clients: Vec<_> = (0..6)
+            .map(|_| scope.spawn(move || post_analyze(addr, file, "")))
+            .collect();
+        // Let the clients connect and queue up on the two workers, then
+        // ask the daemon to shut down while their analyses are in flight.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let (status, body) = http_request(addr, "POST", "/v1/shutdown", None).expect("shutdown");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"draining\": true"), "{body}");
+        clients
+            .into_iter()
+            .map(|t| t.join().expect("client thread"))
+            .collect()
+    });
+    for (status, body) in responses {
+        assert_eq!(status, 200, "in-flight work must be drained, got: {body}");
+        assert_eq!(strip_timing(&body), reference, "drained response diverged");
+    }
+    handle.shutdown(); // Joins the already-stopping daemon.
+    assert!(
+        http_request(&addr, "GET", "/v1/healthz", None).is_err(),
+        "daemon must be gone after the drain"
+    );
+}
+
+#[test]
+fn a_byte_capped_store_evicts_without_ever_corrupting_a_response() {
+    let dir = scratch("capped");
+    // A cap far below the working set (4 programs ≈ several KiB of
+    // entries): the memory tier thrashes, the disk tier backs it up.
+    let (handle, service) = daemon(ServeOptions {
+        cache_dir: Some(dir.join("cache").display().to_string()),
+        cache_cap_bytes: Some(2048),
+        ..ServeOptions::default()
+    });
+    let addr = handle.addr().to_string();
+    let names = ["fib.imp", "hanoi.imp", "merge-sort.imp", "height.imp"];
+    let references: Vec<String> = names
+        .iter()
+        .map(|n| strip_timing(&cli_reference(&example(n), 1)))
+        .collect();
+    for round in 0..3 {
+        for (i, name) in names.iter().enumerate() {
+            let (status, body) = post_analyze(&addr, &example(name), "");
+            assert_eq!(status, 200, "{body}");
+            assert_eq!(
+                strip_timing(&body),
+                references[i],
+                "round {round}: {name} must stay byte-identical under eviction pressure"
+            );
+        }
+    }
+    let counters = service.store().counters();
+    assert!(
+        counters.mem_bytes <= 2048,
+        "the memory tier must respect its byte cap: {counters:?}"
+    );
+    assert!(
+        counters.mem_entries < counters.stores,
+        "a cap below the working set must keep part of it out of memory: {counters:?}"
+    );
+    assert!(
+        counters.disk_hits > 0,
+        "entries pushed out of memory must be re-served from the disk tier: {counters:?}"
+    );
+    assert_eq!(
+        counters.corrupt_evictions, 0,
+        "eviction pressure must never corrupt an entry: {counters:?}"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

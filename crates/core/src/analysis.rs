@@ -197,9 +197,11 @@ impl Analyzer {
         let levels = callgraph.component_levels();
         let keys =
             store.map(|_| level_keys(program, &callgraph, &levels, self.cache_salt(program)));
-        // `SummaryStore::evictions` counts over the store's lifetime; report
-        // only this run's delta (stores are reused across bench runs).
+        // `SummaryStore::evictions`/`gc_evictions` count over the store's
+        // lifetime; report only this run's deltas (stores are reused across
+        // bench runs and live for a whole `chora serve` process).
         let evictions_before = store.map_or(0, |s| s.evictions());
+        let gc_evictions_before = store.map_or(0, |s| s.gc_evictions());
         let summarizer = Summarizer::new(program);
         let mut result = AnalysisResult::default();
         let jobs = self.effective_jobs();
@@ -282,6 +284,7 @@ impl Analyzer {
         }
         if let Some(store) = store {
             result.cache.evictions = store.evictions().saturating_sub(evictions_before);
+            result.cache.gc_evictions = store.gc_evictions().saturating_sub(gc_evictions_before);
         }
         result
     }

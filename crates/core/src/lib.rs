@@ -64,4 +64,6 @@ pub use analysis::{
 pub use baseline::BaselineAnalyzer;
 pub use complexity::ComplexityClass;
 pub use depth::DepthBound;
-pub use store::{CacheStats, DiskStore, MemoryStore, SummaryStore};
+pub use store::{
+    CacheStats, DiskStore, MemoryStore, SummaryStore, TierCounters, TieredConfig, TieredStore,
+};

@@ -4,7 +4,7 @@
 //! The driver looks components up by their transitive fingerprint
 //! ([`chora_ir::fingerprint`]) before summarizing: a hit restores the
 //! component's summaries exactly (skipping height/depth/recurrence solving
-//! entirely), a miss summarizes and stores.  Two backends are provided:
+//! entirely), a miss summarizes and stores.  Three backends are provided:
 //!
 //! * [`MemoryStore`] — an in-process map, useful for repeated analyses in
 //!   one process (e.g. `chora bench` warm runs) and for tests.  Entries are
@@ -13,7 +13,16 @@
 //! * [`DiskStore`] — one file per component key under a versioned cache
 //!   directory.  Corrupted, truncated, or version-mismatched files are
 //!   discarded and counted as evictions, never fatal; writes go through a
-//!   temporary file plus rename so concurrent readers see whole entries.
+//!   uniquely-named temporary file plus rename, so any number of concurrent
+//!   readers and writers (threads *or* processes) only ever see whole
+//!   entries.  [`DiskStore::gc`] is a lock-free garbage-collection pass
+//!   that deletes expired entries (and, under a byte cap, the oldest ones):
+//!   because entries are content-addressed, deleting one can never cause a
+//!   stale result — only a re-summarization.
+//! * [`TieredStore`] — a sharded in-memory LRU front backed by an optional
+//!   [`DiskStore`]: the hot set is served without touching the filesystem
+//!   (the `chora serve` warm path), sized by [`TieredConfig::cap_bytes`]
+//!   and aged out by [`TieredConfig::max_age`].
 
 use crate::analysis::ProcedureSummary;
 use crate::cache::{decode_entry, encode_entry, CACHE_VERSION};
@@ -23,6 +32,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime};
 
 /// Counters reported by a cache-backed analysis run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -33,6 +43,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Store entries discarded as corrupted or version-mismatched.
     pub evictions: u64,
+    /// Store entries removed by garbage collection — LRU pressure against
+    /// the byte cap or age expiry — as opposed to corruption.
+    pub gc_evictions: u64,
 }
 
 impl CacheStats {
@@ -46,8 +59,8 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits, {} misses, {} evictions",
-            self.hits, self.misses, self.evictions
+            "{} hits, {} misses, {} evictions, {} gc evictions",
+            self.hits, self.misses, self.evictions, self.gc_evictions
         )
     }
 }
@@ -66,8 +79,18 @@ pub trait SummaryStore: Sync {
     /// Caches the summaries of one component under its key.
     fn store(&self, key: &Fingerprint, summaries: &[ProcedureSummary]);
 
-    /// How many entries this store has discarded as invalid.
+    /// How many entries this store has discarded as *invalid* (corrupted,
+    /// truncated, or version-mismatched).
     fn evictions(&self) -> u64 {
+        0
+    }
+
+    /// How many entries this store has removed for *space or age* reasons
+    /// (LRU pressure, expiry, disk GC) — kept separate from [`evictions`]
+    /// so operational dashboards can tell corruption from normal turnover.
+    ///
+    /// [`evictions`]: SummaryStore::evictions
+    fn gc_evictions(&self) -> u64 {
         0
     }
 }
@@ -127,6 +150,13 @@ impl SummaryStore for MemoryStore {
     }
 }
 
+/// Distinguishes temp files (`<key>.tmp.<pid>.<seq>`) written by this
+/// process from those of concurrent writers, and two writer threads of one
+/// process from each other — two in-process writers racing on the same key
+/// must never share a temp path, or one can rename the other's half-written
+/// file into place.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// A persistent on-disk store: one JSON file per component key under
 /// `<root>/v<CACHE_VERSION>/`.
 ///
@@ -134,9 +164,17 @@ impl SummaryStore for MemoryStore {
 /// namespace; stray files from other versions are never read.  Within the
 /// directory, any file that fails to decode (truncated write, manual edit,
 /// hash collision on `key`) is deleted and counted as an eviction.
+///
+/// The layout is safe for any number of concurrent readers and writers,
+/// across threads and processes: writes land under a unique temp name and
+/// are renamed into place atomically, reads that race a GC deletion see a
+/// plain miss, and keys are content-addressed so a "lost" rename race
+/// between two writers of the same key is harmless (both wrote identical
+/// bytes for identical inputs).
 pub struct DiskStore {
     dir: PathBuf,
     evicted: AtomicU64,
+    gc_removed: AtomicU64,
 }
 
 impl DiskStore {
@@ -147,6 +185,7 @@ impl DiskStore {
         Ok(DiskStore {
             dir,
             evicted: AtomicU64::new(0),
+            gc_removed: AtomicU64::new(0),
         })
     }
 
@@ -158,14 +197,30 @@ impl DiskStore {
     fn entry_path(&self, key: &Fingerprint) -> PathBuf {
         self.dir.join(format!("{}.json", key.to_hex()))
     }
-}
 
-impl SummaryStore for DiskStore {
-    fn load(&self, key: &Fingerprint) -> Option<Vec<ProcedureSummary>> {
+    /// Loads, validates, and decodes the entry under `key`, also reporting
+    /// its age (time since last write) when the filesystem can say.
+    /// Corrupt entries are deleted and counted, exactly like [`load`].
+    ///
+    /// Returns the *serialized* text alongside the decoded summaries so a
+    /// fronting tier ([`TieredStore`]) can keep the validated bytes without
+    /// re-encoding.
+    ///
+    /// [`load`]: SummaryStore::load
+    pub fn load_validated(
+        &self,
+        key: &Fingerprint,
+    ) -> Option<(String, Vec<ProcedureSummary>, Option<Duration>)> {
         let path = self.entry_path(key);
         let text = std::fs::read_to_string(&path).ok()?;
         match decode_entry(&text, key) {
-            Some(summaries) => Some(summaries),
+            Some(summaries) => {
+                let age = std::fs::metadata(&path)
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|mtime| SystemTime::now().duration_since(mtime).ok());
+                Some((text, summaries, age))
+            }
             None => {
                 // Corrupt or stale: evict, never fail.
                 let _ = std::fs::remove_file(&path);
@@ -175,12 +230,15 @@ impl SummaryStore for DiskStore {
         }
     }
 
-    fn store(&self, key: &Fingerprint, summaries: &[ProcedureSummary]) {
+    /// Writes an already-encoded entry (temp file + rename, best-effort).
+    pub fn store_encoded(&self, key: &Fingerprint, encoded: &str) {
         let path = self.entry_path(key);
-        let tmp = self
-            .dir
-            .join(format!("{}.tmp.{}", key.to_hex(), std::process::id()));
-        let encoded = encode_entry(key, summaries);
+        let tmp = self.dir.join(format!(
+            "{}.tmp.{}.{}",
+            key.to_hex(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         // Best-effort: a failed write leaves the cache without this entry,
         // and never leaves a partial temp file behind (disk-full writes
         // would otherwise leak one per attempt).
@@ -196,8 +254,446 @@ impl SummaryStore for DiskStore {
         }
     }
 
+    /// Removes the entry under `key` (a GC deletion, not a corruption
+    /// eviction).  Racing readers see a miss; racing writers re-create it.
+    pub fn remove(&self, key: &Fingerprint) {
+        if std::fs::remove_file(self.entry_path(key)).is_ok() {
+            self.gc_removed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total bytes currently held by cache entries.
+    pub fn disk_bytes(&self) -> u64 {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|ext| ext == "json"))
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum()
+    }
+
+    /// One lock-free garbage-collection pass: deletes entries older than
+    /// `max_age`, then — if the directory still exceeds `cap_bytes` —
+    /// deletes oldest-first until it fits.  Also sweeps temp files from
+    /// crashed writers (older than one minute).  Returns how many entries
+    /// were removed.
+    ///
+    /// Safe to run concurrently with readers and writers of any process:
+    /// deletion of a whole entry can only turn a would-be hit into a miss,
+    /// and only ever deletes *expired or excess* keys — a racing writer
+    /// that re-creates one simply refreshes its age.
+    pub fn gc(&self, max_age: Option<Duration>, cap_bytes: Option<u64>) -> u64 {
+        let Ok(dir_entries) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let now = SystemTime::now();
+        let mut removed = 0u64;
+        // (path, age, size) of every surviving cache entry.
+        let mut live: Vec<(PathBuf, Duration, u64)> = Vec::new();
+        for entry in dir_entries.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            let Ok(meta) = entry.metadata() else { continue };
+            let age = meta
+                .modified()
+                .ok()
+                .and_then(|m| now.duration_since(m).ok())
+                .unwrap_or_default();
+            // Orphaned temp files (a writer died between write and rename):
+            // anything past a minute is garbage, no live writer keeps a
+            // temp file open that long.
+            if name.as_deref().is_some_and(|n| n.contains(".tmp.")) {
+                if age > Duration::from_secs(60) {
+                    let _ = std::fs::remove_file(&path);
+                }
+                continue;
+            }
+            if path.extension().is_none_or(|ext| ext != "json") {
+                continue;
+            }
+            if max_age.is_some_and(|limit| age > limit) {
+                if std::fs::remove_file(&path).is_ok() {
+                    removed += 1;
+                }
+                continue;
+            }
+            live.push((path, age, meta.len()));
+        }
+        if let Some(cap) = cap_bytes {
+            let mut total: u64 = live.iter().map(|(_, _, size)| size).sum();
+            // Oldest first.
+            live.sort_by_key(|(_, age, _)| std::cmp::Reverse(*age));
+            for (path, _, size) in live {
+                if total <= cap {
+                    break;
+                }
+                if std::fs::remove_file(&path).is_ok() {
+                    removed += 1;
+                    total = total.saturating_sub(size);
+                }
+            }
+        }
+        self.gc_removed.fetch_add(removed, Ordering::Relaxed);
+        removed
+    }
+}
+
+impl SummaryStore for DiskStore {
+    fn load(&self, key: &Fingerprint) -> Option<Vec<ProcedureSummary>> {
+        self.load_validated(key).map(|(_, summaries, _)| summaries)
+    }
+
+    fn store(&self, key: &Fingerprint, summaries: &[ProcedureSummary]) {
+        self.store_encoded(key, &encode_entry(key, summaries));
+    }
+
     fn evictions(&self) -> u64 {
         self.evicted.load(Ordering::Relaxed)
+    }
+
+    fn gc_evictions(&self) -> u64 {
+        self.gc_removed.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TieredStore: sharded in-memory LRU front, DiskStore back.
+// ---------------------------------------------------------------------------
+
+/// Sizing and expiry knobs of a [`TieredStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct TieredConfig {
+    /// Byte budget of the in-memory tier (serialized entry bytes, split
+    /// evenly across shards).  `None` = unbounded.  The same cap also
+    /// bounds the disk tier during [`TieredStore::gc`].
+    pub cap_bytes: Option<u64>,
+    /// Entries older than this are evicted instead of served (both tiers).
+    /// `None` = entries never expire.
+    pub max_age: Option<Duration>,
+    /// Number of independently-locked shards of the memory tier.
+    pub shards: usize,
+}
+
+impl Default for TieredConfig {
+    /// 64 MiB in memory, no expiry, 8 shards.
+    fn default() -> Self {
+        TieredConfig {
+            cap_bytes: Some(64 << 20),
+            max_age: None,
+            shards: 8,
+        }
+    }
+}
+
+/// One entry of the memory tier: validated serialized bytes plus the LRU
+/// clock and insertion time.
+struct MemEntry {
+    text: String,
+    last_used: u64,
+    inserted: Instant,
+}
+
+/// One lock's worth of the memory tier.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Fingerprint, MemEntry>,
+    bytes: u64,
+    /// Logical LRU clock: bumped on every touch, entries carry the stamp.
+    tick: u64,
+}
+
+/// A point-in-time snapshot of a [`TieredStore`]'s counters (all values
+/// cumulative since the store was opened, except the `mem_*` gauges).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierCounters {
+    /// Loads served by the in-memory tier (zero filesystem work).
+    pub mem_hits: u64,
+    /// Loads served by the disk tier (and promoted into memory).
+    pub disk_hits: u64,
+    /// Loads answered by neither tier.
+    pub misses: u64,
+    /// Entries written (to memory, and to disk when a disk tier exists).
+    pub stores: u64,
+    /// Times the disk tier was consulted at all (memory misses).
+    pub disk_probes: u64,
+    /// Memory-tier entries evicted by LRU pressure against the byte cap.
+    pub lru_evictions: u64,
+    /// Entries evicted (either tier) because they outlived `max_age`.
+    pub age_evictions: u64,
+    /// Entries discarded as corrupt (either tier).
+    pub corrupt_evictions: u64,
+    /// Disk entries removed by [`TieredStore::gc`] passes.
+    pub disk_gc_removed: u64,
+    /// Current number of entries in the memory tier.
+    pub mem_entries: u64,
+    /// Current serialized bytes held by the memory tier.
+    pub mem_bytes: u64,
+}
+
+/// A two-tier summary store: a sharded, byte-capped, LRU-evicting
+/// in-memory map in front of an optional [`DiskStore`].
+///
+/// * **Warm path** — a hit in the memory tier touches no filesystem state
+///   at all (the property `chora serve` relies on for its hot set; verified
+///   by the `disk_probes` counter staying flat).
+/// * **Promotion** — a disk hit re-validates the entry, promotes its bytes
+///   into the memory tier, and serves the decoded summaries.
+/// * **Eviction** — inserts that push a shard past its share of
+///   [`TieredConfig::cap_bytes`] evict least-recently-used entries;
+///   entries older than [`TieredConfig::max_age`] are dropped on sight,
+///   and [`TieredStore::gc`] sweeps both tiers proactively.
+///
+/// Because keys are content-addressed (a key names its content), eviction
+/// can never surface a stale summary — the worst case is a re-summarize.
+pub struct TieredStore {
+    shards: Vec<Mutex<Shard>>,
+    disk: Option<DiskStore>,
+    config: TieredConfig,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    disk_probes: AtomicU64,
+    lru_evictions: AtomicU64,
+    age_evictions: AtomicU64,
+    corrupt_evictions: AtomicU64,
+}
+
+impl TieredStore {
+    /// A tiered store over an already-open disk tier (`None` = memory only).
+    pub fn new(disk: Option<DiskStore>, config: TieredConfig) -> TieredStore {
+        let shards = config.shards.max(1);
+        TieredStore {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            disk,
+            config,
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            disk_probes: AtomicU64::new(0),
+            lru_evictions: AtomicU64::new(0),
+            age_evictions: AtomicU64::new(0),
+            corrupt_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Convenience: a tiered store whose disk tier lives under `root`.
+    pub fn open(root: impl AsRef<Path>, config: TieredConfig) -> std::io::Result<TieredStore> {
+        Ok(TieredStore::new(Some(DiskStore::open(root)?), config))
+    }
+
+    /// The disk tier, when one is configured.
+    pub fn disk(&self) -> Option<&DiskStore> {
+        self.disk.as_ref()
+    }
+
+    /// The sizing/expiry configuration this store resolved to.
+    pub fn config(&self) -> TieredConfig {
+        self.config
+    }
+
+    /// Snapshot of every counter (cumulative) and gauge (current).
+    pub fn counters(&self) -> TierCounters {
+        let (mem_entries, mem_bytes) = self
+            .shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("tiered store shard lock");
+                (shard.map.len() as u64, shard.bytes)
+            })
+            .fold((0, 0), |(e, b), (se, sb)| (e + se, b + sb));
+        TierCounters {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            disk_probes: self.disk_probes.load(Ordering::Relaxed),
+            lru_evictions: self.lru_evictions.load(Ordering::Relaxed),
+            age_evictions: self.age_evictions.load(Ordering::Relaxed),
+            corrupt_evictions: self.corrupt_evictions.load(Ordering::Relaxed)
+                + self.disk.as_ref().map_or(0, |d| d.evictions()),
+            disk_gc_removed: self.disk.as_ref().map_or(0, |d| d.gc_evictions()),
+            mem_entries,
+            mem_bytes,
+        }
+    }
+
+    /// One garbage-collection pass over both tiers: drops expired memory
+    /// entries and runs [`DiskStore::gc`] with this store's age and byte
+    /// limits.  Lock-free on the disk side; each memory shard is locked
+    /// only for its own sweep.
+    pub fn gc(&self) {
+        if let Some(max_age) = self.config.max_age {
+            for shard in &self.shards {
+                let mut shard = shard.lock().expect("tiered store shard lock");
+                let expired: Vec<Fingerprint> = shard
+                    .map
+                    .iter()
+                    .filter(|(_, e)| e.inserted.elapsed() > max_age)
+                    .map(|(k, _)| *k)
+                    .collect();
+                for key in expired {
+                    if let Some(entry) = shard.map.remove(&key) {
+                        shard.bytes = shard.bytes.saturating_sub(entry.text.len() as u64);
+                        self.age_evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        if let Some(disk) = &self.disk {
+            disk.gc(self.config.max_age, self.config.cap_bytes);
+        }
+    }
+
+    fn shard(&self, key: &Fingerprint) -> &Mutex<Shard> {
+        &self.shards[(key.0 % self.shards.len() as u128) as usize]
+    }
+
+    /// Each shard gets an even split of the byte budget.
+    fn shard_cap(&self) -> Option<u64> {
+        self.config
+            .cap_bytes
+            .map(|cap| (cap / self.shards.len() as u64).max(1))
+    }
+
+    /// Inserts validated serialized bytes into the memory tier, evicting
+    /// least-recently-used entries until the shard fits its cap again.
+    /// Entries bigger than a whole shard are not kept in memory at all.
+    /// `age` backdates the expiry clock for entries promoted from disk,
+    /// so `max_age` bounds an entry's *true* age, not its tier residency.
+    fn insert_mem(&self, key: &Fingerprint, text: String, age: Option<Duration>) {
+        let size = text.len() as u64;
+        if self.shard_cap().is_some_and(|cap| size > cap) {
+            return;
+        }
+        let inserted = age
+            .and_then(|a| Instant::now().checked_sub(a))
+            .unwrap_or_else(Instant::now);
+        let mut shard = self.shard(key).lock().expect("tiered store shard lock");
+        if let Some(old) = shard.map.remove(key) {
+            shard.bytes = shard.bytes.saturating_sub(old.text.len() as u64);
+        }
+        shard.tick += 1;
+        let stamp = shard.tick;
+        shard.map.insert(
+            *key,
+            MemEntry {
+                text,
+                last_used: stamp,
+                inserted,
+            },
+        );
+        shard.bytes += size;
+        if let Some(cap) = self.shard_cap() {
+            while shard.bytes > cap {
+                // The just-inserted entry can never be the LRU minimum: it
+                // carries the freshest stamp and fits the cap on its own.
+                let Some(victim) = shard
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k)
+                else {
+                    break;
+                };
+                if let Some(entry) = shard.map.remove(&victim) {
+                    shard.bytes = shard.bytes.saturating_sub(entry.text.len() as u64);
+                    self.lru_evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Memory-tier probe: serves a fresh hit, drops expired or corrupt
+    /// entries (falling through to the disk tier).
+    fn load_mem(&self, key: &Fingerprint) -> Option<Vec<ProcedureSummary>> {
+        let mut shard = self.shard(key).lock().expect("tiered store shard lock");
+        let expired = {
+            let entry = shard.map.get(key)?;
+            self.config
+                .max_age
+                .is_some_and(|limit| entry.inserted.elapsed() > limit)
+        };
+        if expired {
+            if let Some(entry) = shard.map.remove(key) {
+                shard.bytes = shard.bytes.saturating_sub(entry.text.len() as u64);
+                self.age_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            return None;
+        }
+        shard.tick += 1;
+        let stamp = shard.tick;
+        let entry = shard.map.get_mut(key).expect("entry checked above");
+        entry.last_used = stamp;
+        match decode_entry(&entry.text, key) {
+            Some(summaries) => {
+                self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                Some(summaries)
+            }
+            None => {
+                // Can only happen if memory was scribbled on — treat like
+                // disk corruption: evict and fall through.
+                if let Some(entry) = shard.map.remove(key) {
+                    shard.bytes = shard.bytes.saturating_sub(entry.text.len() as u64);
+                    self.corrupt_evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None
+            }
+        }
+    }
+}
+
+impl SummaryStore for TieredStore {
+    fn load(&self, key: &Fingerprint) -> Option<Vec<ProcedureSummary>> {
+        if let Some(summaries) = self.load_mem(key) {
+            return Some(summaries);
+        }
+        let Some(disk) = &self.disk else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        self.disk_probes.fetch_add(1, Ordering::Relaxed);
+        match disk.load_validated(key) {
+            Some((_, _, Some(age))) if self.config.max_age.is_some_and(|limit| age > limit) => {
+                disk.remove(key);
+                self.age_evictions.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Some((text, summaries, age)) => {
+                self.insert_mem(key, text, age);
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                Some(summaries)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: &Fingerprint, summaries: &[ProcedureSummary]) {
+        let encoded = encode_entry(key, summaries);
+        if let Some(disk) = &self.disk {
+            disk.store_encoded(key, &encoded);
+        }
+        self.insert_mem(key, encoded, None);
+        self.stores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn evictions(&self) -> u64 {
+        self.corrupt_evictions.load(Ordering::Relaxed)
+            + self.disk.as_ref().map_or(0, |d| d.evictions())
+    }
+
+    fn gc_evictions(&self) -> u64 {
+        self.lru_evictions.load(Ordering::Relaxed)
+            + self.age_evictions.load(Ordering::Relaxed)
+            + self.disk.as_ref().map_or(0, |d| d.gc_evictions())
     }
 }
 
@@ -251,6 +747,7 @@ mod tests {
         std::fs::write(&path, "{ definitely not a cache entry").expect("corrupt");
         assert!(store.load(&key).is_none());
         assert_eq!(store.evictions(), 1);
+        assert_eq!(store.gc_evictions(), 0, "corruption is not GC");
         assert!(!path.exists(), "corrupt entry must be deleted");
         // And the slot is usable again.
         store.store(&key, &[summary("f")]);
@@ -263,6 +760,177 @@ mod tests {
         let root = temp_dir("version");
         let store = DiskStore::open(&root).expect("open");
         assert!(store.dir().ends_with(format!("v{CACHE_VERSION}")));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn disk_gc_expires_by_age_and_caps_by_bytes() {
+        let root = temp_dir("gc");
+        let store = DiskStore::open(&root).expect("open");
+        for i in 0..4u128 {
+            store.store(&Fingerprint(i), &[summary(&format!("p{i}"))]);
+        }
+        // Nothing is older than an hour: the age pass removes nothing.
+        assert_eq!(store.gc(Some(Duration::from_secs(3600)), None), 0);
+        assert_eq!(store.gc_evictions(), 0);
+
+        // Age zero expires everything.
+        std::thread::sleep(Duration::from_millis(20));
+        let removed = store.gc(Some(Duration::ZERO), None);
+        assert_eq!(removed, 4);
+        assert_eq!(store.gc_evictions(), 4);
+        assert!(store.load(&Fingerprint(0)).is_none());
+        assert_eq!(
+            store.evictions(),
+            0,
+            "GC removals must not count as corruption evictions"
+        );
+
+        // Byte cap: refill, then shrink to a cap below the total.
+        for i in 0..4u128 {
+            store.store(&Fingerprint(i), &[summary(&format!("p{i}"))]);
+        }
+        let total = store.disk_bytes();
+        assert!(total > 0);
+        let removed = store.gc(None, Some(total / 2));
+        assert!(removed >= 1, "cap pass must delete oldest entries");
+        assert!(store.disk_bytes() <= total / 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tiered_store_serves_warm_hits_from_memory() {
+        let root = temp_dir("tiered-warm");
+        let store = TieredStore::open(&root, TieredConfig::default()).expect("open");
+        let key = Fingerprint(11);
+        assert!(store.load(&key).is_none());
+        store.store(&key, &[summary("f")]);
+        // First and every following load is a pure memory hit: the disk
+        // tier was probed exactly once (the initial miss).
+        assert_eq!(store.load(&key).expect("hit")[0].name, "f");
+        assert_eq!(store.load(&key).expect("hit")[0].name, "f");
+        let c = store.counters();
+        assert_eq!(c.mem_hits, 2);
+        assert_eq!(c.disk_probes, 1, "only the cold miss touched disk");
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.mem_entries, 1);
+        assert!(c.mem_bytes > 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tiered_store_promotes_disk_entries_into_memory() {
+        let root = temp_dir("tiered-promote");
+        let key = Fingerprint(12);
+        // A different handle (think: another process) populated the disk.
+        DiskStore::open(&root)
+            .expect("open")
+            .store(&key, &[summary("g")]);
+        let store = TieredStore::open(&root, TieredConfig::default()).expect("open");
+        assert_eq!(store.load(&key).expect("disk hit")[0].name, "g");
+        assert_eq!(store.load(&key).expect("mem hit")[0].name, "g");
+        let c = store.counters();
+        assert_eq!(c.disk_hits, 1);
+        assert_eq!(c.mem_hits, 1);
+        assert_eq!(c.disk_probes, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tiered_store_evicts_lru_under_byte_pressure() {
+        // One shard so the LRU order is global and observable; cap sized
+        // for roughly two entries.
+        let store = TieredStore::new(
+            None,
+            TieredConfig {
+                cap_bytes: None,
+                max_age: None,
+                shards: 1,
+            },
+        );
+        store.store(&Fingerprint(1), &[summary("a")]);
+        let entry_bytes = store.counters().mem_bytes;
+        let store = TieredStore::new(
+            None,
+            TieredConfig {
+                cap_bytes: Some(entry_bytes * 2 + entry_bytes / 2),
+                max_age: None,
+                shards: 1,
+            },
+        );
+        store.store(&Fingerprint(1), &[summary("a")]);
+        store.store(&Fingerprint(2), &[summary("b")]);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(store.load(&Fingerprint(1)).is_some());
+        store.store(&Fingerprint(3), &[summary("c")]);
+        let c = store.counters();
+        assert_eq!(c.lru_evictions, 1);
+        assert_eq!(c.mem_entries, 2);
+        assert!(store.load(&Fingerprint(1)).is_some(), "recently used stays");
+        assert!(store.load(&Fingerprint(3)).is_some(), "newest stays");
+        assert!(
+            store.load(&Fingerprint(2)).is_none(),
+            "least-recently-used entry must be the one evicted"
+        );
+        let c = store.counters();
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.corrupt_evictions, 0);
+    }
+
+    #[test]
+    fn promotion_preserves_an_entrys_true_age() {
+        let root = temp_dir("tiered-backdate");
+        let key = Fingerprint(31);
+        DiskStore::open(&root)
+            .expect("open")
+            .store(&key, &[summary("f")]);
+        // Entry is ~35ms old by the time the tiered handle promotes it.
+        std::thread::sleep(Duration::from_millis(35));
+        let store = TieredStore::open(
+            &root,
+            TieredConfig {
+                cap_bytes: None,
+                max_age: Some(Duration::from_millis(60)),
+                shards: 1,
+            },
+        )
+        .expect("open tiered");
+        assert!(store.load(&key).is_some(), "still within max_age");
+        // 35ms + 40ms > 60ms: the promoted copy must expire on its *true*
+        // age, not on time-since-promotion.
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(
+            store.load(&key).is_none(),
+            "promotion must not reset the expiry clock"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tiered_store_expires_entries_by_age() {
+        let root = temp_dir("tiered-age");
+        let store = TieredStore::open(
+            &root,
+            TieredConfig {
+                cap_bytes: None,
+                max_age: Some(Duration::from_millis(30)),
+                shards: 2,
+            },
+        )
+        .expect("open");
+        let key = Fingerprint(21);
+        store.store(&key, &[summary("f")]);
+        assert!(store.load(&key).is_some(), "fresh entry hits");
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(store.load(&key).is_none(), "expired entry must not hit");
+        let c = store.counters();
+        assert!(c.age_evictions >= 1, "expiry must be counted: {c:?}");
+        assert_eq!(c.corrupt_evictions, 0);
+        // gc() sweeps the disk tier too: after it, the directory is empty.
+        store.store(&key, &[summary("f")]);
+        std::thread::sleep(Duration::from_millis(60));
+        store.gc();
+        assert_eq!(store.disk().expect("disk tier").disk_bytes(), 0);
         let _ = std::fs::remove_dir_all(&root);
     }
 }

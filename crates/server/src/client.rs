@@ -1,0 +1,86 @@
+//! A one-shot HTTP/1.1 client, just big enough for `chora request` and the
+//! server-mode benchmarks: connect, send one request, read one
+//! `Connection: close` response.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How long the client waits for the server to produce a response (analyses
+/// of large programs are allowed to take a while).
+pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Sends one request and returns `(status, body)`.
+///
+/// `path_and_query` must already be percent-encoded (see
+/// [`crate::http::encode_query_component`]).
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path_and_query: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: text/plain\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Splits a raw `Connection: close` response into status and body.
+fn parse_response(raw: &[u8]) -> std::io::Result<(u16, String)> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response has no header terminator"))?;
+    let head =
+        std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("response head is not UTF-8"))?;
+    // Skip interim 1xx responses (the server sends `100 Continue` when the
+    // request carried `Expect`).
+    let status_line = head
+        .split("\r\n")
+        .next()
+        .ok_or_else(|| bad("empty response"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(&format!("malformed status line `{status_line}`")))?;
+    if (100..200).contains(&status) {
+        return parse_response(&raw[head_end + 4..]);
+    }
+    let body = String::from_utf8_lossy(&raw[head_end + 4..]).into_owned();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_parse_status_and_body() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi";
+        assert_eq!(parse_response(raw).unwrap(), (200, "hi".to_string()));
+    }
+
+    #[test]
+    fn interim_100_continue_is_skipped() {
+        let raw =
+            b"HTTP/1.1 100 Continue\r\n\r\nHTTP/1.1 400 Bad Request\r\n\r\n{\"error\": \"x\"}\n";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("error"));
+    }
+}

@@ -1,0 +1,361 @@
+//! A deliberately small HTTP/1.1 implementation over `std::net` — request
+//! parsing, response serialization, percent en/decoding, and JSON error
+//! bodies.  No keep-alive (every response carries `Connection: close`), no
+//! chunked transfer encoding, no TLS: exactly what a local analysis daemon
+//! and its bundled client need, with hard limits on head and body size so a
+//! misbehaving peer cannot wedge a worker.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body (a `.imp` source file).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+/// How long a worker waits for a slow client before giving up on the
+/// connection (reading the request or writing the response).
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed request: method, decoded path, decoded query pairs, lowercased
+/// headers, raw body.
+#[derive(Clone, Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub query: Vec<(String, String)>,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    pub fn body_utf8(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::bad_request("request body is not valid UTF-8"))
+    }
+}
+
+/// A request-level failure that maps onto an HTTP status.
+#[derive(Clone, Debug)]
+pub struct HttpError {
+    pub status: u16,
+    pub message: String,
+}
+
+impl HttpError {
+    pub fn bad_request(message: impl Into<String>) -> HttpError {
+        HttpError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// A response about to be serialized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub body: String,
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response with the given pre-rendered body.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "application/json",
+        }
+    }
+
+    /// The uniform JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, format!("{{\"error\": {}}}\n", json_string(message)))
+    }
+
+    /// Serializes onto the stream (`Connection: close` framing).
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Standard reason phrase of the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Renders a JSON string literal (quotes and control characters escaped).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Percent-encodes one query component (RFC 3986 unreserved set passes).
+pub fn encode_query_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' | b'/' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Decodes percent escapes (and `+` as space) in one query component.
+fn decode_component(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok());
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits and decodes a raw query string into key/value pairs.
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (decode_component(k), decode_component(v)),
+            None => (decode_component(part), String::new()),
+        })
+        .collect()
+}
+
+/// Reads and parses one request off the stream, enforcing the size limits
+/// and the I/O timeout.  Answers `Expect: 100-continue` inline so plain
+/// `curl` uploads work.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    // Read until the blank line terminating the head.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError {
+                status: 413,
+                message: "request head exceeds the size limit".to_string(),
+            });
+        }
+        let n = stream.read(&mut chunk).map_err(read_error)?;
+        if n == 0 {
+            return Err(HttpError::bad_request(
+                "connection closed before the request head was complete",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::bad_request("request head is not valid UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::bad_request("empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::bad_request("request line has no target"))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(HttpError::bad_request("only HTTP/1.x is supported")),
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::bad_request(format!("malformed header line `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::bad_request(
+            "chunked transfer encoding is not supported; send Content-Length",
+        ));
+    }
+    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| HttpError::bad_request(format!("invalid Content-Length `{v}`")))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError {
+            status: 413,
+            message: format!("request body of {content_length} bytes exceeds the limit"),
+        });
+    }
+    if headers
+        .iter()
+        .any(|(k, v)| k == "expect" && v.eq_ignore_ascii_case("100-continue"))
+    {
+        let _ = stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(read_error)?;
+        if n == 0 {
+            return Err(HttpError::bad_request(
+                "connection closed before the request body was complete",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Ok(Request {
+        method,
+        path: decode_component(raw_path),
+        query: parse_query(raw_query),
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn read_error(e: std::io::Error) -> HttpError {
+    let status = match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => 408,
+        _ => 400,
+    };
+    HttpError {
+        status,
+        message: format!("failed reading request: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_components_round_trip() {
+        for s in [
+            "examples/programs/hanoi.imp",
+            "name with spaces & symbols = 100%",
+            "plain",
+            "",
+        ] {
+            let enc = encode_query_component(s);
+            assert_eq!(decode_component(&enc), s, "via {enc}");
+        }
+    }
+
+    #[test]
+    fn query_strings_parse_into_pairs() {
+        let q = parse_query("file=a%2Fb.imp&jobs=4&flag");
+        assert_eq!(
+            q,
+            vec![
+                ("file".to_string(), "a/b.imp".to_string()),
+                ("jobs".to_string(), "4".to_string()),
+                ("flag".to_string(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_strings_escape_control_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn error_responses_are_json_envelopes() {
+        let r = Response::error(400, "oops: \"x\"");
+        assert_eq!(r.status, 400);
+        assert_eq!(r.body, "{\"error\": \"oops: \\\"x\\\"\"}\n");
+    }
+}

@@ -1,0 +1,308 @@
+//! # chora-server
+//!
+//! The daemon substrate behind `chora serve`: a hand-rolled, std-only
+//! HTTP/1.1 server over [`std::net::TcpListener`] with a fixed
+//! [worker-thread pool](pool::ThreadPool), a [request router](router), a
+//! [stats registry](stats::ServerStats), graceful shutdown
+//! (SIGINT/SIGTERM via [`signal`], or `POST /v1/shutdown`), and a
+//! [one-shot client](client) for `chora request` and benchmarks.
+//!
+//! The crate knows nothing about `.imp` programs: the analysis itself is
+//! injected through the [`AnalysisBackend`] trait, implemented by
+//! `chora_cli::serve` on top of the factored CLI driver — so the daemon
+//! never shells out, and the CLI binary avoids a dependency cycle
+//! (`chora-cli → chora-server`, backend flowing the other way as a trait
+//! object).
+//!
+//! ## Protocol
+//!
+//! | method | path             | body       | response                              |
+//! |--------|------------------|------------|---------------------------------------|
+//! | POST   | `/v1/analyze`    | `.imp` src | the `chora analyze --json` document   |
+//! | POST   | `/v1/complexity` | `.imp` src | the `chora complexity --json` document|
+//! | GET    | `/v1/healthz`    | —          | `{"status": "ok", ...}`               |
+//! | GET    | `/v1/stats`      | —          | request timings + cache counters      |
+//! | POST   | `/v1/shutdown`   | —          | `{"ok": true}`, then drain and exit   |
+//!
+//! Query parameters (`file`, `jobs`, `proc`, `cost`, `size`) parameterize
+//! the analysis exactly like the CLI flags of the same names.  Errors are
+//! always JSON envelopes `{"error": "..."}` with a 4xx/5xx status; a
+//! malformed request can never take a worker down.
+
+pub mod client;
+pub mod http;
+pub mod pool;
+pub mod router;
+pub mod signal;
+pub mod stats;
+
+use http::{read_request, Request, Response};
+use pool::ThreadPool;
+use router::{route, Endpoint};
+use stats::ServerStats;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often the accept loop re-checks the shutdown flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// The analysis service the daemon hosts, implemented by the CLI crate on
+/// top of its factored driver.
+///
+/// `analyze`/`complexity` take the request's query parameters and the
+/// `.imp` source from the body, and return the *identical* JSON document
+/// the corresponding CLI subcommand prints (an `Err` becomes a 400 with a
+/// JSON error envelope).  `cache_counters` feeds the `"cache"` section of
+/// `/v1/stats`; `maintain` runs on the housekeeping thread every
+/// `maintenance_interval` (cache GC).
+pub trait AnalysisBackend: Send + Sync + 'static {
+    /// `POST /v1/analyze`.
+    fn analyze(&self, query: &[(String, String)], source: &str) -> Result<String, String>;
+
+    /// `POST /v1/complexity`.
+    fn complexity(&self, query: &[(String, String)], source: &str) -> Result<String, String>;
+
+    /// Name/value pairs rendered under `"cache"` in `/v1/stats`.
+    fn cache_counters(&self) -> Vec<(&'static str, u64)>;
+
+    /// Periodic maintenance hook (e.g. a store GC pass).
+    fn maintain(&self) {}
+
+    /// How often [`maintain`](AnalysisBackend::maintain) should run;
+    /// `None` disables the housekeeping thread.
+    fn maintenance_interval(&self) -> Option<Duration> {
+        None
+    }
+}
+
+/// Daemon configuration (`chora serve` flags).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7557` (port 0 = ephemeral).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Suppress the per-request stderr log line.
+    pub quiet: bool,
+    /// Install the SIGINT/SIGTERM handler (the CLI path; tests and
+    /// embedded servers leave the process signal state alone).
+    pub handle_signals: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7557".to_string(),
+            workers: 4,
+            quiet: false,
+            handle_signals: false,
+        }
+    }
+}
+
+/// A running daemon spawned with [`spawn`]: the bound address plus the
+/// handles to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the daemon actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and waits for the drain to finish.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Binds and serves on the calling thread until shutdown (signal or
+/// `POST /v1/shutdown`).  This is the `chora serve` entry point.
+pub fn run(config: ServerConfig, backend: Arc<dyn AnalysisBackend>) -> std::io::Result<()> {
+    let listener = TcpListener::bind(&config.addr)?;
+    if config.handle_signals {
+        signal::install();
+    }
+    if !config.quiet {
+        eprintln!(
+            "chora serve: listening on http://{} ({} workers)",
+            listener.local_addr()?,
+            config.workers.max(1)
+        );
+    }
+    let shutdown = Arc::new(AtomicBool::new(false));
+    serve_on(listener, &config, backend, shutdown);
+    Ok(())
+}
+
+/// Binds, then serves on a background thread; returns once the socket is
+/// live.  This is the test/bench entry point (ephemeral ports).
+pub fn spawn(
+    config: ServerConfig,
+    backend: Arc<dyn AnalysisBackend>,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let thread = std::thread::Builder::new()
+        .name("chora-serve".to_string())
+        .spawn(move || serve_on(listener, &config, backend, flag))?;
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        thread: Some(thread),
+    })
+}
+
+/// The accept loop: non-blocking accept + shutdown-flag poll, one pool job
+/// per connection.  Returns only after every accepted connection has been
+/// answered (the pool drains on drop).
+fn serve_on(
+    listener: TcpListener,
+    config: &ServerConfig,
+    backend: Arc<dyn AnalysisBackend>,
+    shutdown: Arc<AtomicBool>,
+) {
+    listener
+        .set_nonblocking(true)
+        .expect("listener nonblocking mode");
+    let pool = ThreadPool::new(config.workers);
+    let stats = Arc::new(ServerStats::new());
+    let housekeeping = backend.maintenance_interval().map(|interval| {
+        let backend = Arc::clone(&backend);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("chora-housekeeping".to_string())
+            .spawn(move || {
+                let mut last = Instant::now();
+                while !shutdown.load(Ordering::SeqCst) && !signal::signalled() {
+                    std::thread::sleep(ACCEPT_POLL.max(Duration::from_millis(20)));
+                    if last.elapsed() >= interval {
+                        backend.maintain();
+                        last = Instant::now();
+                    }
+                }
+            })
+            .expect("spawn housekeeping thread")
+    });
+
+    while !shutdown.load(Ordering::SeqCst) && !signal::signalled() {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                // On several platforms (BSD, macOS, Windows) accepted
+                // sockets inherit the listener's non-blocking mode; the
+                // workers want plain blocking reads with timeouts.
+                let _ = stream.set_nonblocking(false);
+                let backend = Arc::clone(&backend);
+                let stats = Arc::clone(&stats);
+                let shutdown = Arc::clone(&shutdown);
+                let quiet = config.quiet;
+                pool.execute(move || {
+                    handle_connection(stream, peer, &*backend, &stats, &shutdown, quiet)
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    if !config.quiet {
+        eprintln!("chora serve: draining in-flight requests");
+    }
+    drop(pool); // Joins the workers: every accepted request gets its answer.
+    if let Some(thread) = housekeeping {
+        let _ = thread.join();
+    }
+}
+
+/// Reads one request, dispatches it, writes the response, records stats.
+fn handle_connection(
+    mut stream: TcpStream,
+    peer: SocketAddr,
+    backend: &dyn AnalysisBackend,
+    stats: &ServerStats,
+    shutdown: &AtomicBool,
+    quiet: bool,
+) {
+    let started = Instant::now();
+    let (endpoint_label, response) = match read_request(&mut stream) {
+        Ok(request) => dispatch(&request, backend, stats, shutdown),
+        Err(e) => ("<malformed>", Response::error(e.status, &e.message)),
+    };
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    stats.record(endpoint_label, response.status, elapsed_ms);
+    let _ = response.write_to(&mut stream);
+    if !quiet {
+        eprintln!(
+            "chora serve: {peer} {endpoint_label} {} {elapsed_ms:.1}ms",
+            response.status
+        );
+    }
+}
+
+/// Routes and executes one well-formed request, returning the response
+/// plus the stats label — the endpoint's canonical path, or a fixed
+/// `<unrouted>` bucket, so probing arbitrary paths cannot grow the stats
+/// map without bound.
+fn dispatch(
+    request: &Request,
+    backend: &dyn AnalysisBackend,
+    stats: &ServerStats,
+    shutdown: &AtomicBool,
+) -> (&'static str, Response) {
+    let endpoint = match route(&request.method, &request.path) {
+        Ok(endpoint) => endpoint,
+        Err(response) => return ("<unrouted>", response),
+    };
+    let response = match endpoint {
+        Endpoint::Healthz => Response::json(
+            200,
+            format!(
+                "{{\"status\": \"ok\", \"uptime_ms\": {:.3}}}\n",
+                stats.uptime_ms()
+            ),
+        ),
+        Endpoint::Stats => Response::json(200, stats.to_json(&backend.cache_counters())),
+        Endpoint::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            Response::json(200, "{\"ok\": true, \"draining\": true}\n")
+        }
+        Endpoint::Analyze | Endpoint::Complexity => {
+            let source = match request.body_utf8() {
+                Ok(source) => source,
+                Err(e) => return (endpoint.path(), Response::error(e.status, &e.message)),
+            };
+            let result = if endpoint == Endpoint::Analyze {
+                backend.analyze(&request.query, source)
+            } else {
+                backend.complexity(&request.query, source)
+            };
+            match result {
+                Ok(body) => Response::json(200, body),
+                Err(message) => Response::error(400, &message),
+            }
+        }
+    };
+    (endpoint.path(), response)
+}

@@ -1,0 +1,102 @@
+//! The request router: maps `(method, path)` onto the service's endpoints.
+
+use crate::http::Response;
+
+/// The JSON endpoints `chora serve` exposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/analyze` — full analysis report of the `.imp` body.
+    Analyze,
+    /// `POST /v1/complexity` — Table 1 view of the `.imp` body.
+    Complexity,
+    /// `GET /v1/healthz` — liveness probe.
+    Healthz,
+    /// `GET /v1/stats` — request timings and cache counters.
+    Stats,
+    /// `POST /v1/shutdown` — graceful drain-and-exit.
+    Shutdown,
+}
+
+impl Endpoint {
+    /// The canonical path of the endpoint.
+    pub fn path(self) -> &'static str {
+        match self {
+            Endpoint::Analyze => "/v1/analyze",
+            Endpoint::Complexity => "/v1/complexity",
+            Endpoint::Healthz => "/v1/healthz",
+            Endpoint::Stats => "/v1/stats",
+            Endpoint::Shutdown => "/v1/shutdown",
+        }
+    }
+
+    /// The only method the endpoint answers.
+    pub fn method(self) -> &'static str {
+        match self {
+            Endpoint::Analyze | Endpoint::Complexity | Endpoint::Shutdown => "POST",
+            Endpoint::Healthz | Endpoint::Stats => "GET",
+        }
+    }
+
+    /// All endpoints, for routing and usage messages.
+    pub fn all() -> [Endpoint; 5] {
+        [
+            Endpoint::Analyze,
+            Endpoint::Complexity,
+            Endpoint::Healthz,
+            Endpoint::Stats,
+            Endpoint::Shutdown,
+        ]
+    }
+
+    /// Resolves an endpoint from its CLI name (`chora request <endpoint>`).
+    pub fn from_name(name: &str) -> Option<Endpoint> {
+        Endpoint::all()
+            .into_iter()
+            .find(|e| e.path().trim_start_matches("/v1/") == name)
+    }
+}
+
+/// Routes a request line onto an endpoint, or produces the matching 404/405
+/// JSON error response.
+pub fn route(method: &str, path: &str) -> Result<Endpoint, Response> {
+    match Endpoint::all().into_iter().find(|e| e.path() == path) {
+        Some(endpoint) if endpoint.method() == method => Ok(endpoint),
+        Some(endpoint) => Err(Response::error(
+            405,
+            &format!("{path} expects {}, got {method}", endpoint.method()),
+        )),
+        None => Err(Response::error(
+            404,
+            &format!(
+                "no such endpoint `{path}`; available: {}",
+                Endpoint::all().map(|e| e.path()).join(", ")
+            ),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_every_endpoint_by_method_and_path() {
+        for endpoint in Endpoint::all() {
+            assert_eq!(route(endpoint.method(), endpoint.path()), Ok(endpoint));
+        }
+    }
+
+    #[test]
+    fn wrong_method_is_405_unknown_path_is_404() {
+        assert_eq!(route("GET", "/v1/analyze").unwrap_err().status, 405);
+        assert_eq!(route("POST", "/v1/healthz").unwrap_err().status, 405);
+        assert_eq!(route("GET", "/nope").unwrap_err().status, 404);
+    }
+
+    #[test]
+    fn endpoint_names_resolve() {
+        assert_eq!(Endpoint::from_name("analyze"), Some(Endpoint::Analyze));
+        assert_eq!(Endpoint::from_name("stats"), Some(Endpoint::Stats));
+        assert_eq!(Endpoint::from_name("bogus"), None);
+    }
+}

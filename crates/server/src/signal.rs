@@ -1,0 +1,53 @@
+//! SIGINT/SIGTERM handling for graceful shutdown.
+//!
+//! The handler only flips a process-wide atomic flag (the one async-signal-
+//! safe thing worth doing); the accept loop polls it between accepts.  This
+//! is the single place in the workspace that needs `unsafe` (registering a
+//! C signal handler has no safe std API), so the workspace-wide
+//! `unsafe_code = "deny"` lint is locally re-allowed for exactly that.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT or SIGTERM has been received since [`install`].
+pub fn signalled() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}
+
+/// Installs the SIGINT/SIGTERM → flag handler (idempotent; no-op on
+/// platforms without POSIX signals).
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        super::SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // POSIX `signal(2)`, linked from libc (std already links it).
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}

@@ -1,0 +1,132 @@
+//! Request accounting for `GET /v1/stats`: per-endpoint counts and
+//! wall-clock timings, status-class counters, and the uptime clock.
+
+use crate::http::json_string;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Aggregate timings of one endpoint.
+#[derive(Clone, Copy, Debug, Default)]
+struct EndpointStats {
+    count: u64,
+    total_ms: f64,
+    max_ms: f64,
+}
+
+/// Shared, thread-safe request accounting.
+pub struct ServerStats {
+    started: Instant,
+    endpoints: Mutex<BTreeMap<String, EndpointStats>>,
+    ok: AtomicU64,
+    client_errors: AtomicU64,
+    server_errors: AtomicU64,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats::new()
+    }
+}
+
+impl ServerStats {
+    pub fn new() -> ServerStats {
+        ServerStats {
+            started: Instant::now(),
+            endpoints: Mutex::new(BTreeMap::new()),
+            ok: AtomicU64::new(0),
+            client_errors: AtomicU64::new(0),
+            server_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one finished request.
+    pub fn record(&self, endpoint: &str, status: u16, elapsed_ms: f64) {
+        match status {
+            200..=299 => &self.ok,
+            400..=499 => &self.client_errors,
+            _ => &self.server_errors,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let mut endpoints = self.endpoints.lock().expect("stats lock");
+        let entry = endpoints.entry(endpoint.to_string()).or_default();
+        entry.count += 1;
+        entry.total_ms += elapsed_ms;
+        entry.max_ms = entry.max_ms.max(elapsed_ms);
+    }
+
+    /// Milliseconds since the server started.
+    pub fn uptime_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Renders the full `/v1/stats` document, merging in the backend's
+    /// cache counters (name/value pairs rendered under `"cache"`).
+    pub fn to_json(&self, cache_counters: &[(&'static str, u64)]) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"uptime_ms\": {:.3},", self.uptime_ms());
+        let _ = writeln!(
+            out,
+            "  \"responses\": {{\"ok\": {}, \"client_errors\": {}, \"server_errors\": {}}},",
+            self.ok.load(Ordering::Relaxed),
+            self.client_errors.load(Ordering::Relaxed),
+            self.server_errors.load(Ordering::Relaxed)
+        );
+        out.push_str("  \"requests\": {");
+        let endpoints = self.endpoints.lock().expect("stats lock");
+        let mut first = true;
+        for (endpoint, s) in endpoints.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let mean = if s.count > 0 {
+                s.total_ms / s.count as f64
+            } else {
+                0.0
+            };
+            let _ = write!(
+                out,
+                "\n    {}: {{\"count\": {}, \"total_ms\": {:.3}, \"mean_ms\": {:.3}, \"max_ms\": {:.3}}}",
+                json_string(endpoint),
+                s.count,
+                s.total_ms,
+                mean,
+                s.max_ms
+            );
+        }
+        drop(endpoints);
+        out.push_str("\n  },\n  \"cache\": {");
+        for (i, (name, value)) in cache_counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{name}\": {value}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_json_includes_endpoints_and_cache_counters() {
+        let stats = ServerStats::new();
+        stats.record("/v1/analyze", 200, 12.5);
+        stats.record("/v1/analyze", 400, 0.5);
+        stats.record("/v1/healthz", 200, 0.1);
+        let doc = stats.to_json(&[("mem_hits", 3), ("disk_probes", 1)]);
+        assert!(doc.contains("\"/v1/analyze\": {\"count\": 2"), "{doc}");
+        assert!(doc.contains("\"/v1/healthz\""), "{doc}");
+        assert!(doc.contains("\"ok\": 2"), "{doc}");
+        assert!(doc.contains("\"client_errors\": 1"), "{doc}");
+        assert!(doc.contains("\"mem_hits\": 3"), "{doc}");
+        assert!(doc.contains("\"disk_probes\": 1"), "{doc}");
+    }
+}
