@@ -232,6 +232,13 @@ pub fn analyze_with_stats(
 /// [`DiskStore`], `chora serve` its resident
 /// [`TieredStore`](chora_core::TieredStore).  This is the function the
 /// server calls directly, so the daemon never shells out.
+///
+/// The analyzer threads its per-component fresh-symbol scope assignment
+/// (a [`chora_core::ScopeResolver`]) through every store operation, so
+/// entries are independent of the bottom-up component order and restored
+/// summaries are rescoped into the current run on load — a daemon's store
+/// can therefore serve an unchanged cone to *any* program that contains
+/// it, wherever the procedures sit in the file.
 pub fn analyze_source(
     name: &str,
     src: &str,

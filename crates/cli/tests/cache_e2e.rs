@@ -125,6 +125,69 @@ fn editing_a_leaf_reanalyzes_only_its_dependents() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `layered_program` with an unrelated procedure inserted at `position`
+/// among the existing ones (0 = first): same components plus one, shifted
+/// through the bottom-up schedule.
+fn padded_program(leaf_increment: i64, position: usize) -> String {
+    let pad = "proc unrelated(n) locals q {\n    q := n / 2;\n    cost := cost + q;\n}\n";
+    let base = layered_program(leaf_increment);
+    let mut pieces: Vec<&str> = base.split("proc ").collect();
+    // pieces[0] is the globals header; procedure i lives at pieces[i + 1].
+    let mut out = String::from(pieces.remove(0));
+    pieces.insert(position, pad.trim_start_matches("proc "));
+    for p in pieces {
+        out.push_str("proc ");
+        out.push_str(p.trim_end());
+        out.push_str("\n\n");
+    }
+    out
+}
+
+#[test]
+fn prepending_a_procedure_keeps_preexisting_components_warm() {
+    let dir = scratch("prepend");
+    let cache = dir.join("cache");
+    let path = dir.join("prog.imp").display().to_string();
+    let run = |src: &str, no_cache: bool| {
+        std::fs::write(&path, src).expect("write program");
+        analyze_with_stats(&FileOptions {
+            no_cache,
+            procedure: Some("main".to_string()),
+            ..opts(&path, Some(&cache))
+        })
+        .expect("analyze")
+    };
+
+    let (_, _, stats) = run(&layered_program(1), false);
+    assert_eq!(stats.expect("stats").misses, 3, "leaf, other, main");
+
+    // Prepend an unrelated procedure: every preexisting component shifts
+    // one slot down the bottom-up schedule, yet all of them must hit — only
+    // the newcomer is summarized — and stdout must match a from-scratch
+    // analysis of the new program byte for byte.
+    let (warm_out, warm_exit, stats) = run(&padded_program(1, 0), false);
+    let stats = stats.expect("stats");
+    assert_eq!(
+        stats.misses, 1,
+        "only the prepended component may miss: {stats}"
+    );
+    assert_eq!(stats.hits, 3, "every preexisting component must hit");
+    assert_eq!(stats.evictions, 0);
+    let (fresh_out, fresh_exit, _) = run(&padded_program(1, 0), true);
+    assert_eq!(strip_timing(&warm_out), strip_timing(&fresh_out));
+    assert_eq!(warm_exit, fresh_exit);
+
+    // Reordering the same procedures (the pad moved to the end) changes
+    // nothing content-wise: 100% hits, byte-identical output again.
+    let (moved_out, _, stats) = run(&padded_program(1, 3), false);
+    let stats = stats.expect("stats");
+    assert_eq!(stats.misses, 0, "a pure reorder must be all hits: {stats}");
+    assert_eq!(stats.hits, 4);
+    let (moved_fresh, _, _) = run(&padded_program(1, 3), true);
+    assert_eq!(strip_timing(&moved_out), strip_timing(&moved_fresh));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn corrupted_and_version_mismatched_entries_are_evicted_not_fatal() {
     let dir = scratch("corrupt");
@@ -132,7 +195,7 @@ fn corrupted_and_version_mismatched_entries_are_evicted_not_fatal() {
     let path = example("hanoi.imp");
 
     let (cold_out, _, _) = analyze_with_stats(&opts(&path, Some(&cache))).expect("cold run");
-    let entries_dir = cache.join("v1");
+    let entries_dir = cache.join(format!("v{}", chora_core::cache::CACHE_VERSION));
     let entries: Vec<PathBuf> = std::fs::read_dir(&entries_dir)
         .expect("cache dir exists")
         .map(|e| e.unwrap().path())
@@ -146,7 +209,7 @@ fn corrupted_and_version_mismatched_entries_are_evicted_not_fatal() {
             1 => std::fs::write(entry, "complete garbage").unwrap(),
             _ => {
                 let text = std::fs::read_to_string(entry).unwrap();
-                std::fs::write(entry, text.replace("\"version\":1", "\"version\":99")).unwrap();
+                std::fs::write(entry, text.replace("\"version\":2", "\"version\":99")).unwrap();
             }
         }
     }

@@ -231,6 +231,40 @@ proptest! {
         );
     }
 
+    /// Component keys are independent of where a component sits in the
+    /// program: prepending an unrelated procedure (which used to shift
+    /// every later component's fresh-symbol scope and thereby its key)
+    /// leaves every preexisting key untouched.
+    #[test]
+    fn prepending_an_unrelated_procedure_preserves_all_keys(seed in any::<u64>()) {
+        let mut g = Gen::new(seed.wrapping_add(17));
+        let program = gen_program(seed);
+        let mut padded = Program::new();
+        for global in &program.globals {
+            padded.add_global(&global.to_string());
+        }
+        padded.add_procedure(Procedure::new(
+            "zz_unrelated",
+            &["n"],
+            &[],
+            gen_stmt(&mut g, 2, &[]),
+        ));
+        for proc in &program.procedures {
+            padded.add_procedure(proc.clone());
+        }
+        let salt = Fingerprint(11);
+        let before = procedure_keys(&program, salt);
+        let after = procedure_keys(&padded, salt);
+        for proc in &program.procedures {
+            prop_assert_eq!(
+                before[&proc.name], after[&proc.name],
+                "`{}` changed key although only an unrelated procedure was prepended",
+                proc.name
+            );
+        }
+        prop_assert!(after.contains_key("zz_unrelated"));
+    }
+
     /// Editing one procedure dirties exactly that procedure and its
     /// transitive callers.
     #[test]

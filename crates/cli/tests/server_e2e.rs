@@ -185,6 +185,38 @@ fn malformed_requests_get_json_error_envelopes() {
     let _ = stream.read_to_string(&mut response);
     assert!(response.starts_with("HTTP/1.1 400"), "{response}");
 
+    // Conflicting duplicate Content-Length headers: 400 with a JSON
+    // envelope (first-wins would be a request-smuggling hazard).
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(
+            b"POST /v1/analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\
+              Content-Length: 2\r\nConnection: close\r\n\r\nabcd",
+        )
+        .expect("write");
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(
+        response.contains("conflicting duplicate Content-Length"),
+        "{response}"
+    );
+
+    // ... while duplicates that agree are harmless.
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(
+            b"POST /v1/healthz HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\
+              Content-Length: 0\r\nConnection: close\r\n\r\n",
+        )
+        .expect("write");
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    assert!(
+        response.starts_with("HTTP/1.1 405") || response.starts_with("HTTP/1.1 200"),
+        "agreeing duplicates must not 400: {response}"
+    );
+
     handle.shutdown();
 }
 

@@ -8,6 +8,7 @@
 //! depth bound as in Eqn. (4).  A final pass re-analyses each procedure body
 //! with the computed summaries to discharge assertions.
 
+use crate::cache::ComponentScopes;
 use crate::complexity::term_to_polynomial;
 use crate::depth::{depth_bound, polynomial_to_term, DepthBound};
 use crate::height::{analyze_scc, HeightAnalysis};
@@ -184,10 +185,16 @@ impl Analyzer {
     /// the cached summaries — skipping intra-procedural summarization and
     /// height/depth/recurrence solving for the component entirely — while
     /// assertion checking still runs against the restored summaries.  Only
-    /// the dirty cone (components whose own body, callee cone, analysis
-    /// configuration, or deterministic symbol scope changed) is
-    /// re-summarized and re-stored.  The analysis result, including every
-    /// byte of the derived reports, is identical with and without a store.
+    /// the dirty cone (components whose own body, callee cone, or analysis
+    /// configuration changed) is re-summarized and re-stored; in particular
+    /// a component's *position* in the bottom-up schedule is not part of
+    /// its key — prepending or reordering unrelated procedures keeps every
+    /// unchanged cone warm.  Restored summaries are rescoped on load: the
+    /// per-component fresh-symbol scope the driver assigned *this* run is
+    /// threaded to the store through a [`ComponentScopes`] resolver, so
+    /// hits are bit-compatible with a cold run of the current program.
+    /// The analysis result, including every byte of the derived reports,
+    /// is identical with and without a store.
     pub fn analyze_with_store(
         &self,
         program: &Program,
@@ -197,6 +204,11 @@ impl Analyzer {
         let levels = callgraph.component_levels();
         let keys =
             store.map(|_| level_keys(program, &callgraph, &levels, self.cache_salt(program)));
+        // This run's component-key <-> scope assignment, in the same
+        // flattened bottom-up order in which scopes are handed out below.
+        // Loads use it to rescope restored fresh symbols into the current
+        // schedule; stores use it to write scope-canonical entries.
+        let run_scopes = keys.as_ref().map(|k| ComponentScopes::from_level_keys(k));
         // `SummaryStore::evictions`/`gc_evictions` count over the store's
         // lifetime; report only this run's deltas (stores are reused across
         // bench runs and live for a whole `chora serve` process).
@@ -214,19 +226,21 @@ impl Analyzer {
             let scopes: Vec<u32> = (0..level.len() as u32).map(|i| next_scope + i).collect();
             next_scope += level.len() as u32;
             // One task per component: probe the store (loads — disk read,
-            // decode, re-intern — run concurrently too), summarize on a
-            // miss.  Same-level components never call each other, so a
+            // decode, rescope, re-intern — run concurrently too), summarize
+            // on a miss.  Same-level components never call each other, so a
             // task never needs a sibling's restored summary.
             let outputs = parallel_map(jobs, level.len(), |i| {
-                if let (Some(store), Some(keys)) = (store, &keys) {
+                if let (Some(store), Some(keys), Some(run_scopes)) = (store, &keys, &run_scopes) {
                     let component = &level[i];
-                    let hit = store.load(&keys[level_index][i]).filter(|summaries| {
-                        summaries.len() == component.members.len()
-                            && summaries
-                                .iter()
-                                .zip(&component.members)
-                                .all(|(s, m)| &s.name == m)
-                    });
+                    let hit = store
+                        .load(&keys[level_index][i], run_scopes)
+                        .filter(|summaries| {
+                            summaries.len() == component.members.len()
+                                && summaries
+                                    .iter()
+                                    .zip(&component.members)
+                                    .all(|(s, m)| &s.name == m)
+                        });
                     if let Some(summaries) = hit {
                         return ComponentOutput {
                             summaries,
@@ -247,8 +261,9 @@ impl Analyzer {
                     result.cache.misses += store.is_some() as u64;
                     result.timings.summarize_ms += output.summarize_ms;
                     result.timings.solve_ms += output.solve_ms;
-                    if let (Some(store), Some(keys)) = (store, &keys) {
-                        store.store(&keys[level_index][i], &output.summaries);
+                    if let (Some(store), Some(keys), Some(run_scopes)) = (store, &keys, &run_scopes)
+                    {
+                        store.store(&keys[level_index][i], &output.summaries, run_scopes);
                     }
                 }
                 for summary in output.summaries {
@@ -290,13 +305,14 @@ impl Analyzer {
     }
 
     /// The fingerprint salt capturing everything outside the procedure
-    /// bodies that a summary depends on: the cache-format generation, the
-    /// analysis knobs (except `jobs`, which never changes the result), and
-    /// the global-variable vocabulary in declaration order (it fixes the
+    /// bodies that a summary depends on: the key-derivation generation
+    /// (v2 dropped the bottom-up scope from component keys), the analysis
+    /// knobs (except `jobs`, which never changes the result), and the
+    /// global-variable vocabulary in declaration order (it fixes the
     /// summarizer's variable order).
     fn cache_salt(&self, program: &Program) -> Fingerprint {
         let mut b = FingerprintBuilder::new();
-        b.write_str("chora-analysis-salt-v1");
+        b.write_str("chora-analysis-salt-v2");
         b.write_bool(self.config.enable_depth_bounds);
         b.write_bool(self.config.enable_polynomial_facts);
         b.write_u64(self.config.disjunct_cap as u64);
@@ -772,6 +788,107 @@ mod tests {
         assert_eq!(warm.cache.hits, 1, "hanoi must be restored from cache");
         assert_eq!(warm.cache.misses, 2, "leaf and main must be re-summarized");
         same_analysis(&warm, &analyzer.analyze(&edited));
+    }
+
+    #[test]
+    fn prepending_a_procedure_keeps_every_existing_component_warm() {
+        let analyzer = Analyzer::new();
+        let store = MemoryStore::new();
+        let cold = analyzer.analyze_with_store(&cached_program(1), Some(&store));
+        assert_eq!(cold.cache.misses, 3);
+        // The same three procedures, with an unrelated one slotted in
+        // first: every preexisting component shifts one scope down the
+        // bottom-up schedule, but their cones are unchanged — all three
+        // must hit, and only the newcomer is summarized.
+        let mut shifted = Program::new();
+        shifted.add_global("cost");
+        shifted.add_procedure(Procedure::new(
+            "newcomer",
+            &["n"],
+            &[],
+            Stmt::assign("cost", Expr::var("cost").add(Expr::int(9))),
+        ));
+        for proc in cached_program(1).procedures {
+            shifted.add_procedure(proc);
+        }
+        let warm = analyzer.analyze_with_store(&shifted, Some(&store));
+        assert_eq!(
+            warm.cache.hits, 3,
+            "order shift must not evict unchanged cones: {}",
+            warm.cache
+        );
+        assert_eq!(warm.cache.misses, 1, "only `newcomer` is new");
+        assert_eq!(warm.cache.evictions, 0);
+        same_analysis(&warm, &analyzer.analyze(&shifted));
+    }
+
+    #[test]
+    fn restored_fresh_symbols_are_rescoped_into_the_new_schedule() {
+        // Division inside an `assume` leaves a fresh quotient symbol in the
+        // callee's summary, which leaks into its callers' summaries — the
+        // case where restored entries genuinely mention foreign scopes and
+        // rescope-on-load must translate them component by component.
+        let build = |prepend: bool| {
+            let mut prog = Program::new();
+            prog.add_global("cost");
+            if prepend {
+                prog.add_procedure(Procedure::new(
+                    "pad",
+                    &["n"],
+                    &[],
+                    Stmt::assign("cost", Expr::var("cost").add(Expr::int(1))),
+                ));
+            }
+            prog.add_procedure(Procedure::new(
+                "halver",
+                &["n"],
+                &[],
+                Stmt::seq(vec![
+                    Stmt::Assume(Cond::gt(Expr::var("n").div(2), Expr::int(0))),
+                    Stmt::assign("cost", Expr::var("cost").add(Expr::var("n"))),
+                ]),
+            ));
+            prog.add_procedure(Procedure::new(
+                "caller",
+                &["n"],
+                &[],
+                Stmt::call("halver", vec![Expr::var("n")]),
+            ));
+            prog.add_procedure(Procedure::new(
+                "main",
+                &["n"],
+                &[],
+                Stmt::seq(vec![
+                    Stmt::call("caller", vec![Expr::var("n")]),
+                    Stmt::Assert(
+                        Cond::ge(Expr::var("cost"), Expr::int(0)).or(Cond::Nondet),
+                        "trivial".to_string(),
+                    ),
+                ]),
+            ));
+            prog
+        };
+        let analyzer = Analyzer::new();
+        let store = MemoryStore::new();
+        let cold = analyzer.analyze_with_store(&build(false), Some(&store));
+        assert_eq!(cold.cache.misses, 3);
+        // The summaries really do carry fresh symbols (the quotient), or
+        // this test would not exercise the rescope path at all.
+        assert!(
+            cold.summaries["caller"]
+                .formula
+                .symbols()
+                .iter()
+                .any(|s| matches!(s.kind(), chora_expr::SymbolKind::Fresh { .. })),
+            "expected a leaked fresh quotient symbol in caller's summary"
+        );
+        let warm = analyzer.analyze_with_store(&build(true), Some(&store));
+        assert_eq!(warm.cache.hits, 3, "shifted cones must stay warm");
+        assert_eq!(warm.cache.misses, 1);
+        assert_eq!(warm.cache.evictions, 0);
+        // Bit-compatible with a cold run of the shifted program — including
+        // the rescoped fresh symbols inside the restored summaries.
+        same_analysis(&warm, &analyzer.analyze(&build(true)));
     }
 
     #[test]

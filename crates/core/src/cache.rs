@@ -14,6 +14,24 @@
 //! `"num"` / `"num/den"` strings so no precision is lost.  Every decoder is
 //! fallible: a corrupted or version-mismatched document yields `None` and
 //! the caller discards the cache entry — corruption is never fatal.
+//!
+//! # Scope-independent entries and rescope-on-load
+//!
+//! Fresh existential symbols carry a `(scope, serial)` pair where the scope
+//! is the component's index in the driver's bottom-up schedule — a number
+//! that shifts whenever a procedure is inserted or reordered, even though
+//! the component's content is untouched.  To keep cache entries (and their
+//! keys) independent of that schedule, fresh symbols are stored under
+//! **canonical scope indices**: the entry carries a `"scopes"` table mapping
+//! each canonical index to the *component key* that owned the scope, and
+//! the serialized symbols say `f:<canonical>:<serial>`.  On load, the
+//! decoder asks a [`ScopeResolver`] (built by the driver from this run's
+//! schedule) which scope each of those component keys was assigned *this*
+//! run and re-homes every fresh symbol accordingly — so a hit restores
+//! summaries bit-compatible with a cold run of the current program, no
+//! matter how the components moved around.  A rescope that cannot be
+//! performed (unknown component key, packed-ceiling overflow) makes the
+//! decoder return `None`, which the stores count as a corruption eviction.
 
 use crate::analysis::{BoundFact, ProcedureSummary};
 use crate::depth::DepthBound;
@@ -21,13 +39,84 @@ use chora_expr::{ExpPoly, Monomial, Polynomial, Symbol, SymbolKind, Term};
 use chora_ir::Fingerprint;
 use chora_logic::{Atom, AtomKind, Polyhedron, TransitionFormula};
 use chora_numeric::BigRational;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// Format tag and version of the cache entry layout.  Bump the version on
 /// any change to the encoding; readers ignore entries from other versions.
 pub const CACHE_FORMAT: &str = "chora-summary-cache";
-/// Current version of the on-disk encoding.
-pub const CACHE_VERSION: i64 = 1;
+/// Current version of the on-disk encoding.  v2 made entries independent of
+/// the bottom-up component order: fresh symbols are stored under canonical
+/// scope indices plus a component-key table and rescoped on load.
+pub const CACHE_VERSION: i64 = 2;
+
+// ---------------------------------------------------------------------------
+// Scope translation.
+// ---------------------------------------------------------------------------
+
+/// Two-way mapping between fresh-symbol scopes and the component keys that
+/// own them, for one analysis run.
+///
+/// The driver assigns every call-graph component a deterministic scope (its
+/// index in the flattened bottom-up level order); the codec uses this trait
+/// to translate those run-local scope numbers into run-independent component
+/// keys when writing an entry, and back when restoring one.
+pub trait ScopeResolver: Sync {
+    /// The scope this run assigned to the component with the given key.
+    fn scope_of(&self, key: &Fingerprint) -> Option<u32>;
+    /// The key of the component that owns `scope` in this run.
+    fn key_of(&self, scope: u32) -> Option<Fingerprint>;
+}
+
+/// A resolver that knows no scopes at all.  Sufficient for summaries that
+/// contain no fresh symbols (encoding fails, and decoding evicts, anything
+/// that does) — useful for tests and tools that handle synthetic entries.
+pub struct NullScopes;
+
+impl ScopeResolver for NullScopes {
+    fn scope_of(&self, _key: &Fingerprint) -> Option<u32> {
+        None
+    }
+
+    fn key_of(&self, _scope: u32) -> Option<Fingerprint> {
+        None
+    }
+}
+
+/// The driver's scope assignment for one run: component `i` of the
+/// flattened bottom-up level order gets scope `i`.
+///
+/// Component keys are unique within a program (each key hashes its member
+/// names), so the mapping is bijective.
+pub struct ComponentScopes {
+    by_scope: Vec<Fingerprint>,
+    by_key: HashMap<Fingerprint, u32>,
+}
+
+impl ComponentScopes {
+    /// Builds the assignment from per-level component keys (the output of
+    /// [`chora_ir::fingerprint::level_keys`]), flattened in level order —
+    /// exactly the order in which the driver hands out scopes.
+    pub fn from_level_keys(levels: &[Vec<Fingerprint>]) -> ComponentScopes {
+        let by_scope: Vec<Fingerprint> = levels.iter().flatten().copied().collect();
+        let by_key = by_scope
+            .iter()
+            .enumerate()
+            .map(|(scope, key)| (*key, scope as u32))
+            .collect();
+        ComponentScopes { by_scope, by_key }
+    }
+}
+
+impl ScopeResolver for ComponentScopes {
+    fn scope_of(&self, key: &Fingerprint) -> Option<u32> {
+        self.by_key.get(key).copied()
+    }
+
+    fn key_of(&self, scope: u32) -> Option<Fingerprint> {
+        self.by_scope.get(scope as usize).copied()
+    }
+}
 
 // ---------------------------------------------------------------------------
 // A minimal JSON value, writer, and parser.
@@ -322,10 +411,75 @@ impl<'a> Parser<'a> {
 /// Bit-field ceilings re-exported from `chora_expr` so the decode guards
 /// track the real `Symbol` layout (a widened layout widens these with it).
 const MAX_PAYLOAD: u64 = chora_expr::MAX_SYMBOL_PAYLOAD as u64;
-const MAX_FRESH_SCOPE: u64 = chora_expr::MAX_FRESH_SCOPE as u64;
 const MAX_FRESH_SERIAL: u64 = chora_expr::MAX_FRESH_SERIAL as u64;
 
-fn encode_symbol(s: &Symbol) -> Value {
+/// Encode-side scope canonicalizer: assigns fresh scopes canonical indices
+/// in first-encounter order (a deterministic walk, so two runs that produce
+/// the same summaries up to scope renaming emit identical bytes) and
+/// remembers the component key behind each.
+struct ScopeEncoder<'a> {
+    resolver: &'a dyn ScopeResolver,
+    /// Canonical index -> owning component key (the entry's `"scopes"`).
+    table: Vec<Fingerprint>,
+    /// Run scope -> canonical index.
+    canonical: HashMap<u32, u32>,
+    /// Set when a scope has no component key: the entry cannot be made
+    /// order-independent, so it is not written at all.
+    failed: bool,
+}
+
+impl<'a> ScopeEncoder<'a> {
+    fn new(resolver: &'a dyn ScopeResolver) -> ScopeEncoder<'a> {
+        ScopeEncoder {
+            resolver,
+            table: Vec::new(),
+            canonical: HashMap::new(),
+            failed: false,
+        }
+    }
+
+    fn canonical_scope(&mut self, scope: u32) -> u32 {
+        if let Some(&c) = self.canonical.get(&scope) {
+            return c;
+        }
+        match self.resolver.key_of(scope) {
+            Some(key) => {
+                let c = self.table.len() as u32;
+                self.table.push(key);
+                self.canonical.insert(scope, c);
+                c
+            }
+            None => {
+                self.failed = true;
+                0
+            }
+        }
+    }
+}
+
+/// Decode-side rescoper: translates the entry's canonical scope indices,
+/// through its component-key table, into the scopes this run assigned.
+struct ScopeDecoder<'a> {
+    resolver: &'a dyn ScopeResolver,
+    /// The entry's `"scopes"` table (canonical index -> component key).
+    table: Vec<Fingerprint>,
+}
+
+impl ScopeDecoder<'_> {
+    /// `None` when the canonical index is out of table range, the component
+    /// key is unknown to this run, or the rescoped pair overflows the
+    /// packed symbol ceilings — the caller evicts the entry.
+    fn rescope(&self, canonical: u64, serial: u64) -> Option<Symbol> {
+        let key = self.table.get(usize::try_from(canonical).ok()?)?;
+        let scope = self.resolver.scope_of(key)?;
+        if serial > MAX_FRESH_SERIAL {
+            return None;
+        }
+        Symbol::try_fresh_at(scope, serial as u32)
+    }
+}
+
+fn encode_symbol(s: &Symbol, enc: &mut ScopeEncoder<'_>) -> Value {
     let text = match s.kind() {
         SymbolKind::Named => format!("n:{s}"),
         SymbolKind::Post => format!("p:{}", s.unprimed()),
@@ -333,14 +487,16 @@ fn encode_symbol(s: &Symbol) -> Value {
         SymbolKind::BoundAtH1(k) => format!("B:{k}"),
         SymbolKind::Height => "h".to_string(),
         SymbolKind::Depth => "D".to_string(),
-        SymbolKind::Fresh { scope, serial } => format!("f:{scope}:{serial}"),
+        SymbolKind::Fresh { scope, serial } => {
+            format!("f:{}:{serial}", enc.canonical_scope(scope))
+        }
         SymbolKind::Dimension(i) => format!("d:{i}"),
         SymbolKind::Scratch(i) => format!("a:{i}"),
     };
     Value::Str(text)
 }
 
-fn decode_symbol(v: &Value) -> Option<Symbol> {
+fn decode_symbol(v: &Value, dec: &ScopeDecoder<'_>) -> Option<Symbol> {
     let text = v.as_str()?;
     match text {
         "h" => return Some(Symbol::height()),
@@ -360,11 +516,8 @@ fn decode_symbol(v: &Value) -> Option<Symbol> {
             (k <= MAX_PAYLOAD).then(|| Symbol::bound_at_h1(k as usize))
         }
         "f" => {
-            let (scope, serial) = rest.split_once(':')?;
-            let scope: u64 = scope.parse().ok()?;
-            let serial: u64 = serial.parse().ok()?;
-            (scope <= MAX_FRESH_SCOPE && serial <= MAX_FRESH_SERIAL)
-                .then(|| Symbol::fresh_at(scope as u32, serial as u32))
+            let (canonical, serial) = rest.split_once(':')?;
+            dec.rescope(canonical.parse().ok()?, serial.parse().ok()?)
         }
         "d" => {
             let i: u64 = rest.parse().ok()?;
@@ -386,15 +539,15 @@ fn decode_rational(v: &Value) -> Option<BigRational> {
     v.as_str()?.parse().ok()
 }
 
-fn encode_monomial(m: &Monomial) -> Value {
+fn encode_monomial(m: &Monomial, enc: &mut ScopeEncoder<'_>) -> Value {
     Value::Arr(
         m.powers()
-            .map(|(s, e)| Value::Arr(vec![encode_symbol(s), Value::Int(i64::from(e))]))
+            .map(|(s, e)| Value::Arr(vec![encode_symbol(s, enc), Value::Int(i64::from(e))]))
             .collect(),
     )
 }
 
-fn decode_monomial(v: &Value) -> Option<Monomial> {
+fn decode_monomial(v: &Value, dec: &ScopeDecoder<'_>) -> Option<Monomial> {
     let mut powers = Vec::new();
     for item in v.as_arr()? {
         let [sym, exp] = item.as_arr()? else {
@@ -404,39 +557,39 @@ fn decode_monomial(v: &Value) -> Option<Monomial> {
         if !(0..=i64::from(u32::MAX)).contains(&e) {
             return None;
         }
-        powers.push((decode_symbol(sym)?, e as u32));
+        powers.push((decode_symbol(sym, dec)?, e as u32));
     }
     Some(Monomial::from_powers(powers))
 }
 
-fn encode_polynomial(p: &Polynomial) -> Value {
+fn encode_polynomial(p: &Polynomial, enc: &mut ScopeEncoder<'_>) -> Value {
     Value::Arr(
         p.terms()
-            .map(|(m, c)| Value::Arr(vec![encode_rational(c), encode_monomial(m)]))
+            .map(|(m, c)| Value::Arr(vec![encode_rational(c), encode_monomial(m, enc)]))
             .collect(),
     )
 }
 
-fn decode_polynomial(v: &Value) -> Option<Polynomial> {
+fn decode_polynomial(v: &Value, dec: &ScopeDecoder<'_>) -> Option<Polynomial> {
     let mut terms = Vec::new();
     for item in v.as_arr()? {
         let [coeff, mono] = item.as_arr()? else {
             return None;
         };
-        terms.push((decode_rational(coeff)?, decode_monomial(mono)?));
+        terms.push((decode_rational(coeff)?, decode_monomial(mono, dec)?));
     }
     Some(Polynomial::from_terms(terms))
 }
 
-fn encode_exppoly(e: &ExpPoly) -> Value {
+fn encode_exppoly(e: &ExpPoly, enc: &mut ScopeEncoder<'_>) -> Value {
     Value::obj(vec![
-        ("param", encode_symbol(e.param())),
+        ("param", encode_symbol(e.param(), enc)),
         (
             "terms",
             Value::Arr(
                 e.terms()
                     .map(|(base, poly)| {
-                        Value::Arr(vec![encode_rational(base), encode_polynomial(poly)])
+                        Value::Arr(vec![encode_rational(base), encode_polynomial(poly, enc)])
                     })
                     .collect(),
             ),
@@ -444,15 +597,15 @@ fn encode_exppoly(e: &ExpPoly) -> Value {
     ])
 }
 
-fn decode_exppoly(v: &Value) -> Option<ExpPoly> {
-    let param = decode_symbol(v.field("param")?)?;
+fn decode_exppoly(v: &Value, dec: &ScopeDecoder<'_>) -> Option<ExpPoly> {
+    let param = decode_symbol(v.field("param")?, dec)?;
     let mut out = ExpPoly::zero(&param);
     for item in v.field("terms")?.as_arr()? {
         let [base, poly] = item.as_arr()? else {
             return None;
         };
         let base = decode_rational(base)?;
-        let poly = decode_polynomial(poly)?;
+        let poly = decode_polynomial(poly, dec)?;
         // Guard the constructor invariants (they panic on violation).
         if base.is_zero() || poly.symbols().iter().any(|s| s != &param) {
             return None;
@@ -462,40 +615,46 @@ fn decode_exppoly(v: &Value) -> Option<ExpPoly> {
     Some(out)
 }
 
-fn encode_term(t: &Term) -> Value {
+fn encode_term(t: &Term, enc: &mut ScopeEncoder<'_>) -> Value {
     match t {
         Term::Const(c) => Value::Arr(vec![Value::Str("c".into()), encode_rational(c)]),
-        Term::Var(s) => Value::Arr(vec![Value::Str("v".into()), encode_symbol(s)]),
-        Term::Add(ts) => encode_term_list("+", ts),
-        Term::Mul(ts) => encode_term_list("*", ts),
-        Term::Pow(b, e) => Value::Arr(vec![Value::Str("^".into()), encode_term(b), encode_term(e)]),
-        Term::Log2(x) => Value::Arr(vec![Value::Str("log2".into()), encode_term(x)]),
-        Term::Max(ts) => encode_term_list("max", ts),
-        Term::Min(ts) => encode_term_list("min", ts),
+        Term::Var(s) => Value::Arr(vec![Value::Str("v".into()), encode_symbol(s, enc)]),
+        Term::Add(ts) => encode_term_list("+", ts, enc),
+        Term::Mul(ts) => encode_term_list("*", ts, enc),
+        Term::Pow(b, e) => Value::Arr(vec![
+            Value::Str("^".into()),
+            encode_term(b, enc),
+            encode_term(e, enc),
+        ]),
+        Term::Log2(x) => Value::Arr(vec![Value::Str("log2".into()), encode_term(x, enc)]),
+        Term::Max(ts) => encode_term_list("max", ts, enc),
+        Term::Min(ts) => encode_term_list("min", ts, enc),
     }
 }
 
-fn encode_term_list(tag: &str, ts: &[Term]) -> Value {
+fn encode_term_list(tag: &str, ts: &[Term], enc: &mut ScopeEncoder<'_>) -> Value {
     let mut items = vec![Value::Str(tag.into())];
-    items.extend(ts.iter().map(encode_term));
+    items.extend(ts.iter().map(|t| encode_term(t, enc)));
     Value::Arr(items)
 }
 
-fn decode_term(v: &Value) -> Option<Term> {
+fn decode_term(v: &Value, dec: &ScopeDecoder<'_>) -> Option<Term> {
     let items = v.as_arr()?;
     let (tag, rest) = items.split_first()?;
     let tag = tag.as_str()?;
-    let list = |rest: &[Value]| -> Option<Vec<Term>> { rest.iter().map(decode_term).collect() };
+    let list = |rest: &[Value]| -> Option<Vec<Term>> {
+        rest.iter().map(|t| decode_term(t, dec)).collect()
+    };
     match (tag, rest) {
         ("c", [c]) => Some(Term::Const(decode_rational(c)?)),
-        ("v", [s]) => Some(Term::Var(decode_symbol(s)?)),
+        ("v", [s]) => Some(Term::Var(decode_symbol(s, dec)?)),
         ("+", _) => Some(Term::Add(list(rest)?)),
         ("*", _) => Some(Term::Mul(list(rest)?)),
         ("^", [b, e]) => Some(Term::Pow(
-            Box::new(decode_term(b)?),
-            Box::new(decode_term(e)?),
+            Box::new(decode_term(b, dec)?),
+            Box::new(decode_term(e, dec)?),
         )),
-        ("log2", [x]) => Some(Term::Log2(Box::new(decode_term(x)?))),
+        ("log2", [x]) => Some(Term::Log2(Box::new(decode_term(x, dec)?))),
         ("max", _) => Some(Term::Max(list(rest)?)),
         ("min", _) => Some(Term::Min(list(rest)?)),
         _ => None,
@@ -506,20 +665,20 @@ fn decode_term(v: &Value) -> Option<Term> {
 // Logic codecs.
 // ---------------------------------------------------------------------------
 
-fn encode_atom(a: &Atom) -> Value {
+fn encode_atom(a: &Atom, enc: &mut ScopeEncoder<'_>) -> Value {
     let kind = match a.kind {
         AtomKind::Le => 0,
         AtomKind::Lt => 1,
         AtomKind::Eq => 2,
     };
-    Value::Arr(vec![Value::Int(kind), encode_polynomial(&a.poly)])
+    Value::Arr(vec![Value::Int(kind), encode_polynomial(&a.poly, enc)])
 }
 
-fn decode_atom(v: &Value) -> Option<Atom> {
+fn decode_atom(v: &Value, dec: &ScopeDecoder<'_>) -> Option<Atom> {
     let [kind, poly] = v.as_arr()? else {
         return None;
     };
-    let poly = decode_polynomial(poly)?;
+    let poly = decode_polynomial(poly, dec)?;
     Some(match kind.as_int()? {
         0 => Atom::le_zero(poly),
         1 => Atom::lt_zero(poly),
@@ -528,26 +687,31 @@ fn decode_atom(v: &Value) -> Option<Atom> {
     })
 }
 
-fn encode_polyhedron(p: &Polyhedron) -> Value {
-    Value::Arr(p.atoms().iter().map(encode_atom).collect())
+fn encode_polyhedron(p: &Polyhedron, enc: &mut ScopeEncoder<'_>) -> Value {
+    Value::Arr(p.atoms().iter().map(|a| encode_atom(a, enc)).collect())
 }
 
-fn decode_polyhedron(v: &Value) -> Option<Polyhedron> {
-    let atoms: Option<Vec<Atom>> = v.as_arr()?.iter().map(decode_atom).collect();
+fn decode_polyhedron(v: &Value, dec: &ScopeDecoder<'_>) -> Option<Polyhedron> {
+    let atoms: Option<Vec<Atom>> = v.as_arr()?.iter().map(|a| decode_atom(a, dec)).collect();
     Some(Polyhedron::from_parts(atoms?))
 }
 
-fn encode_formula(f: &TransitionFormula) -> Value {
+fn encode_formula(f: &TransitionFormula, enc: &mut ScopeEncoder<'_>) -> Value {
     Value::obj(vec![
         ("cap", Value::Int(f.cap() as i64)),
         (
             "disjuncts",
-            Value::Arr(f.disjuncts().iter().map(encode_polyhedron).collect()),
+            Value::Arr(
+                f.disjuncts()
+                    .iter()
+                    .map(|d| encode_polyhedron(d, enc))
+                    .collect(),
+            ),
         ),
     ])
 }
 
-fn decode_formula(v: &Value) -> Option<TransitionFormula> {
+fn decode_formula(v: &Value, dec: &ScopeDecoder<'_>) -> Option<TransitionFormula> {
     let cap = v.field("cap")?.as_int()?;
     if !(1..=1_000_000).contains(&cap) {
         return None;
@@ -556,7 +720,7 @@ fn decode_formula(v: &Value) -> Option<TransitionFormula> {
         .field("disjuncts")?
         .as_arr()?
         .iter()
-        .map(decode_polyhedron)
+        .map(|d| decode_polyhedron(d, dec))
         .collect();
     Some(TransitionFormula::from_parts(disjuncts?, cap as usize))
 }
@@ -565,19 +729,19 @@ fn decode_formula(v: &Value) -> Option<TransitionFormula> {
 // Summary codecs.
 // ---------------------------------------------------------------------------
 
-fn encode_depth(d: &DepthBound) -> Value {
+fn encode_depth(d: &DepthBound, enc: &mut ScopeEncoder<'_>) -> Value {
     let (tag, t) = match d {
         DepthBound::Linear(t) => ("lin", t),
         DepthBound::Logarithmic(t) => ("log", t),
     };
-    Value::Arr(vec![Value::Str(tag.into()), encode_term(t)])
+    Value::Arr(vec![Value::Str(tag.into()), encode_term(t, enc)])
 }
 
-fn decode_depth(v: &Value) -> Option<DepthBound> {
+fn decode_depth(v: &Value, dec: &ScopeDecoder<'_>) -> Option<DepthBound> {
     let [tag, t] = v.as_arr()? else {
         return None;
     };
-    let t = decode_term(t)?;
+    let t = decode_term(t, dec)?;
     match tag.as_str()? {
         "lin" => Some(DepthBound::Linear(t)),
         "log" => Some(DepthBound::Logarithmic(t)),
@@ -585,14 +749,14 @@ fn decode_depth(v: &Value) -> Option<DepthBound> {
     }
 }
 
-fn encode_bound_fact(f: &BoundFact) -> Value {
+fn encode_bound_fact(f: &BoundFact, enc: &mut ScopeEncoder<'_>) -> Value {
     Value::obj(vec![
-        ("term", encode_polynomial(&f.term)),
-        ("closed_form", encode_exppoly(&f.closed_form)),
+        ("term", encode_polynomial(&f.term, enc)),
+        ("closed_form", encode_exppoly(&f.closed_form, enc)),
         (
             "bound",
             match &f.bound {
-                Some(b) => encode_term(b),
+                Some(b) => encode_term(b, enc),
                 None => Value::Null,
             },
         ),
@@ -600,51 +764,56 @@ fn encode_bound_fact(f: &BoundFact) -> Value {
     ])
 }
 
-fn decode_bound_fact(v: &Value) -> Option<BoundFact> {
+fn decode_bound_fact(v: &Value, dec: &ScopeDecoder<'_>) -> Option<BoundFact> {
     Some(BoundFact {
-        term: decode_polynomial(v.field("term")?)?,
-        closed_form: decode_exppoly(v.field("closed_form")?)?,
+        term: decode_polynomial(v.field("term")?, dec)?,
+        closed_form: decode_exppoly(v.field("closed_form")?, dec)?,
         bound: match v.field("bound")? {
             Value::Null => None,
-            b => Some(decode_term(b)?),
+            b => Some(decode_term(b, dec)?),
         },
         exact: v.field("exact")?.as_bool()?,
     })
 }
 
-fn encode_summary(s: &ProcedureSummary) -> Value {
+fn encode_summary(s: &ProcedureSummary, enc: &mut ScopeEncoder<'_>) -> Value {
     Value::obj(vec![
         ("name", Value::Str(s.name.clone())),
         ("recursive", Value::Bool(s.recursive)),
-        ("formula", encode_formula(&s.formula)),
+        ("formula", encode_formula(&s.formula, enc)),
         (
             "bound_facts",
-            Value::Arr(s.bound_facts.iter().map(encode_bound_fact).collect()),
+            Value::Arr(
+                s.bound_facts
+                    .iter()
+                    .map(|f| encode_bound_fact(f, enc))
+                    .collect(),
+            ),
         ),
         (
             "depth",
             match &s.depth {
-                Some(d) => encode_depth(d),
+                Some(d) => encode_depth(d, enc),
                 None => Value::Null,
             },
         ),
     ])
 }
 
-fn decode_summary(v: &Value) -> Option<ProcedureSummary> {
+fn decode_summary(v: &Value, dec: &ScopeDecoder<'_>) -> Option<ProcedureSummary> {
     let bound_facts: Option<Vec<BoundFact>> = v
         .field("bound_facts")?
         .as_arr()?
         .iter()
-        .map(decode_bound_fact)
+        .map(|f| decode_bound_fact(f, dec))
         .collect();
     Some(ProcedureSummary {
         name: v.field("name")?.as_str()?.to_string(),
-        formula: decode_formula(v.field("formula")?)?,
+        formula: decode_formula(v.field("formula")?, dec)?,
         bound_facts: bound_facts?,
         depth: match v.field("depth")? {
             Value::Null => None,
-            d => Some(decode_depth(d)?),
+            d => Some(decode_depth(d, dec)?),
         },
         recursive: v.field("recursive")?.as_bool()?,
     })
@@ -656,22 +825,50 @@ fn decode_summary(v: &Value) -> Option<ProcedureSummary> {
 
 /// Encodes the summaries of one call-graph component under its transitive
 /// key as a single-line JSON document.
-pub fn encode_entry(key: &Fingerprint, summaries: &[ProcedureSummary]) -> String {
+///
+/// Fresh-symbol scopes are replaced by canonical indices into the entry's
+/// `"scopes"` table of owning component keys (looked up through `scopes`),
+/// so the document is independent of the bottom-up component order — two
+/// runs that place the component at different schedule positions write
+/// identical bytes.  Returns `None` when a fresh scope has no component
+/// key (the entry would not be restorable); callers simply skip caching.
+pub fn encode_entry(
+    key: &Fingerprint,
+    summaries: &[ProcedureSummary],
+    scopes: &dyn ScopeResolver,
+) -> Option<String> {
+    let mut enc = ScopeEncoder::new(scopes);
+    let encoded: Vec<Value> = summaries
+        .iter()
+        .map(|s| encode_summary(s, &mut enc))
+        .collect();
+    if enc.failed {
+        return None;
+    }
     let doc = Value::obj(vec![
         ("format", Value::Str(CACHE_FORMAT.into())),
         ("version", Value::Int(CACHE_VERSION)),
         ("key", Value::Str(key.to_hex())),
         (
-            "summaries",
-            Value::Arr(summaries.iter().map(encode_summary).collect()),
+            "scopes",
+            Value::Arr(enc.table.iter().map(|k| Value::Str(k.to_hex())).collect()),
         ),
+        ("summaries", Value::Arr(encoded)),
     ]);
-    doc.to_json()
+    Some(doc.to_json())
 }
 
-/// Decodes a cache entry, verifying the format tag, version, and key.
-/// Returns `None` (never panics) on any mismatch or corruption.
-pub fn decode_entry(text: &str, expected_key: &Fingerprint) -> Option<Vec<ProcedureSummary>> {
+/// Decodes a cache entry, verifying the format tag, version, and key, and
+/// rescoping every fresh symbol into the scope this run assigned to its
+/// owning component (resolved through `scopes` via the entry's component-key
+/// table).  Returns `None` (never panics) on any mismatch, corruption, or
+/// impossible rescope — including scopes/serials beyond the packed symbol
+/// ceilings; the stores treat that as a corruption eviction.
+pub fn decode_entry(
+    text: &str,
+    expected_key: &Fingerprint,
+    scopes: &dyn ScopeResolver,
+) -> Option<Vec<ProcedureSummary>> {
     let doc = Parser::parse(text)?;
     if doc.field("format")?.as_str()? != CACHE_FORMAT {
         return None;
@@ -682,10 +879,20 @@ pub fn decode_entry(text: &str, expected_key: &Fingerprint) -> Option<Vec<Proced
     if Fingerprint::from_hex(doc.field("key")?.as_str()?)? != *expected_key {
         return None;
     }
+    let table: Option<Vec<Fingerprint>> = doc
+        .field("scopes")?
+        .as_arr()?
+        .iter()
+        .map(|v| Fingerprint::from_hex(v.as_str()?))
+        .collect();
+    let dec = ScopeDecoder {
+        resolver: scopes,
+        table: table?,
+    };
     doc.field("summaries")?
         .as_arr()?
         .iter()
-        .map(decode_summary)
+        .map(|s| decode_summary(s, &dec))
         .collect()
 }
 
@@ -697,6 +904,32 @@ mod tests {
 
     fn pvar(name: &str) -> Polynomial {
         Polynomial::var(Symbol::new(name))
+    }
+
+    /// A bijective test assignment: scope `s` is owned by the synthetic
+    /// component key `BASE + s`, shifted by `offset` — so decoding with a
+    /// different offset than encoding mimics a program whose components
+    /// moved to new schedule positions.
+    struct ShiftScopes(u32);
+
+    const KEY_BASE: u128 = 0xfeed_0000;
+
+    impl ScopeResolver for ShiftScopes {
+        fn scope_of(&self, key: &Fingerprint) -> Option<u32> {
+            let raw = key.0.checked_sub(KEY_BASE)?;
+            u32::try_from(raw).ok()?.checked_add(self.0)
+        }
+
+        fn key_of(&self, scope: u32) -> Option<Fingerprint> {
+            Some(Fingerprint(
+                KEY_BASE + u128::from(scope.checked_sub(self.0)?),
+            ))
+        }
+    }
+
+    /// The identity assignment (offset zero).
+    fn same_scopes() -> ShiftScopes {
+        ShiftScopes(0)
     }
 
     fn sample_summary() -> ProcedureSummary {
@@ -736,8 +969,9 @@ mod tests {
     fn entry_round_trip_is_exact() {
         let key = Fingerprint(0x1234_5678_9abc_def0_1111_2222_3333_4444);
         let summary = sample_summary();
-        let encoded = encode_entry(&key, std::slice::from_ref(&summary));
-        let decoded = decode_entry(&encoded, &key).expect("decodes");
+        let encoded =
+            encode_entry(&key, std::slice::from_ref(&summary), &same_scopes()).expect("encodes");
+        let decoded = decode_entry(&encoded, &key, &same_scopes()).expect("decodes");
         assert_eq!(decoded.len(), 1);
         let d = &decoded[0];
         assert_eq!(d.name, summary.name);
@@ -754,7 +988,95 @@ mod tests {
         assert_eq!(d.bound_facts[0].bound, summary.bound_facts[0].bound);
         assert_eq!(d.bound_facts[0].exact, summary.bound_facts[0].exact);
         // Encoding the decoded value reproduces the exact document.
-        assert_eq!(encode_entry(&key, &decoded), encoded);
+        assert_eq!(
+            encode_entry(&key, &decoded, &same_scopes()).expect("re-encodes"),
+            encoded
+        );
+    }
+
+    #[test]
+    fn entries_rescope_fresh_symbols_into_the_current_schedule() {
+        // The summary was produced by a run where its component sat at
+        // scope 6; this run placed the same component (same key) at scope
+        // 16.  The restored summary must mention scope-16 symbols.
+        let key = Fingerprint(77);
+        let summary = sample_summary();
+        let encoded =
+            encode_entry(&key, std::slice::from_ref(&summary), &same_scopes()).expect("encodes");
+        let restored = decode_entry(&encoded, &key, &ShiftScopes(10)).expect("decodes");
+        let shifted_symbol = Symbol::fresh_at(16, 0);
+        let mentions_shifted = restored[0]
+            .formula
+            .symbols()
+            .iter()
+            .any(|s| s == &shifted_symbol);
+        assert!(
+            mentions_shifted,
+            "fresh symbols must be rescoped 6 -> 16: {:?}",
+            restored[0].formula.symbols()
+        );
+        // ... and the document itself is scope-independent: re-encoding the
+        // shifted summaries under the shifted schedule reproduces the exact
+        // bytes the original run wrote.
+        assert_eq!(
+            encode_entry(&key, &restored, &ShiftScopes(10)).expect("re-encodes"),
+            encoded,
+            "serialized form must not depend on the component order"
+        );
+    }
+
+    #[test]
+    fn unrescopable_entries_are_rejected_not_fatal() {
+        let key = Fingerprint(78);
+        let summary = sample_summary();
+        let encoded =
+            encode_entry(&key, std::slice::from_ref(&summary), &same_scopes()).expect("encodes");
+        // This run has no component with the recorded key at all.
+        assert!(
+            decode_entry(&encoded, &key, &NullScopes).is_none(),
+            "unknown component keys must reject the entry"
+        );
+        // The component exists but its scope would exceed the packed
+        // 14-bit ceiling: reject, never panic (the old fresh_at asserted).
+        struct HugeScopes;
+        impl ScopeResolver for HugeScopes {
+            fn scope_of(&self, _key: &Fingerprint) -> Option<u32> {
+                Some(chora_expr::MAX_FRESH_SCOPE + 1)
+            }
+            fn key_of(&self, scope: u32) -> Option<Fingerprint> {
+                Some(Fingerprint(KEY_BASE + u128::from(scope)))
+            }
+        }
+        assert!(
+            decode_entry(&encoded, &key, &HugeScopes).is_none(),
+            "over-ceiling rescopes must reject the entry"
+        );
+        // A canonical index pointing past the scopes table is corruption.
+        let truncated_table = encoded.replace("\"scopes\":[\"", "\"scopes\":[], \"unused\":[\"");
+        assert!(decode_entry(&truncated_table, &key, &same_scopes()).is_none());
+        // Encoding is equally careful: with no key for the scope, the
+        // entry is not produced at all (the store just skips caching).
+        assert!(encode_entry(&key, std::slice::from_ref(&summary), &NullScopes).is_none());
+    }
+
+    #[test]
+    fn summaries_without_fresh_symbols_need_no_scope_table() {
+        let key = Fingerprint(79);
+        let summary = ProcedureSummary {
+            name: "plain".to_string(),
+            formula: TransitionFormula::from_polyhedron(Polyhedron::from_atoms(vec![Atom::le(
+                pvar("cost'"),
+                &pvar("cost") + &pvar("n"),
+            )])),
+            bound_facts: Vec::new(),
+            depth: None,
+            recursive: false,
+        };
+        let encoded = encode_entry(&key, std::slice::from_ref(&summary), &NullScopes)
+            .expect("no fresh symbols, no scope lookups");
+        assert!(encoded.contains("\"scopes\":[]"));
+        let decoded = decode_entry(&encoded, &key, &NullScopes).expect("decodes");
+        assert_eq!(decoded[0].formula, summary.formula);
     }
 
     #[test]
@@ -778,7 +1100,8 @@ mod tests {
             recursive: false,
         };
         let key = Fingerprint(5);
-        let decoded = decode_entry(&encode_entry(&key, &[summary]), &key).expect("decodes");
+        let encoded = encode_entry(&key, &[summary], &NullScopes).expect("encodes");
+        let decoded = decode_entry(&encoded, &key, &NullScopes).expect("decodes");
         assert_eq!(decoded[0].formula, formula);
         assert_eq!(decoded[0].formula.disjuncts().len(), 2);
     }
@@ -786,21 +1109,29 @@ mod tests {
     #[test]
     fn corrupted_entries_are_rejected_not_fatal() {
         let key = Fingerprint(42);
-        let good = encode_entry(&key, &[sample_summary()]);
-        assert!(decode_entry(&good, &key).is_some());
+        let good = encode_entry(&key, &[sample_summary()], &same_scopes()).expect("encodes");
+        let scopes = same_scopes();
+        assert!(decode_entry(&good, &key, &scopes).is_some());
         // Wrong key.
-        assert!(decode_entry(&good, &Fingerprint(43)).is_none());
+        assert!(decode_entry(&good, &Fingerprint(43), &scopes).is_none());
         // Truncation, garbage, wrong version.
-        assert!(decode_entry(&good[..good.len() / 2], &key).is_none());
-        assert!(decode_entry("not json at all", &key).is_none());
-        assert!(decode_entry("", &key).is_none());
-        let versioned = good.replace("\"version\":1", "\"version\":999");
-        assert!(decode_entry(&versioned, &key).is_none());
+        assert!(decode_entry(&good[..good.len() / 2], &key, &scopes).is_none());
+        assert!(decode_entry("not json at all", &key, &scopes).is_none());
+        assert!(decode_entry("", &key, &scopes).is_none());
+        let versioned = good.replace("\"version\":2", "\"version\":999");
+        assert!(decode_entry(&versioned, &key, &scopes).is_none());
+        // Entries from the previous (scope-dependent) format version are
+        // ignored wholesale.
+        let old_version = good.replace("\"version\":2", "\"version\":1");
+        assert!(decode_entry(&old_version, &key, &scopes).is_none());
         let wrong_format = good.replace(CACHE_FORMAT, "other-format");
-        assert!(decode_entry(&wrong_format, &key).is_none());
+        assert!(decode_entry(&wrong_format, &key, &scopes).is_none());
         // Structurally valid JSON with a malformed symbol.
         let bad_sym = good.replace("n:cost", "zz:cost");
-        assert!(decode_entry(&bad_sym, &key).is_none());
+        assert!(decode_entry(&bad_sym, &key, &scopes).is_none());
+        // A scopes table with a malformed key.
+        let bad_table = good.replacen("\"scopes\":[\"", "\"scopes\":[\"zz", 1);
+        assert!(decode_entry(&bad_table, &key, &scopes).is_none());
     }
 
     #[test]
@@ -819,16 +1150,29 @@ mod tests {
             Symbol::dimension(7),
             Symbol::scratch(8),
         ];
-        for s in syms {
-            let decoded = decode_symbol(&encode_symbol(&s)).expect("round-trips");
-            assert_eq!(decoded, s, "symbol {s} must round-trip");
+        let scopes = same_scopes();
+        let mut enc = ScopeEncoder::new(&scopes);
+        let encoded: Vec<Value> = syms.iter().map(|s| encode_symbol(s, &mut enc)).collect();
+        assert!(!enc.failed);
+        let dec = ScopeDecoder {
+            resolver: &scopes,
+            table: enc.table.clone(),
+        };
+        for (s, v) in syms.iter().zip(&encoded) {
+            let decoded = decode_symbol(v, &dec).expect("round-trips");
+            assert_eq!(&decoded, s, "symbol {s} must round-trip");
         }
     }
 
     #[test]
     fn out_of_range_symbols_are_rejected() {
+        let scopes = same_scopes();
+        let dec = ScopeDecoder {
+            resolver: &scopes,
+            table: vec![Fingerprint(KEY_BASE)],
+        };
         for text in [
-            "f:99999:0",   // scope beyond 14 bits
+            "f:99999:0",   // canonical index beyond the scopes table
             "f:0:99999",   // serial beyond 15 bits
             "b:536870912", // beyond 29-bit payload
             "d:536870912",
@@ -836,9 +1180,14 @@ mod tests {
             "f:1",
         ] {
             assert!(
-                decode_symbol(&Value::Str(text.into())).is_none(),
+                decode_symbol(&Value::Str(text.into()), &dec).is_none(),
                 "{text} must be rejected"
             );
         }
+        // In range: canonical index 0 resolves through the table.
+        assert_eq!(
+            decode_symbol(&Value::Str("f:0:3".into()), &dec),
+            Some(Symbol::fresh_at(0, 3))
+        );
     }
 }

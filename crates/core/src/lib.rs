@@ -62,6 +62,7 @@ pub use analysis::{
     ProcedureSummary,
 };
 pub use baseline::BaselineAnalyzer;
+pub use cache::{ComponentScopes, NullScopes, ScopeResolver};
 pub use complexity::ComplexityClass;
 pub use depth::DepthBound;
 pub use store::{

@@ -25,7 +25,7 @@
 //!   and aged out by [`TieredConfig::max_age`].
 
 use crate::analysis::ProcedureSummary;
-use crate::cache::{decode_entry, encode_entry, CACHE_VERSION};
+use crate::cache::{decode_entry, encode_entry, ScopeResolver, CACHE_VERSION};
 use chora_ir::Fingerprint;
 use std::collections::HashMap;
 use std::fmt;
@@ -72,12 +72,20 @@ impl fmt::Display for CacheStats {
 /// analysis is correct with an empty store; the store only buys speed).
 /// `Sync` is required because the driver probes the store from its worker
 /// threads (one load per component, concurrently within a level).
+///
+/// Both operations take the caller's [`ScopeResolver`]: entries are kept
+/// in a scope-canonical form independent of the bottom-up component order,
+/// and the resolver supplies this run's component-key ↔ scope assignment so
+/// loads rescope restored fresh symbols into the current schedule (see
+/// `crate::cache`).  A load whose rescope is impossible is discarded and
+/// counted as a corruption eviction, never a panic.
 pub trait SummaryStore: Sync {
-    /// The summaries cached under `key`, if present and intact.
-    fn load(&self, key: &Fingerprint) -> Option<Vec<ProcedureSummary>>;
+    /// The summaries cached under `key`, if present, intact, and
+    /// rescopable into the current run — already rescoped.
+    fn load(&self, key: &Fingerprint, scopes: &dyn ScopeResolver) -> Option<Vec<ProcedureSummary>>;
 
     /// Caches the summaries of one component under its key.
-    fn store(&self, key: &Fingerprint, summaries: &[ProcedureSummary]);
+    fn store(&self, key: &Fingerprint, summaries: &[ProcedureSummary], scopes: &dyn ScopeResolver);
 
     /// How many entries this store has discarded as *invalid* (corrupted,
     /// truncated, or version-mismatched).
@@ -120,14 +128,14 @@ impl MemoryStore {
 }
 
 impl SummaryStore for MemoryStore {
-    fn load(&self, key: &Fingerprint) -> Option<Vec<ProcedureSummary>> {
+    fn load(&self, key: &Fingerprint, scopes: &dyn ScopeResolver) -> Option<Vec<ProcedureSummary>> {
         let text = self
             .entries
             .lock()
             .expect("memory store lock")
             .get(key)
             .cloned()?;
-        match decode_entry(&text, key) {
+        match decode_entry(&text, key, scopes) {
             Some(summaries) => Some(summaries),
             None => {
                 self.entries.lock().expect("memory store lock").remove(key);
@@ -137,8 +145,10 @@ impl SummaryStore for MemoryStore {
         }
     }
 
-    fn store(&self, key: &Fingerprint, summaries: &[ProcedureSummary]) {
-        let encoded = encode_entry(key, summaries);
+    fn store(&self, key: &Fingerprint, summaries: &[ProcedureSummary], scopes: &dyn ScopeResolver) {
+        let Some(encoded) = encode_entry(key, summaries, scopes) else {
+            return;
+        };
         self.entries
             .lock()
             .expect("memory store lock")
@@ -179,9 +189,31 @@ pub struct DiskStore {
 
 impl DiskStore {
     /// Opens (creating if necessary) a cache rooted at `root`.
+    ///
+    /// Version directories left behind by *older* encodings (`v1/` after
+    /// the v2 bump, and so on) are deleted on open: this binary can never
+    /// read them, and leaving them would let the cache silently exceed its
+    /// byte budget forever — `disk_bytes` and [`DiskStore::gc`] only scan
+    /// the current version's directory.  Newer versions' directories are
+    /// left alone so a mixed-version fleet sharing one root does not
+    /// thrash each other's caches.
     pub fn open(root: impl AsRef<Path>) -> std::io::Result<DiskStore> {
-        let dir = root.as_ref().join(format!("v{CACHE_VERSION}"));
+        let root = root.as_ref();
+        let dir = root.join(format!("v{CACHE_VERSION}"));
         std::fs::create_dir_all(&dir)?;
+        if let Ok(entries) = std::fs::read_dir(root) {
+            for entry in entries.filter_map(|e| e.ok()) {
+                let name = entry.file_name();
+                let stale = name
+                    .to_str()
+                    .and_then(|n| n.strip_prefix('v'))
+                    .and_then(|n| n.parse::<i64>().ok())
+                    .is_some_and(|version| version < CACHE_VERSION);
+                if stale {
+                    let _ = std::fs::remove_dir_all(entry.path());
+                }
+            }
+        }
         Ok(DiskStore {
             dir,
             evicted: AtomicU64::new(0),
@@ -200,7 +232,8 @@ impl DiskStore {
 
     /// Loads, validates, and decodes the entry under `key`, also reporting
     /// its age (time since last write) when the filesystem can say.
-    /// Corrupt entries are deleted and counted, exactly like [`load`].
+    /// Corrupt (or unrescopable) entries are deleted and counted, exactly
+    /// like [`load`].
     ///
     /// Returns the *serialized* text alongside the decoded summaries so a
     /// fronting tier ([`TieredStore`]) can keep the validated bytes without
@@ -210,10 +243,11 @@ impl DiskStore {
     pub fn load_validated(
         &self,
         key: &Fingerprint,
+        scopes: &dyn ScopeResolver,
     ) -> Option<(String, Vec<ProcedureSummary>, Option<Duration>)> {
         let path = self.entry_path(key);
         let text = std::fs::read_to_string(&path).ok()?;
-        match decode_entry(&text, key) {
+        match decode_entry(&text, key, scopes) {
             Some(summaries) => {
                 let age = std::fs::metadata(&path)
                     .and_then(|m| m.modified())
@@ -342,12 +376,15 @@ impl DiskStore {
 }
 
 impl SummaryStore for DiskStore {
-    fn load(&self, key: &Fingerprint) -> Option<Vec<ProcedureSummary>> {
-        self.load_validated(key).map(|(_, summaries, _)| summaries)
+    fn load(&self, key: &Fingerprint, scopes: &dyn ScopeResolver) -> Option<Vec<ProcedureSummary>> {
+        self.load_validated(key, scopes)
+            .map(|(_, summaries, _)| summaries)
     }
 
-    fn store(&self, key: &Fingerprint, summaries: &[ProcedureSummary]) {
-        self.store_encoded(key, &encode_entry(key, summaries));
+    fn store(&self, key: &Fingerprint, summaries: &[ProcedureSummary], scopes: &dyn ScopeResolver) {
+        if let Some(encoded) = encode_entry(key, summaries, scopes) {
+            self.store_encoded(key, &encoded);
+        }
     }
 
     fn evictions(&self) -> u64 {
@@ -610,7 +647,11 @@ impl TieredStore {
 
     /// Memory-tier probe: serves a fresh hit, drops expired or corrupt
     /// entries (falling through to the disk tier).
-    fn load_mem(&self, key: &Fingerprint) -> Option<Vec<ProcedureSummary>> {
+    fn load_mem(
+        &self,
+        key: &Fingerprint,
+        scopes: &dyn ScopeResolver,
+    ) -> Option<Vec<ProcedureSummary>> {
         let mut shard = self.shard(key).lock().expect("tiered store shard lock");
         let expired = {
             let entry = shard.map.get(key)?;
@@ -629,7 +670,7 @@ impl TieredStore {
         let stamp = shard.tick;
         let entry = shard.map.get_mut(key).expect("entry checked above");
         entry.last_used = stamp;
-        match decode_entry(&entry.text, key) {
+        match decode_entry(&entry.text, key, scopes) {
             Some(summaries) => {
                 self.mem_hits.fetch_add(1, Ordering::Relaxed);
                 Some(summaries)
@@ -648,8 +689,8 @@ impl TieredStore {
 }
 
 impl SummaryStore for TieredStore {
-    fn load(&self, key: &Fingerprint) -> Option<Vec<ProcedureSummary>> {
-        if let Some(summaries) = self.load_mem(key) {
+    fn load(&self, key: &Fingerprint, scopes: &dyn ScopeResolver) -> Option<Vec<ProcedureSummary>> {
+        if let Some(summaries) = self.load_mem(key, scopes) {
             return Some(summaries);
         }
         let Some(disk) = &self.disk else {
@@ -657,7 +698,7 @@ impl SummaryStore for TieredStore {
             return None;
         };
         self.disk_probes.fetch_add(1, Ordering::Relaxed);
-        match disk.load_validated(key) {
+        match disk.load_validated(key, scopes) {
             Some((_, _, Some(age))) if self.config.max_age.is_some_and(|limit| age > limit) => {
                 disk.remove(key);
                 self.age_evictions.fetch_add(1, Ordering::Relaxed);
@@ -676,8 +717,10 @@ impl SummaryStore for TieredStore {
         }
     }
 
-    fn store(&self, key: &Fingerprint, summaries: &[ProcedureSummary]) {
-        let encoded = encode_entry(key, summaries);
+    fn store(&self, key: &Fingerprint, summaries: &[ProcedureSummary], scopes: &dyn ScopeResolver) {
+        let Some(encoded) = encode_entry(key, summaries, scopes) else {
+            return;
+        };
         if let Some(disk) = &self.disk {
             disk.store_encoded(key, &encoded);
         }
@@ -701,6 +744,7 @@ impl SummaryStore for TieredStore {
 mod tests {
     use super::*;
     use crate::analysis::ProcedureSummary;
+    use crate::cache::NullScopes;
     use chora_logic::TransitionFormula;
 
     fn summary(name: &str) -> ProcedureSummary {
@@ -720,13 +764,91 @@ mod tests {
         dir
     }
 
+    /// A summary whose formula mentions a fresh symbol, plus resolvers that
+    /// can and cannot rescope it: the "can" side owns scope 0 under a
+    /// synthetic component key, the "cannot" side knows nothing.
+    fn fresh_summary() -> ProcedureSummary {
+        let t = chora_expr::FreshSource::new(0).fresh();
+        ProcedureSummary {
+            name: "f".to_string(),
+            formula: TransitionFormula::from_polyhedron(chora_logic::Polyhedron::from_atoms(vec![
+                chora_logic::Atom::ge(
+                    chora_expr::Polynomial::var(t),
+                    chora_expr::Polynomial::zero(),
+                ),
+            ])),
+            bound_facts: Vec::new(),
+            depth: None,
+            recursive: false,
+        }
+    }
+
+    struct OneScope;
+    impl crate::cache::ScopeResolver for OneScope {
+        fn scope_of(&self, key: &Fingerprint) -> Option<u32> {
+            (key.0 == 0xc0ffee).then_some(0)
+        }
+        fn key_of(&self, scope: u32) -> Option<Fingerprint> {
+            (scope == 0).then_some(Fingerprint(0xc0ffee))
+        }
+    }
+
+    #[test]
+    fn unrescopable_loads_count_as_corruption_evictions_not_panics() {
+        for (store, name) in [
+            (
+                Box::new(MemoryStore::new()) as Box<dyn SummaryStore>,
+                "memory",
+            ),
+            (
+                Box::new(TieredStore::new(None, TieredConfig::default())) as Box<dyn SummaryStore>,
+                "tiered",
+            ),
+        ] {
+            let key = Fingerprint(0xc0ffee);
+            store.store(&key, &[fresh_summary()], &OneScope);
+            assert!(
+                store.load(&key, &OneScope).is_some(),
+                "{name}: rescopable entry must hit"
+            );
+            assert_eq!(store.evictions(), 0, "{name}");
+            // This "run" has no component behind the recorded key: the
+            // fresh symbol cannot be rescoped — evict, never panic.
+            assert!(
+                store.load(&key, &NullScopes).is_none(),
+                "{name}: unrescopable entry must miss"
+            );
+            assert_eq!(
+                store.evictions(),
+                1,
+                "{name}: the discard must count as a corruption eviction"
+            );
+            // The slot is reusable afterwards.
+            assert!(store.load(&key, &OneScope).is_none(), "{name}");
+            store.store(&key, &[fresh_summary()], &OneScope);
+            assert!(store.load(&key, &OneScope).is_some(), "{name}");
+        }
+        // Same through a disk store, where the entry file must also be gone.
+        let root = temp_dir("rescope-evict");
+        let store = DiskStore::open(&root).expect("open");
+        let key = Fingerprint(0xc0ffee);
+        store.store(&key, &[fresh_summary()], &OneScope);
+        let path = store.dir().join(format!("{}.json", key.to_hex()));
+        assert!(path.exists());
+        assert!(store.load(&key, &NullScopes).is_none());
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(store.gc_evictions(), 0, "rescope failure is not GC");
+        assert!(!path.exists(), "unrescopable entry must be deleted");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
     #[test]
     fn memory_store_round_trips() {
         let store = MemoryStore::new();
         let key = Fingerprint(7);
-        assert!(store.load(&key).is_none());
-        store.store(&key, &[summary("f"), summary("g")]);
-        let loaded = store.load(&key).expect("hit");
+        assert!(store.load(&key, &NullScopes).is_none());
+        store.store(&key, &[summary("f"), summary("g")], &NullScopes);
+        let loaded = store.load(&key, &NullScopes).expect("hit");
         assert_eq!(loaded.len(), 2);
         assert_eq!(loaded[0].name, "f");
         assert_eq!(loaded[1].name, "g");
@@ -738,20 +860,20 @@ mod tests {
         let root = temp_dir("roundtrip");
         let store = DiskStore::open(&root).expect("open");
         let key = Fingerprint(9);
-        assert!(store.load(&key).is_none());
-        store.store(&key, &[summary("f")]);
-        assert_eq!(store.load(&key).expect("hit")[0].name, "f");
+        assert!(store.load(&key, &NullScopes).is_none());
+        store.store(&key, &[summary("f")], &NullScopes);
+        assert_eq!(store.load(&key, &NullScopes).expect("hit")[0].name, "f");
 
         // Corrupt the entry on disk: next load evicts it instead of failing.
         let path = store.dir().join(format!("{}.json", key.to_hex()));
         std::fs::write(&path, "{ definitely not a cache entry").expect("corrupt");
-        assert!(store.load(&key).is_none());
+        assert!(store.load(&key, &NullScopes).is_none());
         assert_eq!(store.evictions(), 1);
         assert_eq!(store.gc_evictions(), 0, "corruption is not GC");
         assert!(!path.exists(), "corrupt entry must be deleted");
         // And the slot is usable again.
-        store.store(&key, &[summary("f")]);
-        assert!(store.load(&key).is_some());
+        store.store(&key, &[summary("f")], &NullScopes);
+        assert!(store.load(&key, &NullScopes).is_some());
         let _ = std::fs::remove_dir_all(&root);
     }
 
@@ -764,11 +886,36 @@ mod tests {
     }
 
     #[test]
+    fn opening_sweeps_stale_older_version_directories() {
+        let root = temp_dir("stale-versions");
+        // An unreadable previous-format tree, a future format's tree, and
+        // an unrelated directory.
+        for sub in ["v1", &format!("v{}", CACHE_VERSION + 1), "not-a-version"] {
+            std::fs::create_dir_all(root.join(sub)).expect("mkdir");
+            std::fs::write(root.join(sub).join("entry.json"), "old bytes").expect("write");
+        }
+        let _store = DiskStore::open(&root).expect("open");
+        assert!(
+            !root.join("v1").exists(),
+            "older-version directories must be reclaimed on open"
+        );
+        assert!(
+            root.join(format!("v{}", CACHE_VERSION + 1)).exists(),
+            "a newer binary's namespace must be left alone"
+        );
+        assert!(
+            root.join("not-a-version").exists(),
+            "unrelated directories must be left alone"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn disk_gc_expires_by_age_and_caps_by_bytes() {
         let root = temp_dir("gc");
         let store = DiskStore::open(&root).expect("open");
         for i in 0..4u128 {
-            store.store(&Fingerprint(i), &[summary(&format!("p{i}"))]);
+            store.store(&Fingerprint(i), &[summary(&format!("p{i}"))], &NullScopes);
         }
         // Nothing is older than an hour: the age pass removes nothing.
         assert_eq!(store.gc(Some(Duration::from_secs(3600)), None), 0);
@@ -779,7 +926,7 @@ mod tests {
         let removed = store.gc(Some(Duration::ZERO), None);
         assert_eq!(removed, 4);
         assert_eq!(store.gc_evictions(), 4);
-        assert!(store.load(&Fingerprint(0)).is_none());
+        assert!(store.load(&Fingerprint(0), &NullScopes).is_none());
         assert_eq!(
             store.evictions(),
             0,
@@ -788,7 +935,7 @@ mod tests {
 
         // Byte cap: refill, then shrink to a cap below the total.
         for i in 0..4u128 {
-            store.store(&Fingerprint(i), &[summary(&format!("p{i}"))]);
+            store.store(&Fingerprint(i), &[summary(&format!("p{i}"))], &NullScopes);
         }
         let total = store.disk_bytes();
         assert!(total > 0);
@@ -803,12 +950,12 @@ mod tests {
         let root = temp_dir("tiered-warm");
         let store = TieredStore::open(&root, TieredConfig::default()).expect("open");
         let key = Fingerprint(11);
-        assert!(store.load(&key).is_none());
-        store.store(&key, &[summary("f")]);
+        assert!(store.load(&key, &NullScopes).is_none());
+        store.store(&key, &[summary("f")], &NullScopes);
         // First and every following load is a pure memory hit: the disk
         // tier was probed exactly once (the initial miss).
-        assert_eq!(store.load(&key).expect("hit")[0].name, "f");
-        assert_eq!(store.load(&key).expect("hit")[0].name, "f");
+        assert_eq!(store.load(&key, &NullScopes).expect("hit")[0].name, "f");
+        assert_eq!(store.load(&key, &NullScopes).expect("hit")[0].name, "f");
         let c = store.counters();
         assert_eq!(c.mem_hits, 2);
         assert_eq!(c.disk_probes, 1, "only the cold miss touched disk");
@@ -825,10 +972,13 @@ mod tests {
         // A different handle (think: another process) populated the disk.
         DiskStore::open(&root)
             .expect("open")
-            .store(&key, &[summary("g")]);
+            .store(&key, &[summary("g")], &NullScopes);
         let store = TieredStore::open(&root, TieredConfig::default()).expect("open");
-        assert_eq!(store.load(&key).expect("disk hit")[0].name, "g");
-        assert_eq!(store.load(&key).expect("mem hit")[0].name, "g");
+        assert_eq!(
+            store.load(&key, &NullScopes).expect("disk hit")[0].name,
+            "g"
+        );
+        assert_eq!(store.load(&key, &NullScopes).expect("mem hit")[0].name, "g");
         let c = store.counters();
         assert_eq!(c.disk_hits, 1);
         assert_eq!(c.mem_hits, 1);
@@ -848,7 +998,7 @@ mod tests {
                 shards: 1,
             },
         );
-        store.store(&Fingerprint(1), &[summary("a")]);
+        store.store(&Fingerprint(1), &[summary("a")], &NullScopes);
         let entry_bytes = store.counters().mem_bytes;
         let store = TieredStore::new(
             None,
@@ -858,18 +1008,24 @@ mod tests {
                 shards: 1,
             },
         );
-        store.store(&Fingerprint(1), &[summary("a")]);
-        store.store(&Fingerprint(2), &[summary("b")]);
+        store.store(&Fingerprint(1), &[summary("a")], &NullScopes);
+        store.store(&Fingerprint(2), &[summary("b")], &NullScopes);
         // Touch 1 so 2 becomes the LRU victim.
-        assert!(store.load(&Fingerprint(1)).is_some());
-        store.store(&Fingerprint(3), &[summary("c")]);
+        assert!(store.load(&Fingerprint(1), &NullScopes).is_some());
+        store.store(&Fingerprint(3), &[summary("c")], &NullScopes);
         let c = store.counters();
         assert_eq!(c.lru_evictions, 1);
         assert_eq!(c.mem_entries, 2);
-        assert!(store.load(&Fingerprint(1)).is_some(), "recently used stays");
-        assert!(store.load(&Fingerprint(3)).is_some(), "newest stays");
         assert!(
-            store.load(&Fingerprint(2)).is_none(),
+            store.load(&Fingerprint(1), &NullScopes).is_some(),
+            "recently used stays"
+        );
+        assert!(
+            store.load(&Fingerprint(3), &NullScopes).is_some(),
+            "newest stays"
+        );
+        assert!(
+            store.load(&Fingerprint(2), &NullScopes).is_none(),
             "least-recently-used entry must be the one evicted"
         );
         let c = store.counters();
@@ -883,7 +1039,7 @@ mod tests {
         let key = Fingerprint(31);
         DiskStore::open(&root)
             .expect("open")
-            .store(&key, &[summary("f")]);
+            .store(&key, &[summary("f")], &NullScopes);
         // Entry is ~35ms old by the time the tiered handle promotes it.
         std::thread::sleep(Duration::from_millis(35));
         let store = TieredStore::open(
@@ -895,12 +1051,15 @@ mod tests {
             },
         )
         .expect("open tiered");
-        assert!(store.load(&key).is_some(), "still within max_age");
+        assert!(
+            store.load(&key, &NullScopes).is_some(),
+            "still within max_age"
+        );
         // 35ms + 40ms > 60ms: the promoted copy must expire on its *true*
         // age, not on time-since-promotion.
         std::thread::sleep(Duration::from_millis(40));
         assert!(
-            store.load(&key).is_none(),
+            store.load(&key, &NullScopes).is_none(),
             "promotion must not reset the expiry clock"
         );
         let _ = std::fs::remove_dir_all(&root);
@@ -919,15 +1078,18 @@ mod tests {
         )
         .expect("open");
         let key = Fingerprint(21);
-        store.store(&key, &[summary("f")]);
-        assert!(store.load(&key).is_some(), "fresh entry hits");
+        store.store(&key, &[summary("f")], &NullScopes);
+        assert!(store.load(&key, &NullScopes).is_some(), "fresh entry hits");
         std::thread::sleep(Duration::from_millis(60));
-        assert!(store.load(&key).is_none(), "expired entry must not hit");
+        assert!(
+            store.load(&key, &NullScopes).is_none(),
+            "expired entry must not hit"
+        );
         let c = store.counters();
         assert!(c.age_evictions >= 1, "expiry must be counted: {c:?}");
         assert_eq!(c.corrupt_evictions, 0);
         // gc() sweeps the disk tier too: after it, the directory is empty.
-        store.store(&key, &[summary("f")]);
+        store.store(&key, &[summary("f")], &NullScopes);
         std::thread::sleep(Duration::from_millis(60));
         store.gc();
         assert_eq!(store.disk().expect("disk tier").disk_bytes(), 0);

@@ -246,11 +246,22 @@ impl Symbol {
     ///
     /// # Panics
     ///
-    /// Panics if `scope` or `serial` exceed their bit-field ranges.
+    /// Panics if `scope` or `serial` exceed their bit-field ranges.  The
+    /// restore path of the summary cache, which must treat out-of-range
+    /// values as corruption rather than a crash, goes through the checked
+    /// [`Symbol::try_fresh_at`] instead.
     pub fn fresh_at(scope: u32, serial: u32) -> Symbol {
-        assert!(scope <= MAX_FRESH_SCOPE, "fresh scope overflow");
-        assert!(serial <= FRESH_SERIAL_MASK, "fresh serial overflow");
-        Symbol::pack(TAG_FRESH, (scope << FRESH_SERIAL_BITS) | serial)
+        Symbol::try_fresh_at(scope, serial).expect("fresh scope/serial overflow")
+    }
+
+    /// Checked [`Symbol::fresh_at`]: `None` when `scope` or `serial` exceed
+    /// their packed bit-field ceilings ([`MAX_FRESH_SCOPE`] /
+    /// [`MAX_FRESH_SERIAL`]) instead of panicking.  The summary cache
+    /// re-homes restored fresh symbols into the current run's scopes with
+    /// this, turning an impossible restore into an eviction, not a crash.
+    pub fn try_fresh_at(scope: u32, serial: u32) -> Option<Symbol> {
+        (scope <= MAX_FRESH_SCOPE && serial <= FRESH_SERIAL_MASK)
+            .then(|| Symbol::pack(TAG_FRESH, (scope << FRESH_SERIAL_BITS) | serial))
     }
 
     /// An operation-local linearization dimension (for the polyhedra layer).
@@ -462,6 +473,22 @@ mod tests {
         assert_eq!(again.fresh(), a);
         // Different scope: disjoint symbols.
         assert_ne!(FreshSource::new(8).fresh(), a);
+    }
+
+    #[test]
+    fn try_fresh_at_is_checked_and_serial_preserving() {
+        let s = FreshSource::new(3);
+        let _ = s.fresh();
+        let sym = s.fresh(); // scope 3, serial 1
+        assert_eq!(Symbol::try_fresh_at(9, 1), Some(Symbol::fresh_at(9, 1)));
+        assert_eq!(Symbol::try_fresh_at(3, 1), Some(sym));
+        assert_eq!(
+            Symbol::try_fresh_at(MAX_FRESH_SCOPE + 1, 1),
+            None,
+            "over-ceiling scopes must fail, not panic"
+        );
+        assert_eq!(Symbol::try_fresh_at(0, MAX_FRESH_SERIAL + 1), None);
+        assert_eq!(Symbol::try_fresh_at(2, 5), Some(Symbol::fresh_at(2, 5)));
     }
 
     #[test]

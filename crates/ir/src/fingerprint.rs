@@ -13,10 +13,13 @@
 //!   numbered by first occurrence, so the hash is alpha-invariant in them;
 //! * [`level_keys`] lifts the per-procedure hashes to transitive component
 //!   keys over the call graph's SCC levels:
-//!   `K(C) = H(salt ‖ scope(C) ‖ member hashes ‖ sorted callee keys)` —
-//!   one key identifies a component *and its entire callee cone* (plus the
-//!   deterministic fresh-symbol scope the driver assigns to it, so a key
-//!   hit guarantees restored summaries are bit-compatible with a cold run);
+//!   `K(C) = H(salt ‖ member hashes ‖ sorted callee keys)` —
+//!   one key identifies a component *and its entire callee cone*, and
+//!   nothing else: in particular it is independent of where the component
+//!   sits in the bottom-up schedule, so inserting or reordering unrelated
+//!   procedures never changes the key of an unchanged cone.  (Restored
+//!   summaries are made bit-compatible with a cold run by rescoping their
+//!   fresh symbols on load — see `chora_core::cache`.);
 //! * [`procedure_keys`] exposes the same information keyed by procedure
 //!   name, which is what tests and tooling want.
 //!
@@ -333,11 +336,14 @@ pub fn procedure_fingerprint(proc: &Procedure) -> Fingerprint {
 ///
 /// The key of a component mixes the caller-provided `salt` (analysis
 /// configuration, global-variable vocabulary, cache-format version), the
-/// deterministic fresh-symbol *scope* the driver will assign to the
-/// component (its index in the flattened level order), the member
-/// fingerprints in member order, and the sorted keys of all callee
-/// components — so a key equality certifies that the whole callee cone, and
-/// the symbol scopes any restored summary could mention, are unchanged.
+/// member fingerprints in member order, and the sorted keys of all callee
+/// components — so a key equality certifies that the whole callee cone is
+/// unchanged.  Deliberately **not** mixed in: the component's position in
+/// the bottom-up schedule (its fresh-symbol scope).  Scope used to be part
+/// of the key, which made inserting one procedure early in a program shift
+/// every later component's scope and spuriously evict summaries whose cone
+/// was byte-for-byte unchanged; instead, restored summaries are rescoped
+/// into the current schedule on load (`chora_core::cache`).
 pub fn level_keys(
     program: &Program,
     callgraph: &CallGraph,
@@ -346,14 +352,11 @@ pub fn level_keys(
 ) -> Vec<Vec<Fingerprint>> {
     let mut key_of: BTreeMap<&str, Fingerprint> = BTreeMap::new();
     let mut out: Vec<Vec<Fingerprint>> = Vec::with_capacity(levels.len());
-    let mut scope: u64 = 0;
     for level in levels {
         let mut level_out = Vec::with_capacity(level.len());
         for component in level {
             let mut b = FingerprintBuilder::new();
             b.write_fingerprint(salt);
-            b.write_u64(scope);
-            scope += 1;
             b.write_bool(component.recursive);
             b.write_u64(component.members.len() as u64);
             for member in &component.members {
@@ -513,6 +516,46 @@ mod tests {
         assert_ne!(before["mid"], after["mid"]);
         assert_ne!(before["main"], after["main"]);
         assert_eq!(before["other"], after["other"]);
+    }
+
+    #[test]
+    fn keys_are_independent_of_component_order() {
+        let salt = Fingerprint(9);
+        let original = program(vec![
+            leaf("leaf", 1),
+            caller("mid", "leaf"),
+            caller("main", "mid"),
+        ]);
+        // Prepending an unrelated procedure shifts every component's
+        // bottom-up scope, but must not change a single preexisting key.
+        let prepended = program(vec![
+            leaf("unrelated", 3),
+            leaf("leaf", 1),
+            caller("mid", "leaf"),
+            caller("main", "mid"),
+        ]);
+        // Reordering independent procedures must not either.
+        let reordered = program(vec![
+            caller("main", "mid"),
+            caller("mid", "leaf"),
+            leaf("unrelated", 3),
+            leaf("leaf", 1),
+        ]);
+        let before = procedure_keys(&original, salt);
+        let with_pad = procedure_keys(&prepended, salt);
+        let shuffled = procedure_keys(&reordered, salt);
+        for name in ["leaf", "mid", "main"] {
+            assert_eq!(
+                before[name], with_pad[name],
+                "`{name}` key must survive a prepend"
+            );
+            assert_eq!(
+                with_pad[name], shuffled[name],
+                "`{name}` key must survive a reorder"
+            );
+        }
+        assert!(!before.contains_key("unrelated"));
+        assert_eq!(with_pad["unrelated"], shuffled["unrelated"]);
     }
 
     #[test]

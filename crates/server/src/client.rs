@@ -39,6 +39,13 @@ pub fn http_request(
 }
 
 /// Splits a raw `Connection: close` response into status and body.
+///
+/// When the head carries `Content-Length`, the header is authoritative: any
+/// trailing bytes past it are discarded (they are not part of the body) and
+/// a body shorter than advertised is a truncation error, not silently
+/// accepted.  Without the header, everything up to EOF is the body
+/// (`Connection: close` framing).  A body that is not valid UTF-8 is an
+/// error — it must never be silently mangled by a lossy conversion.
 fn parse_response(raw: &[u8]) -> std::io::Result<(u16, String)> {
     let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
     let head_end = raw
@@ -49,10 +56,8 @@ fn parse_response(raw: &[u8]) -> std::io::Result<(u16, String)> {
         std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("response head is not UTF-8"))?;
     // Skip interim 1xx responses (the server sends `100 Continue` when the
     // request carried `Expect`).
-    let status_line = head
-        .split("\r\n")
-        .next()
-        .ok_or_else(|| bad("empty response"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
@@ -61,7 +66,38 @@ fn parse_response(raw: &[u8]) -> std::io::Result<(u16, String)> {
     if (100..200).contains(&status) {
         return parse_response(&raw[head_end + 4..]);
     }
-    let body = String::from_utf8_lossy(&raw[head_end + 4..]).into_owned();
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if !name.trim().eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        let value: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| bad(&format!("invalid Content-Length `{}`", value.trim())))?;
+        match content_length {
+            Some(existing) if existing != value => {
+                return Err(bad("conflicting Content-Length headers in response"));
+            }
+            _ => content_length = Some(value),
+        }
+    }
+    let mut body = &raw[head_end + 4..];
+    if let Some(expected) = content_length {
+        if body.len() < expected {
+            return Err(bad(&format!(
+                "response body truncated: got {} of {expected} bytes",
+                body.len()
+            )));
+        }
+        body = &body[..expected];
+    }
+    let body = std::str::from_utf8(body)
+        .map_err(|_| bad("response body is not valid UTF-8"))?
+        .to_string();
     Ok((status, body))
 }
 
@@ -82,5 +118,41 @@ mod tests {
         let (status, body) = parse_response(raw).unwrap();
         assert_eq!(status, 400);
         assert!(body.contains("error"));
+    }
+
+    #[test]
+    fn content_length_bounds_the_body() {
+        // Trailing bytes past Content-Length are not part of the body.
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi-trailing-garbage";
+        assert_eq!(parse_response(raw).unwrap(), (200, "hi".to_string()));
+        // A short body is a truncation error, not a silent success.
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nhi";
+        let err = parse_response(raw).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated"), "{err}");
+        // Case-insensitive header name, equal duplicates tolerated.
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\nCONTENT-LENGTH: 2\r\n\r\nhiX";
+        assert_eq!(parse_response(raw).unwrap(), (200, "hi".to_string()));
+        // Conflicting duplicates are an error.
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nhix";
+        let err = parse_response(raw).unwrap_err();
+        assert!(err.to_string().contains("conflicting"), "{err}");
+        // Unparseable value.
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: zz\r\n\r\nhi";
+        assert!(parse_response(raw).is_err());
+        // Without the header, Connection: close framing reads to EOF.
+        let raw = b"HTTP/1.1 200 OK\r\n\r\neverything here";
+        assert_eq!(
+            parse_response(raw).unwrap(),
+            (200, "everything here".to_string())
+        );
+    }
+
+    #[test]
+    fn non_utf8_bodies_are_an_error_not_mangled() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n\xff\xfe";
+        let err = parse_response(raw).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("UTF-8"), "{err}");
     }
 }

@@ -257,12 +257,25 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
             "chunked transfer encoding is not supported; send Content-Length",
         ));
     }
-    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
-        Some((_, v)) => v
+    // All Content-Length occurrences must agree: resolving duplicates by
+    // "first wins" would silently read the wrong number of body bytes when
+    // a proxy or a confused client stacks conflicting values (a classic
+    // request-smuggling vector) — reject the request instead.
+    let mut content_length: Option<usize> = None;
+    for (_, v) in headers.iter().filter(|(k, _)| k == "content-length") {
+        let parsed: usize = v
             .parse()
-            .map_err(|_| HttpError::bad_request(format!("invalid Content-Length `{v}`")))?,
-        None => 0,
-    };
+            .map_err(|_| HttpError::bad_request(format!("invalid Content-Length `{v}`")))?;
+        match content_length {
+            Some(existing) if existing != parsed => {
+                return Err(HttpError::bad_request(
+                    "conflicting duplicate Content-Length headers",
+                ));
+            }
+            _ => content_length = Some(parsed),
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError {
             status: 413,
