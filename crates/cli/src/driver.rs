@@ -43,7 +43,7 @@ pub fn read_source(path: &str) -> Result<String, CliError> {
 
 /// Parses program text, rendering errors against `name` (a path or a
 /// request-supplied display name).
-fn parse_source(name: &str, src: &str) -> Result<Program, CliError> {
+pub(crate) fn parse_source(name: &str, src: &str) -> Result<Program, CliError> {
     parse_program(src).map_err(|e| CliError(format!("{name}:{}", e.render(src))))
 }
 
@@ -52,7 +52,7 @@ fn read_and_parse(path: &str) -> Result<Program, CliError> {
 }
 
 /// An analyzer configured with the requested worker count.
-fn analyzer_with_jobs(jobs: usize) -> Analyzer {
+pub(crate) fn analyzer_with_jobs(jobs: usize) -> Analyzer {
     Analyzer::with_config(AnalysisConfig {
         jobs,
         ..AnalysisConfig::default()
@@ -245,17 +245,42 @@ pub fn analyze_source(
     opts: &FileOptions,
     store: Option<&dyn SummaryStore>,
 ) -> Result<(String, i32, Option<CacheStats>), CliError> {
-    let program = parse_source(name, src)?;
+    analyze_program(name, &parse_source(name, src)?, opts, store)
+}
+
+/// [`analyze_source`] on an already-parsed program — the entry point for
+/// callers holding a cached parse (the server's parsed-program cache).
+pub fn analyze_program(
+    name: &str,
+    program: &Program,
+    opts: &FileOptions,
+    store: Option<&dyn SummaryStore>,
+) -> Result<(String, i32, Option<CacheStats>), CliError> {
+    let started = Instant::now();
+    let result = run_analysis(&analyzer_with_jobs(opts.jobs), program, store);
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let stats = store.is_some().then_some(result.cache);
+    let (output, exit) = render_analysis(name, program, &result, opts, elapsed_ms)?;
+    Ok((output, exit, stats))
+}
+
+/// Renders the `chora analyze` report from a finished [`AnalysisResult`].
+/// Split from [`analyze_program`] so `/v1/batch` can analyze many programs
+/// in one batched driver call and still render each element exactly as a
+/// single-shot request would.
+pub(crate) fn render_analysis(
+    name: &str,
+    program: &Program,
+    result: &AnalysisResult,
+    opts: &FileOptions,
+    elapsed_ms: f64,
+) -> Result<(String, i32), CliError> {
     // With --proc the report is restricted to that procedure (and its
     // assertions); the analysis itself is always whole-program.
     let focus = match opts.procedure.as_deref() {
-        Some(requested) => Some(resolve_procedure(&program, Some(requested))?),
+        Some(requested) => Some(resolve_procedure(program, Some(requested))?),
         None => None,
     };
-    let started = Instant::now();
-    let result = run_analysis(&analyzer_with_jobs(opts.jobs), &program, store);
-    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
-    let stats = store.is_some().then_some(result.cache);
 
     let report_names: Vec<String> = match &focus {
         Some(name) => vec![name.clone()],
@@ -321,7 +346,7 @@ pub fn analyze_source(
             .field("assertions", Json::Array(assertions))
             .field("all_assertions_verified", Json::Bool(all_verified))
             .field("analysis_ms", Json::Float(elapsed_ms));
-        return Ok((doc.pretty(), exit, stats));
+        return Ok((doc.pretty(), exit));
     }
 
     let mut out = String::new();
@@ -370,7 +395,7 @@ pub fn analyze_source(
             }
         ));
     }
-    Ok((out, exit, stats))
+    Ok((out, exit))
 }
 
 /// `chora complexity FILE`: resource-bound extraction — the Table 1 view of
@@ -398,15 +423,37 @@ pub fn complexity_source(
     opts: &FileOptions,
     store: Option<&dyn SummaryStore>,
 ) -> Result<(String, i32, Option<CacheStats>), CliError> {
-    let program = parse_source(name, src)?;
-    let proc_name = resolve_procedure(&program, opts.procedure.as_deref())?;
-    let cost = resolve_cost_var(&program, opts.cost_var.as_deref())?;
-    let size = resolve_size_param(&program, &proc_name, opts.size_param.as_deref())?;
+    complexity_program(name, &parse_source(name, src)?, opts, store)
+}
 
+/// [`complexity_source`] on an already-parsed program — see
+/// [`analyze_program`].
+pub fn complexity_program(
+    name: &str,
+    program: &Program,
+    opts: &FileOptions,
+    store: Option<&dyn SummaryStore>,
+) -> Result<(String, i32, Option<CacheStats>), CliError> {
     let started = Instant::now();
-    let result = run_analysis(&analyzer_with_jobs(opts.jobs), &program, store);
+    let result = run_analysis(&analyzer_with_jobs(opts.jobs), program, store);
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
     let stats = store.is_some().then_some(result.cache);
+    let (output, exit) = render_complexity(name, program, &result, opts, elapsed_ms)?;
+    Ok((output, exit, stats))
+}
+
+/// Renders the `chora complexity` report from a finished
+/// [`AnalysisResult`] — see [`render_analysis`].
+pub(crate) fn render_complexity(
+    name: &str,
+    program: &Program,
+    result: &AnalysisResult,
+    opts: &FileOptions,
+    elapsed_ms: f64,
+) -> Result<(String, i32), CliError> {
+    let proc_name = resolve_procedure(program, opts.procedure.as_deref())?;
+    let cost = resolve_cost_var(program, opts.cost_var.as_deref())?;
+    let size = resolve_size_param(program, &proc_name, opts.size_param.as_deref())?;
 
     let summary = result
         .summary(&proc_name)
@@ -433,7 +480,7 @@ pub fn complexity_source(
             )
             .field("class", Json::str(class.to_string()))
             .field("analysis_ms", Json::Float(elapsed_ms));
-        return Ok((doc.pretty(), exit, stats));
+        return Ok((doc.pretty(), exit));
     }
 
     let mut out = String::new();
@@ -446,7 +493,7 @@ pub fn complexity_source(
     }
     out.push_str(&format!("  class: {class}\n"));
     out.push_str(&format!("  analysis time: {elapsed_ms:.1} ms\n"));
-    Ok((out, exit, stats))
+    Ok((out, exit))
 }
 
 /// Options for `chora bench`.

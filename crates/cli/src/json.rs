@@ -1,7 +1,9 @@
-//! A tiny JSON emitter (the build environment is offline, so no serde).
+//! A tiny JSON emitter and parser (the build environment is offline, so
+//! no serde).
 //!
 //! Only what the CLI needs: objects, arrays, strings, numbers, and booleans,
-//! emitted with stable key order and two-space indentation.
+//! emitted with stable key order and two-space indentation; parsing is a
+//! straightforward recursive descent used by the `/v1/batch` request body.
 
 use std::fmt::Write;
 
@@ -34,6 +36,43 @@ impl Json {
             _ => panic!("field() on non-object"),
         }
         self
+    }
+
+    /// Parses one JSON document (surrounding whitespace allowed, trailing
+    /// garbage rejected).  Errors carry the byte offset they occurred at.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data after JSON value at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// The string payload, for `Json::Str` values.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, for `Json::Array` values.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of a `Json::Object` (first match wins).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
     }
 
     /// Serializes with two-space indentation and a trailing newline.
@@ -120,5 +159,235 @@ impl Json {
 fn pad(out: &mut String, depth: usize) {
     for _ in 0..depth {
         out.push_str("  ");
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {pos}", byte as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&b) => Err(format!("unexpected byte `{}` at byte {pos}", b as char)),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("invalid \\u escape at byte {pos}"))?;
+                        // Surrogate pairs are not needed for `.imp` sources;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(&b) => {
+                // Consume one UTF-8 scalar (the input is a &str and `pos`
+                // only ever advances by whole scalars, so the sequence
+                // length read off the lead byte is trustworthy).
+                let len = match b {
+                    b if b < 0x80 => 1,
+                    b if b >= 0xf0 => 4,
+                    b if b >= 0xe0 => 3,
+                    _ => 2,
+                };
+                let chunk = bytes
+                    .get(*pos..*pos + len)
+                    .and_then(|c| std::str::from_utf8(c).ok())
+                    .ok_or_else(|| format!("invalid UTF-8 at byte {pos}"))?;
+                out.push_str(chunk);
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII number");
+    if float {
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+    } else {
+        text.parse::<i64>()
+            .map(Json::Int)
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_what_it_prints() {
+        let doc = Json::object()
+            .field("name", Json::str("fib \"quoted\"\n"))
+            .field("count", Json::Int(-3))
+            .field("ratio", Json::Float(1.5))
+            .field("ok", Json::Bool(true))
+            .field("none", Json::Null)
+            .field(
+                "items",
+                Json::Array(vec![Json::Int(1), Json::str("two"), Json::Array(vec![])]),
+            );
+        let parsed = Json::parse(&doc.pretty()).expect("round trip");
+        assert_eq!(
+            parsed.get("name").and_then(Json::as_str),
+            Some("fib \"quoted\"\n")
+        );
+        assert!(matches!(parsed.get("count"), Some(Json::Int(-3))));
+        assert!(matches!(parsed.get("ratio"), Some(Json::Float(r)) if *r == 1.5));
+        assert!(matches!(parsed.get("ok"), Some(Json::Bool(true))));
+        assert!(matches!(parsed.get("none"), Some(Json::Null)));
+        let items = parsed.get("items").and_then(Json::as_array).expect("array");
+        assert_eq!(items.len(), 3);
+        assert!(matches!(&items[2], Json::Array(v) if v.is_empty()));
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let parsed = Json::parse(r#"["a\tb", "Aé", "π"]"#).expect("parses");
+        let items = parsed.as_array().expect("array");
+        assert_eq!(items[0].as_str(), Some("a\tb"));
+        assert_eq!(items[1].as_str(), Some("Aé"));
+        assert_eq!(items[2].as_str(), Some("π"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "[1, 2",
+            "{\"a\" 1}",
+            "[1,]1",
+            "nulp",
+            "\"open",
+            "[1] trailing",
+            "{\"a\": }",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }

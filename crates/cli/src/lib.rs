@@ -27,9 +27,12 @@
 //! * `bench` — rerun the built-in paper benchmark suites with timings
 //!   (`--server` replays programs through a live daemon instead),
 //! * `print FILE` — parse and pretty-print (the round-trip surface),
-//! * `serve` — a long-running analysis daemon over HTTP with a resident
-//!   tiered summary store (see the [`serve`] module),
-//! * `request ENDPOINT [FILE]` — one HTTP round-trip against `chora serve`.
+//! * `serve` — a long-running analysis daemon over keep-alive HTTP with a
+//!   resident tiered summary store, a parsed-program cache, and a
+//!   rendered-response cache (see the [`serve`] module),
+//! * `request ENDPOINT [FILE...]` — one HTTP round-trip against `chora
+//!   serve` (the `batch` endpoint takes several FILEs and analyzes them in
+//!   one request).
 //!
 //! All file-driven subcommands accept `--json` for machine-readable output
 //! and `-` as FILE to read the program from stdin.
@@ -39,11 +42,13 @@ pub mod json;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
+pub mod progcache;
 pub mod serve;
 
 pub use driver::{
-    analyze, analyze_source, analyze_with_stats, bench, complexity_cmd, complexity_source,
-    print_cmd, read_source, BenchOptions, CliError, FileOptions,
+    analyze, analyze_program, analyze_source, analyze_with_stats, bench, complexity_cmd,
+    complexity_program, complexity_source, print_cmd, read_source, BenchOptions, CliError,
+    FileOptions,
 };
 pub use lexer::ParseError;
 pub use parser::parse_program;

@@ -20,12 +20,16 @@ SUBCOMMANDS:
                       every .imp program under DIR, when given)
     print FILE        Parse a .imp program and pretty-print it back
     serve             Long-running analysis daemon: POST .imp sources to
-                      /v1/analyze and /v1/complexity over HTTP and get the
-                      exact --json documents back, served from a resident
-                      tiered (memory + disk) summary store
-    request ENDPOINT [FILE]
+                      /v1/analyze and /v1/complexity over keep-alive HTTP
+                      and get the exact --json documents back, served from
+                      a resident tiered (memory + disk) summary store plus
+                      parsed-program and rendered-response caches;
+                      /v1/batch analyzes a JSON array of programs in one
+                      round trip
+    request ENDPOINT [FILE...]
                       One round-trip against a running `chora serve`:
-                      analyze, complexity (send FILE), healthz, stats,
+                      analyze, complexity (send one FILE), batch (send any
+                      number of FILEs in one request), healthz, stats,
                       shutdown (no FILE)
 
 FILE may be `-` to read the program from stdin (analyze/complexity/print/
@@ -81,6 +85,7 @@ EXAMPLES:
     chora bench --json --cache-dir /tmp/chora-cache examples/programs
     chora serve --addr 127.0.0.1:7557 --jobs 8 --cache-dir /tmp/chora-cache
     chora request analyze examples/programs/hanoi.imp
+    chora request batch examples/programs/*.imp
     chora bench --server --json examples/programs
 ";
 
@@ -235,18 +240,15 @@ fn run() -> Result<(String, i32), String> {
             // Accepted for scripting symmetry with the other subcommands;
             // `request` has no stderr chatter of its own to silence.
             let _ = take_flag(&mut args, "--quiet");
-            let (endpoint, file) = match args.as_slice() {
-                [endpoint] => (endpoint.clone(), None),
-                [endpoint, file] => (endpoint.clone(), Some(file.clone())),
-                _ => {
-                    return Err(
-                        "`chora request` expects ENDPOINT [FILE]; run `chora --help`".to_string(),
-                    )
-                }
-            };
+            if args.is_empty() {
+                return Err(
+                    "`chora request` expects ENDPOINT [FILE...]; run `chora --help`".to_string(),
+                );
+            }
+            let endpoint = args.remove(0);
             request(&RequestOptions {
                 endpoint,
-                file,
+                files: args,
                 addr,
                 jobs,
                 procedure,

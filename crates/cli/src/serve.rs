@@ -1,25 +1,45 @@
 //! `chora serve` and `chora request`: the analysis-as-a-service wiring.
 //!
 //! [`AnalysisService`] implements [`chora_server::AnalysisBackend`] on top
-//! of the factored driver ([`analyze_source`]/[`complexity_source`]) and a
-//! resident [`TieredStore`] — so a request body goes straight from socket
-//! to parser to analyzer, no subprocess, and the hot set of component
-//! summaries is served from memory without touching the disk tier.
-//! Response payloads are the *identical* JSON documents the `analyze
+//! of the factored driver ([`analyze_program`]/[`complexity_program`]) and
+//! three resident caches:
+//!
+//! * a [`TieredStore`] of component summaries (memory + optional disk),
+//! * a parsed-program cache (source bytes → [`Program`]), so a re-posted
+//!   source skips the lexer/parser entirely,
+//! * a rendered-response cache (endpoint + query + source → finished JSON
+//!   document), so a fully warm request costs one content hash and two
+//!   map lookups — no analysis at all.
+//!
+//! Sound because analysis output is deterministic: the same endpoint,
+//! query (minus `jobs`, which never changes the result), and source bytes
+//! always render the same document (timing fields aside).  Response
+//! payloads are the *identical* JSON documents the `analyze
 //! --json`/`complexity --json` subcommands print (the CI `server-smoke`
-//! job diffs them byte-for-byte, timing fields aside).
+//! job diffs them byte-for-byte, timing fields aside), and `/v1/batch`
+//! elements are byte-identical to the matching single-shot responses.
 
 use crate::driver::{
-    analyze_source, complexity_source, read_source, BenchOptions, CliError, FileOptions,
+    analyze_program, analyzer_with_jobs, complexity_program, parse_source, read_source,
+    render_analysis, BenchOptions, CliError, FileOptions,
 };
 use crate::json::Json;
+use crate::progcache::{response_key, source_key, ShardedLru};
 use chora_core::{DiskStore, SummaryStore, TierCounters, TieredConfig, TieredStore};
-use chora_server::client::http_request;
-use chora_server::http::encode_query_component;
+use chora_ir::{Fingerprint, Program};
+use chora_server::client::Client;
+use chora_server::http::{encode_query_component, json_string};
 use chora_server::router::Endpoint;
 use chora_server::{AnalysisBackend, ServerConfig, ServerHandle};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Byte budget of the parsed-program cache (source bytes retained; the
+/// programs themselves are a small multiple of that).
+const PARSE_CACHE_BYTES: u64 = 16 << 20;
+
+/// Byte budget of the rendered-response cache.
+const RESPONSE_CACHE_BYTES: u64 = 32 << 20;
 
 /// Options of `chora serve`.
 #[derive(Clone, Debug)]
@@ -87,10 +107,17 @@ pub fn parse_max_age(value: &str) -> Result<Duration, String> {
     Ok(Duration::from_secs(n.saturating_mul(unit_secs)))
 }
 
-/// The resident analysis service: a [`TieredStore`] shared by every
-/// request plus the default per-request options.
+/// The resident analysis service: the [`TieredStore`], the parse and
+/// response caches shared by every request, plus the default per-request
+/// options.
 pub struct AnalysisService {
     store: TieredStore,
+    /// Parsed programs keyed by source fingerprint.  Parse *errors* are
+    /// never cached: their rendering embeds the request's display name,
+    /// so they are not shareable across requests.
+    parsed: ShardedLru<Arc<Program>>,
+    /// Finished response documents keyed by endpoint + query + source.
+    responses: ShardedLru<Arc<str>>,
     /// Default worker count of one *analysis* (overridable per request via
     /// `?jobs=N`); distinct from the request pool size.
     analysis_jobs: usize,
@@ -129,6 +156,8 @@ impl AnalysisService {
         };
         Ok(AnalysisService {
             store: TieredStore::new(disk, config),
+            parsed: ShardedLru::new(PARSE_CACHE_BYTES),
+            responses: ShardedLru::new(RESPONSE_CACHE_BYTES),
             analysis_jobs: 1,
             maintenance,
         })
@@ -137,6 +166,57 @@ impl AnalysisService {
     /// The shared store (tests and `bench --server` read its counters).
     pub fn store(&self) -> &TieredStore {
         &self.store
+    }
+
+    /// The parsed-program cache (tests and `bench --server` read its
+    /// hit/miss counters).
+    pub fn parse_cache(&self) -> &ShardedLru<Arc<Program>> {
+        &self.parsed
+    }
+
+    /// The rendered-response cache.
+    pub fn response_cache(&self) -> &ShardedLru<Arc<str>> {
+        &self.responses
+    }
+
+    /// Parses through the parsed-program cache: the source fingerprint and
+    /// a shared handle to the program.
+    fn parse_cached(
+        &self,
+        name: &str,
+        source: &str,
+    ) -> Result<(Fingerprint, Arc<Program>), String> {
+        let key = source_key(source);
+        if let Some(program) = self.parsed.get(key) {
+            return Ok((key, program));
+        }
+        let program = Arc::new(parse_source(name, source).map_err(|e| e.to_string())?);
+        self.parsed
+            .put(key, Arc::clone(&program), source.len() as u64);
+        Ok((key, program))
+    }
+
+    /// Runs one body endpoint through both request caches: parse via the
+    /// program cache, probe the response cache, analyze + render + fill on
+    /// a miss.  `run` receives the parsed program and must return the
+    /// rendered document.
+    fn cached_response(
+        &self,
+        endpoint: Endpoint,
+        query: &[(String, String)],
+        name: &str,
+        source: &str,
+        run: impl FnOnce(&Program) -> Result<String, String>,
+    ) -> Result<String, String> {
+        let (src, program) = self.parse_cached(name, source)?;
+        let key = response_key(endpoint.path(), query, src);
+        if let Some(doc) = self.responses.get(key) {
+            return Ok(doc.to_string());
+        }
+        let out = run(&program)?;
+        self.responses
+            .put(key, Arc::from(out.as_str()), out.len() as u64);
+        Ok(out)
     }
 
     /// The name/value pairs `/v1/stats` renders under `"cache"`.
@@ -193,23 +273,226 @@ fn file_options_from_query(
     Ok((name, opts))
 }
 
+/// One parsed element of a `/v1/batch` request body.
+struct BatchItem {
+    name: String,
+    source: String,
+    opts: FileOptions,
+}
+
+/// Parses one element of the batch array: either a bare string (the
+/// source) or an object with `source` (required), `file`, and `proc`.
+fn batch_item(element: &Json, default_jobs: usize, index: usize) -> Result<BatchItem, String> {
+    let mut opts = FileOptions {
+        json: true,
+        jobs: default_jobs,
+        quiet: true,
+        ..FileOptions::default()
+    };
+    match element {
+        Json::Str(source) => Ok(BatchItem {
+            name: format!("<batch[{index}]>"),
+            source: source.clone(),
+            opts,
+        }),
+        Json::Object(fields) => {
+            let mut name = format!("<batch[{index}]>");
+            let mut source = None;
+            for (key, value) in fields {
+                let text = value
+                    .as_str()
+                    .ok_or_else(|| format!("batch[{index}].{key} must be a string"))?;
+                match key.as_str() {
+                    "file" => name = text.to_string(),
+                    "source" => source = Some(text.to_string()),
+                    "proc" => opts.procedure = Some(text.to_string()),
+                    other => {
+                        return Err(format!(
+                        "batch[{index}] has unknown field `{other}` (expected file, source, proc)"
+                    ))
+                    }
+                }
+            }
+            let source =
+                source.ok_or_else(|| format!("batch[{index}] is missing the `source` field"))?;
+            Ok(BatchItem { name, source, opts })
+        }
+        _ => Err(format!(
+            "batch[{index}] must be a source string or an object with a `source` field"
+        )),
+    }
+}
+
+/// The per-element error envelope, matching the server's top-level one.
+fn error_envelope(message: &str) -> String {
+    format!("{{\"error\": {}}}\n", json_string(message))
+}
+
+/// Frames rendered per-element documents as one index-aligned JSON array.
+/// Elements are already multi-line documents; each is kept at top-level
+/// indentation so any element is byte-identical (modulo the separating
+/// comma) to the matching single-shot response.
+fn frame_batch(rendered: Vec<String>) -> String {
+    if rendered.is_empty() {
+        return "[]\n".to_string();
+    }
+    let mut out = String::from("[\n");
+    for (i, doc) in rendered.iter().enumerate() {
+        out.push_str(doc.trim_end_matches('\n'));
+        if i + 1 < rendered.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
 impl AnalysisBackend for AnalysisService {
     fn analyze(&self, query: &[(String, String)], source: &str) -> Result<String, String> {
         let (name, opts) = file_options_from_query(query, self.analysis_jobs, false)?;
-        analyze_source(&name, source, &opts, Some(&self.store as &dyn SummaryStore))
+        self.cached_response(Endpoint::Analyze, query, &name, source, |program| {
+            analyze_program(
+                &name,
+                program,
+                &opts,
+                Some(&self.store as &dyn SummaryStore),
+            )
             .map(|(out, _exit, _stats)| out)
             .map_err(|e| e.to_string())
+        })
     }
 
     fn complexity(&self, query: &[(String, String)], source: &str) -> Result<String, String> {
         let (name, opts) = file_options_from_query(query, self.analysis_jobs, true)?;
-        complexity_source(&name, source, &opts, Some(&self.store as &dyn SummaryStore))
+        self.cached_response(Endpoint::Complexity, query, &name, source, |program| {
+            complexity_program(
+                &name,
+                program,
+                &opts,
+                Some(&self.store as &dyn SummaryStore),
+            )
             .map(|(out, _exit, _stats)| out)
             .map_err(|e| e.to_string())
+        })
+    }
+
+    /// `POST /v1/batch`: a JSON array of programs, analyzed in one call to
+    /// the level-parallel batch driver (all programs' component levels are
+    /// merged into one scheduling problem), responses index-aligned with
+    /// the request.  Element failures (parse errors, unknown procedures)
+    /// become inline `{"error": ...}` envelopes; the batch itself still
+    /// succeeds.  Elements share the parse and response caches with
+    /// `/v1/analyze` — a batch element and a single-shot request for the
+    /// same file and source produce (and reuse) the same cached document.
+    fn batch(&self, query: &[(String, String)], body: &str) -> Result<String, String> {
+        let mut jobs = self.analysis_jobs;
+        for (key, value) in query {
+            match key.as_str() {
+                "jobs" => {
+                    jobs = value.parse().map_err(|_| {
+                        format!("`jobs` expects a non-negative integer, got `{value}`")
+                    })?
+                }
+                other => {
+                    return Err(format!(
+                        "unknown query parameter `{other}` (batch takes only `jobs`; \
+                         per-program options go inside the body elements)"
+                    ))
+                }
+            }
+        }
+        let doc = Json::parse(body).map_err(|e| format!("invalid batch body: {e}"))?;
+        let elements = doc
+            .as_array()
+            .ok_or_else(|| "batch body must be a JSON array".to_string())?;
+
+        let mut rendered: Vec<Option<String>> = Vec::with_capacity(elements.len());
+        rendered.resize_with(elements.len(), || None);
+        // Analysis work is deduplicated on the source fingerprint (two
+        // elements posting the same bytes are analyzed once); rendering
+        // stays per element, so names and `proc` focusing still apply.
+        let mut program_of: std::collections::HashMap<u128, usize> =
+            std::collections::HashMap::new();
+        let mut programs: Vec<Arc<Program>> = Vec::new();
+        // (element index, program index, response key, item)
+        let mut pending: Vec<(usize, usize, Fingerprint, BatchItem)> = Vec::new();
+        for (i, element) in elements.iter().enumerate() {
+            let item = match batch_item(element, jobs, i) {
+                Ok(item) => item,
+                Err(e) => {
+                    rendered[i] = Some(error_envelope(&e));
+                    continue;
+                }
+            };
+            let (src, program) = match self.parse_cached(&item.name, &item.source) {
+                Ok(parsed) => parsed,
+                Err(e) => {
+                    rendered[i] = Some(error_envelope(&e));
+                    continue;
+                }
+            };
+            // The same key a single-shot `/v1/analyze?file=..&proc=..`
+            // would probe and fill.
+            let mut element_query = vec![("file".to_string(), item.name.clone())];
+            if let Some(proc) = &item.opts.procedure {
+                element_query.push(("proc".to_string(), proc.clone()));
+            }
+            let key = response_key(Endpoint::Analyze.path(), &element_query, src);
+            if let Some(doc) = self.responses.get(key) {
+                rendered[i] = Some(doc.to_string());
+                continue;
+            }
+            let p = *program_of.entry(src.0).or_insert_with(|| {
+                programs.push(program);
+                programs.len() - 1
+            });
+            pending.push((i, p, key, item));
+        }
+
+        if !programs.is_empty() {
+            let refs: Vec<&Program> = programs.iter().map(Arc::as_ref).collect();
+            let started = Instant::now();
+            let results = analyzer_with_jobs(jobs)
+                .analyze_batch_with_store(&refs, Some(&self.store as &dyn SummaryStore));
+            let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+            for (i, p, key, item) in pending {
+                match render_analysis(
+                    &item.name,
+                    &programs[p],
+                    &results[p],
+                    &item.opts,
+                    elapsed_ms,
+                ) {
+                    Ok((out, _exit)) => {
+                        self.responses
+                            .put(key, Arc::from(out.as_str()), out.len() as u64);
+                        rendered[i] = Some(out);
+                    }
+                    Err(e) => rendered[i] = Some(error_envelope(&e.to_string())),
+                }
+            }
+        }
+
+        Ok(frame_batch(
+            rendered
+                .into_iter()
+                .map(|doc| doc.expect("every element rendered or errored"))
+                .collect(),
+        ))
     }
 
     fn cache_counters(&self) -> Vec<(&'static str, u64)> {
-        AnalysisService::counter_pairs(&self.store.counters())
+        let mut pairs = AnalysisService::counter_pairs(&self.store.counters());
+        pairs.extend([
+            ("parse_hits", self.parsed.hits()),
+            ("parse_misses", self.parsed.misses()),
+            ("parse_entries", self.parsed.entries()),
+            ("response_hits", self.responses.hits()),
+            ("response_misses", self.responses.misses()),
+            ("response_entries", self.responses.entries()),
+        ]);
+        pairs
     }
 
     fn maintain(&self) {
@@ -240,6 +523,7 @@ pub fn serve(opts: &ServeOptions) -> Result<(String, i32), CliError> {
         workers: effective_workers(opts.jobs),
         quiet: opts.quiet,
         handle_signals: true,
+        ..ServerConfig::default()
     };
     chora_server::run(config, service)
         .map_err(|e| CliError(format!("cannot serve on `{}`: {e}", opts.addr)))?;
@@ -255,6 +539,7 @@ pub fn spawn_server(opts: &ServeOptions) -> Result<(ServerHandle, Arc<AnalysisSe
         workers: effective_workers(opts.jobs),
         quiet: opts.quiet,
         handle_signals: false,
+        ..ServerConfig::default()
     };
     let handle = chora_server::spawn(config, Arc::clone(&service) as Arc<dyn AnalysisBackend>)
         .map_err(|e| CliError(format!("cannot serve on `{}`: {e}", opts.addr)))?;
@@ -264,12 +549,12 @@ pub fn spawn_server(opts: &ServeOptions) -> Result<(ServerHandle, Arc<AnalysisSe
 /// Options of `chora request`.
 #[derive(Clone, Debug)]
 pub struct RequestOptions {
-    /// Endpoint name: `analyze`, `complexity`, `healthz`, `stats`, or
-    /// `shutdown`.
+    /// Endpoint name: `analyze`, `batch`, `complexity`, `healthz`,
+    /// `stats`, or `shutdown`.
     pub endpoint: String,
-    /// The `.imp` program to send (`-` = stdin); only the analysis
-    /// endpoints take one.
-    pub file: Option<String>,
+    /// The `.imp` program(s) to send (`-` = stdin): exactly one for
+    /// `analyze`/`complexity`, any number for `batch`, none otherwise.
+    pub files: Vec<String>,
     /// The daemon to talk to (`--addr`).
     pub addr: String,
     /// Forwarded query parameters (match the CLI flags of the same name).
@@ -283,7 +568,7 @@ impl Default for RequestOptions {
     fn default() -> Self {
         RequestOptions {
             endpoint: String::new(),
-            file: None,
+            files: Vec::new(),
             addr: "127.0.0.1:7557".to_string(),
             jobs: None,
             procedure: None,
@@ -294,39 +579,58 @@ impl Default for RequestOptions {
 }
 
 /// `chora request`: one HTTP round-trip against a running `chora serve`,
-/// response body on stdout.  For `analyze`, the exit code mirrors the CLI
-/// (1 when an assertion was not proved).
+/// response body on stdout.  For `analyze` and `batch`, the exit code
+/// mirrors the CLI (1 when an assertion was not proved).
 pub fn request(opts: &RequestOptions) -> Result<(String, i32), CliError> {
     let endpoint = Endpoint::from_name(&opts.endpoint).ok_or_else(|| {
         CliError(format!(
-            "unknown endpoint `{}`; available: analyze, complexity, healthz, stats, shutdown",
+            "unknown endpoint `{}`; available: analyze, batch, complexity, healthz, stats, shutdown",
             opts.endpoint
         ))
     })?;
-    let needs_body = matches!(endpoint, Endpoint::Analyze | Endpoint::Complexity);
-    let body = match (&opts.file, needs_body) {
-        (Some(path), true) => Some(read_source(path)?),
-        (None, true) => {
-            return Err(CliError(format!(
-                "`chora request {}` expects a FILE argument (`-` reads stdin)",
-                opts.endpoint
-            )))
+    let single_file = matches!(endpoint, Endpoint::Analyze | Endpoint::Complexity);
+    let body = match endpoint {
+        Endpoint::Analyze | Endpoint::Complexity => match opts.files.as_slice() {
+            [path] => Some(read_source(path)?),
+            _ => {
+                return Err(CliError(format!(
+                    "`chora request {}` expects exactly one FILE argument (`-` reads stdin)",
+                    opts.endpoint
+                )))
+            }
+        },
+        Endpoint::Batch => {
+            if opts.files.is_empty() {
+                return Err(CliError(
+                    "`chora request batch` expects one or more FILE arguments".to_string(),
+                ));
+            }
+            let mut elements = Vec::new();
+            for path in &opts.files {
+                let mut element = Json::object()
+                    .field("file", Json::str(path.as_str()))
+                    .field("source", Json::str(read_source(path)?));
+                if let Some(proc) = &opts.procedure {
+                    element = element.field("proc", Json::str(proc.as_str()));
+                }
+                elements.push(element);
+            }
+            Some(Json::Array(elements).pretty())
         }
-        (Some(_), false) => {
-            return Err(CliError(format!(
-                "`chora request {}` takes no FILE argument",
-                opts.endpoint
-            )))
+        _ => {
+            if !opts.files.is_empty() {
+                return Err(CliError(format!(
+                    "`chora request {}` takes no FILE argument",
+                    opts.endpoint
+                )));
+            }
+            None
         }
-        (None, false) => None,
     };
 
     let mut query: Vec<(&str, String)> = Vec::new();
-    if needs_body {
-        query.push(("file", opts.file.clone().expect("checked above")));
-        if let Some(jobs) = opts.jobs {
-            query.push(("jobs", jobs.to_string()));
-        }
+    if single_file {
+        query.push(("file", opts.files[0].clone()));
         if let Some(proc) = &opts.procedure {
             query.push(("proc", proc.clone()));
         }
@@ -335,6 +639,14 @@ pub fn request(opts: &RequestOptions) -> Result<(String, i32), CliError> {
         }
         if let Some(size) = &opts.size_param {
             query.push(("size", size.clone()));
+        }
+    }
+    if matches!(
+        endpoint,
+        Endpoint::Analyze | Endpoint::Complexity | Endpoint::Batch
+    ) {
+        if let Some(jobs) = opts.jobs {
+            query.push(("jobs", jobs.to_string()));
         }
     }
     let path = if query.is_empty() {
@@ -347,7 +659,9 @@ pub fn request(opts: &RequestOptions) -> Result<(String, i32), CliError> {
         format!("{}?{}", endpoint.path(), encoded.join("&"))
     };
 
-    let (status, response) = http_request(&opts.addr, endpoint.method(), &path, body.as_deref())
+    let mut client = Client::new(&opts.addr);
+    let (status, response) = client
+        .send(endpoint.method(), &path, body.as_deref())
         .map_err(|e| {
             CliError(format!(
                 "cannot reach chora serve at `{}`: {e} (is the daemon running?)",
@@ -360,7 +674,7 @@ pub fn request(opts: &RequestOptions) -> Result<(String, i32), CliError> {
             response.trim()
         )));
     }
-    let exit = if endpoint == Endpoint::Analyze
+    let exit = if matches!(endpoint, Endpoint::Analyze | Endpoint::Batch)
         && response.contains("\"all_assertions_verified\": false")
     {
         1
@@ -371,9 +685,9 @@ pub fn request(opts: &RequestOptions) -> Result<(String, i32), CliError> {
 }
 
 /// `chora bench --server DIR`: replays every `.imp` program under `DIR`
-/// through a live in-process daemon over real HTTP — one cold pass, then
-/// warm rounds — and reports per-program latency plus cold/warm
-/// requests-per-second and the store counters.
+/// through a live in-process daemon over one keep-alive HTTP connection —
+/// one cold pass, then warm rounds — and reports per-program latency plus
+/// cold/warm requests-per-second and the cache counters.
 pub fn bench_server(opts: &BenchOptions) -> Result<(String, i32), CliError> {
     let dir = opts.programs_dir.as_ref().ok_or_else(|| {
         CliError("`chora bench --server` needs a DIR of .imp programs".to_string())
@@ -413,12 +727,15 @@ pub fn bench_server(opts: &BenchOptions) -> Result<(String, i32), CliError> {
     };
     let workers = effective_workers(serve_opts.jobs);
     let (handle, service) = spawn_server(&serve_opts)?;
-    let addr = handle.addr().to_string();
+    // One connection for the whole bench: every request after the first
+    // rides the established keep-alive connection.
+    let mut client = Client::new(handle.addr().to_string());
 
-    let send = |file: &str, source: &str| -> Result<f64, CliError> {
+    let mut send = |file: &str, source: &str| -> Result<f64, CliError> {
         let path = format!("/v1/analyze?file={}", encode_query_component(file));
         let started = Instant::now();
-        let (status, body) = http_request(&addr, "POST", &path, Some(source))
+        let (status, body) = client
+            .post(&path, source)
             .map_err(|e| CliError(format!("request to the bench server failed: {e}")))?;
         if status != 200 {
             return Err(CliError(format!(
@@ -429,7 +746,7 @@ pub fn bench_server(opts: &BenchOptions) -> Result<(String, i32), CliError> {
         Ok(started.elapsed().as_secs_f64() * 1e3)
     };
 
-    // Cold pass: every program once, sequentially, into an empty store.
+    // Cold pass: every program once, sequentially, into empty caches.
     let cold_started = Instant::now();
     let mut cold_ms: Vec<f64> = Vec::new();
     for (_, file, source) in &programs {
@@ -438,8 +755,10 @@ pub fn bench_server(opts: &BenchOptions) -> Result<(String, i32), CliError> {
     let cold_total_s = cold_started.elapsed().as_secs_f64();
 
     // Warm rounds: enough repeats for a stable requests/sec figure.
-    let rounds = (24 / programs.len()).max(3);
+    let rounds = (96 / programs.len()).max(3);
     let probes_before_warm = service.store().counters().disk_probes;
+    let parse_hits_before_warm = service.parse_cache().hits();
+    let response_hits_before_warm = service.response_cache().hits();
     let warm_started = Instant::now();
     let mut warm_total_ms = vec![0.0f64; programs.len()];
     for _ in 0..rounds {
@@ -451,6 +770,9 @@ pub fn bench_server(opts: &BenchOptions) -> Result<(String, i32), CliError> {
     let warm_requests = rounds * programs.len();
     let counters = service.store().counters();
     let warm_disk_probes = counters.disk_probes - probes_before_warm;
+    let warm_parse_hits = service.parse_cache().hits() - parse_hits_before_warm;
+    let warm_response_hits = service.response_cache().hits() - response_hits_before_warm;
+    client.close();
     handle.shutdown();
 
     let cold_rps = programs.len() as f64 / cold_total_s.max(1e-9);
@@ -479,14 +801,16 @@ pub fn bench_server(opts: &BenchOptions) -> Result<(String, i32), CliError> {
                 .field("warm_rps", Json::Float(warm_rps))
                 .field("warm_requests", Json::Int(warm_requests as i64))
                 .field("warm_mem_hits", Json::Int(counters.mem_hits as i64))
-                .field("warm_disk_probes", Json::Int(warm_disk_probes as i64)),
+                .field("warm_disk_probes", Json::Int(warm_disk_probes as i64))
+                .field("warm_parse_hits", Json::Int(warm_parse_hits as i64))
+                .field("warm_response_hits", Json::Int(warm_response_hits as i64)),
         );
         return Ok((doc.pretty(), 0));
     }
 
     let mut out = String::new();
     out.push_str(&format!(
-        "server bench: {} programs through http://{addr} ({workers} workers)\n\n",
+        "server bench: {} programs over one keep-alive connection ({workers} workers)\n\n",
         programs.len()
     ));
     out.push_str(&format!(
@@ -502,7 +826,8 @@ pub fn bench_server(opts: &BenchOptions) -> Result<(String, i32), CliError> {
     }
     out.push_str(&format!(
         "\ncold: {cold_rps:.1} req/s    warm: {warm_rps:.1} req/s ({warm_requests} requests, \
-         {} mem hits, {warm_disk_probes} disk probes during warm rounds)\n",
+         {} mem hits, {warm_disk_probes} disk probes, {warm_parse_hits} parse hits, \
+         {warm_response_hits} response hits during warm rounds)\n",
         counters.mem_hits
     ));
     Ok((out, 0))
@@ -562,5 +887,113 @@ mod tests {
         assert!(file_options_from_query(&q(&[("cost", "c")]), 1, false).is_err());
         assert!(file_options_from_query(&q(&[("cost", "c")]), 1, true).is_ok());
         assert!(file_options_from_query(&q(&[("jobs", "many")]), 1, false).is_err());
+    }
+
+    const SOURCE: &str = "global cost;\n\
+        proc main(n) {\n  cost := cost + 1;\n  assert(cost >= cost, \"trivial\");\n}\n";
+
+    fn service() -> AnalysisService {
+        AnalysisService::new(&ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServeOptions::default()
+        })
+        .expect("service")
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_parse_and_response_caches() {
+        let service = service();
+        let query = vec![("file".to_string(), "t.imp".to_string())];
+        let first = service.analyze(&query, SOURCE).expect("analyze");
+        assert_eq!(service.parse_cache().hits(), 0);
+        assert_eq!(service.parse_cache().misses(), 1);
+        assert_eq!(service.response_cache().hits(), 0);
+        let second = service.analyze(&query, SOURCE).expect("analyze again");
+        assert_eq!(first, second, "cached response must be byte-identical");
+        assert_eq!(service.parse_cache().hits(), 1);
+        assert_eq!(service.response_cache().hits(), 1);
+        // A different display name misses the response cache (the document
+        // embeds the name) but still shares the parsed program.
+        let renamed = vec![("file".to_string(), "other.imp".to_string())];
+        let third = service.analyze(&renamed, SOURCE).expect("renamed");
+        assert_ne!(first, third);
+        assert_eq!(service.parse_cache().hits(), 2);
+        assert_eq!(service.response_cache().hits(), 1);
+        // Parse errors are never cached: the same bad source misses twice.
+        assert!(service.analyze(&query, "nonsense {").is_err());
+        assert!(service.analyze(&query, "nonsense {").is_err());
+        assert_eq!(service.parse_cache().misses(), 3);
+    }
+
+    #[test]
+    fn batch_elements_match_single_shot_responses() {
+        let single = service();
+        let solo = single
+            .analyze(&[("file".to_string(), "a.imp".to_string())], SOURCE)
+            .expect("single-shot");
+
+        let batched = service();
+        let body = Json::Array(vec![
+            Json::object()
+                .field("file", Json::str("a.imp"))
+                .field("source", Json::str(SOURCE)),
+            Json::str(SOURCE),
+            Json::str("broken {"),
+        ])
+        .pretty();
+        let out = batched.batch(&[], &body).expect("batch");
+        assert!(out.starts_with("[\n"), "{out}");
+        assert!(out.ends_with("]\n"), "{out}");
+        // Element 0 is byte-identical to the single-shot document (modulo
+        // the timing line and the separating comma).
+        let strip = |s: &str| -> String {
+            s.lines()
+                .filter(|l| !l.contains("analysis_ms"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let element0 = out
+            .trim_start_matches("[\n")
+            .split("\n},")
+            .next()
+            .map(|s| format!("{s}\n}}"))
+            .expect("element 0");
+        assert_eq!(
+            strip(&element0),
+            strip(solo.trim_end_matches('\n')),
+            "{out}"
+        );
+        // Element 2 is an inline error envelope; the batch still succeeds.
+        assert!(out.contains("\"error\""), "{out}");
+        // Empty batches are the empty array.
+        assert_eq!(batched.batch(&[], "[]").expect("empty"), "[]\n");
+        // Malformed bodies and unknown query parameters are batch-level
+        // errors.
+        assert!(batched.batch(&[], "{}").is_err());
+        assert!(batched
+            .batch(&[], "[31]")
+            .expect("non-string")
+            .contains("\"error\""));
+        assert!(batched
+            .batch(&[("proc".to_string(), "main".to_string())], "[]")
+            .is_err());
+    }
+
+    #[test]
+    fn batch_and_single_shot_share_the_response_cache() {
+        let service = service();
+        let query = vec![("file".to_string(), "a.imp".to_string())];
+        let solo = service.analyze(&query, SOURCE).expect("single-shot");
+        let body = Json::Array(vec![Json::object()
+            .field("file", Json::str("a.imp"))
+            .field("source", Json::str(SOURCE))])
+        .pretty();
+        let out = service.batch(&[], &body).expect("batch");
+        assert_eq!(
+            service.response_cache().hits(),
+            1,
+            "batch element reused the single-shot doc"
+        );
+        assert_eq!(out, format!("[\n{}\n]\n", solo.trim_end_matches('\n')));
     }
 }

@@ -1,14 +1,16 @@
 //! End-to-end tests of `chora serve`: byte-identity of daemon responses
 //! against the CLI documents, the in-memory warm path, error envelopes,
-//! concurrent clients, graceful shutdown draining, and eviction under a
-//! byte cap never corrupting a response.
+//! concurrent clients, graceful shutdown draining, batch vs single-shot
+//! byte-identity, and eviction under a byte cap never corrupting a
+//! response.
 //!
 //! Every test runs its own daemon on an ephemeral port via
 //! [`chora_cli::spawn_server`] and talks real HTTP through the bundled
 //! client.
 
+use chora_cli::json::Json;
 use chora_cli::{analyze_with_stats, spawn_server, FileOptions, ServeOptions};
-use chora_server::client::http_request;
+use chora_server::client::Client;
 use chora_server::http::encode_query_component;
 use std::path::PathBuf;
 
@@ -25,6 +27,17 @@ fn scratch(tag: &str) -> PathBuf {
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("scratch dir");
     dir
+}
+
+/// One request on a fresh connection (most tests don't care about reuse;
+/// `crates/server/tests/keepalive.rs` covers the connection lifecycle).
+fn one_shot(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    Client::new(addr).send(method, path, body)
 }
 
 /// Drops wall-clock fields so byte-identity checks compare analysis
@@ -64,18 +77,23 @@ fn daemon(
     .expect("spawn daemon")
 }
 
-fn post_analyze(addr: &str, file: &str, extra_query: &str) -> (u16, String) {
-    let source = std::fs::read_to_string(file).expect("read example");
+/// POSTs an explicit source under an explicit display name.
+fn post_source(addr: &str, file: &str, source: &str, extra_query: &str) -> (u16, String) {
     let path = format!(
         "/v1/analyze?file={}{extra_query}",
         encode_query_component(file)
     );
-    http_request(addr, "POST", &path, Some(&source)).expect("request")
+    one_shot(addr, "POST", &path, Some(source)).expect("request")
+}
+
+fn post_analyze(addr: &str, file: &str, extra_query: &str) -> (u16, String) {
+    let source = std::fs::read_to_string(file).expect("read example");
+    post_source(addr, file, &source, extra_query)
 }
 
 /// Pulls one integer counter out of the `/v1/stats` JSON.
 fn stat(addr: &str, name: &str) -> u64 {
-    let (status, body) = http_request(addr, "GET", "/v1/stats", None).expect("stats");
+    let (status, body) = one_shot(addr, "GET", "/v1/stats", None).expect("stats");
     assert_eq!(status, 200, "{body}");
     let needle = format!("\"{name}\": ");
     let at = body
@@ -131,25 +149,124 @@ fn warm_requests_are_served_from_the_memory_tier() {
     });
     let addr = handle.addr().to_string();
     let file = example("fib.imp");
-    let (status, _) = post_analyze(&addr, &file, "");
+    let source = std::fs::read_to_string(&file).expect("read example");
+    let (status, _) = post_source(&addr, &file, &source, "");
     assert_eq!(status, 200);
     let probes_after_cold = stat(&addr, "disk_probes");
-    let hits_after_cold = stat(&addr, "mem_hits");
+    let mem_hits_after_cold = stat(&addr, "mem_hits");
+    let response_hits_after_cold = stat(&addr, "response_hits");
+
+    // Byte-identical repeats are fully warm: the rendered-response cache
+    // answers before the summary store is even probed (and the parse
+    // cache registers the hit that precedes it).
     for _ in 0..3 {
-        let (status, _) = post_analyze(&addr, &file, "");
+        let (status, _) = post_source(&addr, &file, &source, "");
+        assert_eq!(status, 200);
+    }
+    assert_eq!(
+        stat(&addr, "response_hits"),
+        response_hits_after_cold + 3,
+        "identical repeats must be served from the response cache"
+    );
+    assert_eq!(
+        stat(&addr, "mem_hits"),
+        mem_hits_after_cold,
+        "identical repeats must not reach the summary store at all"
+    );
+    assert!(
+        stat(&addr, "parse_hits") >= 3,
+        "repeats share the parsed program"
+    );
+
+    // An edited source — new bytes, same program (a trailing comment) —
+    // misses both request caches and re-analyzes, but every procedure
+    // summary comes out of the store's memory tier, never the disk.
+    for round in 0..3 {
+        let edited = format!("{source}\n// warm round {round}\n");
+        let (status, _) = post_source(&addr, &file, &edited, "");
         assert_eq!(status, 200);
     }
     assert_eq!(
         stat(&addr, "disk_probes"),
         probes_after_cold,
-        "warm repeats must perform 0 disk reads"
+        "warm re-analyses must perform 0 disk reads"
     );
     assert!(
-        stat(&addr, "mem_hits") > hits_after_cold,
-        "warm repeats must hit the memory tier"
+        stat(&addr, "mem_hits") > mem_hits_after_cold,
+        "warm re-analyses must hit the memory tier"
     );
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_responses_are_byte_identical_to_single_shot_sequences() {
+    let names = ["fib.imp", "hanoi.imp", "merge-sort.imp", "height.imp"];
+
+    // One daemon answers each program single-shot...
+    let (singles_handle, _singles_service) = daemon(ServeOptions::default());
+    let singles_addr = singles_handle.addr().to_string();
+    let mut singles = Vec::new();
+    for name in &names {
+        let (status, body) = post_analyze(&singles_addr, &example(name), "");
+        assert_eq!(status, 200, "{body}");
+        singles.push(body);
+    }
+    singles_handle.shutdown();
+
+    // ... and a *fresh* daemon (nothing precomputed, so the batch driver
+    // does all the work) answers the same programs as one /v1/batch.
+    let (batch_handle, _batch_service) = daemon(ServeOptions::default());
+    let batch_addr = batch_handle.addr().to_string();
+    let elements: Vec<Json> = names
+        .iter()
+        .map(|name| {
+            let file = example(name);
+            let source = std::fs::read_to_string(&file).expect("read example");
+            Json::object()
+                .field("file", Json::str(file.as_str()))
+                .field("source", Json::str(source))
+        })
+        .collect();
+    let body = Json::Array(elements).pretty();
+    let (status, batch) = one_shot(&batch_addr, "POST", "/v1/batch", Some(&body)).expect("batch");
+    assert_eq!(status, 200, "{batch}");
+
+    let expected = format!(
+        "[\n{}\n]\n",
+        singles
+            .iter()
+            .map(|doc| doc.trim_end_matches('\n'))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    assert_eq!(
+        strip_timing(&batch),
+        strip_timing(&expected),
+        "each batch element must be byte-identical to its single-shot response"
+    );
+
+    // An identical second batch is answered entirely from the response
+    // cache — byte-for-byte, timing lines included.
+    let (status, again) =
+        one_shot(&batch_addr, "POST", "/v1/batch", Some(&body)).expect("batch again");
+    assert_eq!(status, 200);
+    assert_eq!(again, batch, "a warm batch replays the cached documents");
+    assert!(
+        stat(&batch_addr, "response_hits") >= names.len() as u64,
+        "warm batch elements must hit the response cache"
+    );
+
+    // An element that fails to parse becomes an inline error envelope;
+    // the batch itself still succeeds with index-aligned responses.
+    let fib = std::fs::read_to_string(example("fib.imp")).expect("read example");
+    let broken = Json::Array(vec![Json::str("broken {"), Json::str(fib.as_str())]).pretty();
+    let (status, out) =
+        one_shot(&batch_addr, "POST", "/v1/batch", Some(&broken)).expect("broken batch");
+    assert_eq!(status, 200, "{out}");
+    assert!(out.starts_with("[\n{\"error\": "), "{out}");
+    assert!(out.contains("\"procedures\""), "{out}");
+    batch_handle.shutdown();
 }
 
 #[test]
@@ -159,21 +276,21 @@ fn malformed_requests_get_json_error_envelopes() {
 
     // Unparseable source: 400 with the parser's rendering in the envelope.
     let (status, body) =
-        http_request(&addr, "POST", "/v1/analyze", Some("definitely not imp")).expect("request");
+        one_shot(&addr, "POST", "/v1/analyze", Some("definitely not imp")).expect("request");
     assert_eq!(status, 400);
     assert!(body.starts_with("{\"error\": "), "{body}");
 
     // Unknown query parameter: 400.
     let (status, body) =
-        http_request(&addr, "POST", "/v1/analyze?wibble=1", Some("global cost;")).expect("request");
+        one_shot(&addr, "POST", "/v1/analyze?wibble=1", Some("global cost;")).expect("request");
     assert_eq!(status, 400, "{body}");
     assert!(body.contains("unknown query parameter"), "{body}");
 
     // Unknown endpoint: 404; wrong method: 405 — all JSON envelopes.
-    let (status, body) = http_request(&addr, "GET", "/v2/nope", None).expect("request");
+    let (status, body) = one_shot(&addr, "GET", "/v2/nope", None).expect("request");
     assert_eq!(status, 404);
     assert!(body.contains("\"error\""), "{body}");
-    let (status, body) = http_request(&addr, "GET", "/v1/analyze", None).expect("request");
+    let (status, body) = one_shot(&addr, "GET", "/v1/analyze", None).expect("request");
     assert_eq!(status, 405);
     assert!(body.contains("\"error\""), "{body}");
 
@@ -276,12 +393,21 @@ fn shutdown_drains_in_flight_requests() {
         let addr = &addr;
         let file = &file;
         let clients: Vec<_> = (0..6)
-            .map(|_| scope.spawn(move || post_analyze(addr, file, "")))
+            .map(|i| {
+                scope.spawn(move || {
+                    // Distinct trailing comments keep every in-flight
+                    // request a real analysis (no response-cache hits),
+                    // so the drain has actual work to finish.
+                    let source = std::fs::read_to_string(file).expect("read example");
+                    let edited = format!("{source}\n// drain client {i}\n");
+                    post_source(addr, file, &edited, "")
+                })
+            })
             .collect();
         // Let the clients connect and queue up on the two workers, then
         // ask the daemon to shut down while their analyses are in flight.
         std::thread::sleep(std::time::Duration::from_millis(100));
-        let (status, body) = http_request(addr, "POST", "/v1/shutdown", None).expect("shutdown");
+        let (status, body) = one_shot(addr, "POST", "/v1/shutdown", None).expect("shutdown");
         assert_eq!(status, 200, "{body}");
         assert!(body.contains("\"draining\": true"), "{body}");
         clients
@@ -295,7 +421,7 @@ fn shutdown_drains_in_flight_requests() {
     }
     handle.shutdown(); // Joins the already-stopping daemon.
     assert!(
-        http_request(&addr, "GET", "/v1/healthz", None).is_err(),
+        one_shot(&addr, "GET", "/v1/healthz", None).is_err(),
         "daemon must be gone after the drain"
     );
 }
@@ -318,7 +444,13 @@ fn a_byte_capped_store_evicts_without_ever_corrupting_a_response() {
         .collect();
     for round in 0..3 {
         for (i, name) in names.iter().enumerate() {
-            let (status, body) = post_analyze(&addr, &example(name), "");
+            // A round-tagged comment defeats the request caches (new
+            // source bytes, same program), so every round re-analyzes
+            // through the byte-capped summary store.
+            let file = example(name);
+            let source = std::fs::read_to_string(&file).expect("read example");
+            let edited = format!("{source}\n// eviction round {round}\n");
+            let (status, body) = post_source(&addr, &file, &edited, "");
             assert_eq!(status, 200, "{body}");
             assert_eq!(
                 strip_timing(&body),

@@ -200,38 +200,96 @@ impl Analyzer {
         program: &Program,
         store: Option<&dyn SummaryStore>,
     ) -> AnalysisResult {
-        let callgraph = CallGraph::build(program);
-        let levels = callgraph.component_levels();
-        let keys =
-            store.map(|_| level_keys(program, &callgraph, &levels, self.cache_salt(program)));
-        // This run's component-key <-> scope assignment, in the same
-        // flattened bottom-up order in which scopes are handed out below.
-        // Loads use it to rescope restored fresh symbols into the current
-        // schedule; stores use it to write scope-canonical entries.
-        let run_scopes = keys.as_ref().map(|k| ComponentScopes::from_level_keys(k));
+        self.analyze_batch_with_store(&[program], store)
+            .pop()
+            .expect("a batch of one yields one result")
+    }
+
+    /// Analyses several programs as **one scheduling problem**: the
+    /// bottom-up topological levels of all programs are merged round by
+    /// round, and each round runs as a single [`AnalysisConfig::jobs`]-wide
+    /// parallel map.  Worker threads stay busy across program boundaries —
+    /// a program with one big level-0 component no longer serializes behind
+    /// another's level barrier, which is what makes `/v1/batch` faster than
+    /// N independent runs.
+    ///
+    /// Per-program scope assignment, summary-table fold order, and cache
+    /// keys are exactly those of [`Analyzer::analyze_with_store`] run on
+    /// that program alone (each program gets its own [`Summarizer`] and its
+    /// own scope counter), so every element of the returned vector is
+    /// identical — byte for byte in all derived reports — to its
+    /// single-program run.  The one exception: the eviction counters are
+    /// deltas over the whole batch (the store is shared), reported
+    /// identically on every element.
+    pub fn analyze_batch_with_store(
+        &self,
+        programs: &[&Program],
+        store: Option<&dyn SummaryStore>,
+    ) -> Vec<AnalysisResult> {
         // `SummaryStore::evictions`/`gc_evictions` count over the store's
-        // lifetime; report only this run's deltas (stores are reused across
-        // bench runs and live for a whole `chora serve` process).
+        // lifetime; report only this batch's deltas (stores are reused
+        // across bench runs and live for a whole `chora serve` process).
         let evictions_before = store.map_or(0, |s| s.evictions());
         let gc_evictions_before = store.map_or(0, |s| s.gc_evictions());
-        let summarizer = Summarizer::new(program);
-        let mut result = AnalysisResult::default();
         let jobs = self.effective_jobs();
-        // Scopes are assigned by bottom-up component order (then by
-        // procedure order for the assertion pass), identically for every
-        // schedule — and independently of cache hits, so restored summaries
-        // mention exactly the symbols a cold run would have created.
-        let mut next_scope: u32 = 0;
-        for (level_index, level) in levels.iter().enumerate() {
-            let scopes: Vec<u32> = (0..level.len() as u32).map(|i| next_scope + i).collect();
-            next_scope += level.len() as u32;
+        // Scopes are assigned per program, by bottom-up component order
+        // (then by procedure order for the assertion pass), identically for
+        // every schedule — and independently of cache hits and of the other
+        // batch members, so each program's symbols are exactly the ones a
+        // solo run would have created.
+        let mut runs: Vec<ProgramRun<'_>> = programs
+            .iter()
+            .map(|&program| {
+                let callgraph = CallGraph::build(program);
+                let levels = callgraph.component_levels();
+                let keys = store
+                    .map(|_| level_keys(program, &callgraph, &levels, self.cache_salt(program)));
+                // This run's component-key <-> scope assignment, in the same
+                // flattened bottom-up order in which scopes are handed out
+                // below.  Loads use it to rescope restored fresh symbols into
+                // the current schedule; stores write scope-canonical entries.
+                let run_scopes = keys.as_ref().map(|k| ComponentScopes::from_level_keys(k));
+                let mut level_scope_base = Vec::with_capacity(levels.len());
+                let mut next_scope: u32 = 0;
+                for level in &levels {
+                    level_scope_base.push(next_scope);
+                    next_scope += level.len() as u32;
+                }
+                ProgramRun {
+                    program,
+                    levels,
+                    keys,
+                    run_scopes,
+                    summarizer: Summarizer::new(program),
+                    level_scope_base,
+                    assert_scope_base: next_scope,
+                    result: AnalysisResult::default(),
+                }
+            })
+            .collect();
+        let rounds = runs.iter().map(|r| r.levels.len()).max().unwrap_or(0);
+        for level_index in 0..rounds {
+            // This round's merged task list: every program's components at
+            // this level, program-major.
+            let tasks: Vec<(usize, usize)> = runs
+                .iter()
+                .enumerate()
+                .flat_map(|(p, run)| {
+                    let n = run.levels.get(level_index).map_or(0, Vec::len);
+                    (0..n).map(move |i| (p, i))
+                })
+                .collect();
             // One task per component: probe the store (loads — disk read,
             // decode, rescope, re-intern — run concurrently too), summarize
             // on a miss.  Same-level components never call each other, so a
             // task never needs a sibling's restored summary.
-            let outputs = parallel_map(jobs, level.len(), |i| {
-                if let (Some(store), Some(keys), Some(run_scopes)) = (store, &keys, &run_scopes) {
-                    let component = &level[i];
+            let outputs = parallel_map(jobs, tasks.len(), |t| {
+                let (p, i) = tasks[t];
+                let run = &runs[p];
+                let component = &run.levels[level_index][i];
+                if let (Some(store), Some(keys), Some(run_scopes)) =
+                    (store, &run.keys, &run.run_scopes)
+                {
                     let hit = store
                         .load(&keys[level_index][i], run_scopes)
                         .filter(|summaries| {
@@ -250,40 +308,52 @@ impl Analyzer {
                         };
                     }
                 }
-                self.summarize_component(program, &summarizer, &level[i], scopes[i])
+                let scope = run.level_scope_base[level_index] + i as u32;
+                self.summarize_component(run.program, &run.summarizer, component, scope)
             });
-            // Fold the outputs back in component order, so the summary
-            // table fills deterministically.
-            for (i, output) in outputs.into_iter().enumerate() {
+            // Fold the outputs back in task order — per program that is
+            // component order, so each summary table fills exactly as it
+            // would in a solo run.
+            for (t, output) in outputs.into_iter().enumerate() {
+                let (p, i) = tasks[t];
+                let run = &mut runs[p];
                 if output.cache_hit {
-                    result.cache.hits += 1;
+                    run.result.cache.hits += 1;
                 } else {
-                    result.cache.misses += store.is_some() as u64;
-                    result.timings.summarize_ms += output.summarize_ms;
-                    result.timings.solve_ms += output.solve_ms;
-                    if let (Some(store), Some(keys), Some(run_scopes)) = (store, &keys, &run_scopes)
+                    run.result.cache.misses += store.is_some() as u64;
+                    run.result.timings.summarize_ms += output.summarize_ms;
+                    run.result.timings.solve_ms += output.solve_ms;
+                    if let (Some(store), Some(keys), Some(run_scopes)) =
+                        (store, &run.keys, &run.run_scopes)
                     {
                         store.store(&keys[level_index][i], &output.summaries, run_scopes);
                     }
                 }
                 for summary in output.summaries {
-                    summarizer.insert_summary(summary.name.clone(), summary.formula.clone());
-                    result.summaries.insert(summary.name.clone(), summary);
+                    run.summarizer
+                        .insert_summary(summary.name.clone(), summary.formula.clone());
+                    run.result.summaries.insert(summary.name.clone(), summary);
                 }
             }
         }
         // Assertion-checking pass with the final summaries, one task per
-        // procedure.
-        let assert_scope_base = next_scope;
-        let checks = parallel_map(jobs, program.procedures.len(), |i| {
+        // procedure, again merged across the whole batch.
+        let checks: Vec<(usize, usize)> = runs
+            .iter()
+            .enumerate()
+            .flat_map(|(p, run)| (0..run.program.procedures.len()).map(move |i| (p, i)))
+            .collect();
+        let verdicts = parallel_map(jobs, checks.len(), |t| {
+            let (p, i) = checks[t];
+            let run = &runs[p];
             let started = Instant::now();
-            let proc = &program.procedures[i];
-            let fresh = FreshSource::new(assert_scope_base + i as u32);
-            let vars = summarizer.proc_vars(proc);
+            let proc = &run.program.procedures[i];
+            let fresh = FreshSource::new(run.assert_scope_base + i as u32);
+            let vars = run.summarizer.proc_vars(proc);
             let prefix = TransitionFormula::identity(&vars);
             let mut asserts = Vec::new();
             self.check_asserts_with(
-                &summarizer,
+                &run.summarizer,
                 proc,
                 &proc.body,
                 &vars,
@@ -293,15 +363,23 @@ impl Analyzer {
             );
             (asserts, started.elapsed().as_secs_f64() * 1e3)
         });
-        for (asserts, elapsed_ms) in checks {
-            result.assertions.extend(asserts);
-            result.timings.check_ms += elapsed_ms;
+        for (t, (asserts, elapsed_ms)) in verdicts.into_iter().enumerate() {
+            let (p, _) = checks[t];
+            runs[p].result.assertions.extend(asserts);
+            runs[p].result.timings.check_ms += elapsed_ms;
         }
-        if let Some(store) = store {
-            result.cache.evictions = store.evictions().saturating_sub(evictions_before);
-            result.cache.gc_evictions = store.gc_evictions().saturating_sub(gc_evictions_before);
-        }
-        result
+        let evictions = store.map_or(0, |s| s.evictions().saturating_sub(evictions_before));
+        let gc_evictions =
+            store.map_or(0, |s| s.gc_evictions().saturating_sub(gc_evictions_before));
+        runs.into_iter()
+            .map(|mut run| {
+                if store.is_some() {
+                    run.result.cache.evictions = evictions;
+                    run.result.cache.gc_evictions = gc_evictions;
+                }
+                run.result
+            })
+            .collect()
     }
 
     /// The fingerprint salt capturing everything outside the procedure
@@ -588,6 +666,24 @@ impl Analyzer {
                 .any(|goal| reach.implies_all(goal.atoms()))
         })
     }
+}
+
+/// The per-program state of one batch member: its own schedule, cache
+/// keys, summary table, and scope bases — everything a solo
+/// [`Analyzer::analyze_with_store`] run would hold, so merging the level
+/// rounds across programs cannot change any program's result.
+struct ProgramRun<'p> {
+    program: &'p Program,
+    levels: Vec<Vec<Component>>,
+    keys: Option<Vec<Vec<Fingerprint>>>,
+    run_scopes: Option<ComponentScopes>,
+    summarizer: Summarizer<'p>,
+    /// Scope of component `i` of level `l` is `level_scope_base[l] + i` —
+    /// the value a solo run's running `next_scope` counter would assign.
+    level_scope_base: Vec<u32>,
+    /// First scope of the assertion pass: the program's component count.
+    assert_scope_base: u32,
+    result: AnalysisResult,
 }
 
 /// The output of one component task: summaries restored from the cache
@@ -889,6 +985,57 @@ mod tests {
         // Bit-compatible with a cold run of the shifted program — including
         // the rescoped fresh symbols inside the restored summaries.
         same_analysis(&warm, &analyzer.analyze(&build(true)));
+    }
+
+    #[test]
+    fn a_batch_reproduces_each_solo_run_exactly() {
+        let analyzer = Analyzer::with_config(AnalysisConfig {
+            jobs: 4,
+            ..AnalysisConfig::default()
+        });
+        let a = cached_program(1);
+        let b = cached_program(7);
+        // A third program with a different shape (extra level) so the
+        // merged rounds are ragged.
+        let mut c = cached_program(3);
+        c.add_procedure(Procedure::new(
+            "outer",
+            &["n"],
+            &[],
+            Stmt::call("main", vec![Expr::var("n")]),
+        ));
+        let solo: Vec<AnalysisResult> = [&a, &b, &c].iter().map(|p| analyzer.analyze(p)).collect();
+        let batch = analyzer.analyze_batch_with_store(&[&a, &b, &c], None);
+        assert_eq!(batch.len(), 3);
+        for (s, t) in solo.iter().zip(&batch) {
+            same_analysis(s, t);
+        }
+        assert!(analyzer.analyze_batch_with_store(&[], None).is_empty());
+    }
+
+    #[test]
+    fn a_batch_shares_the_store_across_its_members() {
+        let analyzer = Analyzer::new();
+        let store = MemoryStore::new();
+        let a = cached_program(1);
+        let b = cached_program(5);
+        // Cold batch: all probes of a round happen before the round's
+        // stores land, so even `hanoi` (byte-identical in both programs,
+        // same level) is computed twice — per-member counters stay exactly
+        // those of solo runs against an empty store.
+        let cold = analyzer.analyze_batch_with_store(&[&a, &b], Some(&store));
+        assert_eq!(cold[0].cache.hits, 0);
+        assert_eq!(cold[0].cache.misses, 3);
+        assert_eq!(cold[1].cache.hits, 0);
+        assert_eq!(cold[1].cache.misses, 3);
+        same_analysis(&cold[0], &analyzer.analyze(&a));
+        same_analysis(&cold[1], &analyzer.analyze(&b));
+        // Warm batch: every component of every member restores.
+        let warm = analyzer.analyze_batch_with_store(&[&a, &b], Some(&store));
+        assert_eq!(warm[0].cache.hits, 3);
+        assert_eq!(warm[1].cache.hits, 3);
+        same_analysis(&warm[0], &cold[0]);
+        same_analysis(&warm[1], &cold[1]);
     }
 
     #[test]

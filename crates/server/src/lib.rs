@@ -1,11 +1,13 @@
 //! # chora-server
 //!
 //! The daemon substrate behind `chora serve`: a hand-rolled, std-only
-//! HTTP/1.1 server over [`std::net::TcpListener`] with a fixed
-//! [worker-thread pool](pool::ThreadPool), a [request router](router), a
+//! HTTP/1.1 server over [`std::net::TcpListener`] with keep-alive and
+//! request pipelining, a fixed [worker-thread pool](pool::ThreadPool), a
+//! [declarative request router](router::ROUTES), a
 //! [stats registry](stats::ServerStats), graceful shutdown
 //! (SIGINT/SIGTERM via [`signal`], or `POST /v1/shutdown`), and a
-//! [one-shot client](client) for `chora request` and benchmarks.
+//! [connection-reusing client](client::Client) for `chora request` and
+//! benchmarks.
 //!
 //! The crate knows nothing about `.imp` programs: the analysis itself is
 //! injected through the [`AnalysisBackend`] trait, implemented by
@@ -16,18 +18,32 @@
 //!
 //! ## Protocol
 //!
-//! | method | path             | body       | response                              |
-//! |--------|------------------|------------|---------------------------------------|
-//! | POST   | `/v1/analyze`    | `.imp` src | the `chora analyze --json` document   |
-//! | POST   | `/v1/complexity` | `.imp` src | the `chora complexity --json` document|
-//! | GET    | `/v1/healthz`    | —          | `{"status": "ok", ...}`               |
-//! | GET    | `/v1/stats`      | —          | request timings + cache counters      |
-//! | POST   | `/v1/shutdown`   | —          | `{"ok": true}`, then drain and exit   |
+//! | method | path             | body            | response                               |
+//! |--------|------------------|-----------------|----------------------------------------|
+//! | POST   | `/v1/analyze`    | `.imp` src      | the `chora analyze --json` document    |
+//! | POST   | `/v1/batch`      | JSON array of `{"file", "source"}` | index-aligned array of analyze documents |
+//! | POST   | `/v1/complexity` | `.imp` src      | the `chora complexity --json` document |
+//! | GET    | `/v1/healthz`    | —               | `{"status": "ok", ...}`                |
+//! | GET    | `/v1/stats`      | —               | request timings + cache counters       |
+//! | POST   | `/v1/shutdown`   | —               | `{"ok": true}`, then drain and exit    |
 //!
-//! Query parameters (`file`, `jobs`, `proc`, `cost`, `size`) parameterize
-//! the analysis exactly like the CLI flags of the same names.  Errors are
-//! always JSON envelopes `{"error": "..."}` with a 4xx/5xx status; a
-//! malformed request can never take a worker down.
+//! Query parameters (`file`, `jobs`, `proc`, `cost`, `size`; `jobs` only
+//! for `/v1/batch`) parameterize the analysis exactly like the CLI flags
+//! of the same names.  Errors are always JSON envelopes `{"error": "..."}`
+//! with a 4xx/5xx status; a malformed request can never take a worker
+//! down.  A 405 carries an `Allow` header listing the accepted methods.
+//!
+//! ## Connection lifecycle
+//!
+//! Connections are persistent (HTTP/1.1 keep-alive): a worker owns one
+//! connection and answers requests off it in a loop — pipelined requests
+//! included — until the client sends `Connection: close` (or speaks
+//! HTTP/1.0 without opting in), the per-connection request cap is
+//! reached, the idle timeout expires, a framing error occurs, or the
+//! server starts draining.  Each response says which via its own
+//! `Connection` header.  Bodies are always `Content-Length`-framed; a
+//! stalled head read is cut off by a deadline (408), so a slowloris peer
+//! cannot pin a worker.
 
 pub mod client;
 pub mod http;
@@ -36,9 +52,9 @@ pub mod router;
 pub mod signal;
 pub mod stats;
 
-use http::{read_request, Request, Response};
+use http::{Conn, ConnLimits, Next, Request, Response};
 use pool::ThreadPool;
-use router::{route, Endpoint};
+use router::{route, Ctx};
 use stats::ServerStats;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -55,7 +71,10 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 /// `analyze`/`complexity` take the request's query parameters and the
 /// `.imp` source from the body, and return the *identical* JSON document
 /// the corresponding CLI subcommand prints (an `Err` becomes a 400 with a
-/// JSON error envelope).  `cache_counters` feeds the `"cache"` section of
+/// JSON error envelope).  `batch` takes a JSON array of
+/// `{"file", "source"}` objects and returns an index-aligned JSON array
+/// whose elements are byte-identical to the corresponding single-shot
+/// `analyze` documents.  `cache_counters` feeds the `"cache"` section of
 /// `/v1/stats`; `maintain` runs on the housekeeping thread every
 /// `maintenance_interval` (cache GC).
 pub trait AnalysisBackend: Send + Sync + 'static {
@@ -64,6 +83,12 @@ pub trait AnalysisBackend: Send + Sync + 'static {
 
     /// `POST /v1/complexity`.
     fn complexity(&self, query: &[(String, String)], source: &str) -> Result<String, String>;
+
+    /// `POST /v1/batch`.  The default declines, so minimal backends (and
+    /// test stubs) need not implement JSON-array parsing.
+    fn batch(&self, _query: &[(String, String)], _body: &str) -> Result<String, String> {
+        Err("this backend does not support /v1/batch".to_string())
+    }
 
     /// Name/value pairs rendered under `"cache"` in `/v1/stats`.
     fn cache_counters(&self) -> Vec<(&'static str, u64)>;
@@ -83,13 +108,23 @@ pub trait AnalysisBackend: Send + Sync + 'static {
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7557` (port 0 = ephemeral).
     pub addr: String,
-    /// Worker threads handling requests.
+    /// Worker threads handling connections (each worker owns one live
+    /// connection at a time).
     pub workers: usize,
     /// Suppress the per-request stderr log line.
     pub quiet: bool,
     /// Install the SIGINT/SIGTERM handler (the CLI path; tests and
     /// embedded servers leave the process signal state alone).
     pub handle_signals: bool,
+    /// Most requests served over one keep-alive connection before the
+    /// server closes it (a fairness valve: one chatty client cannot own a
+    /// worker forever).
+    pub max_requests_per_conn: usize,
+    /// How long an idle keep-alive connection waits for its next request.
+    pub idle_timeout: Duration,
+    /// Wall-clock allowed for one request head, counted from its first
+    /// byte (slowloris guard; expiry is a 408).
+    pub head_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +134,18 @@ impl Default for ServerConfig {
             workers: 4,
             quiet: false,
             handle_signals: false,
+            max_requests_per_conn: 1000,
+            idle_timeout: Duration::from_secs(5),
+            head_deadline: http::IO_TIMEOUT,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn limits(&self) -> ConnLimits {
+        ConnLimits {
+            head_deadline: self.head_deadline,
+            idle_timeout: self.idle_timeout,
         }
     }
 }
@@ -175,8 +222,10 @@ pub fn spawn(
 }
 
 /// The accept loop: non-blocking accept + shutdown-flag poll, one pool job
-/// per connection.  Returns only after every accepted connection has been
-/// answered (the pool drains on drop).
+/// per *connection* (the job loops over that connection's requests).
+/// Returns only after every accepted connection has been answered (the
+/// pool drains on drop; parked keep-alive connections notice the flag and
+/// close).
 fn serve_on(
     listener: TcpListener,
     config: &ServerConfig,
@@ -213,12 +262,27 @@ fn serve_on(
                 // sockets inherit the listener's non-blocking mode; the
                 // workers want plain blocking reads with timeouts.
                 let _ = stream.set_nonblocking(false);
+                // Responses go out in one write each; without TCP_NODELAY
+                // Nagle would still delay a response that follows another
+                // on the same keep-alive connection until the client ACKs.
+                let _ = stream.set_nodelay(true);
                 let backend = Arc::clone(&backend);
                 let stats = Arc::clone(&stats);
                 let shutdown = Arc::clone(&shutdown);
                 let quiet = config.quiet;
+                let limits = config.limits();
+                let max_requests = config.max_requests_per_conn.max(1);
                 pool.execute(move || {
-                    handle_connection(stream, peer, &*backend, &stats, &shutdown, quiet)
+                    handle_connection(
+                        stream,
+                        peer,
+                        &*backend,
+                        &stats,
+                        &shutdown,
+                        quiet,
+                        limits,
+                        max_requests,
+                    )
                 });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -236,28 +300,59 @@ fn serve_on(
     }
 }
 
-/// Reads one request, dispatches it, writes the response, records stats.
+/// Serves one connection to completion: requests are read, dispatched,
+/// and answered in a loop until the client stops, a limit trips, or the
+/// server drains.  Every response states the connection's fate in its
+/// `Connection` header; error responses always close (after a framing
+/// error the buffer position is untrustworthy).
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
-    mut stream: TcpStream,
+    stream: TcpStream,
     peer: SocketAddr,
     backend: &dyn AnalysisBackend,
     stats: &ServerStats,
     shutdown: &AtomicBool,
     quiet: bool,
+    limits: ConnLimits,
+    max_requests: usize,
 ) {
-    let started = Instant::now();
-    let (endpoint_label, response) = match read_request(&mut stream) {
-        Ok(request) => dispatch(&request, backend, stats, shutdown),
-        Err(e) => ("<malformed>", Response::error(e.status, &e.message)),
-    };
-    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
-    stats.record(endpoint_label, response.status, elapsed_ms);
-    let _ = response.write_to(&mut stream);
-    if !quiet {
-        eprintln!(
-            "chora serve: {peer} {endpoint_label} {} {elapsed_ms:.1}ms",
-            response.status
-        );
+    stats.record_connection();
+    let mut conn = Conn::new(stream, limits);
+    let mut served = 0usize;
+    loop {
+        let request = match conn.next_request(shutdown) {
+            Ok(Next::Request(request)) => request,
+            Ok(Next::Closed) | Ok(Next::Idle) => break,
+            Err(e) => {
+                let response = Response::error(e.status, &e.message);
+                stats.record("<malformed>", response.status, 0.0);
+                let _ = response.write_to(conn.stream(), false);
+                if !quiet {
+                    eprintln!("chora serve: {peer} <malformed> {}", response.status);
+                }
+                break;
+            }
+        };
+        served += 1;
+        let started = Instant::now();
+        let (endpoint_label, response) = dispatch(&request, backend, stats, shutdown);
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        stats.record(endpoint_label, response.status, elapsed_ms);
+        // The shutdown check covers `POST /v1/shutdown` answered on this
+        // very connection: its own response already says `close`.
+        let keep_alive =
+            request.keep_alive && served < max_requests && !shutdown.load(Ordering::SeqCst);
+        let written = response.write_to(conn.stream(), keep_alive);
+        if !quiet {
+            eprintln!(
+                "chora serve: {peer} {endpoint_label} {} {elapsed_ms:.1}ms{}",
+                response.status,
+                if keep_alive { "" } else { " (close)" }
+            );
+        }
+        if written.is_err() || !keep_alive {
+            break;
+        }
     }
 }
 
@@ -271,38 +366,15 @@ fn dispatch(
     stats: &ServerStats,
     shutdown: &AtomicBool,
 ) -> (&'static str, Response) {
-    let endpoint = match route(&request.method, &request.path) {
-        Ok(endpoint) => endpoint,
-        Err(response) => return ("<unrouted>", response),
-    };
-    let response = match endpoint {
-        Endpoint::Healthz => Response::json(
-            200,
-            format!(
-                "{{\"status\": \"ok\", \"uptime_ms\": {:.3}}}\n",
-                stats.uptime_ms()
-            ),
-        ),
-        Endpoint::Stats => Response::json(200, stats.to_json(&backend.cache_counters())),
-        Endpoint::Shutdown => {
-            shutdown.store(true, Ordering::SeqCst);
-            Response::json(200, "{\"ok\": true, \"draining\": true}\n")
-        }
-        Endpoint::Analyze | Endpoint::Complexity => {
-            let source = match request.body_utf8() {
-                Ok(source) => source,
-                Err(e) => return (endpoint.path(), Response::error(e.status, &e.message)),
+    match route(&request.method, &request.path) {
+        Ok(r) => {
+            let ctx = Ctx {
+                backend,
+                stats,
+                shutdown,
             };
-            let result = if endpoint == Endpoint::Analyze {
-                backend.analyze(&request.query, source)
-            } else {
-                backend.complexity(&request.query, source)
-            };
-            match result {
-                Ok(body) => Response::json(200, body),
-                Err(message) => Response::error(400, &message),
-            }
+            (r.path, (r.handler)(request, &ctx))
         }
-    };
-    (endpoint.path(), response)
+        Err(response) => ("<unrouted>", response),
+    }
 }

@@ -20,6 +20,7 @@ struct EndpointStats {
 pub struct ServerStats {
     started: Instant,
     endpoints: Mutex<BTreeMap<String, EndpointStats>>,
+    connections: AtomicU64,
     ok: AtomicU64,
     client_errors: AtomicU64,
     server_errors: AtomicU64,
@@ -36,10 +37,18 @@ impl ServerStats {
         ServerStats {
             started: Instant::now(),
             endpoints: Mutex::new(BTreeMap::new()),
+            connections: AtomicU64::new(0),
             ok: AtomicU64::new(0),
             client_errors: AtomicU64::new(0),
             server_errors: AtomicU64::new(0),
         }
+    }
+
+    /// Records one accepted connection (a keep-alive connection counts
+    /// once, however many requests it carries — `responses` minus this is
+    /// the reuse win).
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one finished request.
@@ -68,6 +77,11 @@ impl ServerStats {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"uptime_ms\": {:.3},", self.uptime_ms());
+        let _ = writeln!(
+            out,
+            "  \"connections\": {},",
+            self.connections.load(Ordering::Relaxed)
+        );
         let _ = writeln!(
             out,
             "  \"responses\": {{\"ok\": {}, \"client_errors\": {}, \"server_errors\": {}}},",
@@ -118,12 +132,14 @@ mod tests {
     #[test]
     fn stats_json_includes_endpoints_and_cache_counters() {
         let stats = ServerStats::new();
+        stats.record_connection();
         stats.record("/v1/analyze", 200, 12.5);
         stats.record("/v1/analyze", 400, 0.5);
         stats.record("/v1/healthz", 200, 0.1);
         let doc = stats.to_json(&[("mem_hits", 3), ("disk_probes", 1)]);
         assert!(doc.contains("\"/v1/analyze\": {\"count\": 2"), "{doc}");
         assert!(doc.contains("\"/v1/healthz\""), "{doc}");
+        assert!(doc.contains("\"connections\": 1"), "{doc}");
         assert!(doc.contains("\"ok\": 2"), "{doc}");
         assert!(doc.contains("\"client_errors\": 1"), "{doc}");
         assert!(doc.contains("\"mem_hits\": 3"), "{doc}");
