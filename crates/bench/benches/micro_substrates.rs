@@ -6,9 +6,14 @@
 //!   `Arc<str>`-keyed `BTreeMap` representation (re-implemented locally as
 //!   the baseline) and over the interned sorted-`Vec` representation,
 //! * **sequential-vs-parallel**: a whole-program analysis with many
-//!   independent recursive components, run with `jobs = 1` and `jobs = N`.
+//!   independent recursive components, run with `jobs = 1` and `jobs = N`,
+//! * **small-vs-heap numeric tower**: the same Fourier–Motzkin elimination
+//!   workload on the inline `Small(i64)` fast path and with
+//!   `chora_numeric::stats::set_force_heap(true)` (every value limb-vector
+//!   allocated — the pre-fast-path baseline), plus the small-path hit /
+//!   promotion counters from the `stats` feature.
 //!
-//! Both deltas are measured in wall-clock time and recorded in
+//! All deltas are measured in wall-clock time and recorded in
 //! `target/micro_substrates.json` so CI (the `bench-smoke` job) and humans
 //! can track regressions.  Passing `--smoke` runs a single iteration of
 //! everything — fast enough to gate every push.
@@ -20,7 +25,7 @@ use chora_logic::{Atom, Polyhedron};
 use chora_numeric::{rat, BigInt, BigRational};
 use chora_recurrence::RecurrenceSystem;
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -150,6 +155,45 @@ fn analyze_with_jobs(program: &Program, jobs: usize) -> usize {
 }
 
 // ---------------------------------------------------------------------------
+// Small-vs-heap numeric tower: Fourier–Motzkin chain elimination.
+// ---------------------------------------------------------------------------
+
+/// A chain where every variable is bounded above and below (twice each, with
+/// distinct slopes) in terms of its predecessor; projecting onto the two
+/// endpoints runs Fourier–Motzkin over all the middle variables, composing
+/// the bounds.  Coefficients start small and stay small-integer rationals
+/// throughout — exactly the regime the inline `Small(i64)` fast path targets.
+/// Returns the surviving constraint count so the optimizer cannot discard
+/// the work.
+fn fm_chain_workload(syms: &[Symbol]) -> usize {
+    let var = |i: usize| Polynomial::var(syms[i]);
+    let cst = |v: i64| Polynomial::constant(rat(v));
+    let mut atoms = Vec::new();
+    for i in 0..syms.len() - 1 {
+        let step = i as i64 + 1;
+        atoms.push(Atom::le(
+            var(i + 1).scale(&rat(3)),
+            &var(i).scale(&rat(2)) + &cst(step + 6),
+        ));
+        atoms.push(Atom::le(
+            var(i + 1).scale(&rat(5)),
+            &var(i).scale(&rat(4)) + &cst(11),
+        ));
+        atoms.push(Atom::ge(
+            var(i + 1).scale(&rat(2)),
+            &var(i) - &cst(step + 2),
+        ));
+        atoms.push(Atom::ge(
+            var(i + 1).scale(&rat(7)),
+            &var(i).scale(&rat(3)) - &cst(5),
+        ));
+    }
+    let p = Polyhedron::from_atoms(atoms);
+    let keep: BTreeSet<Symbol> = [syms[0], syms[syms.len() - 1]].into_iter().collect();
+    p.project_onto(&keep).len()
+}
+
+// ---------------------------------------------------------------------------
 // Timing + JSON recording
 // ---------------------------------------------------------------------------
 
@@ -222,14 +266,41 @@ fn representation_and_parallelism_deltas() {
         result.summaries.len()
     }) * 1e3;
 
+    // Small(i64) fast path vs forced-heap baseline on the FM chain.  The
+    // counters are captured over one instrumented run (reset → run →
+    // snapshot) so they describe a single workload execution; the forced-heap
+    // switch is flipped only around the baseline so everything after it runs
+    // on the normal path again.
+    let fm_iters = if smoke { 1 } else { 40 };
+    let fm_syms: Vec<Symbol> = (0..10).map(|i| Symbol::new(&format!("fm_x{i}"))).collect();
+    chora_numeric::stats::reset();
+    let fm_constraints = fm_chain_workload(&fm_syms);
+    let fm_stats = chora_numeric::stats::snapshot();
+    let fm_small_ms = time_secs(fm_iters, || fm_chain_workload(&fm_syms)) * 1e3;
+    chora_numeric::stats::set_force_heap(true);
+    assert_eq!(
+        fm_constraints,
+        fm_chain_workload(&fm_syms),
+        "both representations must project to the same polyhedron"
+    );
+    let fm_heap_ms = time_secs(fm_iters, || fm_chain_workload(&fm_syms)) * 1e3;
+    chora_numeric::stats::set_force_heap(false);
+
     let report = format!(
-        "{{\n  \"smoke\": {smoke},\n  \"poly_workload\": {{\n    \"string_ns\": {string_ns:.0},\n    \"interned_ns\": {interned_ns:.0},\n    \"interned_speedup\": {:.3}\n  }},\n  \"level_parallel\": {{\n    \"jobs\": {jobs},\n    \"seq_ms\": {seq_ms:.3},\n    \"par_ms\": {par_ms:.3},\n    \"parallel_speedup\": {:.3}\n  }},\n  \"phases\": {{\n    \"summarize_ms\": {:.3},\n    \"solve_ms\": {:.3},\n    \"check_ms\": {:.3}\n  }},\n  \"summary_cache\": {{\n    \"cold_ms\": {cache_cold_ms:.3},\n    \"warm_ms\": {warm_ms:.3},\n    \"warm_speedup\": {:.3},\n    \"warm_hits\": {warm_hits}\n  }}\n}}\n",
+        "{{\n  \"smoke\": {smoke},\n  \"poly_workload\": {{\n    \"string_ns\": {string_ns:.0},\n    \"interned_ns\": {interned_ns:.0},\n    \"interned_speedup\": {:.3}\n  }},\n  \"level_parallel\": {{\n    \"jobs\": {jobs},\n    \"seq_ms\": {seq_ms:.3},\n    \"par_ms\": {par_ms:.3},\n    \"parallel_speedup\": {:.3}\n  }},\n  \"phases\": {{\n    \"summarize_ms\": {:.3},\n    \"solve_ms\": {:.3},\n    \"check_ms\": {:.3}\n  }},\n  \"summary_cache\": {{\n    \"cold_ms\": {cache_cold_ms:.3},\n    \"warm_ms\": {warm_ms:.3},\n    \"warm_speedup\": {:.3},\n    \"warm_hits\": {warm_hits}\n  }},\n  \"numeric\": {{\n    \"fm_constraints\": {fm_constraints},\n    \"fm_small_ms\": {fm_small_ms:.3},\n    \"fm_forced_heap_ms\": {fm_heap_ms:.3},\n    \"fm_small_speedup\": {:.3},\n    \"small_ops\": {},\n    \"heap_ops\": {},\n    \"promotions\": {},\n    \"demotions\": {},\n    \"rational_small_ops\": {},\n    \"rational_heap_ops\": {}\n  }}\n}}\n",
         string_ns / interned_ns,
         seq_ms / par_ms,
         phases.summarize_ms,
         phases.solve_ms,
         phases.check_ms,
-        cache_cold_ms / warm_ms
+        cache_cold_ms / warm_ms,
+        fm_heap_ms / fm_small_ms,
+        fm_stats.small_ops,
+        fm_stats.heap_ops,
+        fm_stats.promotions,
+        fm_stats.demotions,
+        fm_stats.rational_small_ops,
+        fm_stats.rational_heap_ops
     );
     println!("substrate-deltas\n{report}");
     let target = std::env::var("CARGO_TARGET_DIR")

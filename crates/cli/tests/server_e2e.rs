@@ -141,6 +141,41 @@ fn analyze_responses_are_byte_identical_to_the_cli_cold_and_warm() {
 }
 
 #[test]
+fn analyze_responses_match_the_checked_in_goldens_cold_and_warm() {
+    // The small-integer numeric fast path is an *exact* optimization: the
+    // daemon's documents — cold and response-cache warm — must stay
+    // byte-identical (timing stripped) to the goldens recorded before the
+    // fast path landed.
+    let (handle, _service) = daemon(ServeOptions::default());
+    let addr = handle.addr().to_string();
+    for name in ["fib", "hanoi", "merge-sort", "height"] {
+        let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../tests/goldens")
+            .join(format!("{name}.analyze.json"));
+        let golden = std::fs::read_to_string(&golden_path).expect("read golden");
+        let source = std::fs::read_to_string(example(&format!("{name}.imp"))).expect("read");
+        // The goldens were recorded by running the CLI from the repo root,
+        // so the daemon is given the same repo-relative display name.
+        let file = format!("examples/programs/{name}.imp");
+        let (status, cold) = post_source(&addr, &file, &source, "");
+        assert_eq!(status, 200, "{cold}");
+        let (status, warm) = post_source(&addr, &file, &source, "");
+        assert_eq!(status, 200, "{warm}");
+        assert_eq!(
+            strip_timing(&cold),
+            strip_timing(&golden),
+            "cold {name} diverged from the pre-fast-path golden"
+        );
+        assert_eq!(
+            strip_timing(&warm),
+            strip_timing(&golden),
+            "warm {name} diverged from the pre-fast-path golden"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
 fn warm_requests_are_served_from_the_memory_tier() {
     let dir = scratch("warmpath");
     let (handle, _service) = daemon(ServeOptions {

@@ -10,10 +10,16 @@
 
 use crate::merge::merge_sorted;
 use crate::symbol::Symbol;
-use chora_numeric::{BigInt, BigRational};
+use chora_numeric::{BigInt, BigRational, SmallVec};
+use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::ops::{Add, Neg, Sub};
+
+/// Coefficient storage: constraint rows in Fourier–Motzkin elimination are
+/// almost always over ≤ 4 dimensions, so they live inline (no per-row heap
+/// allocation) and only spill for unusually wide expressions.
+type Coeffs = SmallVec<(Symbol, BigRational), 4>;
 
 /// An affine expression: a rational constant plus a rational-weighted sum of
 /// symbols.
@@ -27,7 +33,7 @@ use std::ops::{Add, Neg, Sub};
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct LinearExpr {
     /// Invariant: sorted by symbol, no zero coefficients stored.
-    coeffs: Vec<(Symbol, BigRational)>,
+    coeffs: Coeffs,
     constant: BigRational,
 }
 
@@ -40,15 +46,17 @@ impl LinearExpr {
     /// A constant expression.
     pub fn constant(c: BigRational) -> LinearExpr {
         LinearExpr {
-            coeffs: Vec::new(),
+            coeffs: Coeffs::new(),
             constant: c,
         }
     }
 
     /// The expression consisting of a single symbol.
     pub fn var(s: Symbol) -> LinearExpr {
+        let mut coeffs = Coeffs::new();
+        coeffs.push((s, BigRational::one()));
         LinearExpr {
-            coeffs: vec![(s, BigRational::one())],
+            coeffs,
             constant: BigRational::zero(),
         }
     }
@@ -186,6 +194,59 @@ impl LinearExpr {
             return int_expr;
         }
         int_expr.scale(&BigRational::new(BigInt::one(), g))
+    }
+
+    /// Computes `ka·self + kb·other` in a single merge pass.
+    ///
+    /// This is the Fourier–Motzkin combination step; fusing the two scales
+    /// into the merge avoids materializing both scaled rows (two full
+    /// allocations per pos×neg pair) just to add them.
+    pub fn scaled_sum(&self, ka: &BigRational, other: &LinearExpr, kb: &BigRational) -> LinearExpr {
+        let (a, b) = (&self.coeffs, &other.coeffs);
+        let mut out = Coeffs::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                Ordering::Less => {
+                    let v = &a[i].1 * ka;
+                    if !v.is_zero() {
+                        out.push((a[i].0, v));
+                    }
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    let v = &b[j].1 * kb;
+                    if !v.is_zero() {
+                        out.push((b[j].0, v));
+                    }
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    let v = &(&a[i].1 * ka) + &(&b[j].1 * kb);
+                    if !v.is_zero() {
+                        out.push((a[i].0, v));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        for (s, c) in &a[i..] {
+            let v = c * ka;
+            if !v.is_zero() {
+                out.push((*s, v));
+            }
+        }
+        for (s, c) in &b[j..] {
+            let v = c * kb;
+            if !v.is_zero() {
+                out.push((*s, v));
+            }
+        }
+        LinearExpr {
+            coeffs: out,
+            constant: &(&self.constant * ka) + &(&other.constant * kb),
+        }
     }
 }
 

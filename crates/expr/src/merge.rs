@@ -7,46 +7,46 @@
 
 use std::cmp::Ordering;
 
-/// Merges two key-sorted slices into a new key-sorted vector.
+/// Merges two key-sorted slices into a new key-sorted container (`Vec` or
+/// `SmallVec` — whatever the caller's storage type is).
 ///
 /// Entries only in `a` are cloned; entries only in `b` go through
 /// `map_right` (e.g. negation for subtraction); equal keys are fused with
 /// `combine`, which may return `None` to drop the entry (e.g. coefficients
 /// cancelling to zero).
-pub(crate) fn merge_sorted<K, V>(
+pub(crate) fn merge_sorted<K, V, C>(
     a: &[(K, V)],
     b: &[(K, V)],
     map_right: impl Fn(&V) -> V,
     combine: impl Fn(&V, &V) -> Option<V>,
-) -> Vec<(K, V)>
+) -> C
 where
     K: Ord + Clone,
     V: Clone,
+    C: Default + Extend<(K, V)>,
 {
-    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut out = C::default();
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].0.cmp(&b[j].0) {
             Ordering::Less => {
-                out.push(a[i].clone());
+                out.extend(Some(a[i].clone()));
                 i += 1;
             }
             Ordering::Greater => {
-                out.push((b[j].0.clone(), map_right(&b[j].1)));
+                out.extend(Some((b[j].0.clone(), map_right(&b[j].1))));
                 j += 1;
             }
             Ordering::Equal => {
                 if let Some(v) = combine(&a[i].1, &b[j].1) {
-                    out.push((a[i].0.clone(), v));
+                    out.extend(Some((a[i].0.clone(), v)));
                 }
                 i += 1;
                 j += 1;
             }
         }
     }
-    out.extend_from_slice(&a[i..]);
-    for (k, v) in &b[j..] {
-        out.push((k.clone(), map_right(v)));
-    }
+    out.extend(a[i..].iter().cloned());
+    out.extend(b[j..].iter().map(|(k, v)| (k.clone(), map_right(v))));
     out
 }

@@ -15,35 +15,41 @@
 use crate::linear::LinearExpr;
 use crate::merge::merge_sorted;
 use crate::symbol::Symbol;
-use chora_numeric::{BigInt, BigRational};
+use chora_numeric::{BigInt, BigRational, SmallVec};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
+
+/// Power-product storage: monomials in real programs rarely involve more
+/// than three variables, so they live inline (no heap allocation).
+type Powers = SmallVec<(Symbol, u32), 3>;
 
 /// A power product of symbols, e.g. `x^2·y` (the empty monomial is `1`).
 ///
 /// Invariant: entries are sorted by symbol and exponents are positive.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct Monomial(Vec<(Symbol, u32)>);
+pub struct Monomial(Powers);
 
 impl Monomial {
     /// The unit monomial `1`.
     pub fn one() -> Monomial {
-        Monomial(Vec::new())
+        Monomial(Powers::new())
     }
 
     /// The monomial consisting of a single variable.
     pub fn var(s: Symbol) -> Monomial {
-        Monomial(vec![(s, 1)])
+        let mut powers = Powers::new();
+        powers.push((s, 1));
+        Monomial(powers)
     }
 
     /// Builds a monomial from `(symbol, exponent)` pairs; zero exponents are
     /// dropped.
     pub fn from_powers(powers: impl IntoIterator<Item = (Symbol, u32)>) -> Monomial {
-        let mut entries: Vec<(Symbol, u32)> = powers.into_iter().filter(|(_, e)| *e > 0).collect();
+        let mut entries: Powers = powers.into_iter().filter(|(_, e)| *e > 0).collect();
         entries.sort_by_key(|(s, _)| *s);
-        let mut merged: Vec<(Symbol, u32)> = Vec::with_capacity(entries.len());
-        for (s, e) in entries {
+        let mut merged = Powers::new();
+        for &(s, e) in entries.as_slice() {
             match merged.last_mut() {
                 Some((prev, acc)) if *prev == s => *acc += e,
                 _ => merged.push((s, e)),
@@ -137,16 +143,22 @@ impl fmt::Debug for Monomial {
 /// assert_eq!(p.to_string(), "x^2 + 1");
 /// assert_eq!(p.degree(), 2);
 /// ```
+/// Term storage: the constraint polynomials the analysis juggles are mostly
+/// one or two terms, which stay inline.
+type Terms = SmallVec<(Monomial, BigRational), 2>;
+
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct Polynomial {
     /// Invariant: sorted by monomial, no zero coefficients stored.
-    terms: Vec<(Monomial, BigRational)>,
+    terms: Terms,
 }
 
 impl Polynomial {
     /// The zero polynomial.
     pub fn zero() -> Polynomial {
-        Polynomial { terms: Vec::new() }
+        Polynomial {
+            terms: Terms::new(),
+        }
     }
 
     /// The constant polynomial `1`.
@@ -156,7 +168,7 @@ impl Polynomial {
 
     /// A constant polynomial.
     pub fn constant(c: BigRational) -> Polynomial {
-        let mut terms = Vec::new();
+        let mut terms = Terms::new();
         if !c.is_zero() {
             terms.push((Monomial::one(), c));
         }
@@ -165,14 +177,14 @@ impl Polynomial {
 
     /// The polynomial consisting of a single variable.
     pub fn var(s: Symbol) -> Polynomial {
-        Polynomial {
-            terms: vec![(Monomial::var(s), BigRational::one())],
-        }
+        let mut terms = Terms::new();
+        terms.push((Monomial::var(s), BigRational::one()));
+        Polynomial { terms }
     }
 
     /// A single term `c·m`.
     pub fn term(c: BigRational, m: Monomial) -> Polynomial {
-        let mut terms = Vec::new();
+        let mut terms = Terms::new();
         if !c.is_zero() {
             terms.push((m, c));
         }

@@ -6,7 +6,7 @@
 //! Conjunctions of atoms form a [`crate::Polyhedron`]; bounded disjunctions
 //! of polyhedra form a [`crate::TransitionFormula`].
 
-use chora_expr::{LinearExpr, Polynomial, Symbol};
+use chora_expr::{LinearExpr, Monomial, Polynomial, Symbol};
 use chora_numeric::BigRational;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -150,7 +150,11 @@ impl Atom {
         if !lin_coeff.is_positive() {
             return None;
         }
-        let var_part = Polynomial::var(*s).scale(&lin_coeff);
+        // Build the single term directly rather than scaling a fresh
+        // one-term polynomial (one allocation instead of two per bound probe
+        // — this runs once per atom × candidate symbol during height-bound
+        // extraction).
+        let var_part = Polynomial::term(lin_coeff.clone(), Monomial::var(*s));
         let rest = &self.poly - &var_part;
         if rest.symbols().contains(s) {
             return None;
@@ -166,7 +170,7 @@ impl Atom {
         if !lin_coeff.is_negative() {
             return None;
         }
-        let var_part = Polynomial::var(*s).scale(&lin_coeff);
+        let var_part = Polynomial::term(lin_coeff.clone(), Monomial::var(*s));
         let rest = &self.poly - &var_part;
         if rest.symbols().contains(s) {
             return None;

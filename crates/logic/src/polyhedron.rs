@@ -208,11 +208,12 @@ impl Polyhedron {
             }
         }
         let mut reduced = sys;
+        let mut scratch = FmScratch::default();
         for d in reduced.dims() {
             if goal_syms.contains(&d) {
                 continue;
             }
-            reduced = reduced.eliminate_dim(&d);
+            reduced.eliminate_dim(&d, &mut scratch);
             if reduced.unsat {
                 return true;
             }
@@ -382,8 +383,9 @@ impl Polyhedron {
         let mut to_drop: Vec<Symbol> = z_names.values().cloned().collect();
         to_drop.push(lambda);
         let mut sys = left.with_constraints(constraints, &right);
+        let mut scratch = FmScratch::default();
         for d in to_drop {
-            sys = sys.eliminate_dim(&d);
+            sys.eliminate_dim(&d, &mut scratch);
             if sys.constraints.len() > FM_CONSTRAINT_BUDGET {
                 return None;
             }
@@ -498,6 +500,21 @@ struct Linearized {
     constraints: Vec<(LinearExpr, AtomKind)>,
     /// marker set when a trivially-false constraint is encountered
     unsat: bool,
+}
+
+/// Reusable buffers for [`Linearized::eliminate_dim`].
+///
+/// One scratch lives for a whole elimination pass (a `project`, `is_unsat`,
+/// or join loop), so the pos/neg partition and the output row list keep
+/// their allocations across dimensions instead of being rebuilt per
+/// dimension.  The third tuple field is the (positive) coefficient the
+/// combination step multiplies the opposite row by; the rows themselves are
+/// stored with the eliminated dimension already stripped.
+#[derive(Default)]
+struct FmScratch {
+    pos: Vec<(LinearExpr, AtomKind, BigRational)>,
+    neg: Vec<(LinearExpr, AtomKind, BigRational)>,
+    out: Vec<(LinearExpr, AtomKind)>,
 }
 
 impl Linearized {
@@ -694,9 +711,16 @@ impl Linearized {
     /// When the intermediate system would exceed the constraint budget, the
     /// constraints involving the dimension are dropped instead (a sound
     /// over-approximation).
-    fn eliminate_dim(mut self, d: &Symbol) -> Linearized {
+    ///
+    /// `scratch` holds the pos/neg partition and output buffers; reusing one
+    /// [`FmScratch`] across a whole elimination pass means the partition
+    /// vectors are allocated once per pass instead of once per dimension,
+    /// and each dimension's coefficient is stripped from its row exactly
+    /// once (outside the pos×neg combination loop, which previously cloned
+    /// and re-stripped both rows per pair).
+    fn eliminate_dim(&mut self, d: &Symbol, scratch: &mut FmScratch) {
         if self.unsat {
-            return self;
+            return;
         }
         // Prefer substitution through an equality involving d.
         if let Some(idx) = self
@@ -707,74 +731,69 @@ impl Linearized {
             let (eq_expr, _) = self.constraints.remove(idx);
             let coeff = eq_expr.coefficient(d);
             // d = -(rest)/coeff
-            let mut rest = eq_expr.clone();
+            let mut rest = eq_expr;
             rest.add_coefficient(*d, -coeff.clone());
             let replacement = rest.scale(&(-coeff.recip()));
-            let constraints = std::mem::take(&mut self.constraints)
-                .into_iter()
-                .map(|(e, k)| (e.substitute(d, &replacement), k))
-                .collect();
-            self.constraints = constraints;
+            for (e, _) in self.constraints.iter_mut() {
+                if !e.coefficient(d).is_zero() {
+                    *e = e.substitute(d, &replacement);
+                }
+            }
             self.normalize();
-            return self;
+            return;
         }
-        let mut pos = Vec::new();
-        let mut neg = Vec::new();
-        let mut rest = Vec::new();
-        for (e, k) in std::mem::take(&mut self.constraints) {
+        scratch.pos.clear();
+        scratch.neg.clear();
+        scratch.out.clear();
+        for (mut e, k) in self.constraints.drain(..) {
             let c = e.coefficient(d);
             if c.is_zero() {
-                rest.push((e, k));
+                scratch.out.push((e, k));
             } else if c.is_positive() {
-                pos.push((e, k, c));
+                // Strip d here, once, so the stored row IS the p_rest of the
+                // combination formula below.
+                e.add_coefficient(*d, -c.clone());
+                scratch.pos.push((e, k, c));
             } else {
-                neg.push((e, k, c));
+                e.add_coefficient(*d, -c.clone());
+                // Store |c| (= -c > 0), the factor the combination needs.
+                scratch.neg.push((e, k, -c));
             }
         }
-        if pos.len() * neg.len() + rest.len() > FM_CONSTRAINT_BUDGET {
+        if scratch.pos.len() * scratch.neg.len() + scratch.out.len() > FM_CONSTRAINT_BUDGET {
             // Over-approximate: drop every constraint involving d.
-            self.constraints = rest;
+            std::mem::swap(&mut self.constraints, &mut scratch.out);
             self.normalize();
-            return self;
+            return;
         }
-        for (pe, pk, pc) in &pos {
-            for (ne, nk, nc) in &neg {
-                // pe: pc·d + p_rest ◇ 0  (pc > 0)   =>  d ≤ -p_rest/pc (for ◇ = ≤)
-                // ne: nc·d + n_rest ◇ 0  (nc < 0)   =>  d ≥ n_rest/(-nc)
+        for (p_rest, pk, pc) in &scratch.pos {
+            for (n_rest, nk, n_abs) in &scratch.neg {
+                // pos: pc·d + p_rest ◇ 0  (pc > 0)  =>  d ≤ -p_rest/pc (for ◇ = ≤)
+                // neg: nc·d + n_rest ◇ 0  (nc < 0)  =>  d ≥ n_rest/(-nc)
                 // combined:  n_rest/(-nc) ≤ -p_rest/pc
                 //            pc·n_rest + (-nc)·p_rest ≤ 0
-                let p_rest = {
-                    let mut e = pe.clone();
-                    e.add_coefficient(*d, -pc.clone());
-                    e
-                };
-                let n_rest = {
-                    let mut e = ne.clone();
-                    e.add_coefficient(*d, -nc.clone());
-                    e
-                };
-                let combined = &n_rest.scale(pc) + &p_rest.scale(&-nc.clone());
+                let combined = n_rest.scaled_sum(pc, p_rest, n_abs);
                 let kind = match (pk, nk) {
                     (AtomKind::Lt, _) | (_, AtomKind::Lt) => AtomKind::Lt,
                     _ => AtomKind::Le,
                 };
-                rest.push((combined, kind));
+                scratch.out.push((combined, kind));
             }
         }
-        self.constraints = rest;
+        std::mem::swap(&mut self.constraints, &mut scratch.out);
         self.normalize();
-        self
     }
 
     /// Projects onto the dimensions whose base symbols all satisfy `keep`.
     fn project(mut self, keep: impl Fn(&[Symbol]) -> bool) -> Linearized {
         let dims = self.dims();
+        let mut scratch = FmScratch::default();
         for d in dims {
             let bases = self.base_symbols(&d);
             if keep(&bases) {
                 continue;
             }
-            self = self.eliminate_dim(&d);
+            self.eliminate_dim(&d, &mut scratch);
             if self.unsat {
                 break;
             }
@@ -785,8 +804,9 @@ impl Linearized {
     #[allow(clippy::wrong_self_convention)] // consumes self: elimination destroys the system
     fn is_unsat(mut self) -> bool {
         let dims = self.dims();
+        let mut scratch = FmScratch::default();
         for d in dims {
-            self = self.eliminate_dim(&d);
+            self.eliminate_dim(&d, &mut scratch);
             if self.unsat {
                 return true;
             }

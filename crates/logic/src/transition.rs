@@ -94,12 +94,15 @@ impl TransitionFormula {
         }
     }
 
+    /// The frame equality `v' = v` (with the inline term storage this builds
+    /// no heap rows, so stamping frames onto every statement is cheap).
+    fn frame_atom(v: &Symbol) -> Atom {
+        Atom::eq(Polynomial::var(v.primed()), Polynomial::var(*v))
+    }
+
     /// The identity (skip) transition over the given variables: `v' = v`.
     pub fn identity(vars: &[Symbol]) -> TransitionFormula {
-        let atoms = vars
-            .iter()
-            .map(|v| Atom::eq(Polynomial::var(v.primed()), Polynomial::var(*v)))
-            .collect();
+        let atoms = vars.iter().map(Self::frame_atom).collect();
         TransitionFormula::from_polyhedron(Polyhedron::from_atoms(atoms))
     }
 
@@ -109,7 +112,7 @@ impl TransitionFormula {
         let mut atoms = vec![Atom::eq(Polynomial::var(var.primed()), rhs.clone())];
         for v in vars {
             if v != var {
-                atoms.push(Atom::eq(Polynomial::var(v.primed()), Polynomial::var(*v)));
+                atoms.push(Self::frame_atom(v));
             }
         }
         TransitionFormula::from_polyhedron(Polyhedron::from_atoms(atoms))
@@ -121,7 +124,7 @@ impl TransitionFormula {
         let atoms = vars
             .iter()
             .filter(|v| !havocked.contains(v))
-            .map(|v| Atom::eq(Polynomial::var(v.primed()), Polynomial::var(*v)))
+            .map(Self::frame_atom)
             .collect();
         TransitionFormula::from_polyhedron(Polyhedron::from_atoms(atoms))
     }
@@ -131,7 +134,7 @@ impl TransitionFormula {
     pub fn assume(guards: Vec<Atom>, vars: &[Symbol]) -> TransitionFormula {
         let mut atoms = guards;
         for v in vars {
-            atoms.push(Atom::eq(Polynomial::var(v.primed()), Polynomial::var(*v)));
+            atoms.push(Self::frame_atom(v));
         }
         TransitionFormula::from_polyhedron(Polyhedron::from_atoms(atoms))
     }

@@ -1,10 +1,24 @@
-//! Sign–magnitude arbitrary-precision integers.
+//! Sign–magnitude arbitrary-precision integers with an inline small form.
 //!
-//! The magnitude is a little-endian vector of 32-bit limbs with no trailing
-//! zero limbs; zero is represented by an empty limb vector and [`Sign::Zero`].
+//! A [`BigInt`] is either `Small(i64)` — a machine word, no allocation — or a
+//! heap form: a little-endian vector of 32-bit limbs with no trailing zero
+//! limbs plus a [`Sign`] (zero is the empty limb vector with [`Sign::Zero`]).
+//! Almost every coefficient the CHORA analysis manipulates fits in a word,
+//! so all arithmetic first tries a checked-`i64` fast path, *promotes* to the
+//! heap form only when a result overflows, and *demotes* heap results that
+//! fit back into the inline form.
+//!
+//! **Representation independence:** a value reachable as both `Small` and
+//! heap (e.g. via [`BigInt::forced_heap`]) compares (`Eq`/`Ord`) and hashes
+//! identically in either form.  Summaries are content-fingerprinted and
+//! cached on disk, so this invariant is load-bearing — it is enforced by
+//! value-based `PartialEq`/`Ord` impls and a `Hash` impl over the canonical
+//! `(sign, limbs)` pair, and checked by differential property tests.
 
+use crate::stats::numeric_stat;
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
 use std::str::FromStr;
 
@@ -27,6 +41,14 @@ impl Sign {
             Sign::Positive => Sign::Negative,
         }
     }
+
+    fn of_i64(v: i64) -> Sign {
+        match v.cmp(&0) {
+            Ordering::Less => Sign::Negative,
+            Ordering::Equal => Sign::Zero,
+            Ordering::Greater => Sign::Positive,
+        }
+    }
 }
 
 /// An arbitrary-precision signed integer.
@@ -37,77 +59,253 @@ impl Sign {
 /// let b = BigInt::from(3);
 /// assert_eq!((&a * &b).to_string(), "370370367037037036703703703670");
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct BigInt {
-    sign: Sign,
-    /// Little-endian 32-bit limbs, no trailing zeros.
-    mag: Vec<u32>,
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// Inline machine-word form; the common case, never allocates.
+    Small(i64),
+    /// Little-endian 32-bit limbs, no trailing zeros; `Sign::Zero` iff empty.
+    Heap(Sign, Vec<u32>),
+}
+
+/// The (at most two) limbs of an `i64` magnitude, stack-allocated.
+#[derive(Clone, Copy)]
+struct SmallLimbs {
+    buf: [u32; 2],
+    len: usize,
+}
+
+impl SmallLimbs {
+    #[inline]
+    fn of(v: i64) -> SmallLimbs {
+        let u = v.unsigned_abs();
+        SmallLimbs {
+            buf: [u as u32, (u >> 32) as u32],
+            len: if u == 0 {
+                0
+            } else if u >> 32 == 0 {
+                1
+            } else {
+                2
+            },
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u32] {
+        &self.buf[..self.len]
+    }
+}
+
+/// A borrowed or inline view of a magnitude, so heap algorithms can run on
+/// either representation without allocating.
+enum LimbView<'a> {
+    Inline(SmallLimbs),
+    Slice(&'a [u32]),
+}
+
+impl LimbView<'_> {
+    #[inline]
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            LimbView::Inline(s) => s.as_slice(),
+            LimbView::Slice(s) => s,
+        }
+    }
 }
 
 impl BigInt {
-    /// The integer zero.
+    /// The integer zero (allocation-free).
+    #[inline]
     pub fn zero() -> BigInt {
+        BigInt::make_small(0)
+    }
+
+    /// The integer one (allocation-free).
+    #[inline]
+    pub fn one() -> BigInt {
+        BigInt::make_small(1)
+    }
+
+    /// Builds the inline form — or, under the benchmarking forced-heap mode,
+    /// the equivalent heap form.
+    #[inline]
+    fn make_small(v: i64) -> BigInt {
+        if crate::stats::force_heap() {
+            let limbs = SmallLimbs::of(v);
+            return BigInt {
+                repr: Repr::Heap(Sign::of_i64(v), limbs.as_slice().to_vec()),
+            };
+        }
         BigInt {
-            sign: Sign::Zero,
-            mag: Vec::new(),
+            repr: Repr::Small(v),
         }
     }
 
-    /// The integer one.
-    pub fn one() -> BigInt {
-        BigInt::from(1)
+    /// The inline value, if this integer is in the inline representation.
+    /// (Heap-held values return `None` even when they would fit — dispatch
+    /// is by representation, conversion is [`BigInt::to_i64`].)
+    #[inline]
+    pub(crate) fn as_small(&self) -> Option<i64> {
+        match self.repr {
+            Repr::Small(v) => Some(v),
+            Repr::Heap(..) => None,
+        }
+    }
+
+    /// A copy of this value in the heap representation, even when it fits
+    /// inline.  Exposed for the differential representation-independence
+    /// tests; arithmetic on the result exercises the limb paths (results
+    /// still demote as usual).
+    pub fn forced_heap(&self) -> BigInt {
+        match &self.repr {
+            Repr::Small(v) => {
+                let limbs = SmallLimbs::of(*v);
+                BigInt {
+                    repr: Repr::Heap(Sign::of_i64(*v), limbs.as_slice().to_vec()),
+                }
+            }
+            Repr::Heap(..) => self.clone(),
+        }
     }
 
     /// Returns `true` iff `self == 0`.
+    #[inline]
     pub fn is_zero(&self) -> bool {
-        self.sign == Sign::Zero
+        match &self.repr {
+            Repr::Small(v) => *v == 0,
+            Repr::Heap(sign, _) => *sign == Sign::Zero,
+        }
     }
 
     /// Returns `true` iff `self == 1`.
+    #[inline]
     pub fn is_one(&self) -> bool {
-        self.sign == Sign::Positive && self.mag == [1]
+        match &self.repr {
+            Repr::Small(v) => *v == 1,
+            Repr::Heap(sign, mag) => *sign == Sign::Positive && mag.as_slice() == [1],
+        }
     }
 
     /// Returns the sign of the integer.
+    #[inline]
     pub fn sign(&self) -> Sign {
-        self.sign
+        match &self.repr {
+            Repr::Small(v) => Sign::of_i64(*v),
+            Repr::Heap(sign, _) => *sign,
+        }
     }
 
     /// Returns `true` iff `self > 0`.
+    #[inline]
     pub fn is_positive(&self) -> bool {
-        self.sign == Sign::Positive
+        self.sign() == Sign::Positive
     }
 
     /// Returns `true` iff `self < 0`.
+    #[inline]
     pub fn is_negative(&self) -> bool {
-        self.sign == Sign::Negative
+        self.sign() == Sign::Negative
     }
 
     /// Absolute value.
+    #[inline]
     pub fn abs(&self) -> BigInt {
-        let mut r = self.clone();
-        if r.sign == Sign::Negative {
-            r.sign = Sign::Positive;
+        match &self.repr {
+            Repr::Small(v) => match v.checked_abs() {
+                Some(a) => BigInt::make_small(a),
+                // |i64::MIN| = 2^63 does not fit in i64.
+                None => BigInt::from_i128(-(i64::MIN as i128)),
+            },
+            Repr::Heap(sign, mag) => BigInt {
+                repr: Repr::Heap(
+                    if *sign == Sign::Negative {
+                        Sign::Positive
+                    } else {
+                        *sign
+                    },
+                    mag.clone(),
+                ),
+            },
         }
-        r
     }
 
+    /// The canonical `(sign, limbs)` view of either representation.
+    #[inline]
+    fn parts(&self) -> (Sign, LimbView<'_>) {
+        match &self.repr {
+            Repr::Small(v) => (Sign::of_i64(*v), LimbView::Inline(SmallLimbs::of(*v))),
+            Repr::Heap(sign, mag) => (*sign, LimbView::Slice(mag)),
+        }
+    }
+
+    /// Builds from a (possibly untrimmed) limb vector, demoting to the inline
+    /// form when the value fits in an `i64`.
     fn from_mag(sign: Sign, mut mag: Vec<u32>) -> BigInt {
         while let Some(&0) = mag.last() {
             mag.pop();
         }
-        if mag.is_empty() {
-            BigInt::zero()
-        } else {
-            BigInt { sign, mag }
+        if !crate::stats::force_heap() {
+            if let Some(v) = small_from_parts(sign, &mag) {
+                if !mag.is_empty() {
+                    numeric_stat!(DEMOTIONS);
+                }
+                return BigInt {
+                    repr: Repr::Small(v),
+                };
+            }
         }
+        let sign = if mag.is_empty() { Sign::Zero } else { sign };
+        BigInt {
+            repr: Repr::Heap(sign, mag),
+        }
+    }
+
+    /// Builds from an `i128` (covers every possible overflow of an
+    /// `i64 ± / × i64` fast path).
+    pub(crate) fn from_i128(v: i128) -> BigInt {
+        if let Ok(small) = i64::try_from(v) {
+            return BigInt::make_small(small);
+        }
+        let sign = if v < 0 {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
+        let mut u = v.unsigned_abs();
+        let mut mag = Vec::with_capacity(4);
+        while u != 0 {
+            mag.push(u as u32);
+            u >>= 32;
+        }
+        BigInt::from_mag(sign, mag)
+    }
+
+    fn from_u128(v: u128) -> BigInt {
+        if let Ok(small) = i64::try_from(v) {
+            return BigInt::make_small(small);
+        }
+        let mut u = v;
+        let mut mag = Vec::with_capacity(4);
+        while u != 0 {
+            mag.push(u as u32);
+            u >>= 32;
+        }
+        BigInt::from_mag(Sign::Positive, mag)
     }
 
     /// Number of significant bits in the magnitude (`0` for zero).
     pub fn bit_len(&self) -> usize {
-        match self.mag.last() {
-            None => 0,
-            Some(&top) => (self.mag.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        match &self.repr {
+            Repr::Small(v) => (64 - v.unsigned_abs().leading_zeros()) as usize,
+            Repr::Heap(_, mag) => match mag.last() {
+                None => 0,
+                Some(&top) => (mag.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+            },
         }
     }
 
@@ -281,16 +479,28 @@ impl BigInt {
     ///
     /// Panics if `other == 0`.
     pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        if let (Some(a), Some(b)) = (self.as_small(), other.as_small()) {
+            assert!(b != 0, "division by zero");
+            numeric_stat!(SMALL_OPS);
+            // The only overflowing case is i64::MIN / -1.
+            return match a.checked_div(b) {
+                Some(q) => (BigInt::make_small(q), BigInt::make_small(a % b)),
+                None => (BigInt::from_i128(-(i64::MIN as i128)), BigInt::zero()),
+            };
+        }
+        numeric_stat!(HEAP_OPS);
         assert!(!other.is_zero(), "division by zero");
-        let (qm, rm) = Self::mag_divmod(&self.mag, &other.mag);
+        let (sa, la) = self.parts();
+        let (sb, lb) = other.parts();
+        let (qm, rm) = Self::mag_divmod(la.as_slice(), lb.as_slice());
         let q_sign = if qm.is_empty() {
             Sign::Zero
-        } else if self.sign == other.sign {
+        } else if sa == sb {
             Sign::Positive
         } else {
             Sign::Negative
         };
-        let r_sign = if rm.is_empty() { Sign::Zero } else { self.sign };
+        let r_sign = if rm.is_empty() { Sign::Zero } else { sa };
         (BigInt::from_mag(q_sign, qm), BigInt::from_mag(r_sign, rm))
     }
 
@@ -306,9 +516,20 @@ impl BigInt {
 
     /// Greatest common divisor (always non-negative).
     pub fn gcd(&self, other: &BigInt) -> BigInt {
+        if let (Some(a), Some(b)) = (self.as_small(), other.as_small()) {
+            numeric_stat!(SMALL_OPS);
+            let g = gcd_u64(a.unsigned_abs(), b.unsigned_abs());
+            return BigInt::from_u128(g as u128);
+        }
+        numeric_stat!(HEAP_OPS);
         let mut a = self.abs();
         let mut b = other.abs();
         while !b.is_zero() {
+            // Drop to the machine-word loop as soon as both fit.
+            if let (Some(x), Some(y)) = (a.as_small(), b.as_small()) {
+                let g = gcd_u64(x.unsigned_abs(), y.unsigned_abs());
+                return BigInt::from_u128(g as u128);
+            }
             let r = a.div_rem(&b).1.abs();
             a = b;
             b = r;
@@ -320,6 +541,13 @@ impl BigInt {
     pub fn lcm(&self, other: &BigInt) -> BigInt {
         if self.is_zero() || other.is_zero() {
             return BigInt::zero();
+        }
+        if let (Some(a), Some(b)) = (self.as_small(), other.as_small()) {
+            numeric_stat!(SMALL_OPS);
+            let (ua, ub) = (a.unsigned_abs(), b.unsigned_abs());
+            let g = gcd_u64(ua, ub);
+            // (ua / g) * ub ≤ 2^63 · 2^63 = 2^126: always fits u128.
+            return BigInt::from_u128((ua / g) as u128 * ub as u128);
         }
         let g = self.gcd(other);
         (self.abs() / g) * other.abs()
@@ -342,27 +570,32 @@ impl BigInt {
 
     /// Converts to `i64` if the value fits.
     pub fn to_i64(&self) -> Option<i64> {
-        if self.mag.len() > 2 {
-            return None;
-        }
-        let mut v: u64 = 0;
-        for (i, &limb) in self.mag.iter().enumerate() {
-            v |= (limb as u64) << (32 * i);
-        }
-        match self.sign {
-            Sign::Zero => Some(0),
-            Sign::Positive => {
-                if v <= i64::MAX as u64 {
-                    Some(v as i64)
-                } else {
-                    None
+        match &self.repr {
+            Repr::Small(v) => Some(*v),
+            Repr::Heap(sign, mag) => {
+                if mag.len() > 2 {
+                    return None;
                 }
-            }
-            Sign::Negative => {
-                if v <= i64::MAX as u64 + 1 {
-                    Some((-(v as i128)) as i64)
-                } else {
-                    None
+                let mut v: u64 = 0;
+                for (i, &limb) in mag.iter().enumerate() {
+                    v |= (limb as u64) << (32 * i);
+                }
+                match sign {
+                    Sign::Zero => Some(0),
+                    Sign::Positive => {
+                        if v <= i64::MAX as u64 {
+                            Some(v as i64)
+                        } else {
+                            None
+                        }
+                    }
+                    Sign::Negative => {
+                        if v <= i64::MAX as u64 + 1 {
+                            Some((-(v as i128)) as i64)
+                        } else {
+                            None
+                        }
+                    }
                 }
             }
         }
@@ -370,16 +603,66 @@ impl BigInt {
 
     /// Converts to `f64` (lossy; used only for reporting).
     pub fn to_f64(&self) -> f64 {
-        let mut v = 0.0f64;
-        for &limb in self.mag.iter().rev() {
-            v = v * 4294967296.0 + limb as f64;
-        }
-        if self.sign == Sign::Negative {
-            -v
-        } else {
-            v
+        match &self.repr {
+            Repr::Small(v) => *v as f64,
+            Repr::Heap(sign, mag) => {
+                let mut v = 0.0f64;
+                for &limb in mag.iter().rev() {
+                    v = v * 4294967296.0 + limb as f64;
+                }
+                if *sign == Sign::Negative {
+                    -v
+                } else {
+                    v
+                }
+            }
         }
     }
+}
+
+/// Whether `(sign, mag)` fits in an `i64`, and the value if so.
+#[inline]
+fn small_from_parts(sign: Sign, mag: &[u32]) -> Option<i64> {
+    match mag.len() {
+        0 => Some(0),
+        1 | 2 => {
+            let mut v: u64 = mag[0] as u64;
+            if mag.len() == 2 {
+                v |= (mag[1] as u64) << 32;
+            }
+            match sign {
+                Sign::Zero => Some(0),
+                Sign::Positive => (v <= i64::MAX as u64).then_some(v as i64),
+                Sign::Negative => {
+                    (v <= i64::MAX as u64 + 1).then(|| (v as i128).wrapping_neg() as i64)
+                }
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Binary-free Euclidean gcd on unsigned words; `gcd(0, x) = x`.
+#[inline]
+pub(crate) fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Euclidean gcd on `u128` (cross-multiplied `i64` products reach 2^126);
+/// `gcd(0, x) = x`.
+#[inline]
+pub(crate) fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
 }
 
 impl Default for BigInt {
@@ -389,44 +672,28 @@ impl Default for BigInt {
 }
 
 impl From<i64> for BigInt {
+    #[inline]
     fn from(v: i64) -> Self {
-        if v == 0 {
-            return BigInt::zero();
-        }
-        let sign = if v < 0 {
-            Sign::Negative
-        } else {
-            Sign::Positive
-        };
-        let mag_val = v.unsigned_abs();
-        let mut mag = vec![mag_val as u32];
-        if mag_val >> 32 != 0 {
-            mag.push((mag_val >> 32) as u32);
-        }
-        BigInt::from_mag(sign, mag)
+        BigInt::make_small(v)
     }
 }
 
 impl From<i32> for BigInt {
+    #[inline]
     fn from(v: i32) -> Self {
-        BigInt::from(v as i64)
+        BigInt::make_small(v as i64)
     }
 }
 
 impl From<u64> for BigInt {
+    #[inline]
     fn from(v: u64) -> Self {
-        if v == 0 {
-            return BigInt::zero();
-        }
-        let mut mag = vec![v as u32];
-        if v >> 32 != 0 {
-            mag.push((v >> 32) as u32);
-        }
-        BigInt::from_mag(Sign::Positive, mag)
+        BigInt::from_u128(v as u128)
     }
 }
 
 impl From<usize> for BigInt {
+    #[inline]
     fn from(v: usize) -> Self {
         BigInt::from(v as u64)
     }
@@ -474,11 +741,15 @@ impl std::error::Error for ParseBigIntError {}
 
 impl fmt::Display for BigInt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_zero() {
+        let (sign, mag) = match &self.repr {
+            Repr::Small(v) => return write!(f, "{v}"),
+            Repr::Heap(sign, mag) => (*sign, mag),
+        };
+        if mag.is_empty() {
             return write!(f, "0");
         }
         let mut digits = Vec::new();
-        let mut mag = self.mag.clone();
+        let mut mag = mag.clone();
         let billion: u64 = 1_000_000_000;
         while !mag.is_empty() {
             // Divide mag by 10^9, collecting the remainder.
@@ -494,7 +765,7 @@ impl fmt::Display for BigInt {
             digits.push(rem);
         }
         let mut s = String::new();
-        if self.sign == Sign::Negative {
+        if sign == Sign::Negative {
             s.push('-');
         }
         s.push_str(&digits.last().unwrap().to_string());
@@ -511,6 +782,33 @@ impl fmt::Debug for BigInt {
     }
 }
 
+impl PartialEq for BigInt {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a == b,
+            _ => {
+                let (sa, la) = self.parts();
+                let (sb, lb) = other.parts();
+                sa == sb && la.as_slice() == lb.as_slice()
+            }
+        }
+    }
+}
+
+impl Eq for BigInt {}
+
+impl Hash for BigInt {
+    /// Hashes the canonical `(sign, limbs)` pair, so the inline and heap
+    /// forms of the same value hash identically (mixed-representation
+    /// `HashMap` lookups must hit).
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        let (sign, limbs) = self.parts();
+        sign.hash(state);
+        limbs.as_slice().hash(state);
+    }
+}
+
 impl PartialOrd for BigInt {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
@@ -519,11 +817,16 @@ impl PartialOrd for BigInt {
 
 impl Ord for BigInt {
     fn cmp(&self, other: &Self) -> Ordering {
-        match (self.sign, other.sign) {
+        if let (Some(a), Some(b)) = (self.as_small(), other.as_small()) {
+            return a.cmp(&b);
+        }
+        let (sa, la) = self.parts();
+        let (sb, lb) = other.parts();
+        match (sa, sb) {
             (a, b) if a != b => a.cmp(&b),
             (Sign::Zero, Sign::Zero) => Ordering::Equal,
-            (Sign::Positive, Sign::Positive) => Self::mag_cmp(&self.mag, &other.mag),
-            (Sign::Negative, Sign::Negative) => Self::mag_cmp(&other.mag, &self.mag),
+            (Sign::Positive, Sign::Positive) => Self::mag_cmp(la.as_slice(), lb.as_slice()),
+            (Sign::Negative, Sign::Negative) => Self::mag_cmp(lb.as_slice(), la.as_slice()),
             _ => unreachable!(),
         }
     }
@@ -531,35 +834,60 @@ impl Ord for BigInt {
 
 impl Neg for BigInt {
     type Output = BigInt;
-    fn neg(mut self) -> BigInt {
-        self.sign = self.sign.flip();
-        self
+    #[inline]
+    fn neg(self) -> BigInt {
+        match self.repr {
+            Repr::Small(v) => match v.checked_neg() {
+                Some(n) => BigInt::make_small(n),
+                None => BigInt::from_i128(-(i64::MIN as i128)),
+            },
+            Repr::Heap(sign, mag) => BigInt {
+                repr: Repr::Heap(sign.flip(), mag),
+            },
+        }
     }
 }
 
 impl Neg for &BigInt {
     type Output = BigInt;
+    #[inline]
     fn neg(self) -> BigInt {
-        -self.clone()
+        self.clone().neg()
     }
 }
 
 impl Add for &BigInt {
     type Output = BigInt;
+    #[inline]
     fn add(self, other: &BigInt) -> BigInt {
-        match (self.sign, other.sign) {
+        if let (Some(a), Some(b)) = (self.as_small(), other.as_small()) {
+            return match a.checked_add(b) {
+                Some(s) => {
+                    numeric_stat!(SMALL_OPS);
+                    BigInt::make_small(s)
+                }
+                None => {
+                    numeric_stat!(PROMOTIONS);
+                    BigInt::from_i128(a as i128 + b as i128)
+                }
+            };
+        }
+        numeric_stat!(HEAP_OPS);
+        let (sa, la) = self.parts();
+        let (sb, lb) = other.parts();
+        match (sa, sb) {
             (Sign::Zero, _) => other.clone(),
             (_, Sign::Zero) => self.clone(),
-            (a, b) if a == b => BigInt::from_mag(a, BigInt::mag_add(&self.mag, &other.mag)),
+            (a, b) if a == b => BigInt::from_mag(a, BigInt::mag_add(la.as_slice(), lb.as_slice())),
             _ => {
                 // Opposite signs: subtract the smaller magnitude from the larger.
-                match BigInt::mag_cmp(&self.mag, &other.mag) {
+                match BigInt::mag_cmp(la.as_slice(), lb.as_slice()) {
                     Ordering::Equal => BigInt::zero(),
                     Ordering::Greater => {
-                        BigInt::from_mag(self.sign, BigInt::mag_sub(&self.mag, &other.mag))
+                        BigInt::from_mag(sa, BigInt::mag_sub(la.as_slice(), lb.as_slice()))
                     }
                     Ordering::Less => {
-                        BigInt::from_mag(other.sign, BigInt::mag_sub(&other.mag, &self.mag))
+                        BigInt::from_mag(sb, BigInt::mag_sub(lb.as_slice(), la.as_slice()))
                     }
                 }
             }
@@ -589,7 +917,20 @@ impl AddAssign<&BigInt> for BigInt {
 
 impl Sub for &BigInt {
     type Output = BigInt;
+    #[inline]
     fn sub(self, other: &BigInt) -> BigInt {
+        if let (Some(a), Some(b)) = (self.as_small(), other.as_small()) {
+            return match a.checked_sub(b) {
+                Some(s) => {
+                    numeric_stat!(SMALL_OPS);
+                    BigInt::make_small(s)
+                }
+                None => {
+                    numeric_stat!(PROMOTIONS);
+                    BigInt::from_i128(a as i128 - b as i128)
+                }
+            };
+        }
         self + &(-other.clone())
     }
 }
@@ -609,16 +950,32 @@ impl SubAssign<&BigInt> for BigInt {
 
 impl Mul for &BigInt {
     type Output = BigInt;
+    #[inline]
     fn mul(self, other: &BigInt) -> BigInt {
+        if let (Some(a), Some(b)) = (self.as_small(), other.as_small()) {
+            return match a.checked_mul(b) {
+                Some(p) => {
+                    numeric_stat!(SMALL_OPS);
+                    BigInt::make_small(p)
+                }
+                None => {
+                    numeric_stat!(PROMOTIONS);
+                    BigInt::from_i128(a as i128 * b as i128)
+                }
+            };
+        }
+        numeric_stat!(HEAP_OPS);
         if self.is_zero() || other.is_zero() {
             return BigInt::zero();
         }
-        let sign = if self.sign == other.sign {
+        let (sa, la) = self.parts();
+        let (sb, lb) = other.parts();
+        let sign = if sa == sb {
             Sign::Positive
         } else {
             Sign::Negative
         };
-        BigInt::from_mag(sign, BigInt::mag_mul(&self.mag, &other.mag))
+        BigInt::from_mag(sign, BigInt::mag_mul(la.as_slice(), lb.as_slice()))
     }
 }
 
@@ -673,9 +1030,16 @@ impl Rem for BigInt {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::hash_map::DefaultHasher;
 
     fn b(v: i64) -> BigInt {
         BigInt::from(v)
+    }
+
+    fn hash_of(v: &BigInt) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
     }
 
     #[test]
@@ -696,6 +1060,80 @@ mod tests {
         assert_eq!(b(7) % b(2), b(1));
         assert_eq!(b(-7) / b(2), b(-3));
         assert_eq!(b(-7) % b(2), b(-1));
+    }
+
+    #[test]
+    fn overflow_promotes_and_round_trips() {
+        let max = b(i64::MAX);
+        let sum = &max + &max;
+        assert_eq!(sum.to_string(), "18446744073709551614");
+        assert_eq!((&sum - &max), max);
+        let min = b(i64::MIN);
+        assert_eq!((&min + &min).to_string(), "-18446744073709551616");
+        assert_eq!((&min * &b(-1)).to_string(), "9223372036854775808");
+        assert_eq!(min.div_rem(&b(-1)).0.to_string(), "9223372036854775808");
+        assert_eq!((-min.clone()).to_string(), "9223372036854775808");
+        assert_eq!(min.abs().to_string(), "9223372036854775808");
+    }
+
+    #[test]
+    fn heap_results_demote_to_small() {
+        // A computation that leaves the i64 range and comes back must end in
+        // the inline representation (the canonical form).
+        let max = b(i64::MAX);
+        let back = &(&max + &max) - &max;
+        assert!(back.as_small().is_some());
+        assert_eq!(back, max);
+    }
+
+    #[test]
+    fn representation_independent_eq_ord_hash() {
+        for v in [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN, 1 << 40] {
+            let small = b(v);
+            let heap = small.forced_heap();
+            assert!(heap.as_small().is_none() || v == 0 && heap.as_small().is_none());
+            assert_eq!(small, heap, "Eq must ignore representation for {v}");
+            assert_eq!(
+                small.cmp(&heap),
+                Ordering::Equal,
+                "Ord must ignore representation for {v}"
+            );
+            assert_eq!(
+                hash_of(&small),
+                hash_of(&heap),
+                "Hash must ignore representation for {v}"
+            );
+            assert_eq!(small.to_string(), heap.to_string());
+            assert_eq!(small.sign(), heap.sign());
+            assert_eq!(small.bit_len(), heap.bit_len());
+        }
+    }
+
+    #[test]
+    fn mixed_representation_hashmap_lookups_hit() {
+        use std::collections::HashMap;
+        let mut map = HashMap::new();
+        for v in [-3i64, 0, 7, i64::MAX] {
+            map.insert(b(v), v);
+        }
+        for v in [-3i64, 0, 7, i64::MAX] {
+            assert_eq!(map.get(&b(v).forced_heap()), Some(&v));
+        }
+    }
+
+    #[test]
+    fn forced_heap_arithmetic_agrees() {
+        for (a, c) in [(3i64, 4i64), (-7, 2), (i64::MAX, i64::MAX), (0, -5)] {
+            let (sa, sb) = (b(a), b(c));
+            let (ha, hb) = (sa.forced_heap(), sb.forced_heap());
+            assert_eq!(&sa + &sb, &ha + &hb);
+            assert_eq!(&sa - &sb, &ha - &hb);
+            assert_eq!(&sa * &sb, &ha * &hb);
+            if c != 0 {
+                assert_eq!(sa.div_rem(&sb), ha.div_rem(&hb));
+            }
+            assert_eq!(sa.gcd(&sb), ha.gcd(&hb));
+        }
     }
 
     #[test]
@@ -761,12 +1199,24 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "division by zero")]
+    fn heap_division_by_zero_panics() {
+        let big: BigInt = "99999999999999999999".parse().unwrap();
+        let _ = big.div_rem(&b(0));
+    }
+
+    #[test]
     fn gcd_lcm() {
         assert_eq!(b(12).gcd(&b(18)), b(6));
         assert_eq!(b(-12).gcd(&b(18)), b(6));
         assert_eq!(b(0).gcd(&b(5)), b(5));
         assert_eq!(b(12).lcm(&b(18)), b(36));
         assert_eq!(b(0).lcm(&b(5)), b(0));
+        // gcd(i64::MIN, 0) = 2^63 doesn't fit in i64 — must promote cleanly.
+        assert_eq!(b(i64::MIN).gcd(&b(0)).to_string(), "9223372036854775808");
+        // Mixed small/heap gcd converges through the word-size loop.
+        let big: BigInt = "36893488147419103232".parse().unwrap(); // 2^65
+        assert_eq!(big.gcd(&b(48)), b(16));
     }
 
     #[test]
@@ -793,6 +1243,7 @@ mod tests {
         assert_eq!(b(-42).to_i64(), Some(-42));
         assert_eq!(b(i64::MAX).to_i64(), Some(i64::MAX));
         assert_eq!(b(i64::MIN).to_i64(), Some(i64::MIN));
+        assert_eq!(b(i64::MIN).forced_heap().to_i64(), Some(i64::MIN));
         let big: BigInt = "99999999999999999999".parse().unwrap();
         assert_eq!(big.to_i64(), None);
     }
@@ -812,6 +1263,7 @@ mod tests {
         assert_eq!(b(255).bit_len(), 8);
         assert_eq!(b(256).bit_len(), 9);
         assert_eq!(b(2).pow(100).bit_len(), 101);
+        assert_eq!(b(i64::MIN).bit_len(), 64);
     }
 
     #[test]

@@ -21,12 +21,20 @@
 //! assert_eq!((half + third).to_string(), "5/6");
 //! ```
 
+//! [`BigInt`] keeps small values (anything fitting an `i64`) in an inline
+//! machine-word representation and only falls back to heap-allocated limb
+//! vectors on overflow; see `bigint.rs` for the representation-independence
+//! contract and [`stats`] for the (feature-gated) fast-path counters.
+
 mod bigint;
 pub mod linalg;
 mod rational;
+mod smallvec;
+pub mod stats;
 
 pub use bigint::{BigInt, ParseBigIntError, Sign};
 pub use rational::BigRational;
+pub use smallvec::SmallVec;
 
 /// Convenience constructor: the rational `n/1`.
 pub fn rat(n: i64) -> BigRational {

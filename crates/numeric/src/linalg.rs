@@ -5,7 +5,7 @@
 //! recurrence solver (fitting exponential-polynomial ansätze, characteristic
 //! polynomials via Faddeev–LeVerrier), and by the two-region analysis.
 
-use crate::{BigInt, BigRational};
+use crate::{BigInt, BigRational, SmallVec};
 use std::fmt;
 
 /// A dense matrix of exact rationals.
@@ -308,7 +308,7 @@ impl fmt::Debug for Matrix {
 pub fn rational_roots(coeffs: &[BigRational]) -> (Vec<BigRational>, bool) {
     // Strip leading zeros (highest degree) and trailing zero coefficients
     // (roots at zero).
-    let mut c: Vec<BigRational> = coeffs.to_vec();
+    let mut c: Row = coeffs.iter().cloned().collect();
     while c.last().map(|v| v.is_zero()).unwrap_or(false) {
         c.pop();
     }
@@ -330,7 +330,7 @@ pub fn rational_roots(coeffs: &[BigRational]) -> (Vec<BigRational>, bool) {
         for v in &c {
             lcm = lcm.lcm(v.denom());
         }
-        let int_coeffs: Vec<BigInt> = c
+        let int_coeffs: SmallVec<BigInt, 8> = c
             .iter()
             .map(|v| {
                 (v * &BigRational::from_integer(lcm.clone()))
@@ -379,11 +379,18 @@ pub fn eval_poly(coeffs: &[BigRational], x: &BigRational) -> BigRational {
     acc
 }
 
+/// Coefficient rows used inside root finding: characteristic polynomials of
+/// the small recurrence matrices rarely exceed degree 8, so the rows stay
+/// inline across the strip/deflate loop.
+type Row = SmallVec<BigRational, 8>;
+
 /// Synthetic division of the polynomial by `(x - root)`; assumes `root` is a
 /// root, discarding the (zero) remainder.
-fn deflate(coeffs: &[BigRational], root: &BigRational) -> Vec<BigRational> {
+fn deflate(coeffs: &[BigRational], root: &BigRational) -> Row {
     let n = coeffs.len();
-    let mut out = vec![BigRational::zero(); n - 1];
+    let mut out: Row = std::iter::repeat_with(BigRational::zero)
+        .take(n - 1)
+        .collect();
     let mut carry = BigRational::zero();
     for i in (1..n).rev() {
         let v = &coeffs[i] + &carry;

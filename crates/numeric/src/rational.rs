@@ -1,6 +1,13 @@
 //! Always-normalized arbitrary-precision rationals.
+//!
+//! When both components are in [`BigInt`]'s inline `i64` form — the dominant
+//! case in the CHORA analysis — arithmetic runs entirely on `i128`
+//! intermediates with a machine-word gcd, never touching limb vectors.  The
+//! normalized invariant (`den > 0`, so `den <= i64::MAX` when inline) keeps
+//! every cross-multiplied sum strictly inside `i128`.
 
-use crate::bigint::{BigInt, Sign};
+use crate::bigint::{gcd_u128, BigInt, Sign};
+use crate::stats::numeric_stat;
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
@@ -28,6 +35,10 @@ impl BigRational {
     /// Panics if `den == 0`.
     pub fn new(num: BigInt, den: BigInt) -> BigRational {
         assert!(!den.is_zero(), "rational with zero denominator");
+        if let (Some(n), Some(d)) = (num.as_small(), den.as_small()) {
+            return BigRational::from_i128_reduced(n as i128, d as i128);
+        }
+        numeric_stat!(RATIONAL_HEAP_OPS);
         let mut num = num;
         let mut den = den;
         if den.is_negative() {
@@ -46,6 +57,49 @@ impl BigRational {
             den = &den / &g;
         }
         BigRational { num, den }
+    }
+
+    /// Both components in the inline `i64` representation, if they are.
+    #[inline]
+    fn small_parts(&self) -> Option<(i64, i64)> {
+        Some((self.num.as_small()?, self.den.as_small()?))
+    }
+
+    /// A copy with both components in the heap `BigInt` representation, even
+    /// when they fit inline.  Exposed for the differential
+    /// representation-independence tests: arithmetic on the result exercises
+    /// the general `BigInt`-based paths instead of the `i128` fast path.
+    pub fn forced_heap(&self) -> BigRational {
+        BigRational {
+            num: self.num.forced_heap(),
+            den: self.den.forced_heap(),
+        }
+    }
+
+    /// Builds the reduced form of `num / den` from `i128` intermediates
+    /// using a machine-word gcd — no limb arithmetic.
+    ///
+    /// Callers guarantee `den != 0` and `|num|, |den| < 2^127` (cross
+    /// products of inline `i64` components never exceed 2^126).
+    #[inline]
+    fn from_i128_reduced(mut num: i128, mut den: i128) -> BigRational {
+        debug_assert!(den != 0);
+        numeric_stat!(RATIONAL_SMALL_OPS);
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        if num == 0 {
+            return BigRational {
+                num: BigInt::zero(),
+                den: BigInt::one(),
+            };
+        }
+        let g = gcd_u128(num.unsigned_abs(), den as u128) as i128;
+        BigRational {
+            num: BigInt::from_i128(num / g),
+            den: BigInt::from_i128(den / g),
+        }
     }
 
     /// The rational zero.
@@ -127,7 +181,19 @@ impl BigRational {
     /// Panics if the value is zero.
     pub fn recip(&self) -> BigRational {
         assert!(!self.is_zero(), "reciprocal of zero");
-        BigRational::new(self.den.clone(), self.num.clone())
+        // num and den are already coprime — only the sign moves, so the gcd
+        // pass in `new` would be pure waste.
+        if self.num.is_negative() {
+            BigRational {
+                num: -self.den.clone(),
+                den: -self.num.clone(),
+            }
+        } else {
+            BigRational {
+                num: self.den.clone(),
+                den: self.num.clone(),
+            }
+        }
     }
 
     /// Largest integer `<= self`.
@@ -147,7 +213,12 @@ impl BigRational {
     /// Panics if the value is zero and `exp < 0`.
     pub fn pow(&self, exp: i32) -> BigRational {
         if exp >= 0 {
-            BigRational::new(self.num.pow(exp as u32), self.den.pow(exp as u32))
+            // gcd(num, den) = 1 implies gcd(num^k, den^k) = 1 and den^k > 0,
+            // so the result is already canonical — skip `new`'s gcd.
+            BigRational {
+                num: self.num.pow(exp as u32),
+                den: self.den.pow(exp as u32),
+            }
         } else {
             self.recip().pow(-exp)
         }
@@ -234,8 +305,12 @@ impl PartialOrd for BigRational {
 }
 
 impl Ord for BigRational {
+    #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b cmp c/d  <=>  a*d cmp c*b   (b, d > 0)
+        if let (Some((a, b)), Some((c, d))) = (self.small_parts(), other.small_parts()) {
+            return (a as i128 * d as i128).cmp(&(c as i128 * b as i128));
+        }
         (&self.num * &other.den).cmp(&(&other.num * &self.den))
     }
 }
@@ -259,7 +334,15 @@ impl Neg for &BigRational {
 
 impl Add for &BigRational {
     type Output = BigRational;
+    #[inline]
     fn add(self, other: &BigRational) -> BigRational {
+        if let (Some((a, b)), Some((c, d))) = (self.small_parts(), other.small_parts()) {
+            // |a·d + c·b| < 2^127 because b, d ≤ i64::MAX (den > 0).
+            return BigRational::from_i128_reduced(
+                a as i128 * d as i128 + c as i128 * b as i128,
+                b as i128 * d as i128,
+            );
+        }
         BigRational::new(
             &(&self.num * &other.den) + &(&other.num * &self.den),
             &self.den * &other.den,
@@ -282,7 +365,14 @@ impl AddAssign<&BigRational> for BigRational {
 
 impl Sub for &BigRational {
     type Output = BigRational;
+    #[inline]
     fn sub(self, other: &BigRational) -> BigRational {
+        if let (Some((a, b)), Some((c, d))) = (self.small_parts(), other.small_parts()) {
+            return BigRational::from_i128_reduced(
+                a as i128 * d as i128 - c as i128 * b as i128,
+                b as i128 * d as i128,
+            );
+        }
         self + &(-other.clone())
     }
 }
@@ -302,7 +392,11 @@ impl SubAssign<&BigRational> for BigRational {
 
 impl Mul for &BigRational {
     type Output = BigRational;
+    #[inline]
     fn mul(self, other: &BigRational) -> BigRational {
+        if let (Some((a, b)), Some((c, d))) = (self.small_parts(), other.small_parts()) {
+            return BigRational::from_i128_reduced(a as i128 * c as i128, b as i128 * d as i128);
+        }
         BigRational::new(&self.num * &other.num, &self.den * &other.den)
     }
 }
@@ -322,8 +416,12 @@ impl MulAssign<&BigRational> for BigRational {
 
 impl Div for &BigRational {
     type Output = BigRational;
+    #[inline]
     fn div(self, other: &BigRational) -> BigRational {
         assert!(!other.is_zero(), "division by zero");
+        if let (Some((a, b)), Some((c, d))) = (self.small_parts(), other.small_parts()) {
+            return BigRational::from_i128_reduced(a as i128 * d as i128, b as i128 * c as i128);
+        }
         BigRational::new(&self.num * &other.den, &self.den * &other.num)
     }
 }

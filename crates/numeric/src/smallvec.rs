@@ -1,0 +1,582 @@
+//! A hand-rolled, std-only small vector.
+//!
+//! [`SmallVec<T, N>`] stores up to `N` elements inline (no heap allocation)
+//! and spills to a `Vec<T>` permanently once it grows past `N`.  Constraint
+//! rows in the Fourier–Motzkin elimination and coefficient lists in the
+//! expression layer are almost always tiny (1–4 entries), so the inline form
+//! eliminates the per-row allocations that previously dominated `solve` time.
+//!
+//! All comparison and hashing traits delegate to the element slice, so a
+//! `SmallVec` behaves exactly like the `Vec` it replaces regardless of
+//! whether the contents happen to live inline or on the heap — the same
+//! representation-independence contract as `BigInt`.
+
+// The workspace denies `unsafe_code`; this module is the one deliberate
+// exception, because inline storage of non-`Copy` elements requires
+// `MaybeUninit`. Every unsafe block is commented with its invariant, the
+// unsafety never crosses the module boundary (the public API is safe), and
+// the tests cover move/drop accounting with `Rc` counters.
+#![allow(unsafe_code)]
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::mem::MaybeUninit;
+use std::ops::{Deref, DerefMut};
+
+/// A vector with inline capacity for `N` elements.
+pub enum SmallVec<T, const N: usize> {
+    /// Up to `N` elements stored inline; the first `len` slots are live.
+    Inline {
+        /// Number of initialized elements in `buf`.
+        len: usize,
+        /// Backing storage; only `buf[..len]` is initialized.
+        buf: [MaybeUninit<T>; N],
+    },
+    /// Spilled form, used once the length exceeds `N`.
+    Heap(Vec<T>),
+}
+
+impl<T, const N: usize> SmallVec<T, N> {
+    /// An empty vector (inline, no allocation).
+    #[inline]
+    pub fn new() -> Self {
+        SmallVec::Inline {
+            len: 0,
+            // SAFETY: an array of `MaybeUninit` needs no initialization.
+            buf: unsafe { MaybeUninit::uninit().assume_init() },
+        }
+    }
+
+    /// An empty vector that will hold at least `cap` elements without
+    /// reallocating (heap-backed if `cap > N`).
+    pub fn with_capacity(cap: usize) -> Self {
+        if cap <= N {
+            SmallVec::new()
+        } else {
+            SmallVec::Heap(Vec::with_capacity(cap))
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            SmallVec::Inline { len, .. } => *len,
+            SmallVec::Heap(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` iff the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` iff the elements live in the inline buffer.
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        matches!(self, SmallVec::Inline { .. })
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            SmallVec::Inline { len, buf } => {
+                // SAFETY: buf[..len] is initialized by construction.
+                unsafe { std::slice::from_raw_parts(buf.as_ptr() as *const T, *len) }
+            }
+            SmallVec::Heap(v) => v.as_slice(),
+        }
+    }
+
+    /// The elements as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        match self {
+            SmallVec::Inline { len, buf } => {
+                // SAFETY: buf[..len] is initialized by construction.
+                unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut T, *len) }
+            }
+            SmallVec::Heap(v) => v.as_mut_slice(),
+        }
+    }
+
+    /// Moves the inline contents into a `Vec` with room for at least
+    /// `extra` more elements.
+    fn spill(&mut self, extra: usize) {
+        if let SmallVec::Inline { len, buf } = self {
+            let n = *len;
+            let mut v = Vec::with_capacity((n + extra).max(2 * N));
+            for slot in buf.iter_mut().take(n) {
+                // SAFETY: the first `len` slots are initialized; we move each
+                // element out exactly once and then forget the inline form by
+                // overwriting `self`.
+                v.push(unsafe { slot.as_ptr().read() });
+            }
+            *len = 0; // inline contents are now logically moved out
+            *self = SmallVec::Heap(v);
+        }
+    }
+
+    /// Appends an element.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        match self {
+            SmallVec::Inline { len, buf } => {
+                if *len < N {
+                    buf[*len].write(value);
+                    *len += 1;
+                } else {
+                    self.spill(1);
+                    if let SmallVec::Heap(v) = self {
+                        v.push(value);
+                    }
+                }
+            }
+            SmallVec::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Removes and returns the last element, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        match self {
+            SmallVec::Inline { len, buf } => {
+                if *len == 0 {
+                    None
+                } else {
+                    *len -= 1;
+                    // SAFETY: slot `*len` was initialized and is now out of
+                    // the live range, so it is read exactly once.
+                    Some(unsafe { buf[*len].as_ptr().read() })
+                }
+            }
+            SmallVec::Heap(v) => v.pop(),
+        }
+    }
+
+    /// Inserts `value` at `index`, shifting later elements right.
+    pub fn insert(&mut self, index: usize, value: T) {
+        let n = self.len();
+        assert!(index <= n, "insertion index out of bounds");
+        match self {
+            SmallVec::Inline { len, buf } if *len < N => {
+                unsafe {
+                    // SAFETY: shift the initialized tail right by one slot;
+                    // source and destination stay within the N-slot buffer
+                    // because len < N.
+                    let p = buf.as_mut_ptr();
+                    std::ptr::copy(p.add(index), p.add(index + 1), *len - index);
+                    (*p.add(index)).write(value);
+                }
+                *len += 1;
+            }
+            _ => {
+                self.spill(1);
+                if let SmallVec::Heap(v) = self {
+                    v.insert(index, value);
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the element at `index`, shifting later elements
+    /// left.
+    pub fn remove(&mut self, index: usize) -> T {
+        let n = self.len();
+        assert!(index < n, "removal index out of bounds");
+        match self {
+            SmallVec::Inline { len, buf } => unsafe {
+                // SAFETY: slot `index` is initialized; read it out then shift
+                // the initialized tail left over it.
+                let p = buf.as_mut_ptr();
+                let out = (*p.add(index)).as_ptr().read();
+                std::ptr::copy(p.add(index + 1), p.add(index), *len - index - 1);
+                *len -= 1;
+                out
+            },
+            SmallVec::Heap(v) => v.remove(index),
+        }
+    }
+
+    /// Shortens the vector to `new_len` elements, dropping the rest.
+    pub fn truncate(&mut self, new_len: usize) {
+        match self {
+            SmallVec::Inline { len, buf } => {
+                while *len > new_len {
+                    *len -= 1;
+                    // SAFETY: drop each now-dead initialized slot once.
+                    unsafe { buf[*len].as_mut_ptr().drop_in_place() };
+                }
+            }
+            SmallVec::Heap(v) => v.truncate(new_len),
+        }
+    }
+
+    /// Removes all elements.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.truncate(0);
+    }
+
+    /// Keeps only the elements for which `f` returns `true`.
+    pub fn retain(&mut self, mut f: impl FnMut(&T) -> bool) {
+        match self {
+            SmallVec::Heap(v) => v.retain(f),
+            SmallVec::Inline { .. } => {
+                let mut keep = 0;
+                let n = self.len();
+                for i in 0..n {
+                    if f(&self.as_slice()[i]) {
+                        if keep != i {
+                            self.as_mut_slice().swap(keep, i);
+                        }
+                        keep += 1;
+                    }
+                }
+                self.truncate(keep);
+            }
+        }
+    }
+}
+
+impl<T, const N: usize> Drop for SmallVec<T, N> {
+    fn drop(&mut self) {
+        if let SmallVec::Inline { len, buf } = self {
+            for slot in buf.iter_mut().take(*len) {
+                // SAFETY: the first `len` slots are initialized and dropped
+                // exactly once here.
+                unsafe { slot.as_mut_ptr().drop_in_place() };
+            }
+        }
+    }
+}
+
+impl<T, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<T: Clone, const N: usize> Clone for SmallVec<T, N> {
+    fn clone(&self) -> Self {
+        let mut out = SmallVec::with_capacity(self.len());
+        for x in self.as_slice() {
+            out.push(x.clone());
+        }
+        out
+    }
+}
+
+impl<T, const N: usize> Deref for SmallVec<T, N> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T, const N: usize> DerefMut for SmallVec<T, N> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: fmt::Debug, const N: usize> fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T: PartialOrd, const N: usize> PartialOrd for SmallVec<T, N> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.as_slice().partial_cmp(other.as_slice())
+    }
+}
+
+impl<T: Ord, const N: usize> Ord for SmallVec<T, N> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl<T: Hash, const N: usize> Hash for SmallVec<T, N> {
+    /// Hashes like `Vec<T>`/`[T]` (length-prefixed slice hash), so inline
+    /// and spilled forms of the same contents hash identically.
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut out = SmallVec::with_capacity(iter.size_hint().0);
+        for x in iter {
+            out.push(x);
+        }
+        out
+    }
+}
+
+impl<T, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl<T: Clone, const N: usize> From<&[T]> for SmallVec<T, N> {
+    fn from(slice: &[T]) -> Self {
+        slice.iter().cloned().collect()
+    }
+}
+
+impl<T, const N: usize> From<Vec<T>> for SmallVec<T, N> {
+    fn from(v: Vec<T>) -> Self {
+        // Already-allocated storage: keep it rather than copying back inline.
+        SmallVec::Heap(v)
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a mut SmallVec<T, N> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
+/// Owning iterator over a [`SmallVec`].
+pub struct IntoIter<T, const N: usize> {
+    inner: IntoIterInner<T, N>,
+}
+
+enum IntoIterInner<T, const N: usize> {
+    Inline {
+        buf: [MaybeUninit<T>; N],
+        len: usize,
+        pos: usize,
+    },
+    Heap(std::vec::IntoIter<T>),
+}
+
+impl<T, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        match &mut self.inner {
+            IntoIterInner::Inline { buf, len, pos } => {
+                if pos < len {
+                    let i = *pos;
+                    *pos += 1;
+                    // SAFETY: slots pos..len are initialized and each is read
+                    // exactly once as pos advances.
+                    Some(unsafe { buf[i].as_ptr().read() })
+                } else {
+                    None
+                }
+            }
+            IntoIterInner::Heap(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            IntoIterInner::Inline { len, pos, .. } => {
+                let n = len - pos;
+                (n, Some(n))
+            }
+            IntoIterInner::Heap(it) => it.size_hint(),
+        }
+    }
+}
+
+impl<T, const N: usize> ExactSizeIterator for IntoIter<T, N> {}
+
+impl<T, const N: usize> Drop for IntoIter<T, N> {
+    fn drop(&mut self) {
+        // Drop any elements not yet yielded.
+        for _ in self.by_ref() {}
+    }
+}
+
+impl<T, const N: usize> IntoIterator for SmallVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        // Move the representation out without running SmallVec's Drop (the
+        // iterator takes over ownership of the initialized slots).
+        let this = std::mem::ManuallyDrop::new(self);
+        match &*this {
+            SmallVec::Inline { len, buf } => IntoIter {
+                inner: IntoIterInner::Inline {
+                    // SAFETY: `this` is ManuallyDrop — the buffer is moved
+                    // into the iterator and the original is never dropped.
+                    buf: unsafe { std::ptr::read(buf) },
+                    len: *len,
+                    pos: 0,
+                },
+            },
+            SmallVec::Heap(v) => IntoIter {
+                // SAFETY: as above; the Vec is moved out exactly once.
+                inner: IntoIterInner::Heap(unsafe { std::ptr::read(v) }.into_iter()),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::rc::Rc;
+
+    type SV = SmallVec<i32, 4>;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn push_pop_inline() {
+        let mut v = SV::new();
+        assert!(v.is_empty() && v.is_inline());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(v.is_inline());
+        assert_eq!(v.as_slice(), [0, 1, 2, 3]);
+        assert_eq!(v.pop(), Some(3));
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn spill_preserves_contents() {
+        let mut v = SV::new();
+        for i in 0..10 {
+            v.push(i);
+        }
+        assert!(!v.is_inline());
+        assert_eq!(v.as_slice(), (0..10).collect::<Vec<_>>().as_slice());
+        assert_eq!(v.pop(), Some(9));
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut v = SV::new();
+        v.push(1);
+        v.push(3);
+        v.insert(1, 2);
+        assert_eq!(v.as_slice(), [1, 2, 3]);
+        v.insert(0, 0);
+        assert_eq!(v.as_slice(), [0, 1, 2, 3]);
+        v.insert(4, 4); // forces spill at capacity
+        assert_eq!(v.as_slice(), [0, 1, 2, 3, 4]);
+        assert_eq!(v.remove(2), 2);
+        assert_eq!(v.as_slice(), [0, 1, 3, 4]);
+        let mut w = SV::new();
+        w.push(7);
+        w.push(8);
+        assert_eq!(w.remove(0), 7);
+        assert_eq!(w.as_slice(), [8]);
+    }
+
+    #[test]
+    fn retain_and_truncate() {
+        let mut v: SmallVec<i32, 8> = (0..8).collect();
+        v.retain(|x| x % 2 == 0);
+        assert_eq!(v.as_slice(), [0, 2, 4, 6]);
+        v.truncate(2);
+        assert_eq!(v.as_slice(), [0, 2]);
+        let mut h: SV = (0..10).collect();
+        h.retain(|x| x % 2 == 0);
+        assert_eq!(h.as_slice(), [0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn eq_ord_hash_ignore_representation() {
+        let inline: SV = (0..3).collect();
+        let mut heap: SV = (0..10).collect();
+        heap.truncate(3);
+        assert!(inline.is_inline());
+        assert!(!heap.is_inline());
+        assert_eq!(inline, heap);
+        assert_eq!(inline.cmp(&heap), Ordering::Equal);
+        assert_eq!(hash_of(&inline), hash_of(&heap));
+        // And the slice hash matches Vec's, as promised.
+        assert_eq!(
+            hash_of(&inline.as_slice()),
+            hash_of(&vec![0, 1, 2].as_slice())
+        );
+    }
+
+    #[test]
+    fn into_iter_owned() {
+        let v: SV = (0..3).collect();
+        assert_eq!(v.into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        let big: SV = (0..9).collect();
+        assert_eq!(big.into_iter().sum::<i32>(), 36);
+    }
+
+    #[test]
+    fn drops_exactly_once() {
+        let marker = Rc::new(());
+        {
+            let mut v: SmallVec<Rc<()>, 2> = SmallVec::new();
+            for _ in 0..5 {
+                v.push(marker.clone()); // spills at 3
+            }
+            v.truncate(4);
+            let _popped = v.pop();
+            let mut it = v.into_iter();
+            let _first = it.next();
+            // drop `it` with elements remaining
+        }
+        assert_eq!(Rc::strong_count(&marker), 1);
+
+        {
+            let mut v: SmallVec<Rc<()>, 4> = SmallVec::new();
+            v.push(marker.clone());
+            v.push(marker.clone());
+            let w = v.clone();
+            drop(v);
+            assert_eq!(Rc::strong_count(&marker), 3);
+            drop(w);
+        }
+        assert_eq!(Rc::strong_count(&marker), 1);
+    }
+
+    #[test]
+    fn extend_and_from() {
+        let mut v = SV::new();
+        v.extend([1, 2, 3]);
+        assert_eq!(v.as_slice(), [1, 2, 3]);
+        let from_slice: SV = SmallVec::from(&[4, 5][..]);
+        assert_eq!(from_slice.as_slice(), [4, 5]);
+        let from_vec: SV = SmallVec::from(vec![6, 7]);
+        assert_eq!(from_vec.as_slice(), [6, 7]);
+    }
+}

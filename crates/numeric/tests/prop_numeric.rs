@@ -1,13 +1,27 @@
 //! Property-based tests for the exact-arithmetic substrate.
 //!
-//! These check ring/field axioms and agreement with native `i128` arithmetic
-//! on values small enough to compare.
+//! These check ring/field axioms, agreement with native `i128` arithmetic on
+//! values small enough to compare, and — differentially — that the inline
+//! `Small(i64)` fast path and the forced-heap limb path agree on every
+//! operation, ordering, `to_string`/`FromStr` round-trip, and hash (summaries
+//! are content-fingerprinted, so mixed-representation `HashMap` lookups must
+//! hit).
 
 use chora_numeric::{BigInt, BigRational};
 use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 fn big(v: i64) -> BigInt {
     BigInt::from(v)
+}
+
+fn hash_of<T: Hash>(v: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
 }
 
 proptest! {
@@ -117,5 +131,104 @@ proptest! {
             expect = &expect * &a;
         }
         prop_assert_eq!(a.pow(e), expect);
+    }
+
+    // ---- differential: inline small path vs forced-heap limb path ----
+
+    #[test]
+    fn bigint_ops_agree_across_representations(a in any::<i64>(), b in any::<i64>()) {
+        let (sa, sb) = (big(a), big(b));
+        let (ha, hb) = (sa.forced_heap(), sb.forced_heap());
+        prop_assert_eq!(&sa + &sb, &ha + &hb);
+        prop_assert_eq!(&sa - &sb, &ha - &hb);
+        prop_assert_eq!(&sa * &sb, &ha * &hb);
+        prop_assert_eq!(-sa.clone(), -ha.clone());
+        prop_assert_eq!(sa.abs(), ha.abs());
+        prop_assert_eq!(sa.gcd(&sb), ha.gcd(&hb));
+        prop_assert_eq!(sa.cmp(&sb), ha.cmp(&hb));
+        if b != 0 {
+            prop_assert_eq!(sa.div_rem(&sb), ha.div_rem(&hb));
+            prop_assert_eq!(sa.div_floor(&sb), ha.div_floor(&hb));
+        }
+        // Mixed-representation operands must agree too.
+        prop_assert_eq!(&sa + &hb, &sa + &sb);
+        prop_assert_eq!(&ha * &sb, &sa * &sb);
+    }
+
+    #[test]
+    fn bigint_eq_ord_hash_representation_independent(a in any::<i64>(), b in any::<i64>()) {
+        let small = big(a);
+        let heap = small.forced_heap();
+        prop_assert_eq!(&small, &heap);
+        prop_assert_eq!(small.cmp(&heap), Ordering::Equal);
+        prop_assert_eq!(hash_of(&small), hash_of(&heap));
+        // Cross-representation ordering matches the value ordering.
+        prop_assert_eq!(small.cmp(&big(b).forced_heap()), a.cmp(&b));
+        // Both representations print identically and round-trip through
+        // parse back to an equal value.
+        prop_assert_eq!(small.to_string(), heap.to_string());
+        let parsed: BigInt = heap.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, small);
+    }
+
+    #[test]
+    fn bigint_mixed_representation_hashmap_hits(a in any::<i64>()) {
+        let mut by_small: HashMap<BigInt, i64> = HashMap::new();
+        by_small.insert(big(a), a);
+        prop_assert_eq!(by_small.get(&big(a).forced_heap()), Some(&a));
+        let mut by_heap: HashMap<BigInt, i64> = HashMap::new();
+        by_heap.insert(big(a).forced_heap(), a);
+        prop_assert_eq!(by_heap.get(&big(a)), Some(&a));
+    }
+
+    #[test]
+    fn rational_ops_agree_across_representations(
+        an in -10_000i64..10_000, ad in 1i64..1000,
+        bn in -10_000i64..10_000, bd in 1i64..1000,
+    ) {
+        let a = BigRational::new(BigInt::from(an), BigInt::from(ad));
+        let b = BigRational::new(BigInt::from(bn), BigInt::from(bd));
+        let (ha, hb) = (a.forced_heap(), b.forced_heap());
+        prop_assert_eq!(&a + &b, &ha + &hb);
+        prop_assert_eq!(&a - &b, &ha - &hb);
+        prop_assert_eq!(&a * &b, &ha * &hb);
+        prop_assert_eq!(a.cmp(&b), ha.cmp(&hb));
+        prop_assert_eq!(a.pow(3), ha.pow(3));
+        prop_assert_eq!(a.floor(), ha.floor());
+        prop_assert_eq!(a.ceil(), ha.ceil());
+        if !b.is_zero() {
+            prop_assert_eq!(&a / &b, &ha / &hb);
+            prop_assert_eq!(b.recip(), hb.recip());
+        }
+        // Mixed operands.
+        prop_assert_eq!(&a + &hb, &a + &b);
+        prop_assert_eq!(&ha * &b, &a * &b);
+    }
+
+    #[test]
+    fn rational_eq_ord_hash_representation_independent(
+        an in -10_000i64..10_000, ad in 1i64..1000,
+    ) {
+        let small = BigRational::new(BigInt::from(an), BigInt::from(ad));
+        let heap = small.forced_heap();
+        prop_assert_eq!(&small, &heap);
+        prop_assert_eq!(small.cmp(&heap), Ordering::Equal);
+        prop_assert_eq!(hash_of(&small), hash_of(&heap));
+        prop_assert_eq!(small.to_string(), heap.to_string());
+        let parsed: BigRational = heap.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, small);
+    }
+
+    #[test]
+    fn rational_mixed_representation_hashmap_hits(
+        an in -10_000i64..10_000, ad in 1i64..1000,
+    ) {
+        let r = BigRational::new(BigInt::from(an), BigInt::from(ad));
+        let mut map: HashMap<BigRational, i64> = HashMap::new();
+        map.insert(r.clone(), an);
+        prop_assert_eq!(map.get(&r.forced_heap()), Some(&an));
+        let mut by_heap: HashMap<BigRational, i64> = HashMap::new();
+        by_heap.insert(r.forced_heap(), an);
+        prop_assert_eq!(by_heap.get(&r), Some(&an));
     }
 }
