@@ -11,7 +11,11 @@
 //!   workload on the inline `Small(i64)` fast path and with
 //!   `chora_numeric::stats::set_force_heap(true)` (every value limb-vector
 //!   allocated — the pre-fast-path baseline), plus the small-path hit /
-//!   promotion counters from the `stats` feature.
+//!   promotion counters from the `stats` feature,
+//! * **algorithmic-vs-naive Fourier–Motzkin**: the same chain projection
+//!   through the greedy-ordered, redundancy-pruned engine and through the
+//!   preserved fixed-order naive path, plus the dedup / domination / Imbert
+//!   counters from `chora_logic`'s `stats` feature.
 //!
 //! All deltas are measured in wall-clock time and recorded in
 //! `target/micro_substrates.json` so CI (the `bench-smoke` job) and humans
@@ -165,7 +169,7 @@ fn analyze_with_jobs(program: &Program, jobs: usize) -> usize {
 /// throughout — exactly the regime the inline `Small(i64)` fast path targets.
 /// Returns the surviving constraint count so the optimizer cannot discard
 /// the work.
-fn fm_chain_workload(syms: &[Symbol]) -> usize {
+fn fm_chain_atoms(syms: &[Symbol]) -> Vec<Atom> {
     let var = |i: usize| Polynomial::var(syms[i]);
     let cst = |v: i64| Polynomial::constant(rat(v));
     let mut atoms = Vec::new();
@@ -188,9 +192,22 @@ fn fm_chain_workload(syms: &[Symbol]) -> usize {
             &var(i).scale(&rat(3)) - &cst(5),
         ));
     }
-    let p = Polyhedron::from_atoms(atoms);
+    atoms
+}
+
+fn fm_chain_workload(syms: &[Symbol]) -> usize {
+    let p = Polyhedron::from_atoms(fm_chain_atoms(syms));
     let keep: BTreeSet<Symbol> = [syms[0], syms[syms.len() - 1]].into_iter().collect();
     p.project_onto(&keep).len()
+}
+
+/// The same chain projection through the preserved fixed-order,
+/// no-redundancy-control Fourier–Motzkin path — the pre-algorithmic
+/// baseline the `fm_projection` section compares against.
+fn fm_chain_workload_naive(syms: &[Symbol]) -> usize {
+    let p = Polyhedron::from_atoms(fm_chain_atoms(syms));
+    let keep: BTreeSet<Symbol> = [syms[0], syms[syms.len() - 1]].into_iter().collect();
+    p.project_onto_naive(&keep).len()
 }
 
 // ---------------------------------------------------------------------------
@@ -286,8 +303,18 @@ fn representation_and_parallelism_deltas() {
     let fm_heap_ms = time_secs(fm_iters, || fm_chain_workload(&fm_syms)) * 1e3;
     chora_numeric::stats::set_force_heap(false);
 
+    // Algorithmic FM (greedy elimination order + dedup / domination /
+    // Imbert pruning) vs the preserved fixed-order naive path on the same
+    // chain.  The counters are captured over one instrumented pruned run.
+    chora_logic::stats::reset();
+    let fm_pruned_constraints = fm_chain_workload(&fm_syms);
+    let fm_logic_stats = chora_logic::stats::snapshot();
+    let fm_naive_constraints = fm_chain_workload_naive(&fm_syms);
+    let fm_pruned_ms = time_secs(fm_iters, || fm_chain_workload(&fm_syms)) * 1e3;
+    let fm_naive_ms = time_secs(fm_iters, || fm_chain_workload_naive(&fm_syms)) * 1e3;
+
     let report = format!(
-        "{{\n  \"smoke\": {smoke},\n  \"poly_workload\": {{\n    \"string_ns\": {string_ns:.0},\n    \"interned_ns\": {interned_ns:.0},\n    \"interned_speedup\": {:.3}\n  }},\n  \"level_parallel\": {{\n    \"jobs\": {jobs},\n    \"seq_ms\": {seq_ms:.3},\n    \"par_ms\": {par_ms:.3},\n    \"parallel_speedup\": {:.3}\n  }},\n  \"phases\": {{\n    \"summarize_ms\": {:.3},\n    \"solve_ms\": {:.3},\n    \"check_ms\": {:.3}\n  }},\n  \"summary_cache\": {{\n    \"cold_ms\": {cache_cold_ms:.3},\n    \"warm_ms\": {warm_ms:.3},\n    \"warm_speedup\": {:.3},\n    \"warm_hits\": {warm_hits}\n  }},\n  \"numeric\": {{\n    \"fm_constraints\": {fm_constraints},\n    \"fm_small_ms\": {fm_small_ms:.3},\n    \"fm_forced_heap_ms\": {fm_heap_ms:.3},\n    \"fm_small_speedup\": {:.3},\n    \"small_ops\": {},\n    \"heap_ops\": {},\n    \"promotions\": {},\n    \"demotions\": {},\n    \"rational_small_ops\": {},\n    \"rational_heap_ops\": {}\n  }}\n}}\n",
+        "{{\n  \"smoke\": {smoke},\n  \"poly_workload\": {{\n    \"string_ns\": {string_ns:.0},\n    \"interned_ns\": {interned_ns:.0},\n    \"interned_speedup\": {:.3}\n  }},\n  \"level_parallel\": {{\n    \"jobs\": {jobs},\n    \"seq_ms\": {seq_ms:.3},\n    \"par_ms\": {par_ms:.3},\n    \"parallel_speedup\": {:.3}\n  }},\n  \"phases\": {{\n    \"summarize_ms\": {:.3},\n    \"solve_ms\": {:.3},\n    \"check_ms\": {:.3}\n  }},\n  \"summary_cache\": {{\n    \"cold_ms\": {cache_cold_ms:.3},\n    \"warm_ms\": {warm_ms:.3},\n    \"warm_speedup\": {:.3},\n    \"warm_hits\": {warm_hits}\n  }},\n  \"numeric\": {{\n    \"fm_constraints\": {fm_constraints},\n    \"fm_small_ms\": {fm_small_ms:.3},\n    \"fm_forced_heap_ms\": {fm_heap_ms:.3},\n    \"fm_small_speedup\": {:.3},\n    \"small_ops\": {},\n    \"heap_ops\": {},\n    \"promotions\": {},\n    \"demotions\": {},\n    \"rational_small_ops\": {},\n    \"rational_heap_ops\": {}\n  }},\n  \"fm_projection\": {{\n    \"pruned_constraints\": {fm_pruned_constraints},\n    \"naive_constraints\": {fm_naive_constraints},\n    \"pruned_ms\": {fm_pruned_ms:.3},\n    \"naive_ms\": {fm_naive_ms:.3},\n    \"algorithmic_speedup\": {:.3},\n    \"rows_generated\": {},\n    \"rows_deduped\": {},\n    \"rows_dominated\": {},\n    \"imbert_skipped\": {},\n    \"early_unsat_exits\": {},\n    \"max_width\": {}\n  }}\n}}\n",
         string_ns / interned_ns,
         seq_ms / par_ms,
         phases.summarize_ms,
@@ -300,7 +327,14 @@ fn representation_and_parallelism_deltas() {
         fm_stats.promotions,
         fm_stats.demotions,
         fm_stats.rational_small_ops,
-        fm_stats.rational_heap_ops
+        fm_stats.rational_heap_ops,
+        fm_naive_ms / fm_pruned_ms,
+        fm_logic_stats.rows_generated,
+        fm_logic_stats.rows_deduped,
+        fm_logic_stats.rows_dominated,
+        fm_logic_stats.imbert_skipped,
+        fm_logic_stats.early_unsat_exits,
+        fm_logic_stats.max_width
     );
     println!("substrate-deltas\n{report}");
     let target = std::env::var("CARGO_TARGET_DIR")

@@ -495,6 +495,21 @@ impl AnalysisBackend for AnalysisService {
         pairs
     }
 
+    fn fm_counters(&self) -> Vec<(&'static str, u64)> {
+        // Live process-wide counters from the projection engine (the CLI
+        // binary builds `chora-logic` with the `stats` feature through its
+        // `chora-bench` dependency).
+        let fm = chora_logic::stats::snapshot();
+        vec![
+            ("rows_generated", fm.rows_generated),
+            ("rows_deduped", fm.rows_deduped),
+            ("rows_dominated", fm.rows_dominated),
+            ("imbert_skipped", fm.imbert_skipped),
+            ("early_unsat_exits", fm.early_unsat_exits),
+            ("max_width", fm.max_width),
+        ]
+    }
+
     fn maintain(&self) {
         self.store.gc();
     }

@@ -305,6 +305,43 @@ fn batch_responses_are_byte_identical_to_single_shot_sequences() {
 }
 
 #[test]
+fn batch_documents_are_independent_of_the_jobs_parameter() {
+    // The ready-queue scheduler merges every program of a batch into one
+    // task graph; whatever `?jobs=N` asks for, the canonical fold order
+    // must render byte-identical documents.  Each worker count gets a
+    // fresh daemon so nothing is replayed from a response cache.
+    let names = ["fib.imp", "hanoi.imp", "merge-sort.imp", "height.imp"];
+    let elements: Vec<Json> = names
+        .iter()
+        .map(|name| {
+            let file = example(name);
+            let source = std::fs::read_to_string(&file).expect("read example");
+            Json::object()
+                .field("file", Json::str(file.as_str()))
+                .field("source", Json::str(source))
+        })
+        .collect();
+    let body = Json::Array(elements).pretty();
+    let mut documents = Vec::new();
+    for jobs in [1usize, 2, 8] {
+        let (handle, _service) = daemon(ServeOptions::default());
+        let addr = handle.addr().to_string();
+        let path = format!("/v1/batch?jobs={jobs}");
+        let (status, out) = one_shot(&addr, "POST", &path, Some(&body)).expect("batch");
+        assert_eq!(status, 200, "{out}");
+        documents.push((jobs, strip_timing(&out)));
+        handle.shutdown();
+    }
+    let (_, reference) = &documents[0];
+    for (jobs, doc) in &documents[1..] {
+        assert_eq!(
+            doc, reference,
+            "/v1/batch?jobs={jobs} must match the jobs=1 documents"
+        );
+    }
+}
+
+#[test]
 fn malformed_requests_get_json_error_envelopes() {
     let (handle, _service) = daemon(ServeOptions::default());
     let addr = handle.addr().to_string();

@@ -7,6 +7,13 @@
 //! (§4.2), and their summaries combine the solved bounding functions with the
 //! depth bound as in Eqn. (4).  A final pass re-analyses each procedure body
 //! with the computed summaries to discharge assertions.
+//!
+//! Scheduling is a dependency-counted ready queue over one merged task graph
+//! (components plus per-procedure assertion passes, across every program of a
+//! batch): a task becomes runnable the moment its callee components finish,
+//! with no barrier between topological levels, and results are folded back in
+//! a fixed canonical order so the output is byte-identical for every worker
+//! count.
 
 use crate::cache::ComponentScopes;
 use crate::complexity::term_to_polynomial;
@@ -21,7 +28,7 @@ use chora_ir::{
     Program, Stmt,
 };
 use chora_logic::{Atom, Polyhedron, TransitionFormula};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::Instant;
 
 /// Analysis configuration (used for ablation experiments).
@@ -35,9 +42,10 @@ pub struct AnalysisConfig {
     pub enable_polynomial_facts: bool,
     /// Disjunct cap for transition formulas.
     pub disjunct_cap: usize,
-    /// Number of worker threads used to summarize independent call-graph
-    /// components within one topological level (and to check assertions of
-    /// distinct procedures).  `1` means fully sequential; `0` means one
+    /// Number of worker threads pulling analysis tasks (component
+    /// summarizations and per-procedure assertion passes) off the shared
+    /// ready queue; a task is enqueued as soon as the components it calls
+    /// into have finished.  `1` means fully sequential; `0` means one
     /// worker per available core.  The analysis result is identical for
     /// every value — scheduling only affects wall-clock time.
     pub jobs: usize,
@@ -168,11 +176,16 @@ impl Analyzer {
     /// Analyses a program: computes procedure summaries bottom-up over the
     /// call graph's strongly connected components and checks every assertion.
     ///
-    /// Components are scheduled in topological *levels*: all components of a
-    /// level only call into lower levels, so they are summarized concurrently
-    /// (bounded by [`AnalysisConfig::jobs`] scoped threads) with the shared
-    /// summary table behind the summarizer's `RwLock`.  Every task draws its
-    /// existential symbols from an own deterministic [`FreshSource`], so the
+    /// Components are scheduled through a dependency-counted *ready queue*:
+    /// each component counts the distinct components it calls into, becomes
+    /// runnable the instant that count drains to zero, and is pulled by one
+    /// of [`AnalysisConfig::jobs`] scoped worker threads — no level barrier,
+    /// so a deep dependency chain overlaps with whatever else is runnable.
+    /// Workers publish finished summaries into the shared summary table
+    /// (behind the summarizer's `RwLock`) before releasing dependents.
+    /// Every task draws its existential symbols from an own deterministic
+    /// [`FreshSource`] keyed by the component's position in the bottom-up
+    /// schedule, and outputs are folded back in that fixed order, so the
     /// result — down to the byte — is independent of the schedule.
     pub fn analyze(&self, program: &Program) -> AnalysisResult {
         self.analyze_with_store(program, None)
@@ -205,13 +218,17 @@ impl Analyzer {
             .expect("a batch of one yields one result")
     }
 
-    /// Analyses several programs as **one scheduling problem**: the
-    /// bottom-up topological levels of all programs are merged round by
-    /// round, and each round runs as a single [`AnalysisConfig::jobs`]-wide
-    /// parallel map.  Worker threads stay busy across program boundaries —
-    /// a program with one big level-0 component no longer serializes behind
-    /// another's level barrier, which is what makes `/v1/batch` faster than
-    /// N independent runs.
+    /// Analyses several programs as **one scheduling problem**: every
+    /// component task and every per-procedure assertion task of every
+    /// program goes into a single dependency-counted ready queue drained by
+    /// [`AnalysisConfig::jobs`] workers.  A task's dependencies are exactly
+    /// the callee components it needs summaries from (an assertion pass
+    /// needs only the component containing its procedure), so workers flow
+    /// across program and level boundaries alike — one program's slow
+    /// deep-chain component no longer holds up another's independent work,
+    /// and assertion checking starts while unrelated components are still
+    /// summarizing.  That is what makes `/v1/batch` faster than N
+    /// independent runs.
     ///
     /// Per-program scope assignment, summary-table fold order, and cache
     /// keys are exactly those of [`Analyzer::analyze_with_store`] run on
@@ -257,6 +274,7 @@ impl Analyzer {
                 }
                 ProgramRun {
                     program,
+                    callgraph,
                     levels,
                     keys,
                     run_scopes,
@@ -267,106 +285,163 @@ impl Analyzer {
                 }
             })
             .collect();
+        // The merged task graph.  Task ids follow the canonical fold order —
+        // component tasks level-major then program-major (the order the old
+        // level-barrier scheduler folded in), then one assertion task per
+        // procedure, program-major.  That order is topological (a component's
+        // callees sit at strictly lower levels; an assertion task's one
+        // dependency is a component), which is what lets the sequential
+        // `jobs == 1` path simply run tasks in id order.
         let rounds = runs.iter().map(|r| r.levels.len()).max().unwrap_or(0);
-        for level_index in 0..rounds {
-            // This round's merged task list: every program's components at
-            // this level, program-major.
-            let tasks: Vec<(usize, usize)> = runs
-                .iter()
-                .enumerate()
-                .flat_map(|(p, run)| {
-                    let n = run.levels.get(level_index).map_or(0, Vec::len);
-                    (0..n).map(move |i| (p, i))
-                })
-                .collect();
-            // One task per component: probe the store (loads — disk read,
-            // decode, rescope, re-intern — run concurrently too), summarize
-            // on a miss.  Same-level components never call each other, so a
-            // task never needs a sibling's restored summary.
-            let outputs = parallel_map(jobs, tasks.len(), |t| {
-                let (p, i) = tasks[t];
-                let run = &runs[p];
-                let component = &run.levels[level_index][i];
-                if let (Some(store), Some(keys), Some(run_scopes)) =
-                    (store, &run.keys, &run.run_scopes)
-                {
-                    let hit = store
-                        .load(&keys[level_index][i], run_scopes)
-                        .filter(|summaries| {
-                            summaries.len() == component.members.len()
-                                && summaries
-                                    .iter()
-                                    .zip(&component.members)
-                                    .all(|(s, m)| &s.name == m)
-                        });
-                    if let Some(summaries) = hit {
-                        return ComponentOutput {
-                            summaries,
-                            summarize_ms: 0.0,
-                            solve_ms: 0.0,
-                            cache_hit: true,
-                        };
-                    }
-                }
-                let scope = run.level_scope_base[level_index] + i as u32;
-                self.summarize_component(run.program, &run.summarizer, component, scope)
-            });
-            // Fold the outputs back in task order — per program that is
-            // component order, so each summary table fills exactly as it
-            // would in a solo run.
-            for (t, output) in outputs.into_iter().enumerate() {
-                let (p, i) = tasks[t];
-                let run = &mut runs[p];
-                if output.cache_hit {
-                    run.result.cache.hits += 1;
-                } else {
-                    run.result.cache.misses += store.is_some() as u64;
-                    run.result.timings.summarize_ms += output.summarize_ms;
-                    run.result.timings.solve_ms += output.solve_ms;
+        let mut tasks: Vec<Task> = Vec::new();
+        for level in 0..rounds {
+            for (p, run) in runs.iter().enumerate() {
+                let n = run.levels.get(level).map_or(0, Vec::len);
+                tasks.extend((0..n).map(|index| Task::Component { p, level, index }));
+            }
+        }
+        let component_tasks = tasks.len();
+        for (p, run) in runs.iter().enumerate() {
+            let n = run.program.procedures.len();
+            tasks.extend((0..n).map(|proc_index| Task::Assert { p, proc_index }));
+        }
+        // Per program: which component task owns each procedure.
+        let mut comp_task: Vec<HashMap<&str, usize>> =
+            runs.iter().map(|_| HashMap::new()).collect();
+        for (t, task) in tasks[..component_tasks].iter().enumerate() {
+            let Task::Component { p, level, index } = *task else {
+                unreachable!("assertion tasks come after the component tasks");
+            };
+            for member in &runs[p].levels[level][index].members {
+                comp_task[p].insert(member.as_str(), t);
+            }
+        }
+        // Dependency edges: a component waits for the components its members
+        // call into (self-calls excluded — recursion is resolved inside the
+        // component); an assertion pass waits only for the component holding
+        // its procedure, whose completion transitively covers the whole
+        // callee cone the body walk can look up.
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); tasks.len()];
+        let mut dep_count: Vec<usize> = vec![0; tasks.len()];
+        for (t, task) in tasks.iter().enumerate() {
+            let deps: BTreeSet<usize> = match *task {
+                Task::Component { p, level, index } => runs[p].levels[level][index]
+                    .members
+                    .iter()
+                    .flat_map(|m| runs[p].callgraph.callees(m))
+                    .filter_map(|callee| comp_task[p].get(callee.as_str()).copied())
+                    .filter(|&d| d != t)
+                    .collect(),
+                Task::Assert { p, proc_index } => comp_task[p]
+                    .get(runs[p].program.procedures[proc_index].name.as_str())
+                    .copied()
+                    .into_iter()
+                    .collect(),
+            };
+            dep_count[t] = deps.len();
+            for d in deps {
+                debug_assert!(d < t, "task ids must be topologically ordered");
+                dependents[d].push(t);
+            }
+        }
+        // Drain the graph.  Workers probe the store (loads — disk read,
+        // decode, rescope, re-intern — run concurrently too), summarize on a
+        // miss, and publish summaries into the program's shared table before
+        // the scheduler releases any dependent task.  Store writes are
+        // deferred to the fold: probes therefore see exactly the entries the
+        // run started with, independent of scheduling (a task could never
+        // hit a same-run store anyway — an identical component has an
+        // identical cone, hence the same level and a same-round probe).
+        let runs_ref = &runs;
+        let tasks_ref = &tasks;
+        let outputs = run_ready_queue(jobs, &dependents, dep_count, |t| match tasks_ref[t] {
+            Task::Component { p, level, index } => {
+                let run = &runs_ref[p];
+                let component = &run.levels[level][index];
+                let output = 'output: {
                     if let (Some(store), Some(keys), Some(run_scopes)) =
                         (store, &run.keys, &run.run_scopes)
                     {
-                        store.store(&keys[level_index][i], &output.summaries, run_scopes);
+                        let hit = store
+                            .load(&keys[level][index], run_scopes)
+                            .filter(|summaries| {
+                                summaries.len() == component.members.len()
+                                    && summaries
+                                        .iter()
+                                        .zip(&component.members)
+                                        .all(|(s, m)| &s.name == m)
+                            });
+                        if let Some(summaries) = hit {
+                            break 'output ComponentOutput {
+                                summaries,
+                                summarize_ms: 0.0,
+                                solve_ms: 0.0,
+                                cache_hit: true,
+                            };
+                        }
                     }
-                }
-                for summary in output.summaries {
+                    let scope = run.level_scope_base[level] + index as u32;
+                    self.summarize_component(run.program, &run.summarizer, component, scope)
+                };
+                for summary in &output.summaries {
                     run.summarizer
                         .insert_summary(summary.name.clone(), summary.formula.clone());
-                    run.result.summaries.insert(summary.name.clone(), summary);
+                }
+                TaskOutput::Component(output)
+            }
+            Task::Assert { p, proc_index } => {
+                let run = &runs_ref[p];
+                let started = Instant::now();
+                let proc = &run.program.procedures[proc_index];
+                let fresh = FreshSource::new(run.assert_scope_base + proc_index as u32);
+                let vars = run.summarizer.proc_vars(proc);
+                let prefix = TransitionFormula::identity(&vars);
+                let mut asserts = Vec::new();
+                self.check_asserts_with(
+                    &run.summarizer,
+                    proc,
+                    &proc.body,
+                    &vars,
+                    prefix,
+                    &mut asserts,
+                    &fresh,
+                );
+                TaskOutput::Assert {
+                    asserts,
+                    check_ms: started.elapsed().as_secs_f64() * 1e3,
                 }
             }
-        }
-        // Assertion-checking pass with the final summaries, one task per
-        // procedure, again merged across the whole batch.
-        let checks: Vec<(usize, usize)> = runs
-            .iter()
-            .enumerate()
-            .flat_map(|(p, run)| (0..run.program.procedures.len()).map(move |i| (p, i)))
-            .collect();
-        let verdicts = parallel_map(jobs, checks.len(), |t| {
-            let (p, i) = checks[t];
-            let run = &runs[p];
-            let started = Instant::now();
-            let proc = &run.program.procedures[i];
-            let fresh = FreshSource::new(run.assert_scope_base + i as u32);
-            let vars = run.summarizer.proc_vars(proc);
-            let prefix = TransitionFormula::identity(&vars);
-            let mut asserts = Vec::new();
-            self.check_asserts_with(
-                &run.summarizer,
-                proc,
-                &proc.body,
-                &vars,
-                prefix,
-                &mut asserts,
-                &fresh,
-            );
-            (asserts, started.elapsed().as_secs_f64() * 1e3)
         });
-        for (t, (asserts, elapsed_ms)) in verdicts.into_iter().enumerate() {
-            let (p, _) = checks[t];
-            runs[p].result.assertions.extend(asserts);
-            runs[p].result.timings.check_ms += elapsed_ms;
+        // Fold the outputs back in task-id order — per program that is
+        // bottom-up component order then procedure order, so counters,
+        // timing sums, store writes, and assertion lists come out exactly
+        // as a solo sequential run would produce them.
+        for (t, output) in outputs.into_iter().enumerate() {
+            match (tasks[t], output) {
+                (Task::Component { p, level, index }, TaskOutput::Component(output)) => {
+                    let run = &mut runs[p];
+                    if output.cache_hit {
+                        run.result.cache.hits += 1;
+                    } else {
+                        run.result.cache.misses += store.is_some() as u64;
+                        run.result.timings.summarize_ms += output.summarize_ms;
+                        run.result.timings.solve_ms += output.solve_ms;
+                        if let (Some(store), Some(keys), Some(run_scopes)) =
+                            (store, &run.keys, &run.run_scopes)
+                        {
+                            store.store(&keys[level][index], &output.summaries, run_scopes);
+                        }
+                    }
+                    for summary in output.summaries {
+                        run.result.summaries.insert(summary.name.clone(), summary);
+                    }
+                }
+                (Task::Assert { p, .. }, TaskOutput::Assert { asserts, check_ms }) => {
+                    runs[p].result.assertions.extend(asserts);
+                    runs[p].result.timings.check_ms += check_ms;
+                }
+                _ => unreachable!("task and output kinds are built in lockstep"),
+            }
         }
         let evictions = store.map_or(0, |s| s.evictions().saturating_sub(evictions_before));
         let gc_evictions =
@@ -384,13 +459,14 @@ impl Analyzer {
 
     /// The fingerprint salt capturing everything outside the procedure
     /// bodies that a summary depends on: the key-derivation generation
-    /// (v2 dropped the bottom-up scope from component keys), the analysis
-    /// knobs (except `jobs`, which never changes the result), and the
-    /// global-variable vocabulary in declaration order (it fixes the
-    /// summarizer's variable order).
+    /// (v3 canonicalizes constraint rows inside the projection engine,
+    /// changing summary bytes; v2 dropped the bottom-up scope from
+    /// component keys), the analysis knobs (except `jobs`, which never
+    /// changes the result), and the global-variable vocabulary in
+    /// declaration order (it fixes the summarizer's variable order).
     fn cache_salt(&self, program: &Program) -> Fingerprint {
         let mut b = FingerprintBuilder::new();
-        b.write_str("chora-analysis-salt-v2");
+        b.write_str("chora-analysis-salt-v3");
         b.write_bool(self.config.enable_depth_bounds);
         b.write_bool(self.config.enable_polynomial_facts);
         b.write_u64(self.config.disjunct_cap as u64);
@@ -674,6 +750,9 @@ impl Analyzer {
 /// rounds across programs cannot change any program's result.
 struct ProgramRun<'p> {
     program: &'p Program,
+    /// Retained for dependency edges: a component task waits on the
+    /// components its members call into.
+    callgraph: CallGraph,
     levels: Vec<Vec<Component>>,
     keys: Option<Vec<Vec<Fingerprint>>>,
     run_scopes: Option<ComponentScopes>,
@@ -695,42 +774,129 @@ struct ComponentOutput {
     cache_hit: bool,
 }
 
-/// Runs `f(0..n)` on up to `jobs` scoped worker threads and returns the
-/// results in index order.  Indices are dealt round-robin, each worker
-/// processes its share sequentially, and the caller re-assembles by index —
-/// so the output is independent of scheduling.  `jobs <= 1` (or a single
-/// item) degrades to a plain sequential loop with no thread overhead.
-fn parallel_map<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+/// One schedulable unit of the merged batch: summarize (or cache-restore)
+/// one component, or check the assertions of one procedure.
+#[derive(Clone, Copy)]
+enum Task {
+    Component {
+        p: usize,
+        level: usize,
+        index: usize,
+    },
+    Assert {
+        p: usize,
+        proc_index: usize,
+    },
+}
+
+/// The result of one [`Task`], folded back in task-id order.
+enum TaskOutput {
+    Component(ComponentOutput),
+    Assert {
+        asserts: Vec<AssertionResult>,
+        check_ms: f64,
+    },
+}
+
+/// Runs tasks `0..dep_count.len()` on up to `jobs` scoped worker threads,
+/// releasing each task only after all its dependencies finished, and returns
+/// the results in task-id order.
+///
+/// `dependents[d]` lists the tasks waiting on `d`; `dep_count[t]` is the
+/// number of distinct tasks `t` waits on.  Tasks with a zero count seed the
+/// ready queue (in id order); when a worker finishes a task it decrements
+/// each dependent's count and enqueues the ones that drain to zero.  Workers
+/// block on a condvar while the queue is empty and work remains — there is
+/// no spinning and no level barrier: the only idle time is a genuinely empty
+/// ready queue.  The caller re-assembles results by task id, so the output
+/// is independent of scheduling.  `jobs <= 1` (or a single task) degrades to
+/// a plain sequential loop in id order, which the caller guarantees is
+/// topological.
+///
+/// A panicking task marks the run poisoned and wakes every worker (so none
+/// deadlocks waiting for tasks that will never arrive) before propagating
+/// the panic through the scope join.
+fn run_ready_queue<T, F>(
+    jobs: usize,
+    dependents: &[Vec<usize>],
+    dep_count: Vec<usize>,
+    f: F,
+) -> Vec<T>
 where
-    T: Send,
+    T: Send + Sync,
     F: Fn(usize) -> T + Sync,
 {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex, OnceLock};
+
+    let n = dep_count.len();
     if jobs <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
     let workers = jobs.min(n);
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let slots: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
+    let counts: Vec<AtomicUsize> = dep_count.into_iter().map(AtomicUsize::new).collect();
+    let ready: Mutex<VecDeque<usize>> = Mutex::new(
+        counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.load(Ordering::Relaxed) == 0)
+            .map(|(t, _)| t)
+            .collect(),
+    );
+    let available = Condvar::new();
+    let done = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
     std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    (w..n)
-                        .step_by(workers)
-                        .map(|i| (i, f(i)))
-                        .collect::<Vec<(usize, T)>>()
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, value) in handle.join().expect("analysis worker panicked") {
-                slots[i] = Some(value);
-            }
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let task = {
+                    let mut queue = ready.lock().expect("scheduler queue lock");
+                    loop {
+                        if poisoned.load(Ordering::Relaxed) {
+                            break None;
+                        }
+                        if let Some(t) = queue.pop_front() {
+                            break Some(t);
+                        }
+                        if done.load(Ordering::Acquire) == n {
+                            break None;
+                        }
+                        queue = available.wait(queue).expect("scheduler queue lock");
+                    }
+                };
+                let Some(t) = task else { return };
+                let value = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(t))) {
+                    Ok(value) => value,
+                    Err(payload) => {
+                        poisoned.store(true, Ordering::Relaxed);
+                        drop(ready.lock());
+                        available.notify_all();
+                        std::panic::resume_unwind(payload);
+                    }
+                };
+                let _ = slots[t].set(value);
+                let newly_ready: Vec<usize> = dependents[t]
+                    .iter()
+                    .filter(|&&d| counts[d].fetch_sub(1, Ordering::AcqRel) == 1)
+                    .copied()
+                    .collect();
+                // Publish under the lock so a worker between its queue/done
+                // check and its `wait` cannot miss the wake-up.
+                let mut queue = ready.lock().expect("scheduler queue lock");
+                queue.extend(newly_ready.iter().copied());
+                let finished = done.fetch_add(1, Ordering::AcqRel) + 1 == n;
+                drop(queue);
+                if finished || !newly_ready.is_empty() {
+                    available.notify_all();
+                }
+            });
         }
     });
     slots
         .into_iter()
-        .map(|slot| slot.expect("every index computed"))
+        .map(|slot| slot.into_inner().expect("every task completed"))
         .collect()
 }
 

@@ -7,7 +7,7 @@
 //! of polyhedra form a [`crate::TransitionFormula`].
 
 use chora_expr::{LinearExpr, Monomial, Polynomial, Symbol};
-use chora_numeric::BigRational;
+use chora_numeric::{BigInt, BigRational};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -92,6 +92,29 @@ impl Atom {
     /// The symbols mentioned by the atom.
     pub fn symbols(&self) -> BTreeSet<Symbol> {
         self.poly.symbols()
+    }
+
+    /// The canonical representative of the atom's scaling class: denominators
+    /// cleared and the integer coefficients divided by their gcd, so any two
+    /// positive scalar multiples of the same constraint become the same atom
+    /// (`2x ≤ 10` and `x ≤ 5` both canonicalize to `x - 5 ≤ 0`).  The sign
+    /// of an equation is preserved — downstream bound extraction reads the
+    /// orientation of `p = 0`, so `-p = 0` is deduped against it only inside
+    /// the projection engine's hash keys, never rewritten here.
+    pub fn canonical(&self) -> Atom {
+        if self.poly.is_constant() {
+            return self.clone();
+        }
+        let (_, cleared) = self.poly.clear_denominators();
+        let mut gcd = BigInt::zero();
+        for (_, c) in cleared.terms() {
+            gcd = gcd.gcd(c.numer());
+        }
+        let scale = BigRational::from_integer(gcd).recip();
+        Atom {
+            poly: cleared.scale(&scale),
+            kind: self.kind,
+        }
     }
 
     /// Whether the constraint holds trivially (e.g. `-1 ≤ 0`).

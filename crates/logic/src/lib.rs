@@ -38,6 +38,7 @@
 
 mod atom;
 mod polyhedron;
+pub mod stats;
 mod transition;
 
 pub use atom::{Atom, AtomKind};

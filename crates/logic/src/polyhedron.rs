@@ -9,9 +9,11 @@
 //! out on the linearized view and mapped back to polynomial atoms.
 
 use crate::atom::{Atom, AtomKind};
+use crate::stats::fm_stat;
 use chora_expr::{LinearExpr, Monomial, Polynomial, Symbol};
-use chora_numeric::BigRational;
-use std::collections::{BTreeMap, BTreeSet};
+use chora_numeric::{BigInt, BigRational};
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 /// Safety valve: when an intermediate Fourier–Motzkin system grows beyond
@@ -67,11 +69,15 @@ impl Polyhedron {
         Polyhedron::from_atoms(vec![Atom::le_zero(Polynomial::one())])
     }
 
-    /// Adds a constraint (drops trivially true constraints).
+    /// Adds a constraint (drops trivially true constraints).  The atom is
+    /// stored in its canonical scaling form ([`Atom::canonical`]), so two
+    /// constraints that differ only by a positive scalar multiple dedup here
+    /// instead of surviving as distinct atoms.
     pub fn add_atom(&mut self, atom: Atom) {
         if atom.trivial_truth() == Some(true) {
             return;
         }
+        let atom = atom.canonical();
         if !self.atoms.contains(&atom) {
             self.atoms.push(atom);
         }
@@ -208,15 +214,14 @@ impl Polyhedron {
             }
         }
         let mut reduced = sys;
-        let mut scratch = FmScratch::default();
-        for d in reduced.dims() {
-            if goal_syms.contains(&d) {
-                continue;
-            }
-            reduced.eliminate_dim(&d, &mut scratch);
-            if reduced.unsat {
-                return true;
-            }
+        let drop_dims: Vec<Symbol> = reduced
+            .dims()
+            .into_iter()
+            .filter(|d| !goal_syms.contains(d))
+            .collect();
+        reduced.project(&drop_dims, None);
+        if reduced.unsat {
+            return true;
         }
         for g in pending {
             let implied = g.negate().iter().all(|neg| {
@@ -244,7 +249,7 @@ impl Polyhedron {
         match Linearized::new(&pre.atoms) {
             None => Polyhedron::contradiction(),
             Some(sys) => sys
-                .project(|base_syms| base_syms.iter().all(|s| keep.contains(s)))
+                .project_keeping(|base_syms| base_syms.iter().all(|s| keep.contains(s)))
                 .to_polyhedron(),
         }
     }
@@ -256,7 +261,7 @@ impl Polyhedron {
         match Linearized::new(&pre.atoms) {
             None => Polyhedron::contradiction(),
             Some(sys) => sys
-                .project(|base_syms| !base_syms.iter().any(|s| drop.contains(s)))
+                .project_keeping(|base_syms| !base_syms.iter().any(|s| drop.contains(s)))
                 .to_polyhedron(),
         }
     }
@@ -379,16 +384,13 @@ impl Polyhedron {
             LinearExpr::var(lambda) + LinearExpr::constant(-BigRational::one()),
             AtomKind::Le,
         ));
-        // Eliminate z's and λ.
+        // Eliminate z's and λ; abort to the weak join if an intermediate
+        // system overruns the budget.
         let mut to_drop: Vec<Symbol> = z_names.values().cloned().collect();
         to_drop.push(lambda);
         let mut sys = left.with_constraints(constraints, &right);
-        let mut scratch = FmScratch::default();
-        for d in to_drop {
-            sys.eliminate_dim(&d, &mut scratch);
-            if sys.constraints.len() > FM_CONSTRAINT_BUDGET {
-                return None;
-            }
+        if !sys.project(&to_drop, Some(FM_CONSTRAINT_BUDGET)) {
+            return None;
         }
         Some(sys.to_polyhedron())
     }
@@ -459,6 +461,44 @@ impl Polyhedron {
             Some(sys) => sys.to_polyhedron(),
         }
     }
+
+    /// The pre-optimization projection baseline: fixed elimination order, no
+    /// canonical-row hashing, no domination pruning, no Imbert acceleration.
+    /// Kept as the differential-testing oracle and the benchmark baseline;
+    /// not part of the public API.
+    #[doc(hidden)]
+    pub fn project_onto_naive(&self, keep: &BTreeSet<Symbol>) -> Polyhedron {
+        let pre = self.substitute_defined_symbols(|s| !keep.contains(s));
+        match Linearized::new(&pre.atoms) {
+            None => Polyhedron::contradiction(),
+            Some(sys) => sys
+                .naive_project(|base_syms| base_syms.iter().all(|s| keep.contains(s)))
+                .to_polyhedron(),
+        }
+    }
+
+    /// Baseline satisfiability via fixed-order elimination (see
+    /// [`Polyhedron::project_onto_naive`]).
+    #[doc(hidden)]
+    pub fn is_empty_set_naive(&self) -> bool {
+        match Linearized::new(&self.atoms) {
+            None => true,
+            Some(sys) => sys.naive_is_unsat(),
+        }
+    }
+
+    /// Baseline entailment via [`Polyhedron::is_empty_set_naive`].
+    #[doc(hidden)]
+    pub fn implies_atom_naive(&self, atom: &Atom) -> bool {
+        if atom.trivial_truth() == Some(true) {
+            return true;
+        }
+        atom.negate().iter().all(|neg| {
+            let mut with_neg = self.clone();
+            with_neg.atoms.push(neg.clone());
+            with_neg.is_empty_set_naive()
+        })
+    }
 }
 
 impl fmt::Display for Polyhedron {
@@ -515,6 +555,505 @@ struct FmScratch {
     pos: Vec<(LinearExpr, AtomKind, BigRational)>,
     neg: Vec<(LinearExpr, AtomKind, BigRational)>,
     out: Vec<(LinearExpr, AtomKind)>,
+}
+
+/// Imbert ancestor set of a derived row: which of the pass's input rows it
+/// is a nonnegative combination of.  Exact for the first 128 input rows;
+/// beyond that `overflow` makes [`Ancestors::at_least`] a lower bound, which
+/// only ever *weakens* the pruning (a combination is skipped only when even
+/// the known part of its history already exceeds Imbert's bound).
+#[derive(Clone, Copy, Default)]
+struct Ancestors {
+    bits: u128,
+    overflow: bool,
+}
+
+impl Ancestors {
+    fn origin(i: usize) -> Ancestors {
+        if i < 128 {
+            Ancestors {
+                bits: 1u128 << i,
+                overflow: false,
+            }
+        } else {
+            Ancestors {
+                bits: 0,
+                overflow: true,
+            }
+        }
+    }
+
+    fn union(a: Ancestors, b: Ancestors) -> Ancestors {
+        Ancestors {
+            bits: a.bits | b.bits,
+            overflow: a.overflow || b.overflow,
+        }
+    }
+
+    /// A lower bound on the cardinality of the ancestor set.
+    fn at_least(self) -> usize {
+        self.bits.count_ones() as usize + self.overflow as usize
+    }
+}
+
+/// Certified `a ⊆ b`: both sets must be exact, because an overflowed side
+/// hides members the bit view cannot compare.  This is the test the
+/// slot-collision rules use — Kohler completeness composes through row
+/// replacement only when the survivor's ancestor *set* is contained in the
+/// dying row's (`|A ∪ C| ≤ |A' ∪ C|` needs `A ⊆ A'`; a mere cardinality
+/// comparison does not survive the union with a sibling's history).
+fn anc_subset(a: Ancestors, b: Ancestors) -> bool {
+    !a.overflow && !b.overflow && a.bits & !b.bits == 0
+}
+
+/// The set of dimensions a derived row has lost along its derivation —
+/// eliminated explicitly by the pass *or* cancelled accidentally by a
+/// combination step.  Kohler's redundancy criterion compares the ancestor
+/// count against `1 + |gone|` **per row**; the explicit elimination count
+/// alone under-states `|gone|` whenever a cancellation happens, which is why
+/// this is tracked exactly.  The direction of safety is the opposite of
+/// [`Ancestors`]: `overflow` here means the count is *unknown*, so the
+/// pruning test must be declined rather than approximated.
+#[derive(Clone, Copy, Default)]
+struct GoneDims {
+    bits: u128,
+    overflow: bool,
+}
+
+impl GoneDims {
+    fn union(a: GoneDims, b: GoneDims) -> GoneDims {
+        GoneDims {
+            bits: a.bits | b.bits,
+            overflow: a.overflow || b.overflow,
+        }
+    }
+
+    /// Marks one dimension (by its pass-wide bit index) as gone; `None`
+    /// (a dimension past the 128-bit window) poisons the set.
+    fn insert(&mut self, bit: Option<usize>) {
+        match bit {
+            Some(i) if i < 128 => self.bits |= 1u128 << i,
+            _ => self.overflow = true,
+        }
+    }
+
+    /// The exact cardinality, or `None` when the set overflowed and only a
+    /// lower bound is known (unusable for Kohler's test).
+    fn exact(self) -> Option<usize> {
+        (!self.overflow).then(|| self.bits.count_ones() as usize)
+    }
+}
+
+/// One live constraint of a projection pass: a canonical row plus its
+/// derivation certificate — the Imbert ancestor set and gone-dimension set.
+///
+/// **Certificate poisoning.**  Kohler's skip is only complete if, for every
+/// facet of the projection, some surviving lineage keeps a within-bound
+/// history: the textbook argument threads facets through extreme-ray
+/// derivations whose histories stay under the bound at every step, and that
+/// argument composes through row replacement only when the survivor's
+/// ancestor set is a *subset* of the dying row's ([`anc_subset`]).
+/// Constant-domination freely violates this — it keeps one row per
+/// coefficient vector and drops looser parallel rows whose distinct
+/// histories a later contradiction may need (pure Fourier–Motzkin keeps
+/// both, which is why the counting criteria are usually stated without
+/// domination).  So at every slot collision where the surviving
+/// certificate is not certifiably contained in the dying one — or either
+/// side is already tainted — the survivor's `gone` set is poisoned
+/// (`overflow = true`): its descendants are exempt from the counting skip,
+/// while every other pruning layer still applies.  Poison is sticky (it
+/// propagates through [`GoneDims::union`] and is inherited across
+/// replacements), which keeps the skip sound at the price of firing less
+/// often on domination-heavy systems.
+struct FmRow {
+    expr: LinearExpr,
+    kind: AtomKind,
+    anc: Ancestors,
+    gone: GoneDims,
+}
+
+/// Scales a row so its coefficient vector is the unique coprime-integer
+/// representative of its ray (the constant term may stay rational).
+/// Positive scalar multiples of the same constraint thereby become identical
+/// rows, which is what lets [`RowStore`] dedup and dominate them by hashing.
+/// Equations are deliberately *not* sign-flipped here — downstream bound
+/// extraction reads their orientation — the sign convention lives in the
+/// hash key instead (see [`RowStore::insert`]).  The caller guarantees the
+/// row is not constant.
+fn canonicalize_row(expr: &mut LinearExpr) {
+    let mut lcm = BigInt::one();
+    for (_, c) in expr.coefficients() {
+        lcm = lcm.lcm(c.denom());
+    }
+    if !lcm.is_one() {
+        *expr = expr.scale(&BigRational::from_integer(lcm));
+    }
+    let mut gcd = BigInt::zero();
+    for (_, c) in expr.coefficients() {
+        gcd = gcd.gcd(c.numer());
+    }
+    let k = BigRational::from_integer(gcd).recip();
+    if !k.is_one() {
+        *expr = expr.scale(&k);
+    }
+}
+
+/// Whether an equation's stored orientation is flipped relative to its
+/// canonical hash-key orientation (least symbol's coefficient positive).
+/// `p = 0` and `-p = 0` are the same constraint, so both must land in the
+/// same [`RowStore`] bucket; inequalities never flip.
+fn eq_key_flipped(row: &FmRow) -> bool {
+    row.kind == AtomKind::Eq
+        && row
+            .expr
+            .coefficients()
+            .next()
+            .is_some_and(|(_, c)| c.is_negative())
+}
+
+/// The row's constant term read in key orientation (negated for flipped
+/// equations), so parallel rows compare on a common orientation.
+fn oriented_const(row: &FmRow) -> BigRational {
+    if eq_key_flipped(row) {
+        -row.expr.constant_term().clone()
+    } else {
+        row.expr.constant_term().clone()
+    }
+}
+
+/// The redundancy-controlled constraint set of a projection pass.
+///
+/// Every inserted row is brought to canonical form first (see
+/// [`canonicalize_row`]), so rows that are positive scalar multiples of one
+/// another collide.  The store then keeps at most one row per linear part:
+/// syntactic duplicates are dropped (hash-consing), parallel inequalities
+/// keep only the tighter constant (quasi-syntactic domination), an equation
+/// absorbs the parallel inequalities it implies, and contradictory parallel
+/// rows flip the store to `unsat` — the early exit that `implies_atom` and
+/// `implies_all` rely on.
+///
+/// Kill-or-replace decisions go through the `index` HashMap, but the map is
+/// never iterated: surviving rows are read back in insertion order, so every
+/// result is deterministic.
+#[derive(Default)]
+struct RowStore {
+    /// Rows in insertion order; `None` marks a dominated (killed) row.
+    rows: Vec<Option<FmRow>>,
+    /// Number of live rows.
+    live: usize,
+    /// Canonical linear part (constant zeroed) -> index of its live row.
+    index: HashMap<LinearExpr, usize>,
+    /// Set when two parallel rows contradict or a ground-false row arrives.
+    unsat: bool,
+}
+
+impl RowStore {
+    fn with_capacity(n: usize) -> RowStore {
+        RowStore {
+            rows: Vec::with_capacity(n),
+            live: 0,
+            index: HashMap::with_capacity(n),
+            unsat: false,
+        }
+    }
+
+    /// Whether `diff ◇ 0` holds, for the slack between parallel rows.
+    fn slack_holds(diff: &BigRational, kind: AtomKind) -> bool {
+        match kind {
+            AtomKind::Le => !diff.is_positive(),
+            AtomKind::Lt => diff.is_negative(),
+            AtomKind::Eq => diff.is_zero(),
+        }
+    }
+
+    /// Resolves a slot's certificate after an exact duplicate arrived: the
+    /// same constraint now has two derivations and either certificate is
+    /// valid for it, so keep whichever ancestor set is contained in the
+    /// other.  Incomparable sets, or taint on either side, poison the slot
+    /// (see the note on [`FmRow`]).
+    fn dedup_cert(kept: &mut FmRow, dup: &FmRow) {
+        let tainted = kept.gone.overflow || dup.gone.overflow;
+        if anc_subset(dup.anc, kept.anc) {
+            kept.anc = dup.anc;
+            kept.gone = dup.gone;
+        } else if !anc_subset(kept.anc, dup.anc) {
+            kept.gone.overflow = true;
+        }
+        kept.gone.overflow |= tainted;
+    }
+
+    /// Poisons the surviving row of a domination kill unless its ancestor
+    /// set is certifiably contained in the dying row's untainted one —
+    /// the only case in which Kohler completeness survives the kill (see
+    /// the note on [`FmRow`]).
+    fn domination_cert(survivor: &mut FmRow, dying: &FmRow) {
+        if !anc_subset(survivor.anc, dying.anc) || dying.gone.overflow {
+            survivor.gone.overflow = true;
+        }
+    }
+
+    /// Inserts a row, resolving it against the store's row with the same
+    /// linear part (if any).  `canonical` says the expression is already in
+    /// canonical form and need not be re-scaled.
+    fn insert(&mut self, mut row: FmRow, canonical: bool) {
+        if self.unsat {
+            return;
+        }
+        if row.expr.is_constant() {
+            if !Self::slack_holds(row.expr.constant_term(), row.kind) {
+                self.unsat = true;
+            }
+            return;
+        }
+        if !canonical {
+            canonicalize_row(&mut row.expr);
+        }
+        let mut key = if eq_key_flipped(&row) {
+            row.expr.scale(&-BigRational::one())
+        } else {
+            row.expr.clone()
+        };
+        let neg_const = -key.constant_term().clone();
+        key.add_constant(&neg_const);
+        match self.index.entry(key) {
+            Entry::Vacant(v) => {
+                v.insert(self.rows.len());
+                self.rows.push(Some(row));
+                self.live += 1;
+            }
+            Entry::Occupied(mut o) => {
+                let id = *o.get();
+                let prev = self.rows[id].as_ref().expect("index points at live rows");
+                match (prev.kind, row.kind) {
+                    (AtomKind::Eq, AtomKind::Eq) => {
+                        // `p = 0` and `-p = 0` share a bucket; compare the
+                        // constants in key orientation.
+                        if oriented_const(prev) == oriented_const(&row) {
+                            Self::dedup_cert(self.rows[id].as_mut().expect("live"), &row);
+                            fm_stat!(ROWS_DEDUPED);
+                        } else {
+                            self.unsat = true;
+                        }
+                    }
+                    (AtomKind::Eq, _) => {
+                        // prev: L + a = 0, new: L + b ◇ 0  ⇒  b − a ◇ 0
+                        // (both read in key orientation).
+                        let diff = row.expr.constant_term() - &oriented_const(prev);
+                        if Self::slack_holds(&diff, row.kind) {
+                            fm_stat!(ROWS_DOMINATED);
+                            Self::domination_cert(self.rows[id].as_mut().expect("live"), &row);
+                        } else {
+                            self.unsat = true;
+                        }
+                    }
+                    (_, AtomKind::Eq) => {
+                        let diff = prev.expr.constant_term() - &oriented_const(&row);
+                        let prev_kind = prev.kind;
+                        if Self::slack_holds(&diff, prev_kind) {
+                            fm_stat!(ROWS_DOMINATED);
+                            Self::domination_cert(&mut row, prev);
+                            self.rows[id] = None;
+                            self.live -= 1;
+                            o.insert(self.rows.len());
+                            self.rows.push(Some(row));
+                            self.live += 1;
+                        } else {
+                            self.unsat = true;
+                        }
+                    }
+                    (pk, nk) => {
+                        // Parallel inequalities: the larger constant is
+                        // tighter; on ties a strict inequality beats a
+                        // non-strict one (as the old `normalize` ruled).
+                        let prev_c = prev.expr.constant_term();
+                        let new_c = row.expr.constant_term();
+                        let same_constant = prev_c == new_c;
+                        let prev_at_least_as_tight = prev_c > new_c
+                            || (same_constant && (pk == AtomKind::Lt || nk == AtomKind::Le));
+                        if prev_at_least_as_tight {
+                            if same_constant && pk == nk {
+                                Self::dedup_cert(self.rows[id].as_mut().expect("live"), &row);
+                                fm_stat!(ROWS_DEDUPED);
+                            } else {
+                                fm_stat!(ROWS_DOMINATED);
+                                Self::domination_cert(self.rows[id].as_mut().expect("live"), &row);
+                            }
+                        } else {
+                            fm_stat!(ROWS_DOMINATED);
+                            Self::domination_cert(&mut row, prev);
+                            self.rows[id] = None;
+                            self.live -= 1;
+                            o.insert(self.rows.len());
+                            self.rows.push(Some(row));
+                            self.live += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The live rows, in insertion order.
+    fn take_rows(self) -> Vec<FmRow> {
+        self.rows.into_iter().flatten().collect()
+    }
+
+    /// The live rows as constraint pairs, in insertion order.
+    fn into_pairs(self) -> Vec<(LinearExpr, AtomKind)> {
+        self.rows
+            .into_iter()
+            .flatten()
+            .map(|r| (r.expr, r.kind))
+            .collect()
+    }
+}
+
+/// The greedy elimination choice: any dimension an equation mentions comes
+/// first (substitution strictly shrinks the system), otherwise the minimizer
+/// of Chvátal's growth estimate `pos·neg − (pos + neg)`; ties break toward
+/// the smallest symbol, so the order is deterministic.
+fn choose_dim(occ: &BTreeMap<Symbol, (i64, i64, bool)>) -> Option<Symbol> {
+    let mut best: Option<(bool, i64, Symbol)> = None;
+    for (s, (pos, neg, eq)) in occ {
+        let cand = if *eq {
+            (false, 0, *s)
+        } else {
+            (true, pos * neg - pos - neg, *s)
+        };
+        let better = match best {
+            None => true,
+            Some(b) => cand < b,
+        };
+        if better {
+            best = Some(cand);
+        }
+    }
+    best.map(|(_, _, s)| s)
+}
+
+/// Eliminates `d` from the store: by substitution through an equation when
+/// one mentions `d`, otherwise by pos×neg Fourier–Motzkin combination.
+/// `imbert` maps every dimension of the system to its bit in the per-row
+/// [`GoneDims`] set (`None` once equality substitution has mixed Gaussian
+/// steps into the ancestor accounting); a combined row is dropped when
+/// Kohler's criterion — more than `1 + |gone|` ancestors — proves it
+/// redundant.  Returns the new store and whether the step substituted.
+fn eliminate_rows(
+    store: RowStore,
+    d: &Symbol,
+    imbert: Option<&BTreeMap<Symbol, usize>>,
+) -> (RowStore, bool) {
+    let mut rows = store.take_rows();
+    let mut next = RowStore::with_capacity(rows.len());
+    if let Some(eq_idx) = rows
+        .iter()
+        .position(|r| r.kind == AtomKind::Eq && !r.expr.coefficient(d).is_zero())
+    {
+        let eq = rows.swap_remove(eq_idx);
+        // swap_remove breaks insertion order; restore it so the surviving
+        // row order (and hence every downstream result) stays deterministic.
+        if eq_idx < rows.len() {
+            let moved = rows.pop().expect("swap_remove left a moved row");
+            rows.insert(eq_idx, moved);
+        }
+        let coeff = eq.expr.coefficient(d);
+        let mut rest = eq.expr;
+        rest.add_coefficient(*d, -coeff.clone());
+        let replacement = rest.scale(&(-coeff.recip()));
+        for r in rows {
+            if r.expr.coefficient(d).is_zero() {
+                next.insert(r, true);
+            } else {
+                fm_stat!(ROWS_GENERATED);
+                let expr = r.expr.substitute(d, &replacement);
+                next.insert(
+                    FmRow {
+                        expr,
+                        kind: r.kind,
+                        anc: Ancestors::union(r.anc, eq.anc),
+                        // Substitution disables Imbert pruning for the rest
+                        // of the pass, so the gone set is carried but unread.
+                        gone: GoneDims::union(r.gone, eq.gone),
+                    },
+                    false,
+                );
+            }
+            if next.unsat {
+                break;
+            }
+        }
+        return (next, true);
+    }
+    let mut pos: Vec<(LinearExpr, AtomKind, BigRational, Ancestors, GoneDims)> = Vec::new();
+    let mut neg: Vec<(LinearExpr, AtomKind, BigRational, Ancestors, GoneDims)> = Vec::new();
+    for r in rows {
+        let c = r.expr.coefficient(d);
+        if c.is_zero() {
+            next.insert(r, true);
+        } else {
+            let mut e = r.expr;
+            e.add_coefficient(*d, -c.clone());
+            if c.is_positive() {
+                pos.push((e, r.kind, c, r.anc, r.gone));
+            } else {
+                neg.push((e, r.kind, -c, r.anc, r.gone));
+            }
+        }
+    }
+    if pos.len() * neg.len() + next.live > FM_CONSTRAINT_BUDGET {
+        // Over-approximate: drop every row involving d (the pre-existing
+        // budget fallback).
+        return (next, false);
+    }
+    'combine: for (p_rest, pk, pc, pa, pg) in &pos {
+        for (n_rest, nk, n_abs, na, ng) in &neg {
+            let anc = Ancestors::union(*pa, *na);
+            let combined = n_rest.scaled_sum(pc, p_rest, n_abs);
+            // The combined row loses `d` plus any dimension the two parents
+            // mention that cancelled accidentally in the sum; Kohler's
+            // criterion needs both kinds counted, so the gone set is only
+            // known after the row is materialized.
+            let mut gone = GoneDims::union(*pg, *ng);
+            if let Some(dims) = imbert {
+                gone.insert(dims.get(d).copied());
+                for (s, _) in p_rest.coefficients().chain(n_rest.coefficients()) {
+                    if combined.coefficient(s).is_zero() {
+                        gone.insert(dims.get(s).copied());
+                    }
+                }
+                // Kohler: a row derived from more than `1 + |gone|` original
+                // rows is a nonnegative combination of rows with smaller
+                // histories, hence redundant.  The test is stated for
+                // non-strict systems, so it only fires on an all-`Le`
+                // derivation (`Lt` is sticky through combination), and an
+                // overflowed gone set declines rather than guesses.
+                if let Some(count) = gone.exact() {
+                    if (*pk, *nk) == (AtomKind::Le, AtomKind::Le) && anc.at_least() > 1 + count {
+                        fm_stat!(IMBERT_SKIPPED);
+                        continue;
+                    }
+                }
+            }
+            fm_stat!(ROWS_GENERATED);
+            let kind = match (pk, nk) {
+                (AtomKind::Lt, _) | (_, AtomKind::Lt) => AtomKind::Lt,
+                _ => AtomKind::Le,
+            };
+            next.insert(
+                FmRow {
+                    expr: combined,
+                    kind,
+                    anc,
+                    gone,
+                },
+                false,
+            );
+            if next.unsat {
+                break 'combine;
+            }
+        }
+    }
+    (next, false)
 }
 
 impl Linearized {
@@ -640,9 +1179,40 @@ impl Linearized {
         }
     }
 
-    /// Removes duplicates, trivial constraints, and parallel-subsumed
-    /// inequalities; detects ground contradictions.
+    /// Canonicalizes every row and removes duplicates, trivial constraints,
+    /// and parallel rows dominated by a tighter constant; detects ground and
+    /// parallel contradictions (the early-unsat entry of the projection
+    /// pipeline).
     fn normalize(&mut self) {
+        if self.unsat {
+            return;
+        }
+        let mut store = RowStore::with_capacity(self.constraints.len());
+        for (i, (e, k)) in std::mem::take(&mut self.constraints)
+            .into_iter()
+            .enumerate()
+        {
+            store.insert(
+                FmRow {
+                    expr: e,
+                    kind: k,
+                    anc: Ancestors::origin(i),
+                    gone: GoneDims::default(),
+                },
+                false,
+            );
+        }
+        if store.unsat {
+            self.unsat = true;
+            return;
+        }
+        self.constraints = store.into_pairs();
+    }
+
+    /// The pre-optimization `normalize`: duplicate / trivial / parallel-
+    /// subsumption filtering without canonical scaling, exactly as the fixed-
+    /// order baseline ran it.  Used only by the `naive_*` oracle path.
+    fn naive_normalize(&mut self) {
         // Keyed by the normalized coefficient vector (without constant).
         let mut kept: Vec<(LinearExpr, AtomKind)> = Vec::new();
         for (expr, kind) in std::mem::take(&mut self.constraints) {
@@ -706,7 +1276,9 @@ impl Linearized {
         za == zb
     }
 
-    /// Fourier–Motzkin elimination of a single dimension.
+    /// Fixed-order Fourier–Motzkin elimination of a single dimension — the
+    /// pre-optimization implementation, kept verbatim as the `naive_*`
+    /// oracle.  The production path is [`Linearized::project`].
     ///
     /// When the intermediate system would exceed the constraint budget, the
     /// constraints involving the dimension are dropped instead (a sound
@@ -716,9 +1288,8 @@ impl Linearized {
     /// [`FmScratch`] across a whole elimination pass means the partition
     /// vectors are allocated once per pass instead of once per dimension,
     /// and each dimension's coefficient is stripped from its row exactly
-    /// once (outside the pos×neg combination loop, which previously cloned
-    /// and re-stripped both rows per pair).
-    fn eliminate_dim(&mut self, d: &Symbol, scratch: &mut FmScratch) {
+    /// once (outside the pos×neg combination loop).
+    fn naive_eliminate_dim(&mut self, d: &Symbol, scratch: &mut FmScratch) {
         if self.unsat {
             return;
         }
@@ -739,7 +1310,7 @@ impl Linearized {
                     *e = e.substitute(d, &replacement);
                 }
             }
-            self.normalize();
+            self.naive_normalize();
             return;
         }
         scratch.pos.clear();
@@ -763,7 +1334,7 @@ impl Linearized {
         if scratch.pos.len() * scratch.neg.len() + scratch.out.len() > FM_CONSTRAINT_BUDGET {
             // Over-approximate: drop every constraint involving d.
             std::mem::swap(&mut self.constraints, &mut scratch.out);
-            self.normalize();
+            self.naive_normalize();
             return;
         }
         for (p_rest, pk, pc) in &scratch.pos {
@@ -781,11 +1352,129 @@ impl Linearized {
             }
         }
         std::mem::swap(&mut self.constraints, &mut scratch.out);
-        self.normalize();
+        self.naive_normalize();
     }
 
-    /// Projects onto the dimensions whose base symbols all satisfy `keep`.
-    fn project(mut self, keep: impl Fn(&[Symbol]) -> bool) -> Linearized {
+    /// The single Fourier–Motzkin entry point: eliminates every symbol in
+    /// `drop`, greedily picking at each step a dimension an equation fixes
+    /// (substitution strictly shrinks the system) or, failing that, the one
+    /// minimizing Chvátal's `pos·neg − pos − neg` growth estimate over the
+    /// current rows.  Rows flow through a [`RowStore`] — canonical form,
+    /// hash-cons dedup, domination pruning, Imbert's acceleration — and the
+    /// pass stops as soon as a contradiction surfaces (`self.unsat`), which
+    /// is what lets `implies_atom`/`implies_all` return early.
+    ///
+    /// With `abort_over` set, returns `false` as soon as an intermediate
+    /// system exceeds that many rows (the exact-join fallback trigger);
+    /// otherwise always returns `true`.
+    fn project(&mut self, drop: &[Symbol], abort_over: Option<usize>) -> bool {
+        if self.unsat || drop.is_empty() || self.constraints.is_empty() {
+            return true;
+        }
+        let mut store = RowStore::with_capacity(self.constraints.len());
+        for (i, (e, k)) in std::mem::take(&mut self.constraints)
+            .into_iter()
+            .enumerate()
+        {
+            // Rows are canonical here: every construction site runs
+            // `normalize`, which canonicalizes through the same store.
+            store.insert(
+                FmRow {
+                    expr: e,
+                    kind: k,
+                    anc: Ancestors::origin(i),
+                    gone: GoneDims::default(),
+                },
+                true,
+            );
+        }
+        // Every dimension of the system gets one bit in the per-row gone
+        // sets; combinations only ever cancel dimensions, so the map never
+        // needs to grow mid-pass.
+        let mut dim_bits: BTreeMap<Symbol, usize> = BTreeMap::new();
+        for row in store.rows.iter().flatten() {
+            for (s, _) in row.expr.coefficients() {
+                let bit = dim_bits.len();
+                dim_bits.entry(*s).or_insert(bit);
+            }
+        }
+        let mut remaining: BTreeSet<Symbol> = drop.iter().copied().collect();
+        // Kohler's criterion is stated for pure pos×neg elimination; once a
+        // step substitutes through an equation the ancestor accounting mixes
+        // Gaussian steps in, so pruning is switched off for the rest of the
+        // pass rather than argued about.
+        let mut imbert_ok = true;
+        while !store.unsat && !remaining.is_empty() {
+            // One scan counting, per still-to-eliminate dimension, its
+            // positive/negative inequality occurrences and whether an
+            // equation mentions it.
+            let mut occ: BTreeMap<Symbol, (i64, i64, bool)> = BTreeMap::new();
+            for row in store.rows.iter().flatten() {
+                for (s, c) in row.expr.coefficients() {
+                    if !remaining.contains(s) {
+                        continue;
+                    }
+                    let e = occ.entry(*s).or_insert((0, 0, false));
+                    if row.kind == AtomKind::Eq {
+                        e.2 = true;
+                    } else if c.is_positive() {
+                        e.0 += 1;
+                    } else {
+                        e.1 += 1;
+                    }
+                }
+            }
+            // Dimensions no row mentions are already (vacuously) eliminated.
+            remaining.retain(|s| occ.contains_key(s));
+            let Some(d) = choose_dim(&occ) else { break };
+            remaining.remove(&d);
+            let imbert = if imbert_ok { Some(&dim_bits) } else { None };
+            let (next, substituted) = eliminate_rows(store, &d, imbert);
+            store = next;
+            if substituted {
+                imbert_ok = false;
+            }
+            crate::stats::record_width(store.live as u64);
+            if let Some(limit) = abort_over {
+                if store.live > limit {
+                    self.constraints = store.into_pairs();
+                    return false;
+                }
+            }
+        }
+        if store.unsat {
+            if !remaining.is_empty() {
+                fm_stat!(EARLY_UNSAT_EXITS);
+            }
+            self.unsat = true;
+            self.constraints.clear();
+            return true;
+        }
+        self.constraints = store.into_pairs();
+        true
+    }
+
+    /// Projects onto the dimensions whose base symbols all satisfy `keep`,
+    /// routing through [`Linearized::project`].
+    fn project_keeping(mut self, keep: impl Fn(&[Symbol]) -> bool) -> Linearized {
+        let drop: Vec<Symbol> = self
+            .dims()
+            .into_iter()
+            .filter(|d| !keep(&self.base_symbols(d)))
+            .collect();
+        self.project(&drop, None);
+        self
+    }
+
+    #[allow(clippy::wrong_self_convention)] // consumes self: elimination destroys the system
+    fn is_unsat(mut self) -> bool {
+        let dims: Vec<Symbol> = self.dims().into_iter().collect();
+        self.project(&dims, None);
+        self.unsat
+    }
+
+    /// Fixed-order projection — the pre-optimization oracle.
+    fn naive_project(mut self, keep: impl Fn(&[Symbol]) -> bool) -> Linearized {
         let dims = self.dims();
         let mut scratch = FmScratch::default();
         for d in dims {
@@ -793,7 +1482,7 @@ impl Linearized {
             if keep(&bases) {
                 continue;
             }
-            self.eliminate_dim(&d, &mut scratch);
+            self.naive_eliminate_dim(&d, &mut scratch);
             if self.unsat {
                 break;
             }
@@ -801,12 +1490,13 @@ impl Linearized {
         self
     }
 
+    /// Fixed-order satisfiability — the pre-optimization oracle.
     #[allow(clippy::wrong_self_convention)] // consumes self: elimination destroys the system
-    fn is_unsat(mut self) -> bool {
+    fn naive_is_unsat(mut self) -> bool {
         let dims = self.dims();
         let mut scratch = FmScratch::default();
         for d in dims {
-            self.eliminate_dim(&d, &mut scratch);
+            self.naive_eliminate_dim(&d, &mut scratch);
             if self.unsat {
                 return true;
             }

@@ -93,6 +93,15 @@ pub trait AnalysisBackend: Send + Sync + 'static {
     /// Name/value pairs rendered under `"cache"` in `/v1/stats`.
     fn cache_counters(&self) -> Vec<(&'static str, u64)>;
 
+    /// Name/value pairs rendered under `"fm"` in `/v1/stats` — the
+    /// Fourier–Motzkin projection counters (rows generated / deduped /
+    /// dominated, Imbert skips, early-unsat exits, widest system).  The
+    /// default is empty for backends whose logic crate was built without
+    /// the `stats` feature.
+    fn fm_counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+
     /// Periodic maintenance hook (e.g. a store GC pass).
     fn maintain(&self) {}
 

@@ -153,7 +153,11 @@ fn healthz(_request: &Request, ctx: &Ctx<'_>) -> Response {
 }
 
 fn stats(_request: &Request, ctx: &Ctx<'_>) -> Response {
-    Response::json(200, ctx.stats.to_json(&ctx.backend.cache_counters()))
+    Response::json(
+        200,
+        ctx.stats
+            .to_json(&ctx.backend.cache_counters(), &ctx.backend.fm_counters()),
+    )
 }
 
 fn shutdown(_request: &Request, ctx: &Ctx<'_>) -> Response {

@@ -72,8 +72,13 @@ impl ServerStats {
     }
 
     /// Renders the full `/v1/stats` document, merging in the backend's
-    /// cache counters (name/value pairs rendered under `"cache"`).
-    pub fn to_json(&self, cache_counters: &[(&'static str, u64)]) -> String {
+    /// cache counters (name/value pairs rendered under `"cache"`) and its
+    /// Fourier–Motzkin projection counters (rendered under `"fm"`).
+    pub fn to_json(
+        &self,
+        cache_counters: &[(&'static str, u64)],
+        fm_counters: &[(&'static str, u64)],
+    ) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"uptime_ms\": {:.3},", self.uptime_ms());
@@ -120,6 +125,13 @@ impl ServerStats {
             }
             let _ = write!(out, "\n    \"{name}\": {value}");
         }
+        out.push_str("\n  },\n  \"fm\": {");
+        for (i, (name, value)) in fm_counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{name}\": {value}");
+        }
         out.push_str("\n  }\n}\n");
         out
     }
@@ -136,7 +148,10 @@ mod tests {
         stats.record("/v1/analyze", 200, 12.5);
         stats.record("/v1/analyze", 400, 0.5);
         stats.record("/v1/healthz", 200, 0.1);
-        let doc = stats.to_json(&[("mem_hits", 3), ("disk_probes", 1)]);
+        let doc = stats.to_json(
+            &[("mem_hits", 3), ("disk_probes", 1)],
+            &[("rows_generated", 288), ("rows_dominated", 208)],
+        );
         assert!(doc.contains("\"/v1/analyze\": {\"count\": 2"), "{doc}");
         assert!(doc.contains("\"/v1/healthz\""), "{doc}");
         assert!(doc.contains("\"connections\": 1"), "{doc}");
@@ -144,5 +159,11 @@ mod tests {
         assert!(doc.contains("\"client_errors\": 1"), "{doc}");
         assert!(doc.contains("\"mem_hits\": 3"), "{doc}");
         assert!(doc.contains("\"disk_probes\": 1"), "{doc}");
+        assert!(doc.contains("\"fm\": {"), "{doc}");
+        assert!(doc.contains("\"rows_generated\": 288"), "{doc}");
+        assert!(doc.contains("\"rows_dominated\": 208"), "{doc}");
+        // An empty fm section still renders as a (empty) JSON object.
+        let bare = stats.to_json(&[], &[]);
+        assert!(bare.contains("\"fm\": {"), "{bare}");
     }
 }
