@@ -313,8 +313,21 @@ fn representation_and_parallelism_deltas() {
     let fm_pruned_ms = time_secs(fm_iters, || fm_chain_workload(&fm_syms)) * 1e3;
     let fm_naive_ms = time_secs(fm_iters, || fm_chain_workload_naive(&fm_syms)) * 1e3;
 
+    // Telemetry overhead on the same FM chain: spans with no session active
+    // (one relaxed atomic load each — the always-on cost every analysis now
+    // pays, registry counters included) vs under a live recording session
+    // (two clock reads plus a mutex push per span).  The first number is
+    // the evidence that de-gating the stats counters is free; the second is
+    // what `--trace-out` costs while it records.
+    let telemetry_off_ms = time_secs(fm_iters, || fm_chain_workload(&fm_syms)) * 1e3;
+    let telemetry_session =
+        chora_telemetry::trace::start().expect("no other trace session records during the bench");
+    let telemetry_on_ms = time_secs(fm_iters, || fm_chain_workload(&fm_syms)) * 1e3;
+    let telemetry_spans = telemetry_session.finish().events.len();
+    let telemetry_overhead_pct = (telemetry_on_ms / telemetry_off_ms - 1.0) * 100.0;
+
     let report = format!(
-        "{{\n  \"smoke\": {smoke},\n  \"poly_workload\": {{\n    \"string_ns\": {string_ns:.0},\n    \"interned_ns\": {interned_ns:.0},\n    \"interned_speedup\": {:.3}\n  }},\n  \"level_parallel\": {{\n    \"jobs\": {jobs},\n    \"seq_ms\": {seq_ms:.3},\n    \"par_ms\": {par_ms:.3},\n    \"parallel_speedup\": {:.3}\n  }},\n  \"phases\": {{\n    \"summarize_ms\": {:.3},\n    \"solve_ms\": {:.3},\n    \"check_ms\": {:.3}\n  }},\n  \"summary_cache\": {{\n    \"cold_ms\": {cache_cold_ms:.3},\n    \"warm_ms\": {warm_ms:.3},\n    \"warm_speedup\": {:.3},\n    \"warm_hits\": {warm_hits}\n  }},\n  \"numeric\": {{\n    \"fm_constraints\": {fm_constraints},\n    \"fm_small_ms\": {fm_small_ms:.3},\n    \"fm_forced_heap_ms\": {fm_heap_ms:.3},\n    \"fm_small_speedup\": {:.3},\n    \"small_ops\": {},\n    \"heap_ops\": {},\n    \"promotions\": {},\n    \"demotions\": {},\n    \"rational_small_ops\": {},\n    \"rational_heap_ops\": {}\n  }},\n  \"fm_projection\": {{\n    \"pruned_constraints\": {fm_pruned_constraints},\n    \"naive_constraints\": {fm_naive_constraints},\n    \"pruned_ms\": {fm_pruned_ms:.3},\n    \"naive_ms\": {fm_naive_ms:.3},\n    \"algorithmic_speedup\": {:.3},\n    \"rows_generated\": {},\n    \"rows_deduped\": {},\n    \"rows_dominated\": {},\n    \"imbert_skipped\": {},\n    \"early_unsat_exits\": {},\n    \"max_width\": {}\n  }}\n}}\n",
+        "{{\n  \"smoke\": {smoke},\n  \"poly_workload\": {{\n    \"string_ns\": {string_ns:.0},\n    \"interned_ns\": {interned_ns:.0},\n    \"interned_speedup\": {:.3}\n  }},\n  \"level_parallel\": {{\n    \"jobs\": {jobs},\n    \"seq_ms\": {seq_ms:.3},\n    \"par_ms\": {par_ms:.3},\n    \"parallel_speedup\": {:.3}\n  }},\n  \"phases\": {{\n    \"summarize_ms\": {:.3},\n    \"solve_ms\": {:.3},\n    \"check_ms\": {:.3}\n  }},\n  \"summary_cache\": {{\n    \"cold_ms\": {cache_cold_ms:.3},\n    \"warm_ms\": {warm_ms:.3},\n    \"warm_speedup\": {:.3},\n    \"warm_hits\": {warm_hits}\n  }},\n  \"numeric\": {{\n    \"fm_constraints\": {fm_constraints},\n    \"fm_small_ms\": {fm_small_ms:.3},\n    \"fm_forced_heap_ms\": {fm_heap_ms:.3},\n    \"fm_small_speedup\": {:.3},\n    \"small_ops\": {},\n    \"heap_ops\": {},\n    \"promotions\": {},\n    \"demotions\": {},\n    \"rational_small_ops\": {},\n    \"rational_heap_ops\": {}\n  }},\n  \"fm_projection\": {{\n    \"pruned_constraints\": {fm_pruned_constraints},\n    \"naive_constraints\": {fm_naive_constraints},\n    \"pruned_ms\": {fm_pruned_ms:.3},\n    \"naive_ms\": {fm_naive_ms:.3},\n    \"algorithmic_speedup\": {:.3},\n    \"rows_generated\": {},\n    \"rows_deduped\": {},\n    \"rows_dominated\": {},\n    \"imbert_skipped\": {},\n    \"early_unsat_exits\": {},\n    \"max_width\": {}\n  }},\n  \"telemetry\": {{\n    \"trace_off_ms\": {telemetry_off_ms:.3},\n    \"trace_on_ms\": {telemetry_on_ms:.3},\n    \"overhead_pct\": {telemetry_overhead_pct:.2},\n    \"spans_recorded\": {telemetry_spans}\n  }}\n}}\n",
         string_ns / interned_ns,
         seq_ms / par_ms,
         phases.summarize_ms,

@@ -44,7 +44,45 @@ pub fn read_source(path: &str) -> Result<String, CliError> {
 /// Parses program text, rendering errors against `name` (a path or a
 /// request-supplied display name).
 pub(crate) fn parse_source(name: &str, src: &str) -> Result<Program, CliError> {
+    let _span = chora_telemetry::trace::span("phase", "parse");
     parse_program(src).map_err(|e| CliError(format!("{name}:{}", e.render(src))))
+}
+
+/// Opens a trace session when `--trace-out FILE` was given.  The session
+/// is exclusive process-wide; the guard cleans up on error paths.
+fn start_trace(
+    trace_out: &Option<String>,
+) -> Result<Option<chora_telemetry::trace::TraceSession>, CliError> {
+    match trace_out {
+        None => Ok(None),
+        Some(_) => chora_telemetry::trace::start()
+            .map(Some)
+            .ok_or_else(|| CliError("another trace session is already recording".to_string())),
+    }
+}
+
+/// Finishes the session and writes Chrome trace-event JSON to the
+/// `--trace-out` path.  The summary note goes to stderr so traced and
+/// untraced runs stay byte-identical on stdout.
+fn write_trace(
+    session: Option<chora_telemetry::trace::TraceSession>,
+    trace_out: &Option<String>,
+    quiet: bool,
+) -> Result<(), CliError> {
+    let (Some(session), Some(path)) = (session, trace_out.as_ref()) else {
+        return Ok(());
+    };
+    let trace = session.finish();
+    std::fs::write(path, trace.to_chrome_json())
+        .map_err(|e| CliError(format!("cannot write trace to `{path}`: {e}")))?;
+    if !quiet {
+        eprintln!(
+            "trace: {} spans over {} lanes -> {path}",
+            trace.events.len(),
+            trace.active_lanes().len()
+        );
+    }
+    Ok(())
 }
 
 fn read_and_parse(path: &str) -> Result<Program, CliError> {
@@ -81,6 +119,9 @@ pub struct FileOptions {
     /// Suppress the stderr cache/timing chatter (`--quiet`); stdout is
     /// unaffected (it never carried the chatter in the first place).
     pub quiet: bool,
+    /// Record a span trace of the run and write it as Chrome trace-event
+    /// JSON to this path (`--trace-out`).  Never perturbs stdout.
+    pub trace_out: Option<String>,
 }
 
 impl Default for FileOptions {
@@ -98,6 +139,7 @@ impl Default for FileOptions {
             cache_dir: None,
             no_cache: false,
             quiet: false,
+            trace_out: None,
         }
     }
 }
@@ -202,7 +244,9 @@ fn resolve_size_param(
 /// [`analyze_with_stats`] for programmatic access); stdout stays
 /// byte-identical with and without the cache.
 pub fn analyze(opts: &FileOptions) -> Result<(String, i32), CliError> {
+    let session = start_trace(&opts.trace_out)?;
     let (output, exit, stats) = analyze_with_stats(opts)?;
+    write_trace(session, &opts.trace_out, opts.quiet)?;
     if !opts.quiet {
         report_cache_stats(opts.json, stats.as_ref());
     }
@@ -401,6 +445,7 @@ pub(crate) fn render_analysis(
 /// `chora complexity FILE`: resource-bound extraction — the Table 1 view of
 /// one procedure.
 pub fn complexity_cmd(opts: &FileOptions) -> Result<(String, i32), CliError> {
+    let session = start_trace(&opts.trace_out)?;
     let src = read_source(&opts.path)?;
     let store = open_store(&opts.cache_dir, opts.no_cache)?;
     let (output, exit, stats) = complexity_source(
@@ -409,6 +454,7 @@ pub fn complexity_cmd(opts: &FileOptions) -> Result<(String, i32), CliError> {
         opts,
         store.as_ref().map(|s| s as &dyn SummaryStore),
     )?;
+    write_trace(session, &opts.trace_out, opts.quiet)?;
     if !opts.quiet {
         report_cache_stats(opts.json, stats.as_ref());
     }
@@ -516,6 +562,9 @@ pub struct BenchOptions {
     /// calling the library: requests/sec cold vs warm over real HTTP
     /// (`bench --server DIR`).
     pub server: bool,
+    /// Record a span trace of the whole bench run and write it as Chrome
+    /// trace-event JSON to this path (`--trace-out`).
+    pub trace_out: Option<String>,
 }
 
 impl Default for BenchOptions {
@@ -529,6 +578,7 @@ impl Default for BenchOptions {
             cache_dir: None,
             no_cache: false,
             server: false,
+            trace_out: None,
         }
     }
 }
@@ -552,6 +602,14 @@ pub fn bench(opts: &BenchOptions) -> Result<(String, i32), CliError> {
     if opts.server {
         return crate::serve::bench_server(opts);
     }
+    let session = start_trace(&opts.trace_out)?;
+    let result = bench_local(opts);
+    write_trace(session, &opts.trace_out, false)?;
+    result
+}
+
+/// The library-call (non `--server`) body of [`bench`].
+fn bench_local(opts: &BenchOptions) -> Result<(String, i32), CliError> {
     let keep = |name: &str| match &opts.filter {
         Some(f) => name.contains(f.as_str()),
         None => true,

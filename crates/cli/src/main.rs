@@ -51,6 +51,10 @@ OPTIONS (analyze / complexity / bench):
     --quiet           Suppress the stderr cache/timing chatter
     --proc NAME       Procedure to report on (default: all for analyze;
                       sole procedure or main for complexity)
+    --trace-out FILE  Record a span trace of the run (parse, summarize,
+                      solve, FM projection, cache, scheduler lanes) and
+                      write Chrome trace-event JSON to FILE — open it in
+                      chrome://tracing or Perfetto.  Stdout is unchanged
 
 OPTIONS (complexity only):
     --cost VAR        Cost counter variable (default: global `cost`)
@@ -70,6 +74,11 @@ OPTIONS (serve):
     --cache-max-age SECS[s|m|h]
                       Evict entries older than this (default: never)
     --quiet           Suppress per-request logging
+    --log-format text|json
+                      Per-request log line shape (default text)
+    --slow-request-ms MS
+                      Log requests at or past MS even under --quiet,
+                      marked as slow
 
 OPTIONS (request):
     --addr HOST:PORT  Daemon to contact (default 127.0.0.1:7557)
@@ -136,6 +145,7 @@ fn run() -> Result<(String, i32), String> {
             let cache_dir = take_value(&mut args, "--cache-dir")?;
             let no_cache = take_flag(&mut args, "--no-cache");
             let quiet = take_flag(&mut args, "--quiet");
+            let trace_out = take_value(&mut args, "--trace-out")?;
             if subcommand == "analyze" && (cost_var.is_some() || size_param.is_some()) {
                 return Err("--cost and --size only apply to `chora complexity`".to_string());
             }
@@ -155,6 +165,7 @@ fn run() -> Result<(String, i32), String> {
                 cache_dir,
                 no_cache,
                 quiet,
+                trace_out,
             };
             let result = if subcommand == "analyze" {
                 analyze(&opts)
@@ -170,6 +181,7 @@ fn run() -> Result<(String, i32), String> {
             let cache_dir = take_value(&mut args, "--cache-dir")?;
             let no_cache = take_flag(&mut args, "--no-cache");
             let server = take_flag(&mut args, "--server");
+            let trace_out = take_value(&mut args, "--trace-out")?;
             let programs_dir = match args.as_slice() {
                 [] => None,
                 [dir] => Some(dir.clone()),
@@ -183,6 +195,7 @@ fn run() -> Result<(String, i32), String> {
                 cache_dir,
                 no_cache,
                 server,
+                trace_out,
             })
             .map_err(|e| e.to_string())
         }
@@ -211,6 +224,16 @@ fn run() -> Result<(String, i32), String> {
                 Some(v) => Some(chora_cli::serve::parse_max_age(&v)?),
             };
             let quiet = take_flag(&mut args, "--quiet");
+            let log_format = match take_value(&mut args, "--log-format")? {
+                None => chora_server::LogFormat::Text,
+                Some(v) => v.parse::<chora_server::LogFormat>()?,
+            };
+            let slow_request_ms = match take_value(&mut args, "--slow-request-ms")? {
+                None => None,
+                Some(v) => Some(v.parse::<f64>().map_err(|_| {
+                    format!("--slow-request-ms expects a number of milliseconds, got `{v}`")
+                })?),
+            };
             if !args.is_empty() {
                 return Err(format!("unexpected arguments: {}", args.join(" ")));
             }
@@ -221,6 +244,8 @@ fn run() -> Result<(String, i32), String> {
                 cache_cap_bytes,
                 cache_max_age,
                 quiet,
+                log_format,
+                slow_request_ms,
             })
             .map_err(|e| e.to_string())
         }

@@ -30,9 +30,18 @@ use chora_ir::{Fingerprint, Program};
 use chora_server::client::Client;
 use chora_server::http::{encode_query_component, json_string};
 use chora_server::router::Endpoint;
-use chora_server::{AnalysisBackend, ServerConfig, ServerHandle};
-use std::sync::Arc;
+use chora_server::{AnalysisBackend, LogFormat, ServerConfig, ServerHandle};
+use chora_telemetry::metrics::registry;
+use chora_telemetry::trace;
+use std::cell::Cell;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+thread_local! {
+    /// How the most recent analysis request on this worker thread was
+    /// served, read (and reset) by the per-request log line.
+    static LAST_HIT: Cell<&'static str> = const { Cell::new("-") };
+}
 
 /// Byte budget of the parsed-program cache (source bytes retained; the
 /// programs themselves are a small multiple of that).
@@ -61,6 +70,11 @@ pub struct ServeOptions {
     pub cache_max_age: Option<Duration>,
     /// Suppress per-request logging (`--quiet`).
     pub quiet: bool,
+    /// Request log line shape (`--log-format text|json`).
+    pub log_format: LogFormat,
+    /// Log requests at or past this duration even under `--quiet`
+    /// (`--slow-request-ms`).
+    pub slow_request_ms: Option<f64>,
 }
 
 impl Default for ServeOptions {
@@ -72,6 +86,8 @@ impl Default for ServeOptions {
             cache_cap_bytes: None,
             cache_max_age: None,
             quiet: false,
+            log_format: LogFormat::Text,
+            slow_request_ms: None,
         }
     }
 }
@@ -154,6 +170,10 @@ impl AnalysisService {
             (None, true) => Some(Duration::from_secs(3600)),
             (None, false) => None,
         };
+        // Publish the always-live engine counters up front, so a freshly
+        // started daemon's /v1/metrics already lists every family.
+        chora_logic::stats::register_metrics();
+        chora_numeric::stats::register_metrics();
         Ok(AnalysisService {
             store: TieredStore::new(disk, config),
             parsed: ShardedLru::new(PARSE_CACHE_BYTES),
@@ -188,8 +208,10 @@ impl AnalysisService {
     ) -> Result<(Fingerprint, Arc<Program>), String> {
         let key = source_key(source);
         if let Some(program) = self.parsed.get(key) {
+            LAST_HIT.with(|hit| hit.set("parse-hit"));
             return Ok((key, program));
         }
+        LAST_HIT.with(|hit| hit.set("miss"));
         let program = Arc::new(parse_source(name, source).map_err(|e| e.to_string())?);
         self.parsed
             .put(key, Arc::clone(&program), source.len() as u64);
@@ -211,12 +233,37 @@ impl AnalysisService {
         let (src, program) = self.parse_cached(name, source)?;
         let key = response_key(endpoint.path(), query, src);
         if let Some(doc) = self.responses.get(key) {
+            LAST_HIT.with(|hit| hit.set("response-hit"));
             return Ok(doc.to_string());
         }
         let out = run(&program)?;
         self.responses
             .put(key, Arc::from(out.as_str()), out.len() as u64);
         Ok(out)
+    }
+
+    /// The `?trace=1` path: analyze under an exclusive trace session —
+    /// bypassing the response cache, which would hand back a document with
+    /// no (or a stale) trace — and splice the Chrome trace-event JSON into
+    /// the rendered document as a `"trace"` field.  Concurrent traced
+    /// requests serialize on a gate, since only one session records at a
+    /// time process-wide.
+    fn traced_response(
+        &self,
+        name: &str,
+        source: &str,
+        run: impl FnOnce(&Program) -> Result<String, String>,
+    ) -> Result<String, String> {
+        static TRACE_GATE: Mutex<()> = Mutex::new(());
+        let _gate = TRACE_GATE.lock().expect("trace gate");
+        let session = trace::start()
+            .ok_or_else(|| "another trace session is already recording".to_string())?;
+        let result = self
+            .parse_cached(name, source)
+            .and_then(|(_, program)| run(&program));
+        let captured = session.finish();
+        let out = result?;
+        Ok(splice_trace(&out, &captured.to_chrome_json()))
     }
 
     /// The name/value pairs `/v1/stats` renders under `"cache"`.
@@ -231,20 +278,36 @@ impl AnalysisService {
             ("age_evictions", c.age_evictions),
             ("corrupt_evictions", c.corrupt_evictions),
             ("disk_gc_removed", c.disk_gc_removed),
+            ("evicted_bytes", c.evicted_bytes),
             ("mem_entries", c.mem_entries),
             ("mem_bytes", c.mem_bytes),
         ]
     }
 }
 
+/// Splices a Chrome trace document into a rendered `--json` report as a
+/// top-level `"trace"` field (the report is a JSON object ending in `}`).
+fn splice_trace(doc: &str, trace_json: &str) -> String {
+    match doc.trim_end().strip_suffix('}') {
+        Some(head) => format!(
+            "{},\n  \"trace\": {trace_json}\n}}\n",
+            head.trim_end().trim_end_matches(',')
+        ),
+        None => doc.to_string(),
+    }
+}
+
 /// Builds the per-request [`FileOptions`] from the query string.  Unknown
-/// parameters are a 400, like unknown flags are a CLI error.
+/// parameters are a 400, like unknown flags are a CLI error.  The third
+/// element is the `trace=1` switch: record a span trace of this request
+/// and splice it into the response.
 fn file_options_from_query(
     query: &[(String, String)],
     default_jobs: usize,
     complexity: bool,
-) -> Result<(String, FileOptions), String> {
+) -> Result<(String, FileOptions, bool), String> {
     let mut name = "<request>".to_string();
+    let mut traced = false;
     let mut opts = FileOptions {
         json: true,
         jobs: default_jobs,
@@ -262,15 +325,22 @@ fn file_options_from_query(
             "proc" => opts.procedure = Some(value.clone()),
             "cost" if complexity => opts.cost_var = Some(value.clone()),
             "size" if complexity => opts.size_param = Some(value.clone()),
+            "trace" => {
+                traced = match value.as_str() {
+                    "1" | "true" => true,
+                    "0" | "false" => false,
+                    other => return Err(format!("`trace` expects 1 or 0, got `{other}`")),
+                }
+            }
             other => {
                 return Err(format!(
-                    "unknown query parameter `{other}` (expected file, jobs, proc{})",
+                    "unknown query parameter `{other}` (expected file, jobs, proc, trace{})",
                     if complexity { ", cost, size" } else { "" }
                 ))
             }
         }
     }
-    Ok((name, opts))
+    Ok((name, opts, traced))
 }
 
 /// One parsed element of a `/v1/batch` request body.
@@ -350,8 +420,8 @@ fn frame_batch(rendered: Vec<String>) -> String {
 
 impl AnalysisBackend for AnalysisService {
     fn analyze(&self, query: &[(String, String)], source: &str) -> Result<String, String> {
-        let (name, opts) = file_options_from_query(query, self.analysis_jobs, false)?;
-        self.cached_response(Endpoint::Analyze, query, &name, source, |program| {
+        let (name, opts, traced) = file_options_from_query(query, self.analysis_jobs, false)?;
+        let run = |program: &Program| {
             analyze_program(
                 &name,
                 program,
@@ -360,12 +430,16 @@ impl AnalysisBackend for AnalysisService {
             )
             .map(|(out, _exit, _stats)| out)
             .map_err(|e| e.to_string())
-        })
+        };
+        if traced {
+            return self.traced_response(&name, source, run);
+        }
+        self.cached_response(Endpoint::Analyze, query, &name, source, run)
     }
 
     fn complexity(&self, query: &[(String, String)], source: &str) -> Result<String, String> {
-        let (name, opts) = file_options_from_query(query, self.analysis_jobs, true)?;
-        self.cached_response(Endpoint::Complexity, query, &name, source, |program| {
+        let (name, opts, traced) = file_options_from_query(query, self.analysis_jobs, true)?;
+        let run = |program: &Program| {
             complexity_program(
                 &name,
                 program,
@@ -374,7 +448,11 @@ impl AnalysisBackend for AnalysisService {
             )
             .map(|(out, _exit, _stats)| out)
             .map_err(|e| e.to_string())
-        })
+        };
+        if traced {
+            return self.traced_response(&name, source, run);
+        }
+        self.cached_response(Endpoint::Complexity, query, &name, source, run)
     }
 
     /// `POST /v1/batch`: a JSON array of programs, analyzed in one call to
@@ -496,9 +574,8 @@ impl AnalysisBackend for AnalysisService {
     }
 
     fn fm_counters(&self) -> Vec<(&'static str, u64)> {
-        // Live process-wide counters from the projection engine (the CLI
-        // binary builds `chora-logic` with the `stats` feature through its
-        // `chora-bench` dependency).
+        // Live process-wide counters from the projection engine (relaxed
+        // atomics, always compiled).
         let fm = chora_logic::stats::snapshot();
         vec![
             ("rows_generated", fm.rows_generated),
@@ -516,6 +593,90 @@ impl AnalysisBackend for AnalysisService {
 
     fn maintenance_interval(&self) -> Option<Duration> {
         self.maintenance
+    }
+
+    /// Publishes the service's cache counters into the telemetry registry
+    /// so `/v1/metrics` exposes them alongside the always-live FM, numeric,
+    /// and scheduler series.  Counters are *copied* at render time (the
+    /// store aggregates across tiers on read, so there is no single static
+    /// cell to borrow).
+    fn sync_metrics(&self) {
+        let c = self.store.counters();
+        let reg = registry();
+        let counters: [(&'static str, &'static str, u64); 11] = [
+            (
+                "chora_cache_mem_hits_total",
+                "Summary loads served by the memory tier.",
+                c.mem_hits,
+            ),
+            (
+                "chora_cache_disk_hits_total",
+                "Summary loads served by the disk tier.",
+                c.disk_hits,
+            ),
+            (
+                "chora_cache_misses_total",
+                "Summary loads answered by neither tier.",
+                c.misses,
+            ),
+            (
+                "chora_cache_stores_total",
+                "Summary entries written to the store.",
+                c.stores,
+            ),
+            (
+                "chora_cache_evictions_total",
+                "Store entries evicted for any reason (LRU, age, corruption, GC).",
+                c.lru_evictions + c.age_evictions + c.corrupt_evictions + c.disk_gc_removed,
+            ),
+            (
+                "chora_cache_evicted_bytes_total",
+                "Bytes removed from the store for any reason.",
+                c.evicted_bytes,
+            ),
+            (
+                "chora_parse_cache_hits_total",
+                "Parsed-program cache hits.",
+                self.parsed.hits(),
+            ),
+            (
+                "chora_parse_cache_misses_total",
+                "Parsed-program cache misses.",
+                self.parsed.misses(),
+            ),
+            (
+                "chora_response_cache_hits_total",
+                "Rendered-response cache hits.",
+                self.responses.hits(),
+            ),
+            (
+                "chora_response_cache_misses_total",
+                "Rendered-response cache misses.",
+                self.responses.misses(),
+            ),
+            (
+                "chora_cache_disk_probes_total",
+                "Disk-tier probes after memory-tier misses.",
+                c.disk_probes,
+            ),
+        ];
+        for (name, help, value) in counters {
+            reg.counter(name, help).store(value);
+        }
+        reg.gauge(
+            "chora_cache_mem_entries",
+            "Entries currently resident in the memory tier.",
+        )
+        .set(c.mem_entries);
+        reg.gauge(
+            "chora_cache_mem_bytes",
+            "Serialized bytes currently held by the memory tier.",
+        )
+        .set(c.mem_bytes);
+    }
+
+    fn last_hit_class(&self) -> &'static str {
+        LAST_HIT.with(|hit| hit.replace("-"))
     }
 }
 
@@ -538,6 +699,8 @@ pub fn serve(opts: &ServeOptions) -> Result<(String, i32), CliError> {
         workers: effective_workers(opts.jobs),
         quiet: opts.quiet,
         handle_signals: true,
+        log_format: opts.log_format,
+        slow_request_ms: opts.slow_request_ms,
         ..ServerConfig::default()
     };
     chora_server::run(config, service)
@@ -554,6 +717,8 @@ pub fn spawn_server(opts: &ServeOptions) -> Result<(ServerHandle, Arc<AnalysisSe
         workers: effective_workers(opts.jobs),
         quiet: opts.quiet,
         handle_signals: false,
+        log_format: opts.log_format,
+        slow_request_ms: opts.slow_request_ms,
         ..ServerConfig::default()
     };
     let handle = chora_server::spawn(config, Arc::clone(&service) as Arc<dyn AnalysisBackend>)
@@ -891,12 +1056,17 @@ mod tests {
                 .map(|(k, v)| (k.to_string(), v.to_string()))
                 .collect::<Vec<_>>()
         };
-        let (name, opts) =
+        let (name, opts, traced) =
             file_options_from_query(&q(&[("file", "x.imp"), ("jobs", "4")]), 1, false)
                 .expect("valid");
         assert_eq!(name, "x.imp");
         assert_eq!(opts.jobs, 4);
         assert!(opts.json);
+        assert!(!traced);
+        let (_, _, traced) =
+            file_options_from_query(&q(&[("trace", "1")]), 1, false).expect("traced");
+        assert!(traced);
+        assert!(file_options_from_query(&q(&[("trace", "maybe")]), 1, false).is_err());
         assert!(file_options_from_query(&q(&[("bogus", "1")]), 1, false).is_err());
         // cost/size only exist on the complexity endpoint.
         assert!(file_options_from_query(&q(&[("cost", "c")]), 1, false).is_err());

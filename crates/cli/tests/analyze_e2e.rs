@@ -133,6 +133,60 @@ fn analyze_output_is_independent_of_jobs_and_matches_the_golden() {
 }
 
 #[test]
+fn trace_out_records_every_phase_without_perturbing_output() {
+    // One test covers the whole tracing contract (the recording session is
+    // process-global, so splitting it across parallel #[test]s would race):
+    // the Chrome trace has at least one span per analysis phase and at least
+    // one scheduler lane, and stdout stays byte-identical with tracing on
+    // and off for both a serial and a parallel run.
+    let dir = std::env::temp_dir().join("chora-trace-e2e-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for jobs in [1usize, 8] {
+        let trace_path = dir.join(format!("hanoi-jobs{jobs}.trace.json"));
+        let plain = FileOptions {
+            jobs,
+            quiet: true,
+            ..file_opts("hanoi.imp", true)
+        };
+        let traced = FileOptions {
+            trace_out: Some(trace_path.display().to_string()),
+            ..plain.clone()
+        };
+        let (untraced_out, _) = analyze(&plain).expect("analysis runs");
+        let (traced_out, _) = analyze(&traced).expect("traced analysis runs");
+        assert_eq!(
+            strip_timing(untraced_out),
+            strip_timing(traced_out),
+            "--trace-out must not perturb the analysis document (jobs={jobs})"
+        );
+
+        let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+        assert!(
+            trace.starts_with('{') && trace.contains("\"traceEvents\""),
+            "expected Chrome trace-event JSON, got:\n{trace}"
+        );
+        for phase in ["parse", "summarize", "height", "depth", "check"] {
+            assert!(
+                trace.contains(&format!("\"name\":\"{phase}\"")),
+                "jobs={jobs}: expected a `{phase}` span in the trace"
+            );
+        }
+        assert!(
+            trace.contains("\"fm_project"),
+            "jobs={jobs}: expected FM projection spans"
+        );
+        assert!(
+            trace.contains("recurrence_solve"),
+            "jobs={jobs}: expected a recurrence-solver span"
+        );
+        assert!(
+            trace.contains("\"thread_name\""),
+            "jobs={jobs}: expected at least one lane metadata event"
+        );
+    }
+}
+
+#[test]
 fn bench_times_programs_directory() {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../../examples/programs")

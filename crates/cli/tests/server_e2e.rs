@@ -499,6 +499,89 @@ fn shutdown_drains_in_flight_requests() {
 }
 
 #[test]
+fn metrics_stats_and_traced_requests_expose_the_telemetry_surface() {
+    let (handle, _service) = daemon(ServeOptions::default());
+    let addr = handle.addr().to_string();
+    let file = example("fib.imp");
+    let (status, _) = post_analyze(&addr, &file, "");
+    assert_eq!(status, 200);
+
+    // /v1/metrics speaks the Prometheus text format: HELP/TYPE comments,
+    // then `name{labels} value` samples, including the request counters the
+    // analyze call above just bumped.
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(b"GET /v1/metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .expect("write");
+    let mut raw = String::new();
+    let _ = stream.read_to_string(&mut raw);
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    assert!(
+        raw.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+        "metrics must use the Prometheus content type: {raw}"
+    );
+    let body = raw.split("\r\n\r\n").nth(1).expect("metrics body");
+    for needle in [
+        "# HELP chora_http_requests_total",
+        "# TYPE chora_http_requests_total counter",
+        "chora_http_requests_total{endpoint=\"/v1/analyze\",class=\"2xx\"}",
+        "chora_analyses_total",
+        "chora_fm_rows_generated_total",
+        "chora_process_start_time_ms",
+    ] {
+        assert!(body.contains(needle), "missing `{needle}` in:\n{body}");
+    }
+    for line in body
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let value = line.rsplit(' ').next().expect("sample value");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample line: {line}"
+        );
+    }
+
+    // /v1/stats carries the new lifecycle fields alongside the counters.
+    let (status, stats) = one_shot(&addr, "GET", "/v1/stats", None).expect("stats");
+    assert_eq!(status, 200, "{stats}");
+    for field in ["\"started_unix_ms\": ", "\"gc\": ", "\"evicted_bytes\": "] {
+        assert!(stats.contains(field), "missing {field} in:\n{stats}");
+    }
+
+    // ?trace=1 splices a Chrome trace into the document without perturbing
+    // the analysis content.  A program the daemon has not seen yet runs
+    // cold, so the trace records the real phase spans; the traced response
+    // bypasses the response cache in both directions, so the plain repeat
+    // that follows is trace-free.
+    let fresh = example("hanoi.imp");
+    let (status, traced) = post_analyze(&addr, &fresh, "&trace=1");
+    assert_eq!(status, 200, "{traced}");
+    assert!(traced.contains("\"trace\": {\"traceEvents\":["), "{traced}");
+    assert!(traced.contains("\"name\":\"summarize\""), "{traced}");
+    let (status, plain) = post_analyze(&addr, &fresh, "");
+    assert_eq!(status, 200);
+    assert!(
+        !plain.contains("\"traceEvents\""),
+        "a traced document must never be cached: {plain}"
+    );
+    let strip_trace = |doc: &str| {
+        strip_timing(doc)
+            .lines()
+            .filter(|l| !l.contains("\"trace\": "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip_trace(&traced).replace(",\n", "\n"),
+        strip_trace(&plain).replace(",\n", "\n"),
+        "the traced document must carry the same analysis content"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn a_byte_capped_store_evicts_without_ever_corrupting_a_response() {
     let dir = scratch("capped");
     // A cap far below the working set (4 programs ≈ several KiB of

@@ -28,7 +28,9 @@ use chora_ir::{
     Program, Stmt,
 };
 use chora_logic::{Atom, Polyhedron, TransitionFormula};
+use chora_telemetry::trace;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Analysis configuration (used for ablation experiments).
@@ -259,8 +261,10 @@ impl Analyzer {
             .map(|&program| {
                 let callgraph = CallGraph::build(program);
                 let levels = callgraph.component_levels();
-                let keys = store
-                    .map(|_| level_keys(program, &callgraph, &levels, self.cache_salt(program)));
+                let keys = store.map(|_| {
+                    let _span = trace::span("phase", "fingerprint");
+                    level_keys(program, &callgraph, &levels, self.cache_salt(program))
+                });
                 // This run's component-key <-> scope assignment, in the same
                 // flattened bottom-up order in which scopes are handed out
                 // below.  Loads use it to rescope restored fresh symbols into
@@ -358,10 +362,15 @@ impl Analyzer {
             Task::Component { p, level, index } => {
                 let run = &runs_ref[p];
                 let component = &run.levels[level][index];
+                let _task_span = trace::span_with("task", || match component.members.as_slice() {
+                    [one] => format!("component {one}"),
+                    members => format!("component {} (+{})", members[0], members.len() - 1),
+                });
                 let output = 'output: {
                     if let (Some(store), Some(keys), Some(run_scopes)) =
                         (store, &run.keys, &run.run_scopes)
                     {
+                        let _load_span = trace::span("cache", "cache_load");
                         let hit = store
                             .load(&keys[level][index], run_scopes)
                             .filter(|summaries| {
@@ -391,6 +400,10 @@ impl Analyzer {
             }
             Task::Assert { p, proc_index } => {
                 let run = &runs_ref[p];
+                let _task_span = trace::span_with("task", || {
+                    format!("assert {}", run.program.procedures[proc_index].name)
+                });
+                let _check_span = trace::span("phase", "check");
                 let started = Instant::now();
                 let proc = &run.program.procedures[proc_index];
                 let fresh = FreshSource::new(run.assert_scope_base + proc_index as u32);
@@ -429,6 +442,7 @@ impl Analyzer {
                         if let (Some(store), Some(keys), Some(run_scopes)) =
                             (store, &run.keys, &run.run_scopes)
                         {
+                            let _store_span = trace::span("cache", "cache_store");
                             store.store(&keys[level][index], &output.summaries, run_scopes);
                         }
                     }
@@ -442,6 +456,12 @@ impl Analyzer {
                 }
                 _ => unreachable!("task and output kinds are built in lockstep"),
             }
+        }
+        let metrics = analysis_metrics();
+        metrics.analyses.add(runs.len() as u64);
+        for run in &runs {
+            metrics.cache_hits.add(run.result.cache.hits);
+            metrics.cache_misses.add(run.result.cache.misses);
         }
         let evictions = store.map_or(0, |s| s.evictions().saturating_sub(evictions_before));
         let gc_evictions =
@@ -487,6 +507,7 @@ impl Analyzer {
         component: &Component,
         scope: u32,
     ) -> ComponentOutput {
+        let _span = trace::span("phase", "summarize");
         let started = Instant::now();
         let fresh = FreshSource::new(scope);
         let mut out = Vec::new();
@@ -512,7 +533,10 @@ impl Analyzer {
             };
         }
         let solve_started = Instant::now();
-        let height = analyze_scc(summarizer, &component.members, &fresh);
+        let height = {
+            let _span = trace::span("phase", "height");
+            analyze_scc(summarizer, &component.members, &fresh)
+        };
         let mut solve_ms = solve_started.elapsed().as_secs_f64() * 1e3;
         for name in &component.members {
             let Some(proc) = program.procedure(name) else {
@@ -520,6 +544,7 @@ impl Analyzer {
             };
             let depth_started = Instant::now();
             let depth = if self.config.enable_depth_bounds {
+                let _span = trace::span("phase", "depth");
                 depth_bound(summarizer, proc, &component.members, &fresh)
             } else {
                 None
@@ -798,6 +823,44 @@ enum TaskOutput {
     },
 }
 
+/// Process-wide analysis/scheduler metrics, registered with the telemetry
+/// registry on first use.  These are *global* cumulative counters (the
+/// per-run numbers stay on [`AnalysisResult`]); bumps happen once per task
+/// or per run, far off any hot path.
+struct AnalysisMetrics {
+    analyses: &'static chora_telemetry::metrics::Counter,
+    cache_hits: &'static chora_telemetry::metrics::Counter,
+    cache_misses: &'static chora_telemetry::metrics::Counter,
+    tasks: &'static chora_telemetry::metrics::Counter,
+    queue_wait: &'static chora_telemetry::metrics::Histogram,
+}
+
+fn analysis_metrics() -> &'static AnalysisMetrics {
+    static METRICS: OnceLock<AnalysisMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = chora_telemetry::metrics::registry();
+        AnalysisMetrics {
+            analyses: registry.counter("chora_analyses_total", "Programs analyzed."),
+            cache_hits: registry.counter(
+                "chora_analysis_cache_hits_total",
+                "Components restored from the summary cache.",
+            ),
+            cache_misses: registry.counter(
+                "chora_analysis_cache_misses_total",
+                "Components summarized from scratch against a configured store.",
+            ),
+            tasks: registry.counter(
+                "chora_scheduler_tasks_total",
+                "Scheduler tasks executed (component summarizations and assertion passes).",
+            ),
+            queue_wait: registry.histogram(
+                "chora_scheduler_queue_wait_ms",
+                "Time tasks spent in the ready queue before a worker picked them up.",
+            ),
+        }
+    })
+}
+
 /// Runs tasks `0..dep_count.len()` on up to `jobs` scoped worker threads,
 /// releasing each task only after all its dependencies finished, and returns
 /// the results in task-id order.
@@ -827,69 +890,109 @@ where
     F: Fn(usize) -> T + Sync,
 {
     use std::collections::VecDeque;
-    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-    use std::sync::{Condvar, Mutex, OnceLock};
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex};
 
     let n = dep_count.len();
+    let metrics = analysis_metrics();
+    metrics.tasks.add(n as u64);
     if jobs <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        // Sequential: the caller's thread is the only lane; tasks never
+        // wait in a queue.
+        return (0..n)
+            .map(|t| {
+                let _task = trace::task_scope(t as u64, 0);
+                f(t)
+            })
+            .collect();
     }
     let workers = jobs.min(n);
     let slots: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
     let counts: Vec<AtomicUsize> = dep_count.into_iter().map(AtomicUsize::new).collect();
-    let ready: Mutex<VecDeque<usize>> = Mutex::new(
-        counts
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.load(Ordering::Relaxed) == 0)
-            .map(|(t, _)| t)
-            .collect(),
-    );
+    // When each task entered the ready queue (trace-epoch ns), so the pop
+    // side can report queue-wait per task — to the `queue_wait` histogram
+    // always, and onto the task's trace span when a session is recording.
+    let enqueue_ns: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let seeds: VecDeque<usize> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.load(Ordering::Relaxed) == 0)
+        .map(|(t, _)| t)
+        .collect();
+    let seed_ns = trace::now_ns();
+    for &t in &seeds {
+        enqueue_ns[t].store(seed_ns, Ordering::Relaxed);
+    }
+    let ready: Mutex<VecDeque<usize>> = Mutex::new(seeds);
     let available = Condvar::new();
     let done = AtomicUsize::new(0);
     let poisoned = AtomicBool::new(false);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let task = {
+        let slots = &slots;
+        let counts = &counts;
+        let enqueue_ns = &enqueue_ns;
+        let ready = &ready;
+        let available = &available;
+        let done = &done;
+        let poisoned = &poisoned;
+        let f = &f;
+        for w in 0..workers {
+            scope.spawn(move || {
+                trace::claim_lane(&format!("worker-{w}"));
+                loop {
+                    let task = {
+                        let mut queue = ready.lock().expect("scheduler queue lock");
+                        loop {
+                            if poisoned.load(Ordering::Relaxed) {
+                                break None;
+                            }
+                            if let Some(t) = queue.pop_front() {
+                                break Some(t);
+                            }
+                            if done.load(Ordering::Acquire) == n {
+                                break None;
+                            }
+                            queue = available.wait(queue).expect("scheduler queue lock");
+                        }
+                    };
+                    let Some(t) = task else { return };
+                    let wait_ns =
+                        trace::now_ns().saturating_sub(enqueue_ns[t].load(Ordering::Relaxed));
+                    metrics.queue_wait.observe_ms(wait_ns as f64 / 1e6);
+                    let value = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let _task = trace::task_scope(t as u64, wait_ns);
+                        f(t)
+                    })) {
+                        Ok(value) => value,
+                        Err(payload) => {
+                            poisoned.store(true, Ordering::Relaxed);
+                            drop(ready.lock());
+                            available.notify_all();
+                            std::panic::resume_unwind(payload);
+                        }
+                    };
+                    let _ = slots[t].set(value);
+                    let newly_ready: Vec<usize> = dependents[t]
+                        .iter()
+                        .filter(|&&d| counts[d].fetch_sub(1, Ordering::AcqRel) == 1)
+                        .copied()
+                        .collect();
+                    if !newly_ready.is_empty() {
+                        let now = trace::now_ns();
+                        for &d in &newly_ready {
+                            enqueue_ns[d].store(now, Ordering::Relaxed);
+                        }
+                    }
+                    // Publish under the lock so a worker between its
+                    // queue/done check and its `wait` cannot miss the
+                    // wake-up.
                     let mut queue = ready.lock().expect("scheduler queue lock");
-                    loop {
-                        if poisoned.load(Ordering::Relaxed) {
-                            break None;
-                        }
-                        if let Some(t) = queue.pop_front() {
-                            break Some(t);
-                        }
-                        if done.load(Ordering::Acquire) == n {
-                            break None;
-                        }
-                        queue = available.wait(queue).expect("scheduler queue lock");
-                    }
-                };
-                let Some(t) = task else { return };
-                let value = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(t))) {
-                    Ok(value) => value,
-                    Err(payload) => {
-                        poisoned.store(true, Ordering::Relaxed);
-                        drop(ready.lock());
+                    queue.extend(newly_ready.iter().copied());
+                    let finished = done.fetch_add(1, Ordering::AcqRel) + 1 == n;
+                    drop(queue);
+                    if finished || !newly_ready.is_empty() {
                         available.notify_all();
-                        std::panic::resume_unwind(payload);
                     }
-                };
-                let _ = slots[t].set(value);
-                let newly_ready: Vec<usize> = dependents[t]
-                    .iter()
-                    .filter(|&&d| counts[d].fetch_sub(1, Ordering::AcqRel) == 1)
-                    .copied()
-                    .collect();
-                // Publish under the lock so a worker between its queue/done
-                // check and its `wait` cannot miss the wake-up.
-                let mut queue = ready.lock().expect("scheduler queue lock");
-                queue.extend(newly_ready.iter().copied());
-                let finished = done.fetch_add(1, Ordering::AcqRel) + 1 == n;
-                drop(queue);
-                if finished || !newly_ready.is_empty() {
-                    available.notify_all();
                 }
             });
         }

@@ -185,6 +185,7 @@ pub struct DiskStore {
     dir: PathBuf,
     evicted: AtomicU64,
     gc_removed: AtomicU64,
+    removed_bytes: AtomicU64,
 }
 
 impl DiskStore {
@@ -218,6 +219,7 @@ impl DiskStore {
             dir,
             evicted: AtomicU64::new(0),
             gc_removed: AtomicU64::new(0),
+            removed_bytes: AtomicU64::new(0),
         })
     }
 
@@ -259,6 +261,8 @@ impl DiskStore {
                 // Corrupt or stale: evict, never fail.
                 let _ = std::fs::remove_file(&path);
                 self.evicted.fetch_add(1, Ordering::Relaxed);
+                self.removed_bytes
+                    .fetch_add(text.len() as u64, Ordering::Relaxed);
                 None
             }
         }
@@ -291,9 +295,19 @@ impl DiskStore {
     /// Removes the entry under `key` (a GC deletion, not a corruption
     /// eviction).  Racing readers see a miss; racing writers re-create it.
     pub fn remove(&self, key: &Fingerprint) {
-        if std::fs::remove_file(self.entry_path(key)).is_ok() {
+        let path = self.entry_path(key);
+        let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        if std::fs::remove_file(path).is_ok() {
             self.gc_removed.fetch_add(1, Ordering::Relaxed);
+            self.removed_bytes.fetch_add(size, Ordering::Relaxed);
         }
+    }
+
+    /// Total bytes this store has deleted — corruption evictions, explicit
+    /// removals, and GC passes combined (the operational "how much has the
+    /// cache churned" number surfaced by `/v1/stats`).
+    pub fn removed_bytes(&self) -> u64 {
+        self.removed_bytes.load(Ordering::Relaxed)
     }
 
     /// Total bytes currently held by cache entries.
@@ -351,6 +365,7 @@ impl DiskStore {
             if max_age.is_some_and(|limit| age > limit) {
                 if std::fs::remove_file(&path).is_ok() {
                     removed += 1;
+                    self.removed_bytes.fetch_add(meta.len(), Ordering::Relaxed);
                 }
                 continue;
             }
@@ -367,6 +382,7 @@ impl DiskStore {
                 if std::fs::remove_file(&path).is_ok() {
                     removed += 1;
                     total = total.saturating_sub(size);
+                    self.removed_bytes.fetch_add(size, Ordering::Relaxed);
                 }
             }
         }
@@ -464,6 +480,9 @@ pub struct TierCounters {
     pub corrupt_evictions: u64,
     /// Disk entries removed by [`TieredStore::gc`] passes.
     pub disk_gc_removed: u64,
+    /// Total bytes removed from either tier, for any reason (LRU or age
+    /// pressure, corruption, GC) — the churn number `/v1/stats` reports.
+    pub evicted_bytes: u64,
     /// Current number of entries in the memory tier.
     pub mem_entries: u64,
     /// Current serialized bytes held by the memory tier.
@@ -497,6 +516,7 @@ pub struct TieredStore {
     lru_evictions: AtomicU64,
     age_evictions: AtomicU64,
     corrupt_evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
 }
 
 impl TieredStore {
@@ -515,6 +535,7 @@ impl TieredStore {
             lru_evictions: AtomicU64::new(0),
             age_evictions: AtomicU64::new(0),
             corrupt_evictions: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
         }
     }
 
@@ -554,6 +575,8 @@ impl TieredStore {
             corrupt_evictions: self.corrupt_evictions.load(Ordering::Relaxed)
                 + self.disk.as_ref().map_or(0, |d| d.evictions()),
             disk_gc_removed: self.disk.as_ref().map_or(0, |d| d.gc_evictions()),
+            evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed)
+                + self.disk.as_ref().map_or(0, |d| d.removed_bytes()),
             mem_entries,
             mem_bytes,
         }
@@ -577,6 +600,8 @@ impl TieredStore {
                     if let Some(entry) = shard.map.remove(&key) {
                         shard.bytes = shard.bytes.saturating_sub(entry.text.len() as u64);
                         self.age_evictions.fetch_add(1, Ordering::Relaxed);
+                        self.evicted_bytes
+                            .fetch_add(entry.text.len() as u64, Ordering::Relaxed);
                     }
                 }
             }
@@ -640,6 +665,8 @@ impl TieredStore {
                 if let Some(entry) = shard.map.remove(&victim) {
                     shard.bytes = shard.bytes.saturating_sub(entry.text.len() as u64);
                     self.lru_evictions.fetch_add(1, Ordering::Relaxed);
+                    self.evicted_bytes
+                        .fetch_add(entry.text.len() as u64, Ordering::Relaxed);
                 }
             }
         }
@@ -663,6 +690,8 @@ impl TieredStore {
             if let Some(entry) = shard.map.remove(key) {
                 shard.bytes = shard.bytes.saturating_sub(entry.text.len() as u64);
                 self.age_evictions.fetch_add(1, Ordering::Relaxed);
+                self.evicted_bytes
+                    .fetch_add(entry.text.len() as u64, Ordering::Relaxed);
             }
             return None;
         }
@@ -681,6 +710,8 @@ impl TieredStore {
                 if let Some(entry) = shard.map.remove(key) {
                     shard.bytes = shard.bytes.saturating_sub(entry.text.len() as u64);
                     self.corrupt_evictions.fetch_add(1, Ordering::Relaxed);
+                    self.evicted_bytes
+                        .fetch_add(entry.text.len() as u64, Ordering::Relaxed);
                 }
                 None
             }

@@ -245,6 +245,7 @@ impl Polyhedron {
     /// `keep` (non-linear monomials are kept only if all their factors are
     /// kept) and over-approximates the original polyhedron.
     pub fn project_onto(&self, keep: &BTreeSet<Symbol>) -> Polyhedron {
+        let _span = chora_telemetry::trace::span("fm", "fm_project");
         let pre = self.substitute_defined_symbols(|s| !keep.contains(s));
         match Linearized::new(&pre.atoms) {
             None => Polyhedron::contradiction(),
@@ -257,6 +258,7 @@ impl Polyhedron {
     /// Eliminates the given symbols (existential quantification), keeping
     /// everything else.
     pub fn eliminate(&self, drop: &BTreeSet<Symbol>) -> Polyhedron {
+        let _span = chora_telemetry::trace::span("fm", "fm_eliminate");
         let pre = self.substitute_defined_symbols(|s| drop.contains(s));
         match Linearized::new(&pre.atoms) {
             None => Polyhedron::contradiction(),

@@ -1,16 +1,19 @@
 //! Instrumentation for the Fourier–Motzkin projection engine.
 //!
-//! Compiled to no-ops unless the `stats` cargo feature is enabled (the bench
-//! harness turns it on, and the CLI binary inherits it through
-//! `chora-bench`): with the feature, the projection pass in
-//! [`crate::Polyhedron`] counts every combined row it produces and every row
-//! the redundancy-control layers discard — hash-cons dedup, quasi-syntactic
-//! domination, Imbert's acceleration — plus the early-unsat exits and the
-//! widest intermediate system any elimination step produced.  The counters
-//! are process-wide relaxed atomics, mirroring `chora_numeric::stats`.
+//! Always compiled (the former `stats` cargo feature is gone): the
+//! projection pass in [`crate::Polyhedron`] counts every combined row it
+//! produces and every row the redundancy-control layers discard —
+//! hash-cons dedup, quasi-syntactic domination, Imbert's acceleration —
+//! plus the early-unsat exits and the widest intermediate system any
+//! elimination step produced.  The counters are process-wide relaxed
+//! atomics, mirroring `chora_numeric::stats`, and [`register_metrics`]
+//! publishes the same cells into the [`chora_telemetry::metrics`] registry
+//! as `chora_fm_*` series for the `/v1/metrics` scrape.
 
-/// A snapshot of the Fourier–Motzkin counters (all zero without the `stats`
-/// feature).
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
+
+/// A snapshot of the Fourier–Motzkin counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FmStats {
     /// Rows produced by pos×neg combination or equality substitution.
@@ -28,80 +31,87 @@ pub struct FmStats {
     pub max_width: u64,
 }
 
-#[cfg(feature = "stats")]
-mod imp {
-    use super::FmStats;
-    use std::sync::atomic::{AtomicU64, Ordering};
+pub(crate) static ROWS_GENERATED: AtomicU64 = AtomicU64::new(0);
+pub(crate) static ROWS_DEDUPED: AtomicU64 = AtomicU64::new(0);
+pub(crate) static ROWS_DOMINATED: AtomicU64 = AtomicU64::new(0);
+pub(crate) static IMBERT_SKIPPED: AtomicU64 = AtomicU64::new(0);
+pub(crate) static EARLY_UNSAT_EXITS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static MAX_WIDTH: AtomicU64 = AtomicU64::new(0);
 
-    pub(crate) static ROWS_GENERATED: AtomicU64 = AtomicU64::new(0);
-    pub(crate) static ROWS_DEDUPED: AtomicU64 = AtomicU64::new(0);
-    pub(crate) static ROWS_DOMINATED: AtomicU64 = AtomicU64::new(0);
-    pub(crate) static IMBERT_SKIPPED: AtomicU64 = AtomicU64::new(0);
-    pub(crate) static EARLY_UNSAT_EXITS: AtomicU64 = AtomicU64::new(0);
-    pub(crate) static MAX_WIDTH: AtomicU64 = AtomicU64::new(0);
-
-    /// Reads the current counter values.
-    pub fn snapshot() -> FmStats {
-        FmStats {
-            rows_generated: ROWS_GENERATED.load(Ordering::Relaxed),
-            rows_deduped: ROWS_DEDUPED.load(Ordering::Relaxed),
-            rows_dominated: ROWS_DOMINATED.load(Ordering::Relaxed),
-            imbert_skipped: IMBERT_SKIPPED.load(Ordering::Relaxed),
-            early_unsat_exits: EARLY_UNSAT_EXITS.load(Ordering::Relaxed),
-            max_width: MAX_WIDTH.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Zeroes all counters.
-    pub fn reset() {
-        ROWS_GENERATED.store(0, Ordering::Relaxed);
-        ROWS_DEDUPED.store(0, Ordering::Relaxed);
-        ROWS_DOMINATED.store(0, Ordering::Relaxed);
-        IMBERT_SKIPPED.store(0, Ordering::Relaxed);
-        EARLY_UNSAT_EXITS.store(0, Ordering::Relaxed);
-        MAX_WIDTH.store(0, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub(crate) fn record_width(width: u64) {
-        MAX_WIDTH.fetch_max(width, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+/// Reads the current counter values.
+pub fn snapshot() -> FmStats {
+    FmStats {
+        rows_generated: ROWS_GENERATED.load(Ordering::Relaxed),
+        rows_deduped: ROWS_DEDUPED.load(Ordering::Relaxed),
+        rows_dominated: ROWS_DOMINATED.load(Ordering::Relaxed),
+        imbert_skipped: IMBERT_SKIPPED.load(Ordering::Relaxed),
+        early_unsat_exits: EARLY_UNSAT_EXITS.load(Ordering::Relaxed),
+        max_width: MAX_WIDTH.load(Ordering::Relaxed),
     }
 }
 
-#[cfg(not(feature = "stats"))]
-mod imp {
-    use super::FmStats;
-
-    /// Reads the current counter values (always zero: `stats` feature off).
-    pub fn snapshot() -> FmStats {
-        FmStats::default()
-    }
-
-    /// Zeroes all counters (no-op: `stats` feature off).
-    pub fn reset() {}
-
-    #[inline(always)]
-    pub(crate) fn record_width(_width: u64) {}
+/// Zeroes all counters.
+pub fn reset() {
+    ROWS_GENERATED.store(0, Ordering::Relaxed);
+    ROWS_DEDUPED.store(0, Ordering::Relaxed);
+    ROWS_DOMINATED.store(0, Ordering::Relaxed);
+    IMBERT_SKIPPED.store(0, Ordering::Relaxed);
+    EARLY_UNSAT_EXITS.store(0, Ordering::Relaxed);
+    MAX_WIDTH.store(0, Ordering::Relaxed);
 }
 
-pub(crate) use imp::record_width;
-pub use imp::{reset, snapshot};
+#[inline]
+pub(crate) fn record_width(width: u64) {
+    MAX_WIDTH.fetch_max(width, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Publishes the counters into the process-wide metrics registry as
+/// `chora_fm_*` series.  Idempotent.
+pub fn register_metrics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let registry = chora_telemetry::metrics::registry();
+        registry.register_counter_static(
+            "chora_fm_rows_generated_total",
+            "FM rows produced by pos/neg combination or equality substitution.",
+            &ROWS_GENERATED,
+        );
+        registry.register_counter_static(
+            "chora_fm_rows_deduped_total",
+            "FM rows dropped because an identical row was already kept.",
+            &ROWS_DEDUPED,
+        );
+        registry.register_counter_static(
+            "chora_fm_rows_dominated_total",
+            "FM rows dropped or replaced by a parallel row with a tighter constant.",
+            &ROWS_DOMINATED,
+        );
+        registry.register_counter_static(
+            "chora_fm_imbert_skipped_total",
+            "FM combinations dropped by Kohler's ancestor/gone-set bound.",
+            &IMBERT_SKIPPED,
+        );
+        registry.register_counter_static(
+            "chora_fm_early_unsat_exits_total",
+            "FM projection passes abandoned early on a derived contradiction.",
+            &EARLY_UNSAT_EXITS,
+        );
+        registry.register_gauge_static(
+            "chora_fm_max_width",
+            "Largest live constraint count any FM elimination step produced.",
+            &MAX_WIDTH,
+        );
+    });
+}
 
 macro_rules! fm_stat {
     ($counter:ident) => {
-        #[cfg(feature = "stats")]
-        $crate::stats::imp_bump::bump(&$crate::stats::imp_bump::$counter);
+        $crate::stats::bump(&$crate::stats::$counter);
     };
 }
 pub(crate) use fm_stat;
-
-#[cfg(feature = "stats")]
-pub(crate) mod imp_bump {
-    pub(crate) use super::imp::{bump, EARLY_UNSAT_EXITS, IMBERT_SKIPPED};
-    pub(crate) use super::imp::{ROWS_DEDUPED, ROWS_DOMINATED, ROWS_GENERATED};
-}

@@ -1,20 +1,31 @@
 //! Small-path instrumentation for the numeric tower.
 //!
-//! Compiled to no-ops unless the `stats` cargo feature is enabled (the bench
-//! harness turns it on): with the feature, every [`crate::BigInt`] operation
-//! bumps a relaxed atomic counter recording whether it ran on the inline
-//! `i64` fast path or fell through to the limb-vector heap path, and the
-//! promote/demote transitions between the two representations are counted.
+//! Always compiled (the former `stats` cargo feature is gone): every
+//! [`crate::BigInt`] operation bumps a relaxed atomic counter recording
+//! whether it ran on the inline `i64` fast path or fell through to the
+//! limb-vector heap path, and the promote/demote transitions between the
+//! two representations are counted.  A relaxed `fetch_add` on an
+//! uncontended cache line is the entire cost — the micro_substrates bench
+//! records the tracing-layer overhead on the same workload and the
+//! counters themselves are below measurement noise (≤1%).
 //!
-//! The feature also exposes [`set_force_heap`], a process-wide switch that
-//! makes every constructor produce the heap representation and disables
-//! demotion — this is how the FM micro-benchmark measures the pre-fast-path
-//! ("everything heap-allocates") baseline on the *same* binary.  The flag is
-//! read on construction paths only; arithmetic dispatches on the operand
-//! representation, so heap-built values stay on the heap path throughout.
+//! The counters are the crate's own statics (the hot path never goes
+//! through a lookup); [`register_metrics`] publishes the same cells into
+//! the process-wide [`chora_telemetry::metrics`] registry so a
+//! `/v1/metrics` scrape renders them as `chora_numeric_*` series.
+//!
+//! [`set_force_heap`] is a process-wide switch that makes every
+//! constructor produce the heap representation and disables demotion —
+//! this is how the FM micro-benchmark measures the pre-fast-path
+//! ("everything heap-allocates") baseline on the *same* binary.  The flag
+//! is read on construction paths only; arithmetic dispatches on the
+//! operand representation, so heap-built values stay on the heap path
+//! throughout.
 
-/// A snapshot of the numeric-tower counters (all zero without the `stats`
-/// feature).
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Once;
+
+/// A snapshot of the numeric-tower counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NumericStats {
     /// `BigInt` operations completed entirely on the inline `i64` path.
@@ -31,93 +42,96 @@ pub struct NumericStats {
     pub rational_heap_ops: u64,
 }
 
-#[cfg(feature = "stats")]
-mod imp {
-    use super::NumericStats;
-    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+pub(crate) static SMALL_OPS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static HEAP_OPS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static PROMOTIONS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static DEMOTIONS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static RATIONAL_SMALL_OPS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static RATIONAL_HEAP_OPS: AtomicU64 = AtomicU64::new(0);
+static FORCE_HEAP: AtomicBool = AtomicBool::new(false);
 
-    pub(crate) static SMALL_OPS: AtomicU64 = AtomicU64::new(0);
-    pub(crate) static HEAP_OPS: AtomicU64 = AtomicU64::new(0);
-    pub(crate) static PROMOTIONS: AtomicU64 = AtomicU64::new(0);
-    pub(crate) static DEMOTIONS: AtomicU64 = AtomicU64::new(0);
-    pub(crate) static RATIONAL_SMALL_OPS: AtomicU64 = AtomicU64::new(0);
-    pub(crate) static RATIONAL_HEAP_OPS: AtomicU64 = AtomicU64::new(0);
-    static FORCE_HEAP: AtomicBool = AtomicBool::new(false);
-
-    /// Reads the current counter values.
-    pub fn snapshot() -> NumericStats {
-        NumericStats {
-            small_ops: SMALL_OPS.load(Ordering::Relaxed),
-            heap_ops: HEAP_OPS.load(Ordering::Relaxed),
-            promotions: PROMOTIONS.load(Ordering::Relaxed),
-            demotions: DEMOTIONS.load(Ordering::Relaxed),
-            rational_small_ops: RATIONAL_SMALL_OPS.load(Ordering::Relaxed),
-            rational_heap_ops: RATIONAL_HEAP_OPS.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Zeroes all counters.
-    pub fn reset() {
-        SMALL_OPS.store(0, Ordering::Relaxed);
-        HEAP_OPS.store(0, Ordering::Relaxed);
-        PROMOTIONS.store(0, Ordering::Relaxed);
-        DEMOTIONS.store(0, Ordering::Relaxed);
-        RATIONAL_SMALL_OPS.store(0, Ordering::Relaxed);
-        RATIONAL_HEAP_OPS.store(0, Ordering::Relaxed);
-    }
-
-    /// When `true`, constructors produce the heap representation and results
-    /// never demote — the benchmarking baseline.  Affects newly constructed
-    /// values only.
-    pub fn set_force_heap(on: bool) {
-        FORCE_HEAP.store(on, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub(crate) fn force_heap() -> bool {
-        FORCE_HEAP.load(Ordering::Relaxed)
-    }
-
-    #[inline]
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+/// Reads the current counter values.
+pub fn snapshot() -> NumericStats {
+    NumericStats {
+        small_ops: SMALL_OPS.load(Ordering::Relaxed),
+        heap_ops: HEAP_OPS.load(Ordering::Relaxed),
+        promotions: PROMOTIONS.load(Ordering::Relaxed),
+        demotions: DEMOTIONS.load(Ordering::Relaxed),
+        rational_small_ops: RATIONAL_SMALL_OPS.load(Ordering::Relaxed),
+        rational_heap_ops: RATIONAL_HEAP_OPS.load(Ordering::Relaxed),
     }
 }
 
-#[cfg(not(feature = "stats"))]
-mod imp {
-    use super::NumericStats;
-
-    /// Reads the current counter values (always zero: `stats` feature off).
-    pub fn snapshot() -> NumericStats {
-        NumericStats::default()
-    }
-
-    /// Zeroes all counters (no-op: `stats` feature off).
-    pub fn reset() {}
-
-    /// Selects the forced-heap baseline mode (no-op: `stats` feature off).
-    pub fn set_force_heap(_on: bool) {}
-
-    #[inline(always)]
-    pub(crate) fn force_heap() -> bool {
-        false
-    }
+/// Zeroes all counters.
+pub fn reset() {
+    SMALL_OPS.store(0, Ordering::Relaxed);
+    HEAP_OPS.store(0, Ordering::Relaxed);
+    PROMOTIONS.store(0, Ordering::Relaxed);
+    DEMOTIONS.store(0, Ordering::Relaxed);
+    RATIONAL_SMALL_OPS.store(0, Ordering::Relaxed);
+    RATIONAL_HEAP_OPS.store(0, Ordering::Relaxed);
 }
 
-pub(crate) use imp::force_heap;
-pub use imp::{reset, set_force_heap, snapshot};
+/// When `true`, constructors produce the heap representation and results
+/// never demote — the benchmarking baseline.  Affects newly constructed
+/// values only.
+pub fn set_force_heap(on: bool) {
+    FORCE_HEAP.store(on, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn force_heap() -> bool {
+    FORCE_HEAP.load(Ordering::Relaxed)
+}
+
+#[inline]
+pub(crate) fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Publishes the counters into the process-wide metrics registry as
+/// `chora_numeric_*` series.  Idempotent; the hot paths keep bumping the
+/// same statics whether or not anyone ever scrapes them.
+pub fn register_metrics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let registry = chora_telemetry::metrics::registry();
+        registry.register_counter_static(
+            "chora_numeric_small_ops_total",
+            "BigInt operations completed on the inline i64 fast path.",
+            &SMALL_OPS,
+        );
+        registry.register_counter_static(
+            "chora_numeric_heap_ops_total",
+            "BigInt operations that ran limb-vector code.",
+            &HEAP_OPS,
+        );
+        registry.register_counter_static(
+            "chora_numeric_promotions_total",
+            "Small-path results that overflowed i64 and promoted to the heap form.",
+            &PROMOTIONS,
+        );
+        registry.register_counter_static(
+            "chora_numeric_demotions_total",
+            "Heap-path results that fit i64 and demoted to the inline form.",
+            &DEMOTIONS,
+        );
+        registry.register_counter_static(
+            "chora_numeric_rational_small_ops_total",
+            "BigRational operations served by the eager i64 gcd fast path.",
+            &RATIONAL_SMALL_OPS,
+        );
+        registry.register_counter_static(
+            "chora_numeric_rational_heap_ops_total",
+            "BigRational operations that fell back to BigInt arithmetic.",
+            &RATIONAL_HEAP_OPS,
+        );
+    });
+}
 
 macro_rules! numeric_stat {
     ($counter:ident) => {
-        #[cfg(feature = "stats")]
-        $crate::stats::imp_bump::bump(&$crate::stats::imp_bump::$counter);
+        $crate::stats::bump(&$crate::stats::$counter);
     };
 }
 pub(crate) use numeric_stat;
-
-#[cfg(feature = "stats")]
-pub(crate) mod imp_bump {
-    pub(crate) use super::imp::{bump, DEMOTIONS, HEAP_OPS, PROMOTIONS, SMALL_OPS};
-    pub(crate) use super::imp::{RATIONAL_HEAP_OPS, RATIONAL_SMALL_OPS};
-}

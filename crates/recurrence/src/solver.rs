@@ -147,6 +147,7 @@ impl RecurrenceSystem {
     /// Returns a [`SolveError`] when the system is not stratified or a closed
     /// form cannot be verified.
     pub fn solve(&self) -> Result<Vec<SolvedBound>, SolveError> {
+        let _span = chora_telemetry::trace::span("solve", "recurrence_solve");
         let h = Symbol::height();
         // Index the equations and validate criteria 1 and 2.
         let mut eq_of: BTreeMap<usize, &RecEquation> = BTreeMap::new();

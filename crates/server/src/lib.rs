@@ -25,6 +25,7 @@
 //! | POST   | `/v1/complexity` | `.imp` src      | the `chora complexity --json` document |
 //! | GET    | `/v1/healthz`    | —               | `{"status": "ok", ...}`                |
 //! | GET    | `/v1/stats`      | —               | request timings + cache counters       |
+//! | GET    | `/v1/metrics`    | —               | Prometheus text exposition of the telemetry registry |
 //! | POST   | `/v1/shutdown`   | —               | `{"ok": true}`, then drain and exit    |
 //!
 //! Query parameters (`file`, `jobs`, `proc`, `cost`, `size`; `jobs` only
@@ -57,7 +58,7 @@ use pool::ThreadPool;
 use router::{route, Ctx};
 use stats::ServerStats;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -110,6 +111,40 @@ pub trait AnalysisBackend: Send + Sync + 'static {
     fn maintenance_interval(&self) -> Option<Duration> {
         None
     }
+
+    /// Publishes the backend's current counters into the process-wide
+    /// telemetry registry; called before `/v1/metrics` and `/v1/stats`
+    /// render.  The default does nothing.
+    fn sync_metrics(&self) {}
+
+    /// How the most recent request on *this thread* was served, for the
+    /// request log: e.g. `response-hit`, `parse-hit`, `miss`.  Backends
+    /// without request caches report `-`.
+    fn last_hit_class(&self) -> &'static str {
+        "-"
+    }
+}
+
+/// Shape of the per-request log line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LogFormat {
+    /// Human-oriented single line (the historical format).
+    #[default]
+    Text,
+    /// One JSON object per line, machine-parseable.
+    Json,
+}
+
+impl std::str::FromStr for LogFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<LogFormat, String> {
+        match s {
+            "text" => Ok(LogFormat::Text),
+            "json" => Ok(LogFormat::Json),
+            other => Err(format!("unknown log format `{other}` (expected text|json)")),
+        }
+    }
 }
 
 /// Daemon configuration (`chora serve` flags).
@@ -134,6 +169,12 @@ pub struct ServerConfig {
     /// Wall-clock allowed for one request head, counted from its first
     /// byte (slowloris guard; expiry is a 408).
     pub head_deadline: Duration,
+    /// Request log line shape (`--log-format text|json`).
+    pub log_format: LogFormat,
+    /// Requests at or above this duration are logged with a `slow` marker
+    /// — even under `quiet`, so a throttled log still surfaces outliers.
+    /// `None` disables the slow-request path.
+    pub slow_request_ms: Option<f64>,
 }
 
 impl Default for ServerConfig {
@@ -146,6 +187,8 @@ impl Default for ServerConfig {
             max_requests_per_conn: 1000,
             idle_timeout: Duration::from_secs(5),
             head_deadline: http::IO_TIMEOUT,
+            log_format: LogFormat::Text,
+            slow_request_ms: None,
         }
     }
 }
@@ -155,6 +198,62 @@ impl ServerConfig {
         ConnLimits {
             head_deadline: self.head_deadline,
             idle_timeout: self.idle_timeout,
+        }
+    }
+
+    fn request_log(&self) -> RequestLog {
+        RequestLog {
+            format: self.log_format,
+            quiet: self.quiet,
+            slow_request_ms: self.slow_request_ms,
+        }
+    }
+}
+
+/// The per-connection view of the logging configuration.
+#[derive(Clone, Copy, Debug)]
+struct RequestLog {
+    format: LogFormat,
+    quiet: bool,
+    slow_request_ms: Option<f64>,
+}
+
+/// Monotone request ids, process-wide, for correlating log lines.
+static REQUEST_IDS: AtomicU64 = AtomicU64::new(0);
+
+impl RequestLog {
+    /// Emits one request log line to stderr.  `quiet` suppresses routine
+    /// lines, but a request at or past the slow threshold is always
+    /// logged.
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &self,
+        id: u64,
+        peer: SocketAddr,
+        endpoint: &str,
+        status: u16,
+        elapsed_ms: f64,
+        hit: &str,
+        keep_alive: bool,
+    ) {
+        let slow = self
+            .slow_request_ms
+            .is_some_and(|limit| elapsed_ms >= limit);
+        if self.quiet && !slow {
+            return;
+        }
+        match self.format {
+            LogFormat::Text => eprintln!(
+                "chora serve: {peer} {endpoint} {status} {elapsed_ms:.1}ms id={id} hit={hit}{}{}",
+                if slow { " (slow)" } else { "" },
+                if keep_alive { "" } else { " (close)" }
+            ),
+            LogFormat::Json => eprintln!(
+                "{{\"msg\":\"request\",\"id\":{id},\"peer\":{},\"endpoint\":{},\"status\":{status},\"duration_ms\":{elapsed_ms:.3},\"hit\":{},\"slow\":{slow},\"keep_alive\":{keep_alive}}}",
+                http::json_string(&peer.to_string()),
+                http::json_string(endpoint),
+                http::json_string(hit),
+            ),
         }
     }
 }
@@ -249,6 +348,7 @@ fn serve_on(
     let housekeeping = backend.maintenance_interval().map(|interval| {
         let backend = Arc::clone(&backend);
         let shutdown = Arc::clone(&shutdown);
+        let stats = Arc::clone(&stats);
         std::thread::Builder::new()
             .name("chora-housekeeping".to_string())
             .spawn(move || {
@@ -257,6 +357,7 @@ fn serve_on(
                     std::thread::sleep(ACCEPT_POLL.max(Duration::from_millis(20)));
                     if last.elapsed() >= interval {
                         backend.maintain();
+                        stats.record_gc();
                         last = Instant::now();
                     }
                 }
@@ -278,7 +379,7 @@ fn serve_on(
                 let backend = Arc::clone(&backend);
                 let stats = Arc::clone(&stats);
                 let shutdown = Arc::clone(&shutdown);
-                let quiet = config.quiet;
+                let log = config.request_log();
                 let limits = config.limits();
                 let max_requests = config.max_requests_per_conn.max(1);
                 pool.execute(move || {
@@ -288,7 +389,7 @@ fn serve_on(
                         &*backend,
                         &stats,
                         &shutdown,
-                        quiet,
+                        log,
                         limits,
                         max_requests,
                     )
@@ -321,7 +422,7 @@ fn handle_connection(
     backend: &dyn AnalysisBackend,
     stats: &ServerStats,
     shutdown: &AtomicBool,
-    quiet: bool,
+    log: RequestLog,
     limits: ConnLimits,
     max_requests: usize,
 ) {
@@ -333,16 +434,16 @@ fn handle_connection(
             Ok(Next::Request(request)) => request,
             Ok(Next::Closed) | Ok(Next::Idle) => break,
             Err(e) => {
+                let id = REQUEST_IDS.fetch_add(1, Ordering::Relaxed) + 1;
                 let response = Response::error(e.status, &e.message);
                 stats.record("<malformed>", response.status, 0.0);
                 let _ = response.write_to(conn.stream(), false);
-                if !quiet {
-                    eprintln!("chora serve: {peer} <malformed> {}", response.status);
-                }
+                log.emit(id, peer, "<malformed>", response.status, 0.0, "-", false);
                 break;
             }
         };
         served += 1;
+        let id = REQUEST_IDS.fetch_add(1, Ordering::Relaxed) + 1;
         let started = Instant::now();
         let (endpoint_label, response) = dispatch(&request, backend, stats, shutdown);
         let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -352,13 +453,15 @@ fn handle_connection(
         let keep_alive =
             request.keep_alive && served < max_requests && !shutdown.load(Ordering::SeqCst);
         let written = response.write_to(conn.stream(), keep_alive);
-        if !quiet {
-            eprintln!(
-                "chora serve: {peer} {endpoint_label} {} {elapsed_ms:.1}ms{}",
-                response.status,
-                if keep_alive { "" } else { " (close)" }
-            );
-        }
+        log.emit(
+            id,
+            peer,
+            endpoint_label,
+            response.status,
+            elapsed_ms,
+            backend.last_hit_class(),
+            keep_alive,
+        );
         if written.is_err() || !keep_alive {
             break;
         }

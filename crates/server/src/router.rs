@@ -21,6 +21,9 @@ pub enum Endpoint {
     Healthz,
     /// `GET /v1/stats` — request timings and cache counters.
     Stats,
+    /// `GET /v1/metrics` — the telemetry registry in Prometheus text
+    /// exposition format.
+    Metrics,
     /// `POST /v1/shutdown` — graceful drain-and-exit.
     Shutdown,
 }
@@ -48,7 +51,7 @@ pub struct Route {
 /// The endpoint table.  Dispatch, `Endpoint::{path,method,all}`, the 404
 /// endpoint listing, and the `Allow` header of 405s are all derived from
 /// these rows.
-pub static ROUTES: [Route; 6] = [
+pub static ROUTES: [Route; 7] = [
     Route {
         method: "POST",
         path: "/v1/analyze",
@@ -78,6 +81,12 @@ pub static ROUTES: [Route; 6] = [
         path: "/v1/stats",
         endpoint: Endpoint::Stats,
         handler: stats,
+    },
+    Route {
+        method: "GET",
+        path: "/v1/metrics",
+        endpoint: Endpoint::Metrics,
+        handler: metrics,
     },
     Route {
         method: "POST",
@@ -153,11 +162,24 @@ fn healthz(_request: &Request, ctx: &Ctx<'_>) -> Response {
 }
 
 fn stats(_request: &Request, ctx: &Ctx<'_>) -> Response {
+    ctx.backend.sync_metrics();
     Response::json(
         200,
         ctx.stats
             .to_json(&ctx.backend.cache_counters(), &ctx.backend.fm_counters()),
     )
+}
+
+fn metrics(_request: &Request, ctx: &Ctx<'_>) -> Response {
+    // Let the backend publish its latest cache/driver counters into the
+    // registry, then render everything the process has registered.
+    ctx.backend.sync_metrics();
+    Response {
+        status: 200,
+        body: chora_telemetry::metrics::registry().render_prometheus(),
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        headers: Vec::new(),
+    }
 }
 
 fn shutdown(_request: &Request, ctx: &Ctx<'_>) -> Response {
@@ -225,6 +247,7 @@ mod tests {
         assert_eq!(Endpoint::from_name("analyze"), Some(Endpoint::Analyze));
         assert_eq!(Endpoint::from_name("batch"), Some(Endpoint::Batch));
         assert_eq!(Endpoint::from_name("stats"), Some(Endpoint::Stats));
+        assert_eq!(Endpoint::from_name("metrics"), Some(Endpoint::Metrics));
         assert_eq!(Endpoint::from_name("bogus"), None);
     }
 }

@@ -1,12 +1,25 @@
 //! Request accounting for `GET /v1/stats`: per-endpoint counts and
-//! wall-clock timings, status-class counters, and the uptime clock.
+//! wall-clock timings, status-class counters, housekeeping (GC) run
+//! tracking, and the uptime clock.  Every request is double-entered into
+//! the process-wide telemetry registry, so `GET /v1/metrics` exposes the
+//! same numbers in Prometheus form.
 
 use crate::http::json_string;
+use chora_telemetry::metrics::registry;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Milliseconds since the Unix epoch, for wall-clock stamps in `/v1/stats`
+/// (uptime itself stays on the monotonic clock).
+fn now_unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
 
 /// Aggregate timings of one endpoint.
 #[derive(Clone, Copy, Debug, Default)]
@@ -19,11 +32,14 @@ struct EndpointStats {
 /// Shared, thread-safe request accounting.
 pub struct ServerStats {
     started: Instant,
+    started_unix_ms: u64,
     endpoints: Mutex<BTreeMap<String, EndpointStats>>,
     connections: AtomicU64,
     ok: AtomicU64,
     client_errors: AtomicU64,
     server_errors: AtomicU64,
+    gc_runs: AtomicU64,
+    gc_last_unix_ms: AtomicU64,
 }
 
 impl Default for ServerStats {
@@ -34,13 +50,23 @@ impl Default for ServerStats {
 
 impl ServerStats {
     pub fn new() -> ServerStats {
+        let started_unix_ms = now_unix_ms();
+        registry()
+            .gauge(
+                "chora_process_start_time_ms",
+                "Wall-clock start instant of the most recent server, Unix milliseconds.",
+            )
+            .set(started_unix_ms);
         ServerStats {
             started: Instant::now(),
+            started_unix_ms,
             endpoints: Mutex::new(BTreeMap::new()),
             connections: AtomicU64::new(0),
             ok: AtomicU64::new(0),
             client_errors: AtomicU64::new(0),
             server_errors: AtomicU64::new(0),
+            gc_runs: AtomicU64::new(0),
+            gc_last_unix_ms: AtomicU64::new(0),
         }
     }
 
@@ -49,21 +75,61 @@ impl ServerStats {
     /// the reuse win).
     pub fn record_connection(&self) {
         self.connections.fetch_add(1, Ordering::Relaxed);
+        registry()
+            .counter(
+                "chora_http_connections_total",
+                "TCP connections accepted by the server.",
+            )
+            .inc();
     }
 
     /// Records one finished request.
     pub fn record(&self, endpoint: &str, status: u16, elapsed_ms: f64) {
-        match status {
-            200..=299 => &self.ok,
-            400..=499 => &self.client_errors,
-            _ => &self.server_errors,
-        }
-        .fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => {
+                self.ok.fetch_add(1, Ordering::Relaxed);
+                "2xx"
+            }
+            400..=499 => {
+                self.client_errors.fetch_add(1, Ordering::Relaxed);
+                "4xx"
+            }
+            _ => {
+                self.server_errors.fetch_add(1, Ordering::Relaxed);
+                "5xx"
+            }
+        };
+        registry()
+            .counter_with(
+                "chora_http_requests_total",
+                "HTTP requests served, by endpoint and status class.",
+                &[("endpoint", endpoint), ("class", class)],
+            )
+            .inc();
+        registry()
+            .histogram_with(
+                "chora_http_request_duration_ms",
+                "Wall-clock request handling time, by endpoint.",
+                &[("endpoint", endpoint)],
+            )
+            .observe_ms(elapsed_ms);
         let mut endpoints = self.endpoints.lock().expect("stats lock");
         let entry = endpoints.entry(endpoint.to_string()).or_default();
         entry.count += 1;
         entry.total_ms += elapsed_ms;
         entry.max_ms = entry.max_ms.max(elapsed_ms);
+    }
+
+    /// Records one housekeeping (GC/maintenance) pass.
+    pub fn record_gc(&self) {
+        self.gc_runs.fetch_add(1, Ordering::Relaxed);
+        self.gc_last_unix_ms.store(now_unix_ms(), Ordering::Relaxed);
+        registry()
+            .counter(
+                "chora_gc_runs_total",
+                "Housekeeping (cache GC) passes completed.",
+            )
+            .inc();
     }
 
     /// Milliseconds since the server started.
@@ -82,6 +148,13 @@ impl ServerStats {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"uptime_ms\": {:.3},", self.uptime_ms());
+        let _ = writeln!(out, "  \"started_unix_ms\": {},", self.started_unix_ms);
+        let _ = writeln!(
+            out,
+            "  \"gc\": {{\"runs\": {}, \"last_unix_ms\": {}}},",
+            self.gc_runs.load(Ordering::Relaxed),
+            self.gc_last_unix_ms.load(Ordering::Relaxed)
+        );
         let _ = writeln!(
             out,
             "  \"connections\": {},",
@@ -155,6 +228,11 @@ mod tests {
         assert!(doc.contains("\"/v1/analyze\": {\"count\": 2"), "{doc}");
         assert!(doc.contains("\"/v1/healthz\""), "{doc}");
         assert!(doc.contains("\"connections\": 1"), "{doc}");
+        assert!(doc.contains("\"started_unix_ms\": "), "{doc}");
+        assert!(
+            doc.contains("\"gc\": {\"runs\": 0, \"last_unix_ms\": 0}"),
+            "{doc}"
+        );
         assert!(doc.contains("\"ok\": 2"), "{doc}");
         assert!(doc.contains("\"client_errors\": 1"), "{doc}");
         assert!(doc.contains("\"mem_hits\": 3"), "{doc}");
@@ -165,5 +243,17 @@ mod tests {
         // An empty fm section still renders as a (empty) JSON object.
         let bare = stats.to_json(&[], &[]);
         assert!(bare.contains("\"fm\": {"), "{bare}");
+    }
+
+    #[test]
+    fn gc_runs_are_stamped() {
+        let stats = ServerStats::new();
+        stats.record_gc();
+        let doc = stats.to_json(&[], &[]);
+        assert!(
+            doc.contains("\"gc\": {\"runs\": 1, \"last_unix_ms\": "),
+            "{doc}"
+        );
+        assert!(!doc.contains("\"last_unix_ms\": 0}"), "{doc}");
     }
 }

@@ -1,0 +1,94 @@
+//! Concurrency coverage for the metrics registry: a loom-free stress test
+//! (exact final counts under N threads × M increments) and a property test
+//! that histogram bucket counts always sum to the observation count.
+
+use chora_telemetry::metrics::{registry, DEFAULT_BOUNDS_MS};
+use proptest::prelude::*;
+
+#[test]
+fn counter_survives_contended_increments_exactly() {
+    const THREADS: usize = 8;
+    const INCREMENTS: u64 = 25_000;
+    let counter = registry().counter(
+        "test_stress_counter_total",
+        "exact-count stress test counter",
+    );
+    let histogram = registry().histogram("test_stress_histogram_ms", "stress test histogram");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..INCREMENTS {
+                    counter.inc();
+                    // Spread observations across buckets, including overflow.
+                    histogram.observe_ms(((t as u64 * INCREMENTS + i) % 100_000) as f64);
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), THREADS as u64 * INCREMENTS);
+    assert_eq!(histogram.count(), THREADS as u64 * INCREMENTS);
+    assert_eq!(
+        histogram.bucket_counts().iter().sum::<u64>(),
+        THREADS as u64 * INCREMENTS,
+        "per-bucket counts must account for every observation"
+    );
+}
+
+#[test]
+fn concurrent_registration_returns_one_series() {
+    let handles: Vec<_> = std::thread::scope(|scope| {
+        (0..8)
+            .map(|_| {
+                scope.spawn(|| {
+                    let c = registry().counter(
+                        "test_concurrent_registration_total",
+                        "registration race test",
+                    );
+                    c.inc();
+                    c as *const _ as usize
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("registration thread"))
+            .collect()
+    });
+    assert!(
+        handles.windows(2).all(|w| w[0] == w[1]),
+        "every thread must get the same leaked counter"
+    );
+    assert_eq!(
+        registry()
+            .counter(
+                "test_concurrent_registration_total",
+                "registration race test"
+            )
+            .get(),
+        8
+    );
+}
+
+proptest! {
+    #[test]
+    fn histogram_buckets_sum_to_observation_count(
+        values in prop::collection::vec(0u64..200_000, 0..200),
+    ) {
+        // A fresh family per input size bucket would leak one histogram per
+        // case; reuse one family and track the delta instead.
+        let h = registry().histogram(
+            "test_prop_histogram_ms",
+            "bucket-sum property test histogram",
+        );
+        let count_before = h.count();
+        let buckets_before: u64 = h.bucket_counts().iter().sum();
+        prop_assert_eq!(count_before, buckets_before);
+        for v in &values {
+            // Quarter-millisecond steps hit bucket boundaries exactly.
+            h.observe_ms(*v as f64 / 4.0);
+        }
+        let buckets_after: u64 = h.bucket_counts().iter().sum();
+        prop_assert_eq!(h.count(), count_before + values.len() as u64);
+        prop_assert_eq!(buckets_after, buckets_before + values.len() as u64);
+        prop_assert_eq!(h.bucket_counts().len(), DEFAULT_BOUNDS_MS.len() + 1);
+    }
+}

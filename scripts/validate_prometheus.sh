@@ -1,0 +1,57 @@
+#!/bin/sh
+# Line-based validator for the Prometheus text exposition format (0.0.4),
+# as served by `GET /v1/metrics`.  POSIX sh + awk only, so CI and local
+# checks need nothing beyond a base system.
+#
+# Checks, per line:
+#   - `# HELP <name> <text>` and `# TYPE <name> <kind>` comments are well
+#     formed and the kind is a known one;
+#   - every sample parses as `name value` or `name{k="v",...} value` with a
+#     strictly numeric value (NaN/+Inf/-Inf allowed, as the format permits);
+#   - every sample belongs to a family introduced by both a # HELP and a
+#     # TYPE comment (histogram `_bucket`/`_sum`/`_count` suffixes resolve
+#     to their base family);
+# and, for the file overall, that at least one sample is present.
+#
+# Usage: validate_prometheus.sh [FILE]     (reads stdin without a FILE)
+set -eu
+
+awk '
+  /^$/ { next }
+  /^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* ./ { help[$3] = 1; next }
+  /^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* / {
+    if ($4 !~ /^(counter|gauge|histogram|summary|untyped)$/) {
+      print "line " NR ": unknown metric kind: " $0; bad = 1; next
+    }
+    if (!($3 in type)) families++
+    type[$3] = $4; next
+  }
+  /^#/ { print "line " NR ": malformed comment: " $0; bad = 1; next }
+  {
+    line = $0
+    name = line; sub(/[{ ].*$/, "", name)
+    if (name !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) {
+      print "line " NR ": bad metric name: " line; bad = 1; next
+    }
+    if (line ~ /{/ && line !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*\{([a-zA-Z_][a-zA-Z0-9_]*="[^"]*")(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\} /) {
+      print "line " NR ": malformed label set: " line; bad = 1; next
+    }
+    value = line; sub(/^.* /, "", value)
+    if (value !~ /^-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/ && value !~ /^(NaN|\+Inf|-Inf)$/) {
+      print "line " NR ": non-numeric sample value: " line; bad = 1; next
+    }
+    family = name; sub(/_(bucket|sum|count)$/, "", family)
+    if (!(name in help) && !(family in help)) {
+      print "line " NR ": sample without # HELP: " name; bad = 1
+    }
+    if (!(name in type) && !(family in type)) {
+      print "line " NR ": sample without # TYPE: " name; bad = 1
+    }
+    samples++
+  }
+  END {
+    if (!samples) { print "no samples found"; bad = 1 }
+    if (bad) exit 1
+    printf "prometheus ok: %d samples across %d families\n", samples, families
+  }
+' "${1:--}"
