@@ -47,7 +47,14 @@ OPTIONS (analyze / complexity / bench):
                       cone.  Cache counters (hits/misses/evictions) print
                       on stderr; stdout is byte-identical with and without
                       the cache.  `bench` runs each program cold and warm
-    --no-cache        Ignore --cache-dir (force a full analysis)
+    --no-cache        Ignore --cache-dir and --remote-cache (force a full
+                      analysis)
+    --remote-cache ADDR[,ADDR...]
+                      Consult peer `chora serve` daemons as a remote L3
+                      summary tier behind memory and disk; keys are spread
+                      over the ADDRs by rendezvous hashing.  Unreachable
+                      peers are skipped — output is byte-identical with the
+                      fleet tier on, off, cold, or warm
     --quiet           Suppress the stderr cache/timing chatter
     --proc NAME       Procedure to report on (default: all for analyze;
                       sole procedure or main for complexity)
@@ -73,6 +80,10 @@ OPTIONS (serve):
                       Store byte budget (default 64M; 0 = unbounded)
     --cache-max-age SECS[s|m|h]
                       Evict entries older than this (default: never)
+    --remote-cache ADDR[,ADDR...]
+                      Peer daemons used as a remote L3 summary tier (fleet
+                      mode); this daemon also serves its own store to peers
+                      via GET/PUT /v1/summaries/{key}
     --quiet           Suppress per-request logging
     --log-format text|json
                       Per-request log line shape (default text)
@@ -144,6 +155,7 @@ fn run() -> Result<(String, i32), String> {
             let size_param = take_value(&mut args, "--size")?;
             let cache_dir = take_value(&mut args, "--cache-dir")?;
             let no_cache = take_flag(&mut args, "--no-cache");
+            let remote_cache = take_value(&mut args, "--remote-cache")?;
             let quiet = take_flag(&mut args, "--quiet");
             let trace_out = take_value(&mut args, "--trace-out")?;
             if subcommand == "analyze" && (cost_var.is_some() || size_param.is_some()) {
@@ -164,6 +176,7 @@ fn run() -> Result<(String, i32), String> {
                 jobs,
                 cache_dir,
                 no_cache,
+                remote_cache,
                 quiet,
                 trace_out,
             };
@@ -180,6 +193,7 @@ fn run() -> Result<(String, i32), String> {
             let filter = take_value(&mut args, "--filter")?;
             let cache_dir = take_value(&mut args, "--cache-dir")?;
             let no_cache = take_flag(&mut args, "--no-cache");
+            let remote_cache = take_value(&mut args, "--remote-cache")?;
             let server = take_flag(&mut args, "--server");
             let trace_out = take_value(&mut args, "--trace-out")?;
             let programs_dir = match args.as_slice() {
@@ -194,6 +208,7 @@ fn run() -> Result<(String, i32), String> {
                 programs_dir,
                 cache_dir,
                 no_cache,
+                remote_cache,
                 server,
                 trace_out,
             })
@@ -223,6 +238,7 @@ fn run() -> Result<(String, i32), String> {
                 None => None,
                 Some(v) => Some(chora_cli::serve::parse_max_age(&v)?),
             };
+            let remote_cache = take_value(&mut args, "--remote-cache")?;
             let quiet = take_flag(&mut args, "--quiet");
             let log_format = match take_value(&mut args, "--log-format")? {
                 None => chora_server::LogFormat::Text,
@@ -243,6 +259,7 @@ fn run() -> Result<(String, i32), String> {
                 cache_dir,
                 cache_cap_bytes,
                 cache_max_age,
+                remote_cache,
                 quiet,
                 log_format,
                 slow_request_ms,

@@ -1,5 +1,5 @@
 //! In-memory request caches for the server backend: a parsed-program
-//! cache (source bytes → [`Program`]) and a rendered-response cache
+//! cache (source bytes → [`chora_ir::Program`]) and a rendered-response cache
 //! (endpoint + query + source → finished JSON document).
 //!
 //! Both are instances of one sharded LRU ([`ShardedLru`]), the in-memory

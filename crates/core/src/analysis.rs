@@ -245,11 +245,15 @@ impl Analyzer {
         programs: &[&Program],
         store: Option<&dyn SummaryStore>,
     ) -> Vec<AnalysisResult> {
-        // `SummaryStore::evictions`/`gc_evictions` count over the store's
-        // lifetime; report only this batch's deltas (stores are reused
-        // across bench runs and live for a whole `chora serve` process).
-        let evictions_before = store.map_or(0, |s| s.evictions());
-        let gc_evictions_before = store.map_or(0, |s| s.gc_evictions());
+        // Store eviction counters run over the store's lifetime; report
+        // only this batch's deltas (stores are reused across bench runs
+        // and live for a whole `chora serve` process).
+        let (evictions_before, gc_evictions_before) = eviction_totals(store);
+        // One flight group per batch: a single-flight store layer must
+        // treat this run's own in-progress computations as plain misses
+        // (their stores happen in the fold below), while still letting
+        // other runs' misses coalesce onto ours.
+        let flight_group = crate::cache::next_flight_group();
         let jobs = self.effective_jobs();
         // Scopes are assigned per program, by bottom-up component order
         // (then by procedure order for the assertion pass), identically for
@@ -269,7 +273,9 @@ impl Analyzer {
                 // flattened bottom-up order in which scopes are handed out
                 // below.  Loads use it to rescope restored fresh symbols into
                 // the current schedule; stores write scope-canonical entries.
-                let run_scopes = keys.as_ref().map(|k| ComponentScopes::from_level_keys(k));
+                let run_scopes = keys
+                    .as_ref()
+                    .map(|k| ComponentScopes::from_level_keys(k).with_flight_group(flight_group));
                 let mut level_scope_base = Vec::with_capacity(levels.len());
                 let mut next_scope: u32 = 0;
                 for level in &levels {
@@ -463,9 +469,9 @@ impl Analyzer {
             metrics.cache_hits.add(run.result.cache.hits);
             metrics.cache_misses.add(run.result.cache.misses);
         }
-        let evictions = store.map_or(0, |s| s.evictions().saturating_sub(evictions_before));
-        let gc_evictions =
-            store.map_or(0, |s| s.gc_evictions().saturating_sub(gc_evictions_before));
+        let (evictions_after, gc_evictions_after) = eviction_totals(store);
+        let evictions = evictions_after.saturating_sub(evictions_before);
+        let gc_evictions = gc_evictions_after.saturating_sub(gc_evictions_before);
         runs.into_iter()
             .map(|mut run| {
                 if store.is_some() {
@@ -827,6 +833,19 @@ enum TaskOutput {
 /// registry on first use.  These are *global* cumulative counters (the
 /// per-run numbers stay on [`AnalysisResult`]); bumps happen once per task
 /// or per run, far off any hot path.
+/// Lifetime `(corruption, space-or-age)` eviction totals of `store`,
+/// summed across its tiers — the before/after pair behind the per-batch
+/// deltas in [`crate::store::CacheStats`].
+fn eviction_totals(store: Option<&dyn SummaryStore>) -> (u64, u64) {
+    store.map_or((0, 0), |s| {
+        let stats = s.stats();
+        (
+            crate::store::total_corrupt_evictions(&stats),
+            crate::store::total_gc_evictions(&stats),
+        )
+    })
+}
+
 struct AnalysisMetrics {
     analyses: &'static chora_telemetry::metrics::Counter,
     cache_hits: &'static chora_telemetry::metrics::Counter,

@@ -62,9 +62,11 @@ pub use analysis::{
     ProcedureSummary,
 };
 pub use baseline::BaselineAnalyzer;
-pub use cache::{ComponentScopes, NullScopes, ScopeResolver};
+pub use cache::{entry_key, next_flight_group, ComponentScopes, NullScopes, ScopeResolver};
 pub use complexity::ComplexityClass;
 pub use depth::DepthBound;
 pub use store::{
-    CacheStats, DiskStore, MemoryStore, SummaryStore, TierCounters, TieredConfig, TieredStore,
+    total_corrupt_evictions, total_gc_evictions, CacheStats, DiskStore, DiskTier, FlightCounters,
+    Layered, MemTier, MemoryStore, RemoteConfig, RemoteStore, SingleFlight, StoreStats, StoreTier,
+    SummaryStore, TierCounters, TierHit, TieredConfig, TieredStore,
 };

@@ -1,0 +1,169 @@
+//! The composable tier layer: [`StoreTier`] is one cache level moving
+//! validated serialized entries, [`Layered`] stacks two of them with
+//! explicit promote-on-hit and write-through policies.
+
+use super::StoreStats;
+use crate::analysis::ProcedureSummary;
+use crate::cache::ScopeResolver;
+use chora_ir::Fingerprint;
+use std::time::Duration;
+
+/// A successful tier probe: the decoded summaries, plus — when the tier
+/// sits behind others — the validated serialized bytes and the entry's
+/// true age, so a nearer tier can adopt the entry without re-encoding and
+/// without resetting its expiry clock.
+pub struct TierHit {
+    /// The summaries, decoded and rescoped into the current run.
+    pub summaries: Vec<ProcedureSummary>,
+    /// `(text, age)` for promotion into nearer tiers; `None` when the tier
+    /// is the innermost promotion target (nothing sits in front of it).
+    pub promote: Option<(String, Option<Duration>)>,
+}
+
+/// One cache level in a layered store.
+///
+/// Unlike [`super::SummaryStore`] (the driver-facing trait, which encodes
+/// and decodes), a tier receives entries already serialized and performs
+/// its own validation on the way out — so corruption is detected, counted,
+/// and evicted *at the tier where it happened*, and a corrupt near-tier
+/// entry falls through to the tiers behind it.
+pub trait StoreTier: Sync {
+    /// Probes the tier.  Implementations count their own hit/miss/latency.
+    fn load(&self, key: &Fingerprint, scopes: &dyn ScopeResolver) -> Option<TierHit>;
+
+    /// Writes an already-encoded entry.  `age` backdates the expiry clock
+    /// (entries promoted from a farther tier keep their true age);
+    /// `scopes` carries run context some tiers need (the remote tier tags
+    /// uploads with the run's source program).
+    fn store(
+        &self,
+        key: &Fingerprint,
+        text: &str,
+        age: Option<Duration>,
+        scopes: &dyn ScopeResolver,
+    );
+
+    /// The raw serialized entry under `key`, envelope-checked but not
+    /// decoded — what a summary server serves to peers.  Network tiers
+    /// return `None`: a daemon answering `/v1/summaries` must only consult
+    /// its *local* tiers, or a misconfigured ring would forward requests
+    /// in a loop.
+    fn load_text(&self, key: &Fingerprint) -> Option<String>;
+
+    /// Appends this tier's statistics snapshot(s), nearest first.
+    fn append_stats(&self, out: &mut Vec<StoreStats>);
+}
+
+/// A tier that may be absent: probes miss, writes vanish, stats are empty.
+impl<T: StoreTier> StoreTier for Option<T> {
+    fn load(&self, key: &Fingerprint, scopes: &dyn ScopeResolver) -> Option<TierHit> {
+        self.as_ref().and_then(|tier| tier.load(key, scopes))
+    }
+
+    fn store(
+        &self,
+        key: &Fingerprint,
+        text: &str,
+        age: Option<Duration>,
+        scopes: &dyn ScopeResolver,
+    ) {
+        if let Some(tier) = self {
+            tier.store(key, text, age, scopes);
+        }
+    }
+
+    fn load_text(&self, key: &Fingerprint) -> Option<String> {
+        self.as_ref().and_then(|tier| tier.load_text(key))
+    }
+
+    fn append_stats(&self, out: &mut Vec<StoreStats>) {
+        if let Some(tier) = self {
+            tier.append_stats(out);
+        }
+    }
+}
+
+/// Two tiers composed into one: probe `near` first, fall back to `far`.
+///
+/// Policies are explicit and independently switchable:
+///
+/// * **promote-on-hit** (default on) — a `far` hit is copied into `near`,
+///   carrying the entry's true age so promotion never extends a lifetime.
+/// * **write-through** (default on) — stores land in both tiers; switched
+///   off, `far` becomes a read-only source (e.g. a peer's cache mounted
+///   read-only).
+///
+/// `Layered` is itself a [`StoreTier`], so stacks nest: the standard
+/// [`super::TieredStore`] is `Layered<MemTier, Layered<Option<DiskTier>,
+/// Option<RemoteStore>>>`.
+pub struct Layered<N, F> {
+    /// The nearer (faster, smaller) tier, probed first.
+    pub near: N,
+    /// The farther (slower, larger) tier, the fallback.
+    pub far: F,
+    promote_on_hit: bool,
+    write_through: bool,
+}
+
+impl<N, F> Layered<N, F> {
+    /// Composes two tiers with both policies on.
+    pub fn new(near: N, far: F) -> Layered<N, F> {
+        Layered {
+            near,
+            far,
+            promote_on_hit: true,
+            write_through: true,
+        }
+    }
+
+    /// Sets whether far-tier hits are copied into the near tier.
+    pub fn promote_on_hit(mut self, yes: bool) -> Layered<N, F> {
+        self.promote_on_hit = yes;
+        self
+    }
+
+    /// Sets whether stores propagate to the far tier.
+    pub fn write_through(mut self, yes: bool) -> Layered<N, F> {
+        self.write_through = yes;
+        self
+    }
+}
+
+impl<N: StoreTier, F: StoreTier> StoreTier for Layered<N, F> {
+    fn load(&self, key: &Fingerprint, scopes: &dyn ScopeResolver) -> Option<TierHit> {
+        if let Some(hit) = self.near.load(key, scopes) {
+            return Some(hit);
+        }
+        let hit = self.far.load(key, scopes)?;
+        if self.promote_on_hit {
+            if let Some((text, age)) = &hit.promote {
+                self.near.store(key, text, *age, scopes);
+            }
+        }
+        // Keep the promotion payload: in a deeper stack, even-nearer tiers
+        // adopt the entry too.
+        Some(hit)
+    }
+
+    fn store(
+        &self,
+        key: &Fingerprint,
+        text: &str,
+        age: Option<Duration>,
+        scopes: &dyn ScopeResolver,
+    ) {
+        self.near.store(key, text, age, scopes);
+        if self.write_through {
+            self.far.store(key, text, age, scopes);
+        }
+    }
+
+    fn load_text(&self, key: &Fingerprint) -> Option<String> {
+        self.near.load_text(key).or_else(|| self.far.load_text(key))
+    }
+
+    fn append_stats(&self, out: &mut Vec<StoreStats>) {
+        self.near.append_stats(out);
+        self.far.append_stats(out);
+    }
+}

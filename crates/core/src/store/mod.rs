@@ -1,0 +1,487 @@
+//! Pluggable summary stores: where the analyzer keeps procedure summaries
+//! between runs.
+//!
+//! The driver looks components up by their transitive fingerprint
+//! ([`chora_ir::fingerprint`]) before summarizing: a hit restores the
+//! component's summaries exactly (skipping height/depth/recurrence solving
+//! entirely), a miss summarizes and stores.
+//!
+//! # Architecture
+//!
+//! Stores come in two shapes.  [`SummaryStore`] is the driver-facing trait
+//! (decoded summaries in, decoded summaries out); [`StoreTier`] is the
+//! *composable* layer underneath it — one cache level that moves validated
+//! serialized entries.  Tiers compose with the generic [`Layered`]
+//! combinator, which probes its near tier first, falls back to the far
+//! tier, and applies explicit **promote-on-hit** (far hits are copied into
+//! the near tier, with their true age) and **write-through** (stores land
+//! in every tier) policies.  Each tier reports a uniform [`StoreStats`]
+//! snapshot.
+//!
+//! The concrete tiers:
+//!
+//! * [`MemTier`] — a sharded, byte-capped, LRU-evicting in-memory map.
+//! * [`DiskTier`] — a [`DiskStore`] (one file per key under a versioned
+//!   cache directory) plus age expiry.
+//! * [`RemoteStore`] — a network tier speaking `GET`/`PUT
+//!   /v1/summaries/{keyhex}` against one or more `chora serve` daemons
+//!   (chosen per key by rendezvous hashing), with a per-target circuit
+//!   breaker so a dead peer degrades to the local tiers.
+//!
+//! [`TieredStore`] is the standard composition — L1 memory over optional
+//! L2 disk over optional L3 remote — and [`SingleFlight`] wraps any
+//! [`SummaryStore`] to coalesce concurrent misses on the same key, so a
+//! thundering herd on a cold cone computes it once.
+//!
+//! Simple standalone backends remain for tests and tools: [`MemoryStore`]
+//! (a plain map) and [`DiskStore`] used directly.
+
+use crate::analysis::ProcedureSummary;
+use crate::cache::ScopeResolver;
+use chora_ir::Fingerprint;
+use std::fmt;
+
+mod disk;
+pub mod layered;
+mod mem;
+mod remote;
+mod singleflight;
+mod tiered;
+
+pub use disk::DiskStore;
+pub use layered::{Layered, StoreTier, TierHit};
+pub use mem::MemTier;
+pub use remote::{RemoteConfig, RemoteStore};
+pub use singleflight::{FlightCounters, SingleFlight};
+pub use tiered::{DiskTier, TierCounters, TieredConfig, TieredStore};
+
+/// Counters reported by a cache-backed analysis run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Components restored from the store.
+    pub hits: u64,
+    /// Components summarized from scratch.
+    pub misses: u64,
+    /// Store entries discarded as corrupted or version-mismatched.
+    pub evictions: u64,
+    /// Store entries removed by garbage collection — LRU pressure against
+    /// the byte cap or age expiry — as opposed to corruption.
+    pub gc_evictions: u64,
+}
+
+impl CacheStats {
+    /// Total number of lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits, {} misses, {} evictions, {} gc evictions",
+            self.hits, self.misses, self.evictions, self.gc_evictions
+        )
+    }
+}
+
+/// A uniform point-in-time snapshot of one store tier: cumulative counters
+/// plus current-size gauges.  Every [`SummaryStore`] reports one entry per
+/// tier via [`SummaryStore::stats`], nearest tier first, so callers render
+/// and delta them without knowing the store's shape.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Which tier this row describes (`"memory"`, `"disk"`, `"remote"`).
+    pub tier: &'static str,
+    /// Loads this tier answered.
+    pub hits: u64,
+    /// Loads this tier was asked and could not answer.
+    pub misses: u64,
+    /// Entries written into this tier (driver stores and promotions).
+    pub stores: u64,
+    /// Entries discarded as corrupted, version-mismatched, or
+    /// unrescopable.
+    pub corrupt_evictions: u64,
+    /// Entries removed for space or age reasons (LRU pressure, expiry,
+    /// GC passes) — normal turnover, kept apart from corruption.
+    pub gc_evictions: u64,
+    /// Bytes removed from this tier for any reason.
+    pub evicted_bytes: u64,
+    /// Current entry count, where the tier can say cheaply (else 0).
+    pub entries: u64,
+    /// Current serialized bytes held, where the tier can say cheaply.
+    pub bytes: u64,
+    /// Transport or I/O failures (remote tier: dead or misbehaving peer).
+    pub errors: u64,
+    /// Probes skipped outright (remote tier: circuit breaker open because
+    /// every peer is in its failure cooldown).
+    pub skipped: u64,
+}
+
+impl StoreStats {
+    /// An all-zero snapshot for `tier`.
+    pub fn named(tier: &'static str) -> StoreStats {
+        StoreStats {
+            tier,
+            ..StoreStats::default()
+        }
+    }
+}
+
+/// Sums corruption evictions across a [`SummaryStore::stats`] snapshot.
+pub fn total_corrupt_evictions(stats: &[StoreStats]) -> u64 {
+    stats.iter().map(|t| t.corrupt_evictions).sum()
+}
+
+/// Sums space/age (GC) evictions across a [`SummaryStore::stats`]
+/// snapshot.
+pub fn total_gc_evictions(stats: &[StoreStats]) -> u64 {
+    stats.iter().map(|t| t.gc_evictions).sum()
+}
+
+/// A keyed store of per-component summary lists.
+///
+/// Implementations must be best-effort: `load` returns `None` for anything
+/// it cannot produce intact, and `store` may silently drop entries (the
+/// analysis is correct with an empty store; the store only buys speed).
+/// `Sync` is required because the driver probes the store from its worker
+/// threads (one load per component, concurrently within a level).
+///
+/// Both operations take the caller's [`ScopeResolver`]: entries are kept
+/// in a scope-canonical form independent of the bottom-up component order,
+/// and the resolver supplies this run's component-key ↔ scope assignment so
+/// loads rescope restored fresh symbols into the current schedule (see
+/// `crate::cache`).  A load whose rescope is impossible is discarded and
+/// counted as a corruption eviction, never a panic.
+pub trait SummaryStore: Sync {
+    /// The summaries cached under `key`, if present, intact, and
+    /// rescopable into the current run — already rescoped.
+    fn load(&self, key: &Fingerprint, scopes: &dyn ScopeResolver) -> Option<Vec<ProcedureSummary>>;
+
+    /// Caches the summaries of one component under its key.
+    fn store(&self, key: &Fingerprint, summaries: &[ProcedureSummary], scopes: &dyn ScopeResolver);
+
+    /// Per-tier statistics, nearest tier first.  The default is the empty
+    /// snapshot: a store with nothing to report.
+    fn stats(&self) -> Vec<StoreStats> {
+        Vec::new()
+    }
+}
+
+/// Registers (or fetches) the per-tier load-latency histogram — one
+/// Prometheus series `chora_store_load_duration_ms{tier=...}` per tier.
+pub(crate) fn load_histogram(tier: &'static str) -> &'static chora_telemetry::metrics::Histogram {
+    chora_telemetry::metrics::registry().histogram_with(
+        "chora_store_load_duration_ms",
+        "Summary-store load latency by tier, milliseconds.",
+        &[("tier", tier)],
+    )
+}
+
+/// An in-memory store keyed by fingerprint, holding serialized entries.
+#[derive(Default)]
+pub struct MemoryStore {
+    entries: std::sync::Mutex<std::collections::HashMap<Fingerprint, String>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+    stored: std::sync::atomic::AtomicU64,
+    evicted: std::sync::atomic::AtomicU64,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    pub fn new() -> MemoryStore {
+        MemoryStore::default()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("memory store lock").len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SummaryStore for MemoryStore {
+    fn load(&self, key: &Fingerprint, scopes: &dyn ScopeResolver) -> Option<Vec<ProcedureSummary>> {
+        use std::sync::atomic::Ordering;
+        let Some(text) = self
+            .entries
+            .lock()
+            .expect("memory store lock")
+            .get(key)
+            .cloned()
+        else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        match crate::cache::decode_entry(&text, key, scopes) {
+            Some(summaries) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(summaries)
+            }
+            None => {
+                self.entries.lock().expect("memory store lock").remove(key);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: &Fingerprint, summaries: &[ProcedureSummary], scopes: &dyn ScopeResolver) {
+        use std::sync::atomic::Ordering;
+        let Some(encoded) = crate::cache::encode_entry(key, summaries, scopes) else {
+            return;
+        };
+        self.entries
+            .lock()
+            .expect("memory store lock")
+            .insert(*key, encoded);
+        self.stored.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> Vec<StoreStats> {
+        use std::sync::atomic::Ordering;
+        vec![StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stored.load(Ordering::Relaxed),
+            corrupt_evictions: self.evicted.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+            ..StoreStats::named("memory")
+        }]
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use chora_logic::TransitionFormula;
+    use std::path::PathBuf;
+
+    pub fn summary(name: &str) -> ProcedureSummary {
+        ProcedureSummary {
+            name: name.to_string(),
+            formula: TransitionFormula::top(),
+            bound_facts: Vec::new(),
+            depth: None,
+            recursive: false,
+        }
+    }
+
+    pub fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("chora-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A summary whose formula mentions a fresh symbol, plus resolvers that
+    /// can and cannot rescope it: the "can" side owns scope 0 under a
+    /// synthetic component key, the "cannot" side knows nothing.
+    pub fn fresh_summary() -> ProcedureSummary {
+        let t = chora_expr::FreshSource::new(0).fresh();
+        ProcedureSummary {
+            name: "f".to_string(),
+            formula: TransitionFormula::from_polyhedron(chora_logic::Polyhedron::from_atoms(vec![
+                chora_logic::Atom::ge(
+                    chora_expr::Polynomial::var(t),
+                    chora_expr::Polynomial::zero(),
+                ),
+            ])),
+            bound_facts: Vec::new(),
+            depth: None,
+            recursive: false,
+        }
+    }
+
+    pub struct OneScope;
+    impl crate::cache::ScopeResolver for OneScope {
+        fn scope_of(&self, key: &Fingerprint) -> Option<u32> {
+            (key.0 == 0xc0ffee).then_some(0)
+        }
+        fn key_of(&self, scope: u32) -> Option<Fingerprint> {
+            (scope == 0).then_some(Fingerprint(0xc0ffee))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+    use crate::cache::{NullScopes, CACHE_VERSION};
+    use std::time::Duration;
+
+    fn corrupt_total(store: &dyn SummaryStore) -> u64 {
+        total_corrupt_evictions(&store.stats())
+    }
+
+    #[test]
+    fn unrescopable_loads_count_as_corruption_evictions_not_panics() {
+        for (store, name) in [
+            (
+                Box::new(MemoryStore::new()) as Box<dyn SummaryStore>,
+                "memory",
+            ),
+            (
+                Box::new(TieredStore::new(None, TieredConfig::default())) as Box<dyn SummaryStore>,
+                "tiered",
+            ),
+        ] {
+            let key = Fingerprint(0xc0ffee);
+            store.store(&key, &[fresh_summary()], &OneScope);
+            assert!(
+                store.load(&key, &OneScope).is_some(),
+                "{name}: rescopable entry must hit"
+            );
+            assert_eq!(corrupt_total(store.as_ref()), 0, "{name}");
+            // This "run" has no component behind the recorded key: the
+            // fresh symbol cannot be rescoped — evict, never panic.
+            assert!(
+                store.load(&key, &NullScopes).is_none(),
+                "{name}: unrescopable entry must miss"
+            );
+            assert_eq!(
+                corrupt_total(store.as_ref()),
+                1,
+                "{name}: the discard must count as a corruption eviction"
+            );
+            // The slot is reusable afterwards.
+            assert!(store.load(&key, &OneScope).is_none(), "{name}");
+            store.store(&key, &[fresh_summary()], &OneScope);
+            assert!(store.load(&key, &OneScope).is_some(), "{name}");
+        }
+        // Same through a disk store, where the entry file must also be gone.
+        let root = temp_dir("rescope-evict");
+        let store = DiskStore::open(&root).expect("open");
+        let key = Fingerprint(0xc0ffee);
+        store.store(&key, &[fresh_summary()], &OneScope);
+        let path = store.dir().join(format!("{}.json", key.to_hex()));
+        assert!(path.exists());
+        assert!(store.load(&key, &NullScopes).is_none());
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(store.gc_evictions(), 0, "rescope failure is not GC");
+        assert!(!path.exists(), "unrescopable entry must be deleted");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn memory_store_round_trips() {
+        let store = MemoryStore::new();
+        let key = Fingerprint(7);
+        assert!(store.load(&key, &NullScopes).is_none());
+        store.store(&key, &[summary("f"), summary("g")], &NullScopes);
+        let loaded = store.load(&key, &NullScopes).expect("hit");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].name, "f");
+        assert_eq!(loaded[1].name, "g");
+        let stats = store.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].tier, "memory");
+        assert_eq!(stats[0].hits, 1);
+        assert_eq!(stats[0].misses, 1);
+        assert_eq!(stats[0].stores, 1);
+        assert_eq!(stats[0].entries, 1);
+        assert_eq!(stats[0].corrupt_evictions, 0);
+    }
+
+    #[test]
+    fn disk_store_round_trips_and_evicts_corruption() {
+        let root = temp_dir("roundtrip");
+        let store = DiskStore::open(&root).expect("open");
+        let key = Fingerprint(9);
+        assert!(store.load(&key, &NullScopes).is_none());
+        store.store(&key, &[summary("f")], &NullScopes);
+        assert_eq!(store.load(&key, &NullScopes).expect("hit")[0].name, "f");
+
+        // Corrupt the entry on disk: next load evicts it instead of failing.
+        let path = store.dir().join(format!("{}.json", key.to_hex()));
+        std::fs::write(&path, "{ definitely not a cache entry").expect("corrupt");
+        assert!(store.load(&key, &NullScopes).is_none());
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(store.gc_evictions(), 0, "corruption is not GC");
+        let stats = store.stats();
+        assert_eq!(stats[0].tier, "disk");
+        assert_eq!(stats[0].corrupt_evictions, 1);
+        assert_eq!(stats[0].gc_evictions, 0);
+        assert!(!path.exists(), "corrupt entry must be deleted");
+        // And the slot is usable again.
+        store.store(&key, &[summary("f")], &NullScopes);
+        assert!(store.load(&key, &NullScopes).is_some());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn disk_store_namespaces_by_version() {
+        let root = temp_dir("version");
+        let store = DiskStore::open(&root).expect("open");
+        assert!(store.dir().ends_with(format!("v{CACHE_VERSION}")));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn opening_sweeps_stale_older_version_directories() {
+        let root = temp_dir("stale-versions");
+        // An unreadable previous-format tree, a future format's tree, and
+        // an unrelated directory.
+        for sub in ["v1", &format!("v{}", CACHE_VERSION + 1), "not-a-version"] {
+            std::fs::create_dir_all(root.join(sub)).expect("mkdir");
+            std::fs::write(root.join(sub).join("entry.json"), "old bytes").expect("write");
+        }
+        let _store = DiskStore::open(&root).expect("open");
+        assert!(
+            !root.join("v1").exists(),
+            "older-version directories must be reclaimed on open"
+        );
+        assert!(
+            root.join(format!("v{}", CACHE_VERSION + 1)).exists(),
+            "a newer binary's namespace must be left alone"
+        );
+        assert!(
+            root.join("not-a-version").exists(),
+            "unrelated directories must be left alone"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn disk_gc_expires_by_age_and_caps_by_bytes() {
+        let root = temp_dir("gc");
+        let store = DiskStore::open(&root).expect("open");
+        for i in 0..4u128 {
+            store.store(&Fingerprint(i), &[summary(&format!("p{i}"))], &NullScopes);
+        }
+        // Nothing is older than an hour: the age pass removes nothing.
+        assert_eq!(store.gc(Some(Duration::from_secs(3600)), None), 0);
+        assert_eq!(store.gc_evictions(), 0);
+
+        // Age zero expires everything.
+        std::thread::sleep(Duration::from_millis(20));
+        let removed = store.gc(Some(Duration::ZERO), None);
+        assert_eq!(removed, 4);
+        assert_eq!(store.gc_evictions(), 4);
+        assert!(store.load(&Fingerprint(0), &NullScopes).is_none());
+        assert_eq!(
+            store.evictions(),
+            0,
+            "GC removals must not count as corruption evictions"
+        );
+
+        // Byte cap: refill, then shrink to a cap below the total.
+        for i in 0..4u128 {
+            store.store(&Fingerprint(i), &[summary(&format!("p{i}"))], &NullScopes);
+        }
+        let total = store.disk_bytes();
+        assert!(total > 0);
+        let removed = store.gc(None, Some(total / 2));
+        assert!(removed >= 1, "cap pass must delete oldest entries");
+        assert!(store.disk_bytes() <= total / 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,500 @@
+//! The standard store stack: memory in front of disk in front of an
+//! optional remote fleet cache, packaged behind the historical
+//! [`TieredStore`] API.
+
+use super::disk::DiskStore;
+use super::layered::{Layered, StoreTier, TierHit};
+use super::mem::MemTier;
+use super::remote::RemoteStore;
+use super::{load_histogram, StoreStats, SummaryStore};
+use crate::analysis::ProcedureSummary;
+use crate::cache::{encode_entry, NullScopes, ScopeResolver};
+use chora_ir::Fingerprint;
+use chora_telemetry::metrics::Histogram;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Sizing and expiry policy of a [`TieredStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct TieredConfig {
+    /// Byte budget of the in-memory tier (serialized entry bytes, split
+    /// evenly across shards).  `None` = unbounded.  The same cap also
+    /// bounds the disk tier during [`TieredStore::gc`].
+    pub cap_bytes: Option<u64>,
+    /// Entries older than this are evicted instead of served (both local
+    /// tiers).  `None` = entries never expire.
+    pub max_age: Option<Duration>,
+    /// Number of independently-locked shards of the memory tier.
+    pub shards: usize,
+}
+
+impl Default for TieredConfig {
+    /// 64 MiB in memory, no expiry, 8 shards.
+    fn default() -> Self {
+        TieredConfig {
+            cap_bytes: Some(64 << 20),
+            max_age: None,
+            shards: 8,
+        }
+    }
+}
+
+/// The disk level of a layered stack: wraps a [`DiskStore`] with the
+/// stack's age limit, so expired entries are removed on sight instead of
+/// served, and reports the entry's on-disk age upward so promotion into
+/// memory never extends a lifetime.
+pub struct DiskTier {
+    store: DiskStore,
+    max_age: Option<Duration>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stored: AtomicU64,
+    age_evictions: AtomicU64,
+    load_hist: &'static Histogram,
+}
+
+impl DiskTier {
+    /// Wraps an open disk store with an expiry limit.
+    pub fn new(store: DiskStore, max_age: Option<Duration>) -> DiskTier {
+        DiskTier {
+            store,
+            max_age,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stored: AtomicU64::new(0),
+            age_evictions: AtomicU64::new(0),
+            load_hist: load_histogram("disk"),
+        }
+    }
+
+    /// The wrapped disk store.
+    pub fn store(&self) -> &DiskStore {
+        &self.store
+    }
+
+    /// Loads this tier answered.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Loads this tier was probed for but could not answer.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries removed because they outlived the age limit.
+    pub fn age_evictions(&self) -> u64 {
+        self.age_evictions.load(Ordering::Relaxed)
+    }
+}
+
+impl StoreTier for DiskTier {
+    fn load(&self, key: &Fingerprint, scopes: &dyn ScopeResolver) -> Option<TierHit> {
+        let started = Instant::now();
+        let result = match self.store.load_validated(key, scopes) {
+            Some((_, _, Some(age))) if self.max_age.is_some_and(|limit| age > limit) => {
+                self.store.remove(key);
+                self.age_evictions.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Some((text, summaries, age)) => Some(TierHit {
+                summaries,
+                promote: Some((text, age)),
+            }),
+            None => None,
+        };
+        match &result {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        self.load_hist
+            .observe_ms(started.elapsed().as_secs_f64() * 1e3);
+        result
+    }
+
+    fn store(
+        &self,
+        key: &Fingerprint,
+        text: &str,
+        _age: Option<Duration>,
+        _scopes: &dyn ScopeResolver,
+    ) {
+        self.store.store_encoded(key, text);
+        self.stored.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn load_text(&self, key: &Fingerprint) -> Option<String> {
+        self.store.load_text(key)
+    }
+
+    fn append_stats(&self, out: &mut Vec<StoreStats>) {
+        out.push(StoreStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            stores: self.stored.load(Ordering::Relaxed),
+            corrupt_evictions: self.store.evictions(),
+            // Age expiries both remove the file (counted by the store's GC
+            // counter) and are counted here — kept additive so the
+            // cross-tier total matches the historical trait-method total.
+            gc_evictions: self.age_evictions() + self.store.gc_evictions(),
+            evicted_bytes: self.store.removed_bytes(),
+            bytes: self.store.disk_bytes(),
+            ..StoreStats::named("disk")
+        });
+    }
+}
+
+/// Cumulative counters and current gauges of a [`TieredStore`], as one
+/// flat snapshot (the shape `/v1/stats` has always served).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TierCounters {
+    /// Loads served by the in-memory tier (zero filesystem work).
+    pub mem_hits: u64,
+    /// Loads served by the disk tier (and promoted into memory).
+    pub disk_hits: u64,
+    /// Loads answered by no tier.
+    pub misses: u64,
+    /// Entries written (to memory, and through to farther tiers).
+    pub stores: u64,
+    /// Times the disk tier was consulted at all (memory misses).
+    pub disk_probes: u64,
+    /// Memory-tier entries evicted by LRU pressure against the byte cap.
+    pub lru_evictions: u64,
+    /// Entries evicted (memory or disk) because they outlived `max_age`.
+    pub age_evictions: u64,
+    /// Entries discarded as corrupt (any tier).
+    pub corrupt_evictions: u64,
+    /// Disk entries removed by [`TieredStore::gc`] passes.
+    pub disk_gc_removed: u64,
+    /// Total bytes removed from either local tier, for any reason (LRU or
+    /// age pressure, corruption, GC) — the churn number `/v1/stats`
+    /// reports.
+    pub evicted_bytes: u64,
+    /// Current number of entries in the memory tier.
+    pub mem_entries: u64,
+    /// Current serialized bytes held by the memory tier.
+    pub mem_bytes: u64,
+}
+
+/// The standard layered store: L1 memory, L2 disk (optional), L3 remote
+/// fleet cache (optional), composed from [`Layered`] with promote-on-hit
+/// and write-through on at every level.
+///
+/// This type is a thin adapter: the tier mechanics live in [`MemTier`],
+/// [`DiskTier`], and [`RemoteStore`]; `TieredStore` encodes/decodes at the
+/// [`SummaryStore`] boundary, keeps the historical counter snapshot
+/// ([`TierCounters`]), and exposes the local-only raw-entry accessors a
+/// summary server needs.
+pub struct TieredStore {
+    tiers: Layered<MemTier, Layered<Option<DiskTier>, Option<RemoteStore>>>,
+    config: TieredConfig,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl TieredStore {
+    /// A tiered store over an already-open disk tier (`None` = memory only).
+    pub fn new(disk: Option<DiskStore>, config: TieredConfig) -> TieredStore {
+        TieredStore::build(disk, None, config)
+    }
+
+    /// A tiered store with a remote fleet cache behind memory and disk.
+    pub fn with_remote(
+        disk: Option<DiskStore>,
+        remote: RemoteStore,
+        config: TieredConfig,
+    ) -> TieredStore {
+        TieredStore::build(disk, Some(remote), config)
+    }
+
+    fn build(
+        disk: Option<DiskStore>,
+        remote: Option<RemoteStore>,
+        config: TieredConfig,
+    ) -> TieredStore {
+        let mem = MemTier::new(config.shards, config.cap_bytes, config.max_age);
+        let disk = disk.map(|d| DiskTier::new(d, config.max_age));
+        TieredStore {
+            tiers: Layered::new(mem, Layered::new(disk, remote)),
+            config,
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        }
+    }
+
+    /// Convenience: a tiered store whose disk tier lives under `root`.
+    pub fn open(root: impl AsRef<Path>, config: TieredConfig) -> std::io::Result<TieredStore> {
+        Ok(TieredStore::new(Some(DiskStore::open(root)?), config))
+    }
+
+    /// The disk tier's backing store, when one is configured.
+    pub fn disk(&self) -> Option<&DiskStore> {
+        self.tiers.far.near.as_ref().map(DiskTier::store)
+    }
+
+    /// The remote tier, when one is configured.
+    pub fn remote(&self) -> Option<&RemoteStore> {
+        self.tiers.far.far.as_ref()
+    }
+
+    /// The sizing/expiry configuration this store resolved to.
+    pub fn config(&self) -> TieredConfig {
+        self.config
+    }
+
+    /// The raw serialized entry under `key` from the *local* tiers only
+    /// (memory, then disk) — what this daemon serves to peers asking
+    /// `GET /v1/summaries/{key}`.  The remote tier is structurally mute
+    /// here ([`RemoteStore`] never answers `load_text`), so a ring of
+    /// daemons pointing at each other cannot forward a request in a loop.
+    pub fn load_local_text(&self, key: &Fingerprint) -> Option<String> {
+        self.tiers.load_text(key)
+    }
+
+    /// Adopts an already-encoded entry into the *local* tiers (memory and
+    /// disk, never back out to the remote) — what `PUT /v1/summaries/{key}`
+    /// does with an entry uploaded by a peer.  The caller has already
+    /// validated the envelope against `key`.
+    pub fn store_local_text(&self, key: &Fingerprint, text: &str) {
+        self.tiers.near.store(key, text, None, &NullScopes);
+        self.tiers.far.near.store(key, text, None, &NullScopes);
+    }
+
+    /// Snapshot of every counter (cumulative) and gauge (current).
+    pub fn counters(&self) -> TierCounters {
+        let mem = &self.tiers.near;
+        let disk = self.tiers.far.near.as_ref();
+        let remote = self.tiers.far.far.as_ref();
+        let (mem_entries, mem_bytes) = mem.usage();
+        TierCounters {
+            mem_hits: mem.hits(),
+            disk_hits: disk.map_or(0, DiskTier::hits),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            disk_probes: disk.map_or(0, |d| d.hits() + d.misses()),
+            lru_evictions: mem.lru_evictions(),
+            age_evictions: mem.age_evictions() + disk.map_or(0, DiskTier::age_evictions),
+            corrupt_evictions: mem.corrupt_evictions()
+                + disk.map_or(0, |d| d.store().evictions())
+                + remote.map_or(0, RemoteStore::corrupt),
+            disk_gc_removed: disk.map_or(0, |d| d.store().gc_evictions()),
+            evicted_bytes: mem.evicted_bytes() + disk.map_or(0, |d| d.store().removed_bytes()),
+            mem_entries,
+            mem_bytes,
+        }
+    }
+
+    /// One garbage-collection pass over the local tiers: drops expired
+    /// memory entries and runs [`DiskStore::gc`] with this store's age and
+    /// byte limits.  The remote tier is its owner's to collect.
+    pub fn gc(&self) {
+        self.tiers.near.sweep_expired();
+        if let Some(disk) = self.disk() {
+            disk.gc(self.config.max_age, self.config.cap_bytes);
+        }
+    }
+}
+
+impl SummaryStore for TieredStore {
+    fn load(&self, key: &Fingerprint, scopes: &dyn ScopeResolver) -> Option<Vec<ProcedureSummary>> {
+        match self.tiers.load(key, scopes) {
+            Some(hit) => Some(hit.summaries),
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: &Fingerprint, summaries: &[ProcedureSummary], scopes: &dyn ScopeResolver) {
+        let Some(encoded) = encode_entry(key, summaries, scopes) else {
+            return;
+        };
+        self.tiers.store(key, &encoded, None, scopes);
+        self.stores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> Vec<StoreStats> {
+        let mut out = Vec::new();
+        self.tiers.append_stats(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{summary, temp_dir};
+    use super::*;
+    use crate::cache::NullScopes;
+
+    #[test]
+    fn tiered_store_serves_warm_hits_from_memory() {
+        let root = temp_dir("tiered-warm");
+        let store = TieredStore::open(&root, TieredConfig::default()).expect("open");
+        let key = Fingerprint(11);
+        assert!(store.load(&key, &NullScopes).is_none());
+        store.store(&key, &[summary("f")], &NullScopes);
+        // First and every following load is a pure memory hit: the disk
+        // tier was probed exactly once (the initial miss).
+        assert_eq!(store.load(&key, &NullScopes).expect("hit")[0].name, "f");
+        assert_eq!(store.load(&key, &NullScopes).expect("hit")[0].name, "f");
+        let c = store.counters();
+        assert_eq!(c.mem_hits, 2);
+        assert_eq!(c.disk_probes, 1, "only the cold miss touched disk");
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.mem_entries, 1);
+        assert!(c.mem_bytes > 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tiered_store_promotes_disk_entries_into_memory() {
+        let root = temp_dir("tiered-promote");
+        let key = Fingerprint(12);
+        // A different handle (think: another process) populated the disk.
+        DiskStore::open(&root)
+            .expect("open")
+            .store(&key, &[summary("g")], &NullScopes);
+        let store = TieredStore::open(&root, TieredConfig::default()).expect("open");
+        assert_eq!(
+            store.load(&key, &NullScopes).expect("disk hit")[0].name,
+            "g"
+        );
+        assert_eq!(store.load(&key, &NullScopes).expect("mem hit")[0].name, "g");
+        let c = store.counters();
+        assert_eq!(c.disk_hits, 1);
+        assert_eq!(c.mem_hits, 1);
+        assert_eq!(c.disk_probes, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tiered_store_evicts_lru_under_byte_pressure() {
+        // One shard so the LRU order is global and observable; cap sized
+        // for roughly two entries.
+        let store = TieredStore::new(
+            None,
+            TieredConfig {
+                cap_bytes: None,
+                max_age: None,
+                shards: 1,
+            },
+        );
+        store.store(&Fingerprint(1), &[summary("a")], &NullScopes);
+        let entry_bytes = store.counters().mem_bytes;
+        let store = TieredStore::new(
+            None,
+            TieredConfig {
+                cap_bytes: Some(entry_bytes * 2 + entry_bytes / 2),
+                max_age: None,
+                shards: 1,
+            },
+        );
+        store.store(&Fingerprint(1), &[summary("a")], &NullScopes);
+        store.store(&Fingerprint(2), &[summary("b")], &NullScopes);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(store.load(&Fingerprint(1), &NullScopes).is_some());
+        store.store(&Fingerprint(3), &[summary("c")], &NullScopes);
+        let c = store.counters();
+        assert_eq!(c.lru_evictions, 1);
+        assert_eq!(c.mem_entries, 2);
+        assert!(
+            store.load(&Fingerprint(1), &NullScopes).is_some(),
+            "recently used stays"
+        );
+        assert!(
+            store.load(&Fingerprint(3), &NullScopes).is_some(),
+            "newest stays"
+        );
+        assert!(
+            store.load(&Fingerprint(2), &NullScopes).is_none(),
+            "least-recently-used entry must be the one evicted"
+        );
+        let c = store.counters();
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.corrupt_evictions, 0);
+    }
+
+    #[test]
+    fn promotion_preserves_an_entrys_true_age() {
+        let root = temp_dir("tiered-backdate");
+        let key = Fingerprint(31);
+        DiskStore::open(&root)
+            .expect("open")
+            .store(&key, &[summary("f")], &NullScopes);
+        // Entry is ~35ms old by the time the tiered handle promotes it.
+        std::thread::sleep(Duration::from_millis(35));
+        let store = TieredStore::open(
+            &root,
+            TieredConfig {
+                cap_bytes: None,
+                max_age: Some(Duration::from_millis(60)),
+                shards: 1,
+            },
+        )
+        .expect("open tiered");
+        assert!(
+            store.load(&key, &NullScopes).is_some(),
+            "still within max_age"
+        );
+        // 35ms + 40ms > 60ms: the promoted copy must expire on its *true*
+        // age, not on time-since-promotion.
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(
+            store.load(&key, &NullScopes).is_none(),
+            "promotion must not reset the expiry clock"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tiered_store_expires_entries_by_age() {
+        let root = temp_dir("tiered-age");
+        let store = TieredStore::open(
+            &root,
+            TieredConfig {
+                cap_bytes: None,
+                max_age: Some(Duration::from_millis(30)),
+                shards: 2,
+            },
+        )
+        .expect("open");
+        let key = Fingerprint(21);
+        store.store(&key, &[summary("f")], &NullScopes);
+        assert!(store.load(&key, &NullScopes).is_some(), "fresh entry hits");
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(
+            store.load(&key, &NullScopes).is_none(),
+            "expired entry must not hit"
+        );
+        let c = store.counters();
+        assert!(c.age_evictions >= 1, "expiry must be counted: {c:?}");
+        assert_eq!(c.corrupt_evictions, 0);
+        // gc() sweeps the disk tier too: after it, the directory is empty.
+        store.store(&key, &[summary("f")], &NullScopes);
+        std::thread::sleep(Duration::from_millis(60));
+        store.gc();
+        assert_eq!(store.disk().expect("disk tier").disk_bytes(), 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn local_text_accessors_skip_the_remote_tier() {
+        let root = temp_dir("tiered-localtext");
+        let store = TieredStore::open(&root, TieredConfig::default()).expect("open");
+        let key = Fingerprint(41);
+        assert!(store.load_local_text(&key).is_none());
+        store.store(&key, &[summary("f")], &NullScopes);
+        let text = store.load_local_text(&key).expect("stored entry");
+        assert_eq!(crate::cache::entry_key(&text), Some(key));
+        // A second store adopts the raw entry without decoding it.
+        let other = TieredStore::new(None, TieredConfig::default());
+        other.store_local_text(&key, &text);
+        assert_eq!(other.load(&key, &NullScopes).expect("adopted")[0].name, "f");
+        // Adoption is not an analysis-facing store: the counter that
+        // feeds CacheStats must not move.
+        assert_eq!(other.counters().stores, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -249,14 +249,29 @@ fn the_client_reuses_its_connection_and_survives_a_server_side_close() {
     let (status, body) = client.post("/v1/analyze", "abc").expect("first request");
     assert_eq!((status, body.as_str()), (200, "{\"len\": 3}\n"));
     // Wait past the idle timeout so the server drops the parked
-    // connection; the next request must transparently reconnect.
+    // connection; an idempotent request must transparently reconnect.
     std::thread::sleep(Duration::from_millis(400));
-    let (status, body) = client
-        .post("/v1/analyze", "abcd")
-        .expect("after idle close");
-    assert_eq!((status, body.as_str()), (200, "{\"len\": 4}\n"));
-    let (status, _) = client.get("/v1/healthz").expect("reused GET");
+    let (status, _) = client.get("/v1/healthz").expect("GET after idle close");
     assert_eq!(status, 200);
+    // A POST that hits the same race is NOT resent (the server might
+    // already have run it): the error surfaces to the caller, and an
+    // explicit retry lands on a fresh connection.
+    std::thread::sleep(Duration::from_millis(400));
+    let err = client
+        .post("/v1/analyze", "abcd")
+        .expect_err("stale connection must not silently replay a POST");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::UnexpectedEof
+                | std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+        ),
+        "{err}"
+    );
+    let (status, body) = client.post("/v1/analyze", "abcd").expect("explicit retry");
+    assert_eq!((status, body.as_str()), (200, "{\"len\": 4}\n"));
     handle.shutdown();
 }
 
